@@ -1,0 +1,101 @@
+// F1 (paper Figure 1: "Building a Program with Linked-in Shared Objects").
+//
+// The figure's pipeline: cc compiles private and shared sources to templates; lds
+// links the program (classes given per module, shared templates left in place); at
+// run time crt0 starts ldl, which locates the shared modules and creates them on
+// first use. This bench times each stage — cc, lds, exec+ldl, run — swept over the
+// number of shared modules a program links, for two programs sharing the same set
+// (the second program's ldl *attaches* instead of creating).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "src/base/strings.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+double Us(std::chrono::steady_clock::time_point a, std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+void BM_BuildFlow(benchmark::State& state) {
+  uint32_t shared = static_cast<uint32_t>(state.range(0));
+  double cc_us = 0;
+  double lds_us = 0;
+  double ldl_create_us = 0;
+  double ldl_attach_us = 0;
+  for (auto _ : state) {
+    HemlockWorld world;
+    (void)world.vfs().MkdirAll("/shm/lib");
+
+    // cc: one private program source + |shared| shared sources.
+    auto t0 = std::chrono::steady_clock::now();
+    std::string prog;
+    for (uint32_t i = 0; i < shared; ++i) {
+      CompileOptions opts;
+      opts.include_prelude = false;
+      std::string src = StrFormat("int shared_val%u = %u;\nint get%u(void) { return shared_val%u; }\n",
+                                  i, i, i, i);
+      if (!world.CompileTo(src, StrFormat("/shm/lib/shared%u.o", i), opts).ok()) {
+        state.SkipWithError("cc failed");
+        return;
+      }
+      prog += StrFormat("extern int get%u(void);\n", i);
+    }
+    prog += "int main(void) {\n  int sum;\n  sum = 0;\n";
+    for (uint32_t i = 0; i < shared; ++i) {
+      prog += StrFormat("  sum = sum + get%u();\n", i);
+    }
+    prog += "  return sum & 127;\n}\n";
+    if (!world.CompileTo(prog, "/home/user/prog.o").ok()) {
+      state.SkipWithError("cc failed");
+      return;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    // lds.
+    LdsOptions lds;
+    lds.inputs.push_back({"prog.o", ShareClass::kStaticPrivate});
+    for (uint32_t i = 0; i < shared; ++i) {
+      lds.inputs.push_back({StrFormat("shared%u.o", i), ShareClass::kDynamicPublic});
+    }
+    Result<LoadImage> image = world.Link(lds);
+    if (!image.ok()) {
+      state.SkipWithError(image.status().ToString().c_str());
+      return;
+    }
+    auto t2 = std::chrono::steady_clock::now();
+
+    // Program 1: ldl creates the shared modules on first use.
+    Result<ExecResult> run1 = world.Exec(*image);
+    if (!run1.ok() || !world.RunToExit(run1->pid).ok()) {
+      state.SkipWithError("program 1 failed");
+      return;
+    }
+    auto t3 = std::chrono::steady_clock::now();
+
+    // Program 2: the modules exist; ldl attaches.
+    Result<ExecResult> run2 = world.Exec(*image);
+    if (!run2.ok() || !world.RunToExit(run2->pid).ok()) {
+      state.SkipWithError("program 2 failed");
+      return;
+    }
+    auto t4 = std::chrono::steady_clock::now();
+
+    cc_us = Us(t0, t1);
+    lds_us = Us(t1, t2);
+    ldl_create_us = Us(t2, t3);
+    ldl_attach_us = Us(t3, t4);
+  }
+  state.counters["shared_modules"] = shared;
+  state.counters["cc_us"] = cc_us;
+  state.counters["lds_us"] = lds_us;
+  state.counters["run1_create_us"] = ldl_create_us;
+  state.counters["run2_attach_us"] = ldl_attach_us;
+}
+BENCHMARK(BM_BuildFlow)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace hemlock

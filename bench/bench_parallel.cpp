@@ -1,0 +1,156 @@
+// E2 (paper §4 "Parallel Applications" + "Utility Programs and Servers").
+//
+// Two claims get shapes here:
+//   * worker/parent data exchange through a shared segment beats kernel-supported
+//     message passing for asynchronous interaction ("modification of data that will be
+//     examined by another process at another time can be expected to consume
+//     significantly less time than kernel-supported message passing");
+//   * the Presto-style setup (create segment, attach per worker) is cheap.
+//
+// Rows, swept over worker count:
+//   SharedCounters — N forked workers each bump a per-worker slot in a shared segment
+//   PipeMessages   — N forked workers send each increment to the parent over a pipe
+// Both do the same logical work (the parent can observe per-worker progress).
+#include <benchmark/benchmark.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/posix/posix_store.h"
+
+namespace hemlock {
+namespace {
+
+constexpr uint32_t kOpsPerWorker = 100000;
+
+void BM_SharedCounters(benchmark::State& state) {
+  int workers = static_cast<int>(state.range(0));
+  std::string dir = "/tmp/hemlock_bench_par_" + std::to_string(::getpid());
+  (void)::system(("rm -rf " + dir).c_str());
+  Result<std::unique_ptr<PosixStore>> store = PosixStore::Open(dir);
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  Result<PosixSegment> seg = (*store)->Create("counters", 4096);
+  if (!seg.ok()) {
+    state.SkipWithError("segment create failed");
+    return;
+  }
+  auto* slots = reinterpret_cast<volatile uint64_t*>(seg->base);
+  for (auto _ : state) {
+    for (int w = 0; w < workers; ++w) {
+      slots[w] = 0;
+    }
+    std::vector<pid_t> pids;
+    for (int w = 0; w < workers; ++w) {
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        for (uint32_t i = 0; i < kOpsPerWorker; ++i) {
+          slots[w] = slots[w] + 1;  // private slot: no lock needed
+        }
+        ::_exit(0);
+      }
+      pids.push_back(pid);
+    }
+    uint64_t total = 0;
+    for (pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    for (int w = 0; w < workers; ++w) {
+      total += slots[w];
+    }
+    if (total != static_cast<uint64_t>(workers) * kOpsPerWorker) {
+      state.SkipWithError("lost updates");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * workers * kOpsPerWorker);
+  state.counters["workers"] = workers;
+  (void)::system(("rm -rf " + dir).c_str());
+}
+BENCHMARK(BM_SharedCounters)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_PipeMessages(benchmark::State& state) {
+  int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      state.SkipWithError("pipe failed");
+      return;
+    }
+    std::vector<pid_t> pids;
+    for (int w = 0; w < workers; ++w) {
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        ::close(fds[0]);
+        uint32_t msg = static_cast<uint32_t>(w);
+        for (uint32_t i = 0; i < kOpsPerWorker; ++i) {
+          if (::write(fds[1], &msg, sizeof(msg)) != sizeof(msg)) {
+            ::_exit(1);
+          }
+        }
+        ::close(fds[1]);
+        ::_exit(0);
+      }
+      pids.push_back(pid);
+    }
+    ::close(fds[1]);
+    uint64_t received = 0;
+    uint32_t buf[1024];
+    ssize_t n = 0;
+    while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+      received += static_cast<uint64_t>(n) / sizeof(uint32_t);
+    }
+    ::close(fds[0]);
+    for (pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    if (received != static_cast<uint64_t>(workers) * kOpsPerWorker) {
+      state.SkipWithError("lost messages");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * workers * kOpsPerWorker);
+  state.counters["workers"] = workers;
+}
+BENCHMARK(BM_PipeMessages)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Presto setup cost: create the per-job shared segment and attach from a worker.
+void BM_PrestoSetup(benchmark::State& state) {
+  std::string dir = "/tmp/hemlock_bench_presto_" + std::to_string(::getpid());
+  (void)::system(("rm -rf " + dir).c_str());
+  Result<std::unique_ptr<PosixStore>> store = PosixStore::Open(dir);
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  int job = 0;
+  for (auto _ : state) {
+    std::string name = "job" + std::to_string(job++);
+    Result<PosixSegment> seg = (*store)->Create(name, 64 * 1024);
+    if (!seg.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    Result<PosixSegment> attached = (*store)->Attach(name);
+    if (!attached.ok()) {
+      state.SkipWithError("attach failed");
+      return;
+    }
+    if (!(*store)->Remove(name).ok()) {
+      state.SkipWithError("remove failed");
+      return;
+    }
+  }
+  (void)::system(("rm -rf " + dir).c_str());
+}
+BENCHMARK(BM_PrestoSetup);
+
+}  // namespace
+}  // namespace hemlock

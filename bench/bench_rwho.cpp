@@ -1,0 +1,135 @@
+// E1 (paper §4 "Administrative Files" — the rwho/rwhod case study).
+//
+// The paper re-implemented rwhod to keep its database in shared memory rather than in
+// one file per remote host, and reports: "On our local network of 65 rwhod-equipped
+// machines, the new version of rwho saves a little over a second each time it is
+// called" — file-per-host parsing dominated query time.
+//
+// Rows: rwho query cost and rwhod update cost under both backends, swept over host
+// counts including the paper's 65. Expected shape: the shared-memory query wins by a
+// factor that grows with host count (no open/parse per host); updates win too (no
+// serialize/rename per packet).
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/apps/rwho.h"
+
+namespace hemlock {
+namespace {
+
+std::string ScratchDir() {
+  return "/tmp/hemlock_bench_rwho_" + std::to_string(::getpid());
+}
+
+struct FileFixture {
+  explicit FileFixture(uint32_t hosts) {
+    dir = ScratchDir();
+    (void)::system(("rm -rf " + dir).c_str());
+    auto opened = FileRwhoDb::Open(dir + "/whod");
+    db = std::move(*opened);
+    Fill(db.get(), hosts, &now);
+  }
+  ~FileFixture() { (void)::system(("rm -rf " + dir).c_str()); }
+
+  static void Fill(RwhoDb* db, uint32_t hosts, uint32_t* now) {
+    RwhoFeed feed(hosts);
+    for (uint32_t i = 0; i < hosts; ++i) {
+      HostStatus st = feed.NextPacket();
+      *now = st.recv_time;
+      if (!db->Update(st).ok()) {
+        std::abort();
+      }
+    }
+  }
+
+  std::string dir;
+  std::unique_ptr<FileRwhoDb> db;
+  uint32_t now = 0;
+};
+
+struct ShmFixture {
+  explicit ShmFixture(uint32_t hosts) {
+    dir = ScratchDir() + "_shm";
+    (void)::system(("rm -rf " + dir).c_str());
+    auto opened = PosixStore::Open(dir);
+    store = std::move(*opened);
+    auto created = ShmRwhoDb::Create(store.get(), "rwho", hosts + 8);
+    db = std::move(*created);
+    FileFixture::Fill(db.get(), hosts, &now);
+  }
+  ~ShmFixture() {
+    db.reset();
+    store.reset();
+    (void)::system(("rm -rf " + dir).c_str());
+  }
+
+  std::string dir;
+  std::unique_ptr<PosixStore> store;
+  std::unique_ptr<ShmRwhoDb> db;
+  uint32_t now = 0;
+};
+
+void BM_RwhoQueryFiles(benchmark::State& state) {
+  FileFixture fx(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<std::vector<UptimeRow>> rows = fx.db->Query(fx.now);
+    if (!rows.ok() || rows->size() != static_cast<size_t>(state.range(0))) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["hosts"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RwhoQueryFiles)->Arg(8)->Arg(16)->Arg(32)->Arg(65)->Arg(128)->Arg(256);
+
+void BM_RwhoQueryShm(benchmark::State& state) {
+  ShmFixture fx(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<std::vector<UptimeRow>> rows = fx.db->Query(fx.now);
+    if (!rows.ok() || rows->size() != static_cast<size_t>(state.range(0))) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["hosts"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RwhoQueryShm)->Arg(8)->Arg(16)->Arg(32)->Arg(65)->Arg(128)->Arg(256);
+
+void BM_RwhodUpdateFiles(benchmark::State& state) {
+  uint32_t hosts = static_cast<uint32_t>(state.range(0));
+  FileFixture fx(hosts);
+  RwhoFeed feed(hosts, /*seed=*/99);
+  for (auto _ : state) {
+    HostStatus st = feed.NextPacket();
+    if (!fx.db->Update(st).ok()) {
+      state.SkipWithError("update failed");
+      return;
+    }
+  }
+  state.counters["hosts"] = hosts;
+}
+BENCHMARK(BM_RwhodUpdateFiles)->Arg(65);
+
+void BM_RwhodUpdateShm(benchmark::State& state) {
+  uint32_t hosts = static_cast<uint32_t>(state.range(0));
+  ShmFixture fx(hosts);
+  RwhoFeed feed(hosts, /*seed=*/99);
+  for (auto _ : state) {
+    HostStatus st = feed.NextPacket();
+    if (!fx.db->Update(st).ok()) {
+      state.SkipWithError("update failed");
+      return;
+    }
+  }
+  state.counters["hosts"] = hosts;
+}
+BENCHMARK(BM_RwhodUpdateShm)->Arg(65);
+
+}  // namespace
+}  // namespace hemlock

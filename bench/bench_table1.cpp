@@ -1,0 +1,139 @@
+// T1 (paper Table 1: "Class creation and link times").
+//
+// Regenerates the table's semantics as *measured* rows: for each sharing class,
+//   * when the module instance is created and linked (static link time vs run time),
+//   * whether each process gets a new instance (verified by the counter experiment),
+//   * which portion of the address space it occupies (private vs the public region),
+// plus the measured cost of the stage that does the work (lds for static classes,
+// ldl startup / first-touch for dynamic ones).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/base/layout.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+constexpr char kModuleSrc[] = R"(
+  int counter = 0;
+  int bump(void) { counter = counter + 1; return counter; }
+)";
+
+constexpr char kProgSrc[] = R"(
+  extern int bump(void);
+  int main(void) { return bump(); }
+)";
+
+// One full build+run cycle with the module in the given class; returns the module
+// symbol's address region and whether state persisted to a second program run.
+struct ClassFacts {
+  bool second_run_saw_state = false;
+  bool in_public_region = false;
+};
+
+ClassFacts ProbeClass(ShareClass cls) {
+  HemlockWorld world;
+  CompileOptions mod_opts;
+  mod_opts.include_prelude = false;
+  (void)world.vfs().MkdirAll("/shm/lib");
+  Status st = world.CompileTo(kModuleSrc, "/shm/lib/t1mod.o", mod_opts);
+  if (!st.ok()) {
+    std::abort();
+  }
+  st = world.CompileTo(kProgSrc, "/home/user/t1prog.o");
+  if (!st.ok()) {
+    std::abort();
+  }
+  Result<LoadImage> image = world.Link(
+      {.inputs = {{"t1prog.o", ShareClass::kStaticPrivate}, {"t1mod.o", cls}}});
+  if (!image.ok()) {
+    std::abort();
+  }
+  ClassFacts facts;
+  Result<ExecResult> run1 = world.Exec(*image);
+  Result<int> s1 = world.RunToExit(run1->pid);
+  Result<ExecResult> run2 = world.Exec(*image);
+  Result<int> s2 = world.RunToExit(run2->pid);
+  if (!s1.ok() || !s2.ok()) {
+    std::abort();
+  }
+  facts.second_run_saw_state = *s2 == 2;  // counter persisted across processes
+  Result<uint32_t> addr = run2->ldl->LookupRootSymbol("bump");
+  facts.in_public_region = addr.ok() && InSfsRegion(*addr);
+  return facts;
+}
+
+void BM_LinkAndRun(benchmark::State& state, ShareClass cls) {
+  for (auto _ : state) {
+    HemlockWorld world;
+    CompileOptions mod_opts;
+    mod_opts.include_prelude = false;
+    (void)world.vfs().MkdirAll("/shm/lib");
+    benchmark::DoNotOptimize(world.CompileTo(kModuleSrc, "/shm/lib/t1mod.o", mod_opts));
+    benchmark::DoNotOptimize(world.CompileTo(kProgSrc, "/home/user/t1prog.o"));
+    auto t_link0 = std::chrono::steady_clock::now();
+    Result<LoadImage> image = world.Link(
+        {.inputs = {{"t1prog.o", ShareClass::kStaticPrivate}, {"t1mod.o", cls}}});
+    auto t_link1 = std::chrono::steady_clock::now();
+    if (!image.ok()) {
+      state.SkipWithError(image.status().ToString().c_str());
+      return;
+    }
+    Result<ExecResult> run = world.Exec(*image);  // ldl startup happens here
+    auto t_exec = std::chrono::steady_clock::now();
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    Result<int> status = world.RunToExit(run->pid);
+    if (!status.ok() || *status != 1) {
+      state.SkipWithError("program failed");
+      return;
+    }
+    state.counters["lds_us"] =
+        std::chrono::duration<double, std::micro>(t_link1 - t_link0).count();
+    state.counters["ldl_startup_us"] =
+        std::chrono::duration<double, std::micro>(t_exec - t_link1).count();
+    state.counters["link_faults"] = static_cast<double>(run->ldl->stats().link_faults);
+  }
+}
+
+void PrintTable1() {
+  std::printf("\n=== Table 1 (measured): class creation and link times ===\n");
+  std::printf("%-16s | %-16s | %-28s | %-20s\n", "Sharing class", "When linked",
+              "New instance per process?", "Address-space region");
+  std::printf("-----------------+------------------+------------------------------+---------------------\n");
+  struct Row {
+    ShareClass cls;
+    const char* when;
+  };
+  for (const Row& row : {Row{ShareClass::kStaticPrivate, "static link time"},
+                         Row{ShareClass::kDynamicPrivate, "run time"},
+                         Row{ShareClass::kStaticPublic, "static link time"},
+                         Row{ShareClass::kDynamicPublic, "run time"}}) {
+    ClassFacts facts = ProbeClass(row.cls);
+    std::printf("%-16s | %-16s | %-28s | %-20s\n", ShareClassName(row.cls), row.when,
+                facts.second_run_saw_state ? "no (single shared instance)" : "yes",
+                facts.in_public_region ? "public (0x30000000+)" : "private");
+  }
+  std::printf("\n");
+}
+
+struct Registrar {
+  Registrar() {
+    PrintTable1();
+    for (auto [cls, name] : {std::pair{ShareClass::kStaticPrivate, "static_private"},
+                             std::pair{ShareClass::kDynamicPrivate, "dynamic_private"},
+                             std::pair{ShareClass::kStaticPublic, "static_public"},
+                             std::pair{ShareClass::kDynamicPublic, "dynamic_public"}}) {
+      benchmark::RegisterBenchmark((std::string("BuildRun/") + name).c_str(),
+                                   [cls = cls](benchmark::State& s) { BM_LinkAndRun(s, cls); });
+    }
+  }
+} registrar;
+
+}  // namespace
+}  // namespace hemlock

@@ -1,0 +1,97 @@
+// The POSIX embodiment in one page: fixed-address shared segments on a stock Linux
+// box, with the paper's map-on-pointer-follow SIGSEGV handler.
+//
+// A parent builds a linked list in a shared segment and passes its head pointer to a
+// forked child *by value*. The child never attaches the segment; its first
+// dereference faults, the handler translates the address to the segment file, maps it
+// at the fixed global address, and the instruction restarts. Pointers mean the same
+// thing in both protection domains.
+//
+// Run:  ./build/examples/posix_quickstart
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/posix/posix_fault.h"
+#include "src/posix/posix_heap.h"
+#include "src/posix/posix_store.h"
+
+using namespace hemlock;
+
+struct Node {
+  int value;
+  Node* next;
+};
+
+int main() {
+  std::string dir = "/tmp/hemlock_posix_demo_" + std::to_string(::getpid());
+  (void)::system(("rm -rf " + dir).c_str());
+  Result<std::unique_ptr<PosixStore>> store = PosixStore::Open(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  // Build a list of squares in a fresh shared segment.
+  Result<PosixHeap> heap = PosixHeap::Create(store->get(), "list", 64 * 1024);
+  if (!heap.ok()) {
+    std::fprintf(stderr, "heap failed: %s\n", heap.status().ToString().c_str());
+    return 1;
+  }
+  Node* head = nullptr;
+  for (int i = 10; i >= 1; --i) {
+    Result<void*> mem = heap->Alloc(sizeof(Node));
+    if (!mem.ok()) {
+      std::fprintf(stderr, "alloc failed\n");
+      return 1;
+    }
+    head = new (*mem) Node{i * i, head};
+  }
+  std::printf("parent: built 10-node list at %p in segment 'list'\n",
+              static_cast<void*>(head));
+
+  // Detach: the child must *fault* its way to the data.
+  if (!store->get()->Detach("list").ok()) {
+    std::fprintf(stderr, "detach failed\n");
+    return 1;
+  }
+
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: the segment is not attached here. Install the Hemlock handler and just
+    // follow the pointer.
+    if (!InstallPosixFaultHandler(store->get()).ok()) {
+      ::_exit(2);
+    }
+    long sum = 0;
+    for (Node* cur = head; cur != nullptr; cur = cur->next) {
+      sum += cur->value;  // first access faults; the handler attaches the segment
+    }
+    std::printf("child: walked the list through a raw pointer, sum = %ld "
+                "(attach faults resolved: %llu)\n",
+                sum, static_cast<unsigned long long>(AttachFaultCount()));
+    RemovePosixFaultHandler();
+    ::_exit(sum == 385 ? 0 : 1);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::printf("parent: child %s\n", ok ? "verified the shared structure" : "FAILED");
+
+  // Manual garbage collection: segments are files; peruse and remove.
+  Result<std::vector<std::string>> names = store->get()->List();
+  if (names.ok()) {
+    std::printf("segments in existence:");
+    for (const std::string& name : *names) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  (void)store->get()->Remove("list");
+  (void)::system(("rm -rf " + dir).c_str());
+  std::printf("posix_quickstart %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

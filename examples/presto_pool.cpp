@@ -1,0 +1,141 @@
+// The parallel-application recipe (paper §4 "Parallel Applications" — the Presto
+// port), run start to finish on the simulated machine.
+//
+// The parent process of the parallel application does none of the work:
+//   1. it creates a temporary directory (on the shared partition),
+//   2. puts a symbolic link to the shared-data template into it,
+//   3. adds the directory to LD_LIBRARY_PATH,
+//   4. starts the children, which all link the shared data as a *dynamic public*
+//      module — the first to fault creates and initializes it from the template
+//      (under ldl's file lock) and all of them link it in,
+//   5. and on completion deletes the shared segment, the symlink, and the directory.
+//
+// Two jobs run back to back to show per-job isolation: each gets its own instance.
+//
+// Run:  ./build/examples/presto_pool
+#include <cstdio>
+
+#include "src/base/strings.h"
+#include "src/link/search.h"
+#include "src/runtime/world.h"
+
+using namespace hemlock;
+
+namespace {
+
+constexpr int kWorkers = 4;
+
+// The shared data: a slot per worker plus a tally routine.
+constexpr char kSharedSrc[] = R"(
+  int slots[16];
+  int tally(int n) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = sum + slots[i]; }
+    return sum;
+  }
+)";
+
+// A worker: claims slot <id>, does "work", writes its result.
+constexpr char kWorkerSrc[] = R"(
+  extern int slots[16];
+  int main(void) {
+    int id;
+    int i;
+    int acc;
+    id = sys_getpid() % 16;
+    acc = 0;
+    for (i = 1; i < 1000; i = i + 1) { acc = acc + i % 7; }
+    slots[id] = acc;
+    return id;
+  }
+)";
+
+// The collector: reads every worker's slot through the same shared module.
+constexpr char kCollectorSrc[] = R"(
+  extern int tally(int n);
+  int main(void) {
+    puts("collector: tally = ");
+    putint(tally(16));
+    puts("\n");
+    return 0;
+  }
+)";
+
+int RunJob(HemlockWorld& world, const LoadImage& worker, const LoadImage& collector, int job) {
+  // Steps 1-3: temp dir + symlink + environment.
+  std::string job_dir = StrFormat("/shm/tmp/job%d", job);
+  if (!world.vfs().MkdirAll(job_dir).ok() ||
+      !world.vfs().Symlink(job_dir + "/pool_shared.o", "/shm/lib/pool_shared.o").ok()) {
+    std::fprintf(stderr, "job %d: setup failed\n", job);
+    return -1;
+  }
+  ExecOptions exec;
+  exec.env[kLdLibraryPathVar] = job_dir;
+
+  // Step 4: start the children.
+  std::vector<int> pids;
+  for (int w = 0; w < kWorkers; ++w) {
+    Result<ExecResult> run = world.Exec(worker, exec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "job %d: worker exec failed: %s\n", job,
+                   run.status().ToString().c_str());
+      return -1;
+    }
+    pids.push_back(run->pid);
+  }
+  if (!world.machine().RunAll()) {
+    std::fprintf(stderr, "job %d: workers did not finish\n", job);
+    return -1;
+  }
+  Result<ExecResult> coll = world.Exec(collector, exec);
+  if (!coll.ok() || !world.RunToExit(coll->pid).ok()) {
+    std::fprintf(stderr, "job %d: collector failed\n", job);
+    return -1;
+  }
+  std::printf("job %d %s", job,
+              world.machine().FindProcess(coll->pid)->stdout_text().c_str());
+
+  // Step 5: cleanup — segment, symlink, directory.
+  bool cleaned = world.vfs().Unlink(job_dir + "/pool_shared").ok() &&
+                 world.vfs().Unlink(job_dir + "/pool_shared.o").ok() &&
+                 world.vfs().Unlink(job_dir).ok();
+  std::printf("job %d cleanup: %s\n", job, cleaned ? "done" : "FAILED");
+  return cleaned ? 0 : -1;
+}
+
+}  // namespace
+
+int main() {
+  HemlockWorld world;
+  CompileOptions shared_opts;
+  shared_opts.include_prelude = false;
+  if (!world.vfs().MkdirAll("/shm/lib").ok() || !world.vfs().MkdirAll("/shm/tmp").ok() ||
+      !world.CompileTo(kSharedSrc, "/shm/lib/pool_shared.o", shared_opts).ok() ||
+      !world.CompileTo(kWorkerSrc, "/home/user/worker.o").ok() ||
+      !world.CompileTo(kCollectorSrc, "/home/user/collector.o").ok()) {
+    std::fprintf(stderr, "compile failed\n");
+    return 1;
+  }
+  // Note: lds never sees the job directory — the children find the symlinked
+  // template at run time through LD_LIBRARY_PATH.
+  Result<LoadImage> worker =
+      world.Link({.inputs = {{"worker.o", ShareClass::kStaticPrivate},
+                             {"pool_shared.o", ShareClass::kDynamicPublic}}});
+  Result<LoadImage> collector =
+      world.Link({.inputs = {{"collector.o", ShareClass::kStaticPrivate},
+                             {"pool_shared.o", ShareClass::kDynamicPublic}}});
+  if (!worker.ok() || !collector.ok()) {
+    std::fprintf(stderr, "link failed\n");
+    return 1;
+  }
+  if (RunJob(world, *worker, *collector, 1) != 0) {
+    return 1;
+  }
+  if (RunJob(world, *worker, *collector, 2) != 0) {
+    return 1;
+  }
+  std::printf("presto_pool OK\n");
+  return 0;
+}

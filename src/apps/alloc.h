@@ -1,0 +1,42 @@
+// Allocation sources for the pointer-rich application workloads: either the process
+// heap (the "original" designs that rebuild structures per process) or a shared
+// segment (the Hemlock designs whose pointers are valid in every process).
+#ifndef SRC_APPS_ALLOC_H_
+#define SRC_APPS_ALLOC_H_
+
+#include <cstddef>
+
+#include "src/base/status.h"
+#include "src/posix/posix_heap.h"
+
+namespace hemlock {
+
+class FigAllocator {
+ public:
+  virtual ~FigAllocator() = default;
+  virtual Result<void*> Alloc(size_t bytes) = 0;
+  virtual Status Free(void* ptr) = 0;
+};
+
+class MallocFigAllocator : public FigAllocator {
+ public:
+  Result<void*> Alloc(size_t bytes) override { return ::operator new(bytes); }
+  Status Free(void* ptr) override {
+    ::operator delete(ptr);
+    return OkStatus();
+  }
+};
+
+class HeapFigAllocator : public FigAllocator {
+ public:
+  explicit HeapFigAllocator(PosixHeap* heap) : heap_(heap) {}
+  Result<void*> Alloc(size_t bytes) override { return heap_->Alloc(bytes); }
+  Status Free(void* ptr) override { return heap_->Free(ptr); }
+
+ private:
+  PosixHeap* heap_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_APPS_ALLOC_H_

@@ -1,0 +1,314 @@
+#include "src/apps/figures.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kFigMagic = 0x20474946;  // "FIG "
+}
+
+Result<FigObject*> Figure::NewObject() {
+  ASSIGN_OR_RETURN(void* mem, alloc_->Alloc(sizeof(FigObject)));
+  auto* obj = new (mem) FigObject();
+  obj->next = header_->objects;
+  header_->objects = obj;
+  ++header_->object_count;
+  return obj;
+}
+
+Result<FigObject*> Figure::AddPolyline(const std::vector<std::pair<int32_t, int32_t>>& pts,
+                                       int32_t color, int32_t depth) {
+  ASSIGN_OR_RETURN(FigObject * obj, NewObject());
+  obj->kind = FigKind::kPolyline;
+  obj->color = color;
+  obj->depth = depth;
+  FigPoint** tail = &obj->points;
+  for (const auto& [x, y] : pts) {
+    ASSIGN_OR_RETURN(void* mem, alloc_->Alloc(sizeof(FigPoint)));
+    auto* p = new (mem) FigPoint{x, y, nullptr};
+    *tail = p;
+    tail = &p->next;
+  }
+  return obj;
+}
+
+Result<FigObject*> Figure::AddEllipse(int32_t cx, int32_t cy, int32_t rx, int32_t ry,
+                                      int32_t color) {
+  ASSIGN_OR_RETURN(FigObject * obj, NewObject());
+  obj->kind = FigKind::kEllipse;
+  obj->color = color;
+  obj->cx = cx;
+  obj->cy = cy;
+  obj->rx = rx;
+  obj->ry = ry;
+  return obj;
+}
+
+Result<FigObject*> Figure::AddText(const std::string& text, int32_t x, int32_t y, int32_t color) {
+  ASSIGN_OR_RETURN(FigObject * obj, NewObject());
+  obj->kind = FigKind::kText;
+  obj->color = color;
+  obj->cx = x;
+  obj->cy = y;
+  std::strncpy(obj->text, text.c_str(), sizeof(obj->text) - 1);
+  return obj;
+}
+
+Result<FigObject*> Figure::Duplicate(const FigObject* object) {
+  ASSIGN_OR_RETURN(FigObject * copy, NewObject());
+  FigObject* saved_next = copy->next;
+  *copy = *object;
+  copy->next = saved_next;
+  copy->points = nullptr;
+  FigPoint** tail = &copy->points;
+  for (const FigPoint* p = object->points; p != nullptr; p = p->next) {
+    ASSIGN_OR_RETURN(void* mem, alloc_->Alloc(sizeof(FigPoint)));
+    auto* q = new (mem) FigPoint{p->x, p->y, nullptr};
+    *tail = q;
+    tail = &q->next;
+  }
+  return copy;
+}
+
+Status Figure::Remove(FigObject* object) {
+  FigObject** cur = &header_->objects;
+  while (*cur != nullptr && *cur != object) {
+    cur = &(*cur)->next;
+  }
+  if (*cur == nullptr) {
+    return NotFound("figure: object not in list");
+  }
+  *cur = object->next;
+  FigPoint* p = object->points;
+  while (p != nullptr) {
+    FigPoint* next = p->next;
+    RETURN_IF_ERROR(alloc_->Free(p));
+    p = next;
+  }
+  RETURN_IF_ERROR(alloc_->Free(object));
+  --header_->object_count;
+  return OkStatus();
+}
+
+Status Figure::Clear() {
+  while (header_->objects != nullptr) {
+    RETURN_IF_ERROR(Remove(header_->objects));
+  }
+  return OkStatus();
+}
+
+uint32_t Figure::PointCount() const {
+  uint32_t n = 0;
+  for (const FigObject* obj = header_->objects; obj != nullptr; obj = obj->next) {
+    for (const FigPoint* p = obj->points; p != nullptr; p = p->next) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t Figure::Checksum() const {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const FigObject* obj = header_->objects; obj != nullptr; obj = obj->next) {
+    mix(static_cast<uint64_t>(obj->kind));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(obj->color)));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(obj->cx)));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(obj->cy)));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(obj->rx)));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(obj->ry)));
+    for (const char* c = obj->text; *c != 0; ++c) {
+      mix(static_cast<uint64_t>(*c));
+    }
+    for (const FigPoint* p = obj->points; p != nullptr; p = p->next) {
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(p->x)));
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(p->y)));
+    }
+  }
+  return h;
+}
+
+LocalFigure::LocalFigure() : fig_(&header_, &alloc_) { header_.magic = kFigMagic; }
+
+LocalFigure::~LocalFigure() { (void)fig_.Clear(); }
+
+std::string SaveAscii(Figure& fig) {
+  std::ostringstream out;
+  out << "#FIG hemlock 1.0\n" << fig.ObjectCount() << "\n";
+  for (const FigObject* obj = fig.header()->objects; obj != nullptr; obj = obj->next) {
+    switch (obj->kind) {
+      case FigKind::kPolyline: {
+        uint32_t n = 0;
+        for (const FigPoint* p = obj->points; p != nullptr; p = p->next) {
+          ++n;
+        }
+        out << "polyline " << obj->color << " " << obj->depth << " " << n;
+        for (const FigPoint* p = obj->points; p != nullptr; p = p->next) {
+          out << " " << p->x << " " << p->y;
+        }
+        out << "\n";
+        break;
+      }
+      case FigKind::kEllipse:
+        out << "ellipse " << obj->color << " " << obj->cx << " " << obj->cy << " " << obj->rx
+            << " " << obj->ry << "\n";
+        break;
+      case FigKind::kText:
+        out << "text " << obj->color << " " << obj->cx << " " << obj->cy << " " << obj->text
+            << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+Status LoadAscii(const std::string& text, Figure* fig) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  uint32_t count = 0;
+  in >> count;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string kind;
+    in >> kind;
+    if (kind == "polyline") {
+      int32_t color = 0;
+      int32_t depth = 0;
+      uint32_t n = 0;
+      in >> color >> depth >> n;
+      std::vector<std::pair<int32_t, int32_t>> pts(n);
+      for (uint32_t j = 0; j < n; ++j) {
+        in >> pts[j].first >> pts[j].second;
+      }
+      Result<FigObject*> obj = fig->AddPolyline(pts, color, depth);
+      if (!obj.ok()) {
+        return obj.status();
+      }
+    } else if (kind == "ellipse") {
+      int32_t color = 0, cx = 0, cy = 0, rx = 0, ry = 0;
+      in >> color >> cx >> cy >> rx >> ry;
+      Result<FigObject*> obj = fig->AddEllipse(cx, cy, rx, ry, color);
+      if (!obj.ok()) {
+        return obj.status();
+      }
+    } else if (kind == "text") {
+      int32_t color = 0, x = 0, y = 0;
+      std::string body;
+      in >> color >> x >> y >> body;
+      Result<FigObject*> obj = fig->AddText(body, x, y, color);
+      if (!obj.ok()) {
+        return obj.status();
+      }
+    } else {
+      return CorruptData("figure: unknown object kind '" + kind + "'");
+    }
+  }
+  // The reader prepends, so object order is reversed relative to the writer; reverse
+  // the list to restore it (checksums are order-dependent).
+  FigObject* prev = nullptr;
+  FigObject* cur = fig->header()->objects;
+  uint32_t moved = 0;
+  while (cur != nullptr && moved < count) {
+    FigObject* next = cur->next;
+    cur->next = prev;
+    prev = cur;
+    cur = next;
+    ++moved;
+  }
+  // Splice the reversed run back in front of any pre-existing objects.
+  FigObject* run_tail = fig->header()->objects;
+  fig->header()->objects = prev;
+  if (run_tail != nullptr) {
+    run_tail->next = cur;
+  }
+  return OkStatus();
+}
+
+SegmentFigure::SegmentFigure(PosixHeap heap, FigureHeader* header)
+    : heap_(std::make_unique<PosixHeap>(heap)),
+      alloc_(std::make_unique<HeapFigAllocator>(heap_.get())),
+      fig_(std::make_unique<Figure>(header, alloc_.get())) {}
+
+Result<SegmentFigure> SegmentFigure::Create(PosixStore* store, const std::string& name,
+                                            size_t bytes) {
+  ASSIGN_OR_RETURN(PosixHeap heap, PosixHeap::Create(store, name, bytes));
+  ASSIGN_OR_RETURN(void* mem, heap.Alloc(sizeof(FigureHeader)));
+  auto* header = new (mem) FigureHeader();
+  header->magic = kFigMagic;
+  // The header is the first allocation, at a deterministic offset, so Attach finds it.
+  return SegmentFigure(heap, header);
+}
+
+Result<SegmentFigure> SegmentFigure::Attach(PosixStore* store, const std::string& name) {
+  ASSIGN_OR_RETURN(PosixHeap heap, PosixHeap::Attach(store, name));
+  // The figure header is the segment's first allocation, at a small fixed offset;
+  // scan for the magic just past the heap header (robust to layout tweaks).
+  uint8_t* base = heap.base();
+  FigureHeader* header = nullptr;
+  for (size_t off = 0; off < 256; off += 8) {
+    auto* candidate = reinterpret_cast<FigureHeader*>(base + off);
+    if (candidate->magic == kFigMagic) {
+      header = candidate;
+      break;
+    }
+  }
+  if (header == nullptr) {
+    return CorruptData("figure: no figure header in segment '" + name + "'");
+  }
+  return SegmentFigure(heap, header);
+}
+
+Status GenerateFigure(Figure* fig, uint32_t objects, uint32_t points_per, uint32_t seed) {
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(rng >> 33);
+  };
+  for (uint32_t i = 0; i < objects; ++i) {
+    switch (next() % 3) {
+      case 0: {
+        std::vector<std::pair<int32_t, int32_t>> pts;
+        uint32_t n = 2 + next() % (points_per * 2);
+        pts.reserve(n);
+        for (uint32_t j = 0; j < n; ++j) {
+          pts.emplace_back(static_cast<int32_t>(next() % 10000),
+                           static_cast<int32_t>(next() % 10000));
+        }
+        Result<FigObject*> obj = fig->AddPolyline(pts, static_cast<int32_t>(next() % 16),
+                                                  static_cast<int32_t>(next() % 100));
+        if (!obj.ok()) {
+          return obj.status();
+        }
+        break;
+      }
+      case 1: {
+        Result<FigObject*> obj = fig->AddEllipse(
+            static_cast<int32_t>(next() % 10000), static_cast<int32_t>(next() % 10000),
+            static_cast<int32_t>(1 + next() % 500), static_cast<int32_t>(1 + next() % 500),
+            static_cast<int32_t>(next() % 16));
+        if (!obj.ok()) {
+          return obj.status();
+        }
+        break;
+      }
+      default: {
+        Result<FigObject*> obj =
+            fig->AddText("label" + std::to_string(next() % 1000),
+                         static_cast<int32_t>(next() % 10000),
+                         static_cast<int32_t>(next() % 10000), static_cast<int32_t>(next() % 16));
+        if (!obj.ok()) {
+          return obj.status();
+        }
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace hemlock

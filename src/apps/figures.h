@@ -1,0 +1,129 @@
+// The xfig workload (paper §4, "Programs with Non-Linear Data Structures").
+//
+// xfig keeps a figure as linked lists of objects; the original translated those lists
+// to and from a pointer-free ASCII representation on every save/load, while also
+// needing pointer-rich copy routines to duplicate objects. The Hemlock version keeps
+// the lists in a shared segment: "open" is an attach, "save" is nothing, and the
+// pre-existing copy routines serve for files too — at a savings of over 800 lines.
+//
+// This module provides both versions over the POSIX embodiment:
+//   * a private, malloc-based figure with ASCII save/load (the original design);
+//   * a segment-resident figure whose pointers are valid in every process.
+#ifndef SRC_APPS_FIGURES_H_
+#define SRC_APPS_FIGURES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/apps/alloc.h"
+#include "src/base/status.h"
+#include "src/posix/posix_heap.h"
+
+namespace hemlock {
+
+enum class FigKind : uint32_t { kPolyline = 1, kEllipse = 2, kText = 3 };
+
+struct FigPoint {
+  int32_t x = 0;
+  int32_t y = 0;
+  FigPoint* next = nullptr;
+};
+
+struct FigObject {
+  FigKind kind = FigKind::kPolyline;
+  int32_t color = 0;
+  int32_t depth = 0;
+  FigPoint* points = nullptr;  // kPolyline
+  int32_t cx = 0, cy = 0, rx = 0, ry = 0;  // kEllipse
+  char text[32] = {0};                     // kText
+  FigObject* next = nullptr;
+};
+
+struct FigureHeader {
+  uint32_t magic = 0;
+  uint32_t object_count = 0;
+  FigObject* objects = nullptr;
+};
+
+// Figure editing operations, independent of where the nodes live.
+class Figure {
+ public:
+  Figure(FigureHeader* header, FigAllocator* alloc) : header_(header), alloc_(alloc) {}
+
+  FigureHeader* header() { return header_; }
+
+  Result<FigObject*> AddPolyline(const std::vector<std::pair<int32_t, int32_t>>& pts,
+                                 int32_t color, int32_t depth);
+  Result<FigObject*> AddEllipse(int32_t cx, int32_t cy, int32_t rx, int32_t ry, int32_t color);
+  Result<FigObject*> AddText(const std::string& text, int32_t x, int32_t y, int32_t color);
+
+  // Duplicates an object (deep copy of its point list) — xfig's pointer-rich copy
+  // routine, reused unchanged whether the target is private or shared memory.
+  Result<FigObject*> Duplicate(const FigObject* object);
+
+  // Unlinks and frees an object.
+  Status Remove(FigObject* object);
+
+  // Frees every object (manual cleanup; paper §5 "Garbage Collection").
+  Status Clear();
+
+  uint32_t ObjectCount() const { return header_->object_count; }
+  uint32_t PointCount() const;
+  // Checksum over all objects (order-dependent) for equality checks in tests/benches.
+  uint64_t Checksum() const;
+
+ private:
+  Result<FigObject*> NewObject();
+
+  FigureHeader* header_;
+  FigAllocator* alloc_;
+};
+
+// --- The original xfig design: private figure + ASCII file ---
+
+// A self-contained figure in process-private memory.
+class LocalFigure {
+ public:
+  LocalFigure();
+  ~LocalFigure();
+  LocalFigure(const LocalFigure&) = delete;
+  LocalFigure& operator=(const LocalFigure&) = delete;
+  Figure& figure() { return fig_; }
+
+ private:
+  FigureHeader header_;
+  MallocFigAllocator alloc_;
+  Figure fig_;
+};
+
+// The pointer-free linearization (a .fig-like text format).
+std::string SaveAscii(Figure& fig);
+// Parses |text| and rebuilds the object lists via |fig|'s allocator.
+Status LoadAscii(const std::string& text, Figure* fig);
+
+// --- The Hemlock design: figure resident in a shared segment ---
+
+class SegmentFigure {
+ public:
+  static Result<SegmentFigure> Create(PosixStore* store, const std::string& name, size_t bytes);
+  static Result<SegmentFigure> Attach(PosixStore* store, const std::string& name);
+  Figure& figure() { return *fig_; }
+
+ private:
+  SegmentFigure(PosixHeap heap, FigureHeader* header);
+
+  // Heap lives behind a stable address: the allocator and figure point into it, and
+  // SegmentFigure values get moved around.
+  std::unique_ptr<PosixHeap> heap_;
+  std::unique_ptr<HeapFigAllocator> alloc_;
+  std::unique_ptr<Figure> fig_;
+};
+
+// Deterministic figure generator: |objects| objects with ~|points_per| vertices each.
+Status GenerateFigure(Figure* fig, uint32_t objects, uint32_t points_per, uint32_t seed = 7);
+
+}  // namespace hemlock
+
+#endif  // SRC_APPS_FIGURES_H_

@@ -1,0 +1,178 @@
+#include "src/apps/rwho.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <filesystem>
+#include <fstream>
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kTableMagic = 0x4F485752;  // "RWHO"
+
+uint64_t NextRng(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 33;
+}
+}  // namespace
+
+RwhoFeed::RwhoFeed(uint32_t hosts, uint32_t seed) : hosts_(hosts), rng_(seed * 2654435761ull + 1) {}
+
+HostStatus RwhoFeed::NextPacket() {
+  HostStatus st;
+  uint32_t host = next_host_;
+  next_host_ = (next_host_ + 1) % hosts_;
+  clock_ += 3;
+  std::snprintf(st.hostname, sizeof(st.hostname), "node%03u.cs.edu", host);
+  st.boot_time = 100 + host;
+  st.recv_time = clock_;
+  for (int i = 0; i < 3; ++i) {
+    st.load_avg[i] = static_cast<uint32_t>(NextRng(&rng_) % 800);
+  }
+  st.user_count = static_cast<uint32_t>(NextRng(&rng_) % 8);
+  for (uint32_t u = 0; u < st.user_count; ++u) {
+    std::snprintf(st.users[u], sizeof(st.users[u]), "user%02llu",
+                  static_cast<unsigned long long>(NextRng(&rng_) % 40));
+  }
+  return st;
+}
+
+// --- FileRwhoDb ---
+// The on-disk format is a parsable ASCII linearization, like the administrative files
+// the paper describes: every read re-parses, every write re-serializes.
+
+Result<std::unique_ptr<FileRwhoDb>> FileRwhoDb::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Internal("rwho: cannot create " + dir + ": " + ec.message());
+  }
+  return std::unique_ptr<FileRwhoDb>(new FileRwhoDb(dir));
+}
+
+Status FileRwhoDb::Update(const HostStatus& status) {
+  std::string path = dir_ + "/whod." + status.hostname;
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Internal("rwho: cannot write " + tmp);
+    }
+    out << status.hostname << "\n"
+        << status.boot_time << " " << status.recv_time << "\n"
+        << status.load_avg[0] << " " << status.load_avg[1] << " " << status.load_avg[2] << "\n"
+        << status.user_count << "\n";
+    for (uint32_t u = 0; u < status.user_count; ++u) {
+      out << status.users[u] << "\n";
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Internal("rwho: rename failed: " + ec.message());
+  }
+  return OkStatus();
+}
+
+Result<std::vector<UptimeRow>> FileRwhoDb::Query(uint32_t now) {
+  std::vector<UptimeRow> rows;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (!StartsWith(name, "whod.")) {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    if (!in) {
+      continue;
+    }
+    HostStatus st;
+    std::string hostname;
+    uint32_t boot = 0;
+    uint32_t recv = 0;
+    in >> hostname >> boot >> recv >> st.load_avg[0] >> st.load_avg[1] >> st.load_avg[2] >>
+        st.user_count;
+    for (uint32_t u = 0; u < st.user_count && u < 8; ++u) {
+      std::string user;
+      in >> user;
+    }
+    UptimeRow row;
+    row.hostname = hostname;
+    row.up = now - recv < kRwhoDownAfter;
+    row.load100 = st.load_avg[0];
+    row.users = st.user_count;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const UptimeRow& a, const UptimeRow& b) { return a.hostname < b.hostname; });
+  return rows;
+}
+
+// --- ShmRwhoDb ---
+
+Result<std::unique_ptr<ShmRwhoDb>> ShmRwhoDb::Create(PosixStore* store, const std::string& name,
+                                                     uint32_t max_hosts) {
+  size_t bytes = sizeof(Table) + static_cast<size_t>(max_hosts) * sizeof(HostStatus);
+  ASSIGN_OR_RETURN(PosixSegment seg, store->Create(name, bytes));
+  // The fresh segment is zero-filled; construct the header in place (memset would
+  // trample the non-trivial spin lock).
+  auto* table = new (seg.base) Table();
+  table->magic = kTableMagic;
+  table->capacity = max_hosts;
+  table->count = 0;
+  return std::unique_ptr<ShmRwhoDb>(new ShmRwhoDb(table));
+}
+
+Result<std::unique_ptr<ShmRwhoDb>> ShmRwhoDb::Attach(PosixStore* store, const std::string& name) {
+  ASSIGN_OR_RETURN(PosixSegment seg, store->Attach(name));
+  auto* table = reinterpret_cast<Table*>(seg.base);
+  if (table->magic != kTableMagic) {
+    return CorruptData("rwho: segment '" + name + "' is not an rwho table");
+  }
+  return std::unique_ptr<ShmRwhoDb>(new ShmRwhoDb(table));
+}
+
+Status ShmRwhoDb::Update(const HostStatus& status) {
+  table_->lock.Lock();
+  for (uint32_t i = 0; i < table_->count; ++i) {
+    if (std::strncmp(table_->records[i].hostname, status.hostname,
+                     sizeof(status.hostname)) == 0) {
+      table_->records[i] = status;  // in-place, no linearization
+      table_->lock.Unlock();
+      return OkStatus();
+    }
+  }
+  if (table_->count >= table_->capacity) {
+    table_->lock.Unlock();
+    return ResourceExhausted("rwho: table full");
+  }
+  table_->records[table_->count] = status;
+  ++table_->count;
+  table_->lock.Unlock();
+  return OkStatus();
+}
+
+Result<std::vector<UptimeRow>> ShmRwhoDb::Query(uint32_t now) {
+  std::vector<UptimeRow> rows;
+  table_->lock.Lock();
+  rows.reserve(table_->count);
+  for (uint32_t i = 0; i < table_->count; ++i) {
+    const HostStatus& st = table_->records[i];
+    UptimeRow row;
+    row.hostname = st.hostname;
+    row.up = now - st.recv_time < kRwhoDownAfter;
+    row.load100 = st.load_avg[0];
+    row.users = st.user_count;
+    rows.push_back(std::move(row));
+  }
+  table_->lock.Unlock();
+  std::sort(rows.begin(), rows.end(),
+            [](const UptimeRow& a, const UptimeRow& b) { return a.hostname < b.hostname; });
+  return rows;
+}
+
+}  // namespace hemlock

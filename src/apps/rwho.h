@@ -1,0 +1,108 @@
+// The rwho/rwhod workload (paper §4, "Administrative Files").
+//
+// rwhod receives per-host status packets and maintains a database that utilities
+// (rwho, ruptime) read. The paper re-implemented the file-per-host database as a
+// shared-memory structure and reports that on a 65-machine network the new rwho
+// "saves a little over a second each time it is called".
+//
+// Two database backends with one interface:
+//   * FileRwhoDb  — the original design: one file per remote host, rewritten on every
+//     packet, parsed on every query (real files in a temp directory);
+//   * ShmRwhoDb   — the Hemlock design: records live in a shared segment; a query
+//     walks them in place.
+#ifndef SRC_APPS_RWHO_H_
+#define SRC_APPS_RWHO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/posix/posix_heap.h"
+#include "src/posix/posix_store.h"
+
+namespace hemlock {
+
+// One rwhod packet / database record (mirrors struct whod of BSD rwhod).
+struct HostStatus {
+  char hostname[32] = {0};
+  uint32_t boot_time = 0;
+  uint32_t recv_time = 0;
+  uint32_t load_avg[3] = {0, 0, 0};  // fixed-point *100
+  uint32_t user_count = 0;
+  char users[8][12] = {};  // up to 8 logged-in user names
+};
+
+// Deterministic workload generator: N hosts with evolving loads and user sets.
+class RwhoFeed {
+ public:
+  explicit RwhoFeed(uint32_t hosts, uint32_t seed = 42);
+  // The next packet (round-robin over hosts, loads drift pseudo-randomly).
+  HostStatus NextPacket();
+  uint32_t host_count() const { return hosts_; }
+
+ private:
+  uint32_t hosts_;
+  uint32_t next_host_ = 0;
+  uint32_t clock_ = 1000;
+  uint64_t rng_;
+};
+
+struct UptimeRow {
+  std::string hostname;
+  bool up = false;
+  uint32_t load100 = 0;  // 1-minute load * 100
+  uint32_t users = 0;
+};
+
+class RwhoDb {
+ public:
+  virtual ~RwhoDb() = default;
+  // rwhod's receive path: store/refresh one host record.
+  virtual Status Update(const HostStatus& status) = 0;
+  // rwho/ruptime's read path: snapshot of every host.
+  virtual Result<std::vector<UptimeRow>> Query(uint32_t now) = 0;
+};
+
+// The original: one file per host, linearized on write, parsed on read.
+class FileRwhoDb : public RwhoDb {
+ public:
+  // |dir| is a real directory (created if missing); files are "whod.<hostname>".
+  static Result<std::unique_ptr<FileRwhoDb>> Open(const std::string& dir);
+  Status Update(const HostStatus& status) override;
+  Result<std::vector<UptimeRow>> Query(uint32_t now) override;
+
+ private:
+  explicit FileRwhoDb(std::string dir) : dir_(std::move(dir)) {}
+  std::string dir_;
+};
+
+// The Hemlock version: records in a shared segment, read in place.
+class ShmRwhoDb : public RwhoDb {
+ public:
+  static Result<std::unique_ptr<ShmRwhoDb>> Create(PosixStore* store, const std::string& name,
+                                                   uint32_t max_hosts);
+  static Result<std::unique_ptr<ShmRwhoDb>> Attach(PosixStore* store, const std::string& name);
+  Status Update(const HostStatus& status) override;
+  Result<std::vector<UptimeRow>> Query(uint32_t now) override;
+
+ private:
+  struct Table {
+    uint32_t magic = 0;
+    uint32_t capacity = 0;
+    uint32_t count = 0;
+    ShmSpinLock lock;
+    HostStatus records[];  // capacity entries
+  };
+
+  explicit ShmRwhoDb(Table* table) : table_(table) {}
+  Table* table_;
+};
+
+// A host is considered down when its record is older than this (rwhod convention).
+inline constexpr uint32_t kRwhoDownAfter = 11 * 60;
+
+}  // namespace hemlock
+
+#endif  // SRC_APPS_RWHO_H_

@@ -1,0 +1,238 @@
+#include "src/apps/tables.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kTablesMagic = 0x4C425450;  // "PTBL"
+}
+
+Result<PtState*> ParserTables::AddState(uint32_t id, uint32_t action) {
+  ASSIGN_OR_RETURN(void* mem, alloc_->Alloc(sizeof(PtState)));
+  auto* state = new (mem) PtState();
+  state->id = id;
+  state->action = action;
+  state->next_state = header_->states;
+  header_->states = state;
+  ++header_->state_count;
+  return state;
+}
+
+Status ParserTables::AddTransition(PtState* from, uint32_t symbol, PtState* to) {
+  ASSIGN_OR_RETURN(void* mem, alloc_->Alloc(sizeof(PtTransition)));
+  auto* t = new (mem) PtTransition();
+  t->symbol = symbol;
+  t->target = to;
+  t->next = from->transitions;
+  from->transitions = t;
+  return OkStatus();
+}
+
+PtState* ParserTables::FindState(uint32_t id) const {
+  for (PtState* s = header_->states; s != nullptr; s = s->next_state) {
+    if (s->id == id) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t ParserTables::Drive(const std::vector<uint32_t>& input) const {
+  const PtState* cur = FindState(0);
+  uint64_t actions = 0;
+  for (uint32_t symbol : input) {
+    if (cur == nullptr) {
+      break;
+    }
+    actions += cur->action;
+    const PtState* next = nullptr;
+    for (const PtTransition* t = cur->transitions; t != nullptr; t = t->next) {
+      if (t->symbol == symbol) {
+        next = t->target;
+        break;
+      }
+    }
+    cur = next != nullptr ? next : FindState(0);  // error recovery: restart
+  }
+  return actions;
+}
+
+uint32_t ParserTables::TransitionCount() const {
+  uint32_t n = 0;
+  for (const PtState* s = header_->states; s != nullptr; s = s->next_state) {
+    for (const PtTransition* t = s->transitions; t != nullptr; t = t->next) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t ParserTables::Checksum() const {
+  // Order-insensitive: sum of per-state hashes (list order differs between a
+  // generated table and one rebuilt from the linearization).
+  uint64_t total = 0;
+  for (const PtState* s = header_->states; s != nullptr; s = s->next_state) {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(s->id);
+    mix(s->action);
+    uint64_t trans_sum = 0;
+    for (const PtTransition* t = s->transitions; t != nullptr; t = t->next) {
+      uint64_t th = 1469598103934665603ull;
+      th = (th ^ t->symbol) * 1099511628211ull;
+      th = (th ^ (t->target != nullptr ? t->target->id : 0xFFFFFFFF)) * 1099511628211ull;
+      trans_sum += th;
+    }
+    mix(trans_sum);
+    total += h;
+  }
+  return total;
+}
+
+Status GenerateTables(ParserTables* tables, uint32_t states, uint32_t fanout, uint32_t seed) {
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(rng >> 33);
+  };
+  std::vector<PtState*> all(states);
+  for (uint32_t i = 0; i < states; ++i) {
+    ASSIGN_OR_RETURN(all[i], tables->AddState(i, next() % 100));
+  }
+  for (uint32_t i = 0; i < states; ++i) {
+    uint32_t n = 1 + next() % (fanout * 2);
+    for (uint32_t t = 0; t < n; ++t) {
+      RETURN_IF_ERROR(
+          tables->AddTransition(all[i], next() % (fanout * 4), all[next() % states]));
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<uint32_t> SerializeTables(const ParserTables& tables) {
+  // Numeric stream: [state_count] then per state: id, action, ntrans, {symbol, target
+  // id}* — the shape of the Wisconsin generators' output files.
+  std::vector<uint32_t> out;
+  const PtHeader* header = const_cast<ParserTables&>(tables).header();
+  out.push_back(header->state_count);
+  for (const PtState* s = header->states; s != nullptr; s = s->next_state) {
+    out.push_back(s->id);
+    out.push_back(s->action);
+    uint32_t n = 0;
+    for (const PtTransition* t = s->transitions; t != nullptr; t = t->next) {
+      ++n;
+    }
+    out.push_back(n);
+    for (const PtTransition* t = s->transitions; t != nullptr; t = t->next) {
+      out.push_back(t->symbol);
+      out.push_back(t->target != nullptr ? t->target->id : 0xFFFFFFFF);
+    }
+  }
+  return out;
+}
+
+Status RebuildTables(const std::vector<uint32_t>& numeric, ParserTables* tables) {
+  size_t pos = 0;
+  auto take = [&]() -> uint32_t { return pos < numeric.size() ? numeric[pos++] : 0; };
+  uint32_t count = take();
+  // Pass 1: states.
+  std::map<uint32_t, PtState*> by_id;
+  struct Pending {
+    uint32_t from;
+    uint32_t symbol;
+    uint32_t to;
+  };
+  std::vector<Pending> pendings;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id = take();
+    uint32_t action = take();
+    ASSIGN_OR_RETURN(PtState * s, tables->AddState(id, action));
+    by_id[id] = s;
+    uint32_t n = take();
+    for (uint32_t t = 0; t < n; ++t) {
+      uint32_t symbol = take();
+      uint32_t target = take();
+      pendings.push_back(Pending{id, symbol, target});
+    }
+  }
+  // Pass 2: transitions (this two-pass pointer fixup is exactly the translation work
+  // the paper's shared tables make unnecessary). AddTransition prepends, so apply in
+  // reverse to restore each state's original transition order — first-match lookups
+  // must behave identically in both designs.
+  std::reverse(pendings.begin(), pendings.end());
+  for (const Pending& p : pendings) {
+    auto from = by_id.find(p.from);
+    auto to = by_id.find(p.to);
+    if (from == by_id.end() || to == by_id.end()) {
+      return CorruptData("tables: dangling state id in numeric stream");
+    }
+    RETURN_IF_ERROR(tables->AddTransition(from->second, p.symbol, to->second));
+  }
+  return OkStatus();
+}
+
+std::vector<uint32_t> MakeTokenStream(uint32_t length, uint32_t symbols, uint32_t seed) {
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 1;
+  std::vector<uint32_t> out(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    out[i] = static_cast<uint32_t>(rng >> 33) % symbols;
+  }
+  return out;
+}
+
+LocalTables::LocalTables() : tables_(&header_, &alloc_) { header_.magic = kTablesMagic; }
+
+LocalTables::~LocalTables() {
+  // Free all nodes.
+  PtState* s = header_.states;
+  while (s != nullptr) {
+    PtTransition* t = s->transitions;
+    while (t != nullptr) {
+      PtTransition* next = t->next;
+      (void)alloc_.Free(t);
+      t = next;
+    }
+    PtState* next = s->next_state;
+    (void)alloc_.Free(s);
+    s = next;
+  }
+}
+
+SegmentTables::SegmentTables(PosixHeap heap, PtHeader* header)
+    : heap_(std::make_unique<PosixHeap>(heap)),
+      alloc_(std::make_unique<HeapFigAllocator>(heap_.get())),
+      tables_(std::make_unique<ParserTables>(header, alloc_.get())) {}
+
+Result<SegmentTables> SegmentTables::Create(PosixStore* store, const std::string& name,
+                                            size_t bytes) {
+  ASSIGN_OR_RETURN(PosixHeap heap, PosixHeap::Create(store, name, bytes));
+  ASSIGN_OR_RETURN(void* mem, heap.Alloc(sizeof(PtHeader)));
+  auto* header = new (mem) PtHeader();
+  header->magic = kTablesMagic;
+  return SegmentTables(heap, header);
+}
+
+Result<SegmentTables> SegmentTables::Attach(PosixStore* store, const std::string& name) {
+  ASSIGN_OR_RETURN(PosixHeap heap, PosixHeap::Attach(store, name));
+  uint8_t* base = heap.base();
+  PtHeader* header = nullptr;
+  for (size_t off = 0; off < 256; off += 8) {
+    auto* candidate = reinterpret_cast<PtHeader*>(base + off);
+    if (candidate->magic == kTablesMagic) {
+      header = candidate;
+      break;
+    }
+  }
+  if (header == nullptr) {
+    return CorruptData("tables: no table header in segment '" + name + "'");
+  }
+  return SegmentTables(heap, header);
+}
+
+}  // namespace hemlock

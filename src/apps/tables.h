@@ -1,0 +1,115 @@
+// The compiler-tables workload (paper §4, "Programs with Non-Linear Data Structures").
+//
+// The Lynx compiler's scanner/parser generators emit numeric tables; utility programs
+// translate them into pointer-rich state machines that the drivers walk. The paper:
+// with Hemlock, "the utility programs ... would share a persistent module (the tables)
+// with the Lynx compiler", eliminating 20-25 % of the utility code and the 18-second
+// recompilation of a 5400-line C encoding of the tables.
+//
+// This module provides the state machine in both designs:
+//   * numeric linearization + per-process rebuild (the original multi-pass dance);
+//   * persistent, pointer-rich tables in a shared segment, attached in place.
+#ifndef SRC_APPS_TABLES_H_
+#define SRC_APPS_TABLES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/alloc.h"
+#include "src/base/status.h"
+#include "src/posix/posix_store.h"
+
+namespace hemlock {
+
+struct PtState;
+
+struct PtTransition {
+  uint32_t symbol = 0;
+  PtState* target = nullptr;
+  PtTransition* next = nullptr;
+};
+
+struct PtState {
+  uint32_t id = 0;
+  uint32_t action = 0;  // reduce rule / accept marker
+  PtTransition* transitions = nullptr;
+  PtState* next_state = nullptr;  // all-states list
+};
+
+struct PtHeader {
+  uint32_t magic = 0;
+  uint32_t state_count = 0;
+  PtState* states = nullptr;  // list head; the start state is the one with id 0
+};
+
+// Parser-table construction and use over any allocator.
+class ParserTables {
+ public:
+  ParserTables(PtHeader* header, FigAllocator* alloc) : header_(header), alloc_(alloc) {}
+
+  PtHeader* header() { return header_; }
+
+  Result<PtState*> AddState(uint32_t id, uint32_t action);
+  Status AddTransition(PtState* from, uint32_t symbol, PtState* to);
+  PtState* FindState(uint32_t id) const;
+
+  // Drives the state machine over |input|, following transitions in place; returns
+  // the sum of visited actions (the "parse" result used to verify both designs
+  // compute the same thing).
+  uint64_t Drive(const std::vector<uint32_t>& input) const;
+
+  uint32_t StateCount() const { return header_->state_count; }
+  uint32_t TransitionCount() const;
+  uint64_t Checksum() const;
+
+ private:
+  PtHeader* header_;
+  FigAllocator* alloc_;
+};
+
+// Deterministic generator: |states| states, ~|fanout| transitions each.
+Status GenerateTables(ParserTables* tables, uint32_t states, uint32_t fanout, uint32_t seed = 11);
+
+// The numeric linearization the original generators emit (one token stream).
+std::vector<uint32_t> SerializeTables(const ParserTables& tables);
+// Rebuilds the pointer form from the linearization via |tables|'s allocator.
+Status RebuildTables(const std::vector<uint32_t>& numeric, ParserTables* tables);
+
+// Deterministic token stream for Drive().
+std::vector<uint32_t> MakeTokenStream(uint32_t length, uint32_t symbols, uint32_t seed = 5);
+
+// A private (malloc-backed) table set.
+class LocalTables {
+ public:
+  LocalTables();
+  ~LocalTables();
+  LocalTables(const LocalTables&) = delete;
+  LocalTables& operator=(const LocalTables&) = delete;
+  ParserTables& tables() { return tables_; }
+
+ private:
+  PtHeader header_;
+  MallocFigAllocator alloc_;
+  ParserTables tables_;
+};
+
+// The Hemlock design: tables resident in a shared segment.
+class SegmentTables {
+ public:
+  static Result<SegmentTables> Create(PosixStore* store, const std::string& name, size_t bytes);
+  static Result<SegmentTables> Attach(PosixStore* store, const std::string& name);
+  ParserTables& tables() { return *tables_; }
+
+ private:
+  SegmentTables(PosixHeap heap, PtHeader* header);
+
+  std::unique_ptr<PosixHeap> heap_;
+  std::unique_ptr<HeapFigAllocator> alloc_;
+  std::unique_ptr<ParserTables> tables_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_APPS_TABLES_H_

@@ -1,0 +1,54 @@
+// The Hemlock 32-bit address space layout (paper Figure 3).
+//
+//   0x00000000 - 0x10000000   program text (+ shared libraries)        private
+//   0x10000000 - 0x30000000   bss/data then heap                       private
+//   0x30000000 - 0x70000000   shared file system (1 GB)                public
+//   0x70000000 - 0x7FFF0000   stack (grows down)                       private
+//   0x80000000 - 0xFFFFFFFF   kernel
+//
+// Private addresses are overloaded (mean different things in different processes);
+// every SFS address names the same segment in every protection domain.
+#ifndef SRC_BASE_LAYOUT_H_
+#define SRC_BASE_LAYOUT_H_
+
+#include <cstdint>
+
+namespace hemlock {
+
+inline constexpr uint32_t kPageBits = 12;
+inline constexpr uint32_t kPageSize = 1u << kPageBits;  // 4 KB
+inline constexpr uint32_t kPageMask = kPageSize - 1;
+
+inline constexpr uint32_t kTextBase = 0x00000000;
+inline constexpr uint32_t kTextLimit = 0x10000000;
+
+inline constexpr uint32_t kDataBase = 0x10000000;
+inline constexpr uint32_t kDataLimit = 0x30000000;
+
+// The 1 GB shared-file-system region reserved between heap and stack (paper §3).
+inline constexpr uint32_t kSfsBase = 0x30000000;
+inline constexpr uint32_t kSfsLimit = 0x70000000;
+inline constexpr uint32_t kSfsBytes = kSfsLimit - kSfsBase;  // 1 GB
+
+inline constexpr uint32_t kStackBase = 0x70000000;
+inline constexpr uint32_t kStackLimit = 0x7FFF0000;
+
+inline constexpr uint32_t kKernelBase = 0x80000000;
+
+// SFS limits (paper §3): exactly 1024 inodes, 1 MB per file, so the region can hold
+// every file at a unique, permanently fixed address even when all are maximal.
+inline constexpr uint32_t kSfsMaxInodes = 1024;
+inline constexpr uint32_t kSfsMaxFileBytes = 1u << 20;  // 1 MB
+
+inline constexpr uint32_t PageFloor(uint32_t addr) { return addr & ~kPageMask; }
+inline constexpr uint32_t PageCeil(uint32_t addr) { return (addr + kPageMask) & ~kPageMask; }
+
+inline constexpr bool InSfsRegion(uint32_t addr) { return addr >= kSfsBase && addr < kSfsLimit; }
+inline constexpr bool InTextRegion(uint32_t addr) { return addr < kTextLimit; }
+inline constexpr bool InPrivateRegion(uint32_t addr) {
+  return addr < kSfsBase || (addr >= kStackBase && addr < kKernelBase);
+}
+
+}  // namespace hemlock
+
+#endif  // SRC_BASE_LAYOUT_H_

@@ -1,0 +1,53 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace hemlock {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+std::string* g_capture = nullptr;
+std::mutex g_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogCapture(std::string* capture) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture = capture;
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_capture != nullptr) {
+    g_capture->append(LevelTag(level));
+    g_capture->append(" ");
+    g_capture->append(msg);
+    g_capture->append("\n");
+    return;
+  }
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), file, line, msg.c_str());
+}
+
+}  // namespace hemlock

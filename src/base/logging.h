@@ -1,0 +1,47 @@
+// Minimal leveled logging for the toolchain. The linkers use kWarning for the paper's
+// "warn and continue" cases (e.g. a dynamic module missing at static link time).
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hemlock {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+// Process-wide minimum level; messages below it are dropped. Default kWarning so the
+// test suite stays quiet; benches/examples raise verbosity explicitly.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Sink hook for tests: captures formatted lines instead of writing to stderr.
+// Pass nullptr to restore stderr output.
+void SetLogCapture(std::string* capture);
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define HLOG(level) \
+  ::hemlock::LogStream(::hemlock::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace hemlock
+
+#endif  // SRC_BASE_LOGGING_H_

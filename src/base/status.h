@@ -1,0 +1,151 @@
+// Error model for the Hemlock library.
+//
+// The public API does not throw: fallible operations return Status (no payload) or
+// Result<T> (payload or error). Codes intentionally mirror the errno values a Unix
+// implementation of the paper's kernel extensions would surface.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hemlock {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // EINVAL
+  kNotFound,          // ENOENT
+  kAlreadyExists,     // EEXIST
+  kPermissionDenied,  // EACCES
+  kOutOfRange,        // ERANGE: address outside a valid region
+  kResourceExhausted, // ENOSPC / ENFILE: inode table or region full
+  kFailedPrecondition,
+  kUnimplemented,
+  kCorruptData,       // malformed object file / load image
+  kWouldBlock,        // EWOULDBLOCK: lock contention
+  kFault,             // unresolved segmentation fault
+  kInternal,
+};
+
+// Human-readable name of an error code ("NOT_FOUND", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no such module 'foo'" or "OK".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(ErrorCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) { return Status(ErrorCode::kOutOfRange, std::move(msg)); }
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status CorruptData(std::string msg) { return Status(ErrorCode::kCorruptData, std::move(msg)); }
+inline Status WouldBlock(std::string msg) { return Status(ErrorCode::kWouldBlock, std::move(msg)); }
+inline Status FaultError(std::string msg) { return Status(ErrorCode::kFault, std::move(msg)); }
+inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
+
+// A value-or-error. Access to value() asserts success; callers check ok() first
+// (or use the RETURN_IF_ERROR / ASSIGN_OR_RETURN macros below).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+#define HEMLOCK_CONCAT_IMPL(a, b) a##b
+#define HEMLOCK_CONCAT(a, b) HEMLOCK_CONCAT_IMPL(a, b)
+
+// Propagates a non-OK Status out of the enclosing function.
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::hemlock::Status _st = (expr);             \
+    if (!_st.ok()) {                            \
+      return _st;                               \
+    }                                           \
+  } while (0)
+
+// Evaluates a Result<T> expression; on success binds the value, on error propagates.
+#define ASSIGN_OR_RETURN(lhs, expr)                              \
+  ASSIGN_OR_RETURN_IMPL(HEMLOCK_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                          \
+  if (!tmp.ok()) {                            \
+    return tmp.status();                      \
+  }                                           \
+  lhs = std::move(tmp).value()
+
+}  // namespace hemlock
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,148 @@
+#include "src/base/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hemlock {
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      end = s.size();
+    }
+    if (end > start) {
+      out.emplace_back(s.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitStringKeepEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string NormalizePath(std::string_view path) {
+  bool absolute = IsAbsolutePath(path);
+  std::vector<std::string> stack;
+  for (const std::string& part : SplitString(path, '/')) {
+    if (part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back("..");
+      }
+      // ".." above the root of an absolute path stays at the root.
+      continue;
+    }
+    stack.push_back(part);
+  }
+  std::string joined = JoinStrings(stack, "/");
+  if (absolute) {
+    return "/" + joined;
+  }
+  return joined.empty() ? "." : joined;
+}
+
+std::string JoinPath(std::string_view lhs, std::string_view rhs) {
+  if (rhs.empty()) {
+    return std::string(lhs);
+  }
+  if (IsAbsolutePath(rhs) || lhs.empty()) {
+    return std::string(rhs);
+  }
+  std::string out(lhs);
+  if (out.back() != '/') {
+    out += '/';
+  }
+  out += rhs;
+  return out;
+}
+
+std::string PathBasename(std::string_view path) {
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return std::string(path);
+  }
+  return std::string(path.substr(pos + 1));
+}
+
+std::string PathDirname(std::string_view path) {
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string StripExtension(std::string_view name) {
+  size_t pos = name.find_last_of('.');
+  if (pos == std::string_view::npos || pos == 0) {
+    return std::string(name);
+  }
+  // Only strip if the dot is after the final slash.
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string_view::npos && pos < slash) {
+    return std::string(name);
+  }
+  return std::string(name.substr(0, pos));
+}
+
+bool IsAbsolutePath(std::string_view path) { return !path.empty() && path[0] == '/'; }
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,230 @@
+#include "src/isa/isa.h"
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+uint32_t EncodeR(Funct funct, uint8_t rd, uint8_t rs, uint8_t rt, uint8_t shamt) {
+  return (static_cast<uint32_t>(Op::kRType) << 26) | (static_cast<uint32_t>(rs & 31) << 21) |
+         (static_cast<uint32_t>(rt & 31) << 16) | (static_cast<uint32_t>(rd & 31) << 11) |
+         (static_cast<uint32_t>(shamt & 31) << 6) | static_cast<uint32_t>(funct);
+}
+
+uint32_t EncodeI(Op op, uint8_t rt, uint8_t rs, uint16_t imm) {
+  return (static_cast<uint32_t>(op) << 26) | (static_cast<uint32_t>(rs & 31) << 21) |
+         (static_cast<uint32_t>(rt & 31) << 16) | imm;
+}
+
+uint32_t EncodeJ(Op op, uint32_t target_word26) {
+  return (static_cast<uint32_t>(op) << 26) | (target_word26 & 0x03FFFFFF);
+}
+
+uint32_t EncodeNop() { return 0; }
+uint32_t EncodeLui(uint8_t rt, uint16_t imm) { return EncodeI(Op::kLui, rt, 0, imm); }
+uint32_t EncodeOri(uint8_t rt, uint8_t rs, uint16_t imm) { return EncodeI(Op::kOri, rt, rs, imm); }
+uint32_t EncodeJr(uint8_t rs) { return EncodeR(Funct::kJr, 0, rs, 0); }
+uint32_t EncodeJalr(uint8_t rd, uint8_t rs) { return EncodeR(Funct::kJalr, rd, rs, 0); }
+uint32_t EncodeSyscall() { return EncodeR(Funct::kSyscall, 0, 0, 0); }
+uint32_t EncodeBreak() { return EncodeR(Funct::kBreak, 0, 0, 0); }
+
+namespace {
+
+bool ValidFunct(uint8_t f) {
+  switch (static_cast<Funct>(f)) {
+    case Funct::kSll:
+    case Funct::kSrl:
+    case Funct::kSra:
+    case Funct::kSllv:
+    case Funct::kSrlv:
+    case Funct::kSrav:
+    case Funct::kJr:
+    case Funct::kJalr:
+    case Funct::kSyscall:
+    case Funct::kBreak:
+    case Funct::kMul:
+    case Funct::kDiv:
+    case Funct::kMod:
+    case Funct::kAdd:
+    case Funct::kSub:
+    case Funct::kAnd:
+    case Funct::kOr:
+    case Funct::kXor:
+    case Funct::kNor:
+    case Funct::kSlt:
+    case Funct::kSltu:
+      return true;
+  }
+  return false;
+}
+
+bool ValidOp(uint8_t op) {
+  switch (static_cast<Op>(op)) {
+    case Op::kRType:
+    case Op::kJ:
+    case Op::kJal:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlez:
+    case Op::kBgtz:
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+    case Op::kLui:
+    case Op::kLb:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kSb:
+    case Op::kSw:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Instr> Decode(uint32_t word) {
+  uint8_t op = static_cast<uint8_t>(word >> 26);
+  if (!ValidOp(op)) {
+    return std::nullopt;
+  }
+  Instr in;
+  in.op = static_cast<Op>(op);
+  in.rs = static_cast<uint8_t>((word >> 21) & 31);
+  in.rt = static_cast<uint8_t>((word >> 16) & 31);
+  in.rd = static_cast<uint8_t>((word >> 11) & 31);
+  in.shamt = static_cast<uint8_t>((word >> 6) & 31);
+  in.imm = static_cast<int16_t>(word & 0xFFFF);
+  in.target = word & 0x03FFFFFF;
+  if (in.op == Op::kRType) {
+    uint8_t funct = static_cast<uint8_t>(word & 0x3F);
+    if (!ValidFunct(funct)) {
+      return std::nullopt;
+    }
+    in.funct = static_cast<Funct>(funct);
+  }
+  return in;
+}
+
+bool JumpInRange(uint32_t pc, uint32_t target) {
+  return ((pc + 4) & 0xF0000000u) == (target & 0xF0000000u);
+}
+
+uint32_t JumpTarget(uint32_t pc, uint32_t t26) {
+  return ((pc + 4) & 0xF0000000u) | (t26 << 2);
+}
+
+const char* RegName(uint8_t reg) {
+  static const char* kNames[kNumRegs] = {
+      "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2",
+      "$t3",   "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5",
+      "$s6",   "$s7", "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+  return reg < kNumRegs ? kNames[reg] : "$??";
+}
+
+std::string Disassemble(uint32_t word, uint32_t pc) {
+  std::optional<Instr> in = Decode(word);
+  if (!in.has_value()) {
+    return StrFormat(".word 0x%08x", word);
+  }
+  const Instr& i = *in;
+  switch (i.op) {
+    case Op::kRType:
+      switch (i.funct) {
+        case Funct::kSll:
+          if (word == 0) {
+            return "nop";
+          }
+          return StrFormat("sll %s, %s, %u", RegName(i.rd), RegName(i.rt), i.shamt);
+        case Funct::kSrl:
+          return StrFormat("srl %s, %s, %u", RegName(i.rd), RegName(i.rt), i.shamt);
+        case Funct::kSra:
+          return StrFormat("sra %s, %s, %u", RegName(i.rd), RegName(i.rt), i.shamt);
+        case Funct::kSllv:
+          return StrFormat("sllv %s, %s, %s", RegName(i.rd), RegName(i.rt), RegName(i.rs));
+        case Funct::kSrlv:
+          return StrFormat("srlv %s, %s, %s", RegName(i.rd), RegName(i.rt), RegName(i.rs));
+        case Funct::kSrav:
+          return StrFormat("srav %s, %s, %s", RegName(i.rd), RegName(i.rt), RegName(i.rs));
+        case Funct::kJr:
+          return StrFormat("jr %s", RegName(i.rs));
+        case Funct::kJalr:
+          return StrFormat("jalr %s, %s", RegName(i.rd), RegName(i.rs));
+        case Funct::kSyscall:
+          return "syscall";
+        case Funct::kBreak:
+          return "break";
+        case Funct::kMul:
+          return StrFormat("mul %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kDiv:
+          return StrFormat("div %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kMod:
+          return StrFormat("mod %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kAdd:
+          return StrFormat("add %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kSub:
+          return StrFormat("sub %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kAnd:
+          return StrFormat("and %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kOr:
+          return StrFormat("or %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kXor:
+          return StrFormat("xor %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kNor:
+          return StrFormat("nor %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kSlt:
+          return StrFormat("slt %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+        case Funct::kSltu:
+          return StrFormat("sltu %s, %s, %s", RegName(i.rd), RegName(i.rs), RegName(i.rt));
+      }
+      return StrFormat(".word 0x%08x", word);
+    case Op::kJ:
+      return StrFormat("j 0x%08x", JumpTarget(pc, i.target));
+    case Op::kJal:
+      return StrFormat("jal 0x%08x", JumpTarget(pc, i.target));
+    case Op::kBeq:
+      return StrFormat("beq %s, %s, 0x%08x", RegName(i.rs), RegName(i.rt),
+                       pc + 4 + (static_cast<int32_t>(i.imm) << 2));
+    case Op::kBne:
+      return StrFormat("bne %s, %s, 0x%08x", RegName(i.rs), RegName(i.rt),
+                       pc + 4 + (static_cast<int32_t>(i.imm) << 2));
+    case Op::kBlez:
+      return StrFormat("blez %s, 0x%08x", RegName(i.rs),
+                       pc + 4 + (static_cast<int32_t>(i.imm) << 2));
+    case Op::kBgtz:
+      return StrFormat("bgtz %s, 0x%08x", RegName(i.rs),
+                       pc + 4 + (static_cast<int32_t>(i.imm) << 2));
+    case Op::kAddi:
+      return StrFormat("addi %s, %s, %d", RegName(i.rt), RegName(i.rs), i.imm);
+    case Op::kSlti:
+      return StrFormat("slti %s, %s, %d", RegName(i.rt), RegName(i.rs), i.imm);
+    case Op::kSltiu:
+      return StrFormat("sltiu %s, %s, %d", RegName(i.rt), RegName(i.rs), i.imm);
+    case Op::kAndi:
+      return StrFormat("andi %s, %s, 0x%x", RegName(i.rt), RegName(i.rs),
+                       static_cast<uint16_t>(i.imm));
+    case Op::kOri:
+      return StrFormat("ori %s, %s, 0x%x", RegName(i.rt), RegName(i.rs),
+                       static_cast<uint16_t>(i.imm));
+    case Op::kXori:
+      return StrFormat("xori %s, %s, 0x%x", RegName(i.rt), RegName(i.rs),
+                       static_cast<uint16_t>(i.imm));
+    case Op::kLui:
+      return StrFormat("lui %s, 0x%x", RegName(i.rt), static_cast<uint16_t>(i.imm));
+    case Op::kLb:
+      return StrFormat("lb %s, %d(%s)", RegName(i.rt), i.imm, RegName(i.rs));
+    case Op::kLw:
+      return StrFormat("lw %s, %d(%s)", RegName(i.rt), i.imm, RegName(i.rs));
+    case Op::kLbu:
+      return StrFormat("lbu %s, %d(%s)", RegName(i.rt), i.imm, RegName(i.rs));
+    case Op::kSb:
+      return StrFormat("sb %s, %d(%s)", RegName(i.rt), i.imm, RegName(i.rs));
+    case Op::kSw:
+      return StrFormat("sw %s, %d(%s)", RegName(i.rt), i.imm, RegName(i.rs));
+  }
+  return StrFormat(".word 0x%08x", word);
+}
+
+}  // namespace hemlock

@@ -1,0 +1,183 @@
+// HRISC: the simulated 32-bit ISA executed by the Hemlock machine.
+//
+// HRISC deliberately mirrors the MIPS R3000 properties the paper works around:
+//   * J/JAL carry a 26-bit word target, giving a 28-bit (256 MB) reach within the
+//     current region — jumps from private text (region 0x0) into public modules
+//     (0x30000000+) cannot be encoded and require linker trampolines (paper §3).
+//   * 32-bit addresses are materialized with a LUI/ORI pair, relocated via HI16/LO16.
+//   * r28 is the "global pointer"; Hemlock compiles with gp-relative addressing
+//     disabled (24-bit gp offsets are incompatible with a sparse address space), so
+//     HRISC code never uses r28.
+//
+// Instructions are fixed 32-bit little-endian words, 4-byte aligned.
+#ifndef SRC_ISA_ISA_H_
+#define SRC_ISA_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hemlock {
+
+inline constexpr uint32_t kInstrBytes = 4;
+
+// Register conventions (MIPS o32 flavored).
+enum Reg : uint8_t {
+  kRegZero = 0,  // hardwired zero
+  kRegAt = 1,    // assembler/trampoline scratch
+  kRegV0 = 2,    // return value / syscall number
+  kRegV1 = 3,    // second return / syscall error
+  kRegA0 = 4,
+  kRegA1 = 5,
+  kRegA2 = 6,
+  kRegA3 = 7,
+  kRegT0 = 8,
+  kRegT1 = 9,
+  kRegT2 = 10,
+  kRegT3 = 11,
+  kRegT4 = 12,
+  kRegT5 = 13,
+  kRegT6 = 14,
+  kRegT7 = 15,
+  kRegS0 = 16,
+  kRegS1 = 17,
+  kRegS2 = 18,
+  kRegS3 = 19,
+  kRegS4 = 20,
+  kRegS5 = 21,
+  kRegS6 = 22,
+  kRegS7 = 23,
+  kRegT8 = 24,
+  kRegT9 = 25,
+  kRegK0 = 26,  // reserved for the (simulated) kernel
+  kRegK1 = 27,
+  kRegGp = 28,  // never used: gp-relative addressing disabled (paper §3)
+  kRegSp = 29,
+  kRegFp = 30,
+  kRegRa = 31,
+  kNumRegs = 32,
+};
+
+// Primary opcodes (top 6 bits).
+enum class Op : uint8_t {
+  kRType = 0x00,
+  kJ = 0x02,
+  kJal = 0x03,
+  kBeq = 0x04,
+  kBne = 0x05,
+  kBlez = 0x06,
+  kBgtz = 0x07,
+  kAddi = 0x08,
+  kSlti = 0x0A,
+  kSltiu = 0x0B,
+  kAndi = 0x0C,
+  kOri = 0x0D,
+  kXori = 0x0E,
+  kLui = 0x0F,
+  kLb = 0x20,
+  kLw = 0x23,
+  kLbu = 0x24,
+  kSb = 0x28,
+  kSw = 0x2B,
+};
+
+// R-type function codes (low 6 bits when op == kRType).
+enum class Funct : uint8_t {
+  kSll = 0x00,
+  kSrl = 0x02,
+  kSra = 0x03,
+  kSllv = 0x04,
+  kSrlv = 0x06,
+  kSrav = 0x07,
+  kJr = 0x08,
+  kJalr = 0x09,
+  kSyscall = 0x0C,
+  kBreak = 0x0D,
+  kMul = 0x18,  // rd = rs * rt (single-word result; simplification of MULT/MFLO)
+  kDiv = 0x1A,  // rd = rs / rt (traps on divide-by-zero)
+  kMod = 0x1B,  // rd = rs % rt
+  kAdd = 0x20,
+  kSub = 0x22,
+  kAnd = 0x24,
+  kOr = 0x25,
+  kXor = 0x26,
+  kNor = 0x27,
+  kSlt = 0x2A,
+  kSltu = 0x2B,
+};
+
+// Syscall numbers recognized by the simulated kernel (placed in $v0).
+// Args in $a0..$a3; result in $v0; error code (ErrorCode as int, 0 = OK) in $v1.
+enum class Sys : uint32_t {
+  kExit = 1,         // a0 = status
+  kWrite = 2,        // a0 = fd, a1 = buf, a2 = len -> bytes written
+  kRead = 3,         // a0 = fd, a1 = buf, a2 = len -> bytes read
+  kOpen = 4,         // a0 = path (NUL-terminated), a1 = flags -> fd
+  kClose = 5,        // a0 = fd
+  kFork = 6,         // -> child pid (0 in child)
+  kWaitPid = 7,      // a0 = pid -> exit status
+  kGetPid = 8,       // -> pid
+  kSbrk = 9,         // a0 = delta -> old break
+  kUnlink = 10,      // a0 = path
+  kStat = 11,        // a0 = path, a1 = out struct {inode, size, addr}
+  kAddrToPath = 12,  // NEW (paper §2): a0 = addr, a1 = buf, a2 = len -> path length
+  kOpenByAddr = 13,  // NEW (paper §2): a0 = addr, a1 = flags -> fd
+  kYield = 14,
+  kTime = 15,        // -> simulated tick count
+  kLockFile = 16,    // a0 = fd, a1 = (0 unlock, 1 lock): ldl's creation lock (paper §4)
+  kSignal = 17,      // a0 = handler address (0 = reset): the paper's wrapped signal()
+                     // call — the handler runs when Hemlock's own fault handler cannot
+                     // resolve a SIGSEGV; -> previous handler address
+};
+
+// Returning from a simulated SIGSEGV handler: the handler's return jumps here, a
+// reserved unmapped address the kernel recognizes, restoring the interrupted context
+// and retrying the faulting instruction.
+inline constexpr uint32_t kSigReturnAddr = 0x7FFF0000;
+
+// A decoded instruction.
+struct Instr {
+  Op op = Op::kRType;
+  Funct funct = Funct::kSll;
+  uint8_t rs = 0;
+  uint8_t rt = 0;
+  uint8_t rd = 0;
+  uint8_t shamt = 0;
+  int16_t imm = 0;       // sign-carrying I-type immediate
+  uint32_t target = 0;   // 26-bit J-type word target
+};
+
+// --- Encoding helpers (used by the code generator and the linker's trampolines) ---
+
+uint32_t EncodeR(Funct funct, uint8_t rd, uint8_t rs, uint8_t rt, uint8_t shamt = 0);
+uint32_t EncodeI(Op op, uint8_t rt, uint8_t rs, uint16_t imm);
+uint32_t EncodeJ(Op op, uint32_t target_word26);
+
+// Convenience encoders.
+uint32_t EncodeNop();
+uint32_t EncodeLui(uint8_t rt, uint16_t imm);
+uint32_t EncodeOri(uint8_t rt, uint8_t rs, uint16_t imm);
+uint32_t EncodeJr(uint8_t rs);
+uint32_t EncodeJalr(uint8_t rd, uint8_t rs);
+uint32_t EncodeSyscall();
+uint32_t EncodeBreak();
+
+// Decodes a raw word. Returns std::nullopt for an illegal encoding.
+std::optional<Instr> Decode(uint32_t word);
+
+// True when a J/JAL at |pc| can reach |target|: both must lie in the same
+// 256 MB region (bits 31..28 of pc+4 and target equal) — the paper's 28-bit limit.
+bool JumpInRange(uint32_t pc, uint32_t target);
+
+// Computes the absolute jump target for a J/JAL at |pc| with 26-bit field |t26|.
+uint32_t JumpTarget(uint32_t pc, uint32_t t26);
+
+// Register name for disassembly ("$sp", "$t0", ...).
+const char* RegName(uint8_t reg);
+
+// One-line disassembly of |word| as if located at |pc|.
+std::string Disassemble(uint32_t word, uint32_t pc);
+
+}  // namespace hemlock
+
+#endif  // SRC_ISA_ISA_H_

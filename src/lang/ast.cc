@@ -1,0 +1,94 @@
+#include "src/lang/ast.h"
+
+namespace hemlock {
+
+TypeRef MakeInt() {
+  static TypeRef t = std::make_shared<Type>(Type{.kind = Type::K::kInt});
+  return t;
+}
+
+TypeRef MakeChar() {
+  static TypeRef t = std::make_shared<Type>(Type{.kind = Type::K::kChar});
+  return t;
+}
+
+TypeRef MakeVoid() {
+  static TypeRef t = std::make_shared<Type>(Type{.kind = Type::K::kVoid});
+  return t;
+}
+
+TypeRef MakePtr(TypeRef elem) {
+  auto t = std::make_shared<Type>();
+  t->kind = Type::K::kPtr;
+  t->elem = std::move(elem);
+  return t;
+}
+
+TypeRef MakeArray(TypeRef elem, uint32_t len) {
+  auto t = std::make_shared<Type>();
+  t->kind = Type::K::kArray;
+  t->elem = std::move(elem);
+  t->array_len = len;
+  return t;
+}
+
+TypeRef MakeStruct(std::shared_ptr<StructDef> sdef) {
+  auto t = std::make_shared<Type>();
+  t->kind = Type::K::kStruct;
+  t->sdef = std::move(sdef);
+  return t;
+}
+
+uint32_t TypeSize(const Type& type) {
+  switch (type.kind) {
+    case Type::K::kVoid:
+      return 0;
+    case Type::K::kChar:
+      return 1;
+    case Type::K::kInt:
+    case Type::K::kPtr:
+      return 4;
+    case Type::K::kArray:
+      return type.array_len * TypeSize(*type.elem);
+    case Type::K::kStruct:
+      return type.sdef->size;
+  }
+  return 0;
+}
+
+uint32_t TypeAlign(const Type& type) {
+  switch (type.kind) {
+    case Type::K::kVoid:
+      return 1;
+    case Type::K::kChar:
+      return 1;
+    case Type::K::kInt:
+    case Type::K::kPtr:
+      return 4;
+    case Type::K::kArray:
+      return TypeAlign(*type.elem);
+    case Type::K::kStruct:
+      return type.sdef->align;
+  }
+  return 1;
+}
+
+std::string TypeToString(const Type& type) {
+  switch (type.kind) {
+    case Type::K::kVoid:
+      return "void";
+    case Type::K::kChar:
+      return "char";
+    case Type::K::kInt:
+      return "int";
+    case Type::K::kPtr:
+      return TypeToString(*type.elem) + "*";
+    case Type::K::kArray:
+      return TypeToString(*type.elem) + "[" + std::to_string(type.array_len) + "]";
+    case Type::K::kStruct:
+      return "struct " + type.sdef->name;
+  }
+  return "?";
+}
+
+}  // namespace hemlock

@@ -1,0 +1,33 @@
+// The HemC compiler driver: source text -> HOF template object.
+#ifndef SRC_LANG_COMPILER_H_
+#define SRC_LANG_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obj/object_file.h"
+
+namespace hemlock {
+
+struct CompileOptions {
+  // Appends the HemC prelude (strlen/strcpy/strcmp/memcpy/memset/puts/putint, all
+  // module-local) to the translation unit.
+  bool include_prelude = true;
+  // Embedded search strategy copied into the template (paper §2: lds "can be asked to
+  // include search strategy information in the new .o file"); scoped linking consults
+  // these when the module is instantiated at run time.
+  std::vector<std::string> module_list;
+  std::vector<std::string> search_path;
+};
+
+// Compiles one translation unit into a relocatable HOF object named |module_name|.
+Result<ObjectFile> CompileHemC(const std::string& source, const std::string& module_name,
+                               const CompileOptions& options = {});
+
+// The prelude source (exposed for tests).
+const char* HemCPrelude();
+
+}  // namespace hemlock
+
+#endif  // SRC_LANG_COMPILER_H_

@@ -1,0 +1,19 @@
+// The HemC lexer. Supports // and /* */ comments, decimal/hex numbers, character
+// literals with the usual escapes, and string literals.
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lang/token.h"
+
+namespace hemlock {
+
+// Tokenizes |source|. The result always ends with a kEof token.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace hemlock
+
+#endif  // SRC_LANG_LEXER_H_

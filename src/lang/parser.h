@@ -1,0 +1,23 @@
+// The HemC recursive-descent parser.
+#ifndef SRC_LANG_PARSER_H_
+#define SRC_LANG_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lang/ast.h"
+#include "src/lang/token.h"
+
+namespace hemlock {
+
+// Parses a full translation unit.
+Result<std::unique_ptr<Program>> Parse(const std::vector<Token>& tokens);
+
+// Convenience: lex + parse.
+Result<std::unique_ptr<Program>> ParseSource(const std::string& source);
+
+}  // namespace hemlock
+
+#endif  // SRC_LANG_PARSER_H_

@@ -1,0 +1,85 @@
+// Token definitions for HemC, the small C-like language whose compiler produces the
+// HOF templates consumed by the Hemlock linkers.
+#ifndef SRC_LANG_TOKEN_H_
+#define SRC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hemlock {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  kString,
+  kCharLit,
+  // Keywords.
+  kKwInt,
+  kKwChar,
+  kKwVoid,
+  kKwStruct,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwExtern,
+  kKwStatic,
+  kKwSizeof,
+  kKwDo,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEqEq,
+  kNotEq,
+  kAmpAmp,
+  kPipePipe,
+  kShl,
+  kShr,
+  kDot,
+  kArrow,
+  kPlusAssign,
+  kMinusAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kQuestion,
+  kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // identifier / string contents (escapes resolved)
+  int32_t number = 0; // kNumber / kCharLit value
+  int line = 0;
+  int col = 0;
+};
+
+const char* TokName(Tok kind);
+
+}  // namespace hemlock
+
+#endif  // SRC_LANG_TOKEN_H_

@@ -1,0 +1,287 @@
+#include "src/link/image.h"
+
+#include <cstring>
+
+#include "src/base/layout.h"
+#include "src/base/strings.h"
+#include "src/isa/isa.h"
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kHxeMagic = 0x21455848;  // "HXE!"
+constexpr uint32_t kHmlMagic = 0x214C4D48;  // "HML!"
+constexpr uint32_t kFooterBytes = 12;       // magic, trailer offset, trailer size
+
+void WriteAbsSymbols(ByteWriter* w, const std::vector<AbsSymbol>& syms) {
+  w->U32(static_cast<uint32_t>(syms.size()));
+  for (const AbsSymbol& s : syms) {
+    w->Str(s.name);
+    w->U32(s.addr);
+    w->U8(s.is_function ? 1 : 0);
+  }
+}
+
+Status ReadAbsSymbols(ByteReader* r, std::vector<AbsSymbol>* out) {
+  ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    AbsSymbol s;
+    ASSIGN_OR_RETURN(s.name, r->Str());
+    ASSIGN_OR_RETURN(s.addr, r->U32());
+    ASSIGN_OR_RETURN(uint8_t is_fn, r->U8());
+    s.is_function = is_fn != 0;
+    out->push_back(std::move(s));
+  }
+  return OkStatus();
+}
+
+void WritePending(ByteWriter* w, const std::vector<PendingReloc>& pending) {
+  w->U32(static_cast<uint32_t>(pending.size()));
+  for (const PendingReloc& p : pending) {
+    w->U8(static_cast<uint8_t>(p.type));
+    w->U32(p.site);
+    w->Str(p.symbol);
+    w->I32(p.addend);
+  }
+}
+
+Status ReadPending(ByteReader* r, std::vector<PendingReloc>* out) {
+  ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PendingReloc p;
+    ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    if (type > 4) {
+      return CorruptData("bad pending relocation type");
+    }
+    p.type = static_cast<RelocType>(type);
+    ASSIGN_OR_RETURN(p.site, r->U32());
+    ASSIGN_OR_RETURN(p.symbol, r->Str());
+    ASSIGN_OR_RETURN(p.addend, r->I32());
+    out->push_back(std::move(p));
+  }
+  return OkStatus();
+}
+
+void WriteStringList(ByteWriter* w, const std::vector<std::string>& list) {
+  w->U32(static_cast<uint32_t>(list.size()));
+  for (const std::string& s : list) {
+    w->Str(s);
+  }
+}
+
+Status ReadStringList(ByteReader* r, std::vector<std::string>* out) {
+  ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string s, r->Str());
+    out->push_back(std::move(s));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* ShareClassName(ShareClass cls) {
+  switch (cls) {
+    case ShareClass::kStaticPrivate:
+      return "static private";
+    case ShareClass::kDynamicPrivate:
+      return "dynamic private";
+    case ShareClass::kStaticPublic:
+      return "static public";
+    case ShareClass::kDynamicPublic:
+      return "dynamic public";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> LoadImage::Serialize() const {
+  ByteWriter w;
+  w.U32(kHxeMagic);
+  w.U32(entry);
+  w.U32(static_cast<uint32_t>(segments.size()));
+  for (const ImageSegment& seg : segments) {
+    w.U32(seg.vaddr);
+    w.U32(seg.mem_size);
+    w.U8(seg.executable ? 1 : 0);
+    w.Bytes(seg.bytes);
+  }
+  WriteAbsSymbols(&w, symbols);
+  WritePending(&w, pending);
+  w.U32(static_cast<uint32_t>(dynamic_modules.size()));
+  for (const DynModuleRecord& rec : dynamic_modules) {
+    w.Str(rec.name);
+    w.U8(static_cast<uint8_t>(rec.cls));
+  }
+  w.U32(static_cast<uint32_t>(static_publics.size()));
+  for (const StaticPublicRef& ref : static_publics) {
+    w.Str(ref.module_path);
+    w.U32(ref.addr);
+  }
+  WriteStringList(&w, search_path);
+  return w.Take();
+}
+
+Result<LoadImage> LoadImage::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kHxeMagic) {
+    return CorruptData("not an HXE load image");
+  }
+  LoadImage img;
+  ASSIGN_OR_RETURN(img.entry, r.U32());
+  ASSIGN_OR_RETURN(uint32_t nsegs, r.U32());
+  img.segments.reserve(nsegs);
+  for (uint32_t i = 0; i < nsegs; ++i) {
+    ImageSegment seg;
+    ASSIGN_OR_RETURN(seg.vaddr, r.U32());
+    ASSIGN_OR_RETURN(seg.mem_size, r.U32());
+    ASSIGN_OR_RETURN(uint8_t ex, r.U8());
+    seg.executable = ex != 0;
+    ASSIGN_OR_RETURN(seg.bytes, r.Bytes());
+    if (seg.bytes.size() > seg.mem_size) {
+      return CorruptData("segment bytes exceed mem_size");
+    }
+    img.segments.push_back(std::move(seg));
+  }
+  RETURN_IF_ERROR(ReadAbsSymbols(&r, &img.symbols));
+  RETURN_IF_ERROR(ReadPending(&r, &img.pending));
+  ASSIGN_OR_RETURN(uint32_t nmods, r.U32());
+  img.dynamic_modules.reserve(nmods);
+  for (uint32_t i = 0; i < nmods; ++i) {
+    DynModuleRecord rec;
+    ASSIGN_OR_RETURN(rec.name, r.Str());
+    ASSIGN_OR_RETURN(uint8_t cls, r.U8());
+    if (cls > 3) {
+      return CorruptData("bad sharing class");
+    }
+    rec.cls = static_cast<ShareClass>(cls);
+    img.dynamic_modules.push_back(std::move(rec));
+  }
+  ASSIGN_OR_RETURN(uint32_t nrefs, r.U32());
+  img.static_publics.reserve(nrefs);
+  for (uint32_t i = 0; i < nrefs; ++i) {
+    StaticPublicRef ref;
+    ASSIGN_OR_RETURN(ref.module_path, r.Str());
+    ASSIGN_OR_RETURN(ref.addr, r.U32());
+    img.static_publics.push_back(std::move(ref));
+  }
+  RETURN_IF_ERROR(ReadStringList(&r, &img.search_path));
+  return img;
+}
+
+std::vector<uint8_t> LinkedModule::SerializeFile() const {
+  // Memory image first: payload then implicit bss zeros, padded to a page.
+  std::vector<uint8_t> file = payload;
+  uint32_t mapped = PageCeil(MemSize());
+  file.resize(mapped, 0);
+  // Trailer.
+  ByteWriter w;
+  w.Str(name);
+  w.U32(base);
+  w.U32(text_size);
+  w.U32(data_size);
+  w.U32(bss_size);
+  WriteAbsSymbols(&w, exports);
+  WritePending(&w, pending);
+  WriteStringList(&w, module_list);
+  WriteStringList(&w, search_path);
+  std::vector<uint8_t> trailer = w.Take();
+  uint32_t trailer_off = mapped;
+  file.insert(file.end(), trailer.begin(), trailer.end());
+  // Footer.
+  ByteWriter f;
+  f.U32(kHmlMagic);
+  f.U32(trailer_off);
+  f.U32(static_cast<uint32_t>(trailer.size()));
+  const std::vector<uint8_t>& footer = f.buffer();
+  file.insert(file.end(), footer.begin(), footer.end());
+  return file;
+}
+
+bool LinkedModule::LooksLikeModuleFile(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kFooterBytes) {
+    return false;
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data() + bytes.size() - kFooterBytes, 4);
+  return magic == kHmlMagic;
+}
+
+Result<LinkedModule> LinkedModule::DeserializeFile(const std::vector<uint8_t>& bytes) {
+  if (!LooksLikeModuleFile(bytes)) {
+    return CorruptData("not an HML module file");
+  }
+  uint32_t trailer_off = 0;
+  uint32_t trailer_size = 0;
+  std::memcpy(&trailer_off, bytes.data() + bytes.size() - 8, 4);
+  std::memcpy(&trailer_size, bytes.data() + bytes.size() - 4, 4);
+  if (trailer_off + trailer_size + kFooterBytes != bytes.size()) {
+    return CorruptData("HML trailer bounds corrupt");
+  }
+  LinkedModule mod;
+  ByteReader r(bytes.data() + trailer_off, trailer_size);
+  ASSIGN_OR_RETURN(mod.name, r.Str());
+  ASSIGN_OR_RETURN(mod.base, r.U32());
+  ASSIGN_OR_RETURN(mod.text_size, r.U32());
+  ASSIGN_OR_RETURN(mod.data_size, r.U32());
+  ASSIGN_OR_RETURN(mod.bss_size, r.U32());
+  RETURN_IF_ERROR(ReadAbsSymbols(&r, &mod.exports));
+  RETURN_IF_ERROR(ReadPending(&r, &mod.pending));
+  RETURN_IF_ERROR(ReadStringList(&r, &mod.module_list));
+  RETURN_IF_ERROR(ReadStringList(&r, &mod.search_path));
+  uint32_t init_size = mod.text_size + mod.data_size;
+  if (init_size > trailer_off) {
+    return CorruptData("HML payload larger than mapped image");
+  }
+  mod.payload.assign(bytes.begin(), bytes.begin() + init_size);
+  return mod;
+}
+
+Status ApplyReloc(std::vector<uint8_t>* buf, uint32_t buf_base, RelocType type, uint32_t site,
+                  uint32_t target) {
+  if (site < buf_base || site + 4 > buf_base + buf->size()) {
+    return OutOfRange(StrFormat("relocation site 0x%08x outside buffer [0x%08x,+0x%zx)", site,
+                                buf_base, buf->size()));
+  }
+  uint32_t off = site - buf_base;
+  uint32_t word = 0;
+  std::memcpy(&word, buf->data() + off, 4);
+  switch (type) {
+    case RelocType::kWord32:
+      word = target;
+      break;
+    case RelocType::kHi16:
+      word = (word & 0xFFFF0000u) | (target >> 16);
+      break;
+    case RelocType::kLo16:
+      word = (word & 0xFFFF0000u) | (target & 0xFFFF);
+      break;
+    case RelocType::kPcRel16: {
+      int32_t delta = static_cast<int32_t>(target) - static_cast<int32_t>(site) - 4;
+      if (delta % 4 != 0 || delta / 4 < -32768 || delta / 4 > 32767) {
+        return OutOfRange(StrFormat("PCREL16 displacement out of range at 0x%08x", site));
+      }
+      word = (word & 0xFFFF0000u) | (static_cast<uint32_t>(delta / 4) & 0xFFFF);
+      break;
+    }
+    case RelocType::kJump26: {
+      if (!JumpInRange(site, target)) {
+        return OutOfRange(StrFormat(
+            "JUMP26 target 0x%08x unreachable from 0x%08x (28-bit limit; needs trampoline)",
+            target, site));
+      }
+      if ((target & 3) != 0) {
+        return InvalidArgument("jump target not word aligned");
+      }
+      word = (word & 0xFC000000u) | ((target >> 2) & 0x03FFFFFFu);
+      break;
+    }
+  }
+  std::memcpy(buf->data() + off, &word, 4);
+  return OkStatus();
+}
+
+}  // namespace hemlock

@@ -1,0 +1,653 @@
+#include "src/link/ldl.h"
+
+#include "src/base/layout.h"
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/link/lds.h"
+#include "src/link/search.h"
+
+#include <cstring>
+#include <set>
+
+namespace hemlock {
+
+namespace {
+
+// Applies a pending reloc directly into process memory (kernel write path, so it works
+// on pages mapped inaccessible).
+Status WriteRelocToSpace(Process& proc, const PendingReloc& rel, uint32_t target) {
+  uint8_t cell[4];
+  RETURN_IF_ERROR(proc.space().ReadBytes(rel.site, cell, 4));
+  std::vector<uint8_t> buf(cell, cell + 4);
+  RETURN_IF_ERROR(ApplyReloc(&buf, rel.site, rel.type, rel.site, target));
+  return proc.space().WriteBytes(rel.site, buf.data(), 4);
+}
+
+}  // namespace
+
+Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
+    : machine_(machine), image_(std::move(image)), options_(options) {
+  for (const AbsSymbol& sym : image_.symbols) {
+    image_syms_.emplace(sym.name, sym);
+  }
+}
+
+int Ldl::FindModuleIndex(const std::string& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? -1 : it->second;
+}
+
+uint32_t Ldl::UnresolvedCountOf(int index) const {
+  if (index < 0 || index >= static_cast<int>(modules_.size())) {
+    return 0;
+  }
+  const RtModule& m = modules_[index];
+  uint32_t n = 0;
+  for (const PendingReloc& rel : m.relocs) {
+    if (m.resolved.count(rel.symbol) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> Ldl::RootDirs(Process& proc) {
+  // Run-time order (paper §3): current LD_LIBRARY_PATH, then the saved static dirs.
+  return DynamicSearchDirs(proc.GetEnv(kLdLibraryPathVar), image_.search_path);
+}
+
+std::vector<std::string> Ldl::DirsFor(Process& proc, int index) {
+  if (index < 0) {
+    return RootDirs(proc);
+  }
+  // A module's own search path; scoped fallback walks the parent chain separately.
+  return modules_[index].search_path;
+}
+
+Status Ldl::Startup(Process& proc) {
+  // (2) Map static public modules (created by lds; "Ldl also creates any static
+  // public modules that do not yet exist" — covered by AcquireModule's create path
+  // when a static public template appears only at run time).
+  for (const StaticPublicRef& ref : image_.static_publics) {
+    if (by_key_.count(ref.module_path) != 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, machine_->vfs().ReadFile(ref.module_path));
+    ASSIGN_OR_RETURN(LinkedModule mod, LinkedModule::DeserializeFile(bytes));
+    ASSIGN_OR_RETURN(SfsStat st, machine_->sfs().Stat(Vfs::SfsRelative(ref.module_path)));
+    ASSIGN_OR_RETURN(int idx, RegisterLinked(proc, std::move(mod), ShareClass::kStaticPublic,
+                                             ref.module_path, st.ino, /*parent=*/-1));
+    (void)idx;
+    ++stats_.publics_attached;
+  }
+
+  // (1)+(3) Locate dynamic modules; instantiate privates; create missing publics; map.
+  std::vector<std::string> dirs = RootDirs(proc);
+  for (const DynModuleRecord& rec : image_.dynamic_modules) {
+    Result<int> idx = AcquireModule(proc, rec.name, rec.cls, /*parent=*/-1, dirs);
+    if (!idx.ok()) {
+      // Still missing at run time: leave its symbols unresolved (faults at use are
+      // the application's recovery hook).
+      HLOG(Warning) << "ldl: dynamic module '" << rec.name
+                    << "' not found at startup: " << idx.status().ToString();
+    }
+  }
+
+  // (4) Resolve undefined references from the main load image against the dynamic
+  // modules — "even when the location of those symbols was not known at static link
+  // time".
+  for (const PendingReloc& rel : image_.pending) {
+    Result<uint32_t> addr = LookupRootSymbol(rel.symbol);
+    if (!addr.ok()) {
+      ++stats_.unresolved_refs;
+      HLOG(Info) << "ldl: image reference to '" << rel.symbol << "' left unresolved";
+      continue;
+    }
+    uint32_t target = *addr + static_cast<uint32_t>(rel.addend);
+    RETURN_IF_ERROR(WriteRelocToSpace(proc, rel, target));
+    ++stats_.relocs_applied;
+  }
+
+  if (!options_.lazy) {
+    RETURN_IF_ERROR(ResolveAll(proc));
+  }
+  return OkStatus();
+}
+
+Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClass cls, int parent,
+                               const std::vector<std::string>& dirs) {
+  Vfs& vfs = machine_->vfs();
+  ASSIGN_OR_RETURN(std::string found, FindModuleFile(vfs, name, dirs));
+  ++stats_.modules_located;
+
+  if (IsPublic(cls)) {
+    // The module file lives next to where the *name* was found (symlinks included —
+    // the Presto temp-directory recipe depends on this), named by dropping ".o".
+    std::string module_path = StripExtension(found);
+    if (!Vfs::OnSharedPartition(module_path)) {
+      return InvalidArgument("ldl: public module '" + name +
+                             "' must reside on the shared partition (found at " + found + ")");
+    }
+    auto it = by_key_.find(module_path);
+    if (it != by_key_.end()) {
+      // Already known to this linker; make sure it is mapped in this process.
+      RtModule& m = modules_[it->second];
+      if (!proc.space().IsMapped(m.base)) {
+        bool accessible = options_.function_lazy || UnresolvedCountOf(it->second) == 0;
+        RETURN_IF_ERROR(MapModule(proc, m, accessible));
+      }
+      return it->second;
+    }
+    if (vfs.Exists(module_path)) {
+      ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, vfs.ReadFile(module_path));
+      ASSIGN_OR_RETURN(LinkedModule mod, LinkedModule::DeserializeFile(bytes));
+      ASSIGN_OR_RETURN(SfsStat st, machine_->sfs().Stat(Vfs::SfsRelative(module_path)));
+      ++stats_.publics_attached;
+      return RegisterLinked(proc, std::move(mod), cls, module_path, st.ino, parent);
+    }
+    // Create the public module from its template, under the creation lock (fn. 3).
+    ASSIGN_OR_RETURN(std::vector<uint8_t> tpl_bytes, vfs.ReadFile(found));
+    ASSIGN_OR_RETURN(ObjectFile tpl, ObjectFile::Deserialize(tpl_bytes));
+    std::string rel_path = Vfs::SfsRelative(module_path);
+    ASSIGN_OR_RETURN(uint32_t ino, machine_->sfs().Create(rel_path));
+    RETURN_IF_ERROR(machine_->sfs().LockInode(ino, proc.pid()));
+    ++stats_.lock_acquisitions;
+    uint32_t base = SfsAddressForInode(ino);
+    uint32_t trampolines = 0;
+    Result<LinkedModule> mod = LinkModuleAtBase(tpl, base, PathBasename(module_path), &trampolines);
+    if (!mod.ok()) {
+      (void)machine_->sfs().UnlockInode(ino, proc.pid());
+      (void)machine_->sfs().Unlink(rel_path);
+      return mod.status();
+    }
+    std::vector<uint8_t> file = mod->SerializeFile();
+    RETURN_IF_ERROR(
+        machine_->sfs().WriteAt(ino, 0, file.data(), static_cast<uint32_t>(file.size())));
+    RETURN_IF_ERROR(machine_->sfs().UnlockInode(ino, proc.pid()));
+    ++stats_.publics_created;
+    return RegisterLinked(proc, std::move(*mod), cls, module_path, ino, parent);
+  }
+
+  // Dynamic private: a fresh instance per process tree, in private memory.
+  auto it = by_key_.find(found);
+  if (it != by_key_.end()) {
+    return it->second;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> tpl_bytes, vfs.ReadFile(found));
+  ASSIGN_OR_RETURN(ObjectFile tpl, ObjectFile::Deserialize(tpl_bytes));
+  uint32_t base = private_arena_;
+  uint32_t trampolines = 0;
+  ASSIGN_OR_RETURN(LinkedModule mod,
+                   LinkModuleAtBase(tpl, base, StripExtension(PathBasename(found)), &trampolines));
+  private_arena_ += PageCeil(mod.MemSize()) + kPageSize;  // guard page between instances
+  ++stats_.privates_instantiated;
+  return RegisterLinked(proc, std::move(mod), ShareClass::kDynamicPrivate, found, /*ino=*/0,
+                        parent);
+}
+
+Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
+                                const std::string& key, uint32_t ino, int parent) {
+  RtModule m;
+  m.key = key;
+  m.name = mod.name;
+  m.cls = cls;
+  m.base = mod.base;
+  m.mem_size = mod.MemSize();
+  m.text_size = mod.text_size;
+  m.ino = ino;
+  m.parent = parent;
+  m.module_list = mod.module_list;
+  m.search_path = mod.search_path;
+  m.relocs = mod.pending;
+  m.exports = mod.exports;
+  if (!IsPublic(cls)) {
+    m.payload_private = true;
+    auto backing = std::make_shared<std::vector<uint8_t>>(PageCeil(m.mem_size), 0);
+    std::copy(mod.payload.begin(), mod.payload.end(), backing->begin());
+    m.private_backing = std::move(backing);
+  }
+  int index = static_cast<int>(modules_.size());
+  modules_.push_back(std::move(m));
+  by_key_[key] = index;
+  RtModule& ref = modules_[index];
+  bool fully_linked = ref.relocs.empty();
+  if (options_.function_lazy && !fully_linked) {
+    // Jump-table scheme: the module is accessible from the start; calls bind lazily
+    // through sentinels, data references resolve now.
+    RETURN_IF_ERROR(MapModule(proc, ref, /*accessible=*/true));
+    RETURN_IF_ERROR(SetUpFunctionLazy(proc, index));
+    return index;
+  }
+  RETURN_IF_ERROR(MapModule(proc, ref, /*accessible=*/fully_linked || !options_.lazy));
+  if (!options_.lazy && !fully_linked) {
+    RETURN_IF_ERROR(ResolveModule(proc, index, /*fault_addr=*/0));
+  }
+  return index;
+}
+
+Status Ldl::SetUpFunctionLazy(Process& proc, int index) {
+  // Identify trampoline slots: a pending HI16 at s with a matching LO16 at s+4 for the
+  // same symbol, inside the text region, followed by `jr $at` — the fragment layout
+  // LinkModuleAtBase emits for external calls.
+  struct PltSlot {
+    uint32_t hi_site = 0;
+    std::string symbol;
+  };
+  std::vector<PltSlot> plt;
+  std::set<std::string> plt_symbols;
+  std::vector<std::string> data_symbols;
+  {
+    const RtModule& m = modules_[index];
+    const uint32_t jr_at = EncodeJr(kRegAt);
+    std::set<uint32_t> plt_sites;
+    for (size_t i = 0; i < m.relocs.size(); ++i) {
+      const PendingReloc& rel = m.relocs[i];
+      if (rel.type != RelocType::kHi16 || rel.site < m.base ||
+          rel.site >= m.base + m.text_size) {
+        continue;
+      }
+      bool has_lo = false;
+      for (const PendingReloc& other : m.relocs) {
+        if (other.type == RelocType::kLo16 && other.site == rel.site + 4 &&
+            other.symbol == rel.symbol) {
+          has_lo = true;
+          break;
+        }
+      }
+      uint8_t word[4];
+      if (!has_lo || !proc.space().ReadBytes(rel.site + 8, word, 4).ok()) {
+        continue;
+      }
+      uint32_t jr = 0;
+      std::memcpy(&jr, word, 4);
+      if (jr != jr_at) {
+        continue;
+      }
+      plt.push_back(PltSlot{rel.site, rel.symbol});
+      plt_symbols.insert(rel.symbol);
+      plt_sites.insert(rel.site);
+      plt_sites.insert(rel.site + 4);
+    }
+    for (const PendingReloc& rel : m.relocs) {
+      if (plt_sites.count(rel.site) == 0 &&
+          modules_[index].resolved.count(rel.symbol) == 0) {
+        data_symbols.push_back(rel.symbol);
+      }
+    }
+  }
+
+  // Data references resolve at map time — the SunOS scheme's non-lazy half.
+  for (const std::string& symbol : data_symbols) {
+    if (modules_[index].resolved.count(symbol) != 0 || plt_symbols.count(symbol) != 0) {
+      continue;
+    }
+    Result<uint32_t> addr = LookupScoped(proc, index, symbol);
+    if (addr.ok()) {
+      modules_[index].resolved[symbol] = *addr;
+    } else if (modules_[index].unresolved.insert(symbol).second) {
+      ++stats_.unresolved_refs;
+    }
+  }
+  // Apply everything resolved so far, except the call slots that stay lazy.
+  {
+    RtModule& m = modules_[index];
+    for (const PendingReloc& rel : m.relocs) {
+      if (plt_symbols.count(rel.symbol) != 0) {
+        continue;
+      }
+      auto it = m.resolved.find(rel.symbol);
+      if (it == m.resolved.end()) {
+        continue;
+      }
+      RETURN_IF_ERROR(
+          WriteRelocToSpace(proc, rel, it->second + static_cast<uint32_t>(rel.addend)));
+      ++stats_.relocs_applied;
+    }
+  }
+  // Aim each call slot at its sentinel (one sentinel per (module, symbol)).
+  std::map<std::string, uint32_t> symbol_sentinel;
+  for (const auto& [sentinel, entry] : plt_sentinels_) {
+    if (entry.first == index) {
+      symbol_sentinel[entry.second] = sentinel;
+    }
+  }
+  RtModule& m = modules_[index];
+  for (const PltSlot& slot : plt) {
+    uint32_t sentinel = 0;
+    auto found = symbol_sentinel.find(slot.symbol);
+    if (found != symbol_sentinel.end()) {
+      sentinel = found->second;
+    } else {
+      sentinel = next_sentinel_;
+      next_sentinel_ += 16;
+      plt_sentinels_[sentinel] = {index, slot.symbol};
+      symbol_sentinel[slot.symbol] = sentinel;
+    }
+    PendingReloc hi{RelocType::kHi16, slot.hi_site, slot.symbol, 0};
+    PendingReloc lo{RelocType::kLo16, slot.hi_site + 4, slot.symbol, 0};
+    RETURN_IF_ERROR(WriteRelocToSpace(proc, hi, sentinel));
+    RETURN_IF_ERROR(WriteRelocToSpace(proc, lo, sentinel));
+  }
+  (void)m;
+  return OkStatus();
+}
+
+bool Ldl::HandlePltFault(Process& proc, uint32_t sentinel) {
+  auto it = plt_sentinels_.find(sentinel);
+  if (it == plt_sentinels_.end()) {
+    return false;
+  }
+  auto [index, symbol] = it->second;
+  uint32_t target = 0;
+  auto resolved = modules_[index].resolved.find(symbol);
+  if (resolved != modules_[index].resolved.end()) {
+    target = resolved->second;
+  } else {
+    Result<uint32_t> addr = LookupScoped(proc, index, symbol);
+    if (!addr.ok()) {
+      HLOG(Info) << "ldl: call to unresolved '" << symbol << "' (function-lazy)";
+      return false;  // calling a symbol nobody defines: fatal, as in the paper
+    }
+    target = *addr;
+    modules_[index].resolved[symbol] = target;
+  }
+  // Bind: patch every call slot for this symbol so later calls go direct.
+  for (const PendingReloc& rel : modules_[index].relocs) {
+    if (rel.symbol != symbol) {
+      continue;
+    }
+    if (!WriteRelocToSpace(proc, rel, target + static_cast<uint32_t>(rel.addend)).ok()) {
+      return false;
+    }
+    ++stats_.relocs_applied;
+  }
+  ++stats_.plt_faults;
+  if (modules_[index].ino != 0) {
+    (void)UpdatePublicTrailer(modules_[index]);
+  }
+  // The call is already in flight ($ra holds the return address); continue directly
+  // at the freshly bound callee.
+  proc.cpu().pc = target;
+  return true;
+}
+
+Status Ldl::MapModule(Process& proc, RtModule& m, bool accessible) {
+  Prot prot = accessible ? Prot::kAll : Prot::kNone;
+  if (m.payload_private) {
+    return proc.space().MapPrivate(m.base, m.mem_size, prot, m.private_backing, 0);
+  }
+  RETURN_IF_ERROR(machine_->sfs().EnsureExtent(m.ino, PageCeil(m.mem_size)));
+  return proc.space().MapPublic(m.base, m.mem_size, prot, m.ino, 0);
+}
+
+Result<uint32_t> Ldl::LookupRootSymbol(const std::string& name) {
+  auto it = image_syms_.find(name);
+  if (it != image_syms_.end()) {
+    return it->second.addr;
+  }
+  // Root-scope modules (in registration order).
+  for (const RtModule& m : modules_) {
+    for (const AbsSymbol& sym : m.exports) {
+      if (sym.name == name) {
+        return sym.addr;
+      }
+    }
+  }
+  return NotFound("symbol '" + name + "' not found in the root scope");
+}
+
+Result<uint32_t> Ldl::LookupInOwnScope(Process& proc, int index, const std::string& symbol) {
+  RtModule& m = modules_[index];
+  // Instantiate (lazily, possibly inaccessibly) the modules on this module's own list
+  // and search their exports. Copy the list: AcquireModule may grow modules_ and
+  // invalidate |m|.
+  std::vector<std::string> dep_names = m.module_list;
+  for (const std::string& dep_name : dep_names) {
+    // "If this strategy fails, it reverts to the strategy of the module(s) that make
+    // references into the new module": walk ancestor dir lists on locate failure.
+    Result<int> dep = NotFound("unresolved dependency");
+    int scope = index;
+    while (true) {
+      std::vector<std::string> dirs = DirsFor(proc, scope);
+      dep = AcquireModule(proc, dep_name, ClassForDependency(dep_name, dirs), index, dirs);
+      if (dep.ok() || scope < 0) {
+        break;
+      }
+      scope = modules_[scope].parent;
+    }
+    if (!dep.ok()) {
+      continue;  // dependency missing entirely; symbols stay unresolved
+    }
+    for (const AbsSymbol& sym : modules_[*dep].exports) {
+      if (sym.name == symbol) {
+        return sym.addr;
+      }
+    }
+  }
+  return NotFound("not in own scope");
+}
+
+// Convention: a dependency whose template is found on the shared partition is a public
+// module; anything else instantiates privately.
+ShareClass Ldl::ClassForDependency(const std::string& name,
+                                   const std::vector<std::string>& dirs) {
+  Result<std::string> found = FindModuleFile(machine_->vfs(), name, dirs);
+  if (found.ok()) {
+    Result<std::string> resolved = machine_->vfs().Resolve(*found);
+    std::string target = resolved.ok() ? *resolved : *found;
+    if (Vfs::OnSharedPartition(StripExtension(*found)) || Vfs::OnSharedPartition(target)) {
+      return ShareClass::kDynamicPublic;
+    }
+  }
+  return ShareClass::kDynamicPrivate;
+}
+
+Result<uint32_t> Ldl::LookupScoped(Process& proc, int index, const std::string& symbol) {
+  // Up the DAG: own scope, then parent's, then grandparent's, ... then root.
+  int cur = index;
+  while (cur >= 0) {
+    Result<uint32_t> addr = LookupInOwnScope(proc, cur, symbol);
+    if (addr.ok()) {
+      return addr;
+    }
+    cur = modules_[cur].parent;
+  }
+  return LookupRootSymbol(symbol);
+}
+
+Status Ldl::ApplyResolved(Process& proc, RtModule& m, uint32_t page_filter) {
+  for (const PendingReloc& rel : m.relocs) {
+    if (page_filter != 0 && PageFloor(rel.site) != page_filter) {
+      continue;
+    }
+    auto it = m.resolved.find(rel.symbol);
+    if (it == m.resolved.end()) {
+      continue;
+    }
+    RETURN_IF_ERROR(
+        WriteRelocToSpace(proc, rel, it->second + static_cast<uint32_t>(rel.addend)));
+    ++stats_.relocs_applied;
+  }
+  return OkStatus();
+}
+
+Status Ldl::ResolveModule(Process& proc, int index, uint32_t fault_addr) {
+  uint32_t page_filter = 0;
+  if (options_.page_granular && fault_addr != 0) {
+    page_filter = PageFloor(fault_addr);
+  }
+  // Phase 1: make lookup decisions for every symbol this module (or page) needs.
+  // (Indexing modules_ by value each round: lookups may register new modules and
+  // invalidate references.)
+  std::vector<std::string> needed;
+  for (const PendingReloc& rel : modules_[index].relocs) {
+    if (page_filter != 0 && PageFloor(rel.site) != page_filter) {
+      continue;
+    }
+    if (modules_[index].resolved.count(rel.symbol) != 0) {
+      continue;
+    }
+    needed.push_back(rel.symbol);
+  }
+  for (const std::string& symbol : needed) {
+    if (modules_[index].resolved.count(symbol) != 0) {
+      continue;
+    }
+    Result<uint32_t> addr = LookupScoped(proc, index, symbol);
+    if (addr.ok()) {
+      modules_[index].resolved[symbol] = *addr;
+      modules_[index].unresolved.erase(symbol);
+    } else {
+      // Left unresolved: a use will fault, which the application may catch
+      // (paper: "could be used ... to trigger application-specific recovery").
+      if (modules_[index].unresolved.insert(symbol).second) {
+        ++stats_.unresolved_refs;
+        HLOG(Info) << "ldl: reference to '" << symbol << "' from module '"
+                   << modules_[index].name << "' left unresolved";
+      }
+    }
+  }
+  // Phase 2: apply and open the pages.
+  RtModule& m = modules_[index];
+  RETURN_IF_ERROR(ApplyResolved(proc, m, page_filter));
+  if (page_filter != 0) {
+    RETURN_IF_ERROR(proc.space().Protect(page_filter, kPageSize, Prot::kAll));
+  } else {
+    RETURN_IF_ERROR(proc.space().Protect(m.base, m.mem_size, Prot::kAll));
+  }
+  if (m.ino != 0) {
+    RETURN_IF_ERROR(UpdatePublicTrailer(m));
+  }
+  return OkStatus();
+}
+
+Status Ldl::UpdatePublicTrailer(RtModule& m) {
+  // Persist the shrinking pending list so a later boot (or another program) sees the
+  // module's resolution state. Only the trailer region past the mapped pages is
+  // rewritten; the live segment bytes are untouched.
+  ASSIGN_OR_RETURN(SfsStat st, machine_->sfs().StatInode(m.ino));
+  std::vector<uint8_t> file(st.size);
+  ASSIGN_OR_RETURN(uint32_t n, machine_->sfs().ReadAt(m.ino, 0, file.data(), st.size));
+  file.resize(n);
+  ASSIGN_OR_RETURN(LinkedModule mod, LinkedModule::DeserializeFile(file));
+  std::vector<PendingReloc> still;
+  for (const PendingReloc& rel : mod.pending) {
+    if (m.resolved.count(rel.symbol) == 0) {
+      still.push_back(rel);
+    }
+  }
+  if (still.size() == mod.pending.size()) {
+    return OkStatus();
+  }
+  mod.pending = std::move(still);
+  // Refresh the payload from the live segment so already-applied relocations persist.
+  uint32_t init = mod.text_size + mod.data_size;
+  mod.payload.resize(init);
+  ASSIGN_OR_RETURN(uint32_t read, machine_->sfs().ReadAt(m.ino, 0, mod.payload.data(), init));
+  (void)read;
+  std::vector<uint8_t> out = mod.SerializeFile();
+  RETURN_IF_ERROR(machine_->sfs().Truncate(m.ino, 0));
+  return machine_->sfs().WriteAt(m.ino, 0, out.data(), static_cast<uint32_t>(out.size()));
+}
+
+Status Ldl::ResolveAll(Process& proc) {
+  // Transitive closure: resolving one module can register more.
+  size_t done = 0;
+  while (done < modules_.size()) {
+    size_t index = done++;
+    if (UnresolvedCountOf(static_cast<int>(index)) > 0 || !options_.lazy) {
+      RETURN_IF_ERROR(ResolveModule(proc, static_cast<int>(index), 0));
+    } else if (!proc.space().IsMapped(modules_[index].base)) {
+      RETURN_IF_ERROR(MapModule(proc, modules_[index], /*accessible=*/true));
+    } else {
+      RETURN_IF_ERROR(
+          proc.space().Protect(modules_[index].base, modules_[index].mem_size, Prot::kAll));
+    }
+  }
+  return OkStatus();
+}
+
+bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
+  // (0) Function-lazy binding: a call landed on a PLT sentinel.
+  if (options_.function_lazy && fault.access == AccessKind::kExec &&
+      plt_sentinels_.count(fault.addr) != 0) {
+    return HandlePltFault(proc, fault.addr);
+  }
+
+  // (a) A touch of a module mapped without access permissions: lazy linking.
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (Contains(modules_[i], fault.addr)) {
+      if (proc.space().ProtectionAt(fault.addr) != Prot::kNone) {
+        return false;  // a real protection error inside a linked module
+      }
+      if (!proc.space().IsMapped(fault.addr)) {
+        // Known module not mapped in this process (fork edge): map it first.
+        Status st = MapModule(proc, modules_[i], /*accessible=*/false);
+        if (!st.ok()) {
+          return false;
+        }
+      }
+      ++stats_.link_faults;
+      Status st = ResolveModule(proc, static_cast<int>(i), fault.addr);
+      if (!st.ok()) {
+        HLOG(Warning) << "ldl: lazy link of '" << modules_[i].name
+                      << "' failed: " << st.ToString();
+        return false;
+      }
+      return true;
+    }
+  }
+
+  // (b) A pointer followed into the shared region: translate address -> file, map it.
+  if (InSfsRegion(fault.addr) && fault.kind == FaultKind::kUnmapped) {
+    Result<uint32_t> ino = machine.sfs().AddrToInode(fault.addr);
+    if (!ino.ok()) {
+      return false;  // no file there: a stray pointer
+    }
+    Result<std::string> rel = machine.sfs().InodeToPath(*ino);
+    if (!rel.ok()) {
+      return false;
+    }
+    std::string path = std::string(kSfsMount) + *rel;
+    Result<SfsStat> st_result = machine.sfs().StatInode(*ino);
+    if (!st_result.ok()) {
+      return false;
+    }
+    SfsStat st = *st_result;
+    Result<std::vector<uint8_t>> bytes_result = machine.vfs().ReadFile(path);
+    if (!bytes_result.ok()) {
+      return false;
+    }
+    std::vector<uint8_t> bytes = std::move(*bytes_result);
+    if (LinkedModule::LooksLikeModuleFile(bytes)) {
+      // A module file reached by address: register it with ldl (lazy if unlinked).
+      Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
+      if (!mod.ok()) {
+        return false;
+      }
+      Result<int> idx = RegisterLinked(proc, std::move(*mod), ShareClass::kDynamicPublic, path,
+                                       *ino, /*parent=*/-1);
+      if (!idx.ok()) {
+        return false;
+      }
+      ++stats_.map_faults;
+      return true;
+    }
+    // A plain data segment: just map the file at its address, access rights
+    // permitting — "it ... opens and maps the file. It then restarts the faulting
+    // instruction."
+    uint32_t base = SfsAddressForInode(*ino);
+    uint32_t len = std::max<uint32_t>(PageCeil(st.size), kPageSize);
+    if (!machine.sfs().EnsureExtent(*ino, len).ok()) {
+      return false;
+    }
+    if (!proc.space().MapPublic(base, len, Prot::kReadWrite, *ino, 0).ok()) {
+      return false;
+    }
+    ++stats_.map_faults;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hemlock

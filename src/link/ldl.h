@@ -1,0 +1,182 @@
+// ldl — the Hemlock lazy dynamic linker (paper §2-§3).
+//
+// One Ldl instance serves a process tree (the state it keeps is either per-address
+// (identical in parent and child after fork) or shared-by-design for public modules;
+// per-process facts such as "are this module's pages accessible yet" are derived from
+// the process's own page protections, so a forked child lazily re-links on its own
+// faults).
+//
+// Duties, in paper order:
+//   * locates dynamic modules with the run-time search strategy (current
+//     LD_LIBRARY_PATH first, then the directories lds searched);
+//   * creates a new instance of each dynamic *private* module, and of each dynamic
+//     *public* module that does not yet exist (file creation under an advisory lock —
+//     fn. 3: "Ldl uses file locking to synchronize the creation of shared segments");
+//   * maps static public modules and all dynamic modules into the address space; a
+//     module that still contains undefined references is mapped *without access
+//     permissions* so its first touch faults;
+//   * resolves undefined references from the main load image to objects in dynamic
+//     modules — even though nothing about those symbols was known at static link time;
+//   * on a lazy-link fault, resolves the references in (all pages of) the touched
+//     module, mapping in — possibly inaccessibly — any new modules that are needed
+//     (the recursive "reachability graph");
+//   * scoped linking: a module's references resolve first against the modules on its
+//     own module list / search path, then its parent's, its grandparent's, and so on
+//     to the root; references undefined at the root stay unresolved and fault at use.
+#ifndef SRC_LINK_LDL_H_
+#define SRC_LINK_LDL_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/link/image.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+
+// Ablation switches (DESIGN.md E5).
+struct LdlOptions {
+  // Paper behaviour: map partially linked modules inaccessible and resolve on first
+  // touch. false = resolve everything transitively at startup (eager).
+  bool lazy = true;
+  // Paper behaviour resolves "(all pages of) the module that has just been accessed".
+  // true = resolve only the touched page (finer laziness; more faults).
+  bool page_granular = false;
+  // The SunOS jump-table optimization the paper planned to adopt ("modules first
+  // accessed by calling a (named) function will be linked without fault-handling
+  // overhead" — §3): partially linked modules are mapped *accessible*; their far-call
+  // trampolines initially aim at per-symbol sentinel addresses, and the first call
+  // resolves just that function and patches the trampoline. Data references are
+  // resolved at map time (the SunOS scheme "works only for functions" laziness-wise,
+  // exactly as the paper notes). Overrides page_granular.
+  bool function_lazy = false;
+};
+
+struct LdlStats {
+  uint32_t modules_located = 0;
+  uint32_t publics_created = 0;   // dynamic public modules created from templates
+  uint32_t publics_attached = 0;  // existing public modules mapped
+  uint32_t privates_instantiated = 0;
+  uint32_t link_faults = 0;       // faults that triggered lazy resolution
+  uint32_t map_faults = 0;        // pointer-follow faults that mapped an SFS segment
+  uint32_t plt_faults = 0;        // function-lazy: first-call bindings through sentinels
+  uint32_t relocs_applied = 0;
+  uint32_t lock_acquisitions = 0;
+  uint32_t unresolved_refs = 0;   // lookups that failed (left for fault-time recovery)
+};
+
+class Ldl {
+ public:
+  Ldl(Machine* machine, LoadImage image, LdlOptions options);
+
+  // Runs the start-up duties for |proc| (called by the loader before entry).
+  Status Startup(Process& proc);
+
+  // The fault-handler entry point: returns true if the fault was resolved and the
+  // instruction should be retried.
+  bool HandleFault(Machine& machine, Process& proc, const Fault& fault);
+
+  // Explicitly resolves a module by name in |proc| (eager ablation / tests).
+  Status ResolveAll(Process& proc);
+
+  const LdlStats& stats() const { return stats_; }
+  const LoadImage& image() const { return image_; }
+
+  // Looks up a symbol the way the *root* scope sees it (main image + root modules).
+  Result<uint32_t> LookupRootSymbol(const std::string& name);
+
+  // Number of modules currently known to the linker (mapped or registered).
+  size_t ModuleCount() const { return modules_.size(); }
+  // Introspection for tests: index of a module by its identity key, -1 if unknown.
+  int FindModuleIndex(const std::string& key) const;
+  // Pending (still unresolved) reference count of module |index|.
+  uint32_t UnresolvedCountOf(int index) const;
+
+ private:
+  struct RtModule {
+    std::string key;   // identity: module-file path (public) / template path (private)
+    std::string name;  // diagnostic name
+    ShareClass cls = ShareClass::kDynamicPublic;
+    uint32_t base = 0;
+    uint32_t mem_size = 0;
+    uint32_t text_size = 0;
+    uint32_t ino = 0;  // public modules: backing inode
+    int parent = -1;   // scoped-linking parent (-1 = root)
+    std::vector<std::string> module_list;
+    std::vector<std::string> search_path;
+    // All external references, kept (not drained) so resolution is idempotent and can
+    // be re-applied in a forked child's address space.
+    std::vector<PendingReloc> relocs;
+    std::vector<AbsSymbol> exports;
+    // Resolution decisions: symbol -> absolute address (shared across processes —
+    // public resolutions are shared memory anyway; private modules resolve to the
+    // same addresses in parent and child by construction).
+    std::map<std::string, uint32_t> resolved;
+    std::set<std::string> unresolved;  // failed lookups, retried on later faults
+    bool payload_private = false;      // private instance: payload mapped per process
+    std::shared_ptr<std::vector<uint8_t>> private_backing;  // private instance bytes
+  };
+
+  // Locates + registers + maps a dynamic module (creating it if needed).
+  // |parent| is the scoped-linking parent index (-1 for root).
+  Result<int> AcquireModule(Process& proc, const std::string& name, ShareClass cls, int parent,
+                            const std::vector<std::string>& dirs);
+  // Registers an already-linked module (static publics at startup, or an HML file
+  // discovered through a pointer-follow fault).
+  Result<int> RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
+                             const std::string& key, uint32_t ino, int parent);
+  Status MapModule(Process& proc, RtModule& m, bool accessible);
+
+  // Resolves the module's references (whole module, or just the page containing
+  // |fault_addr| in page-granular mode) and makes the pages accessible.
+  Status ResolveModule(Process& proc, int index, uint32_t fault_addr);
+  // Applies every reloc whose symbol has a resolution, into this process's memory.
+  Status ApplyResolved(Process& proc, RtModule& m, uint32_t page_filter);
+
+  // Scoped symbol lookup for references out of module |index|.
+  Result<uint32_t> LookupScoped(Process& proc, int index, const std::string& symbol);
+  // Looks for |symbol| among the exports of the modules on |index|'s own list,
+  // instantiating them (possibly inaccessibly) on demand.
+  Result<uint32_t> LookupInOwnScope(Process& proc, int index, const std::string& symbol);
+
+  // The directory list used to locate modules named by module |index|'s list.
+  std::vector<std::string> DirsFor(Process& proc, int index);
+  std::vector<std::string> RootDirs(Process& proc);
+  // Convention: a dependency found on the shared partition is public, else private.
+  ShareClass ClassForDependency(const std::string& name, const std::vector<std::string>& dirs);
+
+  // True if the fault address lies inside module |m|'s mapping.
+  static bool Contains(const RtModule& m, uint32_t addr) {
+    return addr >= m.base && addr < m.base + m.mem_size;
+  }
+
+  Status UpdatePublicTrailer(RtModule& m);
+
+  // --- function-lazy (jump-table) machinery ---
+  // Partitions a freshly registered module's pendings: trampoline call slots get
+  // sentinel targets (bound on first call); data references resolve immediately.
+  Status SetUpFunctionLazy(Process& proc, int index);
+  // Binds one sentinel: resolves the symbol, patches its trampoline, redirects pc.
+  bool HandlePltFault(Process& proc, uint32_t sentinel);
+
+  Machine* machine_;
+  LoadImage image_;
+  LdlOptions options_;
+  LdlStats stats_;
+  std::vector<RtModule> modules_;
+  std::map<std::string, int> by_key_;
+  std::map<std::string, AbsSymbol> image_syms_;
+  uint32_t private_arena_ = 0x04000000;  // dynamic private instances grow from here
+  // function-lazy: sentinel address -> (module index, symbol). Sentinels live in an
+  // always-unmapped band below the stack, so calling an unbound function faults here.
+  std::map<uint32_t, std::pair<int, std::string>> plt_sentinels_;
+  uint32_t next_sentinel_ = 0x7F100000;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_LINK_LDL_H_

@@ -1,0 +1,57 @@
+#include "src/link/loader.h"
+
+#include "src/base/layout.h"
+
+namespace hemlock {
+
+Result<ExecResult> ExecuteImage(Machine& machine, const LoadImage& image,
+                                const ExecOptions& options) {
+  Process& proc = machine.CreateProcess();
+  proc.env() = options.env;
+  proc.set_cwd(options.cwd);
+
+  // Map the image segments into private memory.
+  uint32_t data_end = kDataBase;
+  for (const ImageSegment& seg : image.segments) {
+    uint32_t len = PageCeil(seg.mem_size);
+    auto backing = std::make_shared<std::vector<uint8_t>>(len, 0);
+    std::copy(seg.bytes.begin(), seg.bytes.end(), backing->begin());
+    Prot prot = seg.executable ? Prot::kReadExec : Prot::kReadWrite;
+    RETURN_IF_ERROR(proc.space().MapPrivate(seg.vaddr, len, prot, backing, 0));
+    if (!seg.executable) {
+      data_end = std::max(data_end, seg.vaddr + len);
+    }
+  }
+  // Heap break starts after the data segment.
+  proc.set_brk(data_end);
+
+  // Stack: top of the private region, growing down.
+  uint32_t stack_len = PageCeil(options.stack_bytes);
+  uint32_t stack_base = kStackLimit - stack_len;
+  auto stack = std::make_shared<std::vector<uint8_t>>(stack_len, 0);
+  RETURN_IF_ERROR(proc.space().MapPrivate(stack_base, stack_len, Prot::kReadWrite, stack, 0));
+  proc.cpu().regs[kRegSp] = kStackLimit - 16;
+  proc.cpu().regs[kRegFp] = kStackLimit - 16;
+
+  // The dynamic linker: startup duties, then the fault handler.
+  auto ldl = std::make_shared<Ldl>(&machine, image, options.ldl);
+  RETURN_IF_ERROR(ldl->Startup(proc));
+  proc.PushFaultHandler([ldl](Machine& m, Process& p, const Fault& fault) {
+    return ldl->HandleFault(m, p, fault);
+  });
+
+  proc.cpu().pc = image.entry;
+  ExecResult result;
+  result.pid = proc.pid();
+  result.ldl = std::move(ldl);
+  return result;
+}
+
+Result<ExecResult> ExecuteFile(Machine& machine, const std::string& image_path,
+                               const ExecOptions& options) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, machine.vfs().ReadFile(image_path));
+  ASSIGN_OR_RETURN(LoadImage image, LoadImage::Deserialize(bytes));
+  return ExecuteImage(machine, image, options);
+}
+
+}  // namespace hemlock

@@ -1,0 +1,47 @@
+// The program loader: turns an HXE load image into a runnable simulated process.
+//
+// This plays the role of exec + the paper's special crt0: it maps the image segments
+// and stack, instantiates the process's dynamic linker, runs ldl's start-up duties
+// (mapping static publics, locating/creating dynamic modules, resolving main-image
+// references), installs the Hemlock SIGSEGV handler, and finally points the PC at the
+// image entry (the tiny synthesized crt0 that calls main and exits).
+#ifndef SRC_LINK_LOADER_H_
+#define SRC_LINK_LOADER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/link/image.h"
+#include "src/link/ldl.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+
+struct ExecOptions {
+  LdlOptions ldl;
+  std::map<std::string, std::string> env;
+  std::string cwd = "/home/user";
+  uint32_t stack_bytes = 64 * 1024;
+};
+
+struct ExecResult {
+  int pid = 0;
+  // The process's dynamic linker; shared so tests/benches can inspect stats. Lives as
+  // long as any fault-handler closure referencing it (i.e., the process) does.
+  std::shared_ptr<Ldl> ldl;
+};
+
+// Creates a process from |image| (mapped, linked, ready to run — drive it with
+// Machine::RunProcess / RunAll).
+Result<ExecResult> ExecuteImage(Machine& machine, const LoadImage& image,
+                                const ExecOptions& options = {});
+
+// Convenience: read an HXE file from the VFS and execute it.
+Result<ExecResult> ExecuteFile(Machine& machine, const std::string& image_path,
+                               const ExecOptions& options = {});
+
+}  // namespace hemlock
+
+#endif  // SRC_LINK_LOADER_H_

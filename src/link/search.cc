@@ -1,0 +1,59 @@
+#include "src/link/search.h"
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+std::vector<std::string> DefaultLibraryDirs() { return {"/usr/lib", "/shm/lib"}; }
+
+std::vector<std::string> ParsePathList(const std::string& value) {
+  return SplitString(value, ':');
+}
+
+std::vector<std::string> StaticSearchDirs(const std::string& cwd,
+                                          const std::vector<std::string>& cmdline_dirs,
+                                          const std::string& env_ld_library_path) {
+  std::vector<std::string> dirs;
+  dirs.push_back(cwd);
+  for (const std::string& dir : cmdline_dirs) {
+    dirs.push_back(dir);
+  }
+  for (const std::string& dir : ParsePathList(env_ld_library_path)) {
+    dirs.push_back(dir);
+  }
+  for (const std::string& dir : DefaultLibraryDirs()) {
+    dirs.push_back(dir);
+  }
+  return dirs;
+}
+
+std::vector<std::string> DynamicSearchDirs(const std::string& current_ld_library_path,
+                                           const std::vector<std::string>& static_dirs) {
+  std::vector<std::string> dirs;
+  for (const std::string& dir : ParsePathList(current_ld_library_path)) {
+    dirs.push_back(dir);
+  }
+  for (const std::string& dir : static_dirs) {
+    dirs.push_back(dir);
+  }
+  return dirs;
+}
+
+Result<std::string> FindModuleFile(const Vfs& vfs, const std::string& name,
+                                   const std::vector<std::string>& dirs) {
+  if (IsAbsolutePath(name)) {
+    if (vfs.Exists(name)) {
+      return NormalizePath(name);
+    }
+    return NotFound("no such module: " + name);
+  }
+  for (const std::string& dir : dirs) {
+    std::string candidate = NormalizePath(JoinPath(dir, name));
+    if (vfs.Exists(candidate)) {
+      return candidate;  // first match wins (paper §3)
+    }
+  }
+  return NotFound("module '" + name + "' not found on the search path");
+}
+
+}  // namespace hemlock

@@ -1,0 +1,53 @@
+// Module search strategy (paper §3, "The Linkers").
+//
+// At static link time, lds searches for a module named with a relative path in:
+//   (1) the current directory,
+//   (2) the path specified in a special command-line argument,
+//   (3) the path in the LD_LIBRARY_PATH environment variable,
+//   (4) the default library directories.
+// The first match wins. Absolute names are used directly.
+//
+// At execution time, ldl searches in:
+//   (1) the path in the *current* LD_LIBRARY_PATH (so users can interpose new module
+//       versions — the Presto temp-directory trick),
+//   (2) the directories in which lds searched: the static-link cwd, the lds
+//       command-line dirs, link-time LD_LIBRARY_PATH dirs, and the defaults.
+#ifndef SRC_LINK_SEARCH_H_
+#define SRC_LINK_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sfs/vfs.h"
+
+namespace hemlock {
+
+inline constexpr char kLdLibraryPathVar[] = "LD_LIBRARY_PATH";
+
+// Default library directories of the simulated world.
+std::vector<std::string> DefaultLibraryDirs();
+
+// Parses a colon-separated LD_LIBRARY_PATH value.
+std::vector<std::string> ParsePathList(const std::string& value);
+
+// Builds the static-link-time directory list in paper order.
+std::vector<std::string> StaticSearchDirs(const std::string& cwd,
+                                          const std::vector<std::string>& cmdline_dirs,
+                                          const std::string& env_ld_library_path);
+
+// Builds the run-time list: current LD_LIBRARY_PATH first, then the saved static list.
+std::vector<std::string> DynamicSearchDirs(const std::string& current_ld_library_path,
+                                           const std::vector<std::string>& static_dirs);
+
+// Finds a module template by |name|. Absolute names resolve directly; relative names
+// try each directory in order. Returns the *found* path (pre-symlink form) — callers
+// that need the template contents read through the VFS, which follows links; callers
+// that need the module-file location (public modules live next to where the name was
+// found) use this path's directory.
+Result<std::string> FindModuleFile(const Vfs& vfs, const std::string& name,
+                                   const std::vector<std::string>& dirs);
+
+}  // namespace hemlock
+
+#endif  // SRC_LINK_SEARCH_H_

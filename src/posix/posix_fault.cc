@@ -1,0 +1,67 @@
+#include "src/posix/posix_fault.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <atomic>
+
+namespace hemlock {
+
+namespace {
+
+PosixStore* g_store = nullptr;
+struct sigaction g_previous;
+std::atomic<uint64_t> g_attach_faults{0};
+
+void SegvHandler(int signo, siginfo_t* info, void* context) {
+  if (g_store != nullptr && info != nullptr && g_store->InRegion(info->si_addr)) {
+    // Attach the segment covering the address. AttachCovering re-reads the index if
+    // needed, so segments created by other processes after our last Refresh resolve.
+    Result<PosixSegment> seg = g_store->AttachCovering(info->si_addr);
+    if (seg.ok()) {
+      g_attach_faults.fetch_add(1, std::memory_order_relaxed);
+      return;  // retry the instruction
+    }
+  }
+  // Unresolvable: chain to the program's own handler (paper §2), or re-raise with
+  // default disposition so the process dies with SIGSEGV as expected.
+  if (g_previous.sa_flags & SA_SIGINFO) {
+    if (g_previous.sa_sigaction != nullptr) {
+      g_previous.sa_sigaction(signo, info, context);
+      return;
+    }
+  } else if (g_previous.sa_handler != SIG_DFL && g_previous.sa_handler != SIG_IGN &&
+             g_previous.sa_handler != nullptr) {
+    g_previous.sa_handler(signo);
+    return;
+  }
+  ::signal(SIGSEGV, SIG_DFL);
+  ::raise(SIGSEGV);
+}
+
+}  // namespace
+
+Status InstallPosixFaultHandler(PosixStore* store) {
+  g_store = store;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = SegvHandler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGSEGV, &sa, &g_previous) != 0) {
+    return Internal("posix_fault: sigaction failed");
+  }
+  // SIGBUS covers accesses past a truncated file's mapped extent.
+  struct sigaction ignored;
+  (void)::sigaction(SIGBUS, &sa, &ignored);
+  return OkStatus();
+}
+
+void RemovePosixFaultHandler() {
+  (void)::sigaction(SIGSEGV, &g_previous, nullptr);
+  g_store = nullptr;
+}
+
+uint64_t AttachFaultCount() { return g_attach_faults.load(std::memory_order_relaxed); }
+
+}  // namespace hemlock

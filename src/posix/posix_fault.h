@@ -1,0 +1,34 @@
+// The real SIGSEGV handler: map-on-pointer-follow on a stock POSIX system.
+//
+// When a process follows a pointer into the reserved region and the target segment is
+// not yet attached, the access faults; the handler translates the address to a segment
+// (the paper's new kernel call, here the registry index), attaches the segment at its
+// fixed address, and returns — the kernel restarts the faulting instruction.
+//
+// For compatibility with programs that already catch SIGSEGV, the previous handler is
+// chained when the fault cannot be resolved (the paper wraps signal() the same way).
+//
+// Signal-safety note: the handler calls open/fstat/mmap (async-signal-safe on Linux)
+// and reads only data prepared before installation plus the index file; this mirrors
+// the engineering compromise of the paper's user-level handler.
+#ifndef SRC_POSIX_POSIX_FAULT_H_
+#define SRC_POSIX_POSIX_FAULT_H_
+
+#include "src/base/status.h"
+#include "src/posix/posix_store.h"
+
+namespace hemlock {
+
+// Installs the process-wide handler serving |store| (which must outlive it).
+// Counts of resolved attach-faults are available via AttachFaultCount().
+Status InstallPosixFaultHandler(PosixStore* store);
+
+// Removes the handler, restoring the previous disposition.
+void RemovePosixFaultHandler();
+
+// Number of faults the handler resolved by attaching a segment (this process).
+uint64_t AttachFaultCount();
+
+}  // namespace hemlock
+
+#endif  // SRC_POSIX_POSIX_FAULT_H_

@@ -1,0 +1,145 @@
+#include "src/posix/posix_heap.h"
+
+#include <cstring>
+#include <new>
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kMagic = 0x50414550;  // "PEAP"
+constexpr uint64_t kMinPayload = 16;
+
+uint64_t AlignUp16(uint64_t v) { return (v + 15) & ~15ull; }
+}  // namespace
+
+Result<PosixHeap> PosixHeap::Create(PosixStore* store, const std::string& name, size_t size) {
+  ASSIGN_OR_RETURN(PosixSegment seg, store->Create(name, size));
+  PosixHeap heap(seg.base, seg.size);
+  // The segment arrives zero-filled (fresh ftruncate); construct the header in place
+  // (memset would trample the non-trivial ShmSpinLock).
+  Header* h = new (seg.base) Header();
+  h->magic = kMagic;
+  h->limit = seg.size;
+  uint64_t first = AlignUp16(sizeof(Header)) + sizeof(Block);
+  Block* blk = heap.BlockAt(first);
+  blk->size = seg.size - first;
+  blk->next = 0;
+  h->free_head = first;
+  return heap;
+}
+
+Result<PosixHeap> PosixHeap::Attach(PosixStore* store, const std::string& name) {
+  ASSIGN_OR_RETURN(PosixSegment seg, store->Attach(name));
+  PosixHeap heap(seg.base, seg.size);
+  if (heap.header()->magic != kMagic) {
+    return CorruptData("posix_heap: segment '" + name + "' is not a heap");
+  }
+  return heap;
+}
+
+Result<void*> PosixHeap::Alloc(size_t size) {
+  uint64_t want = AlignUp16(size == 0 ? kMinPayload : size);
+  Header* h = header();
+  h->lock.Lock();
+  uint64_t prev = 0;
+  uint64_t cur = h->free_head;
+  while (cur != 0) {
+    Block* blk = BlockAt(cur);
+    if (blk->size >= want) {
+      uint64_t next_free = blk->next;
+      uint64_t leftover = blk->size - want;
+      if (leftover >= sizeof(Block) + kMinPayload) {
+        uint64_t tail = cur + want + sizeof(Block);
+        Block* tail_blk = BlockAt(tail);
+        tail_blk->size = leftover - sizeof(Block);
+        tail_blk->next = blk->next;
+        next_free = tail;
+        blk->size = want;
+      }
+      blk->next = 0;
+      if (prev == 0) {
+        h->free_head = next_free;
+      } else {
+        BlockAt(prev)->next = next_free;
+      }
+      h->lock.Unlock();
+      return static_cast<void*>(base_ + cur);
+    }
+    prev = cur;
+    cur = blk->next;
+  }
+  h->lock.Unlock();
+  return ResourceExhausted("posix_heap: out of space");
+}
+
+Status PosixHeap::Free(void* ptr) {
+  uint8_t* p = static_cast<uint8_t*>(ptr);
+  if (p < base_ + sizeof(Header) + sizeof(Block) || p >= base_ + size_) {
+    return InvalidArgument("posix_heap: bad free pointer");
+  }
+  uint64_t offset = static_cast<uint64_t>(p - base_);
+  Header* h = header();
+  h->lock.Lock();
+  uint64_t prev = 0;
+  uint64_t cur = h->free_head;
+  while (cur != 0 && cur < offset) {
+    prev = cur;
+    cur = BlockAt(cur)->next;
+  }
+  if (cur == offset) {
+    h->lock.Unlock();
+    return FailedPrecondition("posix_heap: double free");
+  }
+  Block* blk = BlockAt(offset);
+  blk->next = cur;
+  if (prev == 0) {
+    h->free_head = offset;
+  } else {
+    BlockAt(prev)->next = offset;
+  }
+  // Coalesce forward.
+  if (blk->next != 0 && offset + blk->size + sizeof(Block) == blk->next) {
+    Block* next_blk = BlockAt(blk->next);
+    blk->size += sizeof(Block) + next_blk->size;
+    blk->next = next_blk->next;
+  }
+  // Coalesce backward.
+  if (prev != 0) {
+    Block* prev_blk = BlockAt(prev);
+    if (prev + prev_blk->size + sizeof(Block) == offset) {
+      prev_blk->size += sizeof(Block) + blk->size;
+      prev_blk->next = blk->next;
+    }
+  }
+  h->lock.Unlock();
+  return OkStatus();
+}
+
+size_t PosixHeap::FreeBytes() const {
+  Header* h = header();
+  h->lock.Lock();
+  size_t total = 0;
+  uint64_t cur = h->free_head;
+  while (cur != 0) {
+    Block* blk = BlockAt(cur);
+    total += blk->size;
+    cur = blk->next;
+  }
+  h->lock.Unlock();
+  return total;
+}
+
+uint32_t PosixHeap::FreeBlockCount() const {
+  Header* h = header();
+  h->lock.Lock();
+  uint32_t count = 0;
+  uint64_t cur = h->free_head;
+  while (cur != 0) {
+    ++count;
+    cur = BlockAt(cur)->next;
+  }
+  h->lock.Unlock();
+  return count;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,76 @@
+// Per-segment heap allocation over real shared memory (paper §5, "Dynamic Storage
+// Management", in the POSIX embodiment).
+//
+// Because every participating process attaches a segment at the same address, blocks
+// are handed out as ordinary pointers and linked structures built by one process are
+// directly traversable by another. All heap metadata — including the lock — lives
+// inside the segment, so any attacher can allocate and free.
+#ifndef SRC_POSIX_POSIX_HEAP_H_
+#define SRC_POSIX_POSIX_HEAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/posix/posix_store.h"
+
+namespace hemlock {
+
+// A spinlock living inside shared memory (paper §5 "Synchronization": user-space spin
+// locks are a demonstrated fit for shared segments).
+class ShmSpinLock {
+ public:
+  void Lock() {
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      // Spin; cross-process contention is short (allocator critical sections).
+    }
+  }
+  void Unlock() { flag_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<uint32_t> flag_{0};
+};
+
+class PosixHeap {
+ public:
+  // Formats a heap over a freshly created segment.
+  static Result<PosixHeap> Create(PosixStore* store, const std::string& name, size_t size);
+  // Attaches to an existing heap segment.
+  static Result<PosixHeap> Attach(PosixStore* store, const std::string& name);
+
+  // Allocates |size| bytes (16-byte aligned); nullptr-free API: errors are Status.
+  Result<void*> Alloc(size_t size);
+  Status Free(void* ptr);
+
+  uint8_t* base() const { return base_; }
+  size_t size() const { return size_; }
+  size_t FreeBytes() const;
+  uint32_t FreeBlockCount() const;
+
+ private:
+  struct Header {
+    uint32_t magic = 0;
+    ShmSpinLock lock;
+    uint64_t free_head = 0;  // offset of first free block header, 0 = none
+    uint64_t limit = 0;      // managed bytes
+  };
+  struct Block {
+    uint64_t size;  // payload bytes
+    uint64_t next;  // offset of next free block (free blocks only)
+  };
+
+  PosixHeap(uint8_t* base, size_t size) : base_(base), size_(size) {}
+
+  Header* header() const { return reinterpret_cast<Header*>(base_); }
+  Block* BlockAt(uint64_t offset) const {
+    return reinterpret_cast<Block*>(base_ + offset - sizeof(Block));
+  }
+
+  uint8_t* base_;
+  size_t size_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_POSIX_POSIX_HEAP_H_

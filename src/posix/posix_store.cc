@@ -1,0 +1,308 @@
+#include "src/posix/posix_store.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <cstring>
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+
+// Fixed hint for the reserved region. On x86-64 Linux this part of the address space
+// is reliably free; every process using the same registry maps here, giving the
+// paper's uniform addressing. (A real deployment would negotiate; a fixed constant is
+// the honest analogue of the paper's reserved 1 GB range.)
+uint8_t* const kRegionHint = reinterpret_cast<uint8_t*>(0x7D0000000000ull);
+
+size_t PageRound(size_t n) {
+  size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (n + page - 1) & ~(page - 1);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Internal(what + ": " + std::strerror(errno));
+}
+
+// RAII fd.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+PosixStore::~PosixStore() {
+  if (region_ != nullptr) {
+    ::munmap(region_, kPosixRegionBytes);
+  }
+}
+
+Result<std::unique_ptr<PosixStore>> PosixStore::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/seg", ec);
+  if (ec) {
+    return Internal("posix_store: mkdir " + dir + "/seg: " + ec.message());
+  }
+  // Reserve the region (PROT_NONE: touching an unattached address faults, which is
+  // what the fault handler keys on). MAP_FIXED is deliberate: the range sits far from
+  // any allocation glibc or the loader would make, and re-opening a store (including
+  // in a forked child) must reset the region to the unattached state a fresh process
+  // would see.
+  void* region = ::mmap(kRegionHint, kPosixRegionBytes, PROT_NONE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+  if (region == MAP_FAILED) {
+    return ErrnoStatus("posix_store: region reservation");
+  }
+  auto store = std::unique_ptr<PosixStore>(new PosixStore(dir, static_cast<uint8_t*>(region)));
+  // Ensure the index exists, then scan it (the "boot-time scan").
+  int fd = ::open(store->IndexPath().c_str(), O_CREAT | O_RDWR, 0666);
+  if (fd < 0) {
+    return ErrnoStatus("posix_store: create index");
+  }
+  ::close(fd);
+  RETURN_IF_ERROR(store->Refresh());
+  return store;
+}
+
+Result<std::vector<std::pair<std::string, int>>> PosixStore::ReadIndex(bool take_lock) {
+  Fd fd(::open(IndexPath().c_str(), O_RDONLY));
+  if (fd.get() < 0) {
+    return ErrnoStatus("posix_store: open index");
+  }
+  if (take_lock && ::flock(fd.get(), LOCK_SH) != 0) {
+    return ErrnoStatus("posix_store: lock index");
+  }
+  std::string content;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd.get(), buf, sizeof(buf))) > 0) {
+    content.append(buf, static_cast<size_t>(n));
+  }
+  std::vector<std::pair<std::string, int>> entries;
+  for (const std::string& line : SplitString(content, '\n')) {
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      continue;
+    }
+    entries.emplace_back(line.substr(0, space), std::atoi(line.c_str() + space + 1));
+  }
+  return entries;
+}
+
+Status PosixStore::WriteIndex(const std::vector<std::pair<std::string, int>>& entries) {
+  std::string tmp = IndexPath() + ".tmp";
+  Fd fd(::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0666));
+  if (fd.get() < 0) {
+    return ErrnoStatus("posix_store: write index");
+  }
+  std::string content;
+  for (const auto& [name, slot] : entries) {
+    content += name + " " + std::to_string(slot) + "\n";
+  }
+  if (::write(fd.get(), content.data(), content.size()) !=
+      static_cast<ssize_t>(content.size())) {
+    return ErrnoStatus("posix_store: write index");
+  }
+  if (::rename(tmp.c_str(), IndexPath().c_str()) != 0) {
+    return ErrnoStatus("posix_store: rename index");
+  }
+  return OkStatus();
+}
+
+Status PosixStore::Refresh() {
+  ASSIGN_OR_RETURN(auto entries, ReadIndex(/*take_lock=*/true));
+  std::fill(slot_names_.begin(), slot_names_.end(), std::string());
+  for (const auto& [name, slot] : entries) {
+    if (slot >= 0 && slot < static_cast<int>(kPosixMaxSegments)) {
+      slot_names_[slot] = name;
+    }
+  }
+  return OkStatus();
+}
+
+Result<int> PosixStore::LookupSlot(const std::string& name) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint32_t i = 0; i < kPosixMaxSegments; ++i) {
+      if (slot_names_[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    RETURN_IF_ERROR(Refresh());  // maybe another process created it
+  }
+  return NotFound("posix_store: no segment named '" + name + "'");
+}
+
+Result<PosixSegment> PosixStore::Create(const std::string& name, size_t size) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return InvalidArgument("posix_store: bad segment name '" + name + "'");
+  }
+  if (size == 0 || size > kPosixSlotBytes) {
+    return OutOfRange("posix_store: size must be in (0, 1 MB]");
+  }
+  // Serialize creations through an exclusive lock on the index.
+  Fd lock(::open(IndexPath().c_str(), O_RDWR));
+  if (lock.get() < 0 || ::flock(lock.get(), LOCK_EX) != 0) {
+    return ErrnoStatus("posix_store: lock index for create");
+  }
+  ASSIGN_OR_RETURN(auto entries, ReadIndex(/*take_lock=*/false));
+  std::vector<bool> used(kPosixMaxSegments, false);
+  for (const auto& [ename, slot] : entries) {
+    if (ename == name) {
+      return AlreadyExists("posix_store: segment '" + name + "' exists");
+    }
+    if (slot >= 0 && slot < static_cast<int>(kPosixMaxSegments)) {
+      used[slot] = true;
+    }
+  }
+  int slot = -1;
+  for (uint32_t i = 0; i < kPosixMaxSegments; ++i) {
+    if (!used[i]) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  if (slot < 0) {
+    return ResourceExhausted("posix_store: all segment slots in use");
+  }
+  Fd fd(::open(SegPath(name).c_str(), O_CREAT | O_RDWR | O_TRUNC, 0666));
+  if (fd.get() < 0) {
+    return ErrnoStatus("posix_store: create segment file");
+  }
+  if (::ftruncate(fd.get(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("posix_store: size segment file");
+  }
+  entries.emplace_back(name, slot);
+  RETURN_IF_ERROR(WriteIndex(entries));
+  slot_names_[slot] = name;
+  uint8_t* base = region_ + static_cast<size_t>(slot) * kPosixSlotBytes;
+  void* mapped = ::mmap(base, PageRound(size), PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_FIXED, fd.get(), 0);
+  if (mapped == MAP_FAILED) {
+    return ErrnoStatus("posix_store: map segment");
+  }
+  PosixSegment seg;
+  seg.name = name;
+  seg.slot = slot;
+  seg.base = base;
+  seg.size = size;
+  return seg;
+}
+
+Result<PosixSegment> PosixStore::Attach(const std::string& name) {
+  ASSIGN_OR_RETURN(int slot, LookupSlot(name));
+  Fd fd(::open(SegPath(name).c_str(), O_RDWR));
+  if (fd.get() < 0) {
+    return ErrnoStatus("posix_store: open segment '" + name + "'");
+  }
+  struct stat st;
+  if (::fstat(fd.get(), &st) != 0) {
+    return ErrnoStatus("posix_store: stat segment");
+  }
+  uint8_t* base = region_ + static_cast<size_t>(slot) * kPosixSlotBytes;
+  void* mapped = ::mmap(base, PageRound(static_cast<size_t>(st.st_size)),
+                        PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED, fd.get(), 0);
+  if (mapped == MAP_FAILED) {
+    return ErrnoStatus("posix_store: map segment");
+  }
+  PosixSegment seg;
+  seg.name = name;
+  seg.slot = slot;
+  seg.base = base;
+  seg.size = static_cast<size_t>(st.st_size);
+  return seg;
+}
+
+Result<uint8_t*> PosixStore::AddressOf(const std::string& name) {
+  ASSIGN_OR_RETURN(int slot, LookupSlot(name));
+  return region_ + static_cast<size_t>(slot) * kPosixSlotBytes;
+}
+
+Result<std::string> PosixStore::NameAt(const void* addr) {
+  if (!InRegion(addr)) {
+    return OutOfRange("posix_store: address outside the shared region");
+  }
+  size_t slot = (static_cast<const uint8_t*>(addr) - region_) / kPosixSlotBytes;
+  if (slot_names_[slot].empty()) {
+    RETURN_IF_ERROR(Refresh());
+  }
+  if (slot_names_[slot].empty()) {
+    return NotFound("posix_store: no segment at that address");
+  }
+  return slot_names_[slot];
+}
+
+bool PosixStore::InRegion(const void* addr) const {
+  const uint8_t* p = static_cast<const uint8_t*>(addr);
+  return p >= region_ && p < region_ + kPosixRegionBytes;
+}
+
+Result<PosixSegment> PosixStore::AttachCovering(const void* addr) {
+  ASSIGN_OR_RETURN(std::string name, NameAt(addr));
+  return Attach(name);
+}
+
+Status PosixStore::Detach(const std::string& name) {
+  ASSIGN_OR_RETURN(int slot, LookupSlot(name));
+  uint8_t* base = region_ + static_cast<size_t>(slot) * kPosixSlotBytes;
+  // Re-reserve PROT_NONE over the slot.
+  void* mapped = ::mmap(base, kPosixSlotBytes, PROT_NONE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+  if (mapped == MAP_FAILED) {
+    return ErrnoStatus("posix_store: detach");
+  }
+  return OkStatus();
+}
+
+Status PosixStore::Remove(const std::string& name) {
+  RETURN_IF_ERROR(Detach(name));
+  Fd lock(::open(IndexPath().c_str(), O_RDWR));
+  if (lock.get() < 0 || ::flock(lock.get(), LOCK_EX) != 0) {
+    return ErrnoStatus("posix_store: lock index for remove");
+  }
+  ASSIGN_OR_RETURN(auto entries, ReadIndex(/*take_lock=*/false));
+  std::vector<std::pair<std::string, int>> kept;
+  for (const auto& entry : entries) {
+    if (entry.first != name) {
+      kept.push_back(entry);
+    } else {
+      slot_names_[entry.second] = "";
+    }
+  }
+  RETURN_IF_ERROR(WriteIndex(kept));
+  if (::unlink(SegPath(name).c_str()) != 0) {
+    return ErrnoStatus("posix_store: unlink segment file");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<std::string>> PosixStore::List() {
+  RETURN_IF_ERROR(Refresh());
+  std::vector<std::string> names;
+  for (const std::string& name : slot_names_) {
+    if (!name.empty()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,101 @@
+// The real-OS embodiment of Hemlock's shared file system (DESIGN.md substitution row
+// "Real mmap/SIGSEGV on IRIX").
+//
+// A PosixStore is a registry directory of segment files plus a reserved virtual-address
+// region, giving every segment a *fixed* attach address shared by all participating
+// processes — the paper's globally consistent file <-> address mapping, built from the
+// same POSIX facilities the paper used:
+//   * the region is reserved with mmap(PROT_NONE, MAP_NORESERVE) at a fixed hint;
+//   * each segment is a file in <dir>/seg/, attached with mmap(MAP_SHARED | MAP_FIXED)
+//     at  region_base + slot * 1 MB  (the paper's inode-slot address rule);
+//   * the name <-> slot index is a file in the registry, guarded by flock, scanned at
+//     open time (the paper's boot-time scan building the kernel's linear table).
+//
+// PosixFaultHandler (posix_fault.h) adds the paper's map-on-pointer-follow behaviour
+// with a real SIGSEGV handler.
+#ifndef SRC_POSIX_POSIX_STORE_H_
+#define SRC_POSIX_POSIX_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace hemlock {
+
+// Mirrors the simulated SFS limits: 1024 slots of 1 MB.
+inline constexpr uint32_t kPosixMaxSegments = 1024;
+inline constexpr size_t kPosixSlotBytes = 1 << 20;
+inline constexpr size_t kPosixRegionBytes = static_cast<size_t>(kPosixMaxSegments) * kPosixSlotBytes;
+
+struct PosixSegment {
+  std::string name;
+  int slot = -1;
+  uint8_t* base = nullptr;
+  size_t size = 0;  // current file size (mapped extent is page-rounded)
+};
+
+class PosixStore {
+ public:
+  ~PosixStore();
+
+  PosixStore(const PosixStore&) = delete;
+  PosixStore& operator=(const PosixStore&) = delete;
+
+  // Opens (creating if needed) the registry at |dir| and reserves the address region.
+  // Every process opening the same |dir| sees every segment at the same address.
+  static Result<std::unique_ptr<PosixStore>> Open(const std::string& dir);
+
+  // Creates a new segment of |size| bytes (<= 1 MB), attached read-write.
+  Result<PosixSegment> Create(const std::string& name, size_t size);
+  // Attaches an existing segment (growing the mapping to the current file size).
+  Result<PosixSegment> Attach(const std::string& name);
+  // The fixed address a segment (existing or not yet created) would occupy.
+  Result<uint8_t*> AddressOf(const std::string& name);
+  // Reverse mapping: an address anywhere inside a live segment -> its name.
+  Result<std::string> NameAt(const void* addr);
+  // True if |addr| lies inside the reserved region.
+  bool InRegion(const void* addr) const;
+
+  // Detaches (munmap back to PROT_NONE) without destroying the file.
+  Status Detach(const std::string& name);
+  // Destroys a segment: detaches, removes the file, frees the slot.
+  Status Remove(const std::string& name);
+
+  // All registered segment names (the paper's "peruse all of the segments in
+  // existence" for manual garbage collection).
+  Result<std::vector<std::string>> List();
+
+  // Re-reads the on-disk index (another process may have created segments).
+  Status Refresh();
+
+  // Attaches the segment that covers |addr| (used by the SIGSEGV handler).
+  // Returns the segment or an error when no file owns the address.
+  Result<PosixSegment> AttachCovering(const void* addr);
+
+  uint8_t* region_base() const { return region_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  PosixStore(std::string dir, uint8_t* region) : dir_(std::move(dir)), region_(region) {}
+
+  std::string IndexPath() const { return dir_ + "/index"; }
+  std::string SegPath(const std::string& name) const { return dir_ + "/seg/" + name; }
+  Result<int> LookupSlot(const std::string& name);
+  // Reads the index; takes a shared flock unless the caller already holds the
+  // exclusive creation lock (flock is per open-file-description, so re-locking from
+  // a second fd in the same process would self-deadlock).
+  Result<std::vector<std::pair<std::string, int>>> ReadIndex(bool take_lock);
+  Status WriteIndex(const std::vector<std::pair<std::string, int>>& entries);
+
+  std::string dir_;
+  uint8_t* region_;
+  // slot -> name for currently known segments (rebuilt by Refresh).
+  std::vector<std::string> slot_names_ = std::vector<std::string>(kPosixMaxSegments);
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_POSIX_POSIX_STORE_H_

@@ -1,0 +1,260 @@
+#include "src/runtime/shm_heap.h"
+
+#include <cstring>
+
+#include "src/base/layout.h"
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kHeapMagic = 0x50414548;  // "HEAP"
+constexpr uint32_t kHeaderBytes = 12;
+constexpr uint32_t kBlockHeaderBytes = 8;
+constexpr uint32_t kMinPayload = 8;
+
+uint32_t AlignUp8(uint32_t v) { return (v + 7) & ~7u; }
+}  // namespace
+
+Result<ShmHeap> ShmHeap::Create(SharedFs* sfs, const std::string& sfs_path, uint32_t reserve) {
+  if (reserve < kHeaderBytes + kBlockHeaderBytes + kMinPayload) {
+    return InvalidArgument("shm_heap: reserve too small");
+  }
+  if (reserve > kSfsMaxFileBytes) {
+    return OutOfRange("shm_heap: reserve exceeds the 1 MB segment limit");
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, sfs->Create(sfs_path));
+  RETURN_IF_ERROR(sfs->Truncate(ino, reserve));
+  RETURN_IF_ERROR(sfs->EnsureExtent(ino, reserve));
+  uint32_t base = SfsAddressForInode(ino);
+  ShmHeap heap(sfs, ino, base, base + reserve);
+  // One big free block after the (8-byte-aligned) header.
+  uint32_t first = AlignUp8(base + kHeaderBytes) + kBlockHeaderBytes;
+  BlockHeader blk;
+  blk.size = reserve - (first - base);
+  blk.next = 0;
+  RETURN_IF_ERROR(heap.WriteBlock(first, blk));
+  HeapHeader h;
+  h.magic = kHeapMagic;
+  h.free_head = first;
+  h.limit = base + reserve;
+  RETURN_IF_ERROR(heap.WriteHeader(h));
+  return heap;
+}
+
+Result<ShmHeap> ShmHeap::Attach(SharedFs* sfs, const std::string& sfs_path) {
+  ASSIGN_OR_RETURN(SfsStat st, sfs->Stat(sfs_path));
+  return AttachByAddress(sfs, st.addr);
+}
+
+Result<ShmHeap> ShmHeap::AttachByAddress(SharedFs* sfs, uint32_t addr) {
+  ASSIGN_OR_RETURN(uint32_t ino, sfs->AddrToInode(addr));
+  uint32_t base = SfsAddressForInode(ino);
+  ASSIGN_OR_RETURN(SfsStat st, sfs->StatInode(ino));
+  RETURN_IF_ERROR(sfs->EnsureExtent(ino, st.size));
+  ShmHeap heap(sfs, ino, base, base + st.size);
+  ASSIGN_OR_RETURN(HeapHeader h, heap.ReadHeader());
+  if (h.magic != kHeapMagic) {
+    return CorruptData("shm_heap: segment is not a heap");
+  }
+  heap.limit_ = h.limit;
+  return heap;
+}
+
+uint8_t* ShmHeap::HostPtr(uint32_t addr) {
+  if (addr < base_ || addr >= limit_) {
+    return nullptr;
+  }
+  uint8_t* data = sfs_->DataPtr(ino_);
+  return data == nullptr ? nullptr : data + (addr - base_);
+}
+
+const uint8_t* ShmHeap::HostPtr(uint32_t addr) const {
+  return const_cast<ShmHeap*>(this)->HostPtr(addr);
+}
+
+Status ShmHeap::Write32(uint32_t addr, uint32_t value) {
+  uint8_t* p = HostPtr(addr);
+  if (p == nullptr || addr + 4 > limit_) {
+    return OutOfRange(StrFormat("shm_heap: write at 0x%08x outside segment", addr));
+  }
+  std::memcpy(p, &value, 4);
+  return OkStatus();
+}
+
+Result<uint32_t> ShmHeap::Read32(uint32_t addr) const {
+  const uint8_t* p = HostPtr(addr);
+  if (p == nullptr || addr + 4 > limit_) {
+    return OutOfRange(StrFormat("shm_heap: read at 0x%08x outside segment", addr));
+  }
+  uint32_t value = 0;
+  std::memcpy(&value, p, 4);
+  return value;
+}
+
+Status ShmHeap::WriteBytes(uint32_t addr, const void* data, uint32_t len) {
+  uint8_t* p = HostPtr(addr);
+  if (p == nullptr || addr + len > limit_) {
+    return OutOfRange("shm_heap: write outside segment");
+  }
+  std::memcpy(p, data, len);
+  return OkStatus();
+}
+
+Status ShmHeap::ReadBytes(uint32_t addr, void* out, uint32_t len) const {
+  const uint8_t* p = HostPtr(addr);
+  if (p == nullptr || addr + len > limit_) {
+    return OutOfRange("shm_heap: read outside segment");
+  }
+  std::memcpy(out, p, len);
+  return OkStatus();
+}
+
+Result<ShmHeap::HeapHeader> ShmHeap::ReadHeader() const {
+  HeapHeader h;
+  RETURN_IF_ERROR(ReadBytes(base_, &h, sizeof(h)));
+  return h;
+}
+
+Status ShmHeap::WriteHeader(const HeapHeader& h) { return WriteBytes(base_, &h, sizeof(h)); }
+
+Result<ShmHeap::BlockHeader> ShmHeap::ReadBlock(uint32_t addr) const {
+  BlockHeader b;
+  RETURN_IF_ERROR(ReadBytes(addr - kBlockHeaderBytes, &b, sizeof(b)));
+  return b;
+}
+
+Status ShmHeap::WriteBlock(uint32_t addr, const BlockHeader& b) {
+  return WriteBytes(addr - kBlockHeaderBytes, &b, sizeof(b));
+}
+
+Result<uint32_t> ShmHeap::Alloc(uint32_t size) {
+  if (size == 0) {
+    size = kMinPayload;
+  }
+  size = AlignUp8(size);
+  ASSIGN_OR_RETURN(HeapHeader h, ReadHeader());
+  uint32_t prev = 0;
+  uint32_t cur = h.free_head;
+  while (cur != 0) {
+    ASSIGN_OR_RETURN(BlockHeader blk, ReadBlock(cur));
+    if (blk.size >= size) {
+      uint32_t leftover = blk.size - size;
+      uint32_t next_free = blk.next;
+      if (leftover >= kBlockHeaderBytes + kMinPayload) {
+        // Split: the tail becomes a new free block.
+        uint32_t tail = cur + size + kBlockHeaderBytes;
+        BlockHeader tail_blk;
+        tail_blk.size = leftover - kBlockHeaderBytes;
+        tail_blk.next = blk.next;
+        RETURN_IF_ERROR(WriteBlock(tail, tail_blk));
+        next_free = tail;
+        blk.size = size;
+      }
+      blk.next = 0;  // allocated blocks carry next = 0
+      RETURN_IF_ERROR(WriteBlock(cur, blk));
+      if (prev == 0) {
+        h.free_head = next_free;
+        RETURN_IF_ERROR(WriteHeader(h));
+      } else {
+        ASSIGN_OR_RETURN(BlockHeader prev_blk, ReadBlock(prev));
+        prev_blk.next = next_free;
+        RETURN_IF_ERROR(WriteBlock(prev, prev_blk));
+      }
+      return cur;
+    }
+    prev = cur;
+    cur = blk.next;
+  }
+  return ResourceExhausted(
+      StrFormat("shm_heap: no block of %u bytes free in segment 0x%08x", size, base_));
+}
+
+Status ShmHeap::Free(uint32_t addr) {
+  if (addr < base_ + kHeaderBytes + kBlockHeaderBytes || addr >= limit_ || (addr & 7) != 0) {
+    return InvalidArgument(StrFormat("shm_heap: bad free address 0x%08x", addr));
+  }
+  ASSIGN_OR_RETURN(BlockHeader blk, ReadBlock(addr));
+  if (blk.size == 0 || addr + blk.size > limit_) {
+    return InvalidArgument("shm_heap: corrupt block header in free");
+  }
+  ASSIGN_OR_RETURN(HeapHeader h, ReadHeader());
+  // Insert into the address-sorted free list, detecting double frees.
+  uint32_t prev = 0;
+  uint32_t cur = h.free_head;
+  while (cur != 0 && cur < addr) {
+    ASSIGN_OR_RETURN(BlockHeader cur_blk, ReadBlock(cur));
+    prev = cur;
+    cur = cur_blk.next;
+  }
+  if (cur == addr) {
+    return FailedPrecondition(StrFormat("shm_heap: double free of 0x%08x", addr));
+  }
+  blk.next = cur;
+  RETURN_IF_ERROR(WriteBlock(addr, blk));
+  if (prev == 0) {
+    h.free_head = addr;
+    RETURN_IF_ERROR(WriteHeader(h));
+  } else {
+    ASSIGN_OR_RETURN(BlockHeader prev_blk, ReadBlock(prev));
+    prev_blk.next = addr;
+    RETURN_IF_ERROR(WriteBlock(prev, prev_blk));
+  }
+  // Coalesce with the following block.
+  ASSIGN_OR_RETURN(BlockHeader mine, ReadBlock(addr));
+  if (mine.next != 0 && addr + mine.size + kBlockHeaderBytes == mine.next) {
+    ASSIGN_OR_RETURN(BlockHeader next_blk, ReadBlock(mine.next));
+    mine.size += kBlockHeaderBytes + next_blk.size;
+    mine.next = next_blk.next;
+    RETURN_IF_ERROR(WriteBlock(addr, mine));
+  }
+  // Coalesce with the preceding block.
+  if (prev != 0) {
+    ASSIGN_OR_RETURN(BlockHeader prev_blk, ReadBlock(prev));
+    if (prev + prev_blk.size + kBlockHeaderBytes == addr) {
+      ASSIGN_OR_RETURN(BlockHeader me, ReadBlock(addr));
+      prev_blk.size += kBlockHeaderBytes + me.size;
+      prev_blk.next = me.next;
+      RETURN_IF_ERROR(WriteBlock(prev, prev_blk));
+    }
+  }
+  return OkStatus();
+}
+
+uint32_t ShmHeap::FreeBytes() const {
+  Result<HeapHeader> h = ReadHeader();
+  if (!h.ok()) {
+    return 0;
+  }
+  uint32_t total = 0;
+  uint32_t cur = h->free_head;
+  while (cur != 0) {
+    Result<BlockHeader> blk = ReadBlock(cur);
+    if (!blk.ok()) {
+      break;
+    }
+    total += blk->size;
+    cur = blk->next;
+  }
+  return total;
+}
+
+uint32_t ShmHeap::FreeBlockCount() const {
+  Result<HeapHeader> h = ReadHeader();
+  if (!h.ok()) {
+    return 0;
+  }
+  uint32_t count = 0;
+  uint32_t cur = h->free_head;
+  while (cur != 0) {
+    Result<BlockHeader> blk = ReadBlock(cur);
+    if (!blk.ok()) {
+      break;
+    }
+    ++count;
+    cur = blk->next;
+  }
+  return count;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,90 @@
+// Per-segment heap allocation (paper §5, "Dynamic Storage Management").
+//
+// "We have developed a package designed to allocate space from the heaps associated
+// with individual segments, instead of a heap associated with the calling program."
+//
+// A ShmHeap manages the space of one shared-file-system segment. All bookkeeping lives
+// *inside* the segment and uses absolute virtual addresses — valid in every protection
+// domain thanks to the globally consistent address mapping — so a pointer-rich data
+// structure built by one process can be followed, extended, and freed by another (the
+// xfig and parser-table workloads build on this).
+//
+// Block layout: [u32 size | u32 next_free] headers, first-fit free list sorted by
+// address with coalescing. The segment begins with a HeapHeader.
+#ifndef SRC_RUNTIME_SHM_HEAP_H_
+#define SRC_RUNTIME_SHM_HEAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/sfs/shared_fs.h"
+
+namespace hemlock {
+
+class ShmHeap {
+ public:
+  // Creates a new segment at |sfs_path| (path inside the shared partition, e.g.
+  // "/heaps/figures") managing |reserve| bytes (capped at 1 MB), and formats the heap.
+  static Result<ShmHeap> Create(SharedFs* sfs, const std::string& sfs_path, uint32_t reserve);
+
+  // Attaches to an existing heap segment by path or by any address inside it.
+  static Result<ShmHeap> Attach(SharedFs* sfs, const std::string& sfs_path);
+  static Result<ShmHeap> AttachByAddress(SharedFs* sfs, uint32_t addr);
+
+  // Allocates |size| bytes (8-byte aligned); returns the block's absolute virtual
+  // address. Fails with kResourceExhausted when no block fits.
+  Result<uint32_t> Alloc(uint32_t size);
+
+  // Returns a block to the heap. |addr| must be an address returned by Alloc on this
+  // segment (in any process). Double frees and wild addresses are detected.
+  Status Free(uint32_t addr);
+
+  // Translates an absolute address inside the segment to a host pointer (valid until
+  // the next segment resize). Returns nullptr when out of range.
+  uint8_t* HostPtr(uint32_t addr);
+  const uint8_t* HostPtr(uint32_t addr) const;
+
+  // Typed accessors for building pointer-rich structures from host code.
+  Status Write32(uint32_t addr, uint32_t value);
+  Result<uint32_t> Read32(uint32_t addr) const;
+  Status WriteBytes(uint32_t addr, const void* data, uint32_t len);
+  Status ReadBytes(uint32_t addr, void* out, uint32_t len) const;
+
+  uint32_t base() const { return base_; }
+  uint32_t limit() const { return limit_; }
+  uint32_t ino() const { return ino_; }
+
+  // Free bytes remaining (sum of free blocks).
+  uint32_t FreeBytes() const;
+  // Number of blocks on the free list (fragmentation metric for benches).
+  uint32_t FreeBlockCount() const;
+
+ private:
+  ShmHeap(SharedFs* sfs, uint32_t ino, uint32_t base, uint32_t limit)
+      : sfs_(sfs), ino_(ino), base_(base), limit_(limit) {}
+
+  struct HeapHeader {
+    uint32_t magic;
+    uint32_t free_head;  // absolute address of the first free block header, 0 = none
+    uint32_t limit;      // absolute end of the managed region
+  };
+  struct BlockHeader {
+    uint32_t size;  // payload bytes
+    uint32_t next;  // absolute address of next free block (free blocks only)
+  };
+
+  Result<HeapHeader> ReadHeader() const;
+  Status WriteHeader(const HeapHeader& h);
+  Result<BlockHeader> ReadBlock(uint32_t addr) const;
+  Status WriteBlock(uint32_t addr, const BlockHeader& b);
+
+  SharedFs* sfs_;
+  uint32_t ino_;
+  uint32_t base_;
+  uint32_t limit_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_RUNTIME_SHM_HEAP_H_

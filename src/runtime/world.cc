@@ -1,0 +1,60 @@
+#include "src/runtime/world.h"
+
+#include "src/base/strings.h"
+#include "src/link/search.h"
+
+namespace hemlock {
+
+Status HemlockWorld::CompileTo(const std::string& source, const std::string& tpl_path,
+                               const CompileOptions& options) {
+  std::string name = PathBasename(tpl_path);
+  ASSIGN_OR_RETURN(ObjectFile obj, CompileHemC(source, name, options));
+  std::string dir = PathDirname(tpl_path);
+  if (!vfs().Exists(dir)) {
+    RETURN_IF_ERROR(vfs().MkdirAll(dir));
+  }
+  return vfs().WriteFile(tpl_path, obj.Serialize());
+}
+
+Result<int> HemlockWorld::RunToExit(int pid, uint64_t max_steps) {
+  RunOutcome outcome = machine_->RunProcess(pid, max_steps);
+  if (outcome == RunOutcome::kOutOfGas) {
+    return Internal(StrFormat("pid %d did not finish within the step budget", pid));
+  }
+  if (outcome == RunOutcome::kBlocked) {
+    // Give children a chance (the process is waiting on them), then retry.
+    if (!machine_->RunAll(max_steps)) {
+      return Internal(StrFormat("pid %d blocked and the machine could not drain", pid));
+    }
+  }
+  Process* proc = machine_->FindProcess(pid);
+  if (proc == nullptr) {
+    return NotFound(StrFormat("pid %d vanished (reaped?)", pid));
+  }
+  return proc->exit_status();
+}
+
+Result<std::string> HemlockWorld::RunProgram(const std::string& source,
+                                             const std::vector<LdsInput>& extra_inputs,
+                                             const ExecOptions& exec_options) {
+  std::string tpl = StrFormat("/home/user/prog%d.o", temp_counter_++);
+  RETURN_IF_ERROR(CompileTo(source, tpl));
+  LdsOptions lds;
+  lds.inputs.push_back(LdsInput{tpl, ShareClass::kStaticPrivate});
+  for (const LdsInput& input : extra_inputs) {
+    lds.inputs.push_back(input);
+  }
+  lds.env_ld_library_path =
+      exec_options.env.count(kLdLibraryPathVar) != 0 ? exec_options.env.at(kLdLibraryPathVar) : "";
+  ASSIGN_OR_RETURN(LoadImage image, Link(lds));
+  ASSIGN_OR_RETURN(ExecResult run, Exec(image, exec_options));
+  ASSIGN_OR_RETURN(int status, RunToExit(run.pid));
+  Process* proc = machine_->FindProcess(run.pid);
+  std::string out = proc != nullptr ? proc->stdout_text() : "";
+  if (status != 0) {
+    return Internal(StrFormat("program exited with status %d; stdout: %s", status, out.c_str()));
+  }
+  return out;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,66 @@
+// HemlockWorld — the top-level convenience facade over the whole simulated system:
+// one Machine (kernel + shared file system) plus the toolchain, wired together.
+//
+// A typical use (this is Figure 1 of the paper as an API):
+//
+//   HemlockWorld world;
+//   world.CompileTo(shared_src, "/shm/lib/counter.o");          // cc
+//   world.CompileTo(prog1_src, "/home/user/prog1.o");           // cc
+//   auto image = world.Link({.inputs = {{"prog1.o", kStaticPrivate},
+//                                       {"counter.o", kDynamicPublic}}});  // lds
+//   auto run = world.Exec(*image);                               // crt0 + ldl
+//   world.RunToExit(run->pid);
+#ifndef SRC_RUNTIME_WORLD_H_
+#define SRC_RUNTIME_WORLD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/lang/compiler.h"
+#include "src/link/lds.h"
+#include "src/link/loader.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+
+class HemlockWorld {
+ public:
+  HemlockWorld() : machine_(std::make_unique<Machine>()) {}
+
+  Machine& machine() { return *machine_; }
+  Vfs& vfs() { return machine_->vfs(); }
+  SharedFs& sfs() { return machine_->sfs(); }
+
+  // Compiles HemC source and writes the template object to |tpl_path| (creating the
+  // parent directory if needed).
+  Status CompileTo(const std::string& source, const std::string& tpl_path,
+                   const CompileOptions& options = {});
+
+  // Runs the static linker.
+  Result<LoadImage> Link(const LdsOptions& options, LdsReport* report = nullptr) {
+    StaticLinker lds(&machine_->vfs());
+    return lds.Link(options, report);
+  }
+
+  // Loads + dynamically links an image into a new process.
+  Result<ExecResult> Exec(const LoadImage& image, const ExecOptions& options = {}) {
+    return ExecuteImage(*machine_, image, options);
+  }
+
+  // Drives a process to completion; returns its exit status.
+  Result<int> RunToExit(int pid, uint64_t max_steps = 200'000'000);
+
+  // Compile-link-exec-run in one call; returns the process's stdout text.
+  // The program is linked as a single static private module plus |extra_inputs|.
+  Result<std::string> RunProgram(const std::string& source,
+                                 const std::vector<LdsInput>& extra_inputs = {},
+                                 const ExecOptions& exec_options = {});
+
+ private:
+  std::unique_ptr<Machine> machine_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_RUNTIME_WORLD_H_

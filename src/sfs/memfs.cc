@@ -1,0 +1,226 @@
+#include "src/sfs/memfs.h"
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+constexpr int kMaxSymlinkHops = 8;
+}
+
+MemFs::MemFs() : root_(std::make_unique<Node>()) { root_->type = MemNodeType::kDirectory; }
+
+const MemFs::Node* MemFs::Walk(const std::string& path, bool follow_final, int depth) const {
+  if (depth > kMaxSymlinkHops) {
+    return nullptr;
+  }
+  std::string norm = NormalizePath(path);
+  if (!IsAbsolutePath(norm)) {
+    return nullptr;
+  }
+  const Node* cur = root_.get();
+  std::vector<std::string> parts = SplitString(norm, '/');
+  std::string walked = "";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (cur->type != MemNodeType::kDirectory) {
+      return nullptr;
+    }
+    auto it = cur->children.find(parts[i]);
+    if (it == cur->children.end()) {
+      return nullptr;
+    }
+    const Node* next = it->second.get();
+    bool is_final = (i + 1 == parts.size());
+    if (next->type == MemNodeType::kSymlink && (!is_final || follow_final)) {
+      // Resolve the link target relative to the directory we are in, then continue
+      // with the remaining components appended.
+      std::string base = walked.empty() ? "/" : walked;
+      std::string target = JoinPath(base, next->symlink_target);
+      std::string rest;
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        rest += "/" + parts[j];
+      }
+      return Walk(NormalizePath(target + rest), follow_final, depth + 1);
+    }
+    walked += "/" + parts[i];
+    cur = next;
+  }
+  return cur;
+}
+
+MemFs::Node* MemFs::WalkMutable(const std::string& path, bool follow_final) {
+  return const_cast<Node*>(Walk(path, follow_final));
+}
+
+MemFs::Node* MemFs::WalkParent(const std::string& path, std::string* leaf) {
+  std::string norm = NormalizePath(path);
+  *leaf = PathBasename(norm);
+  if (leaf->empty()) {
+    return nullptr;
+  }
+  std::string dir = PathDirname(norm);
+  Node* parent = WalkMutable(dir, /*follow_final=*/true);
+  if (parent == nullptr || parent->type != MemNodeType::kDirectory) {
+    return nullptr;
+  }
+  return parent;
+}
+
+Status MemFs::WriteFile(const std::string& path, std::vector<uint8_t> data) {
+  std::string leaf;
+  Node* parent = WalkParent(path, &leaf);
+  if (parent == nullptr) {
+    return NotFound("memfs: no such directory: " + PathDirname(NormalizePath(path)));
+  }
+  auto it = parent->children.find(leaf);
+  if (it != parent->children.end()) {
+    Node* node = it->second.get();
+    if (node->type == MemNodeType::kDirectory) {
+      return InvalidArgument("memfs: is a directory: " + path);
+    }
+    if (node->type == MemNodeType::kSymlink) {
+      // Write through the link.
+      ASSIGN_OR_RETURN(std::string target, ResolveSymlinks(path));
+      return WriteFile(target, std::move(data));
+    }
+    node->data = std::move(data);
+    return OkStatus();
+  }
+  auto node = std::make_unique<Node>();
+  node->type = MemNodeType::kRegular;
+  node->data = std::move(data);
+  parent->children[leaf] = std::move(node);
+  return OkStatus();
+}
+
+Status MemFs::WriteFile(const std::string& path, const std::string& text) {
+  return WriteFile(path, std::vector<uint8_t>(text.begin(), text.end()));
+}
+
+Result<std::vector<uint8_t>> MemFs::ReadFile(const std::string& path) const {
+  const Node* node = Walk(path, /*follow_final=*/true);
+  if (node == nullptr) {
+    return NotFound("memfs: no such file: " + path);
+  }
+  if (node->type != MemNodeType::kRegular) {
+    return InvalidArgument("memfs: not a regular file: " + path);
+  }
+  return node->data;
+}
+
+Status MemFs::Mkdir(const std::string& path) {
+  std::string leaf;
+  Node* parent = WalkParent(path, &leaf);
+  if (parent == nullptr) {
+    return NotFound("memfs: no such directory: " + PathDirname(NormalizePath(path)));
+  }
+  if (parent->children.count(leaf) != 0) {
+    return AlreadyExists("memfs: exists: " + path);
+  }
+  auto node = std::make_unique<Node>();
+  node->type = MemNodeType::kDirectory;
+  parent->children[leaf] = std::move(node);
+  return OkStatus();
+}
+
+Status MemFs::MkdirAll(const std::string& path) {
+  std::string norm = NormalizePath(path);
+  std::vector<std::string> parts = SplitString(norm, '/');
+  std::string cur;
+  for (const std::string& part : parts) {
+    cur += "/" + part;
+    if (Exists(cur)) {
+      if (!IsDirectory(cur)) {
+        return InvalidArgument("memfs: not a directory: " + cur);
+      }
+      continue;
+    }
+    RETURN_IF_ERROR(Mkdir(cur));
+  }
+  return OkStatus();
+}
+
+Status MemFs::Symlink(const std::string& path, const std::string& target) {
+  std::string leaf;
+  Node* parent = WalkParent(path, &leaf);
+  if (parent == nullptr) {
+    return NotFound("memfs: no such directory: " + PathDirname(NormalizePath(path)));
+  }
+  if (parent->children.count(leaf) != 0) {
+    return AlreadyExists("memfs: exists: " + path);
+  }
+  auto node = std::make_unique<Node>();
+  node->type = MemNodeType::kSymlink;
+  node->symlink_target = target;
+  parent->children[leaf] = std::move(node);
+  return OkStatus();
+}
+
+Status MemFs::Unlink(const std::string& path) {
+  std::string leaf;
+  Node* parent = WalkParent(path, &leaf);
+  if (parent == nullptr) {
+    return NotFound("memfs: no such file: " + path);
+  }
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) {
+    return NotFound("memfs: no such file: " + path);
+  }
+  if (it->second->type == MemNodeType::kDirectory && !it->second->children.empty()) {
+    return FailedPrecondition("memfs: directory not empty: " + path);
+  }
+  parent->children.erase(it);
+  return OkStatus();
+}
+
+bool MemFs::Exists(const std::string& path) const {
+  return Walk(path, /*follow_final=*/true) != nullptr;
+}
+
+bool MemFs::IsDirectory(const std::string& path) const {
+  const Node* node = Walk(path, /*follow_final=*/true);
+  return node != nullptr && node->type == MemNodeType::kDirectory;
+}
+
+bool MemFs::IsSymlink(const std::string& path) const {
+  const Node* node = Walk(path, /*follow_final=*/false);
+  return node != nullptr && node->type == MemNodeType::kSymlink;
+}
+
+Result<std::string> MemFs::ResolveSymlinks(const std::string& path) const {
+  std::string cur = NormalizePath(path);
+  for (int hop = 0; hop < kMaxSymlinkHops; ++hop) {
+    const Node* node = Walk(cur, /*follow_final=*/false);
+    if (node == nullptr || node->type != MemNodeType::kSymlink) {
+      return cur;
+    }
+    cur = NormalizePath(JoinPath(PathDirname(cur), node->symlink_target));
+  }
+  return InvalidArgument("memfs: too many symlink hops: " + path);
+}
+
+Result<std::vector<std::string>> MemFs::List(const std::string& path) const {
+  const Node* node = Walk(path, /*follow_final=*/true);
+  if (node == nullptr) {
+    return NotFound("memfs: no such directory: " + path);
+  }
+  if (node->type != MemNodeType::kDirectory) {
+    return InvalidArgument("memfs: not a directory: " + path);
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<uint32_t> MemFs::FileSize(const std::string& path) const {
+  const Node* node = Walk(path, /*follow_final=*/true);
+  if (node == nullptr || node->type != MemNodeType::kRegular) {
+    return NotFound("memfs: no such file: " + path);
+  }
+  return static_cast<uint32_t>(node->data.size());
+}
+
+}  // namespace hemlock

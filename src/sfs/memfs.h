@@ -1,0 +1,85 @@
+// A general-purpose in-memory Unix-like file system for the simulated machine.
+//
+// This models the *ordinary* disk of the paper's SGI workstation: it holds compiler
+// template (.o) files, load images, and users' temp directories, and supports the
+// symbolic links that the paper's parallel-application recipe relies on (§4: the parent
+// symlinks the shared-data template into a temp directory on the search path).
+//
+// The special shared partition with address-mapped files is SharedFs (shared_fs.h);
+// the two are glued together under one namespace by Vfs (vfs.h).
+#ifndef SRC_SFS_MEMFS_H_
+#define SRC_SFS_MEMFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace hemlock {
+
+enum class MemNodeType { kRegular, kDirectory, kSymlink };
+
+class MemFs {
+ public:
+  MemFs();
+
+  MemFs(const MemFs&) = delete;
+  MemFs& operator=(const MemFs&) = delete;
+
+  // Creates a regular file (and not its parents). Fails if the parent directory is
+  // missing or the path already exists as a directory.
+  Status WriteFile(const std::string& path, std::vector<uint8_t> data);
+  Status WriteFile(const std::string& path, const std::string& text);
+
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) const;
+
+  Status Mkdir(const std::string& path);
+  // mkdir -p.
+  Status MkdirAll(const std::string& path);
+
+  // Creates a symlink at |path| whose target is the literal string |target|
+  // (absolute or relative to the symlink's directory).
+  Status Symlink(const std::string& path, const std::string& target);
+
+  // Removes a file, symlink, or *empty* directory.
+  Status Unlink(const std::string& path);
+
+  // True if the path names an existing node (after following symlinks).
+  bool Exists(const std::string& path) const;
+  bool IsDirectory(const std::string& path) const;
+  bool IsSymlink(const std::string& path) const;  // the node itself, no following
+
+  // Follows symlinks (up to 8 hops) and returns the canonical target path. The final
+  // target need not exist — callers decide (the linkers treat a dangling link as
+  // NotFound when they try to read through it).
+  Result<std::string> ResolveSymlinks(const std::string& path) const;
+
+  // Names (not paths) of entries in a directory, sorted.
+  Result<std::vector<std::string>> List(const std::string& path) const;
+
+  Result<uint32_t> FileSize(const std::string& path) const;
+
+ private:
+  struct Node {
+    MemNodeType type = MemNodeType::kRegular;
+    std::vector<uint8_t> data;                           // kRegular
+    std::string symlink_target;                          // kSymlink
+    std::map<std::string, std::unique_ptr<Node>> children;  // kDirectory
+  };
+
+  // Walks to the node at |path| without following a final symlink.
+  // |follow_final| controls whether a symlink at the last component is resolved.
+  const Node* Walk(const std::string& path, bool follow_final, int depth = 0) const;
+  Node* WalkMutable(const std::string& path, bool follow_final);
+  // Returns the directory node that should contain the final component of |path|.
+  Node* WalkParent(const std::string& path, std::string* leaf);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_SFS_MEMFS_H_

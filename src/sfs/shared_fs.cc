@@ -1,0 +1,449 @@
+#include "src/sfs/shared_fs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kRootIno = 1;
+}
+
+SharedFs::SharedFs() : inodes_(kSfsMaxInodes + 1) {
+  inodes_[kRootIno].type = SfsNodeType::kDirectory;
+  inodes_[kRootIno].path = "/";
+  inodes_[kRootIno].parent = kRootIno;
+}
+
+Result<uint32_t> SharedFs::AllocInode() {
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    if (inodes_[ino].type == SfsNodeType::kFree) {
+      return ino;
+    }
+  }
+  return ResourceExhausted("sfs: all 1024 inodes in use");
+}
+
+Result<uint32_t> SharedFs::WalkDir(const std::string& dir_path) const {
+  std::string norm = NormalizePath(dir_path);
+  if (norm == "/") {
+    return kRootIno;
+  }
+  uint32_t cur = kRootIno;
+  for (const std::string& part : SplitString(norm, '/')) {
+    const Inode& node = inodes_[cur];
+    if (node.type != SfsNodeType::kDirectory) {
+      return NotFound("sfs: not a directory on path: " + dir_path);
+    }
+    uint32_t next = 0;
+    for (uint32_t child : node.children) {
+      if (PathBasename(inodes_[child].path) == part) {
+        next = child;
+        break;
+      }
+    }
+    if (next == 0) {
+      return NotFound("sfs: no such path: " + dir_path);
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+Status SharedFs::ValidatePathForCreate(const std::string& path, uint32_t* parent_ino,
+                                       std::string* leaf) const {
+  std::string norm = NormalizePath(path);
+  if (!IsAbsolutePath(norm) || norm == "/") {
+    return InvalidArgument("sfs: bad path: " + path);
+  }
+  *leaf = PathBasename(norm);
+  Result<uint32_t> parent = WalkDir(PathDirname(norm));
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  if (inodes_[*parent].type != SfsNodeType::kDirectory) {
+    return InvalidArgument("sfs: parent not a directory: " + path);
+  }
+  for (uint32_t child : inodes_[*parent].children) {
+    if (PathBasename(inodes_[child].path) == *leaf) {
+      return AlreadyExists("sfs: exists: " + norm);
+    }
+  }
+  *parent_ino = *parent;
+  return OkStatus();
+}
+
+Result<uint32_t> SharedFs::Create(const std::string& path) {
+  uint32_t parent = 0;
+  std::string leaf;
+  RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  Inode& node = inodes_[ino];
+  node.type = SfsNodeType::kRegular;
+  node.path = NormalizePath(path);
+  node.size = 0;
+  node.data.clear();
+  node.parent = parent;
+  node.lock_owner = -1;
+  inodes_[parent].children.push_back(ino);
+  AddAddrEntry(ino);
+  return ino;
+}
+
+Result<uint32_t> SharedFs::Mkdir(const std::string& path) {
+  uint32_t parent = 0;
+  std::string leaf;
+  RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  Inode& node = inodes_[ino];
+  node.type = SfsNodeType::kDirectory;
+  node.path = NormalizePath(path);
+  node.parent = parent;
+  inodes_[parent].children.push_back(ino);
+  return ino;
+}
+
+Status SharedFs::Unlink(const std::string& path) {
+  ASSIGN_OR_RETURN(uint32_t ino, Lookup(path));
+  if (ino == kRootIno) {
+    return InvalidArgument("sfs: cannot unlink root");
+  }
+  Inode& node = inodes_[ino];
+  if (node.type == SfsNodeType::kDirectory && !node.children.empty()) {
+    return FailedPrecondition("sfs: directory not empty: " + path);
+  }
+  if (node.type == SfsNodeType::kRegular) {
+    RemoveAddrEntry(ino);
+  }
+  Inode& parent = inodes_[node.parent];
+  parent.children.erase(std::remove(parent.children.begin(), parent.children.end(), ino),
+                        parent.children.end());
+  node = Inode{};  // frees the inode (and its address slot for reuse)
+  return OkStatus();
+}
+
+Result<uint32_t> SharedFs::Lookup(const std::string& path) const { return WalkDir(path); }
+
+Result<SfsStat> SharedFs::Stat(const std::string& path) const {
+  ASSIGN_OR_RETURN(uint32_t ino, Lookup(path));
+  return StatInode(ino);
+}
+
+Result<SfsStat> SharedFs::StatInode(uint32_t ino) const {
+  if (ino == 0 || ino > kSfsMaxInodes || inodes_[ino].type == SfsNodeType::kFree) {
+    return NotFound("sfs: bad inode " + std::to_string(ino));
+  }
+  const Inode& node = inodes_[ino];
+  SfsStat st;
+  st.ino = ino;
+  st.type = node.type;
+  st.size = node.size;
+  st.addr = node.type == SfsNodeType::kRegular ? SfsAddressForInode(ino) : 0;
+  return st;
+}
+
+Result<std::vector<std::string>> SharedFs::List(const std::string& path) const {
+  ASSIGN_OR_RETURN(uint32_t ino, Lookup(path));
+  const Inode& node = inodes_[ino];
+  if (node.type != SfsNodeType::kDirectory) {
+    return InvalidArgument("sfs: not a directory: " + path);
+  }
+  std::vector<std::string> names;
+  names.reserve(node.children.size());
+  for (uint32_t child : node.children) {
+    names.push_back(PathBasename(inodes_[child].path));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SharedFs::Link(const std::string& existing, const std::string& link) {
+  return PermissionDenied("sfs: hard links are prohibited on the shared partition");
+}
+
+Result<uint32_t> SharedFs::Symlink(const std::string& path, const std::string& target) {
+  uint32_t parent = 0;
+  std::string leaf;
+  RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  Inode& node = inodes_[ino];
+  node.type = SfsNodeType::kSymlink;
+  node.path = NormalizePath(path);
+  node.symlink_target = target;
+  node.parent = parent;
+  inodes_[parent].children.push_back(ino);
+  return ino;
+}
+
+Result<std::string> SharedFs::ReadLink(const std::string& path) const {
+  ASSIGN_OR_RETURN(uint32_t ino, Lookup(path));
+  if (inodes_[ino].type != SfsNodeType::kSymlink) {
+    return InvalidArgument("sfs: not a symlink: " + path);
+  }
+  return inodes_[ino].symlink_target;
+}
+
+Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uint32_t len) {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: not a regular file: inode " + std::to_string(ino));
+  }
+  if (static_cast<uint64_t>(offset) + len > kSfsMaxFileBytes) {
+    return OutOfRange("sfs: write past the 1 MB file limit");
+  }
+  Inode& node = inodes_[ino];
+  uint32_t end = offset + len;
+  if (node.data.size() < end) {
+    node.data.resize(end, 0);
+  }
+  std::memcpy(node.data.data() + offset, data, len);
+  node.size = std::max(node.size, end);
+  return OkStatus();
+}
+
+Result<uint32_t> SharedFs::ReadAt(uint32_t ino, uint32_t offset, uint8_t* out,
+                                  uint32_t len) const {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: not a regular file: inode " + std::to_string(ino));
+  }
+  const Inode& node = inodes_[ino];
+  if (offset >= node.size) {
+    return 0u;
+  }
+  uint32_t n = std::min(len, node.size - offset);
+  std::memcpy(out, node.data.data() + offset, n);
+  return n;
+}
+
+Status SharedFs::Truncate(uint32_t ino, uint32_t new_size) {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: not a regular file");
+  }
+  if (new_size > kSfsMaxFileBytes) {
+    return OutOfRange("sfs: beyond the 1 MB file limit");
+  }
+  Inode& node = inodes_[ino];
+  node.size = new_size;
+  if (node.data.size() < new_size) {
+    node.data.resize(new_size, 0);
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> SharedFs::AddressOf(uint32_t ino) const {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: directories have no address");
+  }
+  return SfsAddressForInode(ino);
+}
+
+Result<uint32_t> SharedFs::AddrToInode(uint32_t addr) const {
+  if (!InSfsRegion(addr)) {
+    return OutOfRange(StrFormat("sfs: address 0x%08x outside the shared region", addr));
+  }
+  if (lookup_mode_ == AddrLookupMode::kLinear) {
+    // The paper's linear table: scan front to back.
+    for (const AddrEntry& e : addr_table_) {
+      if (addr >= e.base && addr < e.limit) {
+        return e.ino;
+      }
+    }
+    return NotFound(StrFormat("sfs: no file at address 0x%08x", addr));
+  }
+  // Indexed ablation: greatest base <= addr.
+  auto it = addr_index_.upper_bound(addr);
+  if (it == addr_index_.begin()) {
+    return NotFound(StrFormat("sfs: no file at address 0x%08x", addr));
+  }
+  --it;
+  if (addr >= it->second.base && addr < it->second.limit) {
+    return it->second.ino;
+  }
+  return NotFound(StrFormat("sfs: no file at address 0x%08x", addr));
+}
+
+Result<std::string> SharedFs::InodeToPath(uint32_t ino) const {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  (void)st;
+  return inodes_[ino].path;
+}
+
+Result<std::string> SharedFs::AddrToPath(uint32_t addr) const {
+  ASSIGN_OR_RETURN(uint32_t ino, AddrToInode(addr));
+  return InodeToPath(ino);
+}
+
+void SharedFs::AddAddrEntry(uint32_t ino) {
+  AddrEntry e;
+  e.base = SfsAddressForInode(ino);
+  e.limit = e.base + kSfsMaxFileBytes;
+  e.ino = ino;
+  addr_table_.push_back(e);
+  addr_index_[e.base] = e;
+}
+
+void SharedFs::RemoveAddrEntry(uint32_t ino) {
+  uint32_t base = SfsAddressForInode(ino);
+  addr_table_.erase(std::remove_if(addr_table_.begin(), addr_table_.end(),
+                                   [&](const AddrEntry& e) { return e.ino == ino; }),
+                    addr_table_.end());
+  addr_index_.erase(base);
+}
+
+void SharedFs::RebuildAddrTable() {
+  addr_table_.clear();
+  addr_index_.clear();
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    if (inodes_[ino].type == SfsNodeType::kRegular) {
+      AddAddrEntry(ino);
+    }
+  }
+}
+
+Status SharedFs::EnsureExtent(uint32_t ino, uint32_t bytes) {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: not a regular file");
+  }
+  if (bytes > kSfsMaxFileBytes) {
+    return OutOfRange("sfs: extent beyond the 1 MB file limit");
+  }
+  Inode& node = inodes_[ino];
+  uint32_t want = PageCeil(bytes);
+  if (node.data.size() < want) {
+    node.data.resize(want, 0);
+  }
+  return OkStatus();
+}
+
+uint8_t* SharedFs::DataPtr(uint32_t ino) {
+  if (ino == 0 || ino > kSfsMaxInodes || inodes_[ino].type != SfsNodeType::kRegular) {
+    return nullptr;
+  }
+  return inodes_[ino].data.data();
+}
+
+uint32_t SharedFs::ExtentBytes(uint32_t ino) const {
+  if (ino == 0 || ino > kSfsMaxInodes || inodes_[ino].type != SfsNodeType::kRegular) {
+    return 0;
+  }
+  return static_cast<uint32_t>(inodes_[ino].data.size());
+}
+
+Status SharedFs::LockInode(uint32_t ino, int pid) {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  (void)st;
+  Inode& node = inodes_[ino];
+  if (node.lock_owner != -1 && node.lock_owner != pid) {
+    return WouldBlock(StrFormat("sfs: inode %u locked by pid %d", ino, node.lock_owner));
+  }
+  node.lock_owner = pid;
+  return OkStatus();
+}
+
+Status SharedFs::UnlockInode(uint32_t ino, int pid) {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  (void)st;
+  Inode& node = inodes_[ino];
+  if (node.lock_owner != pid) {
+    return FailedPrecondition("sfs: unlock by non-owner");
+  }
+  node.lock_owner = -1;
+  return OkStatus();
+}
+
+void SharedFs::ReleaseLocksOf(int pid) {
+  for (Inode& node : inodes_) {
+    if (node.lock_owner == pid) {
+      node.lock_owner = -1;
+    }
+  }
+}
+
+void SharedFs::Serialize(ByteWriter* w) const {
+  w->U32(0x53465348);  // "HSFS"
+  w->U32(kSfsMaxInodes);
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    const Inode& node = inodes_[ino];
+    w->U8(static_cast<uint8_t>(node.type));
+    if (node.type == SfsNodeType::kFree) {
+      continue;
+    }
+    w->Str(node.path);
+    w->U32(node.parent);
+    if (node.type == SfsNodeType::kRegular) {
+      w->U32(node.size);
+      w->U32(static_cast<uint32_t>(node.data.size()));
+      w->Raw(node.data.data(), node.data.size());
+    } else if (node.type == SfsNodeType::kSymlink) {
+      w->Str(node.symlink_target);
+    } else {
+      w->U32(static_cast<uint32_t>(node.children.size()));
+      for (uint32_t child : node.children) {
+        w->U32(child);
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<SharedFs>> SharedFs::Deserialize(ByteReader* r) {
+  ASSIGN_OR_RETURN(uint32_t magic, r->U32());
+  if (magic != 0x53465348) {
+    return CorruptData("sfs: bad magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t count, r->U32());
+  if (count != kSfsMaxInodes) {
+    return CorruptData("sfs: inode count mismatch");
+  }
+  auto fs = std::make_unique<SharedFs>();
+  fs->inodes_[kRootIno] = Inode{};  // will be re-read below
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    Inode& node = fs->inodes_[ino];
+    node.type = static_cast<SfsNodeType>(type);
+    if (node.type == SfsNodeType::kFree) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(node.path, r->Str());
+    ASSIGN_OR_RETURN(node.parent, r->U32());
+    if (node.type == SfsNodeType::kRegular) {
+      ASSIGN_OR_RETURN(node.size, r->U32());
+      ASSIGN_OR_RETURN(uint32_t extent, r->U32());
+      if (extent > kSfsMaxFileBytes || r->remaining() < extent) {
+        return CorruptData("sfs: bad extent");
+      }
+      node.data.resize(extent);
+      RETURN_IF_ERROR(r->ReadRaw(node.data.data(), extent));
+    } else if (node.type == SfsNodeType::kSymlink) {
+      ASSIGN_OR_RETURN(node.symlink_target, r->Str());
+    } else {
+      ASSIGN_OR_RETURN(uint32_t n, r->U32());
+      node.children.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(node.children[i], r->U32());
+      }
+    }
+    node.lock_owner = -1;  // locks do not survive a reboot
+  }
+  // Boot-time scan (paper §3): rebuild the address table from the on-disk state.
+  fs->RebuildAddrTable();
+  return fs;
+}
+
+uint32_t SharedFs::InodesInUse() const {
+  uint32_t n = 0;
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    if (inodes_[ino].type != SfsNodeType::kFree) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,171 @@
+// The Hemlock shared file system (paper §3, "Address Space and File System
+// Organization").
+//
+// A dedicated partition whose files are the backing store for shared segments:
+//   * exactly 1024 inodes; each file is capped at 1 MB;
+//   * hard links (other than '.' and '..') are prohibited, so path <-> inode is 1:1;
+//   * every regular file has a unique, globally agreed virtual address inside the 1 GB
+//     region reserved between heap and stack:  addr(ino) = kSfsBase + (ino-1) * 1 MB;
+//   * the kernel keeps an address -> file mapping in a *linear lookup table*, built by a
+//     boot-time scan of the partition and updated as files are created and destroyed;
+//   * new kernel calls translate inode -> path and open a file *by address*.
+//
+// All ordinary Unix file operations work here (read/write/stat/unlink/readdir); the only
+// thing that sets the partition apart is the name <-> address association.
+#ifndef SRC_SFS_SHARED_FS_H_
+#define SRC_SFS_SHARED_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/layout.h"
+#include "src/base/status.h"
+
+namespace hemlock {
+
+// Hard links are prohibited (1:1 inode <-> path); *symbolic* links are ordinary
+// inodes holding a target path and are what the paper's Presto recipe plants in
+// per-job temp directories.
+enum class SfsNodeType : uint8_t { kFree = 0, kRegular = 1, kDirectory = 2, kSymlink = 3 };
+
+struct SfsStat {
+  uint32_t ino = 0;
+  SfsNodeType type = SfsNodeType::kFree;
+  uint32_t size = 0;
+  uint32_t addr = 0;  // 0 for directories
+};
+
+// Strategy for the kernel's address -> inode translation (DESIGN.md ablation F3):
+// the paper uses a linear table "for the sake of simplicity" and plans a B-tree-backed
+// index for the 64-bit version.
+enum class AddrLookupMode { kLinear, kIndexed };
+
+class SharedFs {
+ public:
+  SharedFs();
+
+  SharedFs(const SharedFs&) = delete;
+  SharedFs& operator=(const SharedFs&) = delete;
+
+  // --- Path operations (traditional Unix interface) ---
+
+  // Creates an empty regular file. Consumes an inode; fails with kResourceExhausted
+  // when all 1024 are in use.
+  Result<uint32_t> Create(const std::string& path);
+  Result<uint32_t> Mkdir(const std::string& path);
+  // Removes a file or empty directory; frees the inode and its address slot.
+  Status Unlink(const std::string& path);
+  Result<uint32_t> Lookup(const std::string& path) const;
+  Result<SfsStat> Stat(const std::string& path) const;
+  // Entry names in a directory, sorted — the paper leans on this for manual garbage
+  // collection ("the ability to peruse all of the segments in existence").
+  Result<std::vector<std::string>> List(const std::string& path) const;
+  bool Exists(const std::string& path) const { return Lookup(path).ok(); }
+
+  // Hard links are prohibited (paper §3); this always fails and exists so callers can
+  // verify the restriction.
+  Status Link(const std::string& existing, const std::string& link);
+
+  // Creates a symbolic link whose literal target is |target| (any VFS path).
+  Result<uint32_t> Symlink(const std::string& path, const std::string& target);
+  // Reads a symlink's target.
+  Result<std::string> ReadLink(const std::string& path) const;
+
+  // --- Inode-level I/O ---
+
+  Status WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uint32_t len);
+  Result<uint32_t> ReadAt(uint32_t ino, uint32_t offset, uint8_t* out, uint32_t len) const;
+  Status Truncate(uint32_t ino, uint32_t new_size);
+  Result<SfsStat> StatInode(uint32_t ino) const;
+
+  // --- The address mapping (the paper's kernel extensions) ---
+
+  // The file's fixed virtual address; valid for regular files.
+  Result<uint32_t> AddressOf(uint32_t ino) const;
+  // addr -> inode via the lookup table. |addr| may point anywhere inside the file's
+  // 1 MB slot. kNotFound if no file owns that address.
+  Result<uint32_t> AddrToInode(uint32_t addr) const;
+  // New kernel call (paper §3): inode -> path.
+  Result<std::string> InodeToPath(uint32_t ino) const;
+  // New kernel call: addr -> path (stat already gave path -> addr via the inode number).
+  Result<std::string> AddrToPath(uint32_t addr) const;
+
+  // Rebuilds the lookup table by scanning every inode — run at boot (paper: "we
+  // initialize the table at boot time by scanning the entire shared file system").
+  void RebuildAddrTable();
+
+  void set_lookup_mode(AddrLookupMode mode) { lookup_mode_ = mode; }
+  AddrLookupMode lookup_mode() const { return lookup_mode_; }
+
+  // --- Segment backing (used by the VM's mapper) ---
+
+  // Guarantees the physical buffer covers [0, bytes) so pages can be mapped; the
+  // logical size is not changed (like touching pages past EOF under mmap).
+  Status EnsureExtent(uint32_t ino, uint32_t bytes);
+  // Direct access to the shared backing bytes. The pointer is stable until the next
+  // EnsureExtent/Truncate on the same inode.
+  uint8_t* DataPtr(uint32_t ino);
+  uint32_t ExtentBytes(uint32_t ino) const;
+
+  // --- Advisory locking (ldl's segment-creation lock, paper §4 fn. 3) ---
+
+  Status LockInode(uint32_t ino, int pid);
+  Status UnlockInode(uint32_t ino, int pid);
+  // Releases every lock held by |pid| (process exit).
+  void ReleaseLocksOf(int pid);
+
+  // --- Persistence across "reboots" ---
+
+  void Serialize(ByteWriter* w) const;
+  static Result<std::unique_ptr<SharedFs>> Deserialize(ByteReader* r);
+
+  // Counts for introspection.
+  uint32_t InodesInUse() const;
+  uint32_t FreeInodes() const { return kSfsMaxInodes - InodesInUse(); }
+
+ private:
+  struct Inode {
+    SfsNodeType type = SfsNodeType::kFree;
+    std::string path;                 // canonical absolute path within the partition
+    uint32_t size = 0;                // logical file size
+    std::vector<uint8_t> data;        // physical extent (page-rounded when mapped)
+    std::vector<uint32_t> children;   // directory entries
+    std::string symlink_target;       // kSymlink
+    uint32_t parent = 0;
+    int lock_owner = -1;
+  };
+
+  struct AddrEntry {
+    uint32_t base = 0;
+    uint32_t limit = 0;
+    uint32_t ino = 0;
+  };
+
+  Result<uint32_t> AllocInode();
+  Result<uint32_t> WalkDir(const std::string& dir_path) const;
+  Status ValidatePathForCreate(const std::string& path, uint32_t* parent_ino,
+                               std::string* leaf) const;
+  void AddAddrEntry(uint32_t ino);
+  void RemoveAddrEntry(uint32_t ino);
+
+  // Inode 0 unused; inode 1 is the partition root directory.
+  std::vector<Inode> inodes_;
+  AddrLookupMode lookup_mode_ = AddrLookupMode::kLinear;
+  // Linear table (paper) — scanned front to back.
+  std::vector<AddrEntry> addr_table_;
+  // Indexed ablation: base -> entry.
+  std::map<uint32_t, AddrEntry> addr_index_;
+};
+
+// The fixed address of a regular file's segment, derived from its inode number.
+inline constexpr uint32_t SfsAddressForInode(uint32_t ino) {
+  return kSfsBase + (ino - 1) * kSfsMaxFileBytes;
+}
+
+}  // namespace hemlock
+
+#endif  // SRC_SFS_SHARED_FS_H_

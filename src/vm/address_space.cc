@@ -1,0 +1,267 @@
+#include "src/vm/address_space.h"
+
+#include <cstring>
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+Status AddressSpace::MapPrivate(uint32_t vaddr, uint32_t len, Prot prot, PrivateBacking backing,
+                                uint32_t backing_off) {
+  if ((vaddr & kPageMask) != 0 || len == 0) {
+    return InvalidArgument("map: unaligned address or empty range");
+  }
+  uint32_t pages = PageCeil(len) / kPageSize;
+  if (backing == nullptr || backing->size() < backing_off + pages * kPageSize) {
+    return InvalidArgument("map: private backing too small");
+  }
+  for (uint32_t i = 0; i < pages; ++i) {
+    PageEntry& e = pages_[vaddr + i * kPageSize];
+    e.prot = prot;
+    e.is_public = false;
+    e.backing = backing;
+    e.backing_off = backing_off + i * kPageSize;
+    e.ino = 0;
+  }
+  return OkStatus();
+}
+
+Status AddressSpace::MapPublic(uint32_t vaddr, uint32_t len, Prot prot, uint32_t ino,
+                               uint32_t file_off) {
+  if ((vaddr & kPageMask) != 0 || (file_off & kPageMask) != 0 || len == 0) {
+    return InvalidArgument("map: unaligned address or offset");
+  }
+  uint32_t pages = PageCeil(len) / kPageSize;
+  if (sfs_->ExtentBytes(ino) < file_off + pages * kPageSize) {
+    return InvalidArgument(StrFormat("map: inode %u extent too small for %u pages", ino, pages));
+  }
+  for (uint32_t i = 0; i < pages; ++i) {
+    PageEntry& e = pages_[vaddr + i * kPageSize];
+    e.prot = prot;
+    e.is_public = true;
+    e.backing = nullptr;
+    e.ino = ino;
+    e.file_off = file_off + i * kPageSize;
+  }
+  return OkStatus();
+}
+
+Status AddressSpace::Unmap(uint32_t vaddr, uint32_t len) {
+  if ((vaddr & kPageMask) != 0 || len == 0) {
+    return InvalidArgument("unmap: unaligned address or empty range");
+  }
+  uint32_t pages = PageCeil(len) / kPageSize;
+  for (uint32_t i = 0; i < pages; ++i) {
+    pages_.erase(vaddr + i * kPageSize);
+  }
+  return OkStatus();
+}
+
+Status AddressSpace::Protect(uint32_t vaddr, uint32_t len, Prot prot) {
+  if ((vaddr & kPageMask) != 0 || len == 0) {
+    return InvalidArgument("protect: unaligned address or empty range");
+  }
+  uint32_t pages = PageCeil(len) / kPageSize;
+  for (uint32_t i = 0; i < pages; ++i) {
+    auto it = pages_.find(vaddr + i * kPageSize);
+    if (it == pages_.end()) {
+      return NotFound(StrFormat("protect: page 0x%08x not mapped", vaddr + i * kPageSize));
+    }
+    it->second.prot = prot;
+  }
+  return OkStatus();
+}
+
+bool AddressSpace::IsMapped(uint32_t vaddr) const {
+  return pages_.count(PageFloor(vaddr)) != 0;
+}
+
+Prot AddressSpace::ProtectionAt(uint32_t vaddr) const {
+  auto it = pages_.find(PageFloor(vaddr));
+  return it == pages_.end() ? Prot::kNone : it->second.prot;
+}
+
+uint32_t AddressSpace::PublicInodeAt(uint32_t vaddr) const {
+  auto it = pages_.find(PageFloor(vaddr));
+  if (it == pages_.end() || !it->second.is_public) {
+    return 0;
+  }
+  return it->second.ino;
+}
+
+uint8_t* AddressSpace::Resolve(uint32_t addr, uint32_t len, AccessKind access, bool check_prot,
+                               Fault* fault) const {
+  uint32_t page = PageFloor(addr);
+  if (PageFloor(addr + len - 1) != page) {
+    // Accesses are at most 4 bytes and 4-byte aligned in the CPU, so a straddle can
+    // only come from kernel paths, which split at page boundaries before calling.
+    fault->addr = addr;
+    fault->access = access;
+    fault->kind = FaultKind::kUnmapped;
+    return nullptr;
+  }
+  auto it = pages_.find(page);
+  if (it == pages_.end()) {
+    fault->addr = addr;
+    fault->access = access;
+    fault->kind = FaultKind::kUnmapped;
+    return nullptr;
+  }
+  const PageEntry& e = it->second;
+  if (check_prot) {
+    Prot want = access == AccessKind::kRead    ? Prot::kRead
+                : access == AccessKind::kWrite ? Prot::kWrite
+                                               : Prot::kExec;
+    if (!HasProt(e.prot, want)) {
+      fault->addr = addr;
+      fault->access = access;
+      fault->kind = FaultKind::kProtection;
+      return nullptr;
+    }
+  }
+  uint32_t in_page = addr - page;
+  if (e.is_public) {
+    uint8_t* base = sfs_->DataPtr(e.ino);
+    if (base == nullptr || sfs_->ExtentBytes(e.ino) < e.file_off + kPageSize) {
+      // The file was truncated or unlinked behind the mapping.
+      fault->addr = addr;
+      fault->access = access;
+      fault->kind = FaultKind::kUnmapped;
+      return nullptr;
+    }
+    return base + e.file_off + in_page;
+  }
+  return e.backing->data() + e.backing_off + in_page;
+}
+
+bool AddressSpace::Load32(uint32_t addr, uint32_t* out, Fault* fault) const {
+  if ((addr & 3) != 0) {
+    fault->addr = addr;
+    fault->access = AccessKind::kRead;
+    fault->kind = FaultKind::kUnmapped;
+    return false;
+  }
+  uint8_t* p = Resolve(addr, 4, AccessKind::kRead, /*check_prot=*/true, fault);
+  if (p == nullptr) {
+    return false;
+  }
+  std::memcpy(out, p, 4);
+  return true;
+}
+
+bool AddressSpace::Load8(uint32_t addr, uint8_t* out, Fault* fault) const {
+  uint8_t* p = Resolve(addr, 1, AccessKind::kRead, /*check_prot=*/true, fault);
+  if (p == nullptr) {
+    return false;
+  }
+  *out = *p;
+  return true;
+}
+
+bool AddressSpace::Store32(uint32_t addr, uint32_t value, Fault* fault) {
+  if ((addr & 3) != 0) {
+    fault->addr = addr;
+    fault->access = AccessKind::kWrite;
+    fault->kind = FaultKind::kUnmapped;
+    return false;
+  }
+  uint8_t* p = Resolve(addr, 4, AccessKind::kWrite, /*check_prot=*/true, fault);
+  if (p == nullptr) {
+    return false;
+  }
+  std::memcpy(p, &value, 4);
+  return true;
+}
+
+bool AddressSpace::Store8(uint32_t addr, uint8_t value, Fault* fault) {
+  uint8_t* p = Resolve(addr, 1, AccessKind::kWrite, /*check_prot=*/true, fault);
+  if (p == nullptr) {
+    return false;
+  }
+  *p = value;
+  return true;
+}
+
+bool AddressSpace::Fetch(uint32_t addr, uint32_t* out, Fault* fault) const {
+  if ((addr & 3) != 0) {
+    fault->addr = addr;
+    fault->access = AccessKind::kExec;
+    fault->kind = FaultKind::kUnmapped;
+    return false;
+  }
+  uint8_t* p = Resolve(addr, 4, AccessKind::kExec, /*check_prot=*/true, fault);
+  if (p == nullptr) {
+    return false;
+  }
+  std::memcpy(out, p, 4);
+  return true;
+}
+
+Status AddressSpace::ReadBytes(uint32_t addr, uint8_t* out, uint32_t len) const {
+  Fault fault;
+  uint32_t done = 0;
+  while (done < len) {
+    uint32_t cur = addr + done;
+    uint32_t chunk = std::min(len - done, kPageSize - (cur & kPageMask));
+    uint8_t* p = Resolve(cur, chunk, AccessKind::kRead, /*check_prot=*/false, &fault);
+    if (p == nullptr) {
+      return FaultError(StrFormat("kernel read fault at 0x%08x", cur));
+    }
+    std::memcpy(out + done, p, chunk);
+    done += chunk;
+  }
+  return OkStatus();
+}
+
+Status AddressSpace::WriteBytes(uint32_t addr, const uint8_t* data, uint32_t len) {
+  Fault fault;
+  uint32_t done = 0;
+  while (done < len) {
+    uint32_t cur = addr + done;
+    uint32_t chunk = std::min(len - done, kPageSize - (cur & kPageMask));
+    uint8_t* p = Resolve(cur, chunk, AccessKind::kWrite, /*check_prot=*/false, &fault);
+    if (p == nullptr) {
+      return FaultError(StrFormat("kernel write fault at 0x%08x", cur));
+    }
+    std::memcpy(p, data + done, chunk);
+    done += chunk;
+  }
+  return OkStatus();
+}
+
+Result<std::string> AddressSpace::ReadCString(uint32_t addr, uint32_t max_len) const {
+  std::string out;
+  Fault fault;
+  for (uint32_t i = 0; i < max_len; ++i) {
+    uint8_t* p = Resolve(addr + i, 1, AccessKind::kRead, /*check_prot=*/false, &fault);
+    if (p == nullptr) {
+      return FaultError(StrFormat("kernel string read fault at 0x%08x", addr + i));
+    }
+    if (*p == 0) {
+      return out;
+    }
+    out.push_back(static_cast<char>(*p));
+  }
+  return InvalidArgument("unterminated string");
+}
+
+std::unique_ptr<AddressSpace> AddressSpace::Fork() const {
+  auto child = std::make_unique<AddressSpace>(sfs_);
+  // Private backings may be shared by many pages; copy each distinct buffer once.
+  std::map<const std::vector<uint8_t>*, PrivateBacking> copied;
+  for (const auto& [vaddr, entry] : pages_) {
+    PageEntry ce = entry;
+    if (!entry.is_public) {
+      auto it = copied.find(entry.backing.get());
+      if (it == copied.end()) {
+        auto dup = std::make_shared<std::vector<uint8_t>>(*entry.backing);
+        it = copied.emplace(entry.backing.get(), std::move(dup)).first;
+      }
+      ce.backing = it->second;
+    }
+    child->pages_[vaddr] = std::move(ce);
+  }
+  return child;
+}
+
+}  // namespace hemlock

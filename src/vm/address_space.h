@@ -1,0 +1,122 @@
+// A simulated 32-bit address space with page-grained mappings and protections.
+//
+// Two kinds of backing exist, mirroring the paper's private/public split (§5):
+//   * private pages reference a per-process buffer (copied on fork);
+//   * public pages reference a shared-file-system inode at a file offset, so every
+//     process mapping the same SFS file sees the same bytes — and stores write through
+//     to the file.
+//
+// Mapping a range with Prot::kNone is how ldl arranges for the first touch of a
+// partially linked module to fault (paper §2: "maps the module without access
+// permissions, so that the first reference will cause a segmentation fault").
+#ifndef SRC_VM_ADDRESS_SPACE_H_
+#define SRC_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/layout.h"
+#include "src/base/status.h"
+#include "src/sfs/shared_fs.h"
+
+namespace hemlock {
+
+enum class Prot : uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+  kReadWrite = 3,
+  kReadExec = 5,
+  kAll = 7,
+};
+
+inline Prot operator|(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<uint8_t>(a) | static_cast<uint8_t>(b));
+}
+inline bool HasProt(Prot prot, Prot want) {
+  return (static_cast<uint8_t>(prot) & static_cast<uint8_t>(want)) ==
+         static_cast<uint8_t>(want);
+}
+
+enum class AccessKind : uint8_t { kRead, kWrite, kExec };
+
+// Why a memory access trapped.
+enum class FaultKind : uint8_t { kUnmapped, kProtection };
+
+struct Fault {
+  uint32_t addr = 0;
+  AccessKind access = AccessKind::kRead;
+  FaultKind kind = FaultKind::kUnmapped;
+};
+
+// Backing store for private pages. Fork deep-copies these (classic pre-COW Unix
+// semantics; the copy cost is measured by bench_fork).
+using PrivateBacking = std::shared_ptr<std::vector<uint8_t>>;
+
+class AddressSpace {
+ public:
+  // |sfs| supplies the bytes behind public mappings; it must outlive the space.
+  explicit AddressSpace(SharedFs* sfs) : sfs_(sfs) {}
+
+  // Maps [vaddr, vaddr+len) to |backing| starting at |backing_off|. All page-aligned.
+  Status MapPrivate(uint32_t vaddr, uint32_t len, Prot prot, PrivateBacking backing,
+                    uint32_t backing_off);
+  // Maps [vaddr, vaddr+len) to SFS file |ino| at |file_off|. The file's physical
+  // extent must already cover the range (SharedFs::EnsureExtent).
+  Status MapPublic(uint32_t vaddr, uint32_t len, Prot prot, uint32_t ino, uint32_t file_off);
+  Status Unmap(uint32_t vaddr, uint32_t len);
+  Status Protect(uint32_t vaddr, uint32_t len, Prot prot);
+
+  bool IsMapped(uint32_t vaddr) const;
+  // Protection of the page containing |vaddr| (kNone when unmapped).
+  Prot ProtectionAt(uint32_t vaddr) const;
+  // If the page is a public mapping, returns its inode; 0 otherwise.
+  uint32_t PublicInodeAt(uint32_t vaddr) const;
+
+  // --- CPU access paths: false => |fault| describes the trap ---
+  bool Load32(uint32_t addr, uint32_t* out, Fault* fault) const;
+  bool Load8(uint32_t addr, uint8_t* out, Fault* fault) const;
+  bool Store32(uint32_t addr, uint32_t value, Fault* fault);
+  bool Store8(uint32_t addr, uint8_t value, Fault* fault);
+  bool Fetch(uint32_t addr, uint32_t* out, Fault* fault) const;
+
+  // --- Kernel access paths (ignore protections; fail only on unmapped) ---
+  Status ReadBytes(uint32_t addr, uint8_t* out, uint32_t len) const;
+  Status WriteBytes(uint32_t addr, const uint8_t* data, uint32_t len);
+  // Reads a NUL-terminated string (bounded at |max_len|).
+  Result<std::string> ReadCString(uint32_t addr, uint32_t max_len = 4096) const;
+
+  // Deep-copies the space for fork: private backings duplicated, public entries
+  // shared. Returns the child space.
+  std::unique_ptr<AddressSpace> Fork() const;
+
+  // Total mapped pages (for diagnostics/benches).
+  uint32_t MappedPages() const { return static_cast<uint32_t>(pages_.size()); }
+
+ private:
+  struct PageEntry {
+    Prot prot = Prot::kNone;
+    bool is_public = false;
+    // Private backing.
+    PrivateBacking backing;
+    uint32_t backing_off = 0;  // offset of this page within the backing
+    // Public backing.
+    uint32_t ino = 0;
+    uint32_t file_off = 0;  // offset of this page within the file
+  };
+
+  // Resolves the host byte behind |addr| for an access of |len| bytes that must not
+  // cross a page boundary. Returns nullptr and fills |fault| on failure.
+  uint8_t* Resolve(uint32_t addr, uint32_t len, AccessKind access, bool check_prot,
+                   Fault* fault) const;
+
+  SharedFs* sfs_;
+  std::map<uint32_t, PageEntry> pages_;  // keyed by page-aligned vaddr
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_VM_ADDRESS_SPACE_H_

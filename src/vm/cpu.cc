@@ -1,0 +1,261 @@
+#include "src/vm/cpu.h"
+
+namespace hemlock {
+
+StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault* fault_out) {
+  uint64_t steps = 0;
+  StopReason reason = StopReason::kSteps;
+
+  while (steps < max_steps) {
+    uint32_t word = 0;
+    Fault fault;
+    if (!space_->Fetch(st->pc, &word, &fault)) {
+      *fault_out = fault;
+      reason = StopReason::kFault;
+      break;
+    }
+    std::optional<Instr> decoded = Decode(word);
+    if (!decoded.has_value()) {
+      reason = StopReason::kIllegal;
+      break;
+    }
+    const Instr& in = *decoded;
+    uint32_t next_pc = st->pc + 4;
+    auto& r = st->regs;
+    bool stop = false;
+
+    switch (in.op) {
+      case Op::kRType: {
+        uint32_t rs = r[in.rs];
+        uint32_t rt = r[in.rt];
+        uint32_t result = 0;
+        bool writes_rd = true;
+        switch (in.funct) {
+          case Funct::kSll:
+            result = rt << in.shamt;
+            break;
+          case Funct::kSrl:
+            result = rt >> in.shamt;
+            break;
+          case Funct::kSra:
+            result = static_cast<uint32_t>(static_cast<int32_t>(rt) >> in.shamt);
+            break;
+          case Funct::kSllv:
+            result = rt << (rs & 31);
+            break;
+          case Funct::kSrlv:
+            result = rt >> (rs & 31);
+            break;
+          case Funct::kSrav:
+            result = static_cast<uint32_t>(static_cast<int32_t>(rt) >> (rs & 31));
+            break;
+          case Funct::kAdd:
+            result = rs + rt;
+            break;
+          case Funct::kSub:
+            result = rs - rt;
+            break;
+          case Funct::kMul:
+            result = rs * rt;
+            break;
+          case Funct::kDiv:
+            if (rt == 0) {
+              reason = StopReason::kDivZero;
+              stop = true;
+              writes_rd = false;
+              break;
+            }
+            result = static_cast<uint32_t>(static_cast<int32_t>(rs) / static_cast<int32_t>(rt));
+            break;
+          case Funct::kMod:
+            if (rt == 0) {
+              reason = StopReason::kDivZero;
+              stop = true;
+              writes_rd = false;
+              break;
+            }
+            result = static_cast<uint32_t>(static_cast<int32_t>(rs) % static_cast<int32_t>(rt));
+            break;
+          case Funct::kAnd:
+            result = rs & rt;
+            break;
+          case Funct::kOr:
+            result = rs | rt;
+            break;
+          case Funct::kXor:
+            result = rs ^ rt;
+            break;
+          case Funct::kNor:
+            result = ~(rs | rt);
+            break;
+          case Funct::kSlt:
+            result = static_cast<int32_t>(rs) < static_cast<int32_t>(rt) ? 1 : 0;
+            break;
+          case Funct::kSltu:
+            result = rs < rt ? 1 : 0;
+            break;
+          case Funct::kJr:
+            next_pc = rs;
+            writes_rd = false;
+            break;
+          case Funct::kJalr:
+            result = st->pc + 4;
+            next_pc = rs;
+            break;
+          case Funct::kSyscall:
+            reason = StopReason::kSyscall;
+            stop = true;
+            writes_rd = false;
+            break;
+          case Funct::kBreak:
+            reason = StopReason::kBreak;
+            stop = true;
+            writes_rd = false;
+            break;
+        }
+        if (writes_rd && in.rd != kRegZero) {
+          r[in.rd] = result;
+        }
+        break;
+      }
+      case Op::kJ:
+        next_pc = JumpTarget(st->pc, in.target);
+        break;
+      case Op::kJal:
+        if (kRegRa != kRegZero) {
+          r[kRegRa] = st->pc + 4;
+        }
+        next_pc = JumpTarget(st->pc, in.target);
+        break;
+      case Op::kBeq:
+        if (r[in.rs] == r[in.rt]) {
+          next_pc = st->pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+        }
+        break;
+      case Op::kBne:
+        if (r[in.rs] != r[in.rt]) {
+          next_pc = st->pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+        }
+        break;
+      case Op::kBlez:
+        if (static_cast<int32_t>(r[in.rs]) <= 0) {
+          next_pc = st->pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+        }
+        break;
+      case Op::kBgtz:
+        if (static_cast<int32_t>(r[in.rs]) > 0) {
+          next_pc = st->pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+        }
+        break;
+      case Op::kAddi:
+        if (in.rt != kRegZero) {
+          r[in.rt] = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+        }
+        break;
+      case Op::kSlti:
+        if (in.rt != kRegZero) {
+          r[in.rt] = static_cast<int32_t>(r[in.rs]) < static_cast<int32_t>(in.imm) ? 1 : 0;
+        }
+        break;
+      case Op::kSltiu:
+        if (in.rt != kRegZero) {
+          r[in.rt] =
+              r[in.rs] < static_cast<uint32_t>(static_cast<int32_t>(in.imm)) ? 1 : 0;
+        }
+        break;
+      case Op::kAndi:
+        if (in.rt != kRegZero) {
+          r[in.rt] = r[in.rs] & static_cast<uint16_t>(in.imm);
+        }
+        break;
+      case Op::kOri:
+        if (in.rt != kRegZero) {
+          r[in.rt] = r[in.rs] | static_cast<uint16_t>(in.imm);
+        }
+        break;
+      case Op::kXori:
+        if (in.rt != kRegZero) {
+          r[in.rt] = r[in.rs] ^ static_cast<uint16_t>(in.imm);
+        }
+        break;
+      case Op::kLui:
+        if (in.rt != kRegZero) {
+          r[in.rt] = static_cast<uint32_t>(static_cast<uint16_t>(in.imm)) << 16;
+        }
+        break;
+      case Op::kLw: {
+        uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+        uint32_t value = 0;
+        Fault f;
+        if (!space_->Load32(addr, &value, &f)) {
+          *fault_out = f;
+          reason = StopReason::kFault;
+          stop = true;
+          break;
+        }
+        if (in.rt != kRegZero) {
+          r[in.rt] = value;
+        }
+        break;
+      }
+      case Op::kLb:
+      case Op::kLbu: {
+        uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+        uint8_t value = 0;
+        Fault f;
+        if (!space_->Load8(addr, &value, &f)) {
+          *fault_out = f;
+          reason = StopReason::kFault;
+          stop = true;
+          break;
+        }
+        if (in.rt != kRegZero) {
+          r[in.rt] = in.op == Op::kLb
+                         ? static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(value)))
+                         : value;
+        }
+        break;
+      }
+      case Op::kSw: {
+        uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+        Fault f;
+        if (!space_->Store32(addr, r[in.rt], &f)) {
+          *fault_out = f;
+          reason = StopReason::kFault;
+          stop = true;
+          break;
+        }
+        break;
+      }
+      case Op::kSb: {
+        uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+        Fault f;
+        if (!space_->Store8(addr, static_cast<uint8_t>(r[in.rt]), &f)) {
+          *fault_out = f;
+          reason = StopReason::kFault;
+          stop = true;
+          break;
+        }
+        break;
+      }
+    }
+
+    if (stop) {
+      if (reason == StopReason::kSyscall || reason == StopReason::kBreak) {
+        st->pc = next_pc;  // resume after the trap instruction
+        ++steps;
+      }
+      // kFault / kDivZero leave pc at the trapping instruction for retry/diagnosis.
+      break;
+    }
+    st->pc = next_pc;
+    ++steps;
+  }
+
+  if (steps_out != nullptr) {
+    *steps_out = steps;
+  }
+  return reason;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,48 @@
+// The HRISC interpreter.
+//
+// Simplifications relative to a real R3000 (documented, none affect the linking story):
+// no branch delay slots, MUL/DIV write a GPR directly instead of HI/LO, and all traps
+// are precise. On a memory fault the PC is left at the faulting instruction so the
+// kernel can retry it after a fault handler maps or links the target segment — exactly
+// the paper's "restarts the faulting instruction".
+#ifndef SRC_VM_CPU_H_
+#define SRC_VM_CPU_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/isa.h"
+#include "src/vm/address_space.h"
+
+namespace hemlock {
+
+struct CpuState {
+  std::array<uint32_t, kNumRegs> regs{};
+  uint32_t pc = 0;
+};
+
+enum class StopReason : uint8_t {
+  kSteps,    // step budget exhausted; resume later
+  kSyscall,  // SYSCALL executed; pc already advanced past it
+  kBreak,    // BREAK executed; pc advanced
+  kFault,    // memory fault; pc at the faulting instruction, fault_out filled
+  kIllegal,  // undecodable instruction
+  kDivZero,
+};
+
+class Cpu {
+ public:
+  explicit Cpu(AddressSpace* space) : space_(space) {}
+
+  // Executes up to |max_steps| instructions, mutating |st|.
+  // |steps_out| (optional) receives the number of instructions retired.
+  // |fault_out| is filled when the return is kFault.
+  StopReason Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault* fault_out);
+
+ private:
+  AddressSpace* space_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_VM_CPU_H_

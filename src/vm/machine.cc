@@ -1,0 +1,591 @@
+#include "src/vm/machine.h"
+
+#include <cstring>
+
+#include "src/base/layout.h"
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+Process::Process(int pid, int parent, SharedFs* sfs)
+    : pid_(pid), parent_(parent), space_(std::make_unique<AddressSpace>(sfs)) {
+  fds_.resize(3);
+  fds_[0].kind = FileDesc::Kind::kStdio;
+  fds_[1].kind = FileDesc::Kind::kStdio;
+  fds_[2].kind = FileDesc::Kind::kStdio;
+}
+
+std::string Process::GetEnv(const std::string& key) const {
+  auto it = env_.find(key);
+  return it == env_.end() ? std::string() : it->second;
+}
+
+void Process::PushFaultHandler(FaultHandler handler) {
+  fault_handlers_.insert(fault_handlers_.begin(), std::move(handler));
+}
+
+void Process::ChainFaultHandler(FaultHandler handler) {
+  fault_handlers_.push_back(std::move(handler));
+}
+
+Machine::Machine() : vfs_(std::make_unique<Vfs>()) {}
+
+Process& Machine::CreateProcess() {
+  int pid = next_pid_++;
+  auto proc = std::make_unique<Process>(pid, /*parent=*/0, &sfs());
+  Process& ref = *proc;
+  procs_[pid] = std::move(proc);
+  return ref;
+}
+
+Process* Machine::FindProcess(int pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+int Machine::LiveProcessCount() const {
+  int n = 0;
+  for (const auto& [pid, proc] : procs_) {
+    if (proc->state_ != ProcState::kZombie) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+RunOutcome Machine::RunProcess(int pid, uint64_t max_steps) {
+  Process* proc = FindProcess(pid);
+  if (proc == nullptr || proc->state_ == ProcState::kZombie) {
+    return RunOutcome::kExited;
+  }
+  Cpu cpu(&proc->space());
+  uint64_t budget = max_steps;
+  while (budget > 0) {
+    if (proc->state_ == ProcState::kZombie) {
+      return RunOutcome::kExited;
+    }
+    if (proc->state_ == ProcState::kWaiting) {
+      // Try to reap the waited-for child.
+      Process* child = FindProcess(proc->wait_target_);
+      if (child != nullptr && child->state_ == ProcState::kZombie) {
+        proc->cpu().regs[kRegV0] = static_cast<uint32_t>(child->exit_status_);
+        proc->cpu().regs[kRegV1] = 0;
+        procs_.erase(proc->wait_target_);
+        proc->wait_target_ = -1;
+        proc->state_ = ProcState::kRunnable;
+      } else {
+        return RunOutcome::kBlocked;
+      }
+    }
+    uint64_t steps = 0;
+    Fault fault;
+    StopReason reason = cpu.Run(&proc->cpu(), budget, &steps, &fault);
+    proc->steps_ += steps;
+    ticks_ += steps;
+    budget = budget > steps ? budget - steps : 0;
+    switch (reason) {
+      case StopReason::kSteps:
+        return RunOutcome::kOutOfGas;
+      case StopReason::kSyscall:
+        DoSyscall(*proc);
+        if (budget > 0) {
+          --budget;  // a syscall consumes at least a step of budget
+        }
+        // A yield inside RunProcess just continues (single-process view).
+        break;
+      case StopReason::kBreak:
+        KillProcess(pid, 134, "break instruction");
+        return RunOutcome::kExited;
+      case StopReason::kFault: {
+        if (DeliverFault(*proc, fault)) {
+          break;  // retry the instruction
+        }
+        KillProcess(pid, 139,
+                    StrFormat("segmentation fault at 0x%08x (pc=0x%08x)", fault.addr,
+                              proc->cpu().pc));
+        return RunOutcome::kExited;
+      }
+      case StopReason::kIllegal:
+        KillProcess(pid, 132, StrFormat("illegal instruction at pc=0x%08x", proc->cpu().pc));
+        return RunOutcome::kExited;
+      case StopReason::kDivZero:
+        KillProcess(pid, 136, StrFormat("division by zero at pc=0x%08x", proc->cpu().pc));
+        return RunOutcome::kExited;
+    }
+  }
+  return proc->state_ == ProcState::kZombie ? RunOutcome::kExited : RunOutcome::kOutOfGas;
+}
+
+bool Machine::RunAll(uint64_t max_total_steps, uint64_t quantum) {
+  uint64_t spent = 0;
+  while (spent < max_total_steps) {
+    bool any_runnable = false;
+    bool progressed = false;
+    // Snapshot pids: syscalls may create processes mid-iteration.
+    std::vector<int> pids;
+    pids.reserve(procs_.size());
+    for (const auto& [pid, proc] : procs_) {
+      pids.push_back(pid);
+    }
+    for (int pid : pids) {
+      Process* proc = FindProcess(pid);
+      if (proc == nullptr || proc->state_ == ProcState::kZombie) {
+        continue;
+      }
+      any_runnable = true;
+      uint64_t before = ticks_;
+      RunOutcome outcome = RunProcess(pid, quantum);
+      spent += ticks_ - before;
+      if (ticks_ != before || outcome == RunOutcome::kExited) {
+        progressed = true;
+      }
+    }
+    if (!any_runnable) {
+      return true;
+    }
+    if (!progressed) {
+      // Everyone blocked on something that cannot resolve (deadlock).
+      HLOG(Warning) << "machine: no runnable process made progress; stopping";
+      return false;
+    }
+  }
+  return LiveProcessCount() == 0;
+}
+
+void Machine::KillProcess(int pid, int status, const std::string& reason) {
+  Process* proc = FindProcess(pid);
+  if (proc == nullptr || proc->state_ == ProcState::kZombie) {
+    return;
+  }
+  HLOG(Info) << "pid " << pid << " killed: " << reason;
+  proc->stdout_text_ += "[killed: " + reason + "]\n";
+  ExitProcess(*proc, status);
+}
+
+void Machine::ExitProcess(Process& proc, int status) {
+  for (FileDesc& fd : proc.fds_) {
+    FlushFd(proc, fd);
+  }
+  sfs().ReleaseLocksOf(proc.pid());
+  proc.exit_status_ = status;
+  proc.state_ = ProcState::kZombie;
+  for (auto& hook : exit_hooks_) {
+    hook(proc);
+  }
+}
+
+bool Machine::DeliverFault(Process& proc, const Fault& fault) {
+  ++proc.fault_count_;
+  ++total_faults_;
+  ticks_ += fault_cost_;
+
+  // A fault at the sigreturn sentinel is the user handler coming back: restore the
+  // interrupted context and retry the original instruction.
+  if (proc.in_user_handler_ && fault.addr == kSigReturnAddr) {
+    proc.cpu_ = proc.saved_context_;
+    proc.in_user_handler_ = false;
+    ++proc.resolved_fault_count_;
+    return true;
+  }
+
+  for (FaultHandler& handler : proc.fault_handlers_) {
+    if (handler(*this, proc, fault)) {
+      ++proc.resolved_fault_count_;
+      return true;
+    }
+  }
+
+  // Every native handler declined: deliver to the simulated program's own handler
+  // (the paper's wrapped signal() semantics). A fault *inside* the handler is fatal.
+  if (proc.user_segv_handler_ != 0 && !proc.in_user_handler_) {
+    // Run the handler on a red zone below the interrupted stack, with the fault
+    // address as its (stack-passed) argument and $ra aimed at the sigreturn sentinel.
+    uint32_t sp = ((proc.cpu_.regs[kRegSp] - 256) & ~7u) - 4;
+    uint8_t arg[4];
+    std::memcpy(arg, &fault.addr, 4);
+    if (!proc.space().WriteBytes(sp, arg, 4).ok()) {
+      return false;  // no usable stack: fatal
+    }
+    proc.saved_context_ = proc.cpu_;
+    proc.in_user_handler_ = true;
+    auto& regs = proc.cpu_.regs;
+    regs[kRegA0] = fault.addr;  // register convention too, for hand-written code
+    regs[kRegRa] = kSigReturnAddr;
+    regs[kRegSp] = sp;
+    proc.cpu_.pc = proc.user_segv_handler_;
+    ++proc.resolved_fault_count_;
+    return true;
+  }
+  return false;
+}
+
+void Machine::FlushFd(Process& proc, FileDesc& fd) {
+  if (fd.kind == FileDesc::Kind::kMem && fd.dirty) {
+    Status st = vfs_->WriteFile(fd.path, fd.buf);
+    if (!st.ok()) {
+      HLOG(Warning) << "flush of " << fd.path << " failed: " << st.ToString();
+    }
+    fd.dirty = false;
+  }
+}
+
+uint32_t Machine::SysOpen(Process& proc, const std::string& raw_path, uint32_t flags,
+                          uint32_t* err) {
+  std::string path = NormalizePath(JoinPath(proc.cwd(), raw_path));
+  Result<std::string> resolved = vfs_->Resolve(path);
+  if (!resolved.ok()) {
+    *err = static_cast<uint32_t>(resolved.status().code());
+    return static_cast<uint32_t>(-1);
+  }
+  path = *resolved;
+  FileDesc fd;
+  if (Vfs::OnSharedPartition(path)) {
+    std::string rel = Vfs::SfsRelative(path);
+    Result<uint32_t> ino = sfs().Lookup(rel);
+    if (!ino.ok() && (flags & kOpenCreate) != 0) {
+      ino = sfs().Create(rel);
+    }
+    if (!ino.ok()) {
+      *err = static_cast<uint32_t>(ino.status().code());
+      return static_cast<uint32_t>(-1);
+    }
+    if ((flags & kOpenTrunc) != 0) {
+      Status st = sfs().Truncate(*ino, 0);
+      if (!st.ok()) {
+        *err = static_cast<uint32_t>(st.code());
+        return static_cast<uint32_t>(-1);
+      }
+    }
+    fd.kind = FileDesc::Kind::kSfs;
+    fd.ino = *ino;
+  } else {
+    bool exists = vfs_->Exists(path);
+    if (!exists && (flags & kOpenCreate) == 0) {
+      *err = static_cast<uint32_t>(ErrorCode::kNotFound);
+      return static_cast<uint32_t>(-1);
+    }
+    fd.kind = FileDesc::Kind::kMem;
+    fd.path = path;
+    if (exists && (flags & kOpenTrunc) == 0) {
+      Result<std::vector<uint8_t>> data = vfs_->ReadFile(path);
+      if (!data.ok()) {
+        *err = static_cast<uint32_t>(data.status().code());
+        return static_cast<uint32_t>(-1);
+      }
+      fd.buf = std::move(*data);
+    }
+    if (!exists || (flags & kOpenTrunc) != 0) {
+      fd.dirty = true;  // ensure creation/truncation reaches the fs on close
+    }
+  }
+  fd.flags = flags;
+  fd.offset = 0;
+  for (size_t i = 3; i < proc.fds_.size(); ++i) {
+    if (proc.fds_[i].kind == FileDesc::Kind::kClosed) {
+      proc.fds_[i] = std::move(fd);
+      *err = 0;
+      return static_cast<uint32_t>(i);
+    }
+  }
+  proc.fds_.push_back(std::move(fd));
+  *err = 0;
+  return static_cast<uint32_t>(proc.fds_.size() - 1);
+}
+
+uint32_t Machine::SysOpenByAddr(Process& proc, uint32_t addr, uint32_t flags, uint32_t* err) {
+  Result<std::string> rel = sfs().AddrToPath(addr);
+  if (!rel.ok()) {
+    *err = static_cast<uint32_t>(rel.status().code());
+    return static_cast<uint32_t>(-1);
+  }
+  return SysOpen(proc, std::string(kSfsMount) + *rel, flags, err);
+}
+
+void Machine::DoSyscall(Process& proc) {
+  ++proc.syscall_count_;
+  ++total_syscalls_;
+  ticks_ += syscall_cost_;
+  auto& regs = proc.cpu().regs;
+  uint32_t num = regs[kRegV0];
+  uint32_t a0 = regs[kRegA0];
+  uint32_t a1 = regs[kRegA1];
+  uint32_t a2 = regs[kRegA2];
+  uint32_t ret = 0;
+  uint32_t err = 0;
+
+  switch (static_cast<Sys>(num)) {
+    case Sys::kExit:
+      ExitProcess(proc, static_cast<int>(a0));
+      return;
+    case Sys::kWrite: {
+      uint32_t fd = a0;
+      if (fd >= proc.fds_.size() || proc.fds_[fd].kind == FileDesc::Kind::kClosed) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      std::vector<uint8_t> buf(a2);
+      Status st = proc.space().ReadBytes(a1, buf.data(), a2);
+      if (!st.ok()) {
+        err = static_cast<uint32_t>(st.code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      FileDesc& desc = proc.fds_[fd];
+      if (desc.kind == FileDesc::Kind::kStdio) {
+        proc.stdout_text_.append(reinterpret_cast<const char*>(buf.data()), buf.size());
+        ret = a2;
+      } else if (desc.kind == FileDesc::Kind::kSfs) {
+        Status ws = sfs().WriteAt(desc.ino, desc.offset, buf.data(), a2);
+        if (!ws.ok()) {
+          err = static_cast<uint32_t>(ws.code());
+          ret = static_cast<uint32_t>(-1);
+        } else {
+          desc.offset += a2;
+          ret = a2;
+        }
+      } else {
+        if (desc.buf.size() < desc.offset + a2) {
+          desc.buf.resize(desc.offset + a2);
+        }
+        std::memcpy(desc.buf.data() + desc.offset, buf.data(), a2);
+        desc.offset += a2;
+        desc.dirty = true;
+        ret = a2;
+      }
+      break;
+    }
+    case Sys::kRead: {
+      uint32_t fd = a0;
+      if (fd >= proc.fds_.size() || proc.fds_[fd].kind == FileDesc::Kind::kClosed) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      FileDesc& desc = proc.fds_[fd];
+      std::vector<uint8_t> buf(a2);
+      uint32_t n = 0;
+      if (desc.kind == FileDesc::Kind::kSfs) {
+        Result<uint32_t> r = sfs().ReadAt(desc.ino, desc.offset, buf.data(), a2);
+        if (!r.ok()) {
+          err = static_cast<uint32_t>(r.status().code());
+          ret = static_cast<uint32_t>(-1);
+          break;
+        }
+        n = *r;
+      } else if (desc.kind == FileDesc::Kind::kMem) {
+        if (desc.offset < desc.buf.size()) {
+          n = std::min<uint32_t>(a2, static_cast<uint32_t>(desc.buf.size()) - desc.offset);
+          std::memcpy(buf.data(), desc.buf.data() + desc.offset, n);
+        }
+      }
+      desc.offset += n;
+      if (n > 0) {
+        Status st = proc.space().WriteBytes(a1, buf.data(), n);
+        if (!st.ok()) {
+          err = static_cast<uint32_t>(st.code());
+          ret = static_cast<uint32_t>(-1);
+          break;
+        }
+      }
+      ret = n;
+      break;
+    }
+    case Sys::kOpen: {
+      Result<std::string> path = proc.space().ReadCString(a0);
+      if (!path.ok()) {
+        err = static_cast<uint32_t>(path.status().code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      ret = SysOpen(proc, *path, a1, &err);
+      break;
+    }
+    case Sys::kClose: {
+      uint32_t fd = a0;
+      if (fd >= proc.fds_.size() || proc.fds_[fd].kind == FileDesc::Kind::kClosed) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      FlushFd(proc, proc.fds_[fd]);
+      proc.fds_[fd] = FileDesc{};
+      break;
+    }
+    case Sys::kFork: {
+      int child_pid = next_pid_++;
+      auto child = std::make_unique<Process>(child_pid, proc.pid(), &sfs());
+      child->space_ = proc.space().Fork();
+      child->cpu_ = proc.cpu();
+      child->brk_ = proc.brk_;
+      child->env_ = proc.env_;
+      child->cwd_ = proc.cwd_;
+      child->fds_ = proc.fds_;
+      child->fault_handlers_ = proc.fault_handlers_;
+      child->user_segv_handler_ = proc.user_segv_handler_;
+      child->in_user_handler_ = proc.in_user_handler_;
+      child->saved_context_ = proc.saved_context_;
+      // Child returns 0 from the fork syscall.
+      child->cpu_.regs[kRegV0] = 0;
+      child->cpu_.regs[kRegV1] = 0;
+      procs_[child_pid] = std::move(child);
+      ret = static_cast<uint32_t>(child_pid);
+      break;
+    }
+    case Sys::kWaitPid: {
+      Process* child = FindProcess(static_cast<int>(a0));
+      if (child == nullptr || child->parent_ != proc.pid()) {
+        err = static_cast<uint32_t>(ErrorCode::kNotFound);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      if (child->state_ == ProcState::kZombie) {
+        ret = static_cast<uint32_t>(child->exit_status_);
+        procs_.erase(static_cast<int>(a0));
+      } else {
+        proc.state_ = ProcState::kWaiting;
+        proc.wait_target_ = static_cast<int>(a0);
+        // v0/v1 are filled when the child is reaped.
+        return;
+      }
+      break;
+    }
+    case Sys::kGetPid:
+      ret = static_cast<uint32_t>(proc.pid());
+      break;
+    case Sys::kSbrk: {
+      int32_t delta = static_cast<int32_t>(a0);
+      uint32_t old_brk = proc.brk_;
+      uint32_t new_brk = old_brk + static_cast<uint32_t>(delta);
+      if (new_brk < kDataBase || new_brk > kDataLimit) {
+        err = static_cast<uint32_t>(ErrorCode::kOutOfRange);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      if (PageCeil(new_brk) > PageCeil(old_brk)) {
+        uint32_t map_base = PageCeil(old_brk);
+        uint32_t len = PageCeil(new_brk) - map_base;
+        auto backing = std::make_shared<std::vector<uint8_t>>(len, 0);
+        Status st = proc.space().MapPrivate(map_base, len, Prot::kReadWrite, backing, 0);
+        if (!st.ok()) {
+          err = static_cast<uint32_t>(st.code());
+          ret = static_cast<uint32_t>(-1);
+          break;
+        }
+      }
+      proc.brk_ = new_brk;
+      ret = old_brk;
+      break;
+    }
+    case Sys::kUnlink: {
+      Result<std::string> path = proc.space().ReadCString(a0);
+      if (!path.ok()) {
+        err = static_cast<uint32_t>(path.status().code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      Status st = vfs_->Unlink(NormalizePath(JoinPath(proc.cwd(), *path)));
+      if (!st.ok()) {
+        err = static_cast<uint32_t>(st.code());
+        ret = static_cast<uint32_t>(-1);
+      }
+      break;
+    }
+    case Sys::kStat: {
+      Result<std::string> path = proc.space().ReadCString(a0);
+      if (!path.ok()) {
+        err = static_cast<uint32_t>(path.status().code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      std::string full = NormalizePath(JoinPath(proc.cwd(), *path));
+      uint32_t out[3] = {0, 0, 0};  // ino, size, addr
+      if (Vfs::OnSharedPartition(full)) {
+        Result<SfsStat> st = sfs().Stat(Vfs::SfsRelative(full));
+        if (!st.ok()) {
+          err = static_cast<uint32_t>(st.status().code());
+          ret = static_cast<uint32_t>(-1);
+          break;
+        }
+        out[0] = st->ino;
+        out[1] = st->size;
+        out[2] = st->addr;
+      } else {
+        Result<uint32_t> size = vfs_->memfs().FileSize(full);
+        if (!size.ok()) {
+          err = static_cast<uint32_t>(size.status().code());
+          ret = static_cast<uint32_t>(-1);
+          break;
+        }
+        out[1] = *size;
+      }
+      Status ws = proc.space().WriteBytes(a1, reinterpret_cast<uint8_t*>(out), sizeof(out));
+      if (!ws.ok()) {
+        err = static_cast<uint32_t>(ws.code());
+        ret = static_cast<uint32_t>(-1);
+      }
+      break;
+    }
+    case Sys::kAddrToPath: {
+      // The paper's new kernel call: translate a shared-region address to a path.
+      Result<std::string> rel = sfs().AddrToPath(a0);
+      if (!rel.ok()) {
+        err = static_cast<uint32_t>(rel.status().code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      std::string full = std::string(kSfsMount) + *rel;
+      uint32_t n = std::min<uint32_t>(a2 > 0 ? a2 - 1 : 0, static_cast<uint32_t>(full.size()));
+      std::vector<uint8_t> buf(n + 1, 0);
+      std::memcpy(buf.data(), full.data(), n);
+      Status ws = proc.space().WriteBytes(a1, buf.data(), n + 1);
+      if (!ws.ok()) {
+        err = static_cast<uint32_t>(ws.code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      ret = static_cast<uint32_t>(full.size());
+      break;
+    }
+    case Sys::kOpenByAddr:
+      ret = SysOpenByAddr(proc, a0, a1, &err);
+      break;
+    case Sys::kYield:
+      break;
+    case Sys::kTime:
+      ret = static_cast<uint32_t>(ticks_);
+      break;
+    case Sys::kSignal: {
+      // The paper's wrapped signal(): install a program SIGSEGV handler to run when
+      // Hemlock's own handler cannot resolve a fault. Returns the previous handler.
+      ret = proc.user_segv_handler_;
+      proc.user_segv_handler_ = a0;
+      break;
+    }
+    case Sys::kLockFile: {
+      uint32_t fd = a0;
+      if (fd >= proc.fds_.size() || proc.fds_[fd].kind != FileDesc::Kind::kSfs) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      Status st = a1 != 0 ? sfs().LockInode(proc.fds_[fd].ino, proc.pid())
+                          : sfs().UnlockInode(proc.fds_[fd].ino, proc.pid());
+      if (!st.ok()) {
+        err = static_cast<uint32_t>(st.code());
+        ret = static_cast<uint32_t>(-1);
+      }
+      break;
+    }
+    default:
+      err = static_cast<uint32_t>(ErrorCode::kUnimplemented);
+      ret = static_cast<uint32_t>(-1);
+      break;
+  }
+
+  regs[kRegV0] = ret;
+  regs[kRegV1] = err;
+}
+
+}  // namespace hemlock

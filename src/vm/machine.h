@@ -1,0 +1,203 @@
+// The simulated kernel: process table, scheduler, syscalls, and fault delivery.
+//
+// This is where the paper's "modifications to the IRIX kernel" live:
+//   * the shared file system and its address <-> file lookup table (via Vfs/SharedFs);
+//   * new system calls translating addresses to path names and opening files by
+//     address (Sys::kAddrToPath, Sys::kOpenByAddr);
+//   * fork that copies private segments and shares public ones;
+//   * delivery of segmentation faults to user-level handlers. Handlers here are
+//     *native hooks* registered per process — they play the role of the user-level
+//     SIGSEGV handler library of the paper (the Hemlock runtime installs its handler
+//     first; a program-provided handler can be chained behind it, reproducing the
+//     paper's wrapped signal() semantics).
+#ifndef SRC_VM_MACHINE_H_
+#define SRC_VM_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sfs/vfs.h"
+#include "src/vm/cpu.h"
+
+namespace hemlock {
+
+// Simulated open() flags (subset of POSIX).
+inline constexpr uint32_t kOpenRead = 0x0;
+inline constexpr uint32_t kOpenWrite = 0x1;
+inline constexpr uint32_t kOpenReadWrite = 0x2;
+inline constexpr uint32_t kOpenCreate = 0x40;
+inline constexpr uint32_t kOpenTrunc = 0x200;
+
+struct FileDesc {
+  enum class Kind : uint8_t { kClosed, kStdio, kSfs, kMem };
+  Kind kind = Kind::kClosed;
+  uint32_t ino = 0;        // kSfs
+  std::string path;        // kMem
+  std::vector<uint8_t> buf;  // kMem: cached contents, flushed on close
+  bool dirty = false;
+  uint32_t offset = 0;
+  uint32_t flags = 0;
+};
+
+enum class ProcState : uint8_t { kRunnable, kWaiting, kZombie };
+
+class Machine;
+class Process;
+
+// A native fault handler: returns true when it resolved the fault (the instruction is
+// retried), false to pass the fault down the chain.
+using FaultHandler = std::function<bool(Machine&, Process&, const Fault&)>;
+
+class Process {
+ public:
+  Process(int pid, int parent, SharedFs* sfs);
+
+  int pid() const { return pid_; }
+  int parent() const { return parent_; }
+  AddressSpace& space() { return *space_; }
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+
+  ProcState state() const { return state_; }
+  int exit_status() const { return exit_status_; }
+  uint64_t steps() const { return steps_; }
+  uint64_t fault_count() const { return fault_count_; }
+  uint64_t resolved_fault_count() const { return resolved_fault_count_; }
+
+  // Captured writes to fd 1/2 (the simulated terminal).
+  const std::string& stdout_text() const { return stdout_text_; }
+  void clear_stdout() { stdout_text_.clear(); }
+
+  std::map<std::string, std::string>& env() { return env_; }
+  const std::map<std::string, std::string>& env() const { return env_; }
+  std::string GetEnv(const std::string& key) const;
+
+  const std::string& cwd() const { return cwd_; }
+  void set_cwd(std::string cwd) { cwd_ = std::move(cwd); }
+
+  // Heap break (set up by the loader, grown by sbrk).
+  uint32_t brk() const { return brk_; }
+  void set_brk(uint32_t brk) { brk_ = brk; }
+
+  // Installs a fault handler at the *front* of the chain. The Hemlock runtime
+  // installs its handler; a test/program handler installed later runs first only if
+  // push_front is chosen — the paper's semantics are: Hemlock's handler runs first,
+  // program handlers run when it cannot resolve. So runtime uses PushFaultHandler
+  // (front) and programs use ChainFaultHandler (back).
+  void PushFaultHandler(FaultHandler handler);
+  void ChainFaultHandler(FaultHandler handler);
+
+  // Simulated-program SIGSEGV handler (installed via Sys::kSignal): runs after every
+  // native handler declined, as a function call with the fault address in $a0; its
+  // return (through kSigReturnAddr) restores the context and retries the instruction.
+  uint32_t user_segv_handler() const { return user_segv_handler_; }
+  bool in_user_handler() const { return in_user_handler_; }
+
+ private:
+  friend class Machine;
+
+  int pid_;
+  int parent_;
+  std::unique_ptr<AddressSpace> space_;
+  CpuState cpu_;
+  ProcState state_ = ProcState::kRunnable;
+  int wait_target_ = -1;
+  int exit_status_ = 0;
+  uint32_t brk_ = 0;
+  std::vector<FileDesc> fds_;
+  std::string stdout_text_;
+  std::map<std::string, std::string> env_;
+  std::string cwd_ = "/home/user";
+  std::vector<FaultHandler> fault_handlers_;
+  uint32_t user_segv_handler_ = 0;
+  bool in_user_handler_ = false;
+  CpuState saved_context_;  // context interrupted by the user handler
+  uint64_t steps_ = 0;
+  uint64_t fault_count_ = 0;
+  uint64_t resolved_fault_count_ = 0;
+  uint64_t syscall_count_ = 0;
+};
+
+// Outcome of driving a process.
+enum class RunOutcome : uint8_t {
+  kExited,     // process reached exit (or was killed); see exit_status()
+  kBlocked,    // waiting (waitpid) — run something else
+  kOutOfGas,   // step budget exhausted while still runnable
+};
+
+class Machine {
+ public:
+  Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Vfs& vfs() { return *vfs_; }
+  SharedFs& sfs() { return vfs_->sfs(); }
+
+  // Creates an empty process (no mappings, pc = 0). Loaders (src/link) populate it.
+  Process& CreateProcess();
+  Process* FindProcess(int pid);
+
+  // Drives one process until it exits, blocks, or exhausts |max_steps|.
+  // Syscalls and faults are handled internally.
+  RunOutcome RunProcess(int pid, uint64_t max_steps = kDefaultBudget);
+
+  // Round-robin over runnable processes until all have exited or the total budget is
+  // exhausted. Returns true when every process exited.
+  bool RunAll(uint64_t max_total_steps = kDefaultBudget, uint64_t quantum = 4096);
+
+  // Kills a process (fault delivered and unresolved, or external request).
+  void KillProcess(int pid, int status, const std::string& reason);
+
+  // Simulated wall clock: total instructions retired machine-wide.
+  uint64_t ticks() const { return ticks_; }
+  // Total faults delivered / resolved machine-wide (bench counters).
+  uint64_t total_faults() const { return total_faults_; }
+  uint64_t total_syscalls() const { return total_syscalls_; }
+
+  // Per-syscall simulated cost in ticks, charged on top of the instruction count —
+  // keeps simulated comparisons honest about kernel-crossing overhead (used by the
+  // rwho and IPC benches). Default 200 ticks per syscall, 2000 per fault delivery.
+  void set_syscall_cost(uint64_t cost) { syscall_cost_ = cost; }
+  void set_fault_cost(uint64_t cost) { fault_cost_ = cost; }
+  uint64_t syscall_cost() const { return syscall_cost_; }
+  uint64_t fault_cost() const { return fault_cost_; }
+
+  // Registered by the runtime; called when a process exits (lock cleanup etc.).
+  void AddExitHook(std::function<void(Process&)> hook) { exit_hooks_.push_back(std::move(hook)); }
+
+  // Number of live (non-zombie, non-reaped) processes.
+  int LiveProcessCount() const;
+
+ private:
+  static constexpr uint64_t kDefaultBudget = 200'000'000;
+
+  void DoSyscall(Process& proc);
+  // Returns true if the fault was resolved and the instruction should retry.
+  bool DeliverFault(Process& proc, const Fault& fault);
+  void ExitProcess(Process& proc, int status);
+  void FlushFd(Process& proc, FileDesc& fd);
+
+  // Syscall helpers.
+  uint32_t SysOpen(Process& proc, const std::string& path, uint32_t flags, uint32_t* err);
+  uint32_t SysOpenByAddr(Process& proc, uint32_t addr, uint32_t flags, uint32_t* err);
+
+  std::unique_ptr<Vfs> vfs_;
+  std::map<int, std::unique_ptr<Process>> procs_;
+  int next_pid_ = 1;
+  uint64_t ticks_ = 0;
+  uint64_t total_faults_ = 0;
+  uint64_t total_syscalls_ = 0;
+  uint64_t syscall_cost_ = 200;
+  uint64_t fault_cost_ = 2000;
+  std::vector<std::function<void(Process&)>> exit_hooks_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_VM_MACHINE_H_

@@ -1,0 +1,187 @@
+// Tests of the application workloads: rwho databases, xfig figures, parser tables —
+// each verifying that the Hemlock (shared-segment) design computes exactly what the
+// original (linearize/rebuild) design computes.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/figures.h"
+#include "src/apps/rwho.h"
+#include "src/apps/tables.h"
+
+namespace hemlock {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("/tmp/hemlock_apps_") + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(::system(("rm -rf " + dir_).c_str()), 0);
+    Result<std::unique_ptr<PosixStore>> store = PosixStore::Open(dir_ + "/store");
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+  }
+  void TearDown() override {
+    store_.reset();
+    (void)::system(("rm -rf " + dir_).c_str());
+  }
+
+  std::string dir_;
+  std::unique_ptr<PosixStore> store_;
+};
+
+TEST_F(AppsTest, RwhoBackendsAgree) {
+  RwhoFeed feed(16);
+  Result<std::unique_ptr<FileRwhoDb>> files = FileRwhoDb::Open(dir_ + "/whod");
+  Result<std::unique_ptr<ShmRwhoDb>> shm = ShmRwhoDb::Create(store_.get(), "rwho", 64);
+  ASSERT_TRUE(files.ok() && shm.ok());
+  uint32_t now = 0;
+  for (int i = 0; i < 64; ++i) {
+    HostStatus st = feed.NextPacket();
+    now = st.recv_time;
+    ASSERT_TRUE((*files)->Update(st).ok());
+    ASSERT_TRUE((*shm)->Update(st).ok());
+  }
+  Result<std::vector<UptimeRow>> a = (*files)->Query(now);
+  Result<std::vector<UptimeRow>> b = (*shm)->Query(now);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), 16u);
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].hostname, (*b)[i].hostname);
+    EXPECT_EQ((*a)[i].load100, (*b)[i].load100);
+    EXPECT_EQ((*a)[i].users, (*b)[i].users);
+    EXPECT_EQ((*a)[i].up, (*b)[i].up);
+  }
+}
+
+TEST_F(AppsTest, RwhoDownDetection) {
+  Result<std::unique_ptr<ShmRwhoDb>> shm = ShmRwhoDb::Create(store_.get(), "rwho", 8);
+  ASSERT_TRUE(shm.ok());
+  HostStatus st;
+  std::snprintf(st.hostname, sizeof(st.hostname), "old-host");
+  st.recv_time = 100;
+  ASSERT_TRUE((*shm)->Update(st).ok());
+  Result<std::vector<UptimeRow>> rows = (*shm)->Query(100 + kRwhoDownAfter + 1);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_FALSE((*rows)[0].up);
+}
+
+TEST_F(AppsTest, RwhoShmVisibleAcrossAttach) {
+  {
+    Result<std::unique_ptr<ShmRwhoDb>> db = ShmRwhoDb::Create(store_.get(), "rwho", 8);
+    ASSERT_TRUE(db.ok());
+    HostStatus st;
+    std::snprintf(st.hostname, sizeof(st.hostname), "peer");
+    st.recv_time = 50;
+    st.load_avg[0] = 123;
+    ASSERT_TRUE((*db)->Update(st).ok());
+  }
+  Result<std::unique_ptr<ShmRwhoDb>> again = ShmRwhoDb::Attach(store_.get(), "rwho");
+  ASSERT_TRUE(again.ok());
+  Result<std::vector<UptimeRow>> rows = (*again)->Query(60);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].load100, 123u);
+}
+
+TEST_F(AppsTest, FigureAsciiRoundTrip) {
+  LocalFigure original;
+  ASSERT_TRUE(GenerateFigure(&original.figure(), 50, 4).ok());
+  std::string ascii = SaveAscii(original.figure());
+  LocalFigure rebuilt;
+  ASSERT_TRUE(LoadAscii(ascii, &rebuilt.figure()).ok());
+  EXPECT_EQ(rebuilt.figure().ObjectCount(), original.figure().ObjectCount());
+  EXPECT_EQ(rebuilt.figure().PointCount(), original.figure().PointCount());
+  EXPECT_EQ(rebuilt.figure().Checksum(), original.figure().Checksum());
+}
+
+TEST_F(AppsTest, SegmentFigurePersistsWithoutSaving) {
+  uint64_t checksum = 0;
+  {
+    Result<SegmentFigure> fig = SegmentFigure::Create(store_.get(), "drawing", 256 * 1024);
+    ASSERT_TRUE(fig.ok()) << fig.status().ToString();
+    ASSERT_TRUE(GenerateFigure(&fig->figure(), 40, 4).ok());
+    checksum = fig->figure().Checksum();
+  }
+  // "Open" by another editor instance: no parsing, the lists are just there.
+  Result<SegmentFigure> again = SegmentFigure::Attach(store_.get(), "drawing");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->figure().Checksum(), checksum);
+  EXPECT_EQ(again->figure().ObjectCount(), 40u);
+}
+
+TEST_F(AppsTest, SegmentFigureEditedByChildProcess) {
+  Result<SegmentFigure> fig = SegmentFigure::Create(store_.get(), "drawing", 256 * 1024);
+  ASSERT_TRUE(fig.ok());
+  ASSERT_TRUE(GenerateFigure(&fig->figure(), 10, 3).ok());
+  FigObject* first = fig->figure().header()->objects;
+  ASSERT_NE(first, nullptr);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: duplicate an object using the *same pointers*.
+    Result<FigObject*> copy = fig->figure().Duplicate(first);
+    ::_exit(copy.ok() ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(fig->figure().ObjectCount(), 11u);  // the child's edit is visible
+}
+
+TEST_F(AppsTest, FigureDuplicateAndRemove) {
+  LocalFigure fig;
+  ASSERT_TRUE(GenerateFigure(&fig.figure(), 10, 3).ok());
+  uint32_t points_before = fig.figure().PointCount();
+  FigObject* first = fig.figure().header()->objects;
+  Result<FigObject*> copy = fig.figure().Duplicate(first);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(fig.figure().ObjectCount(), 11u);
+  ASSERT_TRUE(fig.figure().Remove(*copy).ok());
+  EXPECT_EQ(fig.figure().ObjectCount(), 10u);
+  EXPECT_EQ(fig.figure().PointCount(), points_before);
+}
+
+TEST_F(AppsTest, TablesRebuildMatchesOriginal) {
+  LocalTables original;
+  ASSERT_TRUE(GenerateTables(&original.tables(), 64, 4).ok());
+  std::vector<uint32_t> numeric = SerializeTables(original.tables());
+  LocalTables rebuilt;
+  ASSERT_TRUE(RebuildTables(numeric, &rebuilt.tables()).ok());
+  EXPECT_EQ(rebuilt.tables().StateCount(), original.tables().StateCount());
+  EXPECT_EQ(rebuilt.tables().TransitionCount(), original.tables().TransitionCount());
+  EXPECT_EQ(rebuilt.tables().Checksum(), original.tables().Checksum());
+  std::vector<uint32_t> tokens = MakeTokenStream(1000, 16);
+  EXPECT_EQ(rebuilt.tables().Drive(tokens), original.tables().Drive(tokens));
+}
+
+TEST_F(AppsTest, SegmentTablesSharedWithChild) {
+  Result<SegmentTables> tables = SegmentTables::Create(store_.get(), "lynx", 512 * 1024);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  ASSERT_TRUE(GenerateTables(&tables->tables(), 64, 4).ok());
+  std::vector<uint32_t> tokens = MakeTokenStream(1000, 16);
+  uint64_t expected = tables->tables().Drive(tokens);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // The "compiler pass": attach and drive, no rebuild.
+    Result<SegmentTables> attached = SegmentTables::Attach(store_.get(), "lynx");
+    if (!attached.ok()) {
+      ::_exit(2);
+    }
+    ::_exit(attached->tables().Drive(tokens) == expected ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace hemlock

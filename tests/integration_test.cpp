@@ -1,0 +1,468 @@
+// Whole-system integration tests: realistic multi-program scenarios end to end, plus
+// a property test that links and runs randomized module graphs.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/link/search.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+// A miniature "message board" service: a server program appends entries to a shared
+// ring; reader programs (separately linked) consume them; everything persists across
+// a machine reboot. Exercises: shared data + shared code, cross-module calls with
+// trampolines, lazy creation, SFS persistence, and multiple concurrent processes.
+TEST(IntegrationTest, MessageBoardAcrossProgramsAndReboot) {
+  constexpr char kBoardSrc[] = R"(
+    int slots[32];
+    int head = 0;
+    int post(int value) {
+      slots[head % 32] = value;
+      head = head + 1;
+      return head;
+    }
+    int read_at(int index) { return slots[index % 32]; }
+    int count(void) { return head; }
+  )";
+  constexpr char kPosterSrc[] = R"(
+    extern int post(int value);
+    int main(void) {
+      int i;
+      for (i = 1; i <= 5; i = i + 1) { post(i * 11); }
+      return 0;
+    }
+  )";
+  constexpr char kReaderSrc[] = R"(
+    extern int read_at(int index);
+    extern int count(void);
+    int main(void) {
+      int i;
+      int n;
+      int sum;
+      n = count();
+      sum = 0;
+      for (i = 0; i < n; i = i + 1) { sum = sum + read_at(i); }
+      putint(n);
+      puts(" messages, sum ");
+      putint(sum);
+      puts("\n");
+      return 0;
+    }
+  )";
+
+  std::vector<uint8_t> disk;
+  {
+    HemlockWorld world;
+    ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+    CompileOptions opts;
+    opts.include_prelude = false;
+    ASSERT_TRUE(world.CompileTo(kBoardSrc, "/shm/lib/board.o", opts).ok());
+
+    Result<std::string> poster =
+        world.RunProgram(kPosterSrc, {{"board.o", ShareClass::kDynamicPublic}});
+    ASSERT_TRUE(poster.ok()) << poster.status().ToString();
+
+    Result<std::string> reader =
+        world.RunProgram(kReaderSrc, {{"board.o", ShareClass::kDynamicPublic}});
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(*reader, "5 messages, sum 165\n");
+
+    ByteWriter w;
+    world.sfs().Serialize(&w);
+    disk = w.Take();
+  }
+  // Reboot: a new machine, the disk restored; a poster adds more, a reader sums all.
+  {
+    HemlockWorld world;
+    ByteReader r(disk);
+    Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+    ASSERT_TRUE(fs.ok());
+    world.vfs().ReplaceSfs(std::move(*fs));
+
+    Result<std::string> poster =
+        world.RunProgram(kPosterSrc, {{"board.o", ShareClass::kDynamicPublic}});
+    ASSERT_TRUE(poster.ok()) << poster.status().ToString();
+    Result<std::string> reader =
+        world.RunProgram(kReaderSrc, {{"board.o", ShareClass::kDynamicPublic}});
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(*reader, "10 messages, sum 330\n");
+  }
+}
+
+// A server and several clients *live at the same time*: the server polls a shared
+// mailbox, computes, and posts replies; clients spin for their answers. No messages,
+// no pipes — pure shared memory, the paper's client/server vision.
+TEST(IntegrationTest, LiveClientServerThroughSharedMailbox) {
+  // Per-client slots (requests are claimed by pid), so concurrent clients never race
+  // on a single mailbox word.
+  constexpr char kMailboxSrc[] = R"(
+    int requests[16];
+    int request_flags[16];
+    int replies[16];
+    int reply_flags[16];
+  )";
+  constexpr char kServerSrc[] = R"(
+    extern int requests[16];
+    extern int request_flags[16];
+    extern int replies[16];
+    extern int reply_flags[16];
+    int main(void) {
+      int served;
+      int slot;
+      served = 0;
+      while (served < 3) {
+        for (slot = 0; slot < 16; slot = slot + 1) {
+          if (request_flags[slot] == 1) {
+            replies[slot] = requests[slot] * requests[slot];  // the service: squaring
+            request_flags[slot] = 0;
+            reply_flags[slot] = 1;
+            served = served + 1;
+          }
+        }
+        sys_yield();
+      }
+      return served;
+    }
+  )";
+  constexpr char kClientSrc[] = R"(
+    extern int requests[16];
+    extern int request_flags[16];
+    extern int replies[16];
+    extern int reply_flags[16];
+    int main(void) {
+      int slot;
+      int mine;
+      slot = sys_getpid() % 16;
+      mine = sys_getpid() + 3;
+      requests[slot] = mine;
+      reply_flags[slot] = 0;
+      request_flags[slot] = 1;
+      while (reply_flags[slot] == 0) { sys_yield(); }
+      return replies[slot] == mine * mine;
+    }
+  )";
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo(kMailboxSrc, "/shm/lib/mailbox.o", opts).ok());
+  ASSERT_TRUE(world.CompileTo(kServerSrc, "/home/user/server.o").ok());
+  ASSERT_TRUE(world.CompileTo(kClientSrc, "/home/user/client.o").ok());
+  Result<LoadImage> server =
+      world.Link({.inputs = {{"server.o", ShareClass::kStaticPrivate},
+                             {"mailbox.o", ShareClass::kDynamicPublic}}});
+  Result<LoadImage> client =
+      world.Link({.inputs = {{"client.o", ShareClass::kStaticPrivate},
+                             {"mailbox.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(server.ok() && client.ok());
+
+  Result<ExecResult> srv = world.Exec(*server);
+  ASSERT_TRUE(srv.ok());
+  std::vector<int> client_pids;
+  for (int i = 0; i < 3; ++i) {
+    Result<ExecResult> cli = world.Exec(*client);
+    ASSERT_TRUE(cli.ok());
+    client_pids.push_back(cli->pid);
+  }
+  // Everyone runs together; the server exits after serving all three.
+  ASSERT_TRUE(world.machine().RunAll(200'000'000));
+  for (size_t i = 0; i < client_pids.size(); ++i) {
+    Process* proc = world.machine().FindProcess(client_pids[i]);
+    ASSERT_NE(proc, nullptr);
+    EXPECT_EQ(proc->exit_status(), 1) << "client " << i << " got a wrong answer";
+  }
+  EXPECT_EQ(world.machine().FindProcess(srv->pid)->exit_status(), 3);
+}
+
+// Property: random module graphs — G modules, each exporting a value function that
+// sums a few dependencies' values — always link, lazily resolve, and compute the same
+// result as a host-side evaluation of the same graph.
+class LinkerGraphPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LinkerGraphPropertyTest, RandomDagLinksAndComputes) {
+  uint32_t seed = GetParam();
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 99;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(rng >> 33);
+  };
+
+  constexpr uint32_t kGraphSize = 12;
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/g").ok());
+
+  // Module i depends only on lower-numbered modules (a DAG by construction).
+  std::vector<std::vector<uint32_t>> deps(kGraphSize);
+  std::vector<int64_t> value(kGraphSize);
+  for (uint32_t i = 0; i < kGraphSize; ++i) {
+    int64_t base = static_cast<int64_t>(next() % 100);
+    value[i] = base;
+    if (i > 0) {
+      uint32_t ndeps = next() % std::min(i, 3u);
+      for (uint32_t d = 0; d < ndeps; ++d) {
+        deps[i].push_back(next() % i);
+      }
+    }
+    std::string src;
+    std::string body = StrFormat("  v = %lld;\n", static_cast<long long>(base));
+    CompileOptions opts;
+    opts.include_prelude = false;
+    opts.search_path = {"/shm/g"};
+    for (uint32_t dep : deps[i]) {
+      src += StrFormat("extern int g%u(void);\n", dep);
+      body += StrFormat("  v = v + g%u();\n", dep);
+      opts.module_list.push_back(StrFormat("mod%u.o", dep));
+      value[i] += value[dep];
+    }
+    src += StrFormat("int g%u(void) {\n  int v;\n%s  return v;\n}\n", i, body.c_str());
+    ASSERT_TRUE(world.CompileTo(src, StrFormat("/shm/g/mod%u.o", i), opts).ok());
+  }
+
+  uint32_t root = kGraphSize - 1;
+  std::string prog = StrFormat(R"(
+    extern int g%u(void);
+    int main(void) {
+      putint(g%u());
+      puts("\n");
+      return 0;
+    }
+  )",
+                               root, root);
+  ExecOptions exec;
+  exec.env[kLdLibraryPathVar] = "/shm/g";
+  Result<std::string> out = world.RunProgram(
+      prog, {{StrFormat("mod%u.o", root), ShareClass::kDynamicPublic}}, exec);
+  ASSERT_TRUE(out.ok()) << "seed " << seed << ": " << out.status().ToString();
+  EXPECT_EQ(*out, StrFormat("%lld\n", static_cast<long long>(value[root])))
+      << "seed " << seed;
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkerGraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Paper §5 "Dynamic Storage Management", entirely inside the simulation: a shared
+// module written in HemC provides a bump allocator over its own arena, and two
+// separately linked programs use it to extend one linked list — pointers allocated by
+// program 1 are followed and extended by program 2 (uniform addressing at work).
+TEST(IntegrationTest, SharedAllocatorAndListBuiltByTwoPrograms) {
+  constexpr char kAllocSrc[] = R"(
+    char arena[4096];
+    int brk_off = 0;
+    int list_head = 0;   // address of the first node, 0 = empty
+
+    char *seg_alloc(int n) {
+      char *p;
+      if (brk_off + n > 4096) { return 0; }
+      p = &arena[brk_off];
+      brk_off = brk_off + ((n + 7) & ~7);
+      return p;
+    }
+    int push(int value) {
+      int *node;
+      node = seg_alloc(8);
+      if (node == 0) { return 0 - 1; }
+      node[0] = value;
+      node[1] = list_head;
+      list_head = node;
+      return 0;
+    }
+    int sum_list(void) {
+      int *cur;
+      int total;
+      total = 0;
+      cur = list_head;
+      while (cur != 0) {
+        total = total + cur[0];
+        cur = cur[1];
+      }
+      return total;
+    }
+  )";
+  constexpr char kPusherSrc[] = R"(
+    extern int push(int value);
+    int main(void) {
+      int i;
+      for (i = 1; i <= 10; i = i + 1) { push(i); }
+      return 0;
+    }
+  )";
+  constexpr char kSummerSrc[] = R"(
+    extern int sum_list(void);
+    int main(void) { return sum_list() & 0xFF; }
+  )";
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo(kAllocSrc, "/shm/lib/shmalloc.o", opts).ok());
+
+  // Program 1 pushes 1..10.
+  ASSERT_TRUE(world.CompileTo(kPusherSrc, "/home/user/pusher.o").ok());
+  Result<LoadImage> pusher =
+      world.Link({.inputs = {{"pusher.o", ShareClass::kStaticPrivate},
+                             {"shmalloc.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(pusher.ok()) << pusher.status().ToString();
+  Result<ExecResult> p1 = world.Exec(*pusher);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_EQ(*world.RunToExit(p1->pid), 0);
+
+  // Program 2 (separately linked) sums the list program 1 built: 55.
+  ASSERT_TRUE(world.CompileTo(kSummerSrc, "/home/user/summer.o").ok());
+  Result<LoadImage> summer =
+      world.Link({.inputs = {{"summer.o", ShareClass::kStaticPrivate},
+                             {"shmalloc.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(summer.ok());
+  Result<ExecResult> p2 = world.Exec(*summer);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*world.RunToExit(p2->pid), 55);
+
+  // Program 1 again: the arena keeps growing where it left off; the sum doubles +55.
+  Result<ExecResult> p3 = world.Exec(*pusher);
+  ASSERT_TRUE(p3.ok());
+  ASSERT_EQ(*world.RunToExit(p3->pid), 0);
+  Result<ExecResult> p4 = world.Exec(*summer);
+  ASSERT_TRUE(p4.ok());
+  EXPECT_EQ(*world.RunToExit(p4->pid), 110);
+}
+
+// Scheduler fairness: two CPU-bound processes sharing progress flags both finish
+// under round-robin quanta.
+TEST(IntegrationTest, RoundRobinRunsCpuBoundProcessesFairly) {
+  constexpr char kSpinnerSrc[] = R"(
+    int main(void) {
+      int i;
+      int acc;
+      acc = 0;
+      for (i = 0; i < 200000; i = i + 1) { acc = acc + i; }
+      return 7;
+    }
+  )";
+  HemlockWorld world;
+  ASSERT_TRUE(world.CompileTo(kSpinnerSrc, "/home/user/spin.o").ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"spin.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(image.ok());
+  Result<ExecResult> a = world.Exec(*image);
+  Result<ExecResult> b = world.Exec(*image);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(world.machine().RunAll(100'000'000, /*quantum=*/1000));
+  EXPECT_EQ(world.machine().FindProcess(a->pid)->exit_status(), 7);
+  EXPECT_EQ(world.machine().FindProcess(b->pid)->exit_status(), 7);
+}
+
+// Endurance: many sequential program runs against one shared module — no leaked
+// inodes, no stale locks, monotonic shared state.
+TEST(IntegrationTest, FiftySequentialProgramsShareOneCounter) {
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world
+                  .CompileTo("int n = 0; int bump(void) { n = n + 1; return n; }",
+                             "/shm/lib/ctr.o", opts)
+                  .ok());
+  ASSERT_TRUE(world
+                  .CompileTo("extern int bump(void); int main(void) { return bump(); }",
+                             "/home/user/p.o")
+                  .ok());
+  Result<LoadImage> image = world.Link(
+      {.inputs = {{"p.o", ShareClass::kStaticPrivate}, {"ctr.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok());
+  uint32_t inodes_after_first = 0;
+  for (int i = 1; i <= 50; ++i) {
+    Result<ExecResult> run = world.Exec(*image);
+    ASSERT_TRUE(run.ok()) << "run " << i;
+    Result<int> status = world.RunToExit(run->pid);
+    ASSERT_TRUE(status.ok()) << "run " << i;
+    EXPECT_EQ(*status, i & 0xFF);
+    if (i == 1) {
+      inodes_after_first = world.sfs().InodesInUse();
+    }
+  }
+  // No inode leaks: runs 2..50 attached, never created.
+  EXPECT_EQ(world.sfs().InodesInUse(), inodes_after_first);
+}
+
+// Exhaustion: when the partition has no free inode, creating a public module fails
+// with a warning and the program dies only if it actually uses the missing symbols.
+TEST(IntegrationTest, PartitionFullMakesModuleCreationFail) {
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo("int lonely = 9;", "/shm/lib/lonely.o", opts).ok());
+  // Fill every remaining inode.
+  int fillers = 0;
+  while (world.sfs().FreeInodes() > 0) {
+    ASSERT_TRUE(world.sfs().Create("/filler" + std::to_string(fillers++)).ok());
+  }
+  ASSERT_GT(fillers, 0);
+  ASSERT_TRUE(world
+                  .CompileTo("extern int lonely; int main(void) { return lonely; }",
+                             "/home/user/p.o")
+                  .ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"p.o", ShareClass::kStaticPrivate},
+                                                   {"lonely.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok());
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();  // startup warns but proceeds
+  Result<int> status = world.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 139);  // the use of 'lonely' cannot be resolved
+  // Free one inode: the next run creates the module and succeeds.
+  ASSERT_TRUE(world.sfs().Unlink("/filler0").ok());
+  Result<ExecResult> retry = world.Exec(*image);
+  ASSERT_TRUE(retry.ok());
+  Result<int> retry_status = world.RunToExit(retry->pid);
+  ASSERT_TRUE(retry_status.ok());
+  EXPECT_EQ(*retry_status, 9);
+}
+
+// The paper's Discussion: programs in logically shared code differentiate via values
+// "returned from system calls that behave differently for different processes".
+TEST(IntegrationTest, SharedCodeDifferentiatesByPid) {
+  constexpr char kWorkSrc[] = R"(
+    int results[64];
+    int record(void) {
+      int me;
+      me = sys_getpid();
+      results[me % 64] = me * 100;
+      return me;
+    }
+  )";
+  constexpr char kRunnerSrc[] = R"(
+    extern int record(void);
+    extern int results[64];
+    int main(void) {
+      int pid;
+      int mine;
+      mine = record();   // shared code, per-process result
+      pid = sys_fork();
+      if (pid == 0) {
+        record();
+        sys_exit(0);
+      }
+      sys_waitpid(pid);
+      // Both slots written, each with its own pid.
+      if (results[mine % 64] != mine * 100) { return 1; }
+      if (results[pid % 64] != pid * 100) { return 2; }
+      return 0;
+    }
+  )";
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo(kWorkSrc, "/shm/lib/work.o", opts).ok());
+  ASSERT_TRUE(world.CompileTo(kRunnerSrc, "/home/user/runner.o").ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"runner.o", ShareClass::kStaticPrivate},
+                                                   {"work.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok());
+  Result<int> status = world.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0);
+}
+
+}  // namespace
+}  // namespace hemlock

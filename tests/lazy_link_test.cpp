@@ -1,0 +1,296 @@
+// Lazy dynamic linking tests (paper §3, "Lazy Dynamic Linking").
+//
+// A module with undefined references is mapped without access permissions; the first
+// touch faults; the handler resolves the module's references, mapping in — possibly
+// inaccessibly — any modules those references need, recursively.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+class LazyLinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(world_.vfs().MkdirAll("/shm/lib").ok());
+    CompileOptions leaf_opts;
+    leaf_opts.include_prelude = false;
+    // Leaf module C: fully self-contained.
+    ASSERT_TRUE(world_
+                    .CompileTo(R"(
+                      int c_value = 7;
+                      int c_fn(int x) { return x + c_value; }
+                    )",
+                               "/shm/lib/modc.o", leaf_opts)
+                    .ok());
+    // Module B references C; its own list says where to find it.
+    CompileOptions b_opts;
+    b_opts.include_prelude = false;
+    b_opts.module_list = {"modc.o"};
+    b_opts.search_path = {"/shm/lib"};
+    ASSERT_TRUE(world_
+                    .CompileTo(R"(
+                      extern int c_fn(int x);
+                      int b_fn(int x) { return c_fn(x) * 2; }
+                    )",
+                               "/shm/lib/modb.o", b_opts)
+                    .ok());
+    // Module A references B.
+    CompileOptions a_opts;
+    a_opts.include_prelude = false;
+    a_opts.module_list = {"modb.o"};
+    a_opts.search_path = {"/shm/lib"};
+    ASSERT_TRUE(world_
+                    .CompileTo(R"(
+                      extern int b_fn(int x);
+                      int a_used(int x) { return b_fn(x) + 1; }
+                      int a_unused(int x) { return x; }
+                    )",
+                               "/shm/lib/moda.o", a_opts)
+                    .ok());
+  }
+
+  Result<ExecResult> BuildAndExec(const std::string& source, LdlOptions ldl) {
+    RETURN_IF_ERROR(world_.CompileTo(source, "/home/user/prog.o"));
+    ASSIGN_OR_RETURN(LoadImage image,
+                     world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                                             {"moda.o", ShareClass::kDynamicPublic}},
+                                  .lib_dirs = {"/shm/lib"}}));
+    ExecOptions exec;
+    exec.ldl = ldl;
+    return world_.Exec(image, exec);
+  }
+
+  HemlockWorld world_;
+};
+
+constexpr char kProgram[] = R"(
+  extern int a_used(int x);
+  int main(void) {
+    putint(a_used(10));   // (10 + 7) * 2 + 1 = 35
+    puts("\n");
+    return 0;
+  }
+)";
+
+TEST_F(LazyLinkTest, RecursiveChainResolvedOnFirstTouch) {
+  Result<ExecResult> run = BuildAndExec(kProgram, LdlOptions{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Before execution: A is located and mapped, but B and C are not yet needed —
+  // this is the "huge reachability graph, link only what is used" property.
+  EXPECT_EQ(run->ldl->FindModuleIndex("/shm/lib/modb"), -1);
+  EXPECT_EQ(run->ldl->FindModuleIndex("/shm/lib/modc"), -1);
+
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
+
+  // The first call into A faulted; resolution pulled B in, whose use pulled C in.
+  EXPECT_GE(run->ldl->stats().link_faults, 1u);
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/modb"), -1);
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/modc"), -1);
+}
+
+TEST_F(LazyLinkTest, UnusedGraphStaysUnlinked) {
+  // A program that links A but never calls into it: nothing past A gets mapped and no
+  // link faults occur.
+  Result<ExecResult> run = BuildAndExec(R"(
+    extern int a_used(int x);
+    int main(void) { return 0; }
+  )",
+                                        LdlOptions{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+  EXPECT_EQ(run->ldl->FindModuleIndex("/shm/lib/modb"), -1);
+}
+
+TEST_F(LazyLinkTest, EagerModeLinksEverythingUpFront) {
+  LdlOptions eager;
+  eager.lazy = false;
+  Result<ExecResult> run = BuildAndExec(kProgram, eager);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Whole chain resolved before the program runs.
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/modb"), -1);
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/modc"), -1);
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
+}
+
+TEST_F(LazyLinkTest, PageGranularModeAlsoWorks) {
+  LdlOptions page;
+  page.page_granular = true;
+  Result<ExecResult> run = BuildAndExec(kProgram, page);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
+  EXPECT_GE(run->ldl->stats().link_faults, 1u);
+}
+
+TEST_F(LazyLinkTest, FunctionLazyBindsOnFirstCall) {
+  // The SunOS jump-table optimization (paper: "modules first accessed by calling a
+  // (named) function will be linked without fault-handling overhead" — here the
+  // *module* fault disappears; only per-function first-call bindings remain).
+  LdlOptions plt;
+  plt.function_lazy = true;
+  Result<ExecResult> run = BuildAndExec(kProgram, plt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
+  // No module-granularity link faults; exactly the touched call chain bound via PLT
+  // sentinels (a_used -> b_fn -> c_fn: three first-call bindings).
+  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+  EXPECT_GE(run->ldl->stats().plt_faults, 2u);
+}
+
+TEST_F(LazyLinkTest, FunctionLazySecondCallIsDirect) {
+  // After the first call binds, subsequent calls jump straight to the callee: run the
+  // same function many times and confirm a single binding.
+  LdlOptions plt;
+  plt.function_lazy = true;
+  Result<ExecResult> run = BuildAndExec(R"(
+    extern int a_used(int x);
+    int main(void) {
+      int i;
+      int sum;
+      sum = 0;
+      for (i = 0; i < 50; i = i + 1) { sum = sum + a_used(1); }
+      putint(sum);
+      puts("\n");
+      return 0;
+    }
+  )",
+                                        plt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "850\n");
+  // 50 calls, but each distinct cross-module edge bound exactly once.
+  EXPECT_LE(run->ldl->stats().plt_faults, 3u);
+}
+
+TEST_F(LazyLinkTest, FunctionLazyCallToMissingSymbolIsFatal) {
+  LdlOptions plt;
+  plt.function_lazy = true;
+  Result<ExecResult> run = BuildAndExec(R"(
+    extern int no_such_fn(int x);
+    int main(void) { return no_such_fn(1); }
+  )",
+                                        plt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 139);
+}
+
+TEST_F(LazyLinkTest, UnresolvableReferenceKillsAtUse) {
+  // Reference a symbol that exists nowhere: lds warns and continues; ldl leaves it
+  // unresolved; the *use* faults fatally (no handler claims it).
+  Result<ExecResult> run = BuildAndExec(R"(
+    extern int no_such_fn(int x);
+    int main(void) {
+      return no_such_fn(1);
+    }
+  )",
+                                        LdlOptions{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 139);
+}
+
+TEST_F(LazyLinkTest, UserHandlerSeesUnresolvedFault) {
+  // Paper §2: when Hemlock's handler cannot resolve a fault, a program-provided
+  // handler is invoked — application-specific recovery.
+  Result<ExecResult> run = BuildAndExec(R"(
+    extern int no_such_fn(int x);
+    int main(void) {
+      return no_such_fn(1);
+    }
+  )",
+                                        LdlOptions{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  int user_handler_hits = 0;
+  Process* proc = world_.machine().FindProcess(run->pid);
+  ASSERT_NE(proc, nullptr);
+  proc->ChainFaultHandler([&user_handler_hits](Machine& m, Process& p, const Fault& f) {
+    ++user_handler_hits;
+    // Recover by exiting cleanly (the handler "could be used ... to trigger
+    // application-specific recovery").
+    m.KillProcess(p.pid(), 42, "user recovery");
+    return true;
+  });
+  (void)world_.RunToExit(run->pid);
+  EXPECT_GE(user_handler_hits, 1);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->exit_status(), 42);
+}
+
+TEST_F(LazyLinkTest, PointerFollowMapsSegmentOnFault) {
+  // Map-on-pointer-follow: a program dereferences an address inside the shared
+  // region that names a plain data file it never mapped. The fault handler translates
+  // address -> file and maps it (paper §2: "it uses a (new) kernel call to translate
+  // the address into a path name and ... maps the named segment").
+  uint32_t addr = 0;
+  {
+    Result<uint32_t> ino = world_.sfs().Create("/plain.dat");
+    ASSERT_TRUE(ino.ok());
+    uint32_t value = 777;
+    ASSERT_TRUE(world_.sfs()
+                    .WriteAt(*ino, 0, reinterpret_cast<uint8_t*>(&value), 4)
+                    .ok());
+    Result<uint32_t> a = world_.sfs().AddressOf(*ino);
+    ASSERT_TRUE(a.ok());
+    addr = *a;
+  }
+  std::string source = StrFormat(R"(
+    int main(void) {
+      int *p;
+      p = %u;
+      putint(*p);
+      puts("\n");
+      return 0;
+    }
+  )",
+                                 addr);
+  Result<ExecResult> run = BuildAndExec(source, LdlOptions{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "777\n");
+  EXPECT_GE(run->ldl->stats().map_faults, 1u);
+}
+
+TEST_F(LazyLinkTest, StrayPointerInSharedRegionStillFaults) {
+  // An address in the shared region with *no* file behind it cannot be mapped; the
+  // fault is fatal (paper §5 "Safety": the sparse address space keeps the probability
+  // of silent trouble small).
+  Result<ExecResult> run = BuildAndExec(R"(
+    int main(void) {
+      int *p;
+      p = 0x6FFF0000;
+      return *p;
+    }
+  )",
+                                        LdlOptions{});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 139);
+}
+
+}  // namespace
+}  // namespace hemlock

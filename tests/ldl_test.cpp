@@ -1,0 +1,213 @@
+// Focused tests of the dynamic linker's bookkeeping: shared resolution persistence,
+// the module-file trailer, fork interactions, and fault-driven module registration.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+class LdlTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(world_.vfs().MkdirAll("/shm/lib").ok()); }
+
+  void Compile(const std::string& src, const std::string& path, CompileOptions opts = {}) {
+    opts.include_prelude = false;
+    Status st = world_.CompileTo(src, path, opts);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  HemlockWorld world_;
+};
+
+TEST_F(LdlTest, ResolutionPersistsInModuleFile) {
+  // A partially linked public module's trailer shrinks once its references resolve:
+  // the *next* program (even after a reboot) maps it fully linked, no faults.
+  Compile("int core(int x) { return x + 1; }", "/shm/lib/core.o");
+  CompileOptions opts;
+  opts.module_list = {"core.o"};
+  opts.search_path = {"/shm/lib"};
+  Compile("extern int core(int x); int wrap(int x) { return core(x) * 2; }",
+          "/shm/lib/wrap.o", opts);
+  ASSERT_TRUE(world_.CompileTo("extern int wrap(int x); int main(void) { return wrap(3); }",
+                               "/home/user/prog.o")
+                  .ok());
+  Result<LoadImage> image =
+      world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                              {"wrap.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  // First run: creation + one lazy-link fault.
+  Result<ExecResult> run1 = world_.Exec(*image);
+  ASSERT_TRUE(run1.ok());
+  EXPECT_EQ(*world_.RunToExit(run1->pid), 8);
+  EXPECT_GE(run1->ldl->stats().link_faults, 1u);
+
+  // The module file on disk now records zero pending references.
+  Result<std::vector<uint8_t>> bytes = world_.vfs().ReadFile("/shm/lib/wrap");
+  ASSERT_TRUE(bytes.ok());
+  Result<LinkedModule> mod = LinkedModule::DeserializeFile(*bytes);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_TRUE(mod->pending.empty());
+
+  // Second run: attached fully linked — no faults at all.
+  Result<ExecResult> run2 = world_.Exec(*image);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(*world_.RunToExit(run2->pid), 8);
+  EXPECT_EQ(run2->ldl->stats().link_faults, 0u);
+}
+
+TEST_F(LdlTest, ForkedChildRelinksLazilyOnItsOwnFault) {
+  // Parent forks *before* touching the lazy module; both parent and child then call
+  // into it. The child's mapping is its own; its fault re-applies the resolution.
+  Compile("int core(int x) { return x + 10; }", "/shm/lib/core.o");
+  CompileOptions opts;
+  opts.module_list = {"core.o"};
+  opts.search_path = {"/shm/lib"};
+  Compile("extern int core(int x); int wrap(int x) { return core(x); }", "/shm/lib/wrap.o",
+          opts);
+  ASSERT_TRUE(world_
+                  .CompileTo(R"(
+    extern int wrap(int x);
+    int main(void) {
+      int pid;
+      pid = sys_fork();
+      if (pid == 0) {
+        sys_exit(wrap(1));   // child touches the module first
+      }
+      return sys_waitpid(pid) + wrap(2);
+    }
+  )",
+                             "/home/user/prog.o")
+                  .ok());
+  Result<LoadImage> image =
+      world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                              {"wrap.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> run = world_.Exec(*image);
+  ASSERT_TRUE(run.ok());
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(*status, 23);  // child: 11; parent: 11 + 12
+}
+
+TEST_F(LdlTest, ModuleFileReachedByPointerIsRegisteredWithLdl) {
+  // A program follows a pointer to a *module file's* address without ever linking the
+  // module by name. The fault handler recognizes the HML footer and registers the
+  // module with ldl (rather than blindly mapping bytes), so its exports resolve and
+  // its own laziness machinery applies.
+  Compile("int magic_value = 4242;", "/shm/lib/findme.o");
+  // Create the module by linking a throwaway program against it.
+  ASSERT_TRUE(world_.CompileTo("int main(void) { return 0; }", "/home/user/maker.o").ok());
+  Result<LoadImage> maker =
+      world_.Link({.inputs = {{"maker.o", ShareClass::kStaticPrivate},
+                              {"findme.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(maker.ok());
+  Result<ExecResult> mk = world_.Exec(*maker);
+  ASSERT_TRUE(mk.ok());
+  ASSERT_TRUE(world_.RunToExit(mk->pid).ok());
+
+  Result<SfsStat> st = world_.sfs().Stat("/lib/findme");
+  ASSERT_TRUE(st.ok());
+  // The value lives somewhere in the module; find its export address via a probe Ldl.
+  // Simpler: read the module file's export table.
+  Result<std::vector<uint8_t>> bytes = world_.vfs().ReadFile("/shm/lib/findme");
+  ASSERT_TRUE(bytes.ok());
+  Result<LinkedModule> mod = LinkedModule::DeserializeFile(*bytes);
+  ASSERT_TRUE(mod.ok());
+  uint32_t value_addr = 0;
+  for (const AbsSymbol& sym : mod->exports) {
+    if (sym.name == "magic_value") {
+      value_addr = sym.addr;
+    }
+  }
+  ASSERT_NE(value_addr, 0u);
+
+  // A fresh program (NOT linking findme) dereferences that address.
+  std::string src = StrFormat(R"(
+    int main(void) {
+      int *p;
+      p = %u;
+      return *p == 4242;
+    }
+  )",
+                              value_addr);
+  ASSERT_TRUE(world_.CompileTo(src, "/home/user/prober.o").ok());
+  Result<LoadImage> prober = world_.Link({.inputs = {{"prober.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(prober.ok());
+  Result<ExecResult> run = world_.Exec(*prober);
+  ASSERT_TRUE(run.ok());
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 1);
+  EXPECT_GE(run->ldl->stats().map_faults, 1u);
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/findme"), -1);
+}
+
+TEST_F(LdlTest, DynamicPrivateInstancesAreIndependentAcrossProcesses) {
+  Compile("int private_counter = 0; int bump_p(void) { private_counter = private_counter + 1; return private_counter; }",
+          "/home/user/privmod.o");
+  ASSERT_TRUE(world_
+                  .CompileTo("extern int bump_p(void); int main(void) { bump_p(); return bump_p(); }",
+                             "/home/user/prog.o")
+                  .ok());
+  Result<LoadImage> image =
+      world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                              {"privmod.o", ShareClass::kDynamicPrivate}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  for (int round = 0; round < 2; ++round) {
+    Result<ExecResult> run = world_.Exec(*image);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(*world_.RunToExit(run->pid), 2) << "round " << round;
+  }
+}
+
+TEST_F(LdlTest, LockCountersExposed) {
+  Compile("int v = 1;", "/shm/lib/locked.o");
+  ASSERT_TRUE(world_.CompileTo("extern int v; int main(void) { return v; }",
+                               "/home/user/prog.o")
+                  .ok());
+  Result<LoadImage> image =
+      world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                              {"locked.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok());
+  Result<ExecResult> run = world_.Exec(*image);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(world_.RunToExit(run->pid).ok());
+  // Creation took the file lock exactly once (paper fn. 3).
+  EXPECT_EQ(run->ldl->stats().lock_acquisitions, 1u);
+  EXPECT_EQ(run->ldl->stats().publics_created, 1u);
+  // Second program attaches without locking.
+  Result<ExecResult> run2 = world_.Exec(*image);
+  ASSERT_TRUE(run2.ok());
+  ASSERT_TRUE(world_.RunToExit(run2->pid).ok());
+  EXPECT_EQ(run2->ldl->stats().lock_acquisitions, 0u);
+  EXPECT_EQ(run2->ldl->stats().publics_attached, 1u);
+}
+
+TEST_F(LdlTest, EagerAblationResolvesTransitively) {
+  Compile("int leafv = 5;", "/shm/lib/leaf.o");
+  CompileOptions mid_opts;
+  mid_opts.module_list = {"leaf.o"};
+  mid_opts.search_path = {"/shm/lib"};
+  Compile("extern int leafv; int mid(void) { return leafv; }", "/shm/lib/mid.o", mid_opts);
+  ASSERT_TRUE(world_.CompileTo("extern int mid(void); int main(void) { return mid(); }",
+                               "/home/user/prog.o")
+                  .ok());
+  Result<LoadImage> image =
+      world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                              {"mid.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok());
+  ExecOptions exec;
+  exec.ldl.lazy = false;
+  Result<ExecResult> run = world_.Exec(*image, exec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Eager startup already pulled the leaf in.
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/leaf"), -1);
+  EXPECT_EQ(*world_.RunToExit(run->pid), 5);
+  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -1,0 +1,125 @@
+// Loader and error-path tests: image validation, missing module files at exec time,
+// and the crt0/stack setup contract.
+#include <gtest/gtest.h>
+
+#include "src/base/layout.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+TEST(LoaderTest, ExecFromMissingFileFails) {
+  HemlockWorld world;
+  Result<ExecResult> run = ExecuteFile(world.machine(), "/home/user/nothing");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(LoaderTest, ExecFromCorruptImageFails) {
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().WriteFile("/home/user/junk", std::string("not an image")).ok());
+  Result<ExecResult> run = ExecuteFile(world.machine(), "/home/user/junk");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(LoaderTest, StaticPublicFileDeletedBeforeExecFails) {
+  // lds created the module file; someone unlinks it before exec: ldl's startup cannot
+  // map the static public and the exec must fail cleanly.
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo("int sv = 1;", "/shm/lib/sv.o", opts).ok());
+  ASSERT_TRUE(
+      world.CompileTo("extern int sv; int main(void) { return sv; }", "/home/user/m.o").ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"m.o", ShareClass::kStaticPrivate},
+                                                   {"sv.o", ShareClass::kStaticPublic}}});
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(world.vfs().Unlink("/shm/lib/sv").ok());
+  Result<ExecResult> run = world.Exec(*image);
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(LoaderTest, StackIsSetUpBelowTheLimit) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int depth(int n) {
+      char pad[256];
+      pad[0] = n;
+      if (n == 0) { return pad[0]; }
+      return depth(n - 1);
+    }
+    int main(void) {
+      // A few KB of stack use inside the default 64 KB stack.
+      putint(depth(100));
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "0\n");
+}
+
+TEST(LoaderTest, StackOverflowIsAFatalFault) {
+  HemlockWorld world;
+  Status st = world.CompileTo(R"(
+    int depth(int n) {
+      char pad[2048];
+      pad[0] = n;
+      return depth(n + 1) + pad[0];
+    }
+    int main(void) { return depth(0); }
+  )",
+                              "/home/user/deep.o");
+  ASSERT_TRUE(st.ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"deep.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(image.ok());
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok());
+  Result<int> status = world.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 139);  // runs off the mapped stack
+}
+
+TEST(LoaderTest, BiggerStackOption) {
+  HemlockWorld world;
+  Status st = world.CompileTo(R"(
+    int depth(int n) {
+      char pad[1024];
+      pad[0] = n;
+      if (n == 0) { return 7; }
+      return depth(n - 1);
+    }
+    int main(void) { return depth(100); }  // ~110 KB of frames
+  )",
+                              "/home/user/deep.o");
+  ASSERT_TRUE(st.ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"deep.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(image.ok());
+  // Default 64 KB stack: dies.
+  Result<ExecResult> small = world.Exec(*image);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(*world.RunToExit(small->pid), 139);
+  // 256 KB stack: succeeds.
+  ExecOptions exec;
+  exec.stack_bytes = 256 * 1024;
+  Result<ExecResult> big = world.Exec(*image, exec);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*world.RunToExit(big->pid), 7);
+}
+
+TEST(LoaderTest, EntryIsCrt0WhichPropagatesMainResult) {
+  HemlockWorld world;
+  ASSERT_TRUE(world.CompileTo("int main(void) { return 123; }", "/home/user/m.o").ok());
+  Result<LoadImage> image = world.Link({.inputs = {{"m.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(image.ok());
+  // crt0 is the first text: entry == text base.
+  EXPECT_EQ(image->entry, kTextBase + kPageSize);
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(*world.RunToExit(run->pid), 123);
+}
+
+}  // namespace
+}  // namespace hemlock

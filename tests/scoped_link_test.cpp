@@ -1,0 +1,337 @@
+// Scoped linking tests (paper §3, "Scoped Linking", Figure 2) and the search-path
+// interposition recipe of §4 ("Parallel Applications").
+//
+// When a module is brought in, its undefined references resolve first against modules
+// on its own module list / search path, then its parent's, then its grandparent's, up
+// the DAG to the root. Two subsystems can therefore export the same symbol name
+// without conflict.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/link/search.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+class ScopedLinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(world_.vfs().MkdirAll("/shm/libx").ok());
+    ASSERT_TRUE(world_.vfs().MkdirAll("/shm/liby").ok());
+    ASSERT_TRUE(world_.vfs().MkdirAll("/shm/lib").ok());
+  }
+
+  void Compile(const std::string& src, const std::string& path, CompileOptions opts = {}) {
+    opts.include_prelude = false;
+    Status st = world_.CompileTo(src, path, opts);
+    ASSERT_TRUE(st.ok()) << path << ": " << st.ToString();
+  }
+
+  HemlockWorld world_;
+};
+
+TEST_F(ScopedLinkTest, SameSymbolNameResolvesPerScope) {
+  // Two helper libraries both export `helper()` — unrelated code, same name.
+  Compile("int helper(void) { return 100; }", "/shm/libx/helper.o");
+  Compile("int helper(void) { return 200; }", "/shm/liby/helper.o");
+
+  // Subsystem X links *its* helper via its own scope; likewise Y.
+  CompileOptions x_opts;
+  x_opts.module_list = {"helper.o"};
+  x_opts.search_path = {"/shm/libx"};
+  Compile(R"(
+    extern int helper(void);
+    int x_entry(void) { return helper() + 1; }
+  )",
+          "/shm/lib/subx.o", x_opts);
+
+  CompileOptions y_opts;
+  y_opts.module_list = {"helper.o"};
+  y_opts.search_path = {"/shm/liby"};
+  Compile(R"(
+    extern int helper(void);
+    int y_entry(void) { return helper() + 2; }
+  )",
+          "/shm/lib/suby.o", y_opts);
+
+  // The main program links both subsystems; neither helper leaks into the other.
+  Result<std::string> out = world_.RunProgram(R"(
+    extern int x_entry(void);
+    extern int y_entry(void);
+    int main(void) {
+      putint(x_entry());  // 101
+      puts(" ");
+      putint(y_entry());  // 202
+      puts("\n");
+      return 0;
+    }
+  )",
+                                              {{"subx.o", ShareClass::kDynamicPublic},
+                                               {"suby.o", ShareClass::kDynamicPublic}},
+                                              ExecOptions{});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "101 202\n");
+}
+
+TEST_F(ScopedLinkTest, UnscopedReferenceFallsBackToParent) {
+  // A module that names no module list relies on its parent's scope — "Modules
+  // wishing to rely on a symbol being resolved by the parent can simply neglect to
+  // provide this information."
+  Compile(R"(
+    extern int parent_fn(int x);
+    int child_fn(int x) { return parent_fn(x) * 10; }
+  )",
+          "/shm/lib/child.o");
+  Compile("int parent_fn(int x) { return x + 5; }", "/shm/lib/helperlib.o");
+
+  Result<std::string> out = world_.RunProgram(R"(
+    extern int child_fn(int x);
+    int main(void) {
+      putint(child_fn(3));  // (3+5)*10 = 80
+      puts("\n");
+      return 0;
+    }
+  )",
+                                              {{"child.o", ShareClass::kDynamicPublic},
+                                               {"helperlib.o", ShareClass::kDynamicPublic}},
+                                              ExecOptions{});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "80\n");
+}
+
+TEST_F(ScopedLinkTest, OwnScopeWinsOverRoot) {
+  // Root scope also has a `helper`; the subsystem's own must shadow it.
+  Compile("int helper(void) { return 900; }", "/shm/lib/roothelper.o");
+  // Export under the same *symbol* name from a root-level module.
+  Compile("int helper(void) { return 100; }", "/shm/libx/helper.o");
+  CompileOptions sub_opts;
+  sub_opts.module_list = {"helper.o"};
+  sub_opts.search_path = {"/shm/libx"};
+  Compile(R"(
+    extern int helper(void);
+    int sub_entry(void) { return helper(); }
+  )",
+          "/shm/lib/sub.o", sub_opts);
+
+  Result<std::string> out = world_.RunProgram(R"(
+    extern int sub_entry(void);
+    extern int helper(void);
+    int main(void) {
+      putint(sub_entry());  // 100: own scope
+      puts(" ");
+      putint(helper());     // 900: root scope
+      puts("\n");
+      return 0;
+    }
+  )",
+                                              {{"sub.o", ShareClass::kDynamicPublic},
+                                               {"roothelper.o", ShareClass::kDynamicPublic}},
+                                              ExecOptions{});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "100 900\n");
+}
+
+TEST_F(ScopedLinkTest, PaperFigureTwoDag) {
+  // The exact module structure of paper Figure 2: an executable pulls in A (shared),
+  // B and C (private); A's chain reaches D (private) and E (shared); C also reaches
+  // E (shared) and F (private); D and F both reach G (private). E being *shared*
+  // means both arrival paths see one instance; its counter proves it.
+  Compile(R"(
+    int e_count = 0;
+    int e_fn(void) { e_count = e_count + 1; return e_count; }
+  )",
+          "/shm/lib/mod_e.o");
+  // G: private leaf (lives off the shared partition).
+  ASSERT_TRUE(world_.vfs().MkdirAll("/opt/mods").ok());
+  Compile("int g_fn(void) { return 1000; }", "/opt/mods/mod_g.o");
+  CompileOptions d_opts;
+  d_opts.module_list = {"mod_g.o"};
+  d_opts.search_path = {"/opt/mods"};
+  Compile("extern int g_fn(void); int d_fn(void) { return g_fn() + 1; }",
+          "/opt/mods/mod_d.o", d_opts);
+  CompileOptions f_opts;
+  f_opts.module_list = {"mod_g.o"};
+  f_opts.search_path = {"/opt/mods"};
+  Compile("extern int g_fn(void); int f_fn(void) { return g_fn() + 2; }",
+          "/opt/mods/mod_f.o", f_opts);
+  CompileOptions b_opts;
+  b_opts.module_list = {"mod_d.o", "mod_e.o"};
+  b_opts.search_path = {"/opt/mods", "/shm/lib"};
+  Compile(R"(
+    extern int d_fn(void);
+    extern int e_fn(void);
+    int b_fn(void) { return d_fn() + e_fn(); }
+  )",
+          "/opt/mods/mod_b.o", b_opts);
+  CompileOptions c_opts;
+  c_opts.module_list = {"mod_e.o", "mod_f.o"};
+  c_opts.search_path = {"/shm/lib", "/opt/mods"};
+  Compile(R"(
+    extern int e_fn(void);
+    extern int f_fn(void);
+    int c_fn(void) { return e_fn() * 10000 + f_fn(); }
+  )",
+          "/opt/mods/mod_c.o", c_opts);
+  CompileOptions a_opts;
+  a_opts.module_list = {"mod_b.o", "mod_c.o"};
+  a_opts.search_path = {"/opt/mods"};
+  Compile(R"(
+    extern int b_fn(void);
+    extern int c_fn(void);
+    int a_fn(void) { return b_fn() + c_fn(); }
+  )",
+          "/shm/lib/mod_a.o", a_opts);
+
+  // b_fn: d(1001) + e(1st call -> 1) = 1002; c_fn: e(2nd call -> 2)*10000 + f(1002)
+  // = 21002; total 22004 — truncated to the 8-bit exit status, so print instead.
+  Result<std::string> out = world_.RunProgram(R"(
+    extern int a_fn(void);
+    int main(void) {
+      putint(a_fn());
+      puts("\n");
+      return 0;
+    }
+  )",
+                                              {{"mod_a.o", ShareClass::kDynamicPublic}},
+                                              ExecOptions{});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "22004\n");  // proves E was a single shared instance (1 then 2)
+
+  // A second, separately linked program sees E's counter where the first left it —
+  // the "in memory, already linked, module and path fixed" box of the figure.
+  Result<std::string> again = world_.RunProgram(R"(
+    extern int e_fn(void);
+    int main(void) { return e_fn(); }
+  )",
+                                                {{"mod_e.o", ShareClass::kDynamicPublic}},
+                                                ExecOptions{});
+  ASSERT_FALSE(again.ok());  // exit status 3 surfaces as "status 3" — assert via text
+  EXPECT_NE(again.status().message().find("status 3"), std::string::npos)
+      << again.status().ToString();
+}
+
+TEST_F(ScopedLinkTest, FlatLinkingDuplicateIsAnError) {
+  // Without scopes, the static linker must either error or pick first (paper §3).
+  Compile("int dup(void) { return 1; }", "/home/user/dup1.o");
+  Compile("int dup(void) { return 2; }", "/home/user/dup2.o");
+  Compile(R"(
+    extern int dup(void);
+    int main(void) { return dup(); }
+  )",
+          "/home/user/flatmain.o");
+  LdsOptions options;
+  options.inputs = {{"flatmain.o", ShareClass::kStaticPrivate},
+                    {"dup1.o", ShareClass::kStaticPrivate},
+                    {"dup2.o", ShareClass::kStaticPrivate}};
+  options.duplicate_policy = DuplicatePolicy::kError;
+  Result<LoadImage> image = world_.Link(options);
+  EXPECT_FALSE(image.ok());
+
+  options.duplicate_policy = DuplicatePolicy::kFirstWins;
+  image = world_.Link(options);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> run = world_.Exec(*image);
+  ASSERT_TRUE(run.ok());
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 1);  // first definition won
+}
+
+TEST_F(ScopedLinkTest, LdLibraryPathInterposition) {
+  // §3: "Users can arrange to use new versions of dynamic modules by changing the
+  // LD_LIBRARY_PATH environment variable prior to execution."
+  Compile("int ver(void) { return 1; }", "/shm/lib/verlib.o");
+  ASSERT_TRUE(world_.vfs().MkdirAll("/shm/override").ok());
+  Compile("int ver(void) { return 2; }", "/shm/override/verlib.o");
+
+  constexpr char kProgram[] = R"(
+    extern int ver(void);
+    int main(void) { return ver(); }
+  )";
+  // Default: found in /shm/lib (a default library dir).
+  {
+    Result<std::string> tpl_ok = Result<std::string>(std::string("ok"));
+    (void)tpl_ok;
+    ASSERT_TRUE(world_.CompileTo(kProgram, "/home/user/verprog.o").ok());
+    Result<LoadImage> image =
+        world_.Link({.inputs = {{"verprog.o", ShareClass::kStaticPrivate},
+                                {"verlib.o", ShareClass::kDynamicPublic}}});
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+    Result<ExecResult> run = world_.Exec(*image);
+    ASSERT_TRUE(run.ok());
+    Result<int> status = world_.RunToExit(run->pid);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(*status, 1);
+
+    // Same image, new environment: the override directory is searched first.
+    ExecOptions exec;
+    exec.env[kLdLibraryPathVar] = "/shm/override";
+    Result<ExecResult> run2 = world_.Exec(*image, exec);
+    ASSERT_TRUE(run2.ok());
+    Result<int> status2 = world_.RunToExit(run2->pid);
+    ASSERT_TRUE(status2.ok());
+    EXPECT_EQ(*status2, 2);
+  }
+}
+
+TEST_F(ScopedLinkTest, PrestoTempDirRecipe) {
+  // §4 "Parallel Applications": the parent creates a temp directory, symlinks the
+  // shared-data template into it, and prepends the directory to LD_LIBRARY_PATH; the
+  // children link the shared data as a dynamic public module; the first to fault
+  // creates it; cleanup deletes segment, symlink, and directory.
+  Compile("int work_counter = 0;", "/shm/lib/presto_shared.o");
+  ASSERT_TRUE(world_.vfs().MkdirAll("/shm/tmp/job1").ok());
+  ASSERT_TRUE(
+      world_.vfs().Symlink("/shm/tmp/job1/shared.o", "/shm/lib/presto_shared.o").ok());
+
+  constexpr char kWorker[] = R"(
+    extern int work_counter;
+    int main(void) {
+      work_counter = work_counter + 1;
+      return work_counter;
+    }
+  )";
+  ASSERT_TRUE(world_.CompileTo(kWorker, "/home/user/worker.o").ok());
+  Result<LoadImage> image = world_.Link({.inputs = {{"worker.o", ShareClass::kStaticPrivate},
+                                                    {"shared.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  ExecOptions exec;
+  exec.env[kLdLibraryPathVar] = "/shm/tmp/job1";
+  Result<ExecResult> w1 = world_.Exec(*image, exec);
+  ASSERT_TRUE(w1.ok()) << w1.status().ToString();
+  Result<int> s1 = world_.RunToExit(w1->pid);
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  EXPECT_EQ(*s1, 1);
+  // The first worker created the per-job instance next to the symlink.
+  EXPECT_TRUE(world_.vfs().Exists("/shm/tmp/job1/shared"));
+
+  Result<ExecResult> w2 = world_.Exec(*image, exec);
+  ASSERT_TRUE(w2.ok());
+  Result<int> s2 = world_.RunToExit(w2->pid);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, 2);  // second worker shares the per-job instance
+
+  // A different job directory gets a fresh instance.
+  ASSERT_TRUE(world_.vfs().MkdirAll("/shm/tmp/job2").ok());
+  ASSERT_TRUE(
+      world_.vfs().Symlink("/shm/tmp/job2/shared.o", "/shm/lib/presto_shared.o").ok());
+  ExecOptions exec2;
+  exec2.env[kLdLibraryPathVar] = "/shm/tmp/job2";
+  Result<ExecResult> w3 = world_.Exec(*image, exec2);
+  ASSERT_TRUE(w3.ok());
+  Result<int> s3 = world_.RunToExit(w3->pid);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(*s3, 1);  // fresh counter for job 2
+
+  // Cleanup (paper: "deleting the shared segment, template symlink, and temporary
+  // directory").
+  EXPECT_TRUE(world_.vfs().Unlink("/shm/tmp/job1/shared").ok());
+  EXPECT_TRUE(world_.vfs().Unlink("/shm/tmp/job1/shared.o").ok());
+  EXPECT_TRUE(world_.vfs().Unlink("/shm/tmp/job1").ok());
+  EXPECT_FALSE(world_.vfs().Exists("/shm/tmp/job1"));
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -1,0 +1,221 @@
+// Cross-application shared-segment tests — the heart of the paper.
+//
+// Two separately linked programs access the same public module with ordinary
+// variable syntax; writes made by the first are visible to the second; pointers into
+// the shared region mean the same thing in every process.
+#include <gtest/gtest.h>
+
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+// The shared module: a counter plus a bump routine, exactly the paper's Figure 1 idea
+// (shared .c file compiled once, linked into multiple programs).
+constexpr char kCounterModule[] = R"(
+  int counter = 100;
+  int bump(int delta) {
+    counter = counter + delta;
+    return counter;
+  }
+)";
+
+class SharingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(world_.vfs().MkdirAll("/shm/lib").ok());
+    CompileOptions opts;
+    opts.include_prelude = false;  // keep the shared module lean
+    Status st = world_.CompileTo(kCounterModule, "/shm/lib/counter.o", opts);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  // Builds a program that links the counter module with |cls| and runs it.
+  Result<std::string> RunWith(const std::string& source, ShareClass cls) {
+    return world_.RunProgram(source, {{"counter.o", cls}});
+  }
+
+  HemlockWorld world_;
+};
+
+constexpr char kBumpProgram[] = R"(
+  extern int counter;
+  extern int bump(int delta);
+  int main(void) {
+    putint(bump(1));
+    puts(" ");
+    putint(counter);
+    puts("\n");
+    return 0;
+  }
+)";
+
+TEST_F(SharingTest, DynamicPublicSharedAcrossPrograms) {
+  // Program 1 creates the module (ldl, on first use) and bumps the counter.
+  Result<std::string> out1 = RunWith(kBumpProgram, ShareClass::kDynamicPublic);
+  ASSERT_TRUE(out1.ok()) << out1.status().ToString();
+  EXPECT_EQ(*out1, "101 101\n");
+
+  // Program 2, linked separately, sees program 1's write — the segment persists.
+  Result<std::string> out2 = RunWith(kBumpProgram, ShareClass::kDynamicPublic);
+  ASSERT_TRUE(out2.ok()) << out2.status().ToString();
+  EXPECT_EQ(*out2, "102 102\n");
+
+  // The module file now exists next to its template, named by dropping ".o".
+  EXPECT_TRUE(world_.vfs().Exists("/shm/lib/counter"));
+}
+
+TEST_F(SharingTest, StaticPublicSharedAcrossPrograms) {
+  Result<std::string> out1 = RunWith(kBumpProgram, ShareClass::kStaticPublic);
+  ASSERT_TRUE(out1.ok()) << out1.status().ToString();
+  EXPECT_EQ(*out1, "101 101\n");
+  Result<std::string> out2 = RunWith(kBumpProgram, ShareClass::kStaticPublic);
+  ASSERT_TRUE(out2.ok()) << out2.status().ToString();
+  EXPECT_EQ(*out2, "102 102\n");
+}
+
+TEST_F(SharingTest, PrivateClassesGetFreshInstances) {
+  // Table 1: private modules get a new instance per process — no sharing.
+  for (ShareClass cls : {ShareClass::kStaticPrivate, ShareClass::kDynamicPrivate}) {
+    SCOPED_TRACE(ShareClassName(cls));
+    Result<std::string> out1 = RunWith(kBumpProgram, cls);
+    ASSERT_TRUE(out1.ok()) << out1.status().ToString();
+    EXPECT_EQ(*out1, "101 101\n");
+    Result<std::string> out2 = RunWith(kBumpProgram, cls);
+    ASSERT_TRUE(out2.ok()) << out2.status().ToString();
+    EXPECT_EQ(*out2, "101 101\n");  // fresh instance, not 102
+  }
+}
+
+TEST_F(SharingTest, PublicModuleAtSameAddressInEveryProcess) {
+  // Uniform addressing: &counter printed by two separately linked programs matches.
+  constexpr char kAddrProgram[] = R"(
+    extern int counter;
+    int main(void) {
+      putint(&counter);
+      puts("\n");
+      return 0;
+    }
+  )";
+  Result<std::string> out1 = RunWith(kAddrProgram, ShareClass::kDynamicPublic);
+  ASSERT_TRUE(out1.ok()) << out1.status().ToString();
+  Result<std::string> out2 = RunWith(kAddrProgram, ShareClass::kDynamicPublic);
+  ASSERT_TRUE(out2.ok()) << out2.status().ToString();
+  EXPECT_EQ(*out1, *out2);
+  EXPECT_NE(*out1, "0\n");
+}
+
+TEST_F(SharingTest, SharedFunctionCalledCrossModule) {
+  // Calling bump() crosses from private text (region 0x0) into the shared region
+  // (0x3xxxxxxx) — unreachable by a 28-bit jump, so lds must have inserted a
+  // trampoline. Verify it works and is counted.
+  Status st = world_.CompileTo(kBumpProgram, "/home/user/prog.o");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  LdsReport report;
+  Result<LoadImage> image = world_.Link(
+      {.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                  {"counter.o", ShareClass::kStaticPublic}}},
+      &report);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_GE(report.trampolines, 1u) << "call into the shared region requires a trampoline";
+  Result<ExecResult> run = world_.Exec(*image);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(*status, 0);
+  EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "101 101\n");
+}
+
+TEST_F(SharingTest, ForkSharesPublicCopiesPrivate) {
+  // Paper §5: "The child ... receives a copy of each segment in the private portion
+  // ... and shares the single copy of each segment in the public portion."
+  constexpr char kForkProgram[] = R"(
+    extern int counter;
+    int private_counter = 0;
+    int main(void) {
+      int pid;
+      pid = sys_fork();
+      if (pid == 0) {
+        counter = counter + 10;          // shared: parent sees it
+        private_counter = private_counter + 10;  // private: parent does not
+        sys_exit(0);
+      }
+      sys_waitpid(pid);
+      putint(counter);
+      puts(" ");
+      putint(private_counter);
+      puts("\n");
+      return 0;
+    }
+  )";
+  Result<std::string> out = RunWith(kForkProgram, ShareClass::kDynamicPublic);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "110 0\n");
+}
+
+TEST_F(SharingTest, ConcurrentProcessesShareLiveSegment) {
+  // Two *simultaneously live* processes ping-pong through the shared counter.
+  constexpr char kWriter[] = R"(
+    extern int counter;
+    int main(void) {
+      counter = 555;
+      return 0;
+    }
+  )";
+  constexpr char kReader[] = R"(
+    extern int counter;
+    int main(void) {
+      while (counter != 555) { sys_yield(); }
+      puts("saw it\n");
+      return 0;
+    }
+  )";
+  Status st1 = world_.CompileTo(kWriter, "/home/user/writer.o");
+  Status st2 = world_.CompileTo(kReader, "/home/user/reader.o");
+  ASSERT_TRUE(st1.ok() && st2.ok());
+  Result<LoadImage> writer = world_.Link({.inputs = {{"writer.o", ShareClass::kStaticPrivate},
+                                                     {"counter.o", ShareClass::kDynamicPublic}}});
+  Result<LoadImage> reader = world_.Link({.inputs = {{"reader.o", ShareClass::kStaticPrivate},
+                                                     {"counter.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(writer.ok() && reader.ok());
+  // Start the reader first so it spins until the writer runs.
+  Result<ExecResult> r = world_.Exec(*reader);
+  Result<ExecResult> w = world_.Exec(*writer);
+  ASSERT_TRUE(r.ok() && w.ok());
+  ASSERT_TRUE(world_.machine().RunAll(50'000'000));
+  EXPECT_EQ(world_.machine().FindProcess(r->pid)->stdout_text(), "saw it\n");
+}
+
+TEST(SharingRebootTest, PublicModuleSurvivesReboot) {
+  // Serialize the shared partition ("shut down"), rebuild the machine, deserialize
+  // ("boot" — including the boot-time address-table scan), and keep counting.
+  std::vector<uint8_t> disk;
+  {
+    HemlockWorld world;
+    ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+    CompileOptions opts;
+    opts.include_prelude = false;
+    ASSERT_TRUE(world.CompileTo(kCounterModule, "/shm/lib/counter.o", opts).ok());
+    Result<std::string> out =
+        world.RunProgram(kBumpProgram, {{"counter.o", ShareClass::kDynamicPublic}});
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, "101 101\n");
+    ByteWriter w;
+    world.sfs().Serialize(&w);
+    disk = w.Take();
+  }
+  {
+    HemlockWorld world;
+    ByteReader r(disk);
+    Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    world.vfs().ReplaceSfs(std::move(*fs));
+    Result<std::string> out =
+        world.RunProgram(kBumpProgram, {{"counter.o", ShareClass::kDynamicPublic}});
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, "102 102\n");  // state survived the reboot
+  }
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -1,0 +1,147 @@
+// Unit + property tests for the simulated per-segment allocator (ShmHeap).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/layout.h"
+#include "src/runtime/shm_heap.h"
+
+namespace hemlock {
+namespace {
+
+class ShmHeapTest : public ::testing::Test {
+ protected:
+  SharedFs sfs_;
+};
+
+TEST_F(ShmHeapTest, CreateAllocFree) {
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 64 * 1024);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  uint32_t before = heap->FreeBytes();
+  Result<uint32_t> a = heap->Alloc(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(*a, heap->base());
+  EXPECT_LT(*a, heap->limit());
+  EXPECT_EQ(*a % 8, 0u);
+  ASSERT_TRUE(heap->Free(*a).ok());
+  EXPECT_EQ(heap->FreeBytes(), before);
+}
+
+TEST_F(ShmHeapTest, AddressesAreAbsoluteAndStable) {
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 64 * 1024);
+  ASSERT_TRUE(heap.ok());
+  Result<uint32_t> a = heap->Alloc(16);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap->Write32(*a, 0xFEEDFACE).ok());
+  // A second attach (another "process") sees the same data at the same address.
+  Result<ShmHeap> again = ShmHeap::Attach(&sfs_, "/heap");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again->Read32(*a), 0xFEEDFACEu);
+  // Attach by any interior address works too (the pointer-follow path).
+  Result<ShmHeap> by_addr = ShmHeap::AttachByAddress(&sfs_, *a + 4);
+  ASSERT_TRUE(by_addr.ok());
+  EXPECT_EQ(by_addr->base(), heap->base());
+}
+
+TEST_F(ShmHeapTest, DoubleFreeAndWildFreesDetected) {
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 64 * 1024);
+  ASSERT_TRUE(heap.ok());
+  Result<uint32_t> a = heap->Alloc(32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap->Free(*a).ok());
+  EXPECT_EQ(heap->Free(*a).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(heap->Free(heap->base() + 2).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(heap->Free(heap->limit() + 8).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ShmHeapTest, ExhaustionReported) {
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 4096);
+  ASSERT_TRUE(heap.ok());
+  Result<uint32_t> big = heap->Alloc(8192);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), ErrorCode::kResourceExhausted);
+  // Fill with small blocks until dry; everything stays in bounds.
+  int count = 0;
+  while (true) {
+    Result<uint32_t> p = heap->Alloc(64);
+    if (!p.ok()) {
+      break;
+    }
+    ++count;
+  }
+  EXPECT_GT(count, 20);
+}
+
+TEST_F(ShmHeapTest, CoalescingBothDirections) {
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 64 * 1024);
+  ASSERT_TRUE(heap.ok());
+  Result<uint32_t> a = heap->Alloc(64);
+  Result<uint32_t> b = heap->Alloc(64);
+  Result<uint32_t> c = heap->Alloc(64);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Free outer blocks, then the middle: all three must merge with the tail into one.
+  ASSERT_TRUE(heap->Free(*a).ok());
+  ASSERT_TRUE(heap->Free(*c).ok());
+  ASSERT_TRUE(heap->Free(*b).ok());
+  EXPECT_EQ(heap->FreeBlockCount(), 1u);
+}
+
+TEST_F(ShmHeapTest, AttachRejectsNonHeapSegment) {
+  uint32_t ino = *sfs_.Create("/plain");
+  uint8_t junk[32] = {1, 2, 3};
+  ASSERT_TRUE(sfs_.WriteAt(ino, 0, junk, 32).ok());
+  Result<ShmHeap> heap = ShmHeap::Attach(&sfs_, "/plain");
+  ASSERT_FALSE(heap.ok());
+  EXPECT_EQ(heap.status().code(), ErrorCode::kCorruptData);
+}
+
+// Property: a deterministic random alloc/free churn maintains the invariants —
+// no overlapping live blocks, free-byte conservation, bounded fragmentation.
+class ShmHeapChurnTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShmHeapChurnTest, InvariantsHold) {
+  SharedFs sfs;
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs, "/heap", 256 * 1024);
+  ASSERT_TRUE(heap.ok());
+  uint32_t initial_free = heap->FreeBytes();
+
+  uint64_t rng = GetParam() * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(rng >> 33);
+  };
+  std::map<uint32_t, uint32_t> live;  // addr -> size
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || next() % 3 != 0) {
+      uint32_t size = 8 + next() % 600;
+      Result<uint32_t> p = heap->Alloc(size);
+      if (!p.ok()) {
+        continue;  // heap full; churn on
+      }
+      // No overlap with any live block.
+      auto it = live.upper_bound(*p);
+      if (it != live.end()) {
+        ASSERT_LE(*p + size, it->first) << "overlaps following block";
+      }
+      if (it != live.begin()) {
+        --it;
+        ASSERT_LE(it->first + it->second, *p) << "overlaps preceding block";
+      }
+      live[*p] = size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, next() % live.size());
+      ASSERT_TRUE(heap->Free(it->first).ok());
+      live.erase(it);
+    }
+  }
+  for (const auto& [addr, size] : live) {
+    ASSERT_TRUE(heap->Free(addr).ok());
+  }
+  EXPECT_EQ(heap->FreeBytes(), initial_free) << "free bytes must be conserved";
+  EXPECT_EQ(heap->FreeBlockCount(), 1u) << "full coalescing after freeing everything";
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmHeapChurnTest, ::testing::Values(1, 2, 3, 7, 13, 42));
+
+}  // namespace
+}  // namespace hemlock

@@ -1,0 +1,223 @@
+// End-to-end toolchain tests: HemC source -> HOF -> lds -> loader/ldl -> VM execution.
+#include <gtest/gtest.h>
+
+#include "src/runtime/world.h"
+
+namespace hemlock {
+namespace {
+
+TEST(Toolchain, HelloWorld) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      puts("hello, world\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "hello, world\n");
+}
+
+TEST(Toolchain, Arithmetic) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      putint(2 + 3 * 4);        // 14
+      puts(" ");
+      putint((2 + 3) * 4);      // 20
+      puts(" ");
+      putint(100 / 7);          // 14
+      puts(" ");
+      putint(100 % 7);          // 2
+      puts(" ");
+      putint(0 - 5);            // -5
+      puts(" ");
+      putint(1 << 10);          // 1024
+      puts(" ");
+      putint(-16 >> 2);         // -4 (arithmetic shift)
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "14 20 14 2 -5 1024 -4\n");
+}
+
+TEST(Toolchain, ControlFlow) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main(void) {
+      int i;
+      for (i = 0; i < 10; i = i + 1) {
+        putint(fib(i));
+        puts(" ");
+      }
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "0 1 1 2 3 5 8 13 21 34 \n");
+}
+
+TEST(Toolchain, GlobalsAndPointers) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int counter = 40;
+    int values[5] = {10, 20, 30, 40, 50};
+    int *p = &values[2];
+
+    int bump(int delta) {
+      counter = counter + delta;
+      return counter;
+    }
+    int main(void) {
+      putint(bump(2));    // 42
+      puts(" ");
+      putint(*p);         // 30
+      puts(" ");
+      p = p + 1;
+      putint(*p);         // 40
+      puts(" ");
+      putint(values[4] - values[0]);  // 40
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "42 30 40 40\n");
+}
+
+TEST(Toolchain, StructsAndLists) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    struct node {
+      int value;
+      struct node *next;
+    };
+    struct node c = {3, 0};
+    struct node b = {2, &c};
+    struct node a = {1, &b};
+
+    int main(void) {
+      struct node *cur;
+      int sum;
+      sum = 0;
+      cur = &a;
+      while (cur != 0) {
+        sum = sum + cur->value;
+        cur = cur->next;
+      }
+      putint(sum);  // 6
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "6\n");
+}
+
+TEST(Toolchain, StringsAndPrelude) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    char greeting[32] = "hem";
+    int main(void) {
+      char buf[32];
+      strcpy(buf, greeting);
+      strcpy(&buf[strlen(buf)], "lock");
+      puts(buf);
+      puts("\n");
+      putint(strcmp(buf, "hemlock"));
+      puts(" ");
+      putint(strlen(buf));
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "hemlock\n0 7\n");
+}
+
+TEST(Toolchain, SbrkHeap) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int *arr;
+      int i;
+      int sum;
+      arr = sys_sbrk(40);
+      for (i = 0; i < 10; i = i + 1) { arr[i] = i * i; }
+      sum = 0;
+      for (i = 0; i < 10; i = i + 1) { sum = sum + arr[i]; }
+      putint(sum);  // 285
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "285\n");
+}
+
+TEST(Toolchain, ExitStatusPropagates) {
+  HemlockWorld world;
+  Status st = world.CompileTo("int main(void) { return 17; }", "/home/user/ret17.o");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  Result<LoadImage> image =
+      world.Link({.inputs = {{"ret17.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(*status, 17);
+}
+
+TEST(Toolchain, ForkAndWait) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int pid;
+      int status;
+      pid = sys_fork();
+      if (pid == 0) {
+        puts("child\n");
+        sys_exit(7);
+      }
+      status = sys_waitpid(pid);
+      puts("parent saw ");
+      putint(status);
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "parent saw 7\n");
+}
+
+TEST(Toolchain, NullDerefKillsProcess) {
+  HemlockWorld world;
+  Status st = world.CompileTo(R"(
+    int main(void) {
+      int *p;
+      p = 0;
+      return *p;
+    }
+  )",
+                              "/home/user/crash.o");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  Result<LoadImage> image =
+      world.Link({.inputs = {{"crash.o", ShareClass::kStaticPrivate}}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Result<int> status = world.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 139);  // segmentation fault
+}
+
+}  // namespace
+}  // namespace hemlock

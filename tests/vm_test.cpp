@@ -1,0 +1,498 @@
+// Unit tests for the VM layer: address space semantics, CPU instruction behaviour,
+// and kernel (Machine) syscalls.
+#include <gtest/gtest.h>
+
+#include "src/base/layout.h"
+#include "src/base/strings.h"
+#include "src/link/lds.h"
+#include "src/link/loader.h"
+#include "src/runtime/world.h"
+#include "src/vm/cpu.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+namespace {
+
+// --- AddressSpace ---
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  SharedFs sfs_;
+  AddressSpace space_{&sfs_};
+
+  PrivateBacking MakeBacking(uint32_t pages, uint8_t fill = 0) {
+    return std::make_shared<std::vector<uint8_t>>(pages * kPageSize, fill);
+  }
+};
+
+TEST_F(AddressSpaceTest, MapReadWrite) {
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kReadWrite, MakeBacking(1), 0).ok());
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(0x1004, 0xABCD, &fault));
+  uint32_t v = 0;
+  ASSERT_TRUE(space_.Load32(0x1004, &v, &fault));
+  EXPECT_EQ(v, 0xABCDu);
+  uint8_t b = 0;
+  ASSERT_TRUE(space_.Load8(0x1004, &b, &fault));
+  EXPECT_EQ(b, 0xCD);  // little-endian
+}
+
+TEST_F(AddressSpaceTest, ProtectionEnforced) {
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kRead, MakeBacking(1), 0).ok());
+  Fault fault;
+  uint32_t v = 0;
+  EXPECT_TRUE(space_.Load32(0x1000, &v, &fault));
+  EXPECT_FALSE(space_.Store32(0x1000, 1, &fault));
+  EXPECT_EQ(fault.kind, FaultKind::kProtection);
+  EXPECT_EQ(fault.access, AccessKind::kWrite);
+  EXPECT_FALSE(space_.Fetch(0x1000, &v, &fault));
+  EXPECT_EQ(fault.access, AccessKind::kExec);
+  // PROT_NONE faults on everything (the lazy-link mapping state).
+  ASSERT_TRUE(space_.Protect(0x1000, kPageSize, Prot::kNone).ok());
+  EXPECT_FALSE(space_.Load32(0x1000, &v, &fault));
+  EXPECT_EQ(fault.kind, FaultKind::kProtection);
+  // Kernel paths ignore protections.
+  uint8_t byte = 9;
+  EXPECT_TRUE(space_.WriteBytes(0x1000, &byte, 1).ok());
+}
+
+TEST_F(AddressSpaceTest, UnmappedFaults) {
+  Fault fault;
+  uint32_t v = 0;
+  EXPECT_FALSE(space_.Load32(0x5000, &v, &fault));
+  EXPECT_EQ(fault.kind, FaultKind::kUnmapped);
+  EXPECT_EQ(fault.addr, 0x5000u);
+  // Misaligned word access faults too.
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kAll, MakeBacking(1), 0).ok());
+  EXPECT_FALSE(space_.Load32(0x1002, &v, &fault));
+}
+
+TEST_F(AddressSpaceTest, UnmapRemoves) {
+  ASSERT_TRUE(space_.MapPrivate(0x1000, 2 * kPageSize, Prot::kAll, MakeBacking(2), 0).ok());
+  ASSERT_TRUE(space_.Unmap(0x1000, kPageSize).ok());
+  EXPECT_FALSE(space_.IsMapped(0x1000));
+  EXPECT_TRUE(space_.IsMapped(0x2000));
+}
+
+TEST_F(AddressSpaceTest, PublicMappingSharesFileBytes) {
+  uint32_t ino = *sfs_.Create("/seg");
+  ASSERT_TRUE(sfs_.EnsureExtent(ino, kPageSize).ok());
+  uint32_t base = SfsAddressForInode(ino);
+  ASSERT_TRUE(space_.MapPublic(base, kPageSize, Prot::kReadWrite, ino, 0).ok());
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(base, 0x1234, &fault));
+  // The write went through to the file bytes.
+  uint32_t from_file = 0;
+  std::memcpy(&from_file, sfs_.DataPtr(ino), 4);
+  EXPECT_EQ(from_file, 0x1234u);
+  EXPECT_EQ(space_.PublicInodeAt(base), ino);
+  EXPECT_EQ(space_.PublicInodeAt(0x1000), 0u);
+}
+
+TEST_F(AddressSpaceTest, TwoSpacesShareOnePublicSegment) {
+  uint32_t ino = *sfs_.Create("/seg");
+  ASSERT_TRUE(sfs_.EnsureExtent(ino, kPageSize).ok());
+  uint32_t base = SfsAddressForInode(ino);
+  AddressSpace other(&sfs_);
+  ASSERT_TRUE(space_.MapPublic(base, kPageSize, Prot::kReadWrite, ino, 0).ok());
+  ASSERT_TRUE(other.MapPublic(base, kPageSize, Prot::kReadWrite, ino, 0).ok());
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(base + 8, 77, &fault));
+  uint32_t v = 0;
+  ASSERT_TRUE(other.Load32(base + 8, &v, &fault));
+  EXPECT_EQ(v, 77u);
+}
+
+TEST_F(AddressSpaceTest, ForkCopiesPrivateSharesPublic) {
+  auto backing = MakeBacking(1);
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kReadWrite, backing, 0).ok());
+  uint32_t ino = *sfs_.Create("/seg");
+  ASSERT_TRUE(sfs_.EnsureExtent(ino, kPageSize).ok());
+  uint32_t pub = SfsAddressForInode(ino);
+  ASSERT_TRUE(space_.MapPublic(pub, kPageSize, Prot::kReadWrite, ino, 0).ok());
+
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(0x1000, 1, &fault));
+  std::unique_ptr<AddressSpace> child = space_.Fork();
+
+  // Parent's later private write is invisible to the child.
+  ASSERT_TRUE(space_.Store32(0x1000, 2, &fault));
+  uint32_t v = 0;
+  ASSERT_TRUE(child->Load32(0x1000, &v, &fault));
+  EXPECT_EQ(v, 1u);
+  // Public writes are visible both ways.
+  ASSERT_TRUE(child->Store32(pub, 42, &fault));
+  ASSERT_TRUE(space_.Load32(pub, &v, &fault));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST_F(AddressSpaceTest, ForkSharesBackingAcrossPagesOfOneSegment) {
+  // One 4-page backing mapped as one segment must be duplicated once, preserving the
+  // page->backing relationship.
+  auto backing = MakeBacking(4, 0x11);
+  ASSERT_TRUE(space_.MapPrivate(0x1000, 4 * kPageSize, Prot::kReadWrite, backing, 0).ok());
+  std::unique_ptr<AddressSpace> child = space_.Fork();
+  Fault fault;
+  ASSERT_TRUE(child->Store32(0x1000, 0xAA, &fault));
+  uint32_t v = 0;
+  // Write via page 0 is visible via the same backing at page 0 only.
+  ASSERT_TRUE(child->Load32(0x1000, &v, &fault));
+  EXPECT_EQ(v, 0xAAu);
+  ASSERT_TRUE(space_.Load32(0x1000, &v, &fault));
+  EXPECT_NE(v, 0xAAu);
+}
+
+// --- CPU semantics (parameterized over ALU operations) ---
+
+struct AluCase {
+  const char* name;
+  Funct funct;
+  int32_t a;
+  int32_t b;
+  int32_t expected;
+};
+
+class CpuAluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(CpuAluTest, ComputesExpected) {
+  SharedFs sfs;
+  AddressSpace space(&sfs);
+  auto text = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+  uint32_t prog[2] = {EncodeR(GetParam().funct, kRegV0, kRegA0, kRegA1), EncodeBreak()};
+  std::memcpy(text->data(), prog, sizeof(prog));
+  ASSERT_TRUE(space.MapPrivate(0x1000, kPageSize, Prot::kReadExec, text, 0).ok());
+  CpuState st;
+  st.pc = 0x1000;
+  st.regs[kRegA0] = static_cast<uint32_t>(GetParam().a);
+  st.regs[kRegA1] = static_cast<uint32_t>(GetParam().b);
+  Cpu cpu(&space);
+  Fault fault;
+  StopReason reason = cpu.Run(&st, 10, nullptr, &fault);
+  EXPECT_EQ(reason, StopReason::kBreak);
+  EXPECT_EQ(static_cast<int32_t>(st.regs[kRegV0]), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, CpuAluTest,
+    ::testing::Values(AluCase{"add", Funct::kAdd, 3, 4, 7},
+                      AluCase{"add_wraps", Funct::kAdd, 0x7FFFFFFF, 1, INT32_MIN},
+                      AluCase{"sub", Funct::kSub, 3, 5, -2},
+                      AluCase{"mul", Funct::kMul, -3, 4, -12},
+                      AluCase{"div", Funct::kDiv, -7, 2, -3},
+                      AluCase{"mod", Funct::kMod, -7, 2, -1},
+                      AluCase{"and", Funct::kAnd, 12, 10, 8},
+                      AluCase{"or", Funct::kOr, 12, 3, 15},
+                      AluCase{"xor", Funct::kXor, 12, 10, 6},
+                      AluCase{"nor", Funct::kNor, 0, 0, -1},
+                      AluCase{"slt_true", Funct::kSlt, -1, 0, 1},
+                      AluCase{"slt_false", Funct::kSlt, 0, -1, 0},
+                      AluCase{"sltu_wraps", Funct::kSltu, 0, -1, 1}),
+    [](const ::testing::TestParamInfo<AluCase>& info) { return info.param.name; });
+
+TEST(CpuTest, DivideByZeroTraps) {
+  SharedFs sfs;
+  AddressSpace space(&sfs);
+  auto text = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+  uint32_t prog[1] = {EncodeR(Funct::kDiv, kRegV0, kRegA0, kRegZero)};
+  std::memcpy(text->data(), prog, sizeof(prog));
+  ASSERT_TRUE(space.MapPrivate(0x1000, kPageSize, Prot::kReadExec, text, 0).ok());
+  CpuState st;
+  st.pc = 0x1000;
+  Cpu cpu(&space);
+  Fault fault;
+  EXPECT_EQ(cpu.Run(&st, 10, nullptr, &fault), StopReason::kDivZero);
+  EXPECT_EQ(st.pc, 0x1000u);  // precise: pc at the trapping instruction
+}
+
+TEST(CpuTest, FaultLeavesPcForRetry) {
+  SharedFs sfs;
+  AddressSpace space(&sfs);
+  auto text = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+  uint32_t prog[2] = {EncodeI(Op::kLw, kRegV0, kRegA0, 0), EncodeBreak()};
+  std::memcpy(text->data(), prog, sizeof(prog));
+  ASSERT_TRUE(space.MapPrivate(0x1000, kPageSize, Prot::kReadExec, text, 0).ok());
+  CpuState st;
+  st.pc = 0x1000;
+  st.regs[kRegA0] = 0x9000;  // unmapped
+  Cpu cpu(&space);
+  Fault fault;
+  uint64_t steps = 0;
+  EXPECT_EQ(cpu.Run(&st, 10, &steps, &fault), StopReason::kFault);
+  EXPECT_EQ(st.pc, 0x1000u);
+  EXPECT_EQ(fault.addr, 0x9000u);
+  // Map the page and retry: the instruction completes.
+  auto data = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+  (*data)[0] = 0x2A;
+  ASSERT_TRUE(space.MapPrivate(0x9000, kPageSize, Prot::kRead, data, 0).ok());
+  EXPECT_EQ(cpu.Run(&st, 10, &steps, &fault), StopReason::kBreak);
+  EXPECT_EQ(st.regs[kRegV0], 0x2Au);
+}
+
+TEST(CpuTest, ZeroRegisterIsImmutable) {
+  SharedFs sfs;
+  AddressSpace space(&sfs);
+  auto text = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+  uint32_t prog[3] = {EncodeOri(kRegZero, kRegZero, 0xFFFF),
+                      EncodeR(Funct::kAdd, kRegV0, kRegZero, kRegZero), EncodeBreak()};
+  std::memcpy(text->data(), prog, sizeof(prog));
+  ASSERT_TRUE(space.MapPrivate(0x1000, kPageSize, Prot::kReadExec, text, 0).ok());
+  CpuState st;
+  st.pc = 0x1000;
+  Cpu cpu(&space);
+  Fault fault;
+  EXPECT_EQ(cpu.Run(&st, 10, nullptr, &fault), StopReason::kBreak);
+  EXPECT_EQ(st.regs[kRegV0], 0u);
+}
+
+// --- Machine syscalls via real programs ---
+
+TEST(MachineTest, FileSyscallsOnBothFileSystems) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int fd;
+      char buf[32];
+      int n;
+      // Create + write + close on the ordinary disk.
+      fd = sys_open("/tmp/note", 0x242);   // O_RDWR|O_CREAT|O_TRUNC
+      sys_write(fd, "hello", 5);
+      sys_close(fd);
+      // Reopen and read back.
+      fd = sys_open("/tmp/note", 0);
+      n = sys_read(fd, buf, 32);
+      buf[n] = 0;
+      sys_close(fd);
+      puts(buf);
+      puts(" ");
+      // Same flow on the shared partition.
+      fd = sys_open("/shm/note", 0x242);
+      sys_write(fd, "shared", 6);
+      sys_close(fd);
+      fd = sys_open("/shm/note", 0);
+      n = sys_read(fd, buf, 32);
+      buf[n] = 0;
+      puts(buf);
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "hello shared\n");
+}
+
+TEST(MachineTest, AddrToPathAndOpenByAddr) {
+  HemlockWorld world;
+  uint32_t ino = *world.sfs().Create("/blob");
+  const char* content = "by-address";
+  ASSERT_TRUE(world.sfs()
+                  .WriteAt(ino, 0, reinterpret_cast<const uint8_t*>(content), 10)
+                  .ok());
+  uint32_t addr = *world.sfs().AddressOf(ino);
+  std::string src = StrFormat(R"(
+    int main(void) {
+      char path[64];
+      char buf[32];
+      int fd;
+      int n;
+      sys_addr_to_path(%u, path, 64);
+      puts(path);
+      puts(" ");
+      fd = sys_open_by_addr(%u, 0);
+      n = sys_read(fd, buf, 31);
+      buf[n] = 0;
+      puts(buf);
+      puts("\n");
+      return 0;
+    }
+  )",
+                              addr, addr);
+  Result<std::string> out = world.RunProgram(src);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "/shm/blob by-address\n");
+}
+
+TEST(MachineTest, StatReturnsInodeSizeAddr) {
+  HemlockWorld world;
+  uint32_t ino = *world.sfs().Create("/stated");
+  uint8_t bytes[10] = {0};
+  ASSERT_TRUE(world.sfs().WriteAt(ino, 0, bytes, 10).ok());
+  uint32_t addr = *world.sfs().AddressOf(ino);
+  std::string src = StrFormat(R"(
+    int main(void) {
+      int st[3];
+      sys_stat("/shm/stated", st);
+      putint(st[0]); puts(" ");
+      putint(st[1]); puts(" ");
+      putint(st[2] == %u);
+      puts("\n");
+      return 0;
+    }
+  )",
+                              addr);
+  Result<std::string> out = world.RunProgram(src);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, StrFormat("%u 10 1\n", ino));
+}
+
+TEST(MachineTest, SyscallErrorsReportedInV1) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int fd;
+      fd = sys_open("/no/such/file", 0);
+      putint(fd);
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "-1\n");
+}
+
+TEST(MachineTest, TicksAdvanceAndChargeSyscalls) {
+  HemlockWorld world;
+  world.machine().set_syscall_cost(1000);
+  uint64_t before = world.machine().ticks();
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      sys_yield();
+      sys_yield();
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(world.machine().ticks(), before + 2000);
+  EXPECT_GE(world.machine().total_syscalls(), 3u);  // 2 yields + exit
+}
+
+TEST(MachineTest, FileLockSyscallFromPrograms) {
+  // The kLockFile syscall backing ldl's creation lock (paper fn. 3): a second
+  // process's lock attempt fails while the first holds it.
+  HemlockWorld world;
+  ASSERT_TRUE(world.sfs().Create("/lockme").ok());
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int fd;
+      int pid;
+      int child_result;
+      fd = sys_open("/shm/lockme", 0);
+      if (sys_lockf(fd, 1) != 0) { return 1; }
+      pid = sys_fork();
+      if (pid == 0) {
+        int cfd;
+        cfd = sys_open("/shm/lockme", 0);
+        // Parent holds the lock: this must fail.
+        sys_exit(sys_lockf(cfd, 1) == 0 - 1);
+      }
+      child_result = sys_waitpid(pid);
+      putint(child_result);     // 1: the child saw WOULD_BLOCK
+      sys_lockf(fd, 0);
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "1\n");
+}
+
+TEST(MachineTest, ExitReleasesLocks) {
+  HemlockWorld world;
+  uint32_t ino = *world.sfs().Create("/lockme");
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int fd;
+      fd = sys_open("/shm/lockme", 0);
+      sys_lockf(fd, 1);
+      return 0;   // exits holding the lock
+    }
+  )");
+  ASSERT_TRUE(out.ok());
+  // The kernel released the dead process's lock; a host-side lock succeeds.
+  EXPECT_TRUE(world.sfs().LockInode(ino, 9999).ok());
+}
+
+TEST(MachineTest, UnlinkFromProgram) {
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().WriteFile("/shm/doomed", std::string("x")).ok());
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      return sys_unlink("/shm/doomed");
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(world.vfs().Exists("/shm/doomed"));
+}
+
+TEST(MachineTest, RunAllDetectsDeadlock) {
+  // Two processes each spin-wait on a flag only the other would set — neither ever
+  // writes. RunAll must not hang: it stops when the budget drains.
+  HemlockWorld world;
+  ASSERT_TRUE(world.vfs().MkdirAll("/shm/lib").ok());
+  CompileOptions opts;
+  opts.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo("int flag_a = 0; int flag_b = 0;", "/shm/lib/flags.o", opts).ok());
+  ASSERT_TRUE(world
+                  .CompileTo(R"(
+    extern int flag_a;
+    extern int flag_b;
+    int main(void) {
+      while (flag_a == 0) { sys_yield(); }
+      flag_b = 1;
+      return 0;
+    }
+  )",
+                             "/home/user/waiter.o")
+                  .ok());
+  Result<LoadImage> image =
+      world.Link({.inputs = {{"waiter.o", ShareClass::kStaticPrivate},
+                             {"flags.o", ShareClass::kDynamicPublic}}});
+  ASSERT_TRUE(image.ok());
+  Result<ExecResult> p1 = world.Exec(*image);
+  Result<ExecResult> p2 = world.Exec(*image);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_FALSE(world.machine().RunAll(2'000'000)) << "budget-bounded, not hung";
+  EXPECT_EQ(world.machine().LiveProcessCount(), 2);
+}
+
+TEST(MachineTest, SbrkShrinkAndBounds) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int *base;
+      int *old;
+      base = sys_sbrk(8192);
+      old = sys_sbrk(0 - 4096);       // shrink is allowed (pages stay mapped)
+      putint(old - base == 2048);     // int pointer arithmetic: 8192 bytes = 2048 ints
+      puts(" ");
+      putint(sys_sbrk(0x7FFFFFFF));   // absurd growth fails with -1
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "1 -1\n");
+}
+
+TEST(MachineTest, MultiLevelForkTree) {
+  HemlockWorld world;
+  Result<std::string> out = world.RunProgram(R"(
+    int main(void) {
+      int a;
+      int b;
+      a = sys_fork();
+      if (a == 0) {
+        b = sys_fork();
+        if (b == 0) { sys_exit(3); }
+        sys_exit(sys_waitpid(b) + 10);
+      }
+      putint(sys_waitpid(a));  // 13
+      puts("\n");
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "13\n");
+}
+
+}  // namespace
+}  // namespace hemlock

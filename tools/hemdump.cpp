@@ -1,0 +1,208 @@
+// hemdump — objdump for the Hemlock formats.
+//
+// Reads a file from the host file system and pretty-prints it according to its magic:
+//   HOF  relocatable template (.o): sections, symbols, relocations, embedded search
+//        strategy, and a disassembly of .text;
+//   HXE  executable load image: segments, symbol table, pending relocations, dynamic
+//        module records, saved search path, disassembly of executable segments;
+//   HML  linked (public) module file: layout, exports, still-pending references,
+//        scoped-linking metadata, disassembly at the module's base address.
+//
+// Usage: hemdump [--no-disasm] <file> [<file> ...]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/isa/isa.h"
+#include "src/link/image.h"
+#include "src/obj/object_file.h"
+
+using namespace hemlock;
+
+namespace {
+
+bool g_disasm = true;
+
+std::vector<uint8_t> ReadHostFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void Disassemble(const std::vector<uint8_t>& bytes, uint32_t offset, uint32_t len,
+                 uint32_t vaddr) {
+  for (uint32_t pos = 0; pos + 4 <= len; pos += 4) {
+    uint32_t word = 0;
+    std::memcpy(&word, bytes.data() + offset + pos, 4);
+    std::printf("  %08x:  %08x  %s\n", vaddr + pos, word,
+                hemlock::Disassemble(word, vaddr + pos).c_str());
+  }
+}
+
+void PrintStringList(const char* title, const std::vector<std::string>& list) {
+  if (list.empty()) {
+    return;
+  }
+  std::printf("%s:\n", title);
+  for (const std::string& item : list) {
+    std::printf("  %s\n", item.c_str());
+  }
+}
+
+void DumpHof(const ObjectFile& obj) {
+  std::printf("HOF relocatable object: %s\n", obj.name().c_str());
+  std::printf("sections: .text %zu bytes, .data %zu bytes, .bss %u bytes\n",
+              obj.text().size(), obj.data().size(), obj.bss_size());
+  std::printf("symbols (%zu):\n", obj.symbols().size());
+  for (const Symbol& sym : obj.symbols()) {
+    if (sym.defined) {
+      std::printf("  %-24s %s+0x%x %s%s\n", sym.name.c_str(), SectionName(sym.section),
+                  sym.value, sym.binding == SymBinding::kLocal ? "local" : "global",
+                  sym.is_function ? " func" : "");
+    } else {
+      std::printf("  %-24s *UND*\n", sym.name.c_str());
+    }
+  }
+  std::printf("relocations (%zu):\n", obj.relocations().size());
+  for (const Relocation& rel : obj.relocations()) {
+    std::printf("  %-8s %s+0x%-6x -> %s%+d\n", RelocTypeName(rel.type),
+                SectionName(rel.section), rel.offset, rel.symbol.c_str(), rel.addend);
+  }
+  PrintStringList("module list (scoped linking)", obj.module_list());
+  PrintStringList("search path", obj.search_path());
+  if (g_disasm && !obj.text().empty()) {
+    std::printf("disassembly of .text:\n");
+    Disassemble(obj.text(), 0, static_cast<uint32_t>(obj.text().size()), 0);
+  }
+}
+
+void DumpHxe(const LoadImage& image) {
+  std::printf("HXE load image, entry 0x%08x\n", image.entry);
+  std::printf("segments (%zu):\n", image.segments.size());
+  for (const ImageSegment& seg : image.segments) {
+    std::printf("  0x%08x  %u bytes mem (%zu initialized)  %s\n", seg.vaddr, seg.mem_size,
+                seg.bytes.size(), seg.executable ? "R-X" : "RW-");
+  }
+  std::printf("symbols (%zu):\n", image.symbols.size());
+  for (const AbsSymbol& sym : image.symbols) {
+    std::printf("  %-24s 0x%08x%s\n", sym.name.c_str(), sym.addr,
+                sym.is_function ? " func" : "");
+  }
+  if (!image.pending.empty()) {
+    std::printf("pending relocations for ldl (%zu):\n", image.pending.size());
+    for (const PendingReloc& rel : image.pending) {
+      std::printf("  %-8s @0x%08x -> %s%+d\n", RelocTypeName(rel.type), rel.site,
+                  rel.symbol.c_str(), rel.addend);
+    }
+  }
+  if (!image.dynamic_modules.empty()) {
+    std::printf("dynamic modules (%zu):\n", image.dynamic_modules.size());
+    for (const DynModuleRecord& rec : image.dynamic_modules) {
+      std::printf("  %-24s %s\n", rec.name.c_str(), ShareClassName(rec.cls));
+    }
+  }
+  if (!image.static_publics.empty()) {
+    std::printf("static public modules (%zu):\n", image.static_publics.size());
+    for (const StaticPublicRef& ref : image.static_publics) {
+      std::printf("  %-24s @0x%08x\n", ref.module_path.c_str(), ref.addr);
+    }
+  }
+  PrintStringList("saved static search path", image.search_path);
+  if (g_disasm) {
+    for (const ImageSegment& seg : image.segments) {
+      if (seg.executable) {
+        std::printf("disassembly of segment 0x%08x:\n", seg.vaddr);
+        Disassemble(seg.bytes, 0, static_cast<uint32_t>(seg.bytes.size()), seg.vaddr);
+      }
+    }
+  }
+}
+
+void DumpHml(const LinkedModule& mod) {
+  std::printf("HML linked module: %s @0x%08x\n", mod.name.c_str(), mod.base);
+  std::printf("layout: text %u, data %u, bss %u (mem %u bytes)  %s\n", mod.text_size,
+              mod.data_size, mod.bss_size, mod.MemSize(),
+              mod.FullyLinked() ? "fully linked" : "PARTIALLY LINKED");
+  std::printf("exports (%zu):\n", mod.exports.size());
+  for (const AbsSymbol& sym : mod.exports) {
+    std::printf("  %-24s 0x%08x%s\n", sym.name.c_str(), sym.addr,
+                sym.is_function ? " func" : "");
+  }
+  if (!mod.pending.empty()) {
+    std::printf("pending references (%zu):\n", mod.pending.size());
+    for (const PendingReloc& rel : mod.pending) {
+      std::printf("  %-8s @0x%08x -> %s%+d\n", RelocTypeName(rel.type), rel.site,
+                  rel.symbol.c_str(), rel.addend);
+    }
+  }
+  PrintStringList("module list (scoped linking)", mod.module_list);
+  PrintStringList("search path", mod.search_path);
+  if (g_disasm && mod.text_size > 0) {
+    std::printf("disassembly of module text:\n");
+    Disassemble(mod.payload, 0, std::min<uint32_t>(mod.text_size,
+                                                   static_cast<uint32_t>(mod.payload.size())),
+                mod.base);
+  }
+}
+
+int DumpOne(const std::string& path) {
+  std::vector<uint8_t> bytes = ReadHostFile(path);
+  if (bytes.empty()) {
+    std::fprintf(stderr, "hemdump: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("==== %s (%zu bytes) ====\n", path.c_str(), bytes.size());
+  if (LinkedModule::LooksLikeModuleFile(bytes)) {
+    Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
+    if (!mod.ok()) {
+      std::fprintf(stderr, "hemdump: bad HML: %s\n", mod.status().ToString().c_str());
+      return 1;
+    }
+    DumpHml(*mod);
+    return 0;
+  }
+  Result<ObjectFile> obj = ObjectFile::Deserialize(bytes);
+  if (obj.ok()) {
+    DumpHof(*obj);
+    return 0;
+  }
+  Result<LoadImage> image = LoadImage::Deserialize(bytes);
+  if (image.ok()) {
+    DumpHxe(*image);
+    return 0;
+  }
+  std::fprintf(stderr, "hemdump: %s is not a HOF, HXE, or HML file\n", path.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-disasm") {
+      g_disasm = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: hemdump [--no-disasm] <file> ...\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: hemdump [--no-disasm] <file> ...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (const std::string& file : files) {
+    rc |= DumpOne(file);
+  }
+  return rc;
+}

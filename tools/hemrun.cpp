@@ -1,0 +1,250 @@
+// hemrun — compile, link, and run HemC programs from the shell.
+//
+// The whole Figure-1 pipeline as one command: host-file HemC sources go through cc,
+// lds (with per-module sharing classes), the loader/ldl, and the simulated machine;
+// program stdout and exit status come back. The simulated shared partition can be
+// persisted to a host file so *separate hemrun invocations share segments* — the
+// cross-application story, from the shell.
+//
+// Usage:
+//   hemrun [options] <main.hc>
+// Options:
+//   --private <file.hc>        link as static private (more main-image code)
+//   --public <file.hc>         compile to /shm/lib and link as dynamic public
+//   --static-public <file.hc>  ... as static public
+//   --dynamic-private <f.hc>   ... as dynamic private
+//   --state <file>             load/save the shared partition from/to this host file
+//   --env K=V                  set an environment variable (e.g. LD_LIBRARY_PATH)
+//   --eager                    eager ldl ablation (resolve everything at startup)
+//   --emit <dir>               also write template .o files and a.out to <dir> (host)
+//   --stats                    print ldl statistics after the run
+//
+// Example (two shells sharing a counter):
+//   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 1
+//   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 2
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/link/search.h"
+#include "src/runtime/world.h"
+
+using namespace hemlock;
+
+namespace {
+
+Result<std::string> ReadHostFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("cannot read " + path);
+  }
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+Status WriteHostFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Internal("cannot write " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return OkStatus();
+}
+
+struct ModuleArg {
+  std::string host_path;
+  ShareClass cls;
+};
+
+std::string BaseNoExt(const std::string& host_path) {
+  return StripExtension(PathBasename(host_path));
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--emit dir]\n"
+               "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
+               "               --dynamic-private f.hc]... <main.hc>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string main_src;
+  std::vector<ModuleArg> modules;
+  std::string state_path;
+  std::string emit_dir;
+  std::map<std::string, std::string> env;
+  bool eager = false;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--private" || arg == "--public" || arg == "--static-public" ||
+        arg == "--dynamic-private") {
+      const char* file = next();
+      if (file == nullptr) {
+        return Usage();
+      }
+      ShareClass cls = arg == "--private"        ? ShareClass::kStaticPrivate
+                       : arg == "--public"       ? ShareClass::kDynamicPublic
+                       : arg == "--static-public" ? ShareClass::kStaticPublic
+                                                  : ShareClass::kDynamicPrivate;
+      modules.push_back(ModuleArg{file, cls});
+    } else if (arg == "--state") {
+      const char* file = next();
+      if (file == nullptr) {
+        return Usage();
+      }
+      state_path = file;
+    } else if (arg == "--emit") {
+      const char* dir = next();
+      if (dir == nullptr) {
+        return Usage();
+      }
+      emit_dir = dir;
+    } else if (arg == "--env") {
+      const char* kv = next();
+      if (kv == nullptr) {
+        return Usage();
+      }
+      std::string pair = kv;
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Usage();
+      }
+      env[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (arg == "--eager") {
+      eager = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (main_src.empty()) {
+      main_src = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (main_src.empty()) {
+    return Usage();
+  }
+
+  HemlockWorld world;
+
+  // Restore the shared partition from a previous invocation.
+  if (!state_path.empty()) {
+    std::ifstream in(state_path, std::ios::binary);
+    if (in) {
+      std::vector<uint8_t> disk((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+      ByteReader r(disk);
+      Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+      if (!fs.ok()) {
+        std::fprintf(stderr, "hemrun: bad state file: %s\n", fs.status().ToString().c_str());
+        return 1;
+      }
+      world.vfs().ReplaceSfs(std::move(*fs));
+    }
+  }
+  if (!world.vfs().Exists("/shm/lib")) {
+    (void)world.vfs().MkdirAll("/shm/lib");
+  }
+
+  // Compile every module into the simulated world (+ optionally emit to host disk).
+  LdsOptions lds;
+  auto compile_one = [&](const std::string& host_path, const std::string& vfs_path,
+                         bool prelude) -> Status {
+    ASSIGN_OR_RETURN(std::string src, ReadHostFile(host_path));
+    CompileOptions opts;
+    opts.include_prelude = prelude;
+    RETURN_IF_ERROR(world.CompileTo(src, vfs_path, opts));
+    if (!emit_dir.empty()) {
+      ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, world.vfs().ReadFile(vfs_path));
+      RETURN_IF_ERROR(WriteHostFile(emit_dir + "/" + PathBasename(vfs_path), bytes));
+    }
+    return OkStatus();
+  };
+
+  Status st = compile_one(main_src, "/home/user/" + BaseNoExt(main_src) + ".o", true);
+  if (!st.ok()) {
+    std::fprintf(stderr, "hemrun: %s: %s\n", main_src.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  lds.inputs.push_back({BaseNoExt(main_src) + ".o", ShareClass::kStaticPrivate});
+  for (const ModuleArg& mod : modules) {
+    std::string name = BaseNoExt(mod.host_path) + ".o";
+    std::string vfs_path =
+        IsPublic(mod.cls) ? "/shm/lib/" + name : "/home/user/" + name;
+    // Public segments persist in the state file; their templates may already exist.
+    if (!world.vfs().Exists(vfs_path)) {
+      st = compile_one(mod.host_path, vfs_path, false);
+      if (!st.ok()) {
+        std::fprintf(stderr, "hemrun: %s: %s\n", mod.host_path.c_str(), st.ToString().c_str());
+        return 1;
+      }
+    }
+    lds.inputs.push_back({name, mod.cls});
+  }
+  if (env.count(kLdLibraryPathVar) != 0) {
+    lds.env_ld_library_path = env[kLdLibraryPathVar];
+  }
+
+  LdsReport report;
+  Result<LoadImage> image = world.Link(lds, &report);
+  if (!image.ok()) {
+    std::fprintf(stderr, "hemrun: link failed: %s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& warning : report.warnings) {
+    std::fprintf(stderr, "hemrun: %s\n", warning.c_str());
+  }
+  if (!emit_dir.empty()) {
+    (void)WriteHostFile(emit_dir + "/a.out", image->Serialize());
+  }
+
+  ExecOptions exec;
+  exec.env = env;
+  exec.ldl.lazy = !eager;
+  Result<ExecResult> run = world.Exec(*image, exec);
+  if (!run.ok()) {
+    std::fprintf(stderr, "hemrun: exec failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  Result<int> status = world.RunToExit(run->pid);
+  if (!status.ok()) {
+    std::fprintf(stderr, "hemrun: %s\n", status.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(world.machine().FindProcess(run->pid)->stdout_text().c_str(), stdout);
+
+  if (stats) {
+    const LdlStats& s = run->ldl->stats();
+    std::fprintf(stderr,
+                 "[hemrun] lds: %u modules, %u trampolines, %u pending; "
+                 "ldl: %u located, %u created, %u attached, %u link faults, "
+                 "%u map faults, %u relocs applied\n",
+                 report.modules_linked, report.trampolines, report.pending_relocs,
+                 s.modules_located, s.publics_created, s.publics_attached, s.link_faults,
+                 s.map_faults, s.relocs_applied);
+  }
+
+  // Persist the shared partition for the next invocation.
+  if (!state_path.empty()) {
+    ByteWriter w;
+    world.sfs().Serialize(&w);
+    Status save = WriteHostFile(state_path, w.buffer());
+    if (!save.ok()) {
+      std::fprintf(stderr, "hemrun: cannot save state: %s\n", save.ToString().c_str());
+      return 1;
+    }
+  }
+  return *status;
+}
