@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_addr_map.dir/bench_addr_map.cpp.o"
+  "CMakeFiles/bench_addr_map.dir/bench_addr_map.cpp.o.d"
+  "bench_addr_map"
+  "bench_addr_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_addr_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

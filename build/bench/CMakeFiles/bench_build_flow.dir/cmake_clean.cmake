@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_flow.dir/bench_build_flow.cpp.o"
+  "CMakeFiles/bench_build_flow.dir/bench_build_flow.cpp.o.d"
+  "bench_build_flow"
+  "bench_build_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

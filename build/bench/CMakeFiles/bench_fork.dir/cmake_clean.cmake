@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fork.dir/bench_fork.cpp.o"
+  "CMakeFiles/bench_fork.dir/bench_fork.cpp.o.d"
+  "bench_fork"
+  "bench_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_link.dir/bench_lazy_link.cpp.o"
+  "CMakeFiles/bench_lazy_link.dir/bench_lazy_link.cpp.o.d"
+  "bench_lazy_link"
+  "bench_lazy_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_persist.dir/bench_persist.cpp.o"
+  "CMakeFiles/bench_persist.dir/bench_persist.cpp.o.d"
+  "bench_persist"
+  "bench_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rwho.dir/bench_rwho.cpp.o"
+  "CMakeFiles/bench_rwho.dir/bench_rwho.cpp.o.d"
+  "bench_rwho"
+  "bench_rwho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rwho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scoped_link.dir/bench_scoped_link.cpp.o"
+  "CMakeFiles/bench_scoped_link.dir/bench_scoped_link.cpp.o.d"
+  "bench_scoped_link"
+  "bench_scoped_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoped_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

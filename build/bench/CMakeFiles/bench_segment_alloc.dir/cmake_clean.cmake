@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment_alloc.dir/bench_segment_alloc.cpp.o"
+  "CMakeFiles/bench_segment_alloc.dir/bench_segment_alloc.cpp.o.d"
+  "bench_segment_alloc"
+  "bench_segment_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

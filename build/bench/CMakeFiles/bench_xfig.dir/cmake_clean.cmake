@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xfig.dir/bench_xfig.cpp.o"
+  "CMakeFiles/bench_xfig.dir/bench_xfig.cpp.o.d"
+  "bench_xfig"
+  "bench_xfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_features.dir/lazy_features.cpp.o"
+  "CMakeFiles/lazy_features.dir/lazy_features.cpp.o.d"
+  "lazy_features"
+  "lazy_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_quickstart.dir/posix_quickstart.cpp.o"
+  "CMakeFiles/posix_quickstart.dir/posix_quickstart.cpp.o.d"
+  "posix_quickstart"
+  "posix_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

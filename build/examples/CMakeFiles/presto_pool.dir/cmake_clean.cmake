@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_pool.dir/presto_pool.cpp.o"
+  "CMakeFiles/presto_pool.dir/presto_pool.cpp.o.d"
+  "presto_pool"
+  "presto_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

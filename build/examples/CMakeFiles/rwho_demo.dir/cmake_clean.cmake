@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwho_demo.dir/rwho_demo.cpp.o"
+  "CMakeFiles/rwho_demo.dir/rwho_demo.cpp.o.d"
+  "rwho_demo"
+  "rwho_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwho_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

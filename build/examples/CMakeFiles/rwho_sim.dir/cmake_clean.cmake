@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwho_sim.dir/rwho_sim.cpp.o"
+  "CMakeFiles/rwho_sim.dir/rwho_sim.cpp.o.d"
+  "rwho_sim"
+  "rwho_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwho_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

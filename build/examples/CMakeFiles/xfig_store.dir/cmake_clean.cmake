@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfig_store.dir/xfig_store.cpp.o"
+  "CMakeFiles/xfig_store.dir/xfig_store.cpp.o.d"
+  "xfig_store"
+  "xfig_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfig_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/figures.cc" "src/apps/CMakeFiles/hemlock_apps.dir/figures.cc.o" "gcc" "src/apps/CMakeFiles/hemlock_apps.dir/figures.cc.o.d"
+  "/root/repo/src/apps/rwho.cc" "src/apps/CMakeFiles/hemlock_apps.dir/rwho.cc.o" "gcc" "src/apps/CMakeFiles/hemlock_apps.dir/rwho.cc.o.d"
+  "/root/repo/src/apps/tables.cc" "src/apps/CMakeFiles/hemlock_apps.dir/tables.cc.o" "gcc" "src/apps/CMakeFiles/hemlock_apps.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemlock_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/hemlock_posix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_apps.dir/figures.cc.o"
+  "CMakeFiles/hemlock_apps.dir/figures.cc.o.d"
+  "CMakeFiles/hemlock_apps.dir/rwho.cc.o"
+  "CMakeFiles/hemlock_apps.dir/rwho.cc.o.d"
+  "CMakeFiles/hemlock_apps.dir/tables.cc.o"
+  "CMakeFiles/hemlock_apps.dir/tables.cc.o.d"
+  "libhemlock_apps.a"
+  "libhemlock_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhemlock_apps.a"
+)

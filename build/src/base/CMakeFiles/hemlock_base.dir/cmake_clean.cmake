@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_base.dir/logging.cc.o"
+  "CMakeFiles/hemlock_base.dir/logging.cc.o.d"
+  "CMakeFiles/hemlock_base.dir/status.cc.o"
+  "CMakeFiles/hemlock_base.dir/status.cc.o.d"
+  "CMakeFiles/hemlock_base.dir/strings.cc.o"
+  "CMakeFiles/hemlock_base.dir/strings.cc.o.d"
+  "libhemlock_base.a"
+  "libhemlock_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhemlock_base.a"
+)

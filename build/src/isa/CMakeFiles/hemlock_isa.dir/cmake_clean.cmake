@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_isa.dir/isa.cc.o"
+  "CMakeFiles/hemlock_isa.dir/isa.cc.o.d"
+  "libhemlock_isa.a"
+  "libhemlock_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

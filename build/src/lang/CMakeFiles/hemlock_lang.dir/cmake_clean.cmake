@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_lang.dir/ast.cc.o"
+  "CMakeFiles/hemlock_lang.dir/ast.cc.o.d"
+  "CMakeFiles/hemlock_lang.dir/codegen.cc.o"
+  "CMakeFiles/hemlock_lang.dir/codegen.cc.o.d"
+  "CMakeFiles/hemlock_lang.dir/compiler.cc.o"
+  "CMakeFiles/hemlock_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/hemlock_lang.dir/lexer.cc.o"
+  "CMakeFiles/hemlock_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/hemlock_lang.dir/parser.cc.o"
+  "CMakeFiles/hemlock_lang.dir/parser.cc.o.d"
+  "libhemlock_lang.a"
+  "libhemlock_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

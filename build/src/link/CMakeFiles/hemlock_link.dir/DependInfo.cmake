@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/image.cc" "src/link/CMakeFiles/hemlock_link.dir/image.cc.o" "gcc" "src/link/CMakeFiles/hemlock_link.dir/image.cc.o.d"
+  "/root/repo/src/link/ldl.cc" "src/link/CMakeFiles/hemlock_link.dir/ldl.cc.o" "gcc" "src/link/CMakeFiles/hemlock_link.dir/ldl.cc.o.d"
+  "/root/repo/src/link/lds.cc" "src/link/CMakeFiles/hemlock_link.dir/lds.cc.o" "gcc" "src/link/CMakeFiles/hemlock_link.dir/lds.cc.o.d"
+  "/root/repo/src/link/loader.cc" "src/link/CMakeFiles/hemlock_link.dir/loader.cc.o" "gcc" "src/link/CMakeFiles/hemlock_link.dir/loader.cc.o.d"
+  "/root/repo/src/link/search.cc" "src/link/CMakeFiles/hemlock_link.dir/search.cc.o" "gcc" "src/link/CMakeFiles/hemlock_link.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemlock_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/hemlock_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hemlock_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfs/CMakeFiles/hemlock_sfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hemlock_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

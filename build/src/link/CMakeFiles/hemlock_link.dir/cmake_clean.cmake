@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_link.dir/image.cc.o"
+  "CMakeFiles/hemlock_link.dir/image.cc.o.d"
+  "CMakeFiles/hemlock_link.dir/ldl.cc.o"
+  "CMakeFiles/hemlock_link.dir/ldl.cc.o.d"
+  "CMakeFiles/hemlock_link.dir/lds.cc.o"
+  "CMakeFiles/hemlock_link.dir/lds.cc.o.d"
+  "CMakeFiles/hemlock_link.dir/loader.cc.o"
+  "CMakeFiles/hemlock_link.dir/loader.cc.o.d"
+  "CMakeFiles/hemlock_link.dir/search.cc.o"
+  "CMakeFiles/hemlock_link.dir/search.cc.o.d"
+  "libhemlock_link.a"
+  "libhemlock_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_obj.dir/object_file.cc.o"
+  "CMakeFiles/hemlock_obj.dir/object_file.cc.o.d"
+  "libhemlock_obj.a"
+  "libhemlock_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posix/posix_fault.cc" "src/posix/CMakeFiles/hemlock_posix.dir/posix_fault.cc.o" "gcc" "src/posix/CMakeFiles/hemlock_posix.dir/posix_fault.cc.o.d"
+  "/root/repo/src/posix/posix_heap.cc" "src/posix/CMakeFiles/hemlock_posix.dir/posix_heap.cc.o" "gcc" "src/posix/CMakeFiles/hemlock_posix.dir/posix_heap.cc.o.d"
+  "/root/repo/src/posix/posix_store.cc" "src/posix/CMakeFiles/hemlock_posix.dir/posix_store.cc.o" "gcc" "src/posix/CMakeFiles/hemlock_posix.dir/posix_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemlock_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_posix.dir/posix_fault.cc.o"
+  "CMakeFiles/hemlock_posix.dir/posix_fault.cc.o.d"
+  "CMakeFiles/hemlock_posix.dir/posix_heap.cc.o"
+  "CMakeFiles/hemlock_posix.dir/posix_heap.cc.o.d"
+  "CMakeFiles/hemlock_posix.dir/posix_store.cc.o"
+  "CMakeFiles/hemlock_posix.dir/posix_store.cc.o.d"
+  "libhemlock_posix.a"
+  "libhemlock_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_runtime.dir/shm_heap.cc.o"
+  "CMakeFiles/hemlock_runtime.dir/shm_heap.cc.o.d"
+  "CMakeFiles/hemlock_runtime.dir/world.cc.o"
+  "CMakeFiles/hemlock_runtime.dir/world.cc.o.d"
+  "libhemlock_runtime.a"
+  "libhemlock_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfs/memfs.cc" "src/sfs/CMakeFiles/hemlock_sfs.dir/memfs.cc.o" "gcc" "src/sfs/CMakeFiles/hemlock_sfs.dir/memfs.cc.o.d"
+  "/root/repo/src/sfs/shared_fs.cc" "src/sfs/CMakeFiles/hemlock_sfs.dir/shared_fs.cc.o" "gcc" "src/sfs/CMakeFiles/hemlock_sfs.dir/shared_fs.cc.o.d"
+  "/root/repo/src/sfs/vfs.cc" "src/sfs/CMakeFiles/hemlock_sfs.dir/vfs.cc.o" "gcc" "src/sfs/CMakeFiles/hemlock_sfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemlock_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_sfs.dir/memfs.cc.o"
+  "CMakeFiles/hemlock_sfs.dir/memfs.cc.o.d"
+  "CMakeFiles/hemlock_sfs.dir/shared_fs.cc.o"
+  "CMakeFiles/hemlock_sfs.dir/shared_fs.cc.o.d"
+  "CMakeFiles/hemlock_sfs.dir/vfs.cc.o"
+  "CMakeFiles/hemlock_sfs.dir/vfs.cc.o.d"
+  "libhemlock_sfs.a"
+  "libhemlock_sfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_sfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemlock_vm.dir/address_space.cc.o"
+  "CMakeFiles/hemlock_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/hemlock_vm.dir/cpu.cc.o"
+  "CMakeFiles/hemlock_vm.dir/cpu.cc.o.d"
+  "CMakeFiles/hemlock_vm.dir/machine.cc.o"
+  "CMakeFiles/hemlock_vm.dir/machine.cc.o.d"
+  "libhemlock_vm.a"
+  "libhemlock_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemlock_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_link_test.dir/lazy_link_test.cpp.o"
+  "CMakeFiles/lazy_link_test.dir/lazy_link_test.cpp.o.d"
+  "lazy_link_test"
+  "lazy_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_test.dir/ldl_test.cpp.o"
+  "CMakeFiles/ldl_test.dir/ldl_test.cpp.o.d"
+  "ldl_test"
+  "ldl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

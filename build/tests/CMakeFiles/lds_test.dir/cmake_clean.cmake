@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lds_test.dir/lds_test.cpp.o"
+  "CMakeFiles/lds_test.dir/lds_test.cpp.o.d"
+  "lds_test"
+  "lds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

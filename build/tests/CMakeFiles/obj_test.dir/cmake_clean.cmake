@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obj_test.dir/obj_test.cpp.o"
+  "CMakeFiles/obj_test.dir/obj_test.cpp.o.d"
+  "obj_test"
+  "obj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

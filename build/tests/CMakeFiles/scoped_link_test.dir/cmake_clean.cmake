@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoped_link_test.dir/scoped_link_test.cpp.o"
+  "CMakeFiles/scoped_link_test.dir/scoped_link_test.cpp.o.d"
+  "scoped_link_test"
+  "scoped_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoped_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

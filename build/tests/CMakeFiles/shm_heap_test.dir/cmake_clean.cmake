@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_heap_test.dir/shm_heap_test.cpp.o"
+  "CMakeFiles/shm_heap_test.dir/shm_heap_test.cpp.o.d"
+  "shm_heap_test"
+  "shm_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

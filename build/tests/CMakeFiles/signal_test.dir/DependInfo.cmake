@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/signal_test.cpp" "tests/CMakeFiles/signal_test.dir/signal_test.cpp.o" "gcc" "tests/CMakeFiles/signal_test.dir/signal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hemlock_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hemlock_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hemlock_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hemlock_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfs/CMakeFiles/hemlock_sfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/hemlock_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hemlock_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemlock_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

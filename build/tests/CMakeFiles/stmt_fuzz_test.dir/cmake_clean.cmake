@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmt_fuzz_test.dir/stmt_fuzz_test.cpp.o"
+  "CMakeFiles/stmt_fuzz_test.dir/stmt_fuzz_test.cpp.o.d"
+  "stmt_fuzz_test"
+  "stmt_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmt_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

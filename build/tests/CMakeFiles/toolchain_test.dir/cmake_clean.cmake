@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_test.dir/toolchain_test.cpp.o"
+  "CMakeFiles/toolchain_test.dir/toolchain_test.cpp.o.d"
+  "toolchain_test"
+  "toolchain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemdump.dir/hemdump.cpp.o"
+  "CMakeFiles/hemdump.dir/hemdump.cpp.o.d"
+  "hemdump"
+  "hemdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

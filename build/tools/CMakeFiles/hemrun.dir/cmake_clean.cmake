@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemrun.dir/hemrun.cpp.o"
+  "CMakeFiles/hemrun.dir/hemrun.cpp.o.d"
+  "hemrun"
+  "hemrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
