@@ -111,9 +111,9 @@ void BM_LinkRun(benchmark::State& state, Mode mode) {
       return;
     }
     state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
-    faults = run->ldl->stats().link_faults;
-    plt = run->ldl->stats().plt_faults;
-    relocs = run->ldl->stats().relocs_applied;
+    faults = run->ldl->metrics().Get("ldl.link_faults");
+    plt = run->ldl->metrics().Get("ldl.plt_faults");
+    relocs = run->ldl->metrics().Get("ldl.relocs_applied");
   }
   state.counters["touched"] = touched;
   state.counters["modules"] = kModules;
@@ -141,7 +141,7 @@ void BM_PerFaultOverhead(benchmark::State& state) {
     }
     auto t1 = std::chrono::steady_clock::now();
     state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
-    state.counters["link_faults"] = static_cast<double>(run->ldl->stats().link_faults);
+    state.counters["link_faults"] = static_cast<double>(run->ldl->metrics().Get("ldl.link_faults"));
   }
 }
 BENCHMARK(BM_PerFaultOverhead)->UseManualTime();

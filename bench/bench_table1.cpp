@@ -97,7 +97,7 @@ void BM_LinkAndRun(benchmark::State& state, ShareClass cls) {
         std::chrono::duration<double, std::micro>(t_link1 - t_link0).count();
     state.counters["ldl_startup_us"] =
         std::chrono::duration<double, std::micro>(t_exec - t_link1).count();
-    state.counters["link_faults"] = static_cast<double>(run->ldl->stats().link_faults);
+    state.counters["link_faults"] = static_cast<double>(run->ldl->metrics().Get("ldl.link_faults"));
   }
 }
 

@@ -92,7 +92,7 @@ int main() {
   std::printf("client output: %s",
               world.machine().FindProcess(run->pid)->stdout_text().c_str());
 
-  const LdlStats& stats = run->ldl->stats();
+  LdlStats stats = run->ldl->stats();  // legacy view, materialized from metrics()
   std::printf("\nreachability graph: %zu modules known to ldl\n", run->ldl->ModuleCount());
   std::printf("feature modules actually *linked* this run (had their references "
               "resolved):\n");

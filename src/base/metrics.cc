@@ -1,0 +1,29 @@
+#include "src/base/metrics.h"
+
+namespace hemlock {
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap(counters_.begin(), counters_.end());
+  for (const auto& [name, timer] : timers_) {
+    snap[name + ".ns"] = timer.total_ns;
+    snap[name + ".calls"] = timer.calls;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Merge(MetricsSnapshot* into, const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other) {
+    (*into)[name] += value;
+  }
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, value] : counters_) {
+    value = 0;
+  }
+  for (auto& [name, timer] : timers_) {
+    timer = Timer{};
+  }
+}
+
+}  // namespace hemlock

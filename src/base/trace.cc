@@ -1,0 +1,88 @@
+#include "src/base/trace.h"
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSymbolLookup:
+      return "symbol_lookup";
+    case TraceKind::kScopeWalk:
+      return "scope_walk";
+    case TraceKind::kCacheHit:
+      return "cache_hit";
+    case TraceKind::kCacheMiss:
+      return "cache_miss";
+    case TraceKind::kModuleMapped:
+      return "module_mapped";
+    case TraceKind::kFaultHandled:
+      return "fault_handled";
+    case TraceKind::kLockTaken:
+      return "lock_taken";
+    case TraceKind::kDepMissing:
+      return "dep_missing";
+    case TraceKind::kUnresolved:
+      return "unresolved";
+    case TraceKind::kAddrLookup:
+      return "addr_lookup";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  std::string out = StrFormat("[%llu] %-14s %s", static_cast<unsigned long long>(seq),
+                              TraceKindName(kind), what.c_str());
+  if (!detail.empty()) {
+    out += " (" + detail + ")";
+  }
+  if (addr != 0) {
+    out += StrFormat(" @0x%08x", addr);
+  }
+  if (value != 0) {
+    out += StrFormat(" =%u", value);
+  }
+  return out;
+}
+
+void TraceBuffer::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  Clear();
+}
+
+void TraceBuffer::Emit(TraceKind kind, std::string what, std::string detail, uint32_t addr,
+                       uint32_t value) {
+  if (!enabled_ || capacity_ == 0) {
+    return;
+  }
+  TraceEvent ev;
+  ev.seq = next_seq_++;
+  ev.kind = kind;
+  ev.what = std::move(what);
+  ev.detail = std::move(detail);
+  ev.addr = addr;
+  ev.value = value;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,83 @@
+// TraceBuffer — a bounded ring of structured events covering every resolution
+// decision the system makes: symbol looked up, scope walked, cache hit/miss, module
+// mapped, fault handled, lock taken.
+//
+// The ring is machine-wide (one buffer per Machine), disabled by default so the hot
+// paths pay a single branch, and bounded so a long run cannot grow without limit —
+// wraparound drops the oldest events and counts them in dropped().
+#ifndef SRC_BASE_TRACE_H_
+#define SRC_BASE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hemlock {
+
+enum class TraceKind : uint8_t {
+  kSymbolLookup,   // what: symbol; detail: requesting module; addr: result (0 = miss)
+  kScopeWalk,      // what: symbol; detail: scope module; value: depth walked
+  kCacheHit,       // what: symbol; detail: scope module
+  kCacheMiss,      // what: symbol; detail: scope module
+  kModuleMapped,   // what: module name; addr: base; value: 1 when mapped accessible
+  kFaultHandled,   // what: outcome ("link"/"map"/"plt"/"sigreturn"/"user"/"fatal");
+                   // addr: fault address
+  kLockTaken,      // what: path of the inode locked; value: inode
+  kDepMissing,     // what: dependency name; detail: requesting module
+  kUnresolved,     // what: symbol; detail: requesting module
+  kAddrLookup,     // what: resolved path (empty = miss); addr: queried address
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  uint64_t seq = 0;  // monotonically increasing; survives wraparound
+  TraceKind kind = TraceKind::kSymbolLookup;
+  std::string what;    // primary subject (symbol / module / path)
+  std::string detail;  // secondary context (scope, requester)
+  uint32_t addr = 0;
+  uint32_t value = 0;
+
+  std::string ToString() const;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Resizing clears the ring (events recorded at the old capacity are dropped).
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+
+  void Emit(TraceKind kind, std::string what, std::string detail = "", uint32_t addr = 0,
+            uint32_t value = 0);
+
+  // Events currently held, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  uint64_t total_emitted() const { return next_seq_; }
+  // Events lost to wraparound.
+  uint64_t dropped() const { return next_seq_ - ring_.size(); }
+  size_t size() const { return ring_.size(); }
+
+  void Clear();
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_;
+  size_t head_ = 0;  // index of the oldest event once the ring is full
+  uint64_t next_seq_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_BASE_TRACE_H_

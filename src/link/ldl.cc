@@ -26,10 +26,46 @@ Status WriteRelocToSpace(Process& proc, const PendingReloc& rel, uint32_t target
 }  // namespace
 
 Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
-    : machine_(machine), image_(std::move(image)), options_(options) {
+    : machine_(machine), image_(std::move(image)), options_(options), trace_(&machine->trace()) {
+  c_modules_located_ = metrics_.Counter("ldl.modules_located");
+  c_publics_created_ = metrics_.Counter("ldl.publics_created");
+  c_publics_attached_ = metrics_.Counter("ldl.publics_attached");
+  c_privates_instantiated_ = metrics_.Counter("ldl.privates_instantiated");
+  c_link_faults_ = metrics_.Counter("ldl.link_faults");
+  c_map_faults_ = metrics_.Counter("ldl.map_faults");
+  c_plt_faults_ = metrics_.Counter("ldl.plt_faults");
+  c_relocs_applied_ = metrics_.Counter("ldl.relocs_applied");
+  c_lock_acquisitions_ = metrics_.Counter("ldl.lock_acquisitions");
+  c_unresolved_refs_ = metrics_.Counter("ldl.unresolved_refs");
+  c_deps_missing_ = metrics_.Counter("ldl.deps_missing");
+  c_lookups_ = metrics_.Counter("ldl.lookups");
+  c_cache_hits_ = metrics_.Counter("ldl.cache_hits");
+  c_cache_misses_ = metrics_.Counter("ldl.cache_misses");
+  c_scope_walks_ = metrics_.Counter("ldl.scope_walks");
+  c_root_lookups_ = metrics_.Counter("ldl.root_lookups");
   for (const AbsSymbol& sym : image_.symbols) {
     image_syms_.emplace(sym.name, sym);
+    root_index_.emplace(sym.name, sym.addr);
   }
+}
+
+LdlStats Ldl::stats() const {
+  LdlStats s;
+  s.modules_located = static_cast<uint32_t>(*c_modules_located_);
+  s.publics_created = static_cast<uint32_t>(*c_publics_created_);
+  s.publics_attached = static_cast<uint32_t>(*c_publics_attached_);
+  s.privates_instantiated = static_cast<uint32_t>(*c_privates_instantiated_);
+  s.link_faults = static_cast<uint32_t>(*c_link_faults_);
+  s.map_faults = static_cast<uint32_t>(*c_map_faults_);
+  s.plt_faults = static_cast<uint32_t>(*c_plt_faults_);
+  s.relocs_applied = static_cast<uint32_t>(*c_relocs_applied_);
+  s.lock_acquisitions = static_cast<uint32_t>(*c_lock_acquisitions_);
+  s.unresolved_refs = static_cast<uint32_t>(*c_unresolved_refs_);
+  s.deps_missing = static_cast<uint32_t>(*c_deps_missing_);
+  s.lookups = static_cast<uint32_t>(*c_lookups_);
+  s.cache_hits = static_cast<uint32_t>(*c_cache_hits_);
+  s.cache_misses = static_cast<uint32_t>(*c_cache_misses_);
+  return s;
 }
 
 int Ldl::FindModuleIndex(const std::string& key) const {
@@ -49,6 +85,23 @@ uint32_t Ldl::UnresolvedCountOf(int index) const {
     }
   }
   return n;
+}
+
+int Ldl::FindModuleAt(uint32_t addr) const {
+  // Greatest base <= addr, then a bounds check — module mappings are disjoint.
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) {
+    return -1;
+  }
+  --it;
+  const RtModule& m = modules_[it->second];
+  return (addr >= m.base && addr < m.base + m.mem_size) ? it->second : -1;
+}
+
+void Ldl::InvalidateNegativeCaches() {
+  for (RtModule& m : modules_) {
+    m.scope_negative.clear();
+  }
 }
 
 std::vector<std::string> Ldl::RootDirs(Process& proc) {
@@ -78,7 +131,7 @@ Status Ldl::Startup(Process& proc) {
     ASSIGN_OR_RETURN(int idx, RegisterLinked(proc, std::move(mod), ShareClass::kStaticPublic,
                                              ref.module_path, st.ino, /*parent=*/-1));
     (void)idx;
-    ++stats_.publics_attached;
+    ++*c_publics_attached_;
   }
 
   // (1)+(3) Locate dynamic modules; instantiate privates; create missing publics; map.
@@ -99,13 +152,14 @@ Status Ldl::Startup(Process& proc) {
   for (const PendingReloc& rel : image_.pending) {
     Result<uint32_t> addr = LookupRootSymbol(rel.symbol);
     if (!addr.ok()) {
-      ++stats_.unresolved_refs;
+      ++*c_unresolved_refs_;
+      if (trace_->enabled()) trace_->Emit(TraceKind::kUnresolved, rel.symbol, "<image>");
       HLOG(Info) << "ldl: image reference to '" << rel.symbol << "' left unresolved";
       continue;
     }
     uint32_t target = *addr + static_cast<uint32_t>(rel.addend);
     RETURN_IF_ERROR(WriteRelocToSpace(proc, rel, target));
-    ++stats_.relocs_applied;
+    ++*c_relocs_applied_;
   }
 
   if (!options_.lazy) {
@@ -118,7 +172,7 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
                                const std::vector<std::string>& dirs) {
   Vfs& vfs = machine_->vfs();
   ASSIGN_OR_RETURN(std::string found, FindModuleFile(vfs, name, dirs));
-  ++stats_.modules_located;
+  ++*c_modules_located_;
 
   if (IsPublic(cls)) {
     // The module file lives next to where the *name* was found (symlinks included —
@@ -142,7 +196,7 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
       ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, vfs.ReadFile(module_path));
       ASSIGN_OR_RETURN(LinkedModule mod, LinkedModule::DeserializeFile(bytes));
       ASSIGN_OR_RETURN(SfsStat st, machine_->sfs().Stat(Vfs::SfsRelative(module_path)));
-      ++stats_.publics_attached;
+      ++*c_publics_attached_;
       return RegisterLinked(proc, std::move(mod), cls, module_path, st.ino, parent);
     }
     // Create the public module from its template, under the creation lock (fn. 3).
@@ -151,7 +205,7 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
     std::string rel_path = Vfs::SfsRelative(module_path);
     ASSIGN_OR_RETURN(uint32_t ino, machine_->sfs().Create(rel_path));
     RETURN_IF_ERROR(machine_->sfs().LockInode(ino, proc.pid()));
-    ++stats_.lock_acquisitions;
+    ++*c_lock_acquisitions_;
     uint32_t base = SfsAddressForInode(ino);
     uint32_t trampolines = 0;
     Result<LinkedModule> mod = LinkModuleAtBase(tpl, base, PathBasename(module_path), &trampolines);
@@ -164,7 +218,7 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
     RETURN_IF_ERROR(
         machine_->sfs().WriteAt(ino, 0, file.data(), static_cast<uint32_t>(file.size())));
     RETURN_IF_ERROR(machine_->sfs().UnlockInode(ino, proc.pid()));
-    ++stats_.publics_created;
+    ++*c_publics_created_;
     return RegisterLinked(proc, std::move(*mod), cls, module_path, ino, parent);
   }
 
@@ -180,7 +234,7 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
   ASSIGN_OR_RETURN(LinkedModule mod,
                    LinkModuleAtBase(tpl, base, StripExtension(PathBasename(found)), &trampolines));
   private_arena_ += PageCeil(mod.MemSize()) + kPageSize;  // guard page between instances
-  ++stats_.privates_instantiated;
+  ++*c_privates_instantiated_;
   return RegisterLinked(proc, std::move(mod), ShareClass::kDynamicPrivate, found, /*ino=*/0,
                         parent);
 }
@@ -200,6 +254,10 @@ Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
   m.search_path = mod.search_path;
   m.relocs = mod.pending;
   m.exports = mod.exports;
+  m.export_index.reserve(m.exports.size());
+  for (const AbsSymbol& sym : m.exports) {
+    m.export_index.emplace(sym.name, sym.addr);  // first definition wins
+  }
   if (!IsPublic(cls)) {
     m.payload_private = true;
     auto backing = std::make_shared<std::vector<uint8_t>>(PageCeil(m.mem_size), 0);
@@ -209,6 +267,14 @@ Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
   int index = static_cast<int>(modules_.size());
   modules_.push_back(std::move(m));
   by_key_[key] = index;
+  by_base_[modules_[index].base] = index;
+  // Root scope sees modules in registration order; try_emplace keeps the first
+  // winner without allocating a node for shadowed duplicates.
+  for (const AbsSymbol& sym : modules_[index].exports) {
+    root_index_.try_emplace(sym.name, sym.addr);
+  }
+  // A new module can only turn old misses into hits: drop memoized negatives.
+  InvalidateNegativeCaches();
   RtModule& ref = modules_[index];
   bool fully_linked = ref.relocs.empty();
   if (options_.function_lazy && !fully_linked) {
@@ -285,7 +351,8 @@ Status Ldl::SetUpFunctionLazy(Process& proc, int index) {
     if (addr.ok()) {
       modules_[index].resolved[symbol] = *addr;
     } else if (modules_[index].unresolved.insert(symbol).second) {
-      ++stats_.unresolved_refs;
+      ++*c_unresolved_refs_;
+      if (trace_->enabled()) trace_->Emit(TraceKind::kUnresolved, symbol, modules_[index].name);
     }
   }
   // Apply everything resolved so far, except the call slots that stay lazy.
@@ -301,7 +368,7 @@ Status Ldl::SetUpFunctionLazy(Process& proc, int index) {
       }
       RETURN_IF_ERROR(
           WriteRelocToSpace(proc, rel, it->second + static_cast<uint32_t>(rel.addend)));
-      ++stats_.relocs_applied;
+      ++*c_relocs_applied_;
     }
   }
   // Aim each call slot at its sentinel (one sentinel per (module, symbol)).
@@ -359,9 +426,10 @@ bool Ldl::HandlePltFault(Process& proc, uint32_t sentinel) {
     if (!WriteRelocToSpace(proc, rel, target + static_cast<uint32_t>(rel.addend)).ok()) {
       return false;
     }
-    ++stats_.relocs_applied;
+    ++*c_relocs_applied_;
   }
-  ++stats_.plt_faults;
+  ++*c_plt_faults_;
+  if (trace_->enabled()) trace_->Emit(TraceKind::kFaultHandled, "plt", symbol, sentinel, target);
   if (modules_[index].ino != 0) {
     (void)UpdatePublicTrailer(modules_[index]);
   }
@@ -373,6 +441,7 @@ bool Ldl::HandlePltFault(Process& proc, uint32_t sentinel) {
 
 Status Ldl::MapModule(Process& proc, RtModule& m, bool accessible) {
   Prot prot = accessible ? Prot::kAll : Prot::kNone;
+  if (trace_->enabled()) trace_->Emit(TraceKind::kModuleMapped, m.name, "", m.base, accessible ? 1 : 0);
   if (m.payload_private) {
     return proc.space().MapPrivate(m.base, m.mem_size, prot, m.private_backing, 0);
   }
@@ -381,47 +450,59 @@ Status Ldl::MapModule(Process& proc, RtModule& m, bool accessible) {
 }
 
 Result<uint32_t> Ldl::LookupRootSymbol(const std::string& name) {
-  auto it = image_syms_.find(name);
-  if (it != image_syms_.end()) {
-    return it->second.addr;
-  }
-  // Root-scope modules (in registration order).
-  for (const RtModule& m : modules_) {
-    for (const AbsSymbol& sym : m.exports) {
-      if (sym.name == name) {
-        return sym.addr;
-      }
-    }
+  ++*c_root_lookups_;
+  // root_index_ holds the image's symbols plus every registered module's exports,
+  // first definition wins — exactly the old nested scan, precomputed.
+  auto it = root_index_.find(name);
+  if (it != root_index_.end()) {
+    return it->second;
   }
   return NotFound("symbol '" + name + "' not found in the root scope");
 }
 
 Result<uint32_t> Ldl::LookupInOwnScope(Process& proc, int index, const std::string& symbol) {
-  RtModule& m = modules_[index];
   // Instantiate (lazily, possibly inaccessibly) the modules on this module's own list
   // and search their exports. Copy the list: AcquireModule may grow modules_ and
-  // invalidate |m|.
-  std::vector<std::string> dep_names = m.module_list;
+  // invalidate references into it.
+  std::vector<std::string> dep_names = modules_[index].module_list;
   for (const std::string& dep_name : dep_names) {
-    // "If this strategy fails, it reverts to the strategy of the module(s) that make
-    // references into the new module": walk ancestor dir lists on locate failure.
-    Result<int> dep = NotFound("unresolved dependency");
-    int scope = index;
-    while (true) {
-      std::vector<std::string> dirs = DirsFor(proc, scope);
-      dep = AcquireModule(proc, dep_name, ClassForDependency(dep_name, dirs), index, dirs);
-      if (dep.ok() || scope < 0) {
-        break;
+    int dep_index = -1;
+    auto cached = modules_[index].dep_cache.find(dep_name);
+    if (cached != modules_[index].dep_cache.end()) {
+      dep_index = cached->second;
+    } else {
+      // "If this strategy fails, it reverts to the strategy of the module(s) that make
+      // references into the new module": walk ancestor dir lists on locate failure.
+      Result<int> dep = NotFound("unresolved dependency");
+      int scope = index;
+      while (true) {
+        std::vector<std::string> dirs = DirsFor(proc, scope);
+        dep = AcquireModule(proc, dep_name, ClassForDependency(dep_name, dirs), index, dirs);
+        if (dep.ok() || scope < 0) {
+          break;
+        }
+        scope = modules_[scope].parent;
       }
-      scope = modules_[scope].parent;
-    }
-    if (!dep.ok()) {
-      continue;  // dependency missing entirely; symbols stay unresolved
-    }
-    for (const AbsSymbol& sym : modules_[*dep].exports) {
-      if (sym.name == symbol) {
-        return sym.addr;
+      if (!dep.ok()) {
+        // Dependency missing entirely; its symbols stay unresolved. This used to be a
+        // silent `continue` — record it once per (module, dependency) so lost
+        // dependencies are diagnosable.
+        RtModule& m = modules_[index];
+        if (m.deps_reported_missing.insert(dep_name).second) {
+          ++*c_deps_missing_;
+          if (trace_->enabled()) trace_->Emit(TraceKind::kDepMissing, dep_name, m.name);
+          HLOG(Warning) << "ldl: module '" << m.name << "' lists dependency '" << dep_name
+                        << "' which could not be located";
+        }
+        continue;
       }
+      dep_index = *dep;
+      modules_[index].dep_cache.emplace(dep_name, dep_index);
+    }
+    const RtModule& dep_mod = modules_[dep_index];
+    auto sym = dep_mod.export_index.find(symbol);
+    if (sym != dep_mod.export_index.end()) {
+      return sym->second;
     }
   }
   return NotFound("not in own scope");
@@ -443,16 +524,50 @@ ShareClass Ldl::ClassForDependency(const std::string& name,
 }
 
 Result<uint32_t> Ldl::LookupScoped(Process& proc, int index, const std::string& symbol) {
+  ++*c_lookups_;
+  {
+    RtModule& m = modules_[index];
+    auto hit = m.scope_cache.find(symbol);
+    if (hit != m.scope_cache.end()) {
+      ++*c_cache_hits_;
+      if (trace_->enabled()) trace_->Emit(TraceKind::kCacheHit, symbol, m.name, hit->second);
+      return hit->second;
+    }
+    if (m.scope_negative.count(symbol) != 0) {
+      ++*c_cache_hits_;
+      if (trace_->enabled()) trace_->Emit(TraceKind::kCacheHit, symbol, m.name);
+      return NotFound("symbol '" + symbol + "' not found (memoized miss)");
+    }
+  }
+  ++*c_cache_misses_;
+  if (trace_->enabled()) trace_->Emit(TraceKind::kCacheMiss, symbol, modules_[index].name);
+
   // Up the DAG: own scope, then parent's, then grandparent's, ... then root.
+  uint32_t depth = 0;
+  Result<uint32_t> addr = NotFound("unresolved");
   int cur = index;
   while (cur >= 0) {
-    Result<uint32_t> addr = LookupInOwnScope(proc, cur, symbol);
+    ++depth;
+    ++*c_scope_walks_;
+    addr = LookupInOwnScope(proc, cur, symbol);
     if (addr.ok()) {
-      return addr;
+      break;
     }
     cur = modules_[cur].parent;
   }
-  return LookupRootSymbol(symbol);
+  if (!addr.ok()) {
+    addr = LookupRootSymbol(symbol);
+  }
+  // modules_ may have grown (and moved) during the walk; re-acquire the reference.
+  RtModule& m = modules_[index];
+  if (addr.ok()) {
+    m.scope_cache.emplace(symbol, *addr);
+  } else {
+    m.scope_negative.insert(symbol);
+  }
+  if (trace_->enabled()) trace_->Emit(TraceKind::kScopeWalk, symbol, m.name, addr.ok() ? *addr : 0, depth);
+  if (trace_->enabled()) trace_->Emit(TraceKind::kSymbolLookup, symbol, m.name, addr.ok() ? *addr : 0);
+  return addr;
 }
 
 Status Ldl::ApplyResolved(Process& proc, RtModule& m, uint32_t page_filter) {
@@ -466,7 +581,7 @@ Status Ldl::ApplyResolved(Process& proc, RtModule& m, uint32_t page_filter) {
     }
     RETURN_IF_ERROR(
         WriteRelocToSpace(proc, rel, it->second + static_cast<uint32_t>(rel.addend)));
-    ++stats_.relocs_applied;
+    ++*c_relocs_applied_;
   }
   return OkStatus();
 }
@@ -501,7 +616,8 @@ Status Ldl::ResolveModule(Process& proc, int index, uint32_t fault_addr) {
       // Left unresolved: a use will fault, which the application may catch
       // (paper: "could be used ... to trigger application-specific recovery").
       if (modules_[index].unresolved.insert(symbol).second) {
-        ++stats_.unresolved_refs;
+        ++*c_unresolved_refs_;
+        if (trace_->enabled()) trace_->Emit(TraceKind::kUnresolved, symbol, modules_[index].name);
         HLOG(Info) << "ldl: reference to '" << symbol << "' from module '"
                    << modules_[index].name << "' left unresolved";
       }
@@ -568,6 +684,10 @@ Status Ldl::ResolveAll(Process& proc) {
 }
 
 bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
+  // A fault is the retry signal for anything that failed before: forget memoized
+  // misses so files or modules that appeared since get another chance.
+  InvalidateNegativeCaches();
+
   // (0) Function-lazy binding: a call landed on a PLT sentinel.
   if (options_.function_lazy && fault.access == AccessKind::kExec &&
       plt_sentinels_.count(fault.addr) != 0) {
@@ -575,27 +695,27 @@ bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
   }
 
   // (a) A touch of a module mapped without access permissions: lazy linking.
-  for (size_t i = 0; i < modules_.size(); ++i) {
-    if (Contains(modules_[i], fault.addr)) {
-      if (proc.space().ProtectionAt(fault.addr) != Prot::kNone) {
-        return false;  // a real protection error inside a linked module
-      }
-      if (!proc.space().IsMapped(fault.addr)) {
-        // Known module not mapped in this process (fork edge): map it first.
-        Status st = MapModule(proc, modules_[i], /*accessible=*/false);
-        if (!st.ok()) {
-          return false;
-        }
-      }
-      ++stats_.link_faults;
-      Status st = ResolveModule(proc, static_cast<int>(i), fault.addr);
+  int touched = FindModuleAt(fault.addr);
+  if (touched >= 0) {
+    if (proc.space().ProtectionAt(fault.addr) != Prot::kNone) {
+      return false;  // a real protection error inside a linked module
+    }
+    if (!proc.space().IsMapped(fault.addr)) {
+      // Known module not mapped in this process (fork edge): map it first.
+      Status st = MapModule(proc, modules_[touched], /*accessible=*/false);
       if (!st.ok()) {
-        HLOG(Warning) << "ldl: lazy link of '" << modules_[i].name
-                      << "' failed: " << st.ToString();
         return false;
       }
-      return true;
     }
+    ++*c_link_faults_;
+    if (trace_->enabled()) trace_->Emit(TraceKind::kFaultHandled, "link", modules_[touched].name, fault.addr);
+    Status st = ResolveModule(proc, touched, fault.addr);
+    if (!st.ok()) {
+      HLOG(Warning) << "ldl: lazy link of '" << modules_[touched].name
+                    << "' failed: " << st.ToString();
+      return false;
+    }
+    return true;
   }
 
   // (b) A pointer followed into the shared region: translate address -> file, map it.
@@ -630,7 +750,8 @@ bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
       if (!idx.ok()) {
         return false;
       }
-      ++stats_.map_faults;
+      ++*c_map_faults_;
+      if (trace_->enabled()) trace_->Emit(TraceKind::kFaultHandled, "map", path, fault.addr);
       return true;
     }
     // A plain data segment: just map the file at its address, access rights
@@ -644,7 +765,8 @@ bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
     if (!proc.space().MapPublic(base, len, Prot::kReadWrite, *ino, 0).ok()) {
       return false;
     }
-    ++stats_.map_faults;
+    ++*c_map_faults_;
+    if (trace_->enabled()) trace_->Emit(TraceKind::kFaultHandled, "map", path, fault.addr);
     return true;
   }
   return false;

@@ -23,6 +23,14 @@
 //   * scoped linking: a module's references resolve first against the modules on its
 //     own module list / search path, then its parent's, its grandparent's, and so on
 //     to the root; references undefined at the root stay unresolved and fault at use.
+//
+// Resolution fast path: every module carries a hashed export index, the root scope
+// keeps an incremental first-wins symbol index, and each module memoizes its scoped
+// lookups (positive results are stable because exports are fixed at registration;
+// negative results are invalidated whenever a new module is registered and at each
+// fault, preserving the paper's retry-on-later-fault semantics). Every resolution
+// decision is counted in the linker's MetricsRegistry and, when enabled, recorded in
+// the machine's TraceBuffer.
 #ifndef SRC_LINK_LDL_H_
 #define SRC_LINK_LDL_H_
 
@@ -30,9 +38,13 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/status.h"
+#include "src/base/trace.h"
 #include "src/link/image.h"
 #include "src/vm/machine.h"
 
@@ -56,6 +68,9 @@ struct LdlOptions {
   bool function_lazy = false;
 };
 
+// Legacy stats view. The single source of truth is the linker's MetricsRegistry
+// ("ldl.*" counters); this struct is materialized from it on demand so existing
+// callers keep working while new code reads the registry directly.
 struct LdlStats {
   uint32_t modules_located = 0;
   uint32_t publics_created = 0;   // dynamic public modules created from templates
@@ -67,6 +82,10 @@ struct LdlStats {
   uint32_t relocs_applied = 0;
   uint32_t lock_acquisitions = 0;
   uint32_t unresolved_refs = 0;   // lookups that failed (left for fault-time recovery)
+  uint32_t deps_missing = 0;      // distinct module-list entries that could not be located
+  uint32_t lookups = 0;           // scoped symbol lookups requested
+  uint32_t cache_hits = 0;        // answered from a module's memoized scope cache
+  uint32_t cache_misses = 0;      // required a scope walk
 };
 
 class Ldl {
@@ -83,7 +102,13 @@ class Ldl {
   // Explicitly resolves a module by name in |proc| (eager ablation / tests).
   Status ResolveAll(Process& proc);
 
-  const LdlStats& stats() const { return stats_; }
+  // This linker's counters ("ldl.*"). Per-process by construction: every Exec makes a
+  // fresh Ldl, so its registry starts at zero.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Legacy view, materialized from metrics() (see LdlStats).
+  LdlStats stats() const;
   const LoadImage& image() const { return image_; }
 
   // Looks up a symbol the way the *root* scope sees it (main image + root modules).
@@ -112,11 +137,24 @@ class Ldl {
     // be re-applied in a forked child's address space.
     std::vector<PendingReloc> relocs;
     std::vector<AbsSymbol> exports;
+    // Hashed export index (first definition wins, matching the linear-scan order the
+    // exports vector used to be searched in).
+    std::unordered_map<std::string, uint32_t> export_index;
     // Resolution decisions: symbol -> absolute address (shared across processes —
     // public resolutions are shared memory anyway; private modules resolve to the
     // same addresses in parent and child by construction).
     std::map<std::string, uint32_t> resolved;
     std::set<std::string> unresolved;  // failed lookups, retried on later faults
+    // Memoized scoped-lookup results for references *out of* this module. Positive
+    // entries are stable (exports never change after registration); negative entries
+    // are cleared on every module registration and at each fault.
+    std::unordered_map<std::string, uint32_t> scope_cache;
+    std::unordered_set<std::string> scope_negative;
+    // Located module-list dependencies (name -> module index). Only successes are
+    // cached; failed locates are retried, preserving the run-time search semantics.
+    std::unordered_map<std::string, int> dep_cache;
+    // Missing dependencies already counted/traced (so retries don't inflate them).
+    std::unordered_set<std::string> deps_reported_missing;
     bool payload_private = false;      // private instance: payload mapped per process
     std::shared_ptr<std::vector<uint8_t>> private_backing;  // private instance bytes
   };
@@ -143,16 +181,18 @@ class Ldl {
   // instantiating them (possibly inaccessibly) on demand.
   Result<uint32_t> LookupInOwnScope(Process& proc, int index, const std::string& symbol);
 
+  // Drops every module's memoized *negative* lookups (called when a registration or a
+  // new fault could turn an old miss into a hit).
+  void InvalidateNegativeCaches();
+
+  // Module whose mapping contains |addr|, -1 if none (ordered interval lookup).
+  int FindModuleAt(uint32_t addr) const;
+
   // The directory list used to locate modules named by module |index|'s list.
   std::vector<std::string> DirsFor(Process& proc, int index);
   std::vector<std::string> RootDirs(Process& proc);
   // Convention: a dependency found on the shared partition is public, else private.
   ShareClass ClassForDependency(const std::string& name, const std::vector<std::string>& dirs);
-
-  // True if the fault address lies inside module |m|'s mapping.
-  static bool Contains(const RtModule& m, uint32_t addr) {
-    return addr >= m.base && addr < m.base + m.mem_size;
-  }
 
   Status UpdatePublicTrailer(RtModule& m);
 
@@ -166,10 +206,37 @@ class Ldl {
   Machine* machine_;
   LoadImage image_;
   LdlOptions options_;
-  LdlStats stats_;
+
+  // Observability: this linker's own registry (per-process counters) plus the
+  // machine-wide trace ring.
+  MetricsRegistry metrics_;
+  TraceBuffer* trace_;
+  uint64_t* c_modules_located_;
+  uint64_t* c_publics_created_;
+  uint64_t* c_publics_attached_;
+  uint64_t* c_privates_instantiated_;
+  uint64_t* c_link_faults_;
+  uint64_t* c_map_faults_;
+  uint64_t* c_plt_faults_;
+  uint64_t* c_relocs_applied_;
+  uint64_t* c_lock_acquisitions_;
+  uint64_t* c_unresolved_refs_;
+  uint64_t* c_deps_missing_;
+  uint64_t* c_lookups_;
+  uint64_t* c_cache_hits_;
+  uint64_t* c_cache_misses_;
+  uint64_t* c_scope_walks_;
+  uint64_t* c_root_lookups_;
+
   std::vector<RtModule> modules_;
   std::map<std::string, int> by_key_;
+  // Ordered interval index over module mappings: base -> module index.
+  std::map<uint32_t, int> by_base_;
   std::map<std::string, AbsSymbol> image_syms_;
+  // Incremental first-wins index over the root scope (image symbols shadow modules;
+  // modules shadow each other in registration order) — what LookupRootSymbol's
+  // nested scan used to compute, now O(1).
+  std::unordered_map<std::string, uint32_t> root_index_;
   uint32_t private_arena_ = 0x04000000;  // dynamic private instances grow from here
   // function-lazy: sentinel address -> (module index, symbol). Sentinels live in an
   // always-unmapped band below the stack, so calling an unbound function faults here.

@@ -17,11 +17,11 @@ Status HemlockWorld::CompileTo(const std::string& source, const std::string& tpl
 }
 
 Result<int> HemlockWorld::RunToExit(int pid, uint64_t max_steps) {
-  RunOutcome outcome = machine_->RunProcess(pid, max_steps);
-  if (outcome == RunOutcome::kOutOfGas) {
+  RunStatus outcome = machine_->RunProcess(pid, max_steps);
+  if (outcome == RunStatus::kOutOfGas) {
     return Internal(StrFormat("pid %d did not finish within the step budget", pid));
   }
-  if (outcome == RunOutcome::kBlocked) {
+  if (outcome == RunStatus::kBlocked) {
     // Give children a chance (the process is waiting on them), then retry.
     if (!machine_->RunAll(max_steps)) {
       return Internal(StrFormat("pid %d blocked and the machine could not drain", pid));
@@ -34,9 +34,9 @@ Result<int> HemlockWorld::RunToExit(int pid, uint64_t max_steps) {
   return proc->exit_status();
 }
 
-Result<std::string> HemlockWorld::RunProgram(const std::string& source,
-                                             const std::vector<LdsInput>& extra_inputs,
-                                             const ExecOptions& exec_options) {
+Result<RunOutcome> HemlockWorld::RunProgram(const std::string& source,
+                                            const std::vector<LdsInput>& extra_inputs,
+                                            const ExecOptions& exec_options) {
   std::string tpl = StrFormat("/home/user/prog%d.o", temp_counter_++);
   RETURN_IF_ERROR(CompileTo(source, tpl));
   LdsOptions lds;
@@ -50,11 +50,25 @@ Result<std::string> HemlockWorld::RunProgram(const std::string& source,
   ASSIGN_OR_RETURN(ExecResult run, Exec(image, exec_options));
   ASSIGN_OR_RETURN(int status, RunToExit(run.pid));
   Process* proc = machine_->FindProcess(run.pid);
-  std::string out = proc != nullptr ? proc->stdout_text() : "";
-  if (status != 0) {
-    return Internal(StrFormat("program exited with status %d; stdout: %s", status, out.c_str()));
+  RunOutcome outcome;
+  outcome.stdout_text = proc != nullptr ? proc->stdout_text() : "";
+  outcome.exit_code = status;
+  outcome.metrics = machine_->metrics().Snapshot();
+  if (run.ldl != nullptr) {
+    MetricsRegistry::Merge(&outcome.metrics, run.ldl->metrics().Snapshot());
   }
-  return out;
+  return outcome;
+}
+
+Result<std::string> HemlockWorld::RunProgramText(const std::string& source,
+                                                 const std::vector<LdsInput>& extra_inputs,
+                                                 const ExecOptions& exec_options) {
+  ASSIGN_OR_RETURN(RunOutcome out, RunProgram(source, extra_inputs, exec_options));
+  if (out.exit_code != 0) {
+    return Internal(StrFormat("program exited with status %d; stdout: %s", out.exit_code,
+                              out.stdout_text.c_str()));
+  }
+  return out.stdout_text;
 }
 
 }  // namespace hemlock

@@ -23,6 +23,16 @@
 
 namespace hemlock {
 
+// Everything a finished run produced. Nonzero exit is an *outcome*, not an error —
+// Status is reserved for toolchain/system failures (compile error, link error, step
+// budget exhausted). |metrics| merges the machine-wide counters ("vm.*", "sfs.*")
+// with the run's linker counters ("ldl.*").
+struct RunOutcome {
+  std::string stdout_text;
+  int exit_code = 0;
+  MetricsSnapshot metrics;
+};
+
 class HemlockWorld {
  public:
   HemlockWorld() : machine_(std::make_unique<Machine>()) {}
@@ -50,11 +60,19 @@ class HemlockWorld {
   // Drives a process to completion; returns its exit status.
   Result<int> RunToExit(int pid, uint64_t max_steps = 200'000'000);
 
-  // Compile-link-exec-run in one call; returns the process's stdout text.
-  // The program is linked as a single static private module plus |extra_inputs|.
-  Result<std::string> RunProgram(const std::string& source,
-                                 const std::vector<LdsInput>& extra_inputs = {},
-                                 const ExecOptions& exec_options = {});
+  // Compile-link-exec-run in one call. The program is linked as a single static
+  // private module plus |extra_inputs|. The process's exit code is reported in-band
+  // (RunOutcome::exit_code); an error Status means the toolchain or the machine
+  // failed, not the program.
+  Result<RunOutcome> RunProgram(const std::string& source,
+                                const std::vector<LdsInput>& extra_inputs = {},
+                                const ExecOptions& exec_options = {});
+
+  // Deprecated pre-RunOutcome shim: returns stdout only and converts a nonzero exit
+  // into an error Status. Will be removed next PR; use RunProgram.
+  Result<std::string> RunProgramText(const std::string& source,
+                                     const std::vector<LdsInput>& extra_inputs = {},
+                                     const ExecOptions& exec_options = {});
 
  private:
   std::unique_ptr<Machine> machine_;

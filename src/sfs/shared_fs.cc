@@ -247,25 +247,46 @@ Result<uint32_t> SharedFs::AddrToInode(uint32_t addr) const {
   if (!InSfsRegion(addr)) {
     return OutOfRange(StrFormat("sfs: address 0x%08x outside the shared region", addr));
   }
+  if (addr_lookups_ != nullptr) {
+    ++*addr_lookups_;
+  }
+  uint32_t found = 0;  // inodes are 1-based; 0 means no file at |addr|
   if (lookup_mode_ == AddrLookupMode::kLinear) {
-    // The paper's linear table: scan front to back.
+    // The paper's linear table: scan front to back (ablation baseline).
+    uint64_t probes = 0;
     for (const AddrEntry& e : addr_table_) {
+      ++probes;
       if (addr >= e.base && addr < e.limit) {
-        return e.ino;
+        found = e.ino;
+        break;
       }
     }
+    if (addr_lookup_probes_ != nullptr) {
+      *addr_lookup_probes_ += probes;
+    }
+  } else {
+    // Ordered interval lookup (default): greatest base <= addr, one O(log n) probe.
+    if (addr_lookup_probes_ != nullptr) {
+      ++*addr_lookup_probes_;
+    }
+    auto it = addr_index_.upper_bound(addr);
+    if (it != addr_index_.begin()) {
+      --it;
+      if (addr >= it->second.base && addr < it->second.limit) {
+        found = it->second.ino;
+      }
+    }
+  }
+  if (found == 0 && addr_lookup_misses_ != nullptr) {
+    ++*addr_lookup_misses_;
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Emit(TraceKind::kAddrLookup, found != 0 ? inodes_[found].path : "", "", addr, found);
+  }
+  if (found == 0) {
     return NotFound(StrFormat("sfs: no file at address 0x%08x", addr));
   }
-  // Indexed ablation: greatest base <= addr.
-  auto it = addr_index_.upper_bound(addr);
-  if (it == addr_index_.begin()) {
-    return NotFound(StrFormat("sfs: no file at address 0x%08x", addr));
-  }
-  --it;
-  if (addr >= it->second.base && addr < it->second.limit) {
-    return it->second.ino;
-  }
-  return NotFound(StrFormat("sfs: no file at address 0x%08x", addr));
+  return found;
 }
 
 Result<std::string> SharedFs::InodeToPath(uint32_t ino) const {
@@ -344,6 +365,12 @@ Status SharedFs::LockInode(uint32_t ino, int pid) {
     return WouldBlock(StrFormat("sfs: inode %u locked by pid %d", ino, node.lock_owner));
   }
   node.lock_owner = pid;
+  if (locks_taken_ != nullptr) {
+    ++*locks_taken_;
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Emit(TraceKind::kLockTaken, node.path, StrFormat("pid %d", pid), 0, ino);
+  }
   return OkStatus();
 }
 
@@ -434,6 +461,19 @@ Result<std::unique_ptr<SharedFs>> SharedFs::Deserialize(ByteReader* r) {
   // Boot-time scan (paper §3): rebuild the address table from the on-disk state.
   fs->RebuildAddrTable();
   return fs;
+}
+
+void SharedFs::SetObservers(MetricsRegistry* metrics, TraceBuffer* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ != nullptr) {
+    addr_lookups_ = metrics_->Counter("sfs.addr_lookups");
+    addr_lookup_probes_ = metrics_->Counter("sfs.addr_lookup_probes");
+    addr_lookup_misses_ = metrics_->Counter("sfs.addr_lookup_misses");
+    locks_taken_ = metrics_->Counter("sfs.locks_taken");
+  } else {
+    addr_lookups_ = addr_lookup_probes_ = addr_lookup_misses_ = locks_taken_ = nullptr;
+  }
 }
 
 uint32_t SharedFs::InodesInUse() const {

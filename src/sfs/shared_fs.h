@@ -23,7 +23,9 @@
 
 #include "src/base/bytes.h"
 #include "src/base/layout.h"
+#include "src/base/metrics.h"
 #include "src/base/status.h"
+#include "src/base/trace.h"
 
 namespace hemlock {
 
@@ -41,7 +43,8 @@ struct SfsStat {
 
 // Strategy for the kernel's address -> inode translation (DESIGN.md ablation F3):
 // the paper uses a linear table "for the sake of simplicity" and plans a B-tree-backed
-// index for the 64-bit version.
+// index for the 64-bit version. We default to the ordered interval index (the paper's
+// planned replacement); kLinear remains as the ablation baseline.
 enum class AddrLookupMode { kLinear, kIndexed };
 
 class SharedFs {
@@ -101,6 +104,10 @@ class SharedFs {
   void set_lookup_mode(AddrLookupMode mode) { lookup_mode_ = mode; }
   AddrLookupMode lookup_mode() const { return lookup_mode_; }
 
+  // Observability taps (owned by the Machine; may be null — e.g. a standalone
+  // SharedFs in a unit test records nothing).
+  void SetObservers(MetricsRegistry* metrics, TraceBuffer* trace);
+
   // --- Segment backing (used by the VM's mapper) ---
 
   // Guarantees the physical buffer covers [0, bytes) so pages can be mapped; the
@@ -154,11 +161,19 @@ class SharedFs {
 
   // Inode 0 unused; inode 1 is the partition root directory.
   std::vector<Inode> inodes_;
-  AddrLookupMode lookup_mode_ = AddrLookupMode::kLinear;
-  // Linear table (paper) — scanned front to back.
+  AddrLookupMode lookup_mode_ = AddrLookupMode::kIndexed;
+  // Linear table (paper baseline) — scanned front to back.
   std::vector<AddrEntry> addr_table_;
-  // Indexed ablation: base -> entry.
+  // Ordered interval index (default): base -> entry, probed with upper_bound.
   std::map<uint32_t, AddrEntry> addr_index_;
+
+  // Observability (null until the owning Machine wires itself in).
+  MetricsRegistry* metrics_ = nullptr;
+  TraceBuffer* trace_ = nullptr;
+  uint64_t* addr_lookups_ = nullptr;
+  uint64_t* addr_lookup_probes_ = nullptr;
+  uint64_t* addr_lookup_misses_ = nullptr;
+  uint64_t* locks_taken_ = nullptr;
 };
 
 // The fixed address of a regular file's segment, derived from its inode number.

@@ -29,7 +29,18 @@ void Process::ChainFaultHandler(FaultHandler handler) {
   fault_handlers_.push_back(std::move(handler));
 }
 
-Machine::Machine() : vfs_(std::make_unique<Vfs>()) {}
+Machine::Machine() : vfs_(std::make_unique<Vfs>()) {
+  m_faults_delivered_ = metrics_.Counter("vm.faults_delivered");
+  m_faults_resolved_ = metrics_.Counter("vm.faults_resolved");
+  m_faults_fatal_ = metrics_.Counter("vm.faults_fatal");
+  m_syscalls_ = metrics_.Counter("vm.syscalls");
+  sfs().SetObservers(&metrics_, &trace_);
+}
+
+void Machine::ReplaceSfs(std::unique_ptr<SharedFs> sfs) {
+  vfs_->ReplaceSfs(std::move(sfs));
+  this->sfs().SetObservers(&metrics_, &trace_);
+}
 
 Process& Machine::CreateProcess() {
   int pid = next_pid_++;
@@ -54,16 +65,16 @@ int Machine::LiveProcessCount() const {
   return n;
 }
 
-RunOutcome Machine::RunProcess(int pid, uint64_t max_steps) {
+RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
   Process* proc = FindProcess(pid);
   if (proc == nullptr || proc->state_ == ProcState::kZombie) {
-    return RunOutcome::kExited;
+    return RunStatus::kExited;
   }
   Cpu cpu(&proc->space());
   uint64_t budget = max_steps;
   while (budget > 0) {
     if (proc->state_ == ProcState::kZombie) {
-      return RunOutcome::kExited;
+      return RunStatus::kExited;
     }
     if (proc->state_ == ProcState::kWaiting) {
       // Try to reap the waited-for child.
@@ -75,7 +86,7 @@ RunOutcome Machine::RunProcess(int pid, uint64_t max_steps) {
         proc->wait_target_ = -1;
         proc->state_ = ProcState::kRunnable;
       } else {
-        return RunOutcome::kBlocked;
+        return RunStatus::kBlocked;
       }
     }
     uint64_t steps = 0;
@@ -86,7 +97,7 @@ RunOutcome Machine::RunProcess(int pid, uint64_t max_steps) {
     budget = budget > steps ? budget - steps : 0;
     switch (reason) {
       case StopReason::kSteps:
-        return RunOutcome::kOutOfGas;
+        return RunStatus::kOutOfGas;
       case StopReason::kSyscall:
         DoSyscall(*proc);
         if (budget > 0) {
@@ -96,7 +107,7 @@ RunOutcome Machine::RunProcess(int pid, uint64_t max_steps) {
         break;
       case StopReason::kBreak:
         KillProcess(pid, 134, "break instruction");
-        return RunOutcome::kExited;
+        return RunStatus::kExited;
       case StopReason::kFault: {
         if (DeliverFault(*proc, fault)) {
           break;  // retry the instruction
@@ -104,17 +115,17 @@ RunOutcome Machine::RunProcess(int pid, uint64_t max_steps) {
         KillProcess(pid, 139,
                     StrFormat("segmentation fault at 0x%08x (pc=0x%08x)", fault.addr,
                               proc->cpu().pc));
-        return RunOutcome::kExited;
+        return RunStatus::kExited;
       }
       case StopReason::kIllegal:
         KillProcess(pid, 132, StrFormat("illegal instruction at pc=0x%08x", proc->cpu().pc));
-        return RunOutcome::kExited;
+        return RunStatus::kExited;
       case StopReason::kDivZero:
         KillProcess(pid, 136, StrFormat("division by zero at pc=0x%08x", proc->cpu().pc));
-        return RunOutcome::kExited;
+        return RunStatus::kExited;
     }
   }
-  return proc->state_ == ProcState::kZombie ? RunOutcome::kExited : RunOutcome::kOutOfGas;
+  return proc->state_ == ProcState::kZombie ? RunStatus::kExited : RunStatus::kOutOfGas;
 }
 
 bool Machine::RunAll(uint64_t max_total_steps, uint64_t quantum) {
@@ -135,9 +146,9 @@ bool Machine::RunAll(uint64_t max_total_steps, uint64_t quantum) {
       }
       any_runnable = true;
       uint64_t before = ticks_;
-      RunOutcome outcome = RunProcess(pid, quantum);
+      RunStatus outcome = RunProcess(pid, quantum);
       spent += ticks_ - before;
-      if (ticks_ != before || outcome == RunOutcome::kExited) {
+      if (ticks_ != before || outcome == RunStatus::kExited) {
         progressed = true;
       }
     }
@@ -178,6 +189,7 @@ void Machine::ExitProcess(Process& proc, int status) {
 bool Machine::DeliverFault(Process& proc, const Fault& fault) {
   ++proc.fault_count_;
   ++total_faults_;
+  ++*m_faults_delivered_;
   ticks_ += fault_cost_;
 
   // A fault at the sigreturn sentinel is the user handler coming back: restore the
@@ -186,12 +198,15 @@ bool Machine::DeliverFault(Process& proc, const Fault& fault) {
     proc.cpu_ = proc.saved_context_;
     proc.in_user_handler_ = false;
     ++proc.resolved_fault_count_;
+    ++*m_faults_resolved_;
+    if (trace_.enabled()) trace_.Emit(TraceKind::kFaultHandled, "sigreturn", "", fault.addr);
     return true;
   }
 
   for (FaultHandler& handler : proc.fault_handlers_) {
     if (handler(*this, proc, fault)) {
       ++proc.resolved_fault_count_;
+      ++*m_faults_resolved_;
       return true;
     }
   }
@@ -205,6 +220,7 @@ bool Machine::DeliverFault(Process& proc, const Fault& fault) {
     uint8_t arg[4];
     std::memcpy(arg, &fault.addr, 4);
     if (!proc.space().WriteBytes(sp, arg, 4).ok()) {
+      ++*m_faults_fatal_;
       return false;  // no usable stack: fatal
     }
     proc.saved_context_ = proc.cpu_;
@@ -215,8 +231,12 @@ bool Machine::DeliverFault(Process& proc, const Fault& fault) {
     regs[kRegSp] = sp;
     proc.cpu_.pc = proc.user_segv_handler_;
     ++proc.resolved_fault_count_;
+    ++*m_faults_resolved_;
+    if (trace_.enabled()) trace_.Emit(TraceKind::kFaultHandled, "user", "", fault.addr);
     return true;
   }
+  ++*m_faults_fatal_;
+  if (trace_.enabled()) trace_.Emit(TraceKind::kFaultHandled, "fatal", "", fault.addr);
   return false;
 }
 
@@ -305,6 +325,7 @@ uint32_t Machine::SysOpenByAddr(Process& proc, uint32_t addr, uint32_t flags, ui
 void Machine::DoSyscall(Process& proc) {
   ++proc.syscall_count_;
   ++total_syscalls_;
+  ++*m_syscalls_;
   ticks_ += syscall_cost_;
   auto& regs = proc.cpu().regs;
   uint32_t num = regs[kRegV0];

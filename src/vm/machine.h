@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/metrics.h"
+#include "src/base/trace.h"
 #include "src/sfs/vfs.h"
 #include "src/vm/cpu.h"
 
@@ -122,8 +124,9 @@ class Process {
   uint64_t syscall_count_ = 0;
 };
 
-// Outcome of driving a process.
-enum class RunOutcome : uint8_t {
+// Status of driving a process. (Renamed from RunOutcome: that name now belongs to
+// HemlockWorld::RunProgram's result struct.)
+enum class RunStatus : uint8_t {
   kExited,     // process reached exit (or was killed); see exit_status()
   kBlocked,    // waiting (waitpid) — run something else
   kOutOfGas,   // step budget exhausted while still runnable
@@ -139,13 +142,26 @@ class Machine {
   Vfs& vfs() { return *vfs_; }
   SharedFs& sfs() { return vfs_->sfs(); }
 
+  // Machine-wide observability: kernel-side counters ("vm.*", "sfs.*") and the
+  // structured event ring. Per-process linker counters live in each Ldl's own
+  // registry; RunOutcome merges the two.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  // Replaces the shared partition (simulated reboot from "disk") and re-wires its
+  // observability taps. Prefer this over Vfs::ReplaceSfs, which leaves the new
+  // partition unobserved.
+  void ReplaceSfs(std::unique_ptr<SharedFs> sfs);
+
   // Creates an empty process (no mappings, pc = 0). Loaders (src/link) populate it.
   Process& CreateProcess();
   Process* FindProcess(int pid);
 
   // Drives one process until it exits, blocks, or exhausts |max_steps|.
   // Syscalls and faults are handled internally.
-  RunOutcome RunProcess(int pid, uint64_t max_steps = kDefaultBudget);
+  RunStatus RunProcess(int pid, uint64_t max_steps = kDefaultBudget);
 
   // Round-robin over runnable processes until all have exited or the total budget is
   // exhausted. Returns true when every process exited.
@@ -188,6 +204,13 @@ class Machine {
   uint32_t SysOpenByAddr(Process& proc, uint32_t addr, uint32_t flags, uint32_t* err);
 
   std::unique_ptr<Vfs> vfs_;
+  MetricsRegistry metrics_;
+  TraceBuffer trace_;
+  // Hot-path counter handles, resolved once in the constructor.
+  uint64_t* m_faults_delivered_ = nullptr;
+  uint64_t* m_faults_resolved_ = nullptr;
+  uint64_t* m_faults_fatal_ = nullptr;
+  uint64_t* m_syscalls_ = nullptr;
   std::map<int, std::unique_ptr<Process>> procs_;
   int next_pid_ = 1;
   uint64_t ticks_ = 0;

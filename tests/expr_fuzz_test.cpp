@@ -89,11 +89,11 @@ TEST_P(ExprFuzzTest, CompiledMatchesHostSemantics) {
   std::string program = decls + "int main(void) {\n" + body + "  return 0;\n}\n";
 
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(program);
+  Result<RunOutcome> out = world.RunProgram(program);
   ASSERT_TRUE(out.ok()) << "seed " << GetParam() << ": " << out.status().ToString()
                         << "\nprogram:\n"
                         << program;
-  EXPECT_EQ(*out, expected) << "seed " << GetParam() << "\nprogram:\n" << program;
+  EXPECT_EQ(out->stdout_text, expected) << "seed " << GetParam() << "\nprogram:\n" << program;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzzTest,

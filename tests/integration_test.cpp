@@ -59,14 +59,14 @@ TEST(IntegrationTest, MessageBoardAcrossProgramsAndReboot) {
     opts.include_prelude = false;
     ASSERT_TRUE(world.CompileTo(kBoardSrc, "/shm/lib/board.o", opts).ok());
 
-    Result<std::string> poster =
+    Result<RunOutcome> poster =
         world.RunProgram(kPosterSrc, {{"board.o", ShareClass::kDynamicPublic}});
     ASSERT_TRUE(poster.ok()) << poster.status().ToString();
 
-    Result<std::string> reader =
+    Result<RunOutcome> reader =
         world.RunProgram(kReaderSrc, {{"board.o", ShareClass::kDynamicPublic}});
     ASSERT_TRUE(reader.ok()) << reader.status().ToString();
-    EXPECT_EQ(*reader, "5 messages, sum 165\n");
+    EXPECT_EQ(reader->stdout_text, "5 messages, sum 165\n");
 
     ByteWriter w;
     world.sfs().Serialize(&w);
@@ -78,15 +78,15 @@ TEST(IntegrationTest, MessageBoardAcrossProgramsAndReboot) {
     ByteReader r(disk);
     Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
     ASSERT_TRUE(fs.ok());
-    world.vfs().ReplaceSfs(std::move(*fs));
+    world.machine().ReplaceSfs(std::move(*fs));
 
-    Result<std::string> poster =
+    Result<RunOutcome> poster =
         world.RunProgram(kPosterSrc, {{"board.o", ShareClass::kDynamicPublic}});
     ASSERT_TRUE(poster.ok()) << poster.status().ToString();
-    Result<std::string> reader =
+    Result<RunOutcome> reader =
         world.RunProgram(kReaderSrc, {{"board.o", ShareClass::kDynamicPublic}});
     ASSERT_TRUE(reader.ok()) << reader.status().ToString();
-    EXPECT_EQ(*reader, "10 messages, sum 330\n");
+    EXPECT_EQ(reader->stdout_text, "10 messages, sum 330\n");
   }
 }
 
@@ -231,10 +231,10 @@ TEST_P(LinkerGraphPropertyTest, RandomDagLinksAndComputes) {
                                root, root);
   ExecOptions exec;
   exec.env[kLdLibraryPathVar] = "/shm/g";
-  Result<std::string> out = world.RunProgram(
+  Result<RunOutcome> out = world.RunProgram(
       prog, {{StrFormat("mod%u.o", root), ShareClass::kDynamicPublic}}, exec);
   ASSERT_TRUE(out.ok()) << "seed " << seed << ": " << out.status().ToString();
-  EXPECT_EQ(*out, StrFormat("%lld\n", static_cast<long long>(value[root])))
+  EXPECT_EQ(out->stdout_text, StrFormat("%lld\n", static_cast<long long>(value[root])))
       << "seed " << seed;
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, LinkerGraphPropertyTest,

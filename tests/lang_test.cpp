@@ -128,9 +128,9 @@ class HemCExecTest : public ::testing::TestWithParam<ExecCase> {};
 
 TEST_P(HemCExecTest, ProducesExpectedOutput) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(GetParam().source);
+  Result<RunOutcome> out = world.RunProgram(GetParam().source);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, GetParam().expected_stdout);
+  EXPECT_EQ(out->stdout_text, GetParam().expected_stdout);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -89,7 +89,7 @@ TEST_F(LazyLinkTest, RecursiveChainResolvedOnFirstTouch) {
   EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
 
   // The first call into A faulted; resolution pulled B in, whose use pulled C in.
-  EXPECT_GE(run->ldl->stats().link_faults, 1u);
+  EXPECT_GE(run->ldl->metrics().Get("ldl.link_faults"), 1u);
   EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/modb"), -1);
   EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/modc"), -1);
 }
@@ -106,7 +106,7 @@ TEST_F(LazyLinkTest, UnusedGraphStaysUnlinked) {
   Result<int> status = world_.RunToExit(run->pid);
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(*status, 0);
-  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+  EXPECT_EQ(run->ldl->metrics().Get("ldl.link_faults"), 0u);
   EXPECT_EQ(run->ldl->FindModuleIndex("/shm/lib/modb"), -1);
 }
 
@@ -121,7 +121,7 @@ TEST_F(LazyLinkTest, EagerModeLinksEverythingUpFront) {
   Result<int> status = world_.RunToExit(run->pid);
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(*status, 0);
-  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+  EXPECT_EQ(run->ldl->metrics().Get("ldl.link_faults"), 0u);
   EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
 }
 
@@ -134,7 +134,7 @@ TEST_F(LazyLinkTest, PageGranularModeAlsoWorks) {
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(*status, 0);
   EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
-  EXPECT_GE(run->ldl->stats().link_faults, 1u);
+  EXPECT_GE(run->ldl->metrics().Get("ldl.link_faults"), 1u);
 }
 
 TEST_F(LazyLinkTest, FunctionLazyBindsOnFirstCall) {
@@ -151,8 +151,8 @@ TEST_F(LazyLinkTest, FunctionLazyBindsOnFirstCall) {
   EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "35\n");
   // No module-granularity link faults; exactly the touched call chain bound via PLT
   // sentinels (a_used -> b_fn -> c_fn: three first-call bindings).
-  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
-  EXPECT_GE(run->ldl->stats().plt_faults, 2u);
+  EXPECT_EQ(run->ldl->metrics().Get("ldl.link_faults"), 0u);
+  EXPECT_GE(run->ldl->metrics().Get("ldl.plt_faults"), 2u);
 }
 
 TEST_F(LazyLinkTest, FunctionLazySecondCallIsDirect) {
@@ -179,7 +179,7 @@ TEST_F(LazyLinkTest, FunctionLazySecondCallIsDirect) {
   EXPECT_EQ(*status, 0);
   EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "850\n");
   // 50 calls, but each distinct cross-module edge bound exactly once.
-  EXPECT_LE(run->ldl->stats().plt_faults, 3u);
+  EXPECT_LE(run->ldl->metrics().Get("ldl.plt_faults"), 3u);
 }
 
 TEST_F(LazyLinkTest, FunctionLazyCallToMissingSymbolIsFatal) {
@@ -271,7 +271,7 @@ TEST_F(LazyLinkTest, PointerFollowMapsSegmentOnFault) {
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(*status, 0);
   EXPECT_EQ(world_.machine().FindProcess(run->pid)->stdout_text(), "777\n");
-  EXPECT_GE(run->ldl->stats().map_faults, 1u);
+  EXPECT_GE(run->ldl->metrics().Get("ldl.map_faults"), 1u);
 }
 
 TEST_F(LazyLinkTest, StrayPointerInSharedRegionStillFaults) {

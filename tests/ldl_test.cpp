@@ -42,7 +42,7 @@ TEST_F(LdlTest, ResolutionPersistsInModuleFile) {
   Result<ExecResult> run1 = world_.Exec(*image);
   ASSERT_TRUE(run1.ok());
   EXPECT_EQ(*world_.RunToExit(run1->pid), 8);
-  EXPECT_GE(run1->ldl->stats().link_faults, 1u);
+  EXPECT_GE(run1->ldl->metrics().Get("ldl.link_faults"), 1u);
 
   // The module file on disk now records zero pending references.
   Result<std::vector<uint8_t>> bytes = world_.vfs().ReadFile("/shm/lib/wrap");
@@ -55,7 +55,7 @@ TEST_F(LdlTest, ResolutionPersistsInModuleFile) {
   Result<ExecResult> run2 = world_.Exec(*image);
   ASSERT_TRUE(run2.ok());
   EXPECT_EQ(*world_.RunToExit(run2->pid), 8);
-  EXPECT_EQ(run2->ldl->stats().link_faults, 0u);
+  EXPECT_EQ(run2->ldl->metrics().Get("ldl.link_faults"), 0u);
 }
 
 TEST_F(LdlTest, ForkedChildRelinksLazilyOnItsOwnFault) {
@@ -141,7 +141,7 @@ TEST_F(LdlTest, ModuleFileReachedByPointerIsRegisteredWithLdl) {
   Result<int> status = world_.RunToExit(run->pid);
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(*status, 1);
-  EXPECT_GE(run->ldl->stats().map_faults, 1u);
+  EXPECT_GE(run->ldl->metrics().Get("ldl.map_faults"), 1u);
   EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/findme"), -1);
 }
 
@@ -176,14 +176,14 @@ TEST_F(LdlTest, LockCountersExposed) {
   ASSERT_TRUE(run.ok());
   ASSERT_TRUE(world_.RunToExit(run->pid).ok());
   // Creation took the file lock exactly once (paper fn. 3).
-  EXPECT_EQ(run->ldl->stats().lock_acquisitions, 1u);
-  EXPECT_EQ(run->ldl->stats().publics_created, 1u);
+  EXPECT_EQ(run->ldl->metrics().Get("ldl.lock_acquisitions"), 1u);
+  EXPECT_EQ(run->ldl->metrics().Get("ldl.publics_created"), 1u);
   // Second program attaches without locking.
   Result<ExecResult> run2 = world_.Exec(*image);
   ASSERT_TRUE(run2.ok());
   ASSERT_TRUE(world_.RunToExit(run2->pid).ok());
-  EXPECT_EQ(run2->ldl->stats().lock_acquisitions, 0u);
-  EXPECT_EQ(run2->ldl->stats().publics_attached, 1u);
+  EXPECT_EQ(run2->ldl->metrics().Get("ldl.lock_acquisitions"), 0u);
+  EXPECT_EQ(run2->ldl->metrics().Get("ldl.publics_attached"), 1u);
 }
 
 TEST_F(LdlTest, EagerAblationResolvesTransitively) {
@@ -206,7 +206,7 @@ TEST_F(LdlTest, EagerAblationResolvesTransitively) {
   // Eager startup already pulled the leaf in.
   EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/leaf"), -1);
   EXPECT_EQ(*world_.RunToExit(run->pid), 5);
-  EXPECT_EQ(run->ldl->stats().link_faults, 0u);
+  EXPECT_EQ(run->ldl->metrics().Get("ldl.link_faults"), 0u);
 }
 
 }  // namespace

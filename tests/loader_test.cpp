@@ -43,7 +43,7 @@ TEST(LoaderTest, StaticPublicFileDeletedBeforeExecFails) {
 
 TEST(LoaderTest, StackIsSetUpBelowTheLimit) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int depth(int n) {
       char pad[256];
       pad[0] = n;
@@ -58,7 +58,7 @@ TEST(LoaderTest, StackIsSetUpBelowTheLimit) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "0\n");
+  EXPECT_EQ(out->stdout_text, "0\n");
 }
 
 TEST(LoaderTest, StackOverflowIsAFatalFault) {

@@ -31,7 +31,7 @@ class SharingTest : public ::testing::Test {
   }
 
   // Builds a program that links the counter module with |cls| and runs it.
-  Result<std::string> RunWith(const std::string& source, ShareClass cls) {
+  Result<RunOutcome> RunWith(const std::string& source, ShareClass cls) {
     return world_.RunProgram(source, {{"counter.o", cls}});
   }
 
@@ -52,38 +52,38 @@ constexpr char kBumpProgram[] = R"(
 
 TEST_F(SharingTest, DynamicPublicSharedAcrossPrograms) {
   // Program 1 creates the module (ldl, on first use) and bumps the counter.
-  Result<std::string> out1 = RunWith(kBumpProgram, ShareClass::kDynamicPublic);
+  Result<RunOutcome> out1 = RunWith(kBumpProgram, ShareClass::kDynamicPublic);
   ASSERT_TRUE(out1.ok()) << out1.status().ToString();
-  EXPECT_EQ(*out1, "101 101\n");
+  EXPECT_EQ(out1->stdout_text, "101 101\n");
 
   // Program 2, linked separately, sees program 1's write — the segment persists.
-  Result<std::string> out2 = RunWith(kBumpProgram, ShareClass::kDynamicPublic);
+  Result<RunOutcome> out2 = RunWith(kBumpProgram, ShareClass::kDynamicPublic);
   ASSERT_TRUE(out2.ok()) << out2.status().ToString();
-  EXPECT_EQ(*out2, "102 102\n");
+  EXPECT_EQ(out2->stdout_text, "102 102\n");
 
   // The module file now exists next to its template, named by dropping ".o".
   EXPECT_TRUE(world_.vfs().Exists("/shm/lib/counter"));
 }
 
 TEST_F(SharingTest, StaticPublicSharedAcrossPrograms) {
-  Result<std::string> out1 = RunWith(kBumpProgram, ShareClass::kStaticPublic);
+  Result<RunOutcome> out1 = RunWith(kBumpProgram, ShareClass::kStaticPublic);
   ASSERT_TRUE(out1.ok()) << out1.status().ToString();
-  EXPECT_EQ(*out1, "101 101\n");
-  Result<std::string> out2 = RunWith(kBumpProgram, ShareClass::kStaticPublic);
+  EXPECT_EQ(out1->stdout_text, "101 101\n");
+  Result<RunOutcome> out2 = RunWith(kBumpProgram, ShareClass::kStaticPublic);
   ASSERT_TRUE(out2.ok()) << out2.status().ToString();
-  EXPECT_EQ(*out2, "102 102\n");
+  EXPECT_EQ(out2->stdout_text, "102 102\n");
 }
 
 TEST_F(SharingTest, PrivateClassesGetFreshInstances) {
   // Table 1: private modules get a new instance per process — no sharing.
   for (ShareClass cls : {ShareClass::kStaticPrivate, ShareClass::kDynamicPrivate}) {
     SCOPED_TRACE(ShareClassName(cls));
-    Result<std::string> out1 = RunWith(kBumpProgram, cls);
+    Result<RunOutcome> out1 = RunWith(kBumpProgram, cls);
     ASSERT_TRUE(out1.ok()) << out1.status().ToString();
-    EXPECT_EQ(*out1, "101 101\n");
-    Result<std::string> out2 = RunWith(kBumpProgram, cls);
+    EXPECT_EQ(out1->stdout_text, "101 101\n");
+    Result<RunOutcome> out2 = RunWith(kBumpProgram, cls);
     ASSERT_TRUE(out2.ok()) << out2.status().ToString();
-    EXPECT_EQ(*out2, "101 101\n");  // fresh instance, not 102
+    EXPECT_EQ(out2->stdout_text, "101 101\n");  // fresh instance, not 102
   }
 }
 
@@ -97,12 +97,12 @@ TEST_F(SharingTest, PublicModuleAtSameAddressInEveryProcess) {
       return 0;
     }
   )";
-  Result<std::string> out1 = RunWith(kAddrProgram, ShareClass::kDynamicPublic);
+  Result<RunOutcome> out1 = RunWith(kAddrProgram, ShareClass::kDynamicPublic);
   ASSERT_TRUE(out1.ok()) << out1.status().ToString();
-  Result<std::string> out2 = RunWith(kAddrProgram, ShareClass::kDynamicPublic);
+  Result<RunOutcome> out2 = RunWith(kAddrProgram, ShareClass::kDynamicPublic);
   ASSERT_TRUE(out2.ok()) << out2.status().ToString();
-  EXPECT_EQ(*out1, *out2);
-  EXPECT_NE(*out1, "0\n");
+  EXPECT_EQ(out1->stdout_text, out2->stdout_text);
+  EXPECT_NE(out1->stdout_text, "0\n");
 }
 
 TEST_F(SharingTest, SharedFunctionCalledCrossModule) {
@@ -148,9 +148,9 @@ TEST_F(SharingTest, ForkSharesPublicCopiesPrivate) {
       return 0;
     }
   )";
-  Result<std::string> out = RunWith(kForkProgram, ShareClass::kDynamicPublic);
+  Result<RunOutcome> out = RunWith(kForkProgram, ShareClass::kDynamicPublic);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "110 0\n");
+  EXPECT_EQ(out->stdout_text, "110 0\n");
 }
 
 TEST_F(SharingTest, ConcurrentProcessesShareLiveSegment) {
@@ -196,10 +196,10 @@ TEST(SharingRebootTest, PublicModuleSurvivesReboot) {
     CompileOptions opts;
     opts.include_prelude = false;
     ASSERT_TRUE(world.CompileTo(kCounterModule, "/shm/lib/counter.o", opts).ok());
-    Result<std::string> out =
+    Result<RunOutcome> out =
         world.RunProgram(kBumpProgram, {{"counter.o", ShareClass::kDynamicPublic}});
     ASSERT_TRUE(out.ok()) << out.status().ToString();
-    EXPECT_EQ(*out, "101 101\n");
+    EXPECT_EQ(out->stdout_text, "101 101\n");
     ByteWriter w;
     world.sfs().Serialize(&w);
     disk = w.Take();
@@ -209,11 +209,11 @@ TEST(SharingRebootTest, PublicModuleSurvivesReboot) {
     ByteReader r(disk);
     Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
     ASSERT_TRUE(fs.ok()) << fs.status().ToString();
-    world.vfs().ReplaceSfs(std::move(*fs));
-    Result<std::string> out =
+    world.machine().ReplaceSfs(std::move(*fs));
+    Result<RunOutcome> out =
         world.RunProgram(kBumpProgram, {{"counter.o", ShareClass::kDynamicPublic}});
     ASSERT_TRUE(out.ok()) << out.status().ToString();
-    EXPECT_EQ(*out, "102 102\n");  // state survived the reboot
+    EXPECT_EQ(out->stdout_text, "102 102\n");  // state survived the reboot
   }
 }
 

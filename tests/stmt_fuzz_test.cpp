@@ -114,11 +114,11 @@ TEST_P(StmtFuzzTest, CompiledMatchesInterpreter) {
   std::string program = "int main(void) {\n" + body + "  return 0;\n}\n";
 
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(program);
+  Result<RunOutcome> out = world.RunProgram(program);
   ASSERT_TRUE(out.ok()) << "seed " << GetParam() << ": " << out.status().ToString()
                         << "\nprogram:\n"
                         << program;
-  EXPECT_EQ(*out, expected) << "seed " << GetParam() << "\nprogram:\n" << program;
+  EXPECT_EQ(out->stdout_text, expected) << "seed " << GetParam() << "\nprogram:\n" << program;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StmtFuzzTest, ::testing::Range(100u, 125u));

@@ -8,19 +8,19 @@ namespace {
 
 TEST(Toolchain, HelloWorld) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       puts("hello, world\n");
       return 0;
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "hello, world\n");
+  EXPECT_EQ(out->stdout_text, "hello, world\n");
 }
 
 TEST(Toolchain, Arithmetic) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       putint(2 + 3 * 4);        // 14
       puts(" ");
@@ -40,12 +40,12 @@ TEST(Toolchain, Arithmetic) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "14 20 14 2 -5 1024 -4\n");
+  EXPECT_EQ(out->stdout_text, "14 20 14 2 -5 1024 -4\n");
 }
 
 TEST(Toolchain, ControlFlow) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int fib(int n) {
       if (n < 2) { return n; }
       return fib(n - 1) + fib(n - 2);
@@ -61,12 +61,12 @@ TEST(Toolchain, ControlFlow) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "0 1 1 2 3 5 8 13 21 34 \n");
+  EXPECT_EQ(out->stdout_text, "0 1 1 2 3 5 8 13 21 34 \n");
 }
 
 TEST(Toolchain, GlobalsAndPointers) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int counter = 40;
     int values[5] = {10, 20, 30, 40, 50};
     int *p = &values[2];
@@ -89,12 +89,12 @@ TEST(Toolchain, GlobalsAndPointers) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "42 30 40 40\n");
+  EXPECT_EQ(out->stdout_text, "42 30 40 40\n");
 }
 
 TEST(Toolchain, StructsAndLists) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     struct node {
       int value;
       struct node *next;
@@ -118,12 +118,12 @@ TEST(Toolchain, StructsAndLists) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "6\n");
+  EXPECT_EQ(out->stdout_text, "6\n");
 }
 
 TEST(Toolchain, StringsAndPrelude) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     char greeting[32] = "hem";
     int main(void) {
       char buf[32];
@@ -139,12 +139,12 @@ TEST(Toolchain, StringsAndPrelude) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "hemlock\n0 7\n");
+  EXPECT_EQ(out->stdout_text, "hemlock\n0 7\n");
 }
 
 TEST(Toolchain, SbrkHeap) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int *arr;
       int i;
@@ -159,7 +159,7 @@ TEST(Toolchain, SbrkHeap) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "285\n");
+  EXPECT_EQ(out->stdout_text, "285\n");
 }
 
 TEST(Toolchain, ExitStatusPropagates) {
@@ -178,7 +178,7 @@ TEST(Toolchain, ExitStatusPropagates) {
 
 TEST(Toolchain, ForkAndWait) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int pid;
       int status;
@@ -195,7 +195,7 @@ TEST(Toolchain, ForkAndWait) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "parent saw 7\n");
+  EXPECT_EQ(out->stdout_text, "parent saw 7\n");
 }
 
 TEST(Toolchain, NullDerefKillsProcess) {

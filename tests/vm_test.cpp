@@ -248,7 +248,7 @@ TEST(CpuTest, ZeroRegisterIsImmutable) {
 
 TEST(MachineTest, FileSyscallsOnBothFileSystems) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int fd;
       char buf[32];
@@ -277,7 +277,7 @@ TEST(MachineTest, FileSyscallsOnBothFileSystems) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "hello shared\n");
+  EXPECT_EQ(out->stdout_text, "hello shared\n");
 }
 
 TEST(MachineTest, AddrToPathAndOpenByAddr) {
@@ -306,9 +306,9 @@ TEST(MachineTest, AddrToPathAndOpenByAddr) {
     }
   )",
                               addr, addr);
-  Result<std::string> out = world.RunProgram(src);
+  Result<RunOutcome> out = world.RunProgram(src);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "/shm/blob by-address\n");
+  EXPECT_EQ(out->stdout_text, "/shm/blob by-address\n");
 }
 
 TEST(MachineTest, StatReturnsInodeSizeAddr) {
@@ -329,14 +329,14 @@ TEST(MachineTest, StatReturnsInodeSizeAddr) {
     }
   )",
                               addr);
-  Result<std::string> out = world.RunProgram(src);
+  Result<RunOutcome> out = world.RunProgram(src);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, StrFormat("%u 10 1\n", ino));
+  EXPECT_EQ(out->stdout_text, StrFormat("%u 10 1\n", ino));
 }
 
 TEST(MachineTest, SyscallErrorsReportedInV1) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int fd;
       fd = sys_open("/no/such/file", 0);
@@ -346,14 +346,14 @@ TEST(MachineTest, SyscallErrorsReportedInV1) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "-1\n");
+  EXPECT_EQ(out->stdout_text, "-1\n");
 }
 
 TEST(MachineTest, TicksAdvanceAndChargeSyscalls) {
   HemlockWorld world;
   world.machine().set_syscall_cost(1000);
   uint64_t before = world.machine().ticks();
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       sys_yield();
       sys_yield();
@@ -370,7 +370,7 @@ TEST(MachineTest, FileLockSyscallFromPrograms) {
   // process's lock attempt fails while the first holds it.
   HemlockWorld world;
   ASSERT_TRUE(world.sfs().Create("/lockme").ok());
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int fd;
       int pid;
@@ -392,13 +392,13 @@ TEST(MachineTest, FileLockSyscallFromPrograms) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "1\n");
+  EXPECT_EQ(out->stdout_text, "1\n");
 }
 
 TEST(MachineTest, ExitReleasesLocks) {
   HemlockWorld world;
   uint32_t ino = *world.sfs().Create("/lockme");
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int fd;
       fd = sys_open("/shm/lockme", 0);
@@ -414,7 +414,7 @@ TEST(MachineTest, ExitReleasesLocks) {
 TEST(MachineTest, UnlinkFromProgram) {
   HemlockWorld world;
   ASSERT_TRUE(world.vfs().WriteFile("/shm/doomed", std::string("x")).ok());
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       return sys_unlink("/shm/doomed");
     }
@@ -456,7 +456,7 @@ TEST(MachineTest, RunAllDetectsDeadlock) {
 
 TEST(MachineTest, SbrkShrinkAndBounds) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int *base;
       int *old;
@@ -470,12 +470,12 @@ TEST(MachineTest, SbrkShrinkAndBounds) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "1 -1\n");
+  EXPECT_EQ(out->stdout_text, "1 -1\n");
 }
 
 TEST(MachineTest, MultiLevelForkTree) {
   HemlockWorld world;
-  Result<std::string> out = world.RunProgram(R"(
+  Result<RunOutcome> out = world.RunProgram(R"(
     int main(void) {
       int a;
       int b;
@@ -491,7 +491,7 @@ TEST(MachineTest, MultiLevelForkTree) {
     }
   )");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(*out, "13\n");
+  EXPECT_EQ(out->stdout_text, "13\n");
 }
 
 }  // namespace

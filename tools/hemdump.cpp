@@ -8,7 +8,13 @@
 //   HML  linked (public) module file: layout, exports, still-pending references,
 //        scoped-linking metadata, disassembly at the module's base address.
 //
+// The `state` subcommand dumps a saved shared partition (a hemrun --state file):
+// the inode table with each file's fixed virtual address, plus the kernel's
+// address -> file lookup table — the paper's "ability to peruse all of the segments
+// in existence", from the shell.
+//
 // Usage: hemdump [--no-disasm] <file> [<file> ...]
+//        hemdump state <state-file>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +25,7 @@
 #include "src/isa/isa.h"
 #include "src/link/image.h"
 #include "src/obj/object_file.h"
+#include "src/sfs/shared_fs.h"
 
 using namespace hemlock;
 
@@ -151,6 +158,66 @@ void DumpHml(const LinkedModule& mod) {
   }
 }
 
+const char* NodeTypeName(SfsNodeType type) {
+  switch (type) {
+    case SfsNodeType::kFree: return "free";
+    case SfsNodeType::kRegular: return "file";
+    case SfsNodeType::kDirectory: return "dir";
+    case SfsNodeType::kSymlink: return "symlink";
+  }
+  return "?";
+}
+
+int DumpState(const std::string& path) {
+  std::vector<uint8_t> bytes = ReadHostFile(path);
+  if (bytes.empty()) {
+    std::fprintf(stderr, "hemdump: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  ByteReader r(bytes);
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "hemdump: %s is not a shared-partition state file: %s\n", path.c_str(),
+                 fs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("==== %s: shared partition, %u/%u inodes in use ====\n", path.c_str(),
+              (*fs)->InodesInUse(), kSfsMaxInodes);
+  std::printf("%-5s %-8s %-10s %-8s %s\n", "ino", "type", "addr", "size", "path");
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    Result<SfsStat> st = (*fs)->StatInode(ino);
+    if (!st.ok()) {
+      continue;
+    }
+    Result<std::string> rel = (*fs)->InodeToPath(ino);
+    std::string name = rel.ok() ? *rel : "?";
+    if (st->type == SfsNodeType::kSymlink) {
+      Result<std::string> target = (*fs)->ReadLink(name);
+      if (target.ok()) {
+        name += " -> " + *target;
+      }
+    }
+    if (st->type == SfsNodeType::kRegular) {
+      std::printf("%-5u %-8s 0x%08x %-8u %s\n", ino, NodeTypeName(st->type), st->addr, st->size,
+                  name.c_str());
+    } else {
+      std::printf("%-5u %-8s %-10s %-8u %s\n", ino, NodeTypeName(st->type), "-", st->size,
+                  name.c_str());
+    }
+  }
+  // The kernel's address table, as the fault handler probes it.
+  std::printf("address -> file lookup table:\n");
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    Result<SfsStat> st = (*fs)->StatInode(ino);
+    if (!st.ok() || st->type != SfsNodeType::kRegular) {
+      continue;
+    }
+    std::printf("  [0x%08x, 0x%08x)  ino %-5u %s\n", st->addr, st->addr + kSfsMaxFileBytes, ino,
+                (*fs)->InodeToPath(ino).ok() ? (*fs)->InodeToPath(ino)->c_str() : "?");
+  }
+  return 0;
+}
+
 int DumpOne(const std::string& path) {
   std::vector<uint8_t> bytes = ReadHostFile(path);
   if (bytes.empty()) {
@@ -184,20 +251,27 @@ int DumpOne(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "state") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: hemdump state <state-file>\n");
+      return 2;
+    }
+    return DumpState(argv[2]);
+  }
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--no-disasm") {
       g_disasm = false;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: hemdump [--no-disasm] <file> ...\n");
+      std::printf("usage: hemdump [--no-disasm] <file> ... | hemdump state <state-file>\n");
       return 0;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: hemdump [--no-disasm] <file> ...\n");
+    std::fprintf(stderr, "usage: hemdump [--no-disasm] <file> ... | hemdump state <state-file>\n");
     return 2;
   }
   int rc = 0;

@@ -18,6 +18,8 @@
 //   --eager                    eager ldl ablation (resolve everything at startup)
 //   --emit <dir>               also write template .o files and a.out to <dir> (host)
 //   --stats                    print ldl statistics after the run
+//   --metrics                  print every counter (vm.*, sfs.*, ldl.*) after the run
+//   --trace                    record and print the structured resolution trace
 //
 // Example (two shells sharing a counter):
 //   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 1
@@ -64,7 +66,8 @@ std::string BaseNoExt(const std::string& host_path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--emit dir]\n"
+               "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--metrics]\n"
+               "              [--trace] [--emit dir]\n"
                "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
                "               --dynamic-private f.hc]... <main.hc>\n");
   return 2;
@@ -80,6 +83,8 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> env;
   bool eager = false;
   bool stats = false;
+  bool metrics = false;
+  bool trace = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -122,6 +127,10 @@ int main(int argc, char** argv) {
       eager = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -151,7 +160,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "hemrun: bad state file: %s\n", fs.status().ToString().c_str());
         return 1;
       }
-      world.vfs().ReplaceSfs(std::move(*fs));
+      world.machine().ReplaceSfs(std::move(*fs));
     }
   }
   if (!world.vfs().Exists("/shm/lib")) {
@@ -213,6 +222,9 @@ int main(int argc, char** argv) {
   ExecOptions exec;
   exec.env = env;
   exec.ldl.lazy = !eager;
+  if (trace) {
+    world.machine().trace().set_enabled(true);
+  }
   Result<ExecResult> run = world.Exec(*image, exec);
   if (!run.ok()) {
     std::fprintf(stderr, "hemrun: exec failed: %s\n", run.status().ToString().c_str());
@@ -226,7 +238,7 @@ int main(int argc, char** argv) {
   std::fputs(world.machine().FindProcess(run->pid)->stdout_text().c_str(), stdout);
 
   if (stats) {
-    const LdlStats& s = run->ldl->stats();
+    LdlStats s = run->ldl->stats();
     std::fprintf(stderr,
                  "[hemrun] lds: %u modules, %u trampolines, %u pending; "
                  "ldl: %u located, %u created, %u attached, %u link faults, "
@@ -234,6 +246,24 @@ int main(int argc, char** argv) {
                  report.modules_linked, report.trampolines, report.pending_relocs,
                  s.modules_located, s.publics_created, s.publics_attached, s.link_faults,
                  s.map_faults, s.relocs_applied);
+  }
+  if (metrics) {
+    MetricsSnapshot merged = world.machine().metrics().Snapshot();
+    MetricsRegistry::Merge(&merged, run->ldl->metrics().Snapshot());
+    for (const auto& [name, value] : merged) {
+      std::fprintf(stderr, "[hemrun] %-28s %llu\n", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
+  }
+  if (trace) {
+    const TraceBuffer& ring = world.machine().trace();
+    for (const TraceEvent& ev : ring.Snapshot()) {
+      std::fprintf(stderr, "[trace] %s\n", ev.ToString().c_str());
+    }
+    if (ring.dropped() > 0) {
+      std::fprintf(stderr, "[trace] (%llu earlier events dropped; ring capacity %zu)\n",
+                   static_cast<unsigned long long>(ring.dropped()), ring.capacity());
+    }
   }
 
   // Persist the shared partition for the next invocation.
