@@ -1,0 +1,169 @@
+#include "src/base/faults.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+
+// FNV-1a, the same ordinal for (seed, point) on every platform — keeps `@rN`
+// specs reproducible across runs and machines.
+uint64_t Fnv1a(const std::string& s, uint64_t seed) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kError:
+      return "error";
+    case FaultMode::kCrash:
+      return "crash";
+    case FaultMode::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+Status FaultRegistry::Check(const std::string& point) {
+  PointState& st = points_[point];
+  ++st.hits;
+  if (c_checks_ != nullptr) {
+    ++*c_checks_;
+  }
+  if (!st.armed || st.hits != st.fire_at) {
+    return OkStatus();
+  }
+  st.armed = false;  // one-shot: a fault fires once, then the point goes quiet
+  ++st.triggers;
+  ++total_triggered_;
+  if (c_injected_ != nullptr) {
+    ++*c_injected_;
+  }
+  switch (st.mode) {
+    case FaultMode::kError:
+      return Internal(StrFormat("fault '%s' injected error", point.c_str()));
+    case FaultMode::kCrash:
+      return Crashed(StrFormat("fault '%s' injected crash", point.c_str()));
+    case FaultMode::kDelay:
+      if (delay_hook_) {
+        delay_hook_(kDelayTicks);
+      }
+      return OkStatus();
+  }
+  return OkStatus();
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultMode mode, uint64_t nth) {
+  PointState& st = points_[point];
+  st.armed = true;
+  st.mode = mode;
+  st.fire_at = st.hits + std::max<uint64_t>(nth, 1);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  auto it = points_.find(point);
+  if (it != points_.end()) {
+    it->second.armed = false;
+  }
+}
+
+void FaultRegistry::Reset() {
+  for (auto& [name, st] : points_) {
+    st = PointState{};
+  }
+  total_triggered_ = 0;
+}
+
+Status FaultRegistry::ArmFromSpec(const std::string& spec, uint64_t seed) {
+  for (const std::string& clause : SplitString(spec, ';')) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return InvalidArgument(
+          StrFormat("fault spec clause '%s' is not point=mode[@N]", clause.c_str()));
+    }
+    std::string point = clause.substr(0, eq);
+    std::string mode_str = clause.substr(eq + 1);
+    uint64_t nth = 1;
+    size_t at = mode_str.find('@');
+    if (at != std::string::npos) {
+      std::string ordinal = mode_str.substr(at + 1);
+      mode_str = mode_str.substr(0, at);
+      bool randomized = !ordinal.empty() && ordinal[0] == 'r';
+      if (randomized) {
+        ordinal = ordinal.substr(1);
+      }
+      if (ordinal.empty() ||
+          ordinal.find_first_not_of("0123456789") != std::string::npos) {
+        return InvalidArgument(
+            StrFormat("fault spec clause '%s' has a bad @ ordinal", clause.c_str()));
+      }
+      uint64_t n = std::stoull(ordinal);
+      if (n == 0) {
+        return InvalidArgument(
+            StrFormat("fault spec clause '%s': ordinal must be >= 1", clause.c_str()));
+      }
+      nth = randomized ? 1 + Fnv1a(point, seed) % n : n;
+    }
+    FaultMode mode;
+    if (mode_str == "error") {
+      mode = FaultMode::kError;
+    } else if (mode_str == "crash") {
+      mode = FaultMode::kCrash;
+    } else if (mode_str == "delay") {
+      mode = FaultMode::kDelay;
+    } else {
+      return InvalidArgument(StrFormat("fault spec clause '%s': unknown mode '%s'",
+                                       clause.c_str(), mode_str.c_str()));
+    }
+    Arm(point, mode, nth);
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> FaultRegistry::KnownPoints() const {
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, st] : points_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t FaultRegistry::HitCount(const std::string& point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::TriggerCount(const std::string& point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+void FaultRegistry::SetMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  c_checks_ = metrics != nullptr ? metrics->Counter("faults.checks") : nullptr;
+  c_injected_ = metrics != nullptr ? metrics->Counter("faults.injected") : nullptr;
+}
+
+void FaultRegistry::DetachMetrics(MetricsRegistry* metrics) {
+  if (metrics_ == metrics) {
+    SetMetrics(nullptr);
+    delay_hook_ = nullptr;  // installed by the same owner; must not outlive it
+  }
+}
+
+}  // namespace hemlock

@@ -1,0 +1,110 @@
+// FaultRegistry — deterministic, seeded fault injection for crash-recovery testing.
+//
+// Code under test plants named fault points (`FaultRegistry::Global().Check("sfs.write")`)
+// on the paths whose failure modes matter: segment creation, torn writes, index
+// updates, serialization. A check is a no-op (one map lookup + counter bump) unless
+// the point has been armed, so the points can stay in production code.
+//
+// Three modes:
+//   * kError — the operation fails cleanly (returns kInternal), state intact;
+//   * kCrash — the operation "dies" mid-way (returns kCrashed); callers are expected
+//     to leave their partial mutations in place, simulating a process/machine death
+//     whose torn state the recovery layer (SfsCheck, lock leases, creation markers)
+//     must clean up;
+//   * kDelay — the operation proceeds, but simulated time advances first (drives
+//     lock-lease expiry paths without a second process).
+//
+// Arming is explicit (`Arm`) or spec-driven (`ArmFromSpec("sfs.write=crash@2;...", seed)`,
+// the engine behind `hemrun --faults`). `@N` fires on the Nth check; `@rN` derives the
+// ordinal deterministically from (seed, point name), so a seeded run is reproducible
+// bit for bit. Points self-register on first Check, so a dry run of a scenario
+// enumerates every fault point that scenario can hit (KnownPoints) — the
+// crash-at-every-point recovery test iterates exactly that list.
+//
+// The registry is process-global (fault points live in leaf code with no Machine
+// handle) and single-threaded like the rest of the simulator.
+#ifndef SRC_BASE_FAULTS_H_
+#define SRC_BASE_FAULTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/status.h"
+
+namespace hemlock {
+
+enum class FaultMode : uint8_t { kError, kCrash, kDelay };
+
+const char* FaultModeName(FaultMode mode);
+
+class FaultRegistry {
+ public:
+  // Simulated ticks a kDelay trigger advances (via the delay hook, when set).
+  static constexpr uint64_t kDelayTicks = 64;
+
+  static FaultRegistry& Global();
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  // The probe, called from fault points. Registers |point| on first use. Returns
+  // non-OK exactly when the point is armed and this check is its firing ordinal:
+  // kError -> kInternal, kCrash -> kCrashed (kDelay fires the delay hook and
+  // returns OK).
+  Status Check(const std::string& point);
+
+  // Arms |point| to fire in |mode| on its |nth| next check (1 = the very next).
+  void Arm(const std::string& point, FaultMode mode, uint64_t nth = 1);
+  void Disarm(const std::string& point);
+
+  // Disarms everything and zeroes hit/trigger counts. The point catalogue survives,
+  // so KnownPoints() keeps enumerating what a previous run discovered.
+  void Reset();
+
+  // Arms from a spec string: `point=mode[;point=mode...]` where mode is
+  // `error|crash|delay`, optionally suffixed `@N` (fire on the Nth check) or `@rN`
+  // (ordinal in [1,N] derived deterministically from |seed| and the point name).
+  Status ArmFromSpec(const std::string& spec, uint64_t seed);
+
+  // Every point ever checked or armed, sorted.
+  std::vector<std::string> KnownPoints() const;
+  uint64_t HitCount(const std::string& point) const;
+  uint64_t TriggerCount(const std::string& point) const;
+  // Total injections since the last Reset.
+  uint64_t TotalTriggered() const { return total_triggered_; }
+
+  // Wires `faults.checks` / `faults.injected` counters into |metrics| (may be null
+  // to detach). DetachMetrics detaches — and drops the delay hook, which the same
+  // owner installed — only when the registry still points at |metrics|; owners with
+  // shorter-lived registries call it from their destructor.
+  void SetMetrics(MetricsRegistry* metrics);
+  void DetachMetrics(MetricsRegistry* metrics);
+
+  // Called when a kDelay point fires (e.g. advance the SFS op clock).
+  void SetDelayHook(std::function<void(uint64_t)> hook) { delay_hook_ = std::move(hook); }
+
+ private:
+  struct PointState {
+    uint64_t hits = 0;      // checks since the last Reset
+    uint64_t triggers = 0;  // injections since the last Reset
+    bool armed = false;
+    FaultMode mode = FaultMode::kError;
+    uint64_t fire_at = 1;   // hit ordinal that fires
+  };
+
+  std::map<std::string, PointState> points_;
+  uint64_t total_triggered_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  uint64_t* c_checks_ = nullptr;
+  uint64_t* c_injected_ = nullptr;
+  std::function<void(uint64_t)> delay_hook_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_BASE_FAULTS_H_

@@ -28,6 +28,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "WOULD_BLOCK";
     case ErrorCode::kFault:
       return "FAULT";
+    case ErrorCode::kCrashed:
+      return "CRASHED";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kCorruptData,       // malformed object file / load image
   kWouldBlock,        // EWOULDBLOCK: lock contention
   kFault,             // unresolved segmentation fault
+  kCrashed,           // injected crash (fault registry): the operation died mid-way
   kInternal,
 };
 
@@ -80,6 +81,10 @@ inline Status Unimplemented(std::string msg) {
 inline Status CorruptData(std::string msg) { return Status(ErrorCode::kCorruptData, std::move(msg)); }
 inline Status WouldBlock(std::string msg) { return Status(ErrorCode::kWouldBlock, std::move(msg)); }
 inline Status FaultError(std::string msg) { return Status(ErrorCode::kFault, std::move(msg)); }
+inline Status Crashed(std::string msg) { return Status(ErrorCode::kCrashed, std::move(msg)); }
+// True when |st| is a simulated crash from the fault registry. Such an operation left
+// deliberately torn state behind; recovery is SfsCheck's job, not the caller's.
+inline bool IsCrash(const Status& st) { return st.code() == ErrorCode::kCrashed; }
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
 
 // A value-or-error. Access to value() asserts success; callers check ok() first

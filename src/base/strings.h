@@ -41,6 +41,9 @@ bool IsAbsolutePath(std::string_view path);
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// CRC-32 (IEEE, reflected) over |n| bytes — used to detect torn index/state writes.
+uint32_t Crc32(const void* data, size_t n);
+
 }  // namespace hemlock
 
 #endif  // SRC_BASE_STRINGS_H_

@@ -26,6 +26,10 @@ const char* TraceKindName(TraceKind kind) {
       return "unresolved";
     case TraceKind::kAddrLookup:
       return "addr_lookup";
+    case TraceKind::kLockBroken:
+      return "lock_broken";
+    case TraceKind::kFsckRepair:
+      return "fsck_repair";
   }
   return "unknown";
 }

@@ -26,6 +26,8 @@ enum class TraceKind : uint8_t {
   kDepMissing,     // what: dependency name; detail: requesting module
   kUnresolved,     // what: symbol; detail: requesting module
   kAddrLookup,     // what: resolved path (empty = miss); addr: queried address
+  kLockBroken,     // what: path; detail: why ("dead holder"/"lease expired"); value: old owner pid
+  kFsckRepair,     // what: issue kind; detail: affected path; value: inode
 };
 
 const char* TraceKindName(TraceKind kind);

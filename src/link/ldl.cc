@@ -1,11 +1,13 @@
 #include "src/link/ldl.h"
 
+#include "src/base/faults.h"
 #include "src/base/layout.h"
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/link/lds.h"
 #include "src/link/search.h"
 
+#include <algorithm>
 #include <cstring>
 #include <set>
 
@@ -29,6 +31,7 @@ Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
     : machine_(machine), image_(std::move(image)), options_(options), trace_(&machine->trace()) {
   c_modules_located_ = metrics_.Counter("ldl.modules_located");
   c_publics_created_ = metrics_.Counter("ldl.publics_created");
+  c_publics_rebuilt_ = metrics_.Counter("ldl.publics_rebuilt");
   c_publics_attached_ = metrics_.Counter("ldl.publics_attached");
   c_privates_instantiated_ = metrics_.Counter("ldl.privates_instantiated");
   c_link_faults_ = metrics_.Counter("ldl.link_faults");
@@ -36,6 +39,7 @@ Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
   c_plt_faults_ = metrics_.Counter("ldl.plt_faults");
   c_relocs_applied_ = metrics_.Counter("ldl.relocs_applied");
   c_lock_acquisitions_ = metrics_.Counter("ldl.lock_acquisitions");
+  c_lock_retries_ = metrics_.Counter("ldl.lock_retries");
   c_unresolved_refs_ = metrics_.Counter("ldl.unresolved_refs");
   c_deps_missing_ = metrics_.Counter("ldl.deps_missing");
   c_lookups_ = metrics_.Counter("ldl.lookups");
@@ -53,6 +57,7 @@ LdlStats Ldl::stats() const {
   LdlStats s;
   s.modules_located = static_cast<uint32_t>(*c_modules_located_);
   s.publics_created = static_cast<uint32_t>(*c_publics_created_);
+  s.publics_rebuilt = static_cast<uint32_t>(*c_publics_rebuilt_);
   s.publics_attached = static_cast<uint32_t>(*c_publics_attached_);
   s.privates_instantiated = static_cast<uint32_t>(*c_privates_instantiated_);
   s.link_faults = static_cast<uint32_t>(*c_link_faults_);
@@ -60,6 +65,7 @@ LdlStats Ldl::stats() const {
   s.plt_faults = static_cast<uint32_t>(*c_plt_faults_);
   s.relocs_applied = static_cast<uint32_t>(*c_relocs_applied_);
   s.lock_acquisitions = static_cast<uint32_t>(*c_lock_acquisitions_);
+  s.lock_retries = static_cast<uint32_t>(*c_lock_retries_);
   s.unresolved_refs = static_cast<uint32_t>(*c_unresolved_refs_);
   s.deps_missing = static_cast<uint32_t>(*c_deps_missing_);
   s.lookups = static_cast<uint32_t>(*c_lookups_);
@@ -139,6 +145,9 @@ Status Ldl::Startup(Process& proc) {
   for (const DynModuleRecord& rec : image_.dynamic_modules) {
     Result<int> idx = AcquireModule(proc, rec.name, rec.cls, /*parent=*/-1, dirs);
     if (!idx.ok()) {
+      if (IsCrash(idx.status())) {
+        return idx.status();  // an injected crash kills the machine, not just this module
+      }
       // Still missing at run time: leave its symbols unresolved (faults at use are
       // the application's recovery hook).
       HLOG(Warning) << "ldl: dynamic module '" << rec.name
@@ -193,33 +202,31 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
       return it->second;
     }
     if (vfs.Exists(module_path)) {
-      ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, vfs.ReadFile(module_path));
-      ASSIGN_OR_RETURN(LinkedModule mod, LinkedModule::DeserializeFile(bytes));
       ASSIGN_OR_RETURN(SfsStat st, machine_->sfs().Stat(Vfs::SfsRelative(module_path)));
-      ++*c_publics_attached_;
-      return RegisterLinked(proc, std::move(mod), cls, module_path, st.ino, parent);
+      // Attach only a segment whose creation provably completed: the pending marker
+      // must be clear and the contents must parse. Anything else is a creator's
+      // corpse (crash between Create and the final write) — rebuild from template.
+      bool trustworthy = !machine_->sfs().CreationPending(st.ino);
+      if (trustworthy) {
+        ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, vfs.ReadFile(module_path));
+        Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
+        if (mod.ok()) {
+          ++*c_publics_attached_;
+          return RegisterLinked(proc, std::move(*mod), cls, module_path, st.ino, parent);
+        }
+        trustworthy = false;
+      }
+      if (!trustworthy) {
+        ASSIGN_OR_RETURN(std::vector<uint8_t> tpl_bytes, vfs.ReadFile(found));
+        ASSIGN_OR_RETURN(ObjectFile tpl, ObjectFile::Deserialize(tpl_bytes));
+        return CreatePublicModule(proc, tpl, module_path, st.ino, /*rebuild=*/true, cls, parent);
+      }
     }
     // Create the public module from its template, under the creation lock (fn. 3).
     ASSIGN_OR_RETURN(std::vector<uint8_t> tpl_bytes, vfs.ReadFile(found));
     ASSIGN_OR_RETURN(ObjectFile tpl, ObjectFile::Deserialize(tpl_bytes));
-    std::string rel_path = Vfs::SfsRelative(module_path);
-    ASSIGN_OR_RETURN(uint32_t ino, machine_->sfs().Create(rel_path));
-    RETURN_IF_ERROR(machine_->sfs().LockInode(ino, proc.pid()));
-    ++*c_lock_acquisitions_;
-    uint32_t base = SfsAddressForInode(ino);
-    uint32_t trampolines = 0;
-    Result<LinkedModule> mod = LinkModuleAtBase(tpl, base, PathBasename(module_path), &trampolines);
-    if (!mod.ok()) {
-      (void)machine_->sfs().UnlockInode(ino, proc.pid());
-      (void)machine_->sfs().Unlink(rel_path);
-      return mod.status();
-    }
-    std::vector<uint8_t> file = mod->SerializeFile();
-    RETURN_IF_ERROR(
-        machine_->sfs().WriteAt(ino, 0, file.data(), static_cast<uint32_t>(file.size())));
-    RETURN_IF_ERROR(machine_->sfs().UnlockInode(ino, proc.pid()));
-    ++*c_publics_created_;
-    return RegisterLinked(proc, std::move(*mod), cls, module_path, ino, parent);
+    return CreatePublicModule(proc, tpl, module_path, /*existing_ino=*/0, /*rebuild=*/false, cls,
+                              parent);
   }
 
   // Dynamic private: a fresh instance per process tree, in private memory.
@@ -237,6 +244,70 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
   ++*c_privates_instantiated_;
   return RegisterLinked(proc, std::move(mod), ShareClass::kDynamicPrivate, found, /*ino=*/0,
                         parent);
+}
+
+Status Ldl::LockInodeWithRetry(uint32_t ino, int pid) {
+  SharedFs& sfs = machine_->sfs();
+  // Backoff in simulated partition ops: eight doublings from lease/8 add up to ~32
+  // leases, so a holder that died without unlocking is guaranteed to expire.
+  uint64_t backoff = std::max<uint64_t>(1, sfs.lock_lease_ops() / 8);
+  Status st = OkStatus();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    st = sfs.LockInode(ino, pid);
+    if (st.ok() || st.code() != ErrorCode::kWouldBlock) {
+      return st;
+    }
+    ++*c_lock_retries_;
+    sfs.AdvanceClock(backoff);
+    backoff *= 2;
+  }
+  return st;
+}
+
+Result<int> Ldl::CreatePublicModule(Process& proc, const ObjectFile& tpl,
+                                    const std::string& module_path, uint32_t existing_ino,
+                                    bool rebuild, ShareClass cls, int parent) {
+  SharedFs& sfs = machine_->sfs();
+  FaultRegistry& faults = FaultRegistry::Global();
+  std::string rel_path = Vfs::SfsRelative(module_path);
+  uint32_t ino = existing_ino;
+  if (!rebuild) {
+    ASSIGN_OR_RETURN(ino, sfs.Create(rel_path));
+  }
+  // Crash-safe creation protocol: the pending marker goes up first, so every crash
+  // window from here to the final write leaves a segment attachers will rebuild
+  // instead of trusting.
+  RETURN_IF_ERROR(sfs.SetCreationPending(ino, true));
+  RETURN_IF_ERROR(faults.Check("ldl.create.pending"));
+  RETURN_IF_ERROR(LockInodeWithRetry(ino, proc.pid()));
+  ++*c_lock_acquisitions_;
+  Status fault = faults.Check("ldl.create.locked");
+  if (!fault.ok()) {
+    if (!IsCrash(fault)) {
+      (void)sfs.UnlockInode(ino, proc.pid());
+    }
+    return fault;  // a crash dies holding the lock — lease/boot cleanup's problem
+  }
+  uint32_t base = SfsAddressForInode(ino);
+  uint32_t trampolines = 0;
+  Result<LinkedModule> mod = LinkModuleAtBase(tpl, base, PathBasename(module_path), &trampolines);
+  if (!mod.ok()) {
+    (void)sfs.UnlockInode(ino, proc.pid());
+    if (!rebuild) {
+      (void)sfs.Unlink(rel_path);  // fresh create: leave no half-made file behind
+    }
+    return mod.status();
+  }
+  std::vector<uint8_t> file = mod->SerializeFile();
+  // Drop any stale occupant bytes before the write: a rebuild over a torn segment
+  // must not leave a previous creator's tail past the new module's end.
+  RETURN_IF_ERROR(sfs.Truncate(ino, 0));
+  RETURN_IF_ERROR(sfs.WriteAt(ino, 0, file.data(), static_cast<uint32_t>(file.size())));
+  RETURN_IF_ERROR(faults.Check("ldl.create.written"));
+  RETURN_IF_ERROR(sfs.SetCreationPending(ino, false));
+  RETURN_IF_ERROR(sfs.UnlockInode(ino, proc.pid()));
+  ++*(rebuild ? c_publics_rebuilt_ : c_publics_created_);
+  return RegisterLinked(proc, std::move(*mod), cls, module_path, ino, parent);
 }
 
 Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,

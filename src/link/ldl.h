@@ -74,6 +74,7 @@ struct LdlOptions {
 struct LdlStats {
   uint32_t modules_located = 0;
   uint32_t publics_created = 0;   // dynamic public modules created from templates
+  uint32_t publics_rebuilt = 0;   // half-created/corrupt public modules recreated
   uint32_t publics_attached = 0;  // existing public modules mapped
   uint32_t privates_instantiated = 0;
   uint32_t link_faults = 0;       // faults that triggered lazy resolution
@@ -81,6 +82,7 @@ struct LdlStats {
   uint32_t plt_faults = 0;        // function-lazy: first-call bindings through sentinels
   uint32_t relocs_applied = 0;
   uint32_t lock_acquisitions = 0;
+  uint32_t lock_retries = 0;      // creation-lock attempts that found it held
   uint32_t unresolved_refs = 0;   // lookups that failed (left for fault-time recovery)
   uint32_t deps_missing = 0;      // distinct module-list entries that could not be located
   uint32_t lookups = 0;           // scoped symbol lookups requested
@@ -169,6 +171,18 @@ class Ldl {
                              const std::string& key, uint32_t ino, int parent);
   Status MapModule(Process& proc, RtModule& m, bool accessible);
 
+  // Builds (or rebuilds) a public module's segment from its template object, under
+  // the creation protocol: creation_pending marker -> lock -> link -> truncate ->
+  // write -> clear marker -> unlock. |rebuild| means the file existed but its
+  // contents cannot be trusted (pending marker set, or unparseable).
+  Result<int> CreatePublicModule(Process& proc, const ObjectFile& tpl,
+                                 const std::string& module_path, uint32_t existing_ino,
+                                 bool rebuild, ShareClass cls, int parent);
+  // LockInode with bounded retry: each contended attempt burns simulated partition
+  // ops (exponential backoff on the op clock), so a dead holder's lease expires and
+  // the lock is broken rather than the attacher failing forever.
+  Status LockInodeWithRetry(uint32_t ino, int pid);
+
   // Resolves the module's references (whole module, or just the page containing
   // |fault_addr| in page-granular mode) and makes the pages accessible.
   Status ResolveModule(Process& proc, int index, uint32_t fault_addr);
@@ -213,6 +227,7 @@ class Ldl {
   TraceBuffer* trace_;
   uint64_t* c_modules_located_;
   uint64_t* c_publics_created_;
+  uint64_t* c_publics_rebuilt_;
   uint64_t* c_publics_attached_;
   uint64_t* c_privates_instantiated_;
   uint64_t* c_link_faults_;
@@ -220,6 +235,7 @@ class Ldl {
   uint64_t* c_plt_faults_;
   uint64_t* c_relocs_applied_;
   uint64_t* c_lock_acquisitions_;
+  uint64_t* c_lock_retries_;
   uint64_t* c_unresolved_refs_;
   uint64_t* c_deps_missing_;
   uint64_t* c_lookups_;

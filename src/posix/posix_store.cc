@@ -6,10 +6,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <filesystem>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
+#include "src/base/faults.h"
 #include "src/base/strings.h"
 
 namespace hemlock {
@@ -97,41 +100,112 @@ Result<std::vector<std::pair<std::string, int>>> PosixStore::ReadIndex(bool take
   while ((n = ::read(fd.get(), buf, sizeof(buf))) > 0) {
     content.append(buf, static_cast<size_t>(n));
   }
+  std::string body = content;
+  bool has_header = content.rfind("#hemidx ", 0) == 0;
+  size_t expected = 0;
+  if (has_header) {
+    size_t nl = content.find('\n');
+    if (nl == std::string::npos) {
+      return CorruptData("posix_store: index header line not terminated");
+    }
+    std::vector<std::string> parts = SplitString(content.substr(0, nl), ' ');
+    if (parts.size() != 3 ||
+        parts[1].find_first_not_of("0123456789abcdef") != std::string::npos ||
+        parts[2].find_first_not_of("0123456789") != std::string::npos) {
+      return CorruptData("posix_store: malformed index header");
+    }
+    body = content.substr(nl + 1);
+    uint32_t want = static_cast<uint32_t>(std::strtoul(parts[1].c_str(), nullptr, 16));
+    expected = static_cast<size_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
+    if (Crc32(body.data(), body.size()) != want) {
+      return CorruptData("posix_store: index checksum mismatch (torn or tampered write)");
+    }
+  }
   std::vector<std::pair<std::string, int>> entries;
-  for (const std::string& line : SplitString(content, '\n')) {
+  for (const std::string& line : SplitString(body, '\n')) {
     size_t space = line.find(' ');
     if (space == std::string::npos) {
       continue;
     }
     entries.emplace_back(line.substr(0, space), std::atoi(line.c_str() + space + 1));
   }
+  if (has_header && entries.size() != expected) {
+    return CorruptData(StrFormat("posix_store: index holds %zu entries, header promises %zu",
+                                 entries.size(), expected));
+  }
   return entries;
 }
 
 Status PosixStore::WriteIndex(const std::vector<std::pair<std::string, int>>& entries) {
+  std::string body;
+  for (const auto& [name, slot] : entries) {
+    body += name + " " + std::to_string(slot) + "\n";
+  }
+  std::string content =
+      StrFormat("#hemidx %08x %zu\n", Crc32(body.data(), body.size()), entries.size()) + body;
   std::string tmp = IndexPath() + ".tmp";
   Fd fd(::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0666));
   if (fd.get() < 0) {
     return ErrnoStatus("posix_store: write index");
   }
-  std::string content;
-  for (const auto& [name, slot] : entries) {
-    content += name + " " + std::to_string(slot) + "\n";
-  }
   if (::write(fd.get(), content.data(), content.size()) !=
       static_cast<ssize_t>(content.size())) {
     return ErrnoStatus("posix_store: write index");
   }
+  // The checksum protects against torn *content*; the fsync + rename ordering
+  // protects against torn *publication* — readers see the old index or the new one,
+  // never a half-written file at the final path.
+  if (::fsync(fd.get()) != 0) {
+    return ErrnoStatus("posix_store: fsync index");
+  }
+  RETURN_IF_ERROR(FaultRegistry::Global().Check("posix.index.write"));
   if (::rename(tmp.c_str(), IndexPath().c_str()) != 0) {
     return ErrnoStatus("posix_store: rename index");
   }
   return OkStatus();
 }
 
+Status PosixStore::RecoverIndex(bool take_lock) {
+  Fd lock(take_lock ? ::open(IndexPath().c_str(), O_CREAT | O_RDWR, 0666) : -1);
+  if (take_lock && (lock.get() < 0 || ::flock(lock.get(), LOCK_EX) != 0)) {
+    return ErrnoStatus("posix_store: lock index for recovery");
+  }
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_ + "/seg", ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    return Internal("posix_store: scan segment dir: " + ec.message());
+  }
+  // Sorted names -> slots 0..n-1: deterministic, so every process that recovers the
+  // same directory rebuilds the same name <-> address mapping.
+  std::sort(names.begin(), names.end());
+  std::vector<std::pair<std::string, int>> entries;
+  for (const std::string& name : names) {
+    if (entries.size() >= kPosixMaxSegments) {
+      break;
+    }
+    entries.emplace_back(name, static_cast<int>(entries.size()));
+  }
+  return WriteIndex(entries);
+}
+
 Status PosixStore::Refresh() {
-  ASSIGN_OR_RETURN(auto entries, ReadIndex(/*take_lock=*/true));
+  Result<std::vector<std::pair<std::string, int>>> read = ReadIndex(/*take_lock=*/true);
+  if (!read.ok()) {
+    if (read.status().code() != ErrorCode::kCorruptData) {
+      return read.status();
+    }
+    // A torn or tampered index is rebuilt from the segment files themselves.
+    RETURN_IF_ERROR(RecoverIndex(/*take_lock=*/true));
+    read = ReadIndex(/*take_lock=*/true);
+    RETURN_IF_ERROR(read.status());
+  }
   std::fill(slot_names_.begin(), slot_names_.end(), std::string());
-  for (const auto& [name, slot] : entries) {
+  for (const auto& [name, slot] : *read) {
     if (slot >= 0 && slot < static_cast<int>(kPosixMaxSegments)) {
       slot_names_[slot] = name;
     }
@@ -163,7 +237,14 @@ Result<PosixSegment> PosixStore::Create(const std::string& name, size_t size) {
   if (lock.get() < 0 || ::flock(lock.get(), LOCK_EX) != 0) {
     return ErrnoStatus("posix_store: lock index for create");
   }
-  ASSIGN_OR_RETURN(auto entries, ReadIndex(/*take_lock=*/false));
+  Result<std::vector<std::pair<std::string, int>>> read = ReadIndex(/*take_lock=*/false);
+  if (!read.ok() && read.status().code() == ErrorCode::kCorruptData) {
+    // We hold the exclusive lock already, so recover without re-locking.
+    RETURN_IF_ERROR(RecoverIndex(/*take_lock=*/false));
+    read = ReadIndex(/*take_lock=*/false);
+  }
+  RETURN_IF_ERROR(read.status());
+  std::vector<std::pair<std::string, int>> entries = std::move(*read);
   std::vector<bool> used(kPosixMaxSegments, false);
   for (const auto& [ename, slot] : entries) {
     if (ename == name) {
@@ -189,6 +270,13 @@ Result<PosixSegment> PosixStore::Create(const std::string& name, size_t size) {
   }
   if (::ftruncate(fd.get(), static_cast<off_t>(size)) != 0) {
     return ErrnoStatus("posix_store: size segment file");
+  }
+  Status fault = FaultRegistry::Global().Check("posix.create.seg");
+  if (!fault.ok()) {
+    if (!IsCrash(fault)) {
+      ::unlink(SegPath(name).c_str());  // fail cleanly; a crash leaves the orphan file
+    }
+    return fault;
   }
   entries.emplace_back(name, slot);
   RETURN_IF_ERROR(WriteIndex(entries));

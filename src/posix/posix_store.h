@@ -84,11 +84,20 @@ class PosixStore {
   std::string IndexPath() const { return dir_ + "/index"; }
   std::string SegPath(const std::string& name) const { return dir_ + "/seg/" + name; }
   Result<int> LookupSlot(const std::string& name);
-  // Reads the index; takes a shared flock unless the caller already holds the
-  // exclusive creation lock (flock is per open-file-description, so re-locking from
-  // a second fd in the same process would self-deadlock).
+  // Reads the index, verifying its "#hemidx <crc> <n>" header when present (indexes
+  // written before the header existed are accepted as-is). Returns kCorruptData on a
+  // checksum or entry-count mismatch. Takes a shared flock unless the caller already
+  // holds the exclusive creation lock (flock is per open-file-description, so
+  // re-locking from a second fd in the same process would self-deadlock).
   Result<std::vector<std::pair<std::string, int>>> ReadIndex(bool take_lock);
+  // Writes checksummed index content to <index>.tmp, fsyncs, then renames over the
+  // index, so a crash at any instant leaves either the old or the new index — never
+  // a torn one.
   Status WriteIndex(const std::vector<std::pair<std::string, int>>& entries);
+  // Rebuilds the index by scanning <dir>/seg/ (sorted names get slots 0..n-1) and
+  // rewriting it. The fallback when ReadIndex reports corruption — segment files are
+  // the ground truth, the index is a cache of them.
+  Status RecoverIndex(bool take_lock);
 
   std::string dir_;
   uint8_t* region_;

@@ -190,6 +190,19 @@ Status ShmHeap::Free(uint32_t addr) {
   if (cur == addr) {
     return FailedPrecondition(StrFormat("shm_heap: double free of 0x%08x", addr));
   }
+  // An exact match is not the only double free: a block freed earlier may have been
+  // coalesced into its neighbor, so its address is now *interior* to a free span.
+  if (prev != 0) {
+    ASSIGN_OR_RETURN(BlockHeader prev_blk, ReadBlock(prev));
+    if (addr - kBlockHeaderBytes < prev + prev_blk.size) {
+      return FailedPrecondition(StrFormat(
+          "shm_heap: double free of 0x%08x (inside the free block at 0x%08x)", addr, prev));
+    }
+  }
+  if (cur != 0 && addr + blk.size > cur - kBlockHeaderBytes) {
+    return FailedPrecondition(
+        StrFormat("shm_heap: free of 0x%08x overlaps the free block at 0x%08x", addr, cur));
+  }
   blk.next = cur;
   RETURN_IF_ERROR(WriteBlock(addr, blk));
   if (prev == 0) {

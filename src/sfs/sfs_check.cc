@@ -1,0 +1,414 @@
+#include "src/sfs/sfs_check.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+constexpr uint32_t kRootIno = 1;
+constexpr char kLostFoundName[] = "lost+found";
+}  // namespace
+
+const char* SfsIssueKindName(SfsIssueKind kind) {
+  switch (kind) {
+    case SfsIssueKind::kTruncatedImage:
+      return "truncated_image";
+    case SfsIssueKind::kDuplicateInode:
+      return "duplicate_inode";
+    case SfsIssueKind::kBadRoot:
+      return "bad_root";
+    case SfsIssueKind::kBadExtent:
+      return "bad_extent";
+    case SfsIssueKind::kStaleLock:
+      return "stale_lock";
+    case SfsIssueKind::kIncompleteCreation:
+      return "incomplete_creation";
+    case SfsIssueKind::kDanglingChild:
+      return "dangling_child";
+    case SfsIssueKind::kBadParent:
+      return "bad_parent";
+    case SfsIssueKind::kOrphan:
+      return "orphan";
+    case SfsIssueKind::kDirCycle:
+      return "dir_cycle";
+    case SfsIssueKind::kBadPath:
+      return "bad_path";
+    case SfsIssueKind::kDuplicatePath:
+      return "duplicate_path";
+    case SfsIssueKind::kSymlinkCycle:
+      return "symlink_cycle";
+    case SfsIssueKind::kAddrTableBad:
+      return "addr_table_bad";
+  }
+  return "unknown";
+}
+
+std::string SfsCheckIssue::ToString() const {
+  std::string out = SfsIssueKindName(kind);
+  if (!repaired) {
+    out += " (unrepaired)";
+  }
+  if (ino != 0) {
+    out += StrFormat(" ino %u", ino);
+  }
+  if (!detail.empty()) {
+    out += ": " + detail;
+  }
+  return out;
+}
+
+bool SfsCheckReport::structurally_clean() const {
+  for (const SfsCheckIssue& issue : issues) {
+    if (issue.kind != SfsIssueKind::kStaleLock &&
+        issue.kind != SfsIssueKind::kIncompleteCreation) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t SfsCheckReport::CountOf(SfsIssueKind kind) const {
+  size_t n = 0;
+  for (const SfsCheckIssue& issue : issues) {
+    if (issue.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void SfsCheckReport::Add(SfsIssueKind kind, uint32_t ino, std::string detail, bool repaired) {
+  SfsCheckIssue issue;
+  issue.kind = kind;
+  issue.ino = ino;
+  issue.detail = std::move(detail);
+  issue.repaired = repaired;
+  issues.push_back(std::move(issue));
+}
+
+std::string SfsCheckReport::ToString() const {
+  if (issues.empty()) {
+    return "clean";
+  }
+  std::string out = StrFormat("%zu issue(s)", issues.size());
+  for (const SfsCheckIssue& issue : issues) {
+    out += "\n  " + issue.ToString();
+  }
+  return out;
+}
+
+void SfsCheck::Note(SfsCheckReport* report, SfsIssueKind kind, uint32_t ino, std::string detail,
+                    bool repaired) {
+  if (fs_->metrics_ != nullptr) {
+    fs_->metrics_->Add("sfs.fsck_issues");
+  }
+  if (fs_->trace_ != nullptr && fs_->trace_->enabled()) {
+    fs_->trace_->Emit(TraceKind::kFsckRepair, SfsIssueKindName(kind), detail, 0, ino);
+  }
+  report->Add(kind, ino, std::move(detail), repaired);
+}
+
+void SfsCheck::Run(bool at_boot, SfsCheckReport* report) {
+  lost_found_ino_ = 0;
+  CheckRoot(report);
+  CheckScalars(at_boot, report);
+  CheckEdges(report);
+  QuarantineUnreachable(report);
+  CanonicalizePaths(report);
+  CheckSymlinks(report);
+  CheckAddrTable(report);
+  if (fs_->metrics_ != nullptr) {
+    fs_->metrics_->Add("sfs.fsck_runs");
+  }
+}
+
+void SfsCheck::CheckRoot(SfsCheckReport* report) {
+  SharedFs::Inode& root = fs_->inodes_[kRootIno];
+  if (root.type == SfsNodeType::kDirectory && root.path == "/" && root.parent == kRootIno) {
+    return;
+  }
+  if (root.type != SfsNodeType::kDirectory) {
+    root.type = SfsNodeType::kDirectory;
+    root.size = 0;
+    root.data.clear();
+    root.symlink_target.clear();
+  }
+  root.path = "/";
+  root.parent = kRootIno;
+  Note(report, SfsIssueKind::kBadRoot, kRootIno, "root inode rebuilt as '/'", true);
+}
+
+void SfsCheck::CheckScalars(bool at_boot, SfsCheckReport* report) {
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    SharedFs::Inode& node = fs_->inodes_[ino];
+    if (node.type == SfsNodeType::kFree) {
+      continue;
+    }
+    if (node.type == SfsNodeType::kRegular && node.size > node.data.size()) {
+      Note(report, SfsIssueKind::kBadExtent, ino,
+           StrFormat("size %u exceeds the %zu-byte extent; clamped", node.size, node.data.size()),
+           true);
+      node.size = static_cast<uint32_t>(node.data.size());
+    }
+    if (node.lock_owner != -1) {
+      if (at_boot) {
+        // No process survived the reboot, so no lock did either.
+        Note(report, SfsIssueKind::kStaleLock, ino,
+             StrFormat("lock held by pid %d released at boot", node.lock_owner), true);
+        node.lock_owner = -1;
+        node.lock_lease = 0;
+      } else if (fs_->pid_prober_ && !fs_->pid_prober_(node.lock_owner)) {
+        Note(report, SfsIssueKind::kStaleLock, ino,
+             StrFormat("lock holder pid %d is dead; released", node.lock_owner), true);
+        node.lock_owner = -1;
+        node.lock_lease = 0;
+      }
+    }
+    if (node.creation_pending) {
+      Note(report, SfsIssueKind::kIncompleteCreation, ino,
+           StrFormat("creation of '%s' never completed; rebuilt on next attach", node.path.c_str()),
+           false);
+    }
+  }
+}
+
+void SfsCheck::CheckEdges(SfsCheckReport* report) {
+  // Pass 1: every directory entry must point at a live, distinct, non-root inode
+  // whose parent pointer points back.
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    SharedFs::Inode& node = fs_->inodes_[ino];
+    if (node.type != SfsNodeType::kDirectory) {
+      continue;
+    }
+    std::vector<uint32_t> kept;
+    std::set<uint32_t> seen;
+    for (uint32_t child : node.children) {
+      bool valid = child >= 1 && child <= kSfsMaxInodes && child != kRootIno && child != ino &&
+                   fs_->inodes_[child].type != SfsNodeType::kFree &&
+                   fs_->inodes_[child].parent == ino && seen.insert(child).second;
+      if (valid) {
+        kept.push_back(child);
+      } else {
+        Note(report, SfsIssueKind::kDanglingChild, ino,
+             StrFormat("entry for inode %u dropped", child), true);
+      }
+    }
+    node.children = std::move(kept);
+  }
+  // Pass 2: a live inode whose parent is a valid directory must appear in its entry
+  // list (a crash between inode setup and directory link leaves exactly this gap).
+  for (uint32_t ino = 2; ino <= kSfsMaxInodes; ++ino) {
+    SharedFs::Inode& node = fs_->inodes_[ino];
+    if (node.type == SfsNodeType::kFree) {
+      continue;
+    }
+    uint32_t p = node.parent;
+    if (p < 1 || p > kSfsMaxInodes || p == ino ||
+        fs_->inodes_[p].type != SfsNodeType::kDirectory) {
+      continue;  // no valid parent — the reachability pass quarantines it
+    }
+    std::vector<uint32_t>& sibs = fs_->inodes_[p].children;
+    if (std::find(sibs.begin(), sibs.end(), ino) == sibs.end()) {
+      sibs.push_back(ino);
+      Note(report, SfsIssueKind::kBadParent, ino,
+           StrFormat("'%s' re-attached to parent inode %u", node.path.c_str(), p), true);
+    }
+  }
+}
+
+uint32_t SfsCheck::LostAndFoundIno(SfsCheckReport* report) {
+  if (lost_found_ino_ != 0) {
+    return lost_found_ino_;
+  }
+  for (uint32_t child : fs_->inodes_[kRootIno].children) {
+    if (fs_->inodes_[child].type == SfsNodeType::kDirectory &&
+        PathBasename(fs_->inodes_[child].path) == kLostFoundName) {
+      lost_found_ino_ = child;
+      return child;
+    }
+  }
+  Result<uint32_t> ino = fs_->AllocInode();
+  if (!ino.ok()) {
+    return 0;  // table full: orphans fall back to the root
+  }
+  SharedFs::Inode& node = fs_->inodes_[*ino];
+  node.type = SfsNodeType::kDirectory;
+  node.path = std::string("/") + kLostFoundName;
+  node.parent = kRootIno;
+  fs_->inodes_[kRootIno].children.push_back(*ino);
+  lost_found_ino_ = *ino;
+  return *ino;
+}
+
+void SfsCheck::QuarantineUnreachable(SfsCheckReport* report) {
+  std::vector<bool> reachable(kSfsMaxInodes + 1, false);
+  std::vector<uint32_t> stack = {kRootIno};
+  reachable[kRootIno] = true;
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    for (uint32_t child : fs_->inodes_[cur].children) {
+      if (!reachable[child]) {
+        reachable[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  std::vector<uint32_t> orphans;
+  for (uint32_t ino = 2; ino <= kSfsMaxInodes; ++ino) {
+    if (fs_->inodes_[ino].type != SfsNodeType::kFree && !reachable[ino]) {
+      orphans.push_back(ino);
+    }
+  }
+  if (orphans.empty()) {
+    return;
+  }
+  // Report parent-chain loops before quarantine flattens them — an unreachable
+  // cluster is often a cycle of directories pointing at each other.
+  for (uint32_t ino : orphans) {
+    uint32_t cur = ino;
+    std::set<uint32_t> walked = {ino};
+    while (true) {
+      uint32_t p = fs_->inodes_[cur].parent;
+      if (p < 1 || p > kSfsMaxInodes || fs_->inodes_[p].type != SfsNodeType::kDirectory ||
+          reachable[p]) {
+        break;
+      }
+      if (p == ino) {
+        Note(report, SfsIssueKind::kDirCycle, ino,
+             StrFormat("parent chain of '%s' loops back to itself; broken by quarantine",
+                       fs_->inodes_[ino].path.c_str()),
+             true);
+        break;
+      }
+      if (!walked.insert(p).second) {
+        break;  // a loop not through |ino|; reported when its own member is visited
+      }
+      cur = p;
+    }
+  }
+  uint32_t lf = LostAndFoundIno(report);
+  uint32_t new_parent = lf != 0 ? lf : kRootIno;
+  const std::string& parent_path = fs_->inodes_[new_parent].path;
+  std::string prefix = parent_path == "/" ? "" : parent_path;
+  for (uint32_t ino : orphans) {
+    SharedFs::Inode& node = fs_->inodes_[ino];
+    std::string old_path = node.path;
+    if (node.type == SfsNodeType::kDirectory) {
+      node.children.clear();  // its subtree is unreachable too; each member lands here flat
+    }
+    node.parent = new_parent;
+    node.path = StrFormat("%s/ino%u", prefix.c_str(), ino);
+    fs_->inodes_[new_parent].children.push_back(ino);
+    Note(report, SfsIssueKind::kOrphan, ino,
+         StrFormat("unreachable '%s' quarantined as '%s'", old_path.c_str(), node.path.c_str()),
+         true);
+  }
+}
+
+void SfsCheck::CanonicalizePaths(SfsCheckReport* report) {
+  std::vector<uint32_t> queue = {kRootIno};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    uint32_t dir = queue[qi];
+    const std::string& dir_path = fs_->inodes_[dir].path;
+    std::string prefix = dir_path == "/" ? "" : dir_path;
+    std::set<std::string> taken;
+    for (uint32_t child : fs_->inodes_[dir].children) {
+      SharedFs::Inode& cnode = fs_->inodes_[child];
+      std::string base = PathBasename(cnode.path);
+      if (base.empty()) {
+        base = StrFormat("ino%u", child);
+      }
+      bool renamed = false;
+      if (!taken.insert(base).second) {
+        std::string unique = StrFormat("%s~%u", base.c_str(), child);
+        Note(report, SfsIssueKind::kDuplicatePath, child,
+             StrFormat("sibling basename '%s' already taken; renamed '%s'", base.c_str(),
+                       unique.c_str()),
+             true);
+        base = std::move(unique);
+        taken.insert(base);
+        renamed = true;
+      }
+      std::string expected = prefix + "/" + base;
+      if (cnode.path != expected) {
+        if (!renamed) {
+          Note(report, SfsIssueKind::kBadPath, child,
+               StrFormat("path '%s' rewritten to '%s'", cnode.path.c_str(), expected.c_str()),
+               true);
+        }
+        cnode.path = std::move(expected);
+      }
+      if (cnode.type == SfsNodeType::kDirectory) {
+        queue.push_back(child);
+      }
+    }
+  }
+}
+
+void SfsCheck::CheckSymlinks(SfsCheckReport* report) {
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    if (fs_->inodes_[ino].type != SfsNodeType::kSymlink) {
+      continue;
+    }
+    std::set<uint32_t> visited = {ino};
+    uint32_t cur = ino;
+    while (true) {
+      // Targets may carry the VFS mount prefix ("/shm/x") or be partition paths.
+      std::string rel = fs_->inodes_[cur].symlink_target;
+      if (rel == "/shm") {
+        rel = "/";
+      } else if (StartsWith(rel, "/shm/")) {
+        rel = rel.substr(4);
+      }
+      Result<uint32_t> next = fs_->Lookup(rel);
+      if (!next.ok() || fs_->inodes_[*next].type != SfsNodeType::kSymlink) {
+        break;  // dangling or resolved to a real node — both legal
+      }
+      if (!visited.insert(*next).second) {
+        Note(report, SfsIssueKind::kSymlinkCycle, ino,
+             StrFormat("resolution of '%s' loops through '%s'", fs_->inodes_[ino].path.c_str(),
+                       fs_->inodes_[*next].path.c_str()),
+             false);
+        break;
+      }
+      cur = *next;
+    }
+  }
+}
+
+void SfsCheck::CheckAddrTable(SfsCheckReport* report) {
+  bool bad = false;
+  std::map<uint32_t, uint32_t> entries_per_ino;
+  for (const SharedFs::AddrEntry& e : fs_->addr_table_) {
+    bool entry_ok = e.ino >= 1 && e.ino <= kSfsMaxInodes &&
+                    fs_->inodes_[e.ino].type == SfsNodeType::kRegular &&
+                    e.base == SfsAddressForInode(e.ino) && e.limit == e.base + kSfsMaxFileBytes &&
+                    ++entries_per_ino[e.ino] == 1;
+    if (!entry_ok) {
+      bad = true;
+      Note(report, SfsIssueKind::kAddrTableBad, e.ino,
+           StrFormat("table entry [0x%08x, 0x%08x) stale or duplicate", e.base, e.limit), true);
+    }
+  }
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    if (fs_->inodes_[ino].type == SfsNodeType::kRegular && entries_per_ino[ino] == 0) {
+      bad = true;
+      Note(report, SfsIssueKind::kAddrTableBad, ino,
+           StrFormat("'%s' missing from the lookup table", fs_->inodes_[ino].path.c_str()), true);
+    }
+  }
+  if (!bad && fs_->addr_index_.size() != fs_->addr_table_.size()) {
+    bad = true;
+    Note(report, SfsIssueKind::kAddrTableBad, 0, "interval index out of sync with the table", true);
+  }
+  if (bad) {
+    fs_->RebuildAddrTable();
+  }
+}
+
+}  // namespace hemlock

@@ -1,0 +1,106 @@
+// SfsCheck — an fsck-style consistency pass over the shared partition.
+//
+// The partition is the machine's rendezvous point: every process maps segments out
+// of it at globally agreed addresses, so a single torn image (crash mid-serialize,
+// crash mid-create, a dead lock holder) poisons every later boot. SfsCheck walks
+// the whole inode table and restores the invariants the rest of the system assumes:
+//
+//   * inode 1 is a directory named "/";
+//   * a file's logical size never exceeds its physical extent;
+//   * directory entries point at live inodes whose parent pointer points back;
+//   * every live inode is reachable from the root (orphans are quarantined into
+//     /lost+found rather than destroyed — the paper's "peruse all of the segments
+//     in existence" garbage-collection stance);
+//   * paths are canonical (a node's path is its parent's path plus its basename,
+//     unique among siblings);
+//   * the address lookup table agrees with the inode table (one entry per regular
+//     file, at the address derived from its inode number);
+//   * no creation lock survives a reboot, and a live lock whose holder is dead is
+//     released.
+//
+// Symlink cycles and pending creations are *flagged but not repaired*: a cycle is
+// legal on-disk state (only resolution loops), and a pending creation is ldl's to
+// finish (rebuild from template under the creation lock).
+//
+// Run at every Deserialize, and on demand via `hemdump check`.
+#ifndef SRC_SFS_SFS_CHECK_H_
+#define SRC_SFS_SFS_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sfs/shared_fs.h"
+
+namespace hemlock {
+
+enum class SfsIssueKind : uint8_t {
+  kTruncatedImage,      // serialized stream ended mid-record; readable prefix kept
+  kDuplicateInode,      // two image records claimed one inode (same address); first wins
+  kBadRoot,             // inode 1 missing or not a directory; root rebuilt
+  kBadExtent,           // logical size exceeded the physical extent; size clamped
+  kStaleLock,           // lock held at boot, or by a dead process; released
+  kIncompleteCreation,  // creation_pending set: contents untrustworthy (ldl rebuilds)
+  kDanglingChild,       // directory entry pointing at a free/foreign inode; dropped
+  kBadParent,           // live inode missing from its parent's entries; re-added
+  kOrphan,              // unreachable from the root; quarantined into /lost+found
+  kDirCycle,            // parent chain loops (unreachable cluster); broken by quarantine
+  kBadPath,             // stored path disagreed with the tree position; rewritten
+  kDuplicatePath,       // two siblings shared a basename; renamed with ~<ino> suffix
+  kSymlinkCycle,        // symlink resolution loops; flagged only
+  kAddrTableBad,        // lookup table disagreed with the inode table; rebuilt
+};
+
+const char* SfsIssueKindName(SfsIssueKind kind);
+
+struct SfsCheckIssue {
+  SfsIssueKind kind = SfsIssueKind::kBadRoot;
+  uint32_t ino = 0;     // 0 when the issue is not tied to one inode
+  std::string detail;
+  bool repaired = false;
+
+  std::string ToString() const;
+};
+
+struct SfsCheckReport {
+  std::vector<SfsCheckIssue> issues;
+
+  bool clean() const { return issues.empty(); }
+  // Clean apart from the issues a normal reboot produces (released boot-time locks,
+  // creations left for ldl to finish). Strict Deserialize accepts exactly this.
+  bool structurally_clean() const;
+  size_t CountOf(SfsIssueKind kind) const;
+  void Add(SfsIssueKind kind, uint32_t ino, std::string detail, bool repaired);
+  std::string ToString() const;
+};
+
+class SfsCheck {
+ public:
+  explicit SfsCheck(SharedFs* fs) : fs_(fs) {}
+
+  // Checks and repairs in place, appending to |report|. |at_boot| releases *every*
+  // lock (no process survived the reboot); otherwise only provably dead holders
+  // (per the pid prober) lose theirs.
+  void Run(bool at_boot, SfsCheckReport* report);
+
+ private:
+  void CheckRoot(SfsCheckReport* report);
+  void CheckScalars(bool at_boot, SfsCheckReport* report);
+  void CheckEdges(SfsCheckReport* report);
+  void QuarantineUnreachable(SfsCheckReport* report);
+  void CanonicalizePaths(SfsCheckReport* report);
+  void CheckSymlinks(SfsCheckReport* report);
+  void CheckAddrTable(SfsCheckReport* report);
+
+  void Note(SfsCheckReport* report, SfsIssueKind kind, uint32_t ino, std::string detail,
+            bool repaired);
+  // Finds or creates the /lost+found directory; 0 when none can be made.
+  uint32_t LostAndFoundIno(SfsCheckReport* report);
+
+  SharedFs* fs_;
+  uint32_t lost_found_ino_ = 0;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_SFS_SFS_CHECK_H_

@@ -4,13 +4,17 @@
 #include <cstring>
 #include <memory>
 
+#include "src/base/faults.h"
 #include "src/base/strings.h"
+#include "src/sfs/sfs_check.h"
 
 namespace hemlock {
 
 namespace {
 constexpr uint32_t kRootIno = 1;
-}
+constexpr uint32_t kSfsMagic = 0x53465348;  // "HSFS"
+constexpr uint32_t kSfsVersion2 = 2;
+}  // namespace
 
 SharedFs::SharedFs() : inodes_(kSfsMaxInodes + 1) {
   inodes_[kRootIno].type = SfsNodeType::kDirectory;
@@ -81,6 +85,7 @@ Result<uint32_t> SharedFs::Create(const std::string& path) {
   std::string leaf;
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ++clock_;
   Inode& node = inodes_[ino];
   node.type = SfsNodeType::kRegular;
   node.path = NormalizePath(path);
@@ -88,6 +93,17 @@ Result<uint32_t> SharedFs::Create(const std::string& path) {
   node.data.clear();
   node.parent = parent;
   node.lock_owner = -1;
+  node.lock_lease = 0;
+  node.creation_pending = false;
+  // Crash window between claiming the inode and linking it into its directory: a
+  // crash here leaves a file its parent does not list, for fsck to reattach.
+  Status fault = FaultRegistry::Global().Check("sfs.create.link");
+  if (!fault.ok()) {
+    if (!IsCrash(fault)) {
+      node = Inode{};  // clean failure: release the inode again
+    }
+    return fault;
+  }
   inodes_[parent].children.push_back(ino);
   AddAddrEntry(ino);
   return ino;
@@ -98,6 +114,7 @@ Result<uint32_t> SharedFs::Mkdir(const std::string& path) {
   std::string leaf;
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ++clock_;
   Inode& node = inodes_[ino];
   node.type = SfsNodeType::kDirectory;
   node.path = NormalizePath(path);
@@ -106,15 +123,23 @@ Result<uint32_t> SharedFs::Mkdir(const std::string& path) {
   return ino;
 }
 
-Status SharedFs::Unlink(const std::string& path) {
+Status SharedFs::Unlink(const std::string& path, bool force) {
   ASSIGN_OR_RETURN(uint32_t ino, Lookup(path));
   if (ino == kRootIno) {
     return InvalidArgument("sfs: cannot unlink root");
   }
   Inode& node = inodes_[ino];
+  if (!force && node.lock_owner != -1) {
+    if (unlink_locked_refused_ != nullptr) {
+      ++*unlink_locked_refused_;
+    }
+    return FailedPrecondition(StrFormat("sfs: '%s' is locked by pid %d; unlink would destroy the lock",
+                                        node.path.c_str(), node.lock_owner));
+  }
   if (node.type == SfsNodeType::kDirectory && !node.children.empty()) {
     return FailedPrecondition("sfs: directory not empty: " + path);
   }
+  ++clock_;
   if (node.type == SfsNodeType::kRegular) {
     RemoveAddrEntry(ino);
   }
@@ -169,6 +194,7 @@ Result<uint32_t> SharedFs::Symlink(const std::string& path, const std::string& t
   std::string leaf;
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  ++clock_;
   Inode& node = inodes_[ino];
   node.type = SfsNodeType::kSymlink;
   node.path = NormalizePath(path);
@@ -194,7 +220,22 @@ Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uin
   if (static_cast<uint64_t>(offset) + len > kSfsMaxFileBytes) {
     return OutOfRange("sfs: write past the 1 MB file limit");
   }
+  ++clock_;
   Inode& node = inodes_[ino];
+  Status fault = FaultRegistry::Global().Check("sfs.write");
+  if (!fault.ok()) {
+    if (IsCrash(fault) && len > 0) {
+      // Torn write: half the payload lands in the extent, the logical size never
+      // advances — exactly what a death between two sector writes leaves behind.
+      uint32_t torn = len / 2;
+      uint32_t torn_end = offset + torn;
+      if (node.data.size() < torn_end) {
+        node.data.resize(torn_end, 0);
+      }
+      std::memcpy(node.data.data() + offset, data, torn);
+    }
+    return fault;
+  }
   uint32_t end = offset + len;
   if (node.data.size() < end) {
     node.data.resize(end, 0);
@@ -227,7 +268,21 @@ Status SharedFs::Truncate(uint32_t ino, uint32_t new_size) {
   if (new_size > kSfsMaxFileBytes) {
     return OutOfRange("sfs: beyond the 1 MB file limit");
   }
+  ++clock_;
   Inode& node = inodes_[ino];
+  Status fault = FaultRegistry::Global().Check("sfs.truncate");
+  if (!fault.ok()) {
+    if (IsCrash(fault)) {
+      node.size = new_size;  // torn truncate: the size moved, the dropped tail did not get zeroed
+    }
+    return fault;
+  }
+  if (new_size < node.data.size()) {
+    // Zero the dropped range so a later regrow reads zeros (POSIX truncate), not the
+    // previous occupant's bytes. The extent itself survives: mapped pages keep their
+    // backing address.
+    std::fill(node.data.begin() + new_size, node.data.end(), 0);
+  }
   node.size = new_size;
   if (node.data.size() < new_size) {
     node.data.resize(new_size, 0);
@@ -360,11 +415,27 @@ uint32_t SharedFs::ExtentBytes(uint32_t ino) const {
 Status SharedFs::LockInode(uint32_t ino, int pid) {
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   (void)st;
+  ++clock_;
   Inode& node = inodes_[ino];
   if (node.lock_owner != -1 && node.lock_owner != pid) {
-    return WouldBlock(StrFormat("sfs: inode %u locked by pid %d", ino, node.lock_owner));
+    // A crashed creator must not wedge every later attacher: break the lock when
+    // the holder is provably dead, or when its lease ran out on the op clock.
+    bool holder_dead = pid_prober_ && !pid_prober_(node.lock_owner);
+    bool lease_expired = clock_ >= node.lock_lease;
+    if (!holder_dead && !lease_expired) {
+      return WouldBlock(StrFormat("sfs: inode %u locked by pid %d", ino, node.lock_owner));
+    }
+    if (locks_broken_ != nullptr) {
+      ++*locks_broken_;
+    }
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Emit(TraceKind::kLockBroken, node.path, holder_dead ? "dead holder" : "lease expired",
+                   0, static_cast<uint32_t>(node.lock_owner));
+    }
+    node.lock_owner = -1;
   }
   node.lock_owner = pid;
+  node.lock_lease = clock_ + lock_lease_ops_;
   if (locks_taken_ != nullptr) {
     ++*locks_taken_;
   }
@@ -382,6 +453,7 @@ Status SharedFs::UnlockInode(uint32_t ino, int pid) {
     return FailedPrecondition("sfs: unlock by non-owner");
   }
   node.lock_owner = -1;
+  node.lock_lease = 0;
   return OkStatus();
 }
 
@@ -389,21 +461,53 @@ void SharedFs::ReleaseLocksOf(int pid) {
   for (Inode& node : inodes_) {
     if (node.lock_owner == pid) {
       node.lock_owner = -1;
+      node.lock_lease = 0;
     }
   }
 }
 
-void SharedFs::Serialize(ByteWriter* w) const {
-  w->U32(0x53465348);  // "HSFS"
-  w->U32(kSfsMaxInodes);
+int SharedFs::LockOwner(uint32_t ino) const {
+  if (ino == 0 || ino > kSfsMaxInodes || inodes_[ino].type == SfsNodeType::kFree) {
+    return -1;
+  }
+  return inodes_[ino].lock_owner;
+}
+
+Status SharedFs::SetCreationPending(uint32_t ino, bool pending) {
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: only regular files carry creation markers");
+  }
+  inodes_[ino].creation_pending = pending;
+  return OkStatus();
+}
+
+bool SharedFs::CreationPending(uint32_t ino) const {
+  return ino >= 1 && ino <= kSfsMaxInodes && inodes_[ino].creation_pending;
+}
+
+Status SharedFs::Serialize(ByteWriter* w) const {
+  w->U32(kSfsMagic);
+  w->U32(kSfsVersion2);
+  uint32_t used = InodesInUse();
+  w->U32(used);
+  uint32_t written = 0;
   for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
     const Inode& node = inodes_[ino];
-    w->U8(static_cast<uint8_t>(node.type));
     if (node.type == SfsNodeType::kFree) {
       continue;
     }
+    if (written == used / 2) {
+      // Mid-stream crash window: the buffer so far is a truncated image, which is
+      // what lands on "disk" when the machine dies while checkpointing.
+      RETURN_IF_ERROR(FaultRegistry::Global().Check("sfs.serialize"));
+    }
+    w->U32(ino);
+    w->U8(static_cast<uint8_t>(node.type));
     w->Str(node.path);
     w->U32(node.parent);
+    w->I32(node.lock_owner);
+    w->U8(node.creation_pending ? 1 : 0);
     if (node.type == SfsNodeType::kRegular) {
       w->U32(node.size);
       w->U32(static_cast<uint32_t>(node.data.size()));
@@ -416,34 +520,39 @@ void SharedFs::Serialize(ByteWriter* w) const {
         w->U32(child);
       }
     }
+    ++written;
   }
+  return OkStatus();
 }
 
-Result<std::unique_ptr<SharedFs>> SharedFs::Deserialize(ByteReader* r) {
+Result<std::unique_ptr<SharedFs>> SharedFs::Deserialize(ByteReader* r, SfsCheckReport* report) {
   ASSIGN_OR_RETURN(uint32_t magic, r->U32());
-  if (magic != 0x53465348) {
+  if (magic != kSfsMagic) {
     return CorruptData("sfs: bad magic");
   }
-  ASSIGN_OR_RETURN(uint32_t count, r->U32());
-  if (count != kSfsMaxInodes) {
-    return CorruptData("sfs: inode count mismatch");
-  }
+  // v1 images wrote the inode-table size here; v2 writes a small version number.
+  ASSIGN_OR_RETURN(uint32_t version, r->U32());
   auto fs = std::make_unique<SharedFs>();
-  fs->inodes_[kRootIno] = Inode{};  // will be re-read below
-  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
-    ASSIGN_OR_RETURN(uint8_t type, r->U8());
+  fs->inodes_[kRootIno] = Inode{};  // the image speaks for every inode, root included
+
+  // Parses one v1 record in place (positional: the inode number is implicit).
+  auto parse_v1_record = [&fs, r](uint32_t ino) -> Status {
     Inode& node = fs->inodes_[ino];
+    ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    if (type > static_cast<uint8_t>(SfsNodeType::kSymlink)) {
+      return CorruptData(StrFormat("sfs: inode %u: bad type byte %u", ino, type));
+    }
     node.type = static_cast<SfsNodeType>(type);
     if (node.type == SfsNodeType::kFree) {
-      continue;
+      return OkStatus();
     }
     ASSIGN_OR_RETURN(node.path, r->Str());
     ASSIGN_OR_RETURN(node.parent, r->U32());
     if (node.type == SfsNodeType::kRegular) {
       ASSIGN_OR_RETURN(node.size, r->U32());
       ASSIGN_OR_RETURN(uint32_t extent, r->U32());
-      if (extent > kSfsMaxFileBytes || r->remaining() < extent) {
-        return CorruptData("sfs: bad extent");
+      if (extent > kSfsMaxFileBytes) {
+        return CorruptData(StrFormat("sfs: inode %u: extent %u beyond the 1 MB limit", ino, extent));
       }
       node.data.resize(extent);
       RETURN_IF_ERROR(r->ReadRaw(node.data.data(), extent));
@@ -451,15 +560,115 @@ Result<std::unique_ptr<SharedFs>> SharedFs::Deserialize(ByteReader* r) {
       ASSIGN_OR_RETURN(node.symlink_target, r->Str());
     } else {
       ASSIGN_OR_RETURN(uint32_t n, r->U32());
+      if (n > kSfsMaxInodes) {
+        return CorruptData(StrFormat("sfs: inode %u: %u directory entries", ino, n));
+      }
       node.children.resize(n);
       for (uint32_t i = 0; i < n; ++i) {
         ASSIGN_OR_RETURN(node.children[i], r->U32());
       }
     }
-    node.lock_owner = -1;  // locks do not survive a reboot
+    node.lock_owner = -1;  // v1 never persisted locks
+    return OkStatus();
+  };
+
+  // Parses one v2 record into |*out| / |*out_ino| without touching the table.
+  auto parse_v2_record = [r](Inode* out, uint32_t* out_ino) -> Status {
+    ASSIGN_OR_RETURN(*out_ino, r->U32());
+    ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    if (type == 0 || type > static_cast<uint8_t>(SfsNodeType::kSymlink)) {
+      return CorruptData(StrFormat("sfs: record for inode %u: bad type byte %u", *out_ino, type));
+    }
+    out->type = static_cast<SfsNodeType>(type);
+    ASSIGN_OR_RETURN(out->path, r->Str());
+    ASSIGN_OR_RETURN(out->parent, r->U32());
+    ASSIGN_OR_RETURN(out->lock_owner, r->I32());
+    ASSIGN_OR_RETURN(uint8_t flags, r->U8());
+    out->creation_pending = (flags & 1) != 0;
+    if (out->type == SfsNodeType::kRegular) {
+      ASSIGN_OR_RETURN(out->size, r->U32());
+      ASSIGN_OR_RETURN(uint32_t extent, r->U32());
+      if (extent > kSfsMaxFileBytes) {
+        return CorruptData(
+            StrFormat("sfs: record for inode %u: extent %u beyond the 1 MB limit", *out_ino, extent));
+      }
+      out->data.resize(extent);
+      RETURN_IF_ERROR(r->ReadRaw(out->data.data(), extent));
+    } else if (out->type == SfsNodeType::kSymlink) {
+      ASSIGN_OR_RETURN(out->symlink_target, r->Str());
+    } else {
+      ASSIGN_OR_RETURN(uint32_t n, r->U32());
+      if (n > kSfsMaxInodes) {
+        return CorruptData(StrFormat("sfs: record for inode %u: %u directory entries", *out_ino, n));
+      }
+      out->children.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(out->children[i], r->U32());
+      }
+    }
+    if (*out_ino == 0 || *out_ino > kSfsMaxInodes) {
+      return CorruptData(StrFormat("sfs: record claims inode %u, outside the table", *out_ino));
+    }
+    return OkStatus();
+  };
+
+  Status parse = OkStatus();
+  if (version == kSfsMaxInodes) {
+    // v1: one positional record per table slot.
+    for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+      parse = parse_v1_record(ino);
+      if (!parse.ok()) {
+        fs->inodes_[ino] = Inode{};  // drop the half-read record
+        break;
+      }
+    }
+  } else if (version == kSfsVersion2) {
+    ASSIGN_OR_RETURN(uint32_t used, r->U32());
+    if (used > kSfsMaxInodes) {
+      return CorruptData("sfs: used-inode count exceeds the table");
+    }
+    for (uint32_t i = 0; i < used; ++i) {
+      Inode tmp;
+      uint32_t ino = 0;
+      parse = parse_v2_record(&tmp, &ino);
+      if (!parse.ok()) {
+        break;
+      }
+      if (fs->inodes_[ino].type != SfsNodeType::kFree) {
+        // Two records claim one inode — i.e. one fixed address. First claim wins;
+        // honoring the second would silently alias two files onto one segment.
+        Status dup = CorruptData(
+            StrFormat("sfs: duplicate claim on inode %u (address 0x%08x) by '%s'; '%s' keeps it",
+                      ino, SfsAddressForInode(ino), tmp.path.c_str(), fs->inodes_[ino].path.c_str()));
+        if (report == nullptr) {
+          return dup;
+        }
+        report->Add(SfsIssueKind::kDuplicateInode, ino, dup.message(), true);
+        continue;
+      }
+      fs->inodes_[ino] = std::move(tmp);
+    }
+  } else {
+    return CorruptData(StrFormat("sfs: unknown image version %u", version));
   }
-  // Boot-time scan (paper §3): rebuild the address table from the on-disk state.
+
+  if (!parse.ok()) {
+    if (report == nullptr) {
+      return parse;  // strict load: a torn stream is fatal
+    }
+    // Salvage load: keep the readable prefix and let fsck restore the invariants.
+    report->Add(SfsIssueKind::kTruncatedImage, 0, parse.message(), true);
+  }
+
+  // Boot-time scan (paper §3): rebuild the address table from the on-disk state,
+  // then fsck the result — a reboot is exactly when torn state surfaces.
   fs->RebuildAddrTable();
+  SfsCheckReport local;
+  SfsCheckReport* fsck_report = report != nullptr ? report : &local;
+  SfsCheck(fs.get()).Run(/*at_boot=*/true, fsck_report);
+  if (report == nullptr && !local.structurally_clean()) {
+    return CorruptData("sfs: image failed the consistency check: " + local.ToString());
+  }
   return fs;
 }
 
@@ -471,8 +680,11 @@ void SharedFs::SetObservers(MetricsRegistry* metrics, TraceBuffer* trace) {
     addr_lookup_probes_ = metrics_->Counter("sfs.addr_lookup_probes");
     addr_lookup_misses_ = metrics_->Counter("sfs.addr_lookup_misses");
     locks_taken_ = metrics_->Counter("sfs.locks_taken");
+    locks_broken_ = metrics_->Counter("sfs.locks_broken");
+    unlink_locked_refused_ = metrics_->Counter("sfs.unlink_locked_refused");
   } else {
-    addr_lookups_ = addr_lookup_probes_ = addr_lookup_misses_ = locks_taken_ = nullptr;
+    addr_lookups_ = addr_lookup_probes_ = addr_lookup_misses_ = nullptr;
+    locks_taken_ = locks_broken_ = unlink_locked_refused_ = nullptr;
   }
 }
 

@@ -12,10 +12,16 @@
 //
 // All ordinary Unix file operations work here (read/write/stat/unlink/readdir); the only
 // thing that sets the partition apart is the name <-> address association.
+//
+// Crash safety: mutating operations carry named fault points (FaultRegistry), the
+// creation lock carries an operation-clock lease so a dead holder cannot wedge the
+// partition, and Deserialize always runs the SfsCheck fsck pass so a torn image
+// (crash mid-serialize, crash mid-create) comes back up consistent.
 #ifndef SRC_SFS_SHARED_FS_H_
 #define SRC_SFS_SHARED_FS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +34,8 @@
 #include "src/base/trace.h"
 
 namespace hemlock {
+
+struct SfsCheckReport;
 
 // Hard links are prohibited (1:1 inode <-> path); *symbolic* links are ordinary
 // inodes holding a target path and are what the paper's Presto recipe plants in
@@ -61,7 +69,11 @@ class SharedFs {
   Result<uint32_t> Create(const std::string& path);
   Result<uint32_t> Mkdir(const std::string& path);
   // Removes a file or empty directory; frees the inode and its address slot.
-  Status Unlink(const std::string& path);
+  // Refuses (kFailedPrecondition) while the inode's creation lock is held — destroying
+  // a locked segment under its creator would orphan the lock and tear the creation
+  // protocol. Pass force=true to override (fsck / administrative tools only).
+  Status Unlink(const std::string& path) { return Unlink(path, /*force=*/false); }
+  Status Unlink(const std::string& path, bool force);
   Result<uint32_t> Lookup(const std::string& path) const;
   Result<SfsStat> Stat(const std::string& path) const;
   // Entry names in a directory, sorted — the paper leans on this for manual garbage
@@ -82,6 +94,9 @@ class SharedFs {
 
   Status WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uint32_t len);
   Result<uint32_t> ReadAt(uint32_t ino, uint32_t offset, uint8_t* out, uint32_t len) const;
+  // Shrinking zeroes the dropped tail so a later regrow reads zeros (POSIX truncate
+  // semantics), not another segment's stale bytes. The physical extent is kept, so
+  // DataPtr stays stable for mapped pages.
   Status Truncate(uint32_t ino, uint32_t new_size);
   Result<SfsStat> StatInode(uint32_t ino) const;
 
@@ -120,21 +135,59 @@ class SharedFs {
 
   // --- Advisory locking (ldl's segment-creation lock, paper §4 fn. 3) ---
 
+  // Takes the creation lock. A held lock is *broken* (cleared, counted in
+  // sfs.locks_broken, traced as lock_broken) when its holder is provably dead (the
+  // pid prober says so) or its lease has expired on the operation clock — a crashed
+  // creator must not wedge every later attacher. Otherwise contention is kWouldBlock.
   Status LockInode(uint32_t ino, int pid);
   Status UnlockInode(uint32_t ino, int pid);
   // Releases every lock held by |pid| (process exit).
   void ReleaseLocksOf(int pid);
+  // -1 when unlocked or |ino| invalid.
+  int LockOwner(uint32_t ino) const;
+
+  // Liveness oracle for lock holders (the Machine wires its process table in). Null
+  // means "unknown": only lease expiry can break a lock.
+  void SetPidProber(std::function<bool(int pid)> prober) { pid_prober_ = std::move(prober); }
+
+  // Every lease lasts this many operations on the partition (default 4096). Tests
+  // shrink it to exercise expiry without thousands of ops.
+  void set_lock_lease_ops(uint64_t ops) { lock_lease_ops_ = ops; }
+  uint64_t lock_lease_ops() const { return lock_lease_ops_; }
+  // Manually advances the operation clock (ldl's lock-retry backoff; the fault
+  // registry's delay hook).
+  void AdvanceClock(uint64_t ticks) { clock_ += ticks; }
+  uint64_t clock() const { return clock_; }
+
+  // --- Creation-complete marker (crash-safe public-module creation) ---
+
+  // While set, the segment's contents are not trustworthy: the creator died (or is
+  // still working) between Create and the final write. ldl sets it before writing a
+  // public module and clears it after; an attacher seeing it rebuilds from template.
+  Status SetCreationPending(uint32_t ino, bool pending);
+  bool CreationPending(uint32_t ino) const;
 
   // --- Persistence across "reboots" ---
 
-  void Serialize(ByteWriter* w) const;
-  static Result<std::unique_ptr<SharedFs>> Deserialize(ByteReader* r);
+  // Writes the v2 image (explicit inode numbers, lock owners, creation markers).
+  // Fails only when a fault is injected mid-stream — the buffer then holds a
+  // deliberately truncated image for crash-recovery tests.
+  Status Serialize(ByteWriter* w) const;
+  // Reads a v1 or v2 image. With |report| == nullptr the load is strict: any
+  // corruption (torn stream, duplicate inode claims, structural damage found by
+  // fsck) fails with kCorruptData. With a report, the load *salvages*: the readable
+  // prefix is kept, every issue is recorded, SfsCheck repairs the rest. Either way
+  // the fsck pass runs with at_boot=true, so persisted locks never survive a reboot.
+  static Result<std::unique_ptr<SharedFs>> Deserialize(ByteReader* r,
+                                                       SfsCheckReport* report = nullptr);
 
   // Counts for introspection.
   uint32_t InodesInUse() const;
   uint32_t FreeInodes() const { return kSfsMaxInodes - InodesInUse(); }
 
  private:
+  friend class SfsCheck;
+
   struct Inode {
     SfsNodeType type = SfsNodeType::kFree;
     std::string path;                 // canonical absolute path within the partition
@@ -144,6 +197,8 @@ class SharedFs {
     std::string symlink_target;       // kSymlink
     uint32_t parent = 0;
     int lock_owner = -1;
+    uint64_t lock_lease = 0;          // clock_ value at which the lock becomes breakable
+    bool creation_pending = false;    // set between Create and the completing write
   };
 
   struct AddrEntry {
@@ -167,6 +222,12 @@ class SharedFs {
   // Ordered interval index (default): base -> entry, probed with upper_bound.
   std::map<uint32_t, AddrEntry> addr_index_;
 
+  // Lock leases: a logical clock ticked by every mutating operation. Simulated time,
+  // so lease expiry is deterministic in tests.
+  uint64_t clock_ = 0;
+  uint64_t lock_lease_ops_ = 4096;
+  std::function<bool(int)> pid_prober_;
+
   // Observability (null until the owning Machine wires itself in).
   MetricsRegistry* metrics_ = nullptr;
   TraceBuffer* trace_ = nullptr;
@@ -174,6 +235,8 @@ class SharedFs {
   uint64_t* addr_lookup_probes_ = nullptr;
   uint64_t* addr_lookup_misses_ = nullptr;
   uint64_t* locks_taken_ = nullptr;
+  uint64_t* locks_broken_ = nullptr;
+  uint64_t* unlink_locked_refused_ = nullptr;
 };
 
 // The fixed address of a regular file's segment, derived from its inode number.

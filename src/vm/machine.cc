@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/base/faults.h"
 #include "src/base/layout.h"
 #include "src/base/logging.h"
 #include "src/base/strings.h"
@@ -34,12 +35,33 @@ Machine::Machine() : vfs_(std::make_unique<Vfs>()) {
   m_faults_resolved_ = metrics_.Counter("vm.faults_resolved");
   m_faults_fatal_ = metrics_.Counter("vm.faults_fatal");
   m_syscalls_ = metrics_.Counter("vm.syscalls");
+  WireSfs();
+  // The newest machine claims the process-global fault registry's observability:
+  // injected faults show up in this machine's metrics, and delay faults advance
+  // this machine's partition clock (driving lock-lease expiry).
+  FaultRegistry::Global().SetMetrics(&metrics_);
+  FaultRegistry::Global().SetDelayHook([this](uint64_t ticks) { sfs().AdvanceClock(ticks); });
+}
+
+Machine::~Machine() {
+  // Only detach if the registry still points at *this* machine — a newer machine
+  // may have claimed it since (latest wins; see the constructor).
+  FaultRegistry::Global().DetachMetrics(&metrics_);
+}
+
+void Machine::WireSfs() {
   sfs().SetObservers(&metrics_, &trace_);
+  // Liveness oracle for the creation lock: a holder is alive while its process
+  // exists and has not turned zombie.
+  sfs().SetPidProber([this](int pid) {
+    Process* p = FindProcess(pid);
+    return p != nullptr && p->state() != ProcState::kZombie;
+  });
 }
 
 void Machine::ReplaceSfs(std::unique_ptr<SharedFs> sfs) {
   vfs_->ReplaceSfs(std::move(sfs));
-  this->sfs().SetObservers(&metrics_, &trace_);
+  WireSfs();
 }
 
 Process& Machine::CreateProcess() {

@@ -135,6 +135,7 @@ enum class RunStatus : uint8_t {
 class Machine {
  public:
   Machine();
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -192,6 +193,10 @@ class Machine {
 
  private:
   static constexpr uint64_t kDefaultBudget = 200'000'000;
+
+  // Points the (possibly just-replaced) partition's observability and liveness
+  // hooks back at this machine.
+  void WireSfs();
 
   void DoSyscall(Process& proc);
   // Returns true if the fault was resolved and the instruction should retry.

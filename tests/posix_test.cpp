@@ -1,14 +1,18 @@
 // Tests of the real-POSIX embodiment: fixed-address segments, fork-based sharing,
 // SIGSEGV auto-attach, and the in-segment allocator.
 #include <csignal>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "src/base/faults.h"
 #include "src/posix/posix_fault.h"
 #include "src/posix/posix_heap.h"
 #include "src/posix/posix_store.h"
@@ -373,6 +377,77 @@ TEST_F(PosixStoreTest, SecondStoreSeesSegments) {
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST_F(PosixStoreTest, KilledWriterLeavesTornIndexRecoveredByScan) {
+  ASSERT_TRUE(store_->Create("alpha", 4096).ok());
+  ASSERT_TRUE(store_->Create("beta", 4096).ok());
+  std::string index = dir_ + "/index";
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // A writer dies mid-update while holding the flock: the index is torn in place
+    // and the lock is never released by the process (the kernel drops it at death).
+    int fd = ::open(index.c_str(), O_RDWR);
+    if (fd < 0 || ::flock(fd, LOCK_EX) != 0) {
+      ::_exit(1);
+    }
+    const char torn[] = "#hemidx deadbeef 2\nalpha 0\nbe";  // checksum can't match
+    if (::pwrite(fd, torn, sizeof(torn) - 1, 0) != static_cast<ssize_t>(sizeof(torn) - 1) ||
+        ::ftruncate(fd, sizeof(torn) - 1) != 0) {
+      ::_exit(1);
+    }
+    ::kill(::getpid(), SIGKILL);
+    ::_exit(1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  // The survivor is neither deadlocked (flock died with the holder) nor fooled by
+  // the torn bytes (checksum): it rebuilds the index from the segment files.
+  ASSERT_TRUE(store_->Refresh().ok());
+  Result<std::vector<std::string>> names = store_->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(store_->Attach("alpha").ok());
+  // The rebuilt index carries a valid checksum header.
+  std::ifstream in(index);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.rfind("#hemidx ", 0), 0u);
+}
+
+TEST_F(PosixStoreTest, LegacyHeaderlessIndexStillAccepted) {
+  ASSERT_TRUE(store_->Create("old", 4096).ok());
+  // Rewrite the index the way the pre-checksum code did: bare "name slot" lines.
+  {
+    std::ofstream out(dir_ + "/index", std::ios::trunc);
+    out << "old 0\n";
+  }
+  ASSERT_TRUE(store_->Refresh().ok());
+  Result<std::vector<std::string>> names = store_->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"old"});
+}
+
+TEST_F(PosixStoreTest, FaultInjectedCreateFailsCleanlyThenSucceeds) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Reset();
+  faults.Arm("posix.create.seg", FaultMode::kError);
+  Result<PosixSegment> failed = store_->Create("flaky", 4096);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(store_->Attach("flaky").ok()) << "error mode must fail cleanly";
+  EXPECT_TRUE(store_->Create("flaky", 4096).ok());
+
+  // An index-write fault after the segment file exists: the rename never happens,
+  // so the old index stays authoritative and the create can simply be retried.
+  faults.Arm("posix.index.write", FaultMode::kError);
+  Result<PosixSegment> failed2 = store_->Create("flaky2", 4096);
+  ASSERT_FALSE(failed2.ok());
+  faults.Reset();
+  EXPECT_TRUE(store_->Refresh().ok());
+  EXPECT_TRUE(store_->Create("flaky2", 4096).ok());
+  EXPECT_TRUE(store_->Attach("flaky").ok());
 }
 
 }  // namespace

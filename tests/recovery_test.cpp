@@ -1,0 +1,390 @@
+// Crash-recovery tests for the shared partition: fault injection at every
+// registered point, lock-lease cleanup after a dead or wedged creator, and the
+// SfsCheck fsck pass over hand-corrupted images.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/faults.h"
+#include "src/obj/object_file.h"
+#include "src/runtime/world.h"
+#include "src/sfs/sfs_check.h"
+
+namespace hemlock {
+namespace {
+
+constexpr char kCounterSrc[] = R"(
+  int counter = 0;
+  int bump(void) { counter = counter + 1; return counter; }
+)";
+constexpr char kProgSrc[] = R"(
+  extern int bump(void);
+  int main(void) { putint(bump()); puts("\n"); return 0; }
+)";
+
+uint64_t MetricValue(const MetricsSnapshot& m, const std::string& name) {
+  auto it = m.find(name);
+  return it == m.end() ? 0 : it->second;
+}
+
+// Compiles the shared counter template unless a parseable one already exists —
+// the same recompile-if-torn policy hemrun applies to persisted templates. May
+// return a crash status when a fault point on the create/write path is armed.
+Status CompileTemplateIfNeeded(HemlockWorld* world) {
+  (void)world->vfs().MkdirAll("/shm/lib");
+  bool reusable = false;
+  if (world->vfs().Exists("/shm/lib/counter.o")) {
+    Result<std::vector<uint8_t>> bytes = world->vfs().ReadFile("/shm/lib/counter.o");
+    reusable = bytes.ok() && ObjectFile::Deserialize(*bytes).ok();
+  }
+  if (!reusable) {
+    CompileOptions opts;
+    opts.include_prelude = false;
+    return world->CompileTo(kCounterSrc, "/shm/lib/counter.o", opts);
+  }
+  return OkStatus();
+}
+
+void EnsureTemplate(HemlockWorld* world) {
+  ASSERT_TRUE(CompileTemplateIfNeeded(world).ok());
+}
+
+Result<RunOutcome> RunCounter(HemlockWorld* world) {
+  return world->RunProgram(kProgSrc, {{"counter.o", ShareClass::kDynamicPublic}});
+}
+
+// On test failure, persist the torn image and fsck report for the CI artifact
+// upload (HEMLOCK_RECOVERY_ARTIFACTS names the directory).
+void SaveArtifacts(const std::string& tag, const std::vector<uint8_t>& image,
+                   const SfsCheckReport& report) {
+  const char* dir = std::getenv("HEMLOCK_RECOVERY_ARTIFACTS");
+  if (dir == nullptr) {
+    return;
+  }
+  std::ofstream img(std::string(dir) + "/" + tag + ".img", std::ios::binary);
+  img.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  std::ofstream rep(std::string(dir) + "/" + tag + ".fsck.txt");
+  rep << report.ToString();
+}
+
+// The tentpole acceptance test: discover every fault point the shared-counter
+// scenario can hit (a dry run self-registers them), then for each one inject a
+// crash at that point, persist whatever torn state resulted, reboot through the
+// salvage loader, and require the rerun to succeed and the partition to fsck clean.
+TEST(RecoveryTest, CrashAtEveryRegisteredFaultPointRecovers) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Reset();
+
+  // Dry run: catalogue the points this scenario exercises (including serialize).
+  {
+    HemlockWorld world;
+    EnsureTemplate(&world);
+    Result<RunOutcome> run = RunCounter(&world);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ByteWriter w;
+    ASSERT_TRUE(world.sfs().Serialize(&w).ok());
+  }
+  std::vector<std::string> points = faults.KnownPoints();
+  ASSERT_GE(points.size(), 6u) << "fault points lost from the creation/persist paths";
+
+  for (const std::string& point : points) {
+    SCOPED_TRACE("fault point: " + point);
+    faults.Reset();
+    faults.Arm(point, FaultMode::kCrash);
+
+    std::vector<uint8_t> disk;
+    {
+      HemlockWorld world;
+      // The crash may fire anywhere — even while compiling the template to the
+      // shared partition. Any failure before the run counts as the process dying.
+      Status setup = CompileTemplateIfNeeded(&world);
+      if (setup.ok()) {
+        Result<RunOutcome> run = RunCounter(&world);
+        if (!run.ok()) {
+          EXPECT_TRUE(IsCrash(run.status())) << run.status().ToString();
+        }
+      } else {
+        EXPECT_TRUE(IsCrash(setup)) << setup.ToString();
+      }
+      // The partition outlives the dead process; persist it exactly as torn as it
+      // is. If serialization itself is the armed point, the truncated prefix is
+      // the image.
+      ByteWriter w;
+      (void)world.sfs().Serialize(&w);
+      disk = w.Take();
+    }
+    EXPECT_EQ(faults.TriggerCount(point), 1u) << "the armed crash never fired";
+    faults.Reset();
+
+    // Reboot: salvage whatever landed on disk, then the scenario must work again.
+    HemlockWorld world;
+    ByteReader r(disk);
+    SfsCheckReport report;
+    Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    world.machine().ReplaceSfs(std::move(*fs));
+    EnsureTemplate(&world);
+    Result<RunOutcome> rerun = RunCounter(&world);
+    ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+    EXPECT_EQ(rerun->exit_code, 0);
+
+    // After the recovery run the partition must be fully consistent.
+    SfsCheckReport final_report;
+    SfsCheck(&world.sfs()).Run(/*at_boot=*/false, &final_report);
+    EXPECT_TRUE(final_report.clean()) << final_report.ToString();
+    if (::testing::Test::HasNonfatalFailure()) {
+      SaveArtifacts("crash_" + point, disk, report);
+    }
+  }
+  faults.Reset();
+}
+
+// A creator that looks alive but never finishes (wedged): attachers spin on the
+// creation lock until the lease expires on the operation clock, then break it.
+TEST(RecoveryTest, WedgedCreatorLockBreaksWhenLeaseExpires) {
+  FaultRegistry::Global().Reset();
+  HemlockWorld world;
+  EnsureTemplate(&world);
+  Result<RunOutcome> first = RunCounter(&world);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->stdout_text, "1\n");
+
+  Result<SfsStat> st = world.sfs().Stat("/lib/counter");
+  ASSERT_TRUE(st.ok());
+  // Simulate a wedged-but-alive creator: every pid probes as alive, the module is
+  // marked mid-creation, and a foreign pid holds the lock.
+  world.sfs().SetPidProber([](int) { return true; });
+  world.sfs().set_lock_lease_ops(64);
+  ASSERT_TRUE(world.sfs().SetCreationPending(st->ino, true).ok());
+  ASSERT_TRUE(world.sfs().LockInode(st->ino, 9999).ok());
+
+  Result<RunOutcome> second = RunCounter(&world);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->exit_code, 0);
+  EXPECT_GE(MetricValue(second->metrics, "ldl.lock_retries"), 1u);
+  EXPECT_GE(MetricValue(second->metrics, "ldl.publics_rebuilt"), 1u);
+  EXPECT_GE(MetricValue(second->metrics, "sfs.locks_broken"), 1u);
+  EXPECT_EQ(world.sfs().LockOwner(st->ino), -1);
+  EXPECT_FALSE(world.sfs().CreationPending(st->ino));
+}
+
+// A provably dead holder loses the lock on the first contended attempt — no
+// lease wait needed (the machine's pid prober knows pid 9999 never existed).
+TEST(RecoveryTest, DeadHolderLockBrokenImmediately) {
+  FaultRegistry::Global().Reset();
+  HemlockWorld world;
+  EnsureTemplate(&world);
+  Result<RunOutcome> first = RunCounter(&world);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  Result<SfsStat> st = world.sfs().Stat("/lib/counter");
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(world.sfs().SetCreationPending(st->ino, true).ok());
+  ASSERT_TRUE(world.sfs().LockInode(st->ino, 9999).ok());
+
+  Result<RunOutcome> second = RunCounter(&world);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->exit_code, 0);
+  EXPECT_GE(MetricValue(second->metrics, "sfs.locks_broken"), 1u);
+  EXPECT_EQ(MetricValue(second->metrics, "ldl.lock_retries"), 0u);
+}
+
+// ---- Hand-corrupted v2 images through the fsck pass ----
+
+void WriteHeader(ByteWriter* w, uint32_t used) {
+  w->U32(0x53465348);  // "HSFS"
+  w->U32(2);
+  w->U32(used);
+}
+
+void WriteDirRecord(ByteWriter* w, uint32_t ino, const std::string& path, uint32_t parent,
+                    const std::vector<uint32_t>& children, int lock_owner = -1,
+                    uint8_t flags = 0) {
+  w->U32(ino);
+  w->U8(2);  // kDirectory
+  w->Str(path);
+  w->U32(parent);
+  w->I32(lock_owner);
+  w->U8(flags);
+  w->U32(static_cast<uint32_t>(children.size()));
+  for (uint32_t child : children) {
+    w->U32(child);
+  }
+}
+
+void WriteFileRecord(ByteWriter* w, uint32_t ino, const std::string& path, uint32_t parent,
+                     uint32_t size, uint32_t extent, int lock_owner = -1, uint8_t flags = 0) {
+  w->U32(ino);
+  w->U8(1);  // kRegular
+  w->Str(path);
+  w->U32(parent);
+  w->I32(lock_owner);
+  w->U8(flags);
+  w->U32(size);
+  w->U32(extent);
+  std::vector<uint8_t> payload(extent, 0xab);
+  w->Raw(payload.data(), payload.size());
+}
+
+void WriteSymlinkRecord(ByteWriter* w, uint32_t ino, const std::string& path, uint32_t parent,
+                        const std::string& target) {
+  w->U32(ino);
+  w->U8(3);  // kSymlink
+  w->Str(path);
+  w->U32(parent);
+  w->I32(-1);
+  w->U8(0);
+  w->Str(target);
+}
+
+TEST(RecoveryTest, TruncatedImageStrictFailsSalvageKeepsPrefix) {
+  ByteWriter w;
+  WriteHeader(&w, 2);
+  WriteDirRecord(&w, 1, "/", 1, {2});
+  WriteFileRecord(&w, 2, "/f", 1, 16, 16);
+  std::vector<uint8_t> image = w.Take();
+  image.resize(image.size() - 10);  // tear the file record mid-payload
+
+  ByteReader strict(image);
+  EXPECT_FALSE(SharedFs::Deserialize(&strict).ok());
+
+  ByteReader salvage(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&salvage, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_EQ(report.CountOf(SfsIssueKind::kTruncatedImage), 1u);
+  EXPECT_TRUE((*fs)->Exists("/"));
+  EXPECT_FALSE((*fs)->Exists("/f"));  // the torn record was dropped, not half-kept
+}
+
+TEST(RecoveryTest, DuplicateInodeClaimFirstWins) {
+  ByteWriter w;
+  WriteHeader(&w, 3);
+  WriteDirRecord(&w, 1, "/", 1, {2});
+  WriteFileRecord(&w, 2, "/f", 1, 4, 4);
+  WriteFileRecord(&w, 2, "/imposter", 1, 4, 4);  // same inode = same address
+  std::vector<uint8_t> image = w.Take();
+
+  ByteReader strict(image);
+  EXPECT_FALSE(SharedFs::Deserialize(&strict).ok());
+
+  ByteReader salvage(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&salvage, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_EQ(report.CountOf(SfsIssueKind::kDuplicateInode), 1u);
+  EXPECT_TRUE((*fs)->Exists("/f"));
+  EXPECT_FALSE((*fs)->Exists("/imposter"));
+}
+
+TEST(RecoveryTest, LogicalSizeBeyondExtentClamped) {
+  ByteWriter w;
+  WriteHeader(&w, 2);
+  WriteDirRecord(&w, 1, "/", 1, {2});
+  WriteFileRecord(&w, 2, "/f", 1, /*size=*/100, /*extent=*/8);
+  std::vector<uint8_t> image = w.Take();
+
+  ByteReader r(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_GE(report.CountOf(SfsIssueKind::kBadExtent), 1u);
+  Result<SfsStat> st = (*fs)->Stat("/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_LE(st->size, 8u);
+}
+
+TEST(RecoveryTest, DirectoryCycleQuarantined) {
+  ByteWriter w;
+  WriteHeader(&w, 3);
+  WriteDirRecord(&w, 1, "/", 1, {});
+  WriteDirRecord(&w, 5, "/a", 6, {6});  // 5 and 6 parent each other: a cycle
+  WriteDirRecord(&w, 6, "/a/b", 5, {5});
+  std::vector<uint8_t> image = w.Take();
+
+  ByteReader r(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_GE(report.CountOf(SfsIssueKind::kOrphan), 2u);
+  EXPECT_TRUE((*fs)->Exists("/lost+found"));
+  // Quarantined, not destroyed — and the rescued tree is consistent.
+  SfsCheckReport again;
+  SfsCheck(fs->get()).Run(/*at_boot=*/false, &again);
+  EXPECT_TRUE(again.clean()) << again.ToString();
+}
+
+TEST(RecoveryTest, OrphanMovedToLostAndFound) {
+  ByteWriter w;
+  WriteHeader(&w, 2);
+  WriteDirRecord(&w, 1, "/", 1, {});
+  WriteFileRecord(&w, 3, "/stray", 500, 4, 4);  // parent 500 does not exist
+  std::vector<uint8_t> image = w.Take();
+
+  ByteReader r(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_GE(report.CountOf(SfsIssueKind::kOrphan), 1u);
+  EXPECT_TRUE((*fs)->Exists("/lost+found/ino3"));
+  // The file's bytes survived the quarantine.
+  Result<SfsStat> st = (*fs)->Stat("/lost+found/ino3");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 4u);
+}
+
+TEST(RecoveryTest, StaleLockReleasedAtBoot) {
+  ByteWriter w;
+  WriteHeader(&w, 2);
+  WriteDirRecord(&w, 1, "/", 1, {2});
+  WriteFileRecord(&w, 2, "/f", 1, 4, 4, /*lock_owner=*/77);
+  std::vector<uint8_t> image = w.Take();
+
+  ByteReader r(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_EQ(report.CountOf(SfsIssueKind::kStaleLock), 1u);
+  EXPECT_EQ((*fs)->LockOwner(2), -1);
+}
+
+TEST(RecoveryTest, IncompleteCreationSurvivesStrictLoadForLdl) {
+  ByteWriter w;
+  WriteHeader(&w, 2);
+  WriteDirRecord(&w, 1, "/", 1, {2});
+  WriteFileRecord(&w, 2, "/f", 1, 4, 4, /*lock_owner=*/-1, /*flags=*/1);
+  std::vector<uint8_t> image = w.Take();
+
+  // A pending creation is normal reboot debris, not structural damage: the strict
+  // loader accepts it and the marker survives for ldl to act on.
+  ByteReader r(image);
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_TRUE((*fs)->CreationPending(2));
+}
+
+TEST(RecoveryTest, SymlinkCycleFlaggedButKept) {
+  ByteWriter w;
+  WriteHeader(&w, 3);
+  WriteDirRecord(&w, 1, "/", 1, {2, 3});
+  WriteSymlinkRecord(&w, 2, "/s1", 1, "/shm/s2");
+  WriteSymlinkRecord(&w, 3, "/s2", 1, "/shm/s1");
+  std::vector<uint8_t> image = w.Take();
+
+  ByteReader r(image);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_GE(report.CountOf(SfsIssueKind::kSymlinkCycle), 1u);
+  // Cycles are legal on-disk state; both links survive.
+  EXPECT_TRUE((*fs)->Exists("/s1"));
+  EXPECT_TRUE((*fs)->Exists("/s2"));
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -158,6 +158,62 @@ TEST(SharedFsTest, SerializeDeserializeRoundTrip) {
   EXPECT_EQ(*(*again)->AddrToPath(SfsAddressForInode(ino)), "/lib/data");
 }
 
+TEST(SharedFsTest, TruncateShrinkZeroesDroppedTail) {
+  SharedFs fs;
+  uint32_t ino = *fs.Create("/secret");
+  uint8_t payload[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  ASSERT_TRUE(fs.WriteAt(ino, 0, payload, 8).ok());
+  ASSERT_TRUE(fs.Truncate(ino, 2).ok());
+  // Regrow past the old size: the reclaimed range must read as zeros (POSIX
+  // truncate), not the previous contents leaking back.
+  ASSERT_TRUE(fs.Truncate(ino, 8).ok());
+  uint8_t out[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+  ASSERT_EQ(*fs.ReadAt(ino, 0, out, 8), 8u);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[1], 9);
+  for (int i = 2; i < 8; ++i) {
+    EXPECT_EQ(out[i], 0) << "stale byte leaked at offset " << i;
+  }
+}
+
+TEST(SharedFsTest, UnlinkRefusesLockedInode) {
+  SharedFs fs;
+  uint32_t ino = *fs.Create("/mid-creation");
+  ASSERT_TRUE(fs.LockInode(ino, 42).ok());
+  // Destroying a segment out from under its creator would orphan the lock.
+  EXPECT_EQ(fs.Unlink("/mid-creation").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(fs.Exists("/mid-creation"));
+  // Administrative override still works, and a normal unlink works once unlocked.
+  ASSERT_TRUE(fs.Unlink("/mid-creation", /*force=*/true).ok());
+  uint32_t again = *fs.Create("/mid-creation");
+  ASSERT_TRUE(fs.LockInode(again, 42).ok());
+  ASSERT_TRUE(fs.UnlockInode(again, 42).ok());
+  EXPECT_TRUE(fs.Unlink("/mid-creation").ok());
+}
+
+TEST(SharedFsTest, LockLeaseExpiresOnOperationClock) {
+  SharedFs fs;
+  fs.set_lock_lease_ops(16);
+  uint32_t ino = *fs.Create("/leased");
+  ASSERT_TRUE(fs.LockInode(ino, 1).ok());
+  // Pid 1 probes as alive, so only the lease can break the lock.
+  fs.SetPidProber([](int) { return true; });
+  EXPECT_EQ(fs.LockInode(ino, 2).code(), ErrorCode::kWouldBlock);
+  fs.AdvanceClock(100);
+  EXPECT_TRUE(fs.LockInode(ino, 2).ok());
+  EXPECT_EQ(fs.LockOwner(ino), 2);
+}
+
+TEST(SharedFsTest, DeadHolderLockBroken) {
+  SharedFs fs;
+  uint32_t ino = *fs.Create("/abandoned");
+  ASSERT_TRUE(fs.LockInode(ino, 7).ok());
+  fs.SetPidProber([](int pid) { return pid != 7; });  // 7 is dead
+  // No clock advance needed: death is detected on the first contended attempt.
+  EXPECT_TRUE(fs.LockInode(ino, 8).ok());
+  EXPECT_EQ(fs.LockOwner(ino), 8);
+}
+
 // --- MemFs ---
 
 TEST(MemFsTest, BasicFiles) {

@@ -54,6 +54,32 @@ TEST_F(ShmHeapTest, DoubleFreeAndWildFreesDetected) {
   EXPECT_EQ(heap->Free(heap->limit() + 8).code(), ErrorCode::kInvalidArgument);
 }
 
+// The regression the naive exact-match check misses: once a freed block has been
+// coalesced into a neighboring span, its address is *interior* to a free block —
+// a second free of it used to corrupt the free list instead of failing.
+TEST_F(ShmHeapTest, DoubleFreeAfterCoalesceDetected) {
+  Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 64 * 1024);
+  ASSERT_TRUE(heap.ok());
+  Result<uint32_t> a = heap->Alloc(64);
+  Result<uint32_t> b = heap->Alloc(64);
+  Result<uint32_t> c = heap->Alloc(64);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(heap->Free(*b).ok());
+  ASSERT_TRUE(heap->Free(*c).ok());  // c merges into b's span (and the tail)
+  uint32_t before_bytes = heap->FreeBytes();
+  uint32_t before_blocks = heap->FreeBlockCount();
+  EXPECT_EQ(heap->Free(*c).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(heap->Free(*b).code(), ErrorCode::kFailedPrecondition);
+  // The rejected frees must not have disturbed the free list.
+  EXPECT_EQ(heap->FreeBytes(), before_bytes);
+  EXPECT_EQ(heap->FreeBlockCount(), before_blocks);
+  // The heap is still fully usable.
+  Result<uint32_t> d = heap->Alloc(64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(heap->Free(*d).ok());
+  EXPECT_TRUE(heap->Free(*a).ok());
+}
+
 TEST_F(ShmHeapTest, ExhaustionReported) {
   Result<ShmHeap> heap = ShmHeap::Create(&sfs_, "/heap", 4096);
   ASSERT_TRUE(heap.ok());

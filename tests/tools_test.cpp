@@ -114,5 +114,64 @@ TEST_F(ToolsTest, HemrunReportsCompileErrors) {
   EXPECT_NE(Run(hemrun_ + " " + dir_ + "/broken.hc", &out), 0);
 }
 
+// The full crash/recovery loop from the shell: a run crashes at an injected fault
+// point (exit 42), `hemdump check` flags the damage (exit 1), the next run salvages
+// and completes, and a final check comes back clean (exit 0).
+TEST_F(ToolsTest, HemrunFaultInjectionCrashRecoversOnRerun) {
+  WriteSource("counter.hc", R"(
+    int counter = 0;
+    int bump(void) { counter = counter + 1; return counter; }
+  )");
+  WriteSource("prog.hc", R"(
+    extern int bump(void);
+    int main(void) { putint(bump()); puts("\n"); return 0; }
+  )");
+  std::string base = hemrun_ + " --state " + dir_ + "/shm.img --public " + dir_ +
+                     "/counter.hc " + dir_ + "/prog.hc";
+  std::string out;
+  ASSERT_EQ(Run(base + " --faults ldl.create.locked=crash", &out), 42);
+  ASSERT_EQ(Run(hemdump_ + " check " + dir_ + "/shm.img", &out), 1);
+  EXPECT_NE(out.find("stale_lock"), std::string::npos);
+  EXPECT_NE(out.find("incomplete_creation"), std::string::npos);
+  ASSERT_EQ(Run(base, &out), 0);
+  EXPECT_EQ(out, "1\n") << "the half-created module must be rebuilt, not trusted";
+  ASSERT_EQ(Run(base, &out), 0);
+  EXPECT_EQ(out, "2\n");
+  EXPECT_EQ(Run(hemdump_ + " check " + dir_ + "/shm.img", &out), 0);
+}
+
+TEST_F(ToolsTest, HemrunCrashDuringSerializeLeavesTornImageThatSalvages) {
+  WriteSource("counter.hc", "int counter = 0;\nint bump(void) { counter = counter + 1; return counter; }\n");
+  WriteSource("prog.hc",
+              "extern int bump(void);\nint main(void) { putint(bump()); return 0; }\n");
+  std::string base = hemrun_ + " --state " + dir_ + "/shm.img --public " + dir_ +
+                     "/counter.hc " + dir_ + "/prog.hc";
+  std::string out;
+  ASSERT_EQ(Run(base, &out), 0);
+  ASSERT_EQ(Run(base + " --faults=sfs.serialize=crash", &out), 42);
+  // The image on disk is a truncated prefix; check flags it but can still read it.
+  ASSERT_EQ(Run(hemdump_ + " check " + dir_ + "/shm.img", &out), 1);
+  EXPECT_NE(out.find("truncated_image"), std::string::npos);
+  ASSERT_EQ(Run(base, &out), 0);
+}
+
+TEST_F(ToolsTest, HemdumpCheckCleanImageAndBadSpecs) {
+  WriteSource("counter.hc", "int counter = 0;\nint bump(void) { counter = counter + 1; return counter; }\n");
+  WriteSource("prog.hc",
+              "extern int bump(void);\nint main(void) { putint(bump()); return 0; }\n");
+  std::string base = hemrun_ + " --state " + dir_ + "/shm.img --public " + dir_ +
+                     "/counter.hc " + dir_ + "/prog.hc";
+  std::string out;
+  ASSERT_EQ(Run(base, &out), 0);
+  EXPECT_EQ(Run(hemdump_ + " check " + dir_ + "/shm.img", &out), 0);
+  EXPECT_NE(out.find("0 issue(s)"), std::string::npos);
+  // Unreadable input is distinguished from a dirty image.
+  WriteSource("junk.img", "not an image");
+  EXPECT_EQ(Run(hemdump_ + " check " + dir_ + "/junk.img", &out), 2);
+  // A malformed fault spec is rejected up front.
+  EXPECT_EQ(Run(base + " --faults not-a-spec", &out), 2);
+  EXPECT_EQ(Run(base + " --faults sfs.write=explode", &out), 2);
+}
+
 }  // namespace
 }  // namespace hemlock

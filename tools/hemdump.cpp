@@ -13,8 +13,14 @@
 // address -> file lookup table — the paper's "ability to peruse all of the segments
 // in existence", from the shell.
 //
+// The `check` subcommand runs the SfsCheck fsck pass over a state file in salvage
+// mode, prints every issue found (and whether it was repairable), and optionally
+// writes the repaired image back. Exit status: 0 = clean, 1 = issues found,
+// 2 = unreadable.
+//
 // Usage: hemdump [--no-disasm] <file> [<file> ...]
 //        hemdump state <state-file>
+//        hemdump check <state-file> [--repair <out-file>]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +31,7 @@
 #include "src/isa/isa.h"
 #include "src/link/image.h"
 #include "src/obj/object_file.h"
+#include "src/sfs/sfs_check.h"
 #include "src/sfs/shared_fs.h"
 
 using namespace hemlock;
@@ -218,6 +225,54 @@ int DumpState(const std::string& path) {
   return 0;
 }
 
+// fsck from the shell: deserializes in salvage mode (so the pass runs even over a
+// torn image), prints the issue list, and reports whether the image was healthy.
+int CheckState(const std::string& path, const std::string& repair_out) {
+  std::vector<uint8_t> bytes = ReadHostFile(path);
+  if (bytes.empty()) {
+    std::fprintf(stderr, "hemdump: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  ByteReader r(bytes);
+  SfsCheckReport report;
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "hemdump: %s is not a shared-partition state file: %s\n", path.c_str(),
+                 fs.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("==== %s: fsck of shared partition (%u/%u inodes in use) ====\n", path.c_str(),
+              (*fs)->InodesInUse(), kSfsMaxInodes);
+  for (const SfsCheckIssue& issue : report.issues) {
+    std::printf("%s\n", issue.ToString().c_str());
+  }
+  size_t repaired = 0;
+  for (const SfsCheckIssue& issue : report.issues) {
+    if (issue.repaired) {
+      ++repaired;
+    }
+  }
+  std::printf("%zu issue(s), %zu repaired\n", report.issues.size(), repaired);
+  if (!repair_out.empty()) {
+    ByteWriter w;
+    Status ser = (*fs)->Serialize(&w);
+    if (!ser.ok()) {
+      std::fprintf(stderr, "hemdump: cannot serialize repaired image: %s\n",
+                   ser.ToString().c_str());
+      return 2;
+    }
+    std::ofstream out(repair_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "hemdump: cannot write %s\n", repair_out.c_str());
+      return 2;
+    }
+    out.write(reinterpret_cast<const char*>(w.buffer().data()),
+              static_cast<std::streamsize>(w.buffer().size()));
+    std::printf("repaired image written to %s\n", repair_out.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int DumpOne(const std::string& path) {
   std::vector<uint8_t> bytes = ReadHostFile(path);
   if (bytes.empty()) {
@@ -258,13 +313,35 @@ int main(int argc, char** argv) {
     }
     return DumpState(argv[2]);
   }
+  if (argc >= 2 && std::string(argv[1]) == "check") {
+    std::string state_file;
+    std::string repair_out;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--repair" && i + 1 < argc) {
+        repair_out = argv[++i];
+      } else if (state_file.empty() && (arg.empty() || arg[0] != '-')) {
+        state_file = arg;
+      } else {
+        state_file.clear();
+        break;
+      }
+    }
+    if (state_file.empty()) {
+      std::fprintf(stderr, "usage: hemdump check <state-file> [--repair <out-file>]\n");
+      return 2;
+    }
+    return CheckState(state_file, repair_out);
+  }
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--no-disasm") {
       g_disasm = false;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: hemdump [--no-disasm] <file> ... | hemdump state <state-file>\n");
+      std::printf(
+          "usage: hemdump [--no-disasm] <file> ... | hemdump state <state-file> |\n"
+          "       hemdump check <state-file> [--repair <out-file>]\n");
       return 0;
     } else {
       files.push_back(arg);

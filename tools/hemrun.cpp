@@ -20,18 +20,25 @@
 //   --stats                    print ldl statistics after the run
 //   --metrics                  print every counter (vm.*, sfs.*, ldl.*) after the run
 //   --trace                    record and print the structured resolution trace
+//   --faults SPEC[:SEED]       arm fault points (point=error|crash|delay[@N|@rN];...);
+//                              an injected crash saves the (possibly torn) state and
+//                              exits 42 — run `hemdump check` or just rerun to recover
 //
 // Example (two shells sharing a counter):
 //   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 1
 //   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 2
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/base/faults.h"
 #include "src/base/strings.h"
 #include "src/link/search.h"
+#include "src/obj/object_file.h"
 #include "src/runtime/world.h"
+#include "src/sfs/sfs_check.h"
 
 using namespace hemlock;
 
@@ -67,7 +74,7 @@ std::string BaseNoExt(const std::string& host_path) {
 int Usage() {
   std::fprintf(stderr,
                "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--metrics]\n"
-               "              [--trace] [--emit dir]\n"
+               "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
                "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
                "               --dynamic-private f.hc]... <main.hc>\n");
   return 2;
@@ -80,6 +87,7 @@ int main(int argc, char** argv) {
   std::vector<ModuleArg> modules;
   std::string state_path;
   std::string emit_dir;
+  std::string fault_spec;
   std::map<std::string, std::string> env;
   bool eager = false;
   bool stats = false;
@@ -123,6 +131,16 @@ int main(int argc, char** argv) {
         return Usage();
       }
       env[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (arg == "--faults" || arg.rfind("--faults=", 0) == 0) {
+      if (arg.size() > 8 && arg[8] == '=') {
+        fault_spec = arg.substr(9);
+      } else {
+        const char* spec = next();
+        if (spec == nullptr) {
+          return Usage();
+        }
+        fault_spec = spec;
+      }
     } else if (arg == "--eager") {
       eager = true;
     } else if (arg == "--stats") {
@@ -146,7 +164,40 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  if (!fault_spec.empty()) {
+    // A trailing `:<digits>` is the seed for @rN ordinals.
+    uint64_t seed = 0;
+    size_t colon = fault_spec.rfind(':');
+    if (colon != std::string::npos && colon + 1 < fault_spec.size() &&
+        fault_spec.find_first_not_of("0123456789", colon + 1) == std::string::npos) {
+      seed = std::strtoull(fault_spec.c_str() + colon + 1, nullptr, 10);
+      fault_spec = fault_spec.substr(0, colon);
+    }
+    Status armed = FaultRegistry::Global().ArmFromSpec(fault_spec, seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "hemrun: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+
   HemlockWorld world;
+
+  // An injected crash mimics the process dying mid-operation: persist whatever the
+  // shared partition looks like *right now* (serialization itself may be the armed
+  // point, leaving a truncated image — exactly the artifact recovery must handle)
+  // and exit with the distinguished crash status.
+  auto crash_exit = [&](const Status& st) -> int {
+    std::fprintf(stderr, "[hemrun] injected crash: %s\n", st.ToString().c_str());
+    if (!state_path.empty()) {
+      ByteWriter w;
+      (void)world.sfs().Serialize(&w);
+      Status save = WriteHostFile(state_path, w.buffer());
+      if (!save.ok()) {
+        std::fprintf(stderr, "hemrun: cannot save state: %s\n", save.ToString().c_str());
+      }
+    }
+    return 42;
+  };
 
   // Restore the shared partition from a previous invocation.
   if (!state_path.empty()) {
@@ -155,10 +206,20 @@ int main(int argc, char** argv) {
       std::vector<uint8_t> disk((std::istreambuf_iterator<char>(in)),
                                 std::istreambuf_iterator<char>());
       ByteReader r(disk);
-      Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+      // Salvage mode: a torn or corrupt image from a crashed run is repaired by the
+      // fsck pass rather than rejected, so the next run always boots.
+      SfsCheckReport report;
+      Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
       if (!fs.ok()) {
         std::fprintf(stderr, "hemrun: bad state file: %s\n", fs.status().ToString().c_str());
         return 1;
+      }
+      if (!report.issues.empty()) {
+        std::fprintf(stderr, "[hemrun] state file needed recovery (%zu issues):\n",
+                     report.issues.size());
+        for (const SfsCheckIssue& issue : report.issues) {
+          std::fprintf(stderr, "[hemrun]   %s\n", issue.ToString().c_str());
+        }
       }
       world.machine().ReplaceSfs(std::move(*fs));
     }
@@ -184,6 +245,9 @@ int main(int argc, char** argv) {
 
   Status st = compile_one(main_src, "/home/user/" + BaseNoExt(main_src) + ".o", true);
   if (!st.ok()) {
+    if (IsCrash(st)) {
+      return crash_exit(st);
+    }
     std::fprintf(stderr, "hemrun: %s: %s\n", main_src.c_str(), st.ToString().c_str());
     return 1;
   }
@@ -193,9 +257,19 @@ int main(int argc, char** argv) {
     std::string vfs_path =
         IsPublic(mod.cls) ? "/shm/lib/" + name : "/home/user/" + name;
     // Public segments persist in the state file; their templates may already exist.
-    if (!world.vfs().Exists(vfs_path)) {
+    // Reuse one only if it still parses — a template torn by a crashed run is
+    // recompiled in place.
+    bool reuse = false;
+    if (world.vfs().Exists(vfs_path)) {
+      Result<std::vector<uint8_t>> bytes = world.vfs().ReadFile(vfs_path);
+      reuse = bytes.ok() && ObjectFile::Deserialize(*bytes).ok();
+    }
+    if (!reuse) {
       st = compile_one(mod.host_path, vfs_path, false);
       if (!st.ok()) {
+        if (IsCrash(st)) {
+          return crash_exit(st);
+        }
         std::fprintf(stderr, "hemrun: %s: %s\n", mod.host_path.c_str(), st.ToString().c_str());
         return 1;
       }
@@ -209,6 +283,9 @@ int main(int argc, char** argv) {
   LdsReport report;
   Result<LoadImage> image = world.Link(lds, &report);
   if (!image.ok()) {
+    if (IsCrash(image.status())) {
+      return crash_exit(image.status());
+    }
     std::fprintf(stderr, "hemrun: link failed: %s\n", image.status().ToString().c_str());
     return 1;
   }
@@ -227,11 +304,17 @@ int main(int argc, char** argv) {
   }
   Result<ExecResult> run = world.Exec(*image, exec);
   if (!run.ok()) {
+    if (IsCrash(run.status())) {
+      return crash_exit(run.status());
+    }
     std::fprintf(stderr, "hemrun: exec failed: %s\n", run.status().ToString().c_str());
     return 1;
   }
   Result<int> status = world.RunToExit(run->pid);
   if (!status.ok()) {
+    if (IsCrash(status.status())) {
+      return crash_exit(status.status());
+    }
     std::fprintf(stderr, "hemrun: %s\n", status.status().ToString().c_str());
     return 1;
   }
@@ -269,11 +352,21 @@ int main(int argc, char** argv) {
   // Persist the shared partition for the next invocation.
   if (!state_path.empty()) {
     ByteWriter w;
-    world.sfs().Serialize(&w);
+    Status ser = world.sfs().Serialize(&w);
+    if (!ser.ok() && !IsCrash(ser)) {
+      std::fprintf(stderr, "hemrun: cannot serialize state: %s\n", ser.ToString().c_str());
+      return 1;
+    }
+    // On an injected serialize crash the buffer holds a truncated prefix; write it
+    // anyway — that torn image is what the next boot's salvage path must repair.
     Status save = WriteHostFile(state_path, w.buffer());
     if (!save.ok()) {
       std::fprintf(stderr, "hemrun: cannot save state: %s\n", save.ToString().c_str());
       return 1;
+    }
+    if (IsCrash(ser)) {
+      std::fprintf(stderr, "[hemrun] injected crash: %s\n", ser.ToString().c_str());
+      return 42;
     }
   }
   return *status;
