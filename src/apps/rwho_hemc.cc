@@ -1,0 +1,159 @@
+#include "src/apps/rwho_hemc.h"
+
+#include <map>
+
+#include "src/base/strings.h"
+#include "src/link/loader.h"
+#include "src/runtime/sync.h"
+
+namespace hemlock {
+
+namespace {
+
+// Shared view of the database segment, pasted ahead of both programs (HemC has no
+// preprocessor; extern declarations are its header files).
+std::string DbExterns(const RwhoHemcConfig& config) {
+  return StrFormat(
+      "extern int rwho_lock;\n"
+      "extern int rwho_done;\n"
+      "extern int rwho_count;\n"
+      "extern int rwho_hosts[%d];\n"
+      "extern int rwho_load[%d];\n"
+      "extern int rwho_time[%d];\n",
+      config.hosts, config.hosts, config.hosts);
+}
+
+}  // namespace
+
+std::string RwhoDbModuleSource(const RwhoHemcConfig& config) {
+  return StrFormat(
+      "int rwho_lock = 0;\n"
+      "int rwho_done = 0;\n"
+      "int rwho_count = 0;\n"
+      "int rwho_hosts[%d];\n"
+      "int rwho_load[%d];\n"
+      "int rwho_time[%d];\n",
+      config.hosts, config.hosts, config.hosts);
+}
+
+std::string RwhoDaemonSource(const RwhoHemcConfig& config, const std::string& client_hxe) {
+  std::string lock = config.locked ? "  hem_mutex_lock(&rwho_lock);\n" : "";
+  std::string unlock = config.locked ? "  hem_mutex_unlock(&rwho_lock);\n" : "";
+  return HemSyncDecls() + DbExterns(config) +
+         StrFormat(
+             "int kids[%d];\n"
+             "int main() {\n"
+             "  int i;\n"
+             "  int p;\n"
+             "  int h;\n"
+             "  for (i = 0; i < %d; i += 1) {\n"
+             "    kids[i] = sys_spawn(\"%s\");\n"
+             "    if (kids[i] < 0) {\n"
+             "      return 70;\n"
+             "    }\n"
+             "  }\n"
+             "  for (p = 0; p < %d; p += 1) {\n"
+             "    h = p %% %d;\n"
+             "  %s"
+             "    rwho_hosts[h] = 1;\n"
+             "    rwho_load[h] = rwho_load[h] + 7;\n"
+             "    rwho_time[h] = p;\n"
+             "    if (rwho_count < h + 1) {\n"
+             "      rwho_count = h + 1;\n"
+             "    }\n"
+             "  %s"
+             "    sys_yield();\n"
+             "  }\n"
+             "%s"
+             "  rwho_done = 1;\n"
+             "%s"
+             "  for (i = 0; i < %d; i += 1) {\n"
+             "    sys_waitpid(kids[i]);\n"
+             "  }\n"
+             "  puts(\"rwhod: fed \");\n"
+             "  putint(%d);\n"
+             "  puts(\" packets\\n\");\n"
+             "  return 0;\n"
+             "}\n",
+             config.clients, config.clients, client_hxe.c_str(), config.packets,
+             config.hosts, lock.c_str(), unlock.c_str(), lock.c_str(), unlock.c_str(),
+             config.clients, config.packets);
+}
+
+std::string RwhoClientSource(const RwhoHemcConfig& config) {
+  std::string lock = config.locked ? "    hem_mutex_lock(&rwho_lock);\n" : "";
+  std::string unlock = config.locked ? "    hem_mutex_unlock(&rwho_lock);\n" : "";
+  return HemSyncDecls() + DbExterns(config) +
+         StrFormat(
+             "int main() {\n"
+             "  int done;\n"
+             "  int up;\n"
+             "  int i;\n"
+             "  done = 0;\n"
+             "  up = 0;\n"
+             "  while (done == 0) {\n"
+             "%s"
+             "    up = 0;\n"
+             "    for (i = 0; i < rwho_count; i += 1) {\n"
+             "      if (rwho_hosts[i] != 0) {\n"
+             "        up += 1;\n"
+             "      }\n"
+             "    }\n"
+             "    done = rwho_done;\n"
+             "%s"
+             "    sys_yield();\n"
+             "  }\n"
+             "  puts(\"rwho: \");\n"
+             "  putint(up);\n"
+             "  puts(\" hosts up\\n\");\n"
+             "  return 0;\n"
+             "}\n",
+             lock.c_str(), unlock.c_str());
+}
+
+Result<RwhoHemcOutcome> RunRwhoHemc(HemlockWorld& world, const RwhoHemcConfig& config) {
+  RETURN_IF_ERROR(InstallHemSync(world));
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  RETURN_IF_ERROR(
+      world.CompileTo(RwhoDbModuleSource(config), "/shm/lib/rwho_db.o", no_prelude));
+  const std::string client_hxe = "/home/user/rwho_client.hxe";
+  RETURN_IF_ERROR(world.CompileTo(RwhoClientSource(config), "/home/user/rwho_client.o"));
+  RETURN_IF_ERROR(
+      world.CompileTo(RwhoDaemonSource(config, client_hxe), "/home/user/rwhod.o"));
+
+  auto link_with_db = [&](const std::string& main_obj) -> Result<LoadImage> {
+    LdsOptions lds;
+    lds.inputs.push_back({main_obj, ShareClass::kStaticPrivate});
+    lds.inputs.push_back({"/shm/lib/rwho_db.o", ShareClass::kDynamicPublic});
+    lds.inputs.push_back({"/shm/lib/hemsync.o", ShareClass::kDynamicPublic});
+    return world.Link(lds);
+  };
+  ASSIGN_OR_RETURN(LoadImage client_image, link_with_db("/home/user/rwho_client.o"));
+  RETURN_IF_ERROR(world.vfs().WriteFile(client_hxe, client_image.Serialize()));
+  ASSIGN_OR_RETURN(LoadImage daemon_image, link_with_db("/home/user/rwhod.o"));
+
+  InstallSpawnHandler(world.machine());
+
+  // waitpid reaps the clients (erasing their Process), so capture output and exit
+  // status as each one dies.
+  std::map<int, std::pair<int, std::string>> finished;  // pid -> (status, stdout)
+  world.machine().AddExitHook([&finished](Process& p) {
+    finished[p.pid()] = {p.exit_status(), p.stdout_text()};
+  });
+
+  ASSIGN_OR_RETURN(ExecResult daemon, world.Exec(daemon_image));
+  RwhoHemcOutcome out;
+  out.run_status = world.machine().RunScheduled(config.sched, config.max_steps);
+  for (const auto& [pid, result] : finished) {
+    out.stdout_text += result.second;
+    if (pid == daemon.pid) {
+      out.daemon_status = result.first;
+    } else {
+      out.client_statuses.push_back(result.first);
+    }
+  }
+  return out;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,61 @@
+// rwho as a *real* multi-process Hemlock deployment (paper §4 made live).
+//
+// The C++ ShmRwhoDb in rwho.h measures the data-structure designs; this variant runs
+// the actual deployment shape on the simulated machine: one rwhod daemon process
+// receives status packets and updates a shared-segment database, while N rwho client
+// processes — spawned by the daemon itself with sys_spawn — query the database
+// concurrently, all under the preemptive scheduler. Synchronization is the HemC
+// hem_mutex from src/runtime/sync over a lock word in the shared segment, so the
+// whole thing is also the canonical subject for the race detector: drop the lock and
+// `hemrun --race` (or RunRwhoHemc with races enabled) flags the update/query pairs.
+//
+// Pieces (all HemC, compiled into the simulated world):
+//   * the database module — a dynamic public segment holding the lock word, a done
+//     flag, and parallel record arrays (host id, load*100, receive time);
+//   * rwhod — spawns the clients, feeds packets through hem_mutex-protected updates,
+//     raises the done flag, reaps the clients with sys_waitpid;
+//   * rwho client — repeatedly snapshots the database under the lock until the done
+//     flag is up, then prints the final up-host count.
+#ifndef SRC_APPS_RWHO_HEMC_H_
+#define SRC_APPS_RWHO_HEMC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kernel/scheduler.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+
+struct RwhoHemcConfig {
+  int clients = 2;        // rwho processes the daemon spawns
+  int hosts = 8;          // distinct hosts in the packet feed
+  int packets = 64;       // packets rwhod processes before raising done
+  bool locked = true;     // false: omit the hem_mutex (the planted racy variant)
+  SchedParams sched;      // scheduling policy/seed/quantum for the run
+  uint64_t max_steps = 200'000'000;
+};
+
+struct RwhoHemcOutcome {
+  int daemon_status = 0;
+  std::vector<int> client_statuses;
+  std::string stdout_text;   // all processes, pid order
+  RunStatus run_status = RunStatus::kExited;
+};
+
+// The database module's HemC source (capacity = |hosts|).
+std::string RwhoDbModuleSource(const RwhoHemcConfig& config);
+// rwhod's HemC source. |client_hxe| is the VFS path sys_spawn will exec.
+std::string RwhoDaemonSource(const RwhoHemcConfig& config, const std::string& client_hxe);
+// The client's HemC source.
+std::string RwhoClientSource(const RwhoHemcConfig& config);
+
+// Builds everything into |world| (hemsync + db module + both images), execs rwhod,
+// and drives the machine with the configured scheduler. Enable the race detector on
+// the machine *before* calling to get reports (RunRwhoHemc does not turn it on).
+Result<RwhoHemcOutcome> RunRwhoHemc(HemlockWorld& world, const RwhoHemcConfig& config);
+
+}  // namespace hemlock
+
+#endif  // SRC_APPS_RWHO_HEMC_H_

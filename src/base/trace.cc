@@ -30,6 +30,10 @@ const char* TraceKindName(TraceKind kind) {
       return "lock_broken";
     case TraceKind::kFsckRepair:
       return "fsck_repair";
+    case TraceKind::kRaceReport:
+      return "race_report";
+    case TraceKind::kDeadlock:
+      return "deadlock";
   }
   return "unknown";
 }

@@ -28,6 +28,8 @@ enum class TraceKind : uint8_t {
   kAddrLookup,     // what: resolved path (empty = miss); addr: queried address
   kLockBroken,     // what: path; detail: why ("dead holder"/"lease expired"); value: old owner pid
   kFsckRepair,     // what: issue kind; detail: affected path; value: inode
+  kRaceReport,     // what: formatted race; detail: segment path; addr: racy word
+  kDeadlock,       // what: wait summary ("3 futex, 1 wait"); value: blocked count
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -128,6 +128,16 @@ enum class Sys : uint32_t {
   kSignal = 17,      // a0 = handler address (0 = reset): the paper's wrapped signal()
                      // call — the handler runs when Hemlock's own fault handler cannot
                      // resolve a SIGSEGV; -> previous handler address
+  kFutexWait = 18,   // a0 = shared addr, a1 = expected value: block while *addr == a1
+                     // (returns kWouldBlock immediately when *addr != a1)
+  kFutexWake = 19,   // a0 = shared addr, a1 = max waiters -> number woken
+  kCas = 20,         // a0 = shared addr, a1 = expected, a2 = desired -> old value.
+                     // Kernel-atomic compare-and-swap: HRISC has no atomic
+                     // instructions (R3000 heritage), so the kernel provides the
+                     // primitive, like Linux's kuser cmpxchg helper on ARMv5.
+  kSpawn = 21,       // a0 = image path in the VFS -> child pid; the paper's rwho
+                     // launcher starts its daemon and clients with this
+  kSetPrio = 22,     // a0 = priority (higher runs first under the rr policy)
 };
 
 // Returning from a simulated SIGSEGV handler: the handler's return jumps here, a

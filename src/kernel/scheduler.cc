@@ -1,0 +1,185 @@
+#include "src/kernel/scheduler.h"
+
+#include <algorithm>
+
+namespace hemlock {
+namespace {
+
+// splitmix64: tiny, high-quality, and deterministic across platforms. The chaos
+// schedule must be a pure function of the seed so CI failures replay locally.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kRoundRobin:
+      return "rr";
+    case SchedPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+Result<SchedParams> ParseSchedSpec(const std::string& spec) {
+  SchedParams params;
+  if (spec == "rr") {
+    params.policy = SchedPolicy::kRoundRobin;
+    return params;
+  }
+  if (spec == "random") {
+    params.policy = SchedPolicy::kRandom;
+    return params;
+  }
+  const std::string prefix = "random:";
+  if (spec.rfind(prefix, 0) == 0) {
+    params.policy = SchedPolicy::kRandom;
+    const std::string digits = spec.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bad scheduler seed in '" + spec + "'");
+    }
+    params.seed = std::stoull(digits);
+    return params;
+  }
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown scheduler spec '" + spec + "' (want rr|random[:seed])");
+}
+
+void Scheduler::SetMetrics(MetricsRegistry* metrics) {
+  c_switches_ = metrics->Counter("vm.sched.switches");
+  c_preemptions_ = metrics->Counter("vm.sched.preemptions");
+  c_blocks_ = metrics->Counter("vm.sched.blocks");
+  c_wakes_ = metrics->Counter("vm.sched.wakes");
+  c_futex_waits_ = metrics->Counter("vm.sched.futex_waits");
+  c_deadlocks_ = metrics->Counter("vm.sched.deadlocks");
+}
+
+void Scheduler::Configure(SchedPolicy policy, uint64_t seed) {
+  policy_ = policy;
+  // Mix the seed so random:0 and random:1 diverge immediately.
+  rng_state_ = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+}
+
+void Scheduler::Enqueue(int pid, int priority) {
+  if (!ready_set_.insert(pid).second) return;
+  ready_[priority].push_back(pid);
+}
+
+void Scheduler::Preempt(int pid, int priority) {
+  ++*c_preemptions_;
+  Enqueue(pid, priority);
+}
+
+void Scheduler::Remove(int pid) {
+  if (ready_set_.erase(pid) > 0) {
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      auto& q = it->second;
+      q.erase(std::remove(q.begin(), q.end(), pid), q.end());
+      it = q.empty() ? ready_.erase(it) : std::next(it);
+    }
+  }
+  CancelFutexWait(pid);
+  other_waiters_.erase(pid);
+}
+
+int Scheduler::PickNext() {
+  if (ready_set_.empty()) return -1;
+  ++*c_switches_;
+  if (policy_ == SchedPolicy::kRandom) {
+    // Uniform pick over every ready pid. Iterate the set (sorted, so the pick
+    // sequence is deterministic) rather than the queues to ignore priority.
+    size_t index = SplitMix64(&rng_state_) % ready_set_.size();
+    auto it = ready_set_.begin();
+    std::advance(it, index);
+    int pid = *it;
+    ready_set_.erase(it);
+    for (auto qit = ready_.begin(); qit != ready_.end();) {
+      auto& q = qit->second;
+      q.erase(std::remove(q.begin(), q.end(), pid), q.end());
+      qit = q.empty() ? ready_.erase(qit) : std::next(qit);
+    }
+    return pid;
+  }
+  auto qit = ready_.begin();  // highest priority class
+  int pid = qit->second.front();
+  qit->second.pop_front();
+  if (qit->second.empty()) ready_.erase(qit);
+  ready_set_.erase(pid);
+  return pid;
+}
+
+void Scheduler::BlockOnFutex(int pid, uint32_t addr) {
+  ++*c_blocks_;
+  ++*c_futex_waits_;
+  futex_waiters_[addr].push_back(pid);
+}
+
+std::vector<int> Scheduler::TakeFutexWaiters(uint32_t addr, uint32_t max) {
+  std::vector<int> woken;
+  auto it = futex_waiters_.find(addr);
+  if (it == futex_waiters_.end()) return woken;
+  auto& q = it->second;
+  while (!q.empty() && woken.size() < max) {
+    woken.push_back(q.front());
+    q.pop_front();
+  }
+  if (q.empty()) futex_waiters_.erase(it);
+  *c_wakes_ += woken.size();
+  return woken;
+}
+
+void Scheduler::CancelFutexWait(int pid) {
+  for (auto it = futex_waiters_.begin(); it != futex_waiters_.end();) {
+    auto& q = it->second;
+    q.erase(std::remove(q.begin(), q.end(), pid), q.end());
+    it = q.empty() ? futex_waiters_.erase(it) : std::next(it);
+  }
+}
+
+void Scheduler::NoteBlocked(int pid) {
+  ++*c_blocks_;
+  other_waiters_.insert(pid);
+}
+
+void Scheduler::NoteWoken(int pid) {
+  if (other_waiters_.erase(pid) > 0) ++*c_wakes_;
+}
+
+size_t Scheduler::ReadyCount() const { return ready_set_.size(); }
+
+size_t Scheduler::FutexWaiterCount() const {
+  size_t n = 0;
+  for (const auto& [addr, q] : futex_waiters_) n += q.size();
+  return n;
+}
+
+std::vector<int> Scheduler::FutexWaitersAt(uint32_t addr) const {
+  auto it = futex_waiters_.find(addr);
+  if (it == futex_waiters_.end()) return {};
+  return std::vector<int>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> Scheduler::DescribeWaiters() const {
+  std::vector<std::string> lines;
+  char buf[64];
+  for (const auto& [addr, q] : futex_waiters_) {
+    for (int pid : q) {
+      snprintf(buf, sizeof buf, "pid %d: futex 0x%08X", pid, addr);
+      lines.push_back(buf);
+    }
+  }
+  for (int pid : other_waiters_) {
+    snprintf(buf, sizeof buf, "pid %d: wait", pid);
+    lines.push_back(buf);
+  }
+  return lines;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,136 @@
+// The preemptive scheduler for the simulated kernel.
+//
+// Replaces Machine::RunAll's round-robin busy loop with real run/wait queues:
+//   * runnable processes live in per-priority FIFO ready queues (higher priority
+//     classes run first; round-robin within a class);
+//   * blocked processes are *off* the ready queues entirely — a waiting process is
+//     never polled, it is made runnable again by the event that satisfies its wait
+//     (child exit, futex wake, creation-lock release);
+//   * futex wait queues are keyed by shared-region address, FIFO per address;
+//   * two pluggable policies: kRoundRobin (fair, production default) and kRandom
+//     (seeded uniform pick over every ready process, ignoring priority — a "chaos
+//     schedule" for deterministic interleaving fuzzing of sync code).
+//
+// The scheduler is deliberately dumb about Process internals: it tracks pids only.
+// The Machine drives every state transition (enqueue on runnable, block on wait,
+// remove on exit) and is responsible for keeping the two views consistent.
+//
+// Observability: every transition bumps a "vm.sched.*" counter in the machine's
+// registry (switches, preemptions, blocks, wakes, futex waits/wakes, deadlocks).
+#ifndef SRC_KERNEL_SCHEDULER_H_
+#define SRC_KERNEL_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/status.h"
+
+namespace hemlock {
+
+enum class SchedPolicy : uint8_t {
+  kRoundRobin,  // FIFO within the highest non-empty priority class
+  kRandom,      // seeded uniform pick over all ready pids (priority ignored)
+};
+
+const char* SchedPolicyName(SchedPolicy policy);
+
+// One scheduling configuration, as selected by hemrun --sched / --quantum.
+struct SchedParams {
+  SchedPolicy policy = SchedPolicy::kRoundRobin;
+  uint64_t seed = 0;        // kRandom: the interleaving is a pure function of this
+  uint64_t quantum = 4096;  // instructions per dispatch before preemption
+};
+
+// Parses "rr" or "random:<seed>" (bare "random" = seed 0).
+Result<SchedParams> ParseSchedSpec(const std::string& spec);
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers the "vm.sched.*" counters. Call once, before any transition.
+  void SetMetrics(MetricsRegistry* metrics);
+
+  // Selects the policy and reseeds the chaos RNG. Ready/wait queues are preserved
+  // (a re-run of the same machine continues with whatever is still queued).
+  void Configure(SchedPolicy policy, uint64_t seed);
+  SchedPolicy policy() const { return policy_; }
+
+  // --- Ready-queue transitions (driven by the Machine) ---
+
+  // Adds |pid| to the back of its priority's ready queue. No-op if already queued.
+  void Enqueue(int pid, int priority);
+  // Re-queues a preempted process (quantum exhausted, still runnable).
+  void Preempt(int pid, int priority);
+  // Removes |pid| from every queue (process exited or was killed).
+  void Remove(int pid);
+
+  // Picks the next pid to dispatch and removes it from the ready queue.
+  // Returns -1 when no process is ready. Counted in vm.sched.switches.
+  int PickNext();
+
+  // --- Wait queues ---
+
+  // Parks |pid| on the futex queue for |addr| (it must not be on a ready queue;
+  // call Remove first if needed). FIFO per address.
+  void BlockOnFutex(int pid, uint32_t addr);
+  // Detaches up to |max| waiters (FIFO order) from |addr|'s queue and returns them.
+  // The caller wakes them (Enqueue) after fixing up their register state.
+  std::vector<int> TakeFutexWaiters(uint32_t addr, uint32_t max);
+  // Removes |pid| from any futex queue it waits on (exit while blocked).
+  void CancelFutexWait(int pid);
+
+  // A process blocked on something that is not a futex (waitpid). The scheduler
+  // only needs the count for deadlock detection; the Machine keeps the detail.
+  void NoteBlocked(int pid);
+  void NoteWoken(int pid);
+
+  // --- Introspection ---
+
+  size_t ReadyCount() const;
+  // Total processes blocked on a futex address.
+  size_t FutexWaiterCount() const;
+  // Processes blocked on non-futex waits (waitpid).
+  size_t OtherWaiterCount() const { return other_waiters_.size(); }
+  // Pids currently parked on |addr|.
+  std::vector<int> FutexWaitersAt(uint32_t addr) const;
+  // One line per wait entry, for deadlock reports: "pid 3: futex 0x30000040".
+  std::vector<std::string> DescribeWaiters() const;
+
+  void CountDeadlock() { ++*c_deadlocks_; }
+
+ private:
+  SchedPolicy policy_ = SchedPolicy::kRoundRobin;
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+
+  // Ready queues: priority (descending) -> FIFO of pids. |ready_set_| guards
+  // against double-enqueue.
+  std::map<int, std::deque<int>, std::greater<int>> ready_;
+  std::set<int> ready_set_;
+
+  // Futex wait queues: address -> FIFO of pids.
+  std::map<uint32_t, std::deque<int>> futex_waiters_;
+  std::set<int> other_waiters_;
+
+  // vm.sched.* counter handles (null until SetMetrics; transitions then uncounted,
+  // which only standalone unit tests do).
+  uint64_t scratch_ = 0;
+  uint64_t* c_switches_ = &scratch_;
+  uint64_t* c_preemptions_ = &scratch_;
+  uint64_t* c_blocks_ = &scratch_;
+  uint64_t* c_wakes_ = &scratch_;
+  uint64_t* c_futex_waits_ = &scratch_;
+  uint64_t* c_deadlocks_ = &scratch_;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_KERNEL_SCHEDULER_H_

@@ -37,6 +37,11 @@ constexpr Intrinsic kIntrinsics[] = {
     {"sys_time", Sys::kTime, 0},
     {"sys_lockf", Sys::kLockFile, 2},
     {"sys_signal", Sys::kSignal, 1},
+    {"sys_futex_wait", Sys::kFutexWait, 2},
+    {"sys_futex_wake", Sys::kFutexWake, 2},
+    {"sys_cas", Sys::kCas, 3},
+    {"sys_spawn", Sys::kSpawn, 1},
+    {"sys_setprio", Sys::kSetPrio, 1},
 };
 
 const Intrinsic* FindIntrinsic(const std::string& name) {

@@ -40,6 +40,7 @@ Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
   c_relocs_applied_ = metrics_.Counter("ldl.relocs_applied");
   c_lock_acquisitions_ = metrics_.Counter("ldl.lock_acquisitions");
   c_lock_retries_ = metrics_.Counter("ldl.lock_retries");
+  c_lock_waits_ = metrics_.Counter("ldl.lock_waits");
   c_unresolved_refs_ = metrics_.Counter("ldl.unresolved_refs");
   c_deps_missing_ = metrics_.Counter("ldl.deps_missing");
   c_lookups_ = metrics_.Counter("ldl.lookups");
@@ -66,6 +67,7 @@ LdlStats Ldl::stats() const {
   s.relocs_applied = static_cast<uint32_t>(*c_relocs_applied_);
   s.lock_acquisitions = static_cast<uint32_t>(*c_lock_acquisitions_);
   s.lock_retries = static_cast<uint32_t>(*c_lock_retries_);
+  s.lock_waits = static_cast<uint32_t>(*c_lock_waits_);
   s.unresolved_refs = static_cast<uint32_t>(*c_unresolved_refs_);
   s.deps_missing = static_cast<uint32_t>(*c_deps_missing_);
   s.lookups = static_cast<uint32_t>(*c_lookups_);
@@ -217,6 +219,16 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
         trustworthy = false;
       }
       if (!trustworthy) {
+        // Untrustworthy because a *live* process is mid-creation (pending marker up,
+        // lock held)? Then this is contention, not a corpse: park the faulting
+        // process until the creator unlocks, and attach the finished segment on
+        // retry. Rebuilding here would race the creator's writes.
+        if (CreatorBlocksUs(st.ino, proc.pid())) {
+          blocked_on_addr_ = SfsAddressForInode(st.ino);
+          return WouldBlock("ldl: public module '" + module_path +
+                            "' is being created by pid " +
+                            std::to_string(machine_->sfs().LockOwner(st.ino)));
+        }
         ASSIGN_OR_RETURN(std::vector<uint8_t> tpl_bytes, vfs.ReadFile(found));
         ASSIGN_OR_RETURN(ObjectFile tpl, ObjectFile::Deserialize(tpl_bytes));
         return CreatePublicModule(proc, tpl, module_path, st.ino, /*rebuild=*/true, cls, parent);
@@ -246,6 +258,18 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
                         parent);
 }
 
+bool Ldl::CreatorBlocksUs(uint32_t ino, int pid) {
+  if (!in_fault_) {
+    return false;  // Startup has no scheduler context to block in
+  }
+  int owner = machine_->sfs().LockOwner(ino);
+  if (owner < 0 || owner == pid) {
+    return false;
+  }
+  Process* holder = machine_->FindProcess(owner);
+  return holder != nullptr && holder->state() != ProcState::kZombie;
+}
+
 Status Ldl::LockInodeWithRetry(uint32_t ino, int pid) {
   SharedFs& sfs = machine_->sfs();
   // Backoff in simulated partition ops: eight doublings from lease/8 add up to ~32
@@ -258,6 +282,13 @@ Status Ldl::LockInodeWithRetry(uint32_t ino, int pid) {
       return st;
     }
     ++*c_lock_retries_;
+    // Burning the clock is how a *dead* holder's lease expires. Against a *live*
+    // holder it would break a lease that is still protecting in-progress writes —
+    // block on the inode's segment address instead and retry after its unlock.
+    if (CreatorBlocksUs(ino, pid)) {
+      blocked_on_addr_ = SfsAddressForInode(ino);
+      return st;
+    }
     sfs.AdvanceClock(backoff);
     backoff *= 2;
   }
@@ -555,6 +586,11 @@ Result<uint32_t> Ldl::LookupInOwnScope(Process& proc, int index, const std::stri
         scope = modules_[scope].parent;
       }
       if (!dep.ok()) {
+        if (blocked_on_addr_ != 0) {
+          // Not missing — being created by a live process right now. Propagate so
+          // the fault handler parks this process instead of recording a false miss.
+          return dep.status();
+        }
         // Dependency missing entirely; its symbols stay unresolved. This used to be a
         // silent `continue` — record it once per (module, dependency) so lost
         // dependencies are diagnosable.
@@ -624,6 +660,11 @@ Result<uint32_t> Ldl::LookupScoped(Process& proc, int index, const std::string& 
     if (addr.ok()) {
       break;
     }
+    if (blocked_on_addr_ != 0) {
+      // A scope module is mid-creation elsewhere: don't memoize this as a miss —
+      // the symbol may well exist once the creator finishes.
+      return addr;
+    }
     cur = modules_[cur].parent;
   }
   if (!addr.ok()) {
@@ -683,6 +724,11 @@ Status Ldl::ResolveModule(Process& proc, int index, uint32_t fault_addr) {
     if (addr.ok()) {
       modules_[index].resolved[symbol] = *addr;
       modules_[index].unresolved.erase(symbol);
+    } else if (blocked_on_addr_ != 0) {
+      // Resolution must pause for a segment under creation; leave the module's
+      // pages closed and let the retried fault finish the job after the wake.
+      return WouldBlock("ldl: resolution of module '" + modules_[index].name +
+                        "' blocked on a segment under creation");
     } else {
       // Left unresolved: a use will fault, which the application may catch
       // (paper: "could be used ... to trigger application-specific recovery").
@@ -755,6 +801,28 @@ Status Ldl::ResolveAll(Process& proc) {
 }
 
 bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
+  in_fault_ = true;
+  blocked_on_addr_ = 0;
+  bool handled = HandleFaultImpl(machine, proc, fault);
+  in_fault_ = false;
+  if (!handled && blocked_on_addr_ != 0) {
+    // Resolution ran into a segment that a live process is still creating. Park the
+    // faulter on the segment's address; the creator's unlock (or exit) wakes it and
+    // the retried instruction attaches the finished segment.
+    uint32_t addr = blocked_on_addr_;
+    blocked_on_addr_ = 0;
+    ++*c_lock_waits_;
+    if (trace_->enabled()) trace_->Emit(TraceKind::kFaultHandled, "lock_wait", "", addr);
+    HLOG(Info) << "ldl: pid " << proc.pid()
+               << StrFormat(" waiting for segment creation at 0x%08X", addr);
+    machine.BlockProcessOnAddr(proc, addr);
+    return true;
+  }
+  blocked_on_addr_ = 0;
+  return handled;
+}
+
+bool Ldl::HandleFaultImpl(Machine& machine, Process& proc, const Fault& fault) {
   // A fault is the retry signal for anything that failed before: forget memoized
   // misses so files or modules that appeared since get another chance.
   InvalidateNegativeCaches();
@@ -782,8 +850,10 @@ bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
     if (trace_->enabled()) trace_->Emit(TraceKind::kFaultHandled, "link", modules_[touched].name, fault.addr);
     Status st = ResolveModule(proc, touched, fault.addr);
     if (!st.ok()) {
-      HLOG(Warning) << "ldl: lazy link of '" << modules_[touched].name
-                    << "' failed: " << st.ToString();
+      if (blocked_on_addr_ == 0) {
+        HLOG(Warning) << "ldl: lazy link of '" << modules_[touched].name
+                      << "' failed: " << st.ToString();
+      }
       return false;
     }
     return true;
@@ -805,6 +875,12 @@ bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
       return false;
     }
     SfsStat st = *st_result;
+    if (machine.sfs().CreationPending(*ino) && CreatorBlocksUs(*ino, proc.pid())) {
+      // Half-written by a live creator: wait for its unlock rather than mapping
+      // (or rebuilding over) bytes that are still changing.
+      blocked_on_addr_ = SfsAddressForInode(*ino);
+      return false;
+    }
     Result<std::vector<uint8_t>> bytes_result = machine.vfs().ReadFile(path);
     if (!bytes_result.ok()) {
       return false;

@@ -83,6 +83,7 @@ struct LdlStats {
   uint32_t relocs_applied = 0;
   uint32_t lock_acquisitions = 0;
   uint32_t lock_retries = 0;      // creation-lock attempts that found it held
+  uint32_t lock_waits = 0;        // faults parked waiting for a live creator's lock
   uint32_t unresolved_refs = 0;   // lookups that failed (left for fault-time recovery)
   uint32_t deps_missing = 0;      // distinct module-list entries that could not be located
   uint32_t lookups = 0;           // scoped symbol lookups requested
@@ -98,7 +99,11 @@ class Ldl {
   Status Startup(Process& proc);
 
   // The fault-handler entry point: returns true if the fault was resolved and the
-  // instruction should be retried.
+  // instruction should be retried. When resolution runs into a public segment that
+  // a *live* process is still creating, the faulting process is parked on the
+  // segment's address (Machine::BlockProcessOnAddr) and true is returned — the
+  // retried instruction finds the finished segment after the creator's unlock, and
+  // the waiter attaches instead of rebuilding.
   bool HandleFault(Machine& machine, Process& proc, const Fault& fault);
 
   // Explicitly resolves a module by name in |proc| (eager ablation / tests).
@@ -178,10 +183,15 @@ class Ldl {
   Result<int> CreatePublicModule(Process& proc, const ObjectFile& tpl,
                                  const std::string& module_path, uint32_t existing_ino,
                                  bool rebuild, ShareClass cls, int parent);
-  // LockInode with bounded retry: each contended attempt burns simulated partition
-  // ops (exponential backoff on the op clock), so a dead holder's lease expires and
-  // the lock is broken rather than the attacher failing forever.
+  // LockInode with bounded retry. A *dead* holder's lease is burned off with
+  // exponential clock backoff so the lock breaks rather than the attacher failing
+  // forever. A *live* holder inside fault handling instead sets |blocked_on_addr_|
+  // (see HandleFault): breaking a live creator's lease would let two processes
+  // write the same segment at once.
   Status LockInodeWithRetry(uint32_t ino, int pid);
+  // True when the creation lock on |ino| is held by a live process other than
+  // |pid| and we are inside fault handling (the only context that can block).
+  bool CreatorBlocksUs(uint32_t ino, int pid);
 
   // Resolves the module's references (whole module, or just the page containing
   // |fault_addr| in page-granular mode) and makes the pages accessible.
@@ -217,9 +227,17 @@ class Ldl {
   // Binds one sentinel: resolves the symbol, patches its trampoline, redirects pc.
   bool HandlePltFault(Process& proc, uint32_t sentinel);
 
+  bool HandleFaultImpl(Machine& machine, Process& proc, const Fault& fault);
+
   Machine* machine_;
   LoadImage image_;
   LdlOptions options_;
+
+  // Set while inside HandleFault — the only context where blocking on another
+  // process's creation lock is possible (Startup runs with no scheduler to return
+  // to). |blocked_on_addr_| carries the wait target up through the lookup stack.
+  bool in_fault_ = false;
+  uint32_t blocked_on_addr_ = 0;
 
   // Observability: this linker's own registry (per-process counters) plus the
   // machine-wide trace ring.
@@ -236,6 +254,7 @@ class Ldl {
   uint64_t* c_relocs_applied_;
   uint64_t* c_lock_acquisitions_;
   uint64_t* c_lock_retries_;
+  uint64_t* c_lock_waits_;
   uint64_t* c_unresolved_refs_;
   uint64_t* c_deps_missing_;
   uint64_t* c_lookups_;

@@ -54,4 +54,11 @@ Result<ExecResult> ExecuteFile(Machine& machine, const std::string& image_path,
   return ExecuteImage(machine, image, options);
 }
 
+void InstallSpawnHandler(Machine& machine, const ExecOptions& options) {
+  machine.SetSpawnHandler([options](Machine& m, const std::string& path) -> Result<int> {
+    ASSIGN_OR_RETURN(ExecResult exec, ExecuteFile(m, path, options));
+    return exec.pid;
+  });
+}
+
 }  // namespace hemlock

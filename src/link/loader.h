@@ -42,6 +42,11 @@ Result<ExecResult> ExecuteImage(Machine& machine, const LoadImage& image,
 Result<ExecResult> ExecuteFile(Machine& machine, const std::string& image_path,
                                const ExecOptions& options = {});
 
+// Wires sys_spawn: new processes are exec'd from their HXE path with |options|'
+// linker settings (the syscall layer then overlays the spawner's env/cwd/priority).
+// Each spawned process gets its own Ldl, kept alive by its fault-handler closure.
+void InstallSpawnHandler(Machine& machine, const ExecOptions& options = {});
+
 }  // namespace hemlock
 
 #endif  // SRC_LINK_LOADER_H_

@@ -1,0 +1,114 @@
+#include "src/runtime/sync.h"
+
+namespace hemlock {
+
+std::string HemSyncDecls() {
+  return R"(
+int hem_mutex_init(int *m);
+int hem_mutex_lock(int *m);
+int hem_mutex_trylock(int *m);
+int hem_mutex_unlock(int *m);
+int hem_cond_init(int *c);
+int hem_cond_wait(int *c, int *m);
+int hem_cond_signal(int *c);
+int hem_cond_broadcast(int *c);
+int hem_barrier_init(int *b, int n);
+int hem_barrier_wait(int *b);
+)";
+}
+
+std::string HemSyncModuleSource() {
+  // Every sync-word mutation goes through sys_cas (a kernel write): the race
+  // detector records those as release/acquire edges, not data accesses, so the
+  // words themselves never produce false race reports.
+  return R"(
+int hem_mutex_init(int *m) {
+  *m = 0;
+  return 0;
+}
+
+int hem_mutex_lock(int *m) {
+  while (sys_cas(m, 0, 1) != 0) {
+    sys_futex_wait(m, 1);
+  }
+  return 0;
+}
+
+int hem_mutex_trylock(int *m) {
+  if (sys_cas(m, 0, 1) != 0) {
+    return -1;
+  }
+  return 0;
+}
+
+int hem_mutex_unlock(int *m) {
+  sys_cas(m, 1, 0);
+  sys_futex_wake(m, 1);
+  return 0;
+}
+
+int hem_cond_init(int *c) {
+  *c = 0;
+  return 0;
+}
+
+int hem_cond_wait(int *c, int *m) {
+  int seq = *c;
+  hem_mutex_unlock(m);
+  sys_futex_wait(c, seq);
+  hem_mutex_lock(m);
+  return 0;
+}
+
+static int hem_cond_bump(int *c) {
+  int seq = *c;
+  while (sys_cas(c, seq, seq + 1) != seq) {
+    seq = *c;
+  }
+  return seq;
+}
+
+int hem_cond_signal(int *c) {
+  hem_cond_bump(c);
+  sys_futex_wake(c, 1);
+  return 0;
+}
+
+int hem_cond_broadcast(int *c) {
+  hem_cond_bump(c);
+  sys_futex_wake(c, 1 << 30);
+  return 0;
+}
+
+int hem_barrier_init(int *b, int n) {
+  b[0] = n;
+  b[1] = 0;
+  b[2] = 0;
+  return 0;
+}
+
+int hem_barrier_wait(int *b) {
+  int gen = b[2];
+  int arrived = b[1];
+  while (sys_cas(b + 1, arrived, arrived + 1) != arrived) {
+    arrived = b[1];
+  }
+  if (arrived + 1 == b[0]) {
+    sys_cas(b + 1, b[0], 0);
+    sys_cas(b + 2, gen, gen + 1);
+    sys_futex_wake(b + 2, 1 << 30);
+    return 1;
+  }
+  while (b[2] == gen) {
+    sys_futex_wait(b + 2, gen);
+  }
+  return 0;
+}
+)";
+}
+
+Status InstallHemSync(HemlockWorld& world, const std::string& tpl_path) {
+  return world.CompileTo(HemSyncModuleSource(), tpl_path);
+}
+
+}  // namespace hemlock

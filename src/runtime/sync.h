@@ -1,0 +1,48 @@
+// The Hemlock shared-memory synchronization library, written in HemC.
+//
+// The paper's model gives processes raw loads and stores into public segments and
+// nothing else; this library builds the missing discipline out of the kernel's three
+// concurrency syscalls (sys_cas / sys_futex_wait / sys_futex_wake — HRISC itself has
+// no atomic instructions, so atomicity comes from the kernel crossing):
+//
+//   hem_mutex    one int word: 0 free, 1 held. Lock is a CAS loop that parks on the
+//                word between attempts; unlock CASes back and wakes one waiter.
+//   hem_cond     one int sequence word. Wait snapshots the sequence under the mutex,
+//                releases it, and parks until the sequence moves; signal/broadcast
+//                bump the sequence and wake.
+//   hem_barrier  three int words {target, arrived, generation}. Arrivals CAS-increment
+//                |arrived|; the last one resets it, bumps the generation, and wakes
+//                everyone parked on it.
+//
+// All mutations of the sync words go through sys_cas, so the race detector sees them
+// as synchronization edges (never as data accesses) and the protected data inherits
+// the release/acquire ordering: counter += under hem_mutex reports zero races.
+//
+// The library ships as an ordinary module template. Installed on the shared partition
+// (the default path) it becomes a dynamic *public* module — the paper's shared-code
+// story applied to the synchronization primitives themselves.
+#ifndef SRC_RUNTIME_SYNC_H_
+#define SRC_RUNTIME_SYNC_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/runtime/world.h"
+
+namespace hemlock {
+
+// HemC prototypes for clients (paste ahead of a program that calls the library —
+// HemC has no preprocessor, so this string plays the role of <hemsync.h>).
+std::string HemSyncDecls();
+
+// The library's HemC translation unit.
+std::string HemSyncModuleSource();
+
+// Compiles the library and writes its template object to |tpl_path|. Link client
+// programs against it as a dynamic input (public when the path is under /shm).
+Status InstallHemSync(HemlockWorld& world,
+                      const std::string& tpl_path = "/shm/lib/hemsync.o");
+
+}  // namespace hemlock
+
+#endif  // SRC_RUNTIME_SYNC_H_

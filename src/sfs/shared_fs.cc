@@ -454,14 +454,21 @@ Status SharedFs::UnlockInode(uint32_t ino, int pid) {
   }
   node.lock_owner = -1;
   node.lock_lease = 0;
+  if (unlock_hook_) {
+    unlock_hook_(ino);
+  }
   return OkStatus();
 }
 
 void SharedFs::ReleaseLocksOf(int pid) {
-  for (Inode& node : inodes_) {
+  for (uint32_t ino = 0; ino < inodes_.size(); ++ino) {
+    Inode& node = inodes_[ino];
     if (node.lock_owner == pid) {
       node.lock_owner = -1;
       node.lock_lease = 0;
+      if (unlock_hook_) {
+        unlock_hook_(ino);
+      }
     }
   }
 }

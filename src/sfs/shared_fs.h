@@ -150,6 +150,11 @@ class SharedFs {
   // means "unknown": only lease expiry can break a lock.
   void SetPidProber(std::function<bool(int pid)> prober) { pid_prober_ = std::move(prober); }
 
+  // Called after every successful lock release (explicit unlock or exit-time sweep)
+  // with the inode freed. The Machine wires this to its scheduler so processes
+  // blocked waiting for a creation lock wake up instead of polling.
+  void SetUnlockHook(std::function<void(uint32_t ino)> hook) { unlock_hook_ = std::move(hook); }
+
   // Every lease lasts this many operations on the partition (default 4096). Tests
   // shrink it to exercise expiry without thousands of ops.
   void set_lock_lease_ops(uint64_t ops) { lock_lease_ops_ = ops; }
@@ -227,6 +232,7 @@ class SharedFs {
   uint64_t clock_ = 0;
   uint64_t lock_lease_ops_ = 4096;
   std::function<bool(int)> pid_prober_;
+  std::function<void(uint32_t)> unlock_hook_;
 
   // Observability (null until the owning Machine wires itself in).
   MetricsRegistry* metrics_ = nullptr;

@@ -193,6 +193,9 @@ StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault
           stop = true;
           break;
         }
+        if (observer_ != nullptr) {
+          observer_->OnLoad(addr, 4, st->pc);
+        }
         if (in.rt != kRegZero) {
           r[in.rt] = value;
         }
@@ -208,6 +211,9 @@ StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault
           reason = StopReason::kFault;
           stop = true;
           break;
+        }
+        if (observer_ != nullptr) {
+          observer_->OnLoad(addr, 1, st->pc);
         }
         if (in.rt != kRegZero) {
           r[in.rt] = in.op == Op::kLb
@@ -225,6 +231,9 @@ StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault
           stop = true;
           break;
         }
+        if (observer_ != nullptr) {
+          observer_->OnStore(addr, 4, st->pc);
+        }
         break;
       }
       case Op::kSb: {
@@ -235,6 +244,9 @@ StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault
           reason = StopReason::kFault;
           stop = true;
           break;
+        }
+        if (observer_ != nullptr) {
+          observer_->OnStore(addr, 1, st->pc);
         }
         break;
       }

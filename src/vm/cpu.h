@@ -21,6 +21,16 @@ struct CpuState {
   uint32_t pc = 0;
 };
 
+// Observes every *successful* data load/store the interpreter retires. The race
+// detector hangs off this; when no observer is installed the hot loop pays one
+// null check per memory instruction. |pc| is the accessing instruction.
+class CpuObserver {
+ public:
+  virtual ~CpuObserver() = default;
+  virtual void OnLoad(uint32_t addr, uint32_t len, uint32_t pc) = 0;
+  virtual void OnStore(uint32_t addr, uint32_t len, uint32_t pc) = 0;
+};
+
 enum class StopReason : uint8_t {
   kSteps,    // step budget exhausted; resume later
   kSyscall,  // SYSCALL executed; pc already advanced past it
@@ -39,8 +49,11 @@ class Cpu {
   // |fault_out| is filled when the return is kFault.
   StopReason Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault* fault_out);
 
+  void set_observer(CpuObserver* observer) { observer_ = observer; }
+
  private:
   AddressSpace* space_;
+  CpuObserver* observer_ = nullptr;
 };
 
 }  // namespace hemlock

@@ -1,5 +1,6 @@
 #include "src/vm/machine.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/faults.h"
@@ -8,6 +9,26 @@
 #include "src/base/strings.h"
 
 namespace hemlock {
+namespace {
+
+// Feeds the race detector every load/store a process retires in the shared region.
+// Stack-allocated per RunProcess call; the Cpu pays one null check when disabled.
+class RaceObserver : public CpuObserver {
+ public:
+  RaceObserver(RaceDetector* race, int pid) : race_(race), pid_(pid) {}
+  void OnLoad(uint32_t addr, uint32_t len, uint32_t pc) override {
+    if (InSfsRegion(addr)) race_->OnAccess(pid_, addr, len, /*is_write=*/false, pc);
+  }
+  void OnStore(uint32_t addr, uint32_t len, uint32_t pc) override {
+    if (InSfsRegion(addr)) race_->OnAccess(pid_, addr, len, /*is_write=*/true, pc);
+  }
+
+ private:
+  RaceDetector* race_;
+  int pid_;
+};
+
+}  // namespace
 
 Process::Process(int pid, int parent, SharedFs* sfs)
     : pid_(pid), parent_(parent), space_(std::make_unique<AddressSpace>(sfs)) {
@@ -35,6 +56,7 @@ Machine::Machine() : vfs_(std::make_unique<Vfs>()) {
   m_faults_resolved_ = metrics_.Counter("vm.faults_resolved");
   m_faults_fatal_ = metrics_.Counter("vm.faults_fatal");
   m_syscalls_ = metrics_.Counter("vm.syscalls");
+  scheduler_.SetMetrics(&metrics_);
   WireSfs();
   // The newest machine claims the process-global fault registry's observability:
   // injected faults show up in this machine's metrics, and delay faults advance
@@ -57,6 +79,25 @@ void Machine::WireSfs() {
     Process* p = FindProcess(pid);
     return p != nullptr && p->state() != ProcState::kZombie;
   });
+  // Releasing a creation lock wakes anyone parked on the segment's address (a
+  // lazy-link fault taken while the creator was still writing the module).
+  sfs().SetUnlockHook([this](uint32_t ino) {
+    WakeWaiters(SfsAddressForInode(ino), /*max=*/static_cast<uint32_t>(-1));
+  });
+}
+
+void Machine::EnableRaceDetector(RaceOptions options) {
+  race_ = std::make_unique<RaceDetector>(options);
+  race_->SetMetrics(&metrics_);
+  race_->SetAddrResolver([this](uint32_t addr) {
+    Result<std::string> rel = sfs().AddrToPath(addr);
+    return rel.ok() ? std::string(kSfsMount) + *rel : std::string("?");
+  });
+  for (auto& [pid, proc] : procs_) {
+    if (proc->state_ != ProcState::kZombie) {
+      race_->OnProcessStart(pid, /*parent=*/-1);
+    }
+  }
 }
 
 void Machine::ReplaceSfs(std::unique_ptr<SharedFs> sfs) {
@@ -69,6 +110,10 @@ Process& Machine::CreateProcess() {
   auto proc = std::make_unique<Process>(pid, /*parent=*/0, &sfs());
   Process& ref = *proc;
   procs_[pid] = std::move(proc);
+  scheduler_.Enqueue(pid, ref.priority_);
+  if (race_) {
+    race_->OnProcessStart(pid, /*parent=*/-1);
+  }
   return ref;
 }
 
@@ -93,21 +138,26 @@ RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
     return RunStatus::kExited;
   }
   Cpu cpu(&proc->space());
+  RaceObserver observer(race_.get(), pid);
+  if (race_ != nullptr) {
+    cpu.set_observer(&observer);
+  }
   uint64_t budget = max_steps;
   while (budget > 0) {
     if (proc->state_ == ProcState::kZombie) {
       return RunStatus::kExited;
     }
     if (proc->state_ == ProcState::kWaiting) {
-      // Try to reap the waited-for child.
-      Process* child = FindProcess(proc->wait_target_);
-      if (child != nullptr && child->state_ == ProcState::kZombie) {
-        proc->cpu().regs[kRegV0] = static_cast<uint32_t>(child->exit_status_);
-        proc->cpu().regs[kRegV1] = 0;
-        procs_.erase(proc->wait_target_);
-        proc->wait_target_ = -1;
-        proc->state_ = ProcState::kRunnable;
+      if (proc->wait_kind_ == WaitKind::kChild) {
+        // Try to reap the waited-for child.
+        Process* child = FindProcess(proc->wait_target_);
+        if (child != nullptr && child->state_ == ProcState::kZombie) {
+          ReapChild(*proc, proc->wait_target_);
+        } else {
+          return RunStatus::kBlocked;
+        }
       } else {
+        // Futex/address waits clear on their wake event, never by polling.
         return RunStatus::kBlocked;
       }
     }
@@ -125,7 +175,14 @@ RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
         if (budget > 0) {
           --budget;  // a syscall consumes at least a step of budget
         }
-        // A yield inside RunProcess just continues (single-process view).
+        if (scheduled_run_ && proc->yielded_) {
+          // Under the scheduler a yield ends the quantum (the process re-queues
+          // behind its peers). A direct RunProcess just continues.
+          proc->yielded_ = false;
+          return proc->state_ == ProcState::kZombie ? RunStatus::kExited
+                                                    : RunStatus::kOutOfGas;
+        }
+        proc->yielded_ = false;
         break;
       case StopReason::kBreak:
         KillProcess(pid, 134, "break instruction");
@@ -150,40 +207,72 @@ RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
   return proc->state_ == ProcState::kZombie ? RunStatus::kExited : RunStatus::kOutOfGas;
 }
 
-bool Machine::RunAll(uint64_t max_total_steps, uint64_t quantum) {
-  uint64_t spent = 0;
-  while (spent < max_total_steps) {
-    bool any_runnable = false;
-    bool progressed = false;
-    // Snapshot pids: syscalls may create processes mid-iteration.
-    std::vector<int> pids;
-    pids.reserve(procs_.size());
-    for (const auto& [pid, proc] : procs_) {
-      pids.push_back(pid);
-    }
-    for (int pid : pids) {
-      Process* proc = FindProcess(pid);
-      if (proc == nullptr || proc->state_ == ProcState::kZombie) {
-        continue;
-      }
-      any_runnable = true;
-      uint64_t before = ticks_;
-      RunStatus outcome = RunProcess(pid, quantum);
-      spent += ticks_ - before;
-      if (ticks_ != before || outcome == RunStatus::kExited) {
-        progressed = true;
-      }
-    }
-    if (!any_runnable) {
-      return true;
-    }
-    if (!progressed) {
-      // Everyone blocked on something that cannot resolve (deadlock).
-      HLOG(Warning) << "machine: no runnable process made progress; stopping";
-      return false;
+RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_steps) {
+  scheduler_.Configure(params.policy, params.seed);
+  // Catch up on processes created (or woken) outside a scheduled run.
+  for (const auto& [pid, proc] : procs_) {
+    if (proc->state_ == ProcState::kRunnable) {
+      scheduler_.Enqueue(pid, proc->priority_);
     }
   }
-  return LiveProcessCount() == 0;
+  const uint64_t quantum = params.quantum == 0 ? 4096 : params.quantum;
+  bool was_scheduled = scheduled_run_;
+  scheduled_run_ = true;
+  uint64_t spent = 0;
+  RunStatus result = RunStatus::kOutOfGas;
+  while (spent < max_total_steps) {
+    int pid = scheduler_.PickNext();
+    if (pid < 0) {
+      if (LiveProcessCount() == 0) {
+        result = RunStatus::kExited;
+      } else {
+        // Nothing ready and no event left that could wake the waiters.
+        scheduler_.CountDeadlock();
+        std::vector<std::string> waiters = scheduler_.DescribeWaiters();
+        HLOG(Warning) << "machine: deadlock — " << waiters.size()
+                      << " process(es) blocked with empty ready queue";
+        for (const std::string& line : waiters) {
+          HLOG(Warning) << "  " << line;
+        }
+        if (trace_.enabled()) {
+          trace_.Emit(TraceKind::kDeadlock, StrFormat("%zu blocked", waiters.size()), "",
+                      0, static_cast<uint32_t>(waiters.size()));
+        }
+        result = RunStatus::kDeadlock;
+      }
+      break;
+    }
+    Process* proc = FindProcess(pid);
+    if (proc == nullptr || proc->state_ == ProcState::kZombie) {
+      continue;  // exited while queued
+    }
+    uint64_t before = ticks_;
+    RunStatus st = RunProcess(pid, std::min(quantum, max_total_steps - spent));
+    spent += ticks_ - before;
+    if (st == RunStatus::kOutOfGas) {
+      scheduler_.Preempt(pid, proc->priority_);
+    }
+    // kExited removed itself; kBlocked is parked in a wait queue.
+  }
+  scheduled_run_ = was_scheduled;
+  if (race_ != nullptr && trace_.enabled()) {
+    const auto& reports = race_->reports();
+    for (; race_reports_traced_ < reports.size(); ++race_reports_traced_) {
+      const RaceReport& r = reports[race_reports_traced_];
+      trace_.Emit(TraceKind::kRaceReport, r.ToString(), r.path, r.addr);
+    }
+  }
+  return result;
+}
+
+bool Machine::RunAll(uint64_t max_total_steps, uint64_t quantum) {
+  SchedParams params;
+  params.quantum = quantum;
+  RunStatus st = RunScheduled(params, max_total_steps);
+  if (st == RunStatus::kExited) {
+    return true;
+  }
+  return st == RunStatus::kOutOfGas && LiveProcessCount() == 0;
 }
 
 void Machine::KillProcess(int pid, int status, const std::string& reason) {
@@ -200,12 +289,103 @@ void Machine::ExitProcess(Process& proc, int status) {
   for (FileDesc& fd : proc.fds_) {
     FlushFd(proc, fd);
   }
-  sfs().ReleaseLocksOf(proc.pid());
   proc.exit_status_ = status;
   proc.state_ = ProcState::kZombie;
+  scheduler_.Remove(proc.pid());
+  // Lock release runs after the state flip so the unlock hook's wake-ups see a
+  // dead holder; each released creation lock wakes its blocked attachers.
+  sfs().ReleaseLocksOf(proc.pid());
+  if (race_) {
+    race_->OnProcessExit(proc.pid());
+  }
+  // Wake a parent blocked in waitpid on us; it reaps when next dispatched.
+  Process* parent = FindProcess(proc.parent_);
+  if (parent != nullptr && parent->state_ == ProcState::kWaiting &&
+      parent->wait_kind_ == WaitKind::kChild && parent->wait_target_ == proc.pid()) {
+    scheduler_.NoteWoken(parent->pid());
+    scheduler_.Enqueue(parent->pid(), parent->priority_);
+  }
   for (auto& hook : exit_hooks_) {
     hook(proc);
   }
+}
+
+void Machine::ReapChild(Process& proc, int child_pid) {
+  Process* child = FindProcess(child_pid);
+  proc.cpu_.regs[kRegV0] = static_cast<uint32_t>(child->exit_status_);
+  proc.cpu_.regs[kRegV1] = 0;
+  if (race_) {
+    race_->OnReap(proc.pid(), child_pid);
+  }
+  procs_.erase(child_pid);
+  proc.wait_target_ = -1;
+  proc.wait_kind_ = WaitKind::kNone;
+  proc.state_ = ProcState::kRunnable;
+}
+
+void Machine::BlockProcessOnAddr(Process& proc, uint32_t addr) {
+  proc.state_ = ProcState::kWaiting;
+  proc.wait_kind_ = WaitKind::kAddr;
+  proc.wait_addr_ = addr;
+  scheduler_.BlockOnFutex(proc.pid(), addr);
+}
+
+uint32_t Machine::WakeWaiters(uint32_t addr, uint32_t max) {
+  std::vector<int> pids = scheduler_.TakeFutexWaiters(addr, max);
+  uint32_t woken = 0;
+  for (int pid : pids) {
+    Process* p = FindProcess(pid);
+    if (p == nullptr || p->state_ != ProcState::kWaiting) {
+      continue;
+    }
+    if (p->wait_kind_ == WaitKind::kFutex) {
+      // The wake is the futex_wait syscall's successful return.
+      p->cpu_.regs[kRegV0] = 0;
+      p->cpu_.regs[kRegV1] = 0;
+      if (race_) {
+        race_->OnAcquire(pid, addr);
+      }
+    }
+    // kAddr waiters get no register fix-up: their pc is still at the faulting
+    // instruction, which re-executes against the now-unlocked segment.
+    p->state_ = ProcState::kRunnable;
+    p->wait_kind_ = WaitKind::kNone;
+    p->wait_addr_ = 0;
+    scheduler_.Enqueue(pid, p->priority_);
+    ++woken;
+  }
+  return woken;
+}
+
+int Machine::LoadSyncWord(Process& proc, uint32_t addr, uint32_t* value) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Fault fault;
+    if (proc.space().Load32(addr, value, &fault)) {
+      return 0;
+    }
+    if (attempt > 0) {
+      break;
+    }
+    // Run the native handler chain only (the lazy linker). The simulated-program
+    // SIGSEGV handler is never entered from inside a syscall.
+    bool resolved = false;
+    for (FaultHandler& handler : proc.fault_handlers_) {
+      if (handler(*this, proc, fault)) {
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) {
+      break;
+    }
+    if (proc.state_ == ProcState::kWaiting) {
+      // The handler parked us on another process's creation lock. Rewind the pc
+      // onto the SYSCALL instruction so the whole call re-executes on wake.
+      proc.cpu_.pc -= kInstrBytes;
+      return 1;
+    }
+  }
+  return -1;
 }
 
 bool Machine::DeliverFault(Process& proc, const Fault& fault) {
@@ -469,10 +649,15 @@ void Machine::DoSyscall(Process& proc) {
       child->user_segv_handler_ = proc.user_segv_handler_;
       child->in_user_handler_ = proc.in_user_handler_;
       child->saved_context_ = proc.saved_context_;
+      child->priority_ = proc.priority_;
       // Child returns 0 from the fork syscall.
       child->cpu_.regs[kRegV0] = 0;
       child->cpu_.regs[kRegV1] = 0;
       procs_[child_pid] = std::move(child);
+      scheduler_.Enqueue(child_pid, proc.priority_);
+      if (race_) {
+        race_->OnProcessStart(child_pid, proc.pid());
+      }
       ret = static_cast<uint32_t>(child_pid);
       break;
     }
@@ -485,10 +670,15 @@ void Machine::DoSyscall(Process& proc) {
       }
       if (child->state_ == ProcState::kZombie) {
         ret = static_cast<uint32_t>(child->exit_status_);
+        if (race_) {
+          race_->OnReap(proc.pid(), static_cast<int>(a0));
+        }
         procs_.erase(static_cast<int>(a0));
       } else {
         proc.state_ = ProcState::kWaiting;
+        proc.wait_kind_ = WaitKind::kChild;
         proc.wait_target_ = static_cast<int>(a0);
+        scheduler_.NoteBlocked(proc.pid());
         // v0/v1 are filled when the child is reaped.
         return;
       }
@@ -595,6 +785,7 @@ void Machine::DoSyscall(Process& proc) {
       ret = SysOpenByAddr(proc, a0, a1, &err);
       break;
     case Sys::kYield:
+      proc.yielded_ = true;
       break;
     case Sys::kTime:
       ret = static_cast<uint32_t>(ticks_);
@@ -619,6 +810,119 @@ void Machine::DoSyscall(Process& proc) {
         err = static_cast<uint32_t>(st.code());
         ret = static_cast<uint32_t>(-1);
       }
+      break;
+    }
+    case Sys::kFutexWait: {
+      // a0 = shared addr, a1 = expected value. Blocks only while *addr == a1; the
+      // value check and the enqueue are one atomic step (no interleaving inside a
+      // syscall), so the futex lost-wakeup window does not exist here.
+      if (!InSfsRegion(a0) || (a0 & 3u) != 0) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      uint32_t current = 0;
+      int got = LoadSyncWord(proc, a0, &current);
+      if (got == 1) {
+        return;  // blocked inside the load; syscall re-executes on wake
+      }
+      if (got != 0) {
+        err = static_cast<uint32_t>(ErrorCode::kFault);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      if (current != a1) {
+        err = static_cast<uint32_t>(ErrorCode::kWouldBlock);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      proc.state_ = ProcState::kWaiting;
+      proc.wait_kind_ = WaitKind::kFutex;
+      proc.wait_addr_ = a0;
+      scheduler_.BlockOnFutex(proc.pid(), a0);
+      return;  // v0/v1 are filled by the wake
+    }
+    case Sys::kFutexWake: {
+      if (!InSfsRegion(a0) || (a0 & 3u) != 0) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      if (race_) {
+        race_->OnRelease(proc.pid(), a0);
+      }
+      ret = WakeWaiters(a0, a1);
+      break;
+    }
+    case Sys::kCas: {
+      // Kernel-atomic compare-and-swap on a shared word: HRISC has no atomic
+      // instructions, so atomicity comes from the kernel crossing itself.
+      if (!InSfsRegion(a0) || (a0 & 3u) != 0) {
+        err = static_cast<uint32_t>(ErrorCode::kInvalidArgument);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      uint32_t current = 0;
+      int got = LoadSyncWord(proc, a0, &current);
+      if (got == 1) {
+        return;
+      }
+      if (got != 0) {
+        err = static_cast<uint32_t>(ErrorCode::kFault);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      if (current == a1) {
+        Status ws = proc.space().WriteBytes(a0, reinterpret_cast<uint8_t*>(&a2), 4);
+        if (!ws.ok()) {
+          err = static_cast<uint32_t>(ws.code());
+          ret = static_cast<uint32_t>(-1);
+          break;
+        }
+        if (race_) {
+          race_->OnAcqRel(proc.pid(), a0);
+        }
+      } else if (race_) {
+        race_->OnAcquire(proc.pid(), a0);
+      }
+      ret = current;
+      break;
+    }
+    case Sys::kSpawn: {
+      Result<std::string> path = proc.space().ReadCString(a0);
+      if (!path.ok()) {
+        err = static_cast<uint32_t>(path.status().code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      if (!spawn_handler_) {
+        err = static_cast<uint32_t>(ErrorCode::kUnimplemented);
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      Result<int> child_pid =
+          spawn_handler_(*this, NormalizePath(JoinPath(proc.cwd(), *path)));
+      if (!child_pid.ok()) {
+        err = static_cast<uint32_t>(child_pid.status().code());
+        ret = static_cast<uint32_t>(-1);
+        break;
+      }
+      Process* child = FindProcess(*child_pid);
+      if (child != nullptr) {
+        child->parent_ = proc.pid();
+        child->env_ = proc.env_;
+        child->cwd_ = proc.cwd_;
+        child->priority_ = proc.priority_;
+        scheduler_.Enqueue(*child_pid, child->priority_);
+        if (race_) {
+          race_->OnSpawn(proc.pid(), *child_pid);
+        }
+      }
+      ret = static_cast<uint32_t>(*child_pid);
+      break;
+    }
+    case Sys::kSetPrio: {
+      proc.priority_ = static_cast<int>(a0);
       break;
     }
     default:

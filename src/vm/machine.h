@@ -22,6 +22,8 @@
 
 #include "src/base/metrics.h"
 #include "src/base/trace.h"
+#include "src/kernel/race.h"
+#include "src/kernel/scheduler.h"
 #include "src/sfs/vfs.h"
 #include "src/vm/cpu.h"
 
@@ -46,6 +48,14 @@ struct FileDesc {
 };
 
 enum class ProcState : uint8_t { kRunnable, kWaiting, kZombie };
+
+// What a kWaiting process is waiting *for* — determines how its wake-up behaves:
+//   kChild: waitpid; the wake only requeues it, reaping happens when it next runs.
+//   kFutex: sys_futex_wait; the wake fills $v0/$v1 (the syscall's return).
+//   kAddr:  a kernel-side wait on a shared address (ldl blocked on another process's
+//           creation lock); the wake must NOT touch registers — the pc still points
+//           at the faulting instruction, which simply retries.
+enum class WaitKind : uint8_t { kNone, kChild, kFutex, kAddr };
 
 class Machine;
 class Process;
@@ -99,6 +109,11 @@ class Process {
   uint32_t user_segv_handler() const { return user_segv_handler_; }
   bool in_user_handler() const { return in_user_handler_; }
 
+  // Scheduling priority (sys_setprio); higher runs first under round-robin.
+  int priority() const { return priority_; }
+  WaitKind wait_kind() const { return wait_kind_; }
+  uint32_t wait_addr() const { return wait_addr_; }
+
  private:
   friend class Machine;
 
@@ -107,7 +122,11 @@ class Process {
   std::unique_ptr<AddressSpace> space_;
   CpuState cpu_;
   ProcState state_ = ProcState::kRunnable;
+  WaitKind wait_kind_ = WaitKind::kNone;
   int wait_target_ = -1;
+  uint32_t wait_addr_ = 0;
+  int priority_ = 0;
+  bool yielded_ = false;  // sys_yield ends the quantum under a scheduled run
   int exit_status_ = 0;
   uint32_t brk_ = 0;
   std::vector<FileDesc> fds_;
@@ -128,8 +147,10 @@ class Process {
 // HemlockWorld::RunProgram's result struct.)
 enum class RunStatus : uint8_t {
   kExited,     // process reached exit (or was killed); see exit_status()
-  kBlocked,    // waiting (waitpid) — run something else
+  kBlocked,    // waiting (waitpid / futex / lock) — run something else
   kOutOfGas,   // step budget exhausted while still runnable
+  kDeadlock,   // RunScheduled: ready queue empty, live waiters remain — nothing
+               // can ever wake them (distinct from budget exhaustion)
 };
 
 class Machine {
@@ -164,9 +185,36 @@ class Machine {
   // Syscalls and faults are handled internally.
   RunStatus RunProcess(int pid, uint64_t max_steps = kDefaultBudget);
 
-  // Round-robin over runnable processes until all have exited or the total budget is
-  // exhausted. Returns true when every process exited.
+  // The preemptive scheduler loop: dispatches ready processes a quantum at a time
+  // under |params|' policy until every process has exited (kExited), nothing can
+  // ever run again (kDeadlock), or the tick budget runs out (kOutOfGas). Waiting
+  // processes are never polled — they rejoin the ready queue when their wake event
+  // fires (child exit, futex wake, creation-lock release).
+  RunStatus RunScheduled(const SchedParams& params, uint64_t max_total_steps = kDefaultBudget);
+
+  // Legacy entry point: round-robin RunScheduled. Returns true when every process
+  // exited within the budget.
   bool RunAll(uint64_t max_total_steps = kDefaultBudget, uint64_t quantum = 4096);
+
+  Scheduler& scheduler() { return scheduler_; }
+
+  // Turns on the happens-before race detector for the shared region. Enable before
+  // creating processes so every lifetime edge is seen. Null when disabled.
+  void EnableRaceDetector(RaceOptions options = {});
+  RaceDetector* race() { return race_.get(); }
+
+  // Registered by the loader layer: executes the image at |path| in a fresh process
+  // and returns its pid (sys_spawn's backend; breaks the vm -> link layering cycle).
+  using SpawnHandler = std::function<Result<int>(Machine&, const std::string& path)>;
+  void SetSpawnHandler(SpawnHandler handler) { spawn_handler_ = std::move(handler); }
+
+  // Parks the *currently running* process on a kernel-side wait for |addr| (ldl
+  // blocking on another process's creation lock). The faulting instruction retries
+  // when the matching unlock wakes it.
+  void BlockProcessOnAddr(Process& proc, uint32_t addr);
+
+  // Wakes up to |max| processes parked on |addr|, filling futex-wait returns.
+  uint32_t WakeWaiters(uint32_t addr, uint32_t max);
 
   // Kills a process (fault delivered and unresolved, or external request).
   void KillProcess(int pid, int status, const std::string& reason);
@@ -203,6 +251,13 @@ class Machine {
   bool DeliverFault(Process& proc, const Fault& fault);
   void ExitProcess(Process& proc, int status);
   void FlushFd(Process& proc, FileDesc& fd);
+  // Reaps a zombie |child| of |proc| (fills $v0/$v1, erases the process).
+  void ReapChild(Process& proc, int child_pid);
+  // Loads the shared word at |addr| for a sync syscall, running native fault
+  // handlers on a miss (the kernel's copy_from_user moment). Returns 0 on success,
+  // -1 on error; 1 when the fault handler *blocked* the process — the pc has been
+  // rewound so the whole syscall re-executes after the wake.
+  int LoadSyncWord(Process& proc, uint32_t addr, uint32_t* value);
 
   // Syscall helpers.
   uint32_t SysOpen(Process& proc, const std::string& path, uint32_t flags, uint32_t* err);
@@ -224,6 +279,11 @@ class Machine {
   uint64_t syscall_cost_ = 200;
   uint64_t fault_cost_ = 2000;
   std::vector<std::function<void(Process&)>> exit_hooks_;
+  Scheduler scheduler_;
+  std::unique_ptr<RaceDetector> race_;
+  SpawnHandler spawn_handler_;
+  bool scheduled_run_ = false;  // inside RunScheduled: sys_yield ends the quantum
+  size_t race_reports_traced_ = 0;  // reports already copied into the trace ring
 };
 
 }  // namespace hemlock

@@ -1,0 +1,321 @@
+// Tests for the preemptive scheduler: the Scheduler's queue mechanics in
+// isolation, ParseSchedSpec, and the Machine-level behaviours the subsystem
+// promises — waiting processes are never polled, unsatisfiable waits are reported
+// as deadlock (not budget exhaustion), and chaos scheduling is a pure function of
+// its seed.
+#include "src/kernel/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/world.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+namespace {
+
+// --- ParseSchedSpec ---
+
+TEST(ParseSchedSpec, RoundRobin) {
+  Result<SchedParams> p = ParseSchedSpec("rr");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->policy, SchedPolicy::kRoundRobin);
+}
+
+TEST(ParseSchedSpec, RandomWithSeed) {
+  Result<SchedParams> p = ParseSchedSpec("random:123");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->policy, SchedPolicy::kRandom);
+  EXPECT_EQ(p->seed, 123u);
+}
+
+TEST(ParseSchedSpec, BareRandomIsSeedZero) {
+  Result<SchedParams> p = ParseSchedSpec("random");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->policy, SchedPolicy::kRandom);
+  EXPECT_EQ(p->seed, 0u);
+}
+
+TEST(ParseSchedSpec, RejectsGarbage) {
+  EXPECT_FALSE(ParseSchedSpec("fifo").ok());
+  EXPECT_FALSE(ParseSchedSpec("random:notanumber").ok());
+  EXPECT_FALSE(ParseSchedSpec("").ok());
+}
+
+// --- Scheduler queue mechanics (no machine) ---
+
+TEST(Scheduler, RoundRobinFifoWithinPriority) {
+  Scheduler sched;
+  sched.Enqueue(1, 0);
+  sched.Enqueue(2, 0);
+  sched.Enqueue(3, 0);
+  EXPECT_EQ(sched.PickNext(), 1);
+  EXPECT_EQ(sched.PickNext(), 2);
+  EXPECT_EQ(sched.PickNext(), 3);
+  EXPECT_EQ(sched.PickNext(), -1);
+}
+
+TEST(Scheduler, PreemptRequeuesAtBack) {
+  Scheduler sched;
+  sched.Enqueue(1, 0);
+  sched.Enqueue(2, 0);
+  int first = sched.PickNext();
+  EXPECT_EQ(first, 1);
+  sched.Preempt(first, 0);
+  EXPECT_EQ(sched.PickNext(), 2);
+  EXPECT_EQ(sched.PickNext(), 1);
+}
+
+TEST(Scheduler, HigherPriorityRunsFirst) {
+  Scheduler sched;
+  sched.Enqueue(1, 0);
+  sched.Enqueue(2, 5);  // higher class preempts the queue order
+  sched.Enqueue(3, 0);
+  EXPECT_EQ(sched.PickNext(), 2);
+  EXPECT_EQ(sched.PickNext(), 1);
+  EXPECT_EQ(sched.PickNext(), 3);
+}
+
+TEST(Scheduler, EnqueueIsIdempotent) {
+  Scheduler sched;
+  sched.Enqueue(7, 0);
+  sched.Enqueue(7, 0);
+  EXPECT_EQ(sched.ReadyCount(), 1u);
+  EXPECT_EQ(sched.PickNext(), 7);
+  EXPECT_EQ(sched.PickNext(), -1);
+}
+
+TEST(Scheduler, RemoveDropsFromReadyQueue) {
+  Scheduler sched;
+  sched.Enqueue(1, 0);
+  sched.Enqueue(2, 0);
+  sched.Remove(1);
+  EXPECT_EQ(sched.ReadyCount(), 1u);
+  EXPECT_EQ(sched.PickNext(), 2);
+  EXPECT_EQ(sched.PickNext(), -1);
+}
+
+TEST(Scheduler, FutexQueueIsFifoPerAddress) {
+  Scheduler sched;
+  sched.BlockOnFutex(1, 0x30000040);
+  sched.BlockOnFutex(2, 0x30000040);
+  sched.BlockOnFutex(3, 0x30000080);
+  EXPECT_EQ(sched.FutexWaiterCount(), 3u);
+
+  std::vector<int> one = sched.TakeFutexWaiters(0x30000040, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 1);
+
+  std::vector<int> rest = sched.TakeFutexWaiters(0x30000040, 100);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], 2);
+  EXPECT_EQ(sched.FutexWaiterCount(), 1u);
+  EXPECT_EQ(sched.FutexWaitersAt(0x30000080), std::vector<int>{3});
+}
+
+TEST(Scheduler, CancelFutexWaitRemovesWaiter) {
+  Scheduler sched;
+  sched.BlockOnFutex(1, 0x30000040);
+  sched.CancelFutexWait(1);
+  EXPECT_EQ(sched.FutexWaiterCount(), 0u);
+  EXPECT_TRUE(sched.TakeFutexWaiters(0x30000040, 10).empty());
+}
+
+TEST(Scheduler, DescribeWaitersNamesTheAddress) {
+  Scheduler sched;
+  sched.BlockOnFutex(4, 0x30000040);
+  std::vector<std::string> lines = sched.DescribeWaiters();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("pid 4"), std::string::npos);
+  EXPECT_NE(lines[0].find("0x30000040"), std::string::npos);
+}
+
+TEST(Scheduler, RandomPolicyIsDeterministicPerSeed) {
+  auto draw_order = [](uint64_t seed) {
+    Scheduler sched;
+    sched.Configure(SchedPolicy::kRandom, seed);
+    for (int pid = 1; pid <= 8; ++pid) sched.Enqueue(pid, 0);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) order.push_back(sched.PickNext());
+    return order;
+  };
+  EXPECT_EQ(draw_order(42), draw_order(42));
+  // Different seeds should disagree somewhere across 8! orderings; check a few
+  // seeds so one coincidence cannot fail the test.
+  bool any_difference = false;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    if (draw_order(seed) != draw_order(seed + 100)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// --- Machine-level scheduling behaviour ---
+
+TEST(RunScheduled, FutexWaitWithNoWakerIsDeadlock) {
+  HemlockWorld world;
+  // The word stays 0, the process waits on value 0, and nobody will ever wake it.
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo("int parked = 0;\n", "/shm/lib/park_db.o", no_prelude).ok());
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "extern int parked;\n"
+                      "int main() {\n"
+                      "  sys_futex_wait(&parked, 0);\n"
+                      "  return 0;\n"
+                      "}\n",
+                      "/home/user/parker.o")
+                  .ok());
+  LdsOptions lds;
+  lds.inputs.push_back({"/home/user/parker.o", ShareClass::kStaticPrivate});
+  lds.inputs.push_back({"/shm/lib/park_db.o", ShareClass::kDynamicPublic});
+  Result<LoadImage> image = world.Link(lds);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> run = world.Exec(*image);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  SchedParams params;
+  RunStatus status = world.machine().RunScheduled(params, 10'000'000);
+  EXPECT_EQ(status, RunStatus::kDeadlock);
+  EXPECT_GE(world.machine().metrics().Get("vm.sched.deadlocks"), 1u);
+  // The waiter was parked, not polled: it is still kWaiting on the futex.
+  Process* proc = world.machine().FindProcess(run->pid);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->state(), ProcState::kWaiting);
+  EXPECT_EQ(proc->wait_kind(), WaitKind::kFutex);
+}
+
+TEST(RunScheduled, WaitingProcessIsNotPolled) {
+  HemlockWorld world;
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo("int gate = 0;\n", "/shm/lib/gate_db.o", no_prelude).ok());
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "extern int gate;\n"
+                      "int main() {\n"
+                      "  sys_futex_wait(&gate, 0);\n"
+                      "  return 11;\n"
+                      "}\n",
+                      "/home/user/waiter.o")
+                  .ok());
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "extern int gate;\n"
+                      "int main() {\n"
+                      "  int i;\n"
+                      "  for (i = 0; i < 500; i += 1) {\n"
+                      "    sys_yield();\n"
+                      "  }\n"
+                      "  sys_cas(&gate, 0, 1);\n"
+                      "  sys_futex_wake(&gate, 1);\n"
+                      "  return 12;\n"
+                      "}\n",
+                      "/home/user/waker.o")
+                  .ok());
+  auto link_one = [&](const std::string& obj) {
+    LdsOptions lds;
+    lds.inputs.push_back({obj, ShareClass::kStaticPrivate});
+    lds.inputs.push_back({"/shm/lib/gate_db.o", ShareClass::kDynamicPublic});
+    return world.Link(lds);
+  };
+  Result<LoadImage> waiter_image = link_one("/home/user/waiter.o");
+  Result<LoadImage> waker_image = link_one("/home/user/waker.o");
+  ASSERT_TRUE(waiter_image.ok() && waker_image.ok());
+  Result<ExecResult> waiter = world.Exec(*waiter_image);
+  Result<ExecResult> waker = world.Exec(*waker_image);
+  ASSERT_TRUE(waiter.ok() && waker.ok());
+
+  SchedParams params;
+  params.quantum = 64;  // force many dispatch decisions while the waiter is parked
+  RunStatus status = world.machine().RunScheduled(params, 50'000'000);
+  EXPECT_EQ(status, RunStatus::kExited);
+
+  Process* waiter_proc = world.machine().FindProcess(waiter->pid);
+  ASSERT_NE(waiter_proc, nullptr);
+  EXPECT_EQ(waiter_proc->exit_status(), 11);
+  // Never polled: the waiter executed only its pre-wait and post-wake instructions
+  // (a few hundred steps), nowhere near the waker's 500-yield spin. Polling at each
+  // of the waker's ~500 quanta would multiply this by orders of magnitude.
+  EXPECT_LT(waiter_proc->steps(), 5000u);
+  const MetricsRegistry& metrics = world.machine().metrics();
+  EXPECT_GE(metrics.Get("vm.sched.futex_waits"), 1u);
+  EXPECT_GE(metrics.Get("vm.sched.wakes"), 1u);
+}
+
+TEST(RunScheduled, SmallQuantumCountsPreemptions) {
+  HemlockWorld world;
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "int main() {\n"
+                      "  int i;\n"
+                      "  for (i = 0; i < 2000; i += 1) {\n"
+                      "  }\n"
+                      "  return 0;\n"
+                      "}\n",
+                      "/home/user/spin.o")
+                  .ok());
+  LdsOptions lds;
+  lds.inputs.push_back({"/home/user/spin.o", ShareClass::kStaticPrivate});
+  Result<LoadImage> image = world.Link(lds);
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(world.Exec(*image).ok());
+  SchedParams params;
+  params.quantum = 32;
+  EXPECT_EQ(world.machine().RunScheduled(params, 50'000'000), RunStatus::kExited);
+  // A 2000-iteration loop is far more than 100 quanta of 32 steps each.
+  EXPECT_GT(world.machine().metrics().Get("vm.sched.preemptions"), 100u);
+}
+
+TEST(RunScheduled, ChaosScheduleIsReproducible) {
+  // The same seed must produce the identical interleaving; we observe it through
+  // the unsynchronized increment's final (possibly torn) counter value.
+  auto run_once = [](uint64_t seed) -> uint32_t {
+    HemlockWorld world;
+    CompileOptions no_prelude;
+    no_prelude.include_prelude = false;
+    EXPECT_TRUE(world.CompileTo("int counter = 0;\n", "/shm/lib/chaos_db.o", no_prelude).ok());
+    EXPECT_TRUE(world
+                    .CompileTo(
+                        "extern int counter;\n"
+                        "int main() {\n"
+                        "  int i;\n"
+                        "  int t;\n"
+                        "  for (i = 0; i < 50; i += 1) {\n"
+                        "    t = counter;\n"
+                        "    sys_yield();\n"
+                        "    counter = t + 1;\n"
+                        "  }\n"
+                        "  return 0;\n"
+                        "}\n",
+                        "/home/user/chaos.o")
+                    .ok());
+    LdsOptions lds;
+    lds.inputs.push_back({"/home/user/chaos.o", ShareClass::kStaticPrivate});
+    lds.inputs.push_back({"/shm/lib/chaos_db.o", ShareClass::kDynamicPublic});
+    Result<LoadImage> image = world.Link(lds);
+    EXPECT_TRUE(image.ok());
+    Result<ExecResult> first = world.Exec(*image);
+    EXPECT_TRUE(first.ok());
+    EXPECT_TRUE(world.Exec(*image).ok());
+    SchedParams params;
+    params.policy = SchedPolicy::kRandom;
+    params.seed = seed;
+    params.quantum = 128;
+    EXPECT_EQ(world.machine().RunScheduled(params, 100'000'000), RunStatus::kExited);
+    Result<uint32_t> addr = first->ldl->LookupRootSymbol("counter");
+    EXPECT_TRUE(addr.ok());
+    uint32_t value = 0;
+    Process* proc = world.machine().FindProcess(first->pid);
+    EXPECT_NE(proc, nullptr);
+    EXPECT_TRUE(proc->space().ReadBytes(*addr, reinterpret_cast<uint8_t*>(&value), 4).ok());
+    return value;
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+  EXPECT_EQ(run_once(31), run_once(31));
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -23,10 +23,31 @@
 //   --faults SPEC[:SEED]       arm fault points (point=error|crash|delay[@N|@rN];...);
 //                              an injected crash saves the (possibly torn) state and
 //                              exits 42 — run `hemdump check` or just rerun to recover
+//   --procs N                  run N copies of the program as scheduled processes
+//   --quantum Q                preemption quantum in instructions (default 4096)
+//   --sched rr|random[:SEED]   scheduling policy: round-robin, or seeded-random
+//                              ("chaos") interleaving for flushing out races
+//   --race                     enable the shared-region race detector; reports go to
+//                              stderr and any finding turns the exit code into 5
+//   --race-sample N            check every Nth shared access per process (default 1)
+//
+// Any of --procs/--quantum/--sched/--race selects the scheduled (preemptive) run
+// mode; without them a single process runs to completion uninterrupted.
+//
+// Exit codes:
+//   0-41, 43+  the program's own exit status (process 1's, in scheduled mode)
+//   1          toolchain or machine error (compile, link, exec, bad state file)
+//   2          usage / bad flags
+//   3          deadlock: every process blocked with nothing left to wake them
+//   4          step budget exhausted before the processes finished
+//   5          the race detector found at least one unsynchronized access pair
+//   42         an injected fault crashed the run (state saved for recovery)
 //
 // Example (two shells sharing a counter):
 //   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 1
 //   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 2
+// Example (hunting a race under chaos scheduling):
+//   hemrun --procs 2 --sched random:7 --race --public counter.hc racy.hc
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -75,6 +96,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--metrics]\n"
                "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
+               "              [--procs n] [--quantum q] [--sched rr|random[:seed]]\n"
+               "              [--race] [--race-sample n]\n"
                "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
                "               --dynamic-private f.hc]... <main.hc>\n");
   return 2;
@@ -93,6 +116,12 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool metrics = false;
   bool trace = false;
+  bool scheduled = false;
+  bool race = false;
+  uint32_t race_sample = 1;
+  long procs = 1;
+  uint64_t quantum = 0;
+  std::string sched_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -140,6 +169,33 @@ int main(int argc, char** argv) {
           return Usage();
         }
         fault_spec = spec;
+      }
+    } else if (arg == "--procs") {
+      const char* n = next();
+      if (n == nullptr || (procs = std::strtol(n, nullptr, 10)) < 1 || procs > 1024) {
+        return Usage();
+      }
+      scheduled = true;
+    } else if (arg == "--quantum") {
+      const char* q = next();
+      if (q == nullptr || (quantum = std::strtoull(q, nullptr, 10)) == 0) {
+        return Usage();
+      }
+      scheduled = true;
+    } else if (arg == "--sched") {
+      const char* spec = next();
+      if (spec == nullptr) {
+        return Usage();
+      }
+      sched_spec = spec;
+      scheduled = true;
+    } else if (arg == "--race") {
+      race = true;
+      scheduled = true;
+    } else if (arg == "--race-sample") {
+      const char* n = next();
+      if (n == nullptr || (race_sample = static_cast<uint32_t>(std::strtoul(n, nullptr, 10))) == 0) {
+        return Usage();
       }
     } else if (arg == "--eager") {
       eager = true;
@@ -302,6 +358,27 @@ int main(int argc, char** argv) {
   if (trace) {
     world.machine().trace().set_enabled(true);
   }
+  SchedParams sched;
+  if (!sched_spec.empty()) {
+    Result<SchedParams> parsed = ParseSchedSpec(sched_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "hemrun: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    sched = *parsed;
+  }
+  if (quantum != 0) {
+    sched.quantum = quantum;
+  }
+  if (race) {
+    RaceOptions ropts;
+    ropts.sample_period = race_sample;
+    world.machine().EnableRaceDetector(ropts);
+  }
+  if (scheduled) {
+    InstallSpawnHandler(world.machine(), exec);
+  }
+
   Result<ExecResult> run = world.Exec(*image, exec);
   if (!run.ok()) {
     if (IsCrash(run.status())) {
@@ -310,15 +387,60 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hemrun: exec failed: %s\n", run.status().ToString().c_str());
     return 1;
   }
-  Result<int> status = world.RunToExit(run->pid);
-  if (!status.ok()) {
-    if (IsCrash(status.status())) {
-      return crash_exit(status.status());
+
+  int program_status = 0;
+  int run_exit = 0;  // nonzero: a scheduled-mode outcome that trumps program status
+  if (scheduled) {
+    std::vector<int> pids = {run->pid};
+    for (long p = 1; p < procs; ++p) {
+      Result<ExecResult> extra = world.Exec(*image, exec);
+      if (!extra.ok()) {
+        if (IsCrash(extra.status())) {
+          return crash_exit(extra.status());
+        }
+        std::fprintf(stderr, "hemrun: exec failed: %s\n", extra.status().ToString().c_str());
+        return 1;
+      }
+      pids.push_back(extra->pid);
     }
-    std::fprintf(stderr, "hemrun: %s\n", status.status().ToString().c_str());
-    return 1;
+    RunStatus outcome = world.machine().RunScheduled(sched, 200'000'000);
+    for (int pid : pids) {
+      Process* proc = world.machine().FindProcess(pid);
+      if (proc != nullptr) {
+        std::fputs(proc->stdout_text().c_str(), stdout);
+      }
+    }
+    if (outcome == RunStatus::kDeadlock) {
+      std::fprintf(stderr, "hemrun: deadlock — all processes blocked\n");
+      run_exit = 3;
+    } else if (outcome != RunStatus::kExited) {
+      std::fprintf(stderr, "hemrun: step budget exhausted\n");
+      run_exit = 4;
+    }
+    Process* first = world.machine().FindProcess(run->pid);
+    program_status = first != nullptr ? first->exit_status() : 0;
+  } else {
+    Result<int> status = world.RunToExit(run->pid);
+    if (!status.ok()) {
+      if (IsCrash(status.status())) {
+        return crash_exit(status.status());
+      }
+      std::fprintf(stderr, "hemrun: %s\n", status.status().ToString().c_str());
+      return 1;
+    }
+    program_status = *status;
+    std::fputs(world.machine().FindProcess(run->pid)->stdout_text().c_str(), stdout);
   }
-  std::fputs(world.machine().FindProcess(run->pid)->stdout_text().c_str(), stdout);
+
+  if (race) {
+    const RaceDetector* detector = world.machine().race();
+    for (const RaceReport& r : detector->reports()) {
+      std::fprintf(stderr, "[race] %s\n", r.ToString().c_str());
+    }
+    if (detector->HasRaces() && run_exit == 0) {
+      run_exit = 5;
+    }
+  }
 
   if (stats) {
     LdlStats s = run->ldl->stats();
@@ -369,5 +491,5 @@ int main(int argc, char** argv) {
       return 42;
     }
   }
-  return *status;
+  return run_exit != 0 ? run_exit : program_status;
 }
