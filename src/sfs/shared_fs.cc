@@ -142,6 +142,10 @@ Status SharedFs::Unlink(const std::string& path, bool force) {
   ++clock_;
   if (node.type == SfsNodeType::kRegular) {
     RemoveAddrEntry(ino);
+    // The backing bytes are gone: stale TLB entries and decoded blocks over this
+    // slot must not survive a later re-Create of the same inode.
+    NoteMutatedRange(ino, 0, static_cast<uint32_t>(node.data.size()));
+    ++data_epoch_;
   }
   Inode& parent = inodes_[node.parent];
   parent.children.erase(std::remove(parent.children.begin(), parent.children.end(), ino),
@@ -231,17 +235,23 @@ Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uin
       uint32_t torn_end = offset + torn;
       if (node.data.size() < torn_end) {
         node.data.resize(torn_end, 0);
+        ++data_epoch_;
       }
       std::memcpy(node.data.data() + offset, data, torn);
+      NoteMutatedRange(ino, offset, torn);
     }
     return fault;
   }
   uint32_t end = offset + len;
   if (node.data.size() < end) {
     node.data.resize(end, 0);
+    ++data_epoch_;  // the vector may have reallocated; cached DataPtrs are stale
   }
   std::memcpy(node.data.data() + offset, data, len);
   node.size = std::max(node.size, end);
+  // ldl rebuilds a module's segment through this path, under the VM's feet: any
+  // decoded blocks over the written pages must die exactly like on a VM store.
+  NoteMutatedRange(ino, offset, len);
   return OkStatus();
 }
 
@@ -282,11 +292,14 @@ Status SharedFs::Truncate(uint32_t ino, uint32_t new_size) {
     // previous occupant's bytes. The extent itself survives: mapped pages keep their
     // backing address.
     std::fill(node.data.begin() + new_size, node.data.end(), 0);
+    NoteMutatedRange(ino, new_size, static_cast<uint32_t>(node.data.size()) - new_size);
   }
   node.size = new_size;
   if (node.data.size() < new_size) {
     node.data.resize(new_size, 0);
+    ++data_epoch_;  // possible realloc: cached DataPtrs are stale
   }
+  ++data_epoch_;  // logical size changed: extent-staleness checks must rerun
   return OkStatus();
 }
 
@@ -394,8 +407,65 @@ Status SharedFs::EnsureExtent(uint32_t ino, uint32_t bytes) {
   uint32_t want = PageCeil(bytes);
   if (node.data.size() < want) {
     node.data.resize(want, 0);
+    ++data_epoch_;  // the vector may have reallocated; cached DataPtrs are stale
   }
   return OkStatus();
+}
+
+// --- Fast-path invalidation epochs ---
+
+namespace {
+// One bit per page across the whole 1 GB shared region.
+constexpr uint32_t kSfsRegionBytes = kSfsMaxInodes * kSfsMaxFileBytes;
+constexpr uint32_t kSfsCodeBitmapBytes = kSfsRegionBytes / kPageSize / 8;
+
+inline bool SfsPageBit(uint32_t addr, uint32_t* byte_idx, uint8_t* mask) {
+  if (!InSfsRegion(addr)) {
+    return false;
+  }
+  uint32_t page = (addr - kSfsBase) / kPageSize;
+  *byte_idx = page / 8;
+  *mask = static_cast<uint8_t>(1u << (page % 8));
+  return true;
+}
+}  // namespace
+
+void SharedFs::NoteCodePage(uint32_t addr) {
+  uint32_t idx;
+  uint8_t mask;
+  if (!SfsPageBit(addr, &idx, &mask)) {
+    return;
+  }
+  if (code_page_bits_.empty()) {
+    code_page_bits_.assign(kSfsCodeBitmapBytes, 0);  // lazily: most worlds never decode shared code
+  }
+  code_page_bits_[idx] |= mask;
+}
+
+void SharedFs::NoteExecStore(uint32_t addr) {
+  uint32_t idx;
+  uint8_t mask;
+  if (code_page_bits_.empty() || !SfsPageBit(addr, &idx, &mask)) {
+    return;
+  }
+  if (code_page_bits_[idx] & mask) {
+    // Self-modifying (or self-overwriting) shared code: retire every decoded block
+    // in every process. Rare and coarse by design — correctness over cleverness.
+    code_page_bits_[idx] &= static_cast<uint8_t>(~mask);
+    ++code_epoch_;
+  }
+}
+
+void SharedFs::NoteMutatedRange(uint32_t ino, uint32_t offset, uint32_t len) {
+  if (code_page_bits_.empty() || len == 0) {
+    return;
+  }
+  uint32_t base = SfsAddressForInode(ino);
+  uint32_t first = PageFloor(base + offset);
+  uint32_t last = PageFloor(base + offset + (len - 1));
+  for (uint64_t page = first; page <= last; page += kPageSize) {
+    NoteExecStore(static_cast<uint32_t>(page));
+  }
 }
 
 uint8_t* SharedFs::DataPtr(uint32_t ino) {

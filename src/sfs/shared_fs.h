@@ -133,6 +133,26 @@ class SharedFs {
   uint8_t* DataPtr(uint32_t ino);
   uint32_t ExtentBytes(uint32_t ino) const;
 
+  // --- Fast-path invalidation epochs (see docs/PERFORMANCE.md) ---
+  //
+  // Every AddressSpace software-TLB entry and every decoded basic block is tagged
+  // with an epoch at fill time and revalidated against the current epoch on use, so
+  // invalidation is a counter bump here, never a walk of per-process caches.
+
+  // Bumped whenever a DataPtr may dangle or stop covering a mapped page: extent
+  // growth (vector realloc), truncate, unlink. TLB entries caching host pointers
+  // into this partition die on the next access.
+  uint64_t data_epoch() const { return data_epoch_; }
+  // Bumped whenever bytes in a page that holds *decoded basic blocks* change —
+  // stores through exec-mapped pages (self-modifying code) and kernel-side file
+  // writes under a mapped module (ldl's segment rebuild). Tracked per page via a
+  // bitmap so ordinary data stores into rw+exec segments never flush anyone.
+  uint64_t code_epoch() const { return code_epoch_; }
+  // An ExecCache decoded a block from |addr|'s page: start watching it for writes.
+  void NoteCodePage(uint32_t addr);
+  // A store retired in an exec-mapped shared page (any process' AddressSpace).
+  void NoteExecStore(uint32_t addr);
+
   // --- Advisory locking (ldl's segment-creation lock, paper §4 fn. 3) ---
 
   // Takes the creation lock. A held lock is *broken* (cleared, counted in
@@ -218,6 +238,9 @@ class SharedFs {
                                std::string* leaf) const;
   void AddAddrEntry(uint32_t ino);
   void RemoveAddrEntry(uint32_t ino);
+  // Kernel-side mutation of a file's bytes (WriteAt/Truncate/Unlink): if any touched
+  // page holds decoded code, retire those blocks the same way a VM store would.
+  void NoteMutatedRange(uint32_t ino, uint32_t offset, uint32_t len);
 
   // Inode 0 unused; inode 1 is the partition root directory.
   std::vector<Inode> inodes_;
@@ -233,6 +256,13 @@ class SharedFs {
   uint64_t lock_lease_ops_ = 4096;
   std::function<bool(int)> pid_prober_;
   std::function<void(uint32_t)> unlock_hook_;
+
+  // Fast-path epochs (see accessors above). The code-page bitmap covers the whole
+  // 1 GB SFS region at page granularity (32 KB) — a bit is set once an ExecCache
+  // decodes from that page and cleared when the page mutates (epoch bump).
+  uint64_t data_epoch_ = 0;
+  uint64_t code_epoch_ = 0;
+  std::vector<uint8_t> code_page_bits_;
 
   // Observability (null until the owning Machine wires itself in).
   MetricsRegistry* metrics_ = nullptr;

@@ -23,6 +23,7 @@ Status AddressSpace::MapPrivate(uint32_t vaddr, uint32_t len, Prot prot, Private
     e.backing_off = backing_off + i * kPageSize;
     e.ino = 0;
   }
+  BumpMapGen();
   return OkStatus();
 }
 
@@ -43,6 +44,7 @@ Status AddressSpace::MapPublic(uint32_t vaddr, uint32_t len, Prot prot, uint32_t
     e.ino = ino;
     e.file_off = file_off + i * kPageSize;
   }
+  BumpMapGen();
   return OkStatus();
 }
 
@@ -54,6 +56,7 @@ Status AddressSpace::Unmap(uint32_t vaddr, uint32_t len) {
   for (uint32_t i = 0; i < pages; ++i) {
     pages_.erase(vaddr + i * kPageSize);
   }
+  BumpMapGen();
   return OkStatus();
 }
 
@@ -69,6 +72,7 @@ Status AddressSpace::Protect(uint32_t vaddr, uint32_t len, Prot prot) {
     }
     it->second.prot = prot;
   }
+  BumpMapGen();
   return OkStatus();
 }
 
@@ -100,6 +104,31 @@ uint8_t* AddressSpace::Resolve(uint32_t addr, uint32_t len, AccessKind access, b
     fault->kind = FaultKind::kUnmapped;
     return nullptr;
   }
+  TlbEntry& t = tlb_[(page >> kPageBits) & (kTlbEntries - 1)];
+  if (t.page == page && t.epoch == TranslationEpoch()) {
+    ++*tlb_hits_;
+    if (check_prot) {
+      Prot want = access == AccessKind::kRead    ? Prot::kRead
+                  : access == AccessKind::kWrite ? Prot::kWrite
+                                                 : Prot::kExec;
+      if (!HasProt(t.prot, want)) {
+        fault->addr = addr;
+        fault->access = access;
+        fault->kind = FaultKind::kProtection;
+        return nullptr;
+      }
+    }
+    if (access == AccessKind::kWrite && HasProt(t.prot, Prot::kExec)) {
+      NoteExecStore(addr);
+    }
+    return t.host + (addr - page);
+  }
+  ++*tlb_misses_;
+  return ResolveSlow(addr, page, access, check_prot, fault);
+}
+
+uint8_t* AddressSpace::ResolveSlow(uint32_t addr, uint32_t page, AccessKind access,
+                                   bool check_prot, Fault* fault) const {
   auto it = pages_.find(page);
   if (it == pages_.end()) {
     fault->addr = addr;
@@ -120,6 +149,7 @@ uint8_t* AddressSpace::Resolve(uint32_t addr, uint32_t len, AccessKind access, b
     }
   }
   uint32_t in_page = addr - page;
+  uint8_t* host_page = nullptr;
   if (e.is_public) {
     uint8_t* base = sfs_->DataPtr(e.ino);
     if (base == nullptr || sfs_->ExtentBytes(e.ino) < e.file_off + kPageSize) {
@@ -129,9 +159,65 @@ uint8_t* AddressSpace::Resolve(uint32_t addr, uint32_t len, AccessKind access, b
       fault->kind = FaultKind::kUnmapped;
       return nullptr;
     }
-    return base + e.file_off + in_page;
+    host_page = base + e.file_off;
+  } else {
+    host_page = e.backing->data() + e.backing_off;
   }
-  return e.backing->data() + e.backing_off + in_page;
+  // Fill the TLB line. The prot is cached too: a later access that hits but lacks
+  // permission still faults (the hit-path check above), so Protect + epoch bump is
+  // only needed to *grant* new rights, which BumpMapGen already handles.
+  TlbEntry& t = tlb_[(page >> kPageBits) & (kTlbEntries - 1)];
+  t.page = page;
+  t.prot = e.prot;
+  t.epoch = TranslationEpoch();
+  t.host = host_page;
+  if (access == AccessKind::kWrite && HasProt(e.prot, Prot::kExec)) {
+    NoteExecStore(addr);
+  }
+  return host_page + in_page;
+}
+
+void AddressSpace::BumpMapGen() {
+  ++map_gen_;  // every live TLB entry's epoch is now stale
+  ++*tlb_flushes_;
+}
+
+void AddressSpace::NoteExecStore(uint32_t addr) const {
+  if (InSfsRegion(addr)) {
+    sfs_->NoteExecStore(addr);
+    return;
+  }
+  if (!InTextRegion(addr) || text_code_bits_.empty()) {
+    return;
+  }
+  uint32_t page = addr >> kPageBits;
+  uint8_t mask = static_cast<uint8_t>(1u << (page % 8));
+  if (text_code_bits_[page / 8] & mask) {
+    // Self-modifying private code: retire this process' decoded blocks.
+    text_code_bits_[page / 8] &= static_cast<uint8_t>(~mask);
+    ++priv_code_epoch_;
+  }
+}
+
+void AddressSpace::NoteCodePage(uint32_t pc) {
+  if (InSfsRegion(pc)) {
+    sfs_->NoteCodePage(pc);
+    return;
+  }
+  if (!InTextRegion(pc)) {
+    return;
+  }
+  if (text_code_bits_.empty()) {
+    text_code_bits_.assign(kTextLimit / kPageSize / 8, 0);
+  }
+  uint32_t page = pc >> kPageBits;
+  text_code_bits_[page / 8] |= static_cast<uint8_t>(1u << (page % 8));
+}
+
+void AddressSpace::WireVmCounters(uint64_t* hits, uint64_t* misses, uint64_t* flushes) {
+  tlb_hits_ = hits;
+  tlb_misses_ = misses;
+  tlb_flushes_ = flushes;
 }
 
 bool AddressSpace::Load32(uint32_t addr, uint32_t* out, Fault* fault) const {
@@ -230,23 +316,36 @@ Status AddressSpace::WriteBytes(uint32_t addr, const uint8_t* data, uint32_t len
 }
 
 Result<std::string> AddressSpace::ReadCString(uint32_t addr, uint32_t max_len) const {
+  // Translate once per page, not once per byte: resolve the page, then memchr for
+  // the terminator within the in-page chunk.
   std::string out;
   Fault fault;
-  for (uint32_t i = 0; i < max_len; ++i) {
-    uint8_t* p = Resolve(addr + i, 1, AccessKind::kRead, /*check_prot=*/false, &fault);
+  uint32_t done = 0;
+  while (done < max_len) {
+    uint32_t cur = addr + done;
+    uint32_t chunk = std::min(max_len - done, kPageSize - (cur & kPageMask));
+    uint8_t* p = Resolve(cur, chunk, AccessKind::kRead, /*check_prot=*/false, &fault);
     if (p == nullptr) {
-      return FaultError(StrFormat("kernel string read fault at 0x%08x", addr + i));
+      return FaultError(StrFormat("kernel string read fault at 0x%08x", cur));
     }
-    if (*p == 0) {
+    const uint8_t* nul = static_cast<const uint8_t*>(std::memchr(p, 0, chunk));
+    if (nul != nullptr) {
+      out.append(reinterpret_cast<const char*>(p), nul - p);
       return out;
     }
-    out.push_back(static_cast<char>(*p));
+    out.append(reinterpret_cast<const char*>(p), chunk);
+    done += chunk;
   }
   return InvalidArgument("unterminated string");
 }
 
 std::unique_ptr<AddressSpace> AddressSpace::Fork() const {
   auto child = std::make_unique<AddressSpace>(sfs_);
+  // The child shares the machine-wide vm.tlb.* counters but starts with a cold TLB
+  // and no watched private code pages (its decoded-block cache starts empty too).
+  if (tlb_hits_ != &tlb_scratch_) {
+    child->WireVmCounters(tlb_hits_, tlb_misses_, tlb_flushes_);
+  }
   // Private backings may be shared by many pages; copy each distinct buffer once.
   std::map<const std::vector<uint8_t>*, PrivateBacking> copied;
   for (const auto& [vaddr, entry] : pages_) {

@@ -9,6 +9,13 @@
 // Mapping a range with Prot::kNone is how ldl arranges for the first touch of a
 // partially linked module to fault (paper §2: "maps the module without access
 // permissions, so that the first reference will cause a segmentation fault").
+//
+// Hot accesses go through a small direct-mapped software TLB in front of pages_:
+// a hit turns a map lookup + extent check into an epoch compare and a pointer add.
+// Entries are validated against TranslationEpoch(), which folds in every event
+// that can move or revoke a host pointer (this space's map/unmap/protect
+// generation plus the SFS data epoch), so invalidation is a counter bump —
+// docs/PERFORMANCE.md has the full rules.
 #ifndef SRC_VM_ADDRESS_SPACE_H_
 #define SRC_VM_ADDRESS_SPACE_H_
 
@@ -96,6 +103,18 @@ class AddressSpace {
   // Total mapped pages (for diagnostics/benches).
   uint32_t MappedPages() const { return static_cast<uint32_t>(pages_.size()); }
 
+  // --- Fast-path support (software TLB + code-page tracking) ---
+
+  // Epoch a TLB entry (or any cached host pointer) must match to stay valid.
+  uint64_t TranslationEpoch() const { return map_gen_ + sfs_->data_epoch(); }
+  // Epoch a decoded basic block must match to stay valid: mapping changes plus
+  // stores into pages known to hold decoded code (private or shared).
+  uint64_t CodeEpoch() const { return map_gen_ + priv_code_epoch_ + sfs_->code_epoch(); }
+  // The ExecCache decoded a block from |pc|'s page: watch that page for stores.
+  void NoteCodePage(uint32_t pc);
+  // Wires the vm.tlb.* counters (Machine owns the registry; tests may skip this).
+  void WireVmCounters(uint64_t* hits, uint64_t* misses, uint64_t* flushes);
+
  private:
   struct PageEntry {
     Prot prot = Prot::kNone;
@@ -112,9 +131,40 @@ class AddressSpace {
   // cross a page boundary. Returns nullptr and fills |fault| on failure.
   uint8_t* Resolve(uint32_t addr, uint32_t len, AccessKind access, bool check_prot,
                    Fault* fault) const;
+  // Map walk behind the TLB (the original Resolve body); fills the TLB on success.
+  uint8_t* ResolveSlow(uint32_t addr, uint32_t page, AccessKind access, bool check_prot,
+                       Fault* fault) const;
+  // A write retired in an exec-protected page: retire decoded blocks over it.
+  void NoteExecStore(uint32_t addr) const;
+  void BumpMapGen();
+
+  static constexpr uint32_t kTlbEntries = 256;  // direct-mapped, 1-page lines
+  struct TlbEntry {
+    uint32_t page = 1;   // non-page-aligned sentinel: never matches a real page
+    Prot prot = Prot::kNone;
+    uint64_t epoch = 0;
+    uint8_t* host = nullptr;  // host address of the page's first byte
+  };
 
   SharedFs* sfs_;
   std::map<uint32_t, PageEntry> pages_;  // keyed by page-aligned vaddr
+
+  // TLB state is logically cache, so const access paths may fill it.
+  mutable TlbEntry tlb_[kTlbEntries];
+
+  // Bumped by MapPrivate/MapPublic/Unmap/Protect; feeds both epochs above.
+  uint64_t map_gen_ = 0;
+  // Bumped by stores into private text pages holding decoded blocks.
+  mutable uint64_t priv_code_epoch_ = 0;
+  // One bit per private text page (256 MB region -> 8 KB) set by NoteCodePage.
+  mutable std::vector<uint8_t> text_code_bits_;
+
+  // vm.tlb.* counters — scratch-backed until the Machine wires real handles in,
+  // so the hot path is an unconditional pointer bump.
+  mutable uint64_t tlb_scratch_ = 0;
+  mutable uint64_t* tlb_hits_ = &tlb_scratch_;
+  mutable uint64_t* tlb_misses_ = &tlb_scratch_;
+  mutable uint64_t* tlb_flushes_ = &tlb_scratch_;
 };
 
 }  // namespace hemlock

@@ -3,6 +3,15 @@
 namespace hemlock {
 
 StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault* fault_out) {
+  if (exec_cache_ == nullptr) {
+    return RunDecodeLoop(st, max_steps, steps_out, fault_out);
+  }
+  return observer_ != nullptr ? RunBlocks<true>(st, max_steps, steps_out, fault_out)
+                              : RunBlocks<false>(st, max_steps, steps_out, fault_out);
+}
+
+StopReason Cpu::RunDecodeLoop(CpuState* st, uint64_t max_steps, uint64_t* steps_out,
+                              Fault* fault_out) {
   uint64_t steps = 0;
   StopReason reason = StopReason::kSteps;
 
@@ -268,6 +277,291 @@ StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault
     *steps_out = steps;
   }
   return reason;
+}
+
+// Retires exactly one predecoded instruction at |pc|. Mirrors RunDecodeLoop's
+// switch case for case — any semantic change must land in both loops, and the
+// differential tests will catch it if it lands in only one.
+template <bool kObserved>
+Cpu::ExecResult Cpu::ExecOne(const Instr& in, uint32_t pc, CpuState* st, Fault* fault_out) {
+  uint32_t next_pc = pc + 4;
+  auto& r = st->regs;
+
+  switch (in.op) {
+    case Op::kRType: {
+      uint32_t rs = r[in.rs];
+      uint32_t rt = r[in.rt];
+      uint32_t result = 0;
+      bool writes_rd = true;
+      switch (in.funct) {
+        case Funct::kSll:
+          result = rt << in.shamt;
+          break;
+        case Funct::kSrl:
+          result = rt >> in.shamt;
+          break;
+        case Funct::kSra:
+          result = static_cast<uint32_t>(static_cast<int32_t>(rt) >> in.shamt);
+          break;
+        case Funct::kSllv:
+          result = rt << (rs & 31);
+          break;
+        case Funct::kSrlv:
+          result = rt >> (rs & 31);
+          break;
+        case Funct::kSrav:
+          result = static_cast<uint32_t>(static_cast<int32_t>(rt) >> (rs & 31));
+          break;
+        case Funct::kAdd:
+          result = rs + rt;
+          break;
+        case Funct::kSub:
+          result = rs - rt;
+          break;
+        case Funct::kMul:
+          result = rs * rt;
+          break;
+        case Funct::kDiv:
+          if (rt == 0) {
+            return {StopReason::kDivZero, pc};
+          }
+          result = static_cast<uint32_t>(static_cast<int32_t>(rs) / static_cast<int32_t>(rt));
+          break;
+        case Funct::kMod:
+          if (rt == 0) {
+            return {StopReason::kDivZero, pc};
+          }
+          result = static_cast<uint32_t>(static_cast<int32_t>(rs) % static_cast<int32_t>(rt));
+          break;
+        case Funct::kAnd:
+          result = rs & rt;
+          break;
+        case Funct::kOr:
+          result = rs | rt;
+          break;
+        case Funct::kXor:
+          result = rs ^ rt;
+          break;
+        case Funct::kNor:
+          result = ~(rs | rt);
+          break;
+        case Funct::kSlt:
+          result = static_cast<int32_t>(rs) < static_cast<int32_t>(rt) ? 1 : 0;
+          break;
+        case Funct::kSltu:
+          result = rs < rt ? 1 : 0;
+          break;
+        case Funct::kJr:
+          next_pc = rs;
+          writes_rd = false;
+          break;
+        case Funct::kJalr:
+          result = pc + 4;
+          next_pc = rs;
+          break;
+        case Funct::kSyscall:
+          return {StopReason::kSyscall, next_pc};
+        case Funct::kBreak:
+          return {StopReason::kBreak, next_pc};
+      }
+      if (writes_rd && in.rd != kRegZero) {
+        r[in.rd] = result;
+      }
+      break;
+    }
+    case Op::kJ:
+      next_pc = JumpTarget(pc, in.target);
+      break;
+    case Op::kJal:
+      if (kRegRa != kRegZero) {
+        r[kRegRa] = pc + 4;
+      }
+      next_pc = JumpTarget(pc, in.target);
+      break;
+    case Op::kBeq:
+      if (r[in.rs] == r[in.rt]) {
+        next_pc = pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+      }
+      break;
+    case Op::kBne:
+      if (r[in.rs] != r[in.rt]) {
+        next_pc = pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+      }
+      break;
+    case Op::kBlez:
+      if (static_cast<int32_t>(r[in.rs]) <= 0) {
+        next_pc = pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+      }
+      break;
+    case Op::kBgtz:
+      if (static_cast<int32_t>(r[in.rs]) > 0) {
+        next_pc = pc + 4 + (static_cast<int32_t>(in.imm) << 2);
+      }
+      break;
+    case Op::kAddi:
+      if (in.rt != kRegZero) {
+        r[in.rt] = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+      }
+      break;
+    case Op::kSlti:
+      if (in.rt != kRegZero) {
+        r[in.rt] = static_cast<int32_t>(r[in.rs]) < static_cast<int32_t>(in.imm) ? 1 : 0;
+      }
+      break;
+    case Op::kSltiu:
+      if (in.rt != kRegZero) {
+        r[in.rt] = r[in.rs] < static_cast<uint32_t>(static_cast<int32_t>(in.imm)) ? 1 : 0;
+      }
+      break;
+    case Op::kAndi:
+      if (in.rt != kRegZero) {
+        r[in.rt] = r[in.rs] & static_cast<uint16_t>(in.imm);
+      }
+      break;
+    case Op::kOri:
+      if (in.rt != kRegZero) {
+        r[in.rt] = r[in.rs] | static_cast<uint16_t>(in.imm);
+      }
+      break;
+    case Op::kXori:
+      if (in.rt != kRegZero) {
+        r[in.rt] = r[in.rs] ^ static_cast<uint16_t>(in.imm);
+      }
+      break;
+    case Op::kLui:
+      if (in.rt != kRegZero) {
+        r[in.rt] = static_cast<uint32_t>(static_cast<uint16_t>(in.imm)) << 16;
+      }
+      break;
+    case Op::kLw: {
+      uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+      uint32_t value = 0;
+      Fault f;
+      if (!space_->Load32(addr, &value, &f)) {
+        *fault_out = f;
+        return {StopReason::kFault, pc};
+      }
+      if constexpr (kObserved) {
+        observer_->OnLoad(addr, 4, pc);
+      }
+      if (in.rt != kRegZero) {
+        r[in.rt] = value;
+      }
+      break;
+    }
+    case Op::kLb:
+    case Op::kLbu: {
+      uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+      uint8_t value = 0;
+      Fault f;
+      if (!space_->Load8(addr, &value, &f)) {
+        *fault_out = f;
+        return {StopReason::kFault, pc};
+      }
+      if constexpr (kObserved) {
+        observer_->OnLoad(addr, 1, pc);
+      }
+      if (in.rt != kRegZero) {
+        r[in.rt] = in.op == Op::kLb
+                       ? static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(value)))
+                       : value;
+      }
+      break;
+    }
+    case Op::kSw: {
+      uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+      Fault f;
+      if (!space_->Store32(addr, r[in.rt], &f)) {
+        *fault_out = f;
+        return {StopReason::kFault, pc};
+      }
+      if constexpr (kObserved) {
+        observer_->OnStore(addr, 4, pc);
+      }
+      break;
+    }
+    case Op::kSb: {
+      uint32_t addr = r[in.rs] + static_cast<uint32_t>(static_cast<int32_t>(in.imm));
+      Fault f;
+      if (!space_->Store8(addr, static_cast<uint8_t>(r[in.rt]), &f)) {
+        *fault_out = f;
+        return {StopReason::kFault, pc};
+      }
+      if constexpr (kObserved) {
+        observer_->OnStore(addr, 1, pc);
+      }
+      break;
+    }
+  }
+  return {StopReason::kSteps, next_pc};
+}
+
+template <bool kObserved>
+StopReason Cpu::RunBlocks(CpuState* st, uint64_t max_steps, uint64_t* steps_out,
+                          Fault* fault_out) {
+  uint64_t steps = 0;
+  while (steps < max_steps) {
+    const DecodedBlock* block = exec_cache_->Lookup(st->pc, space_);
+    if (block == nullptr) {
+      // Non-cacheable pc: retire exactly one instruction (or raise its trap) on
+      // the reference path, then try the cache again at the new pc.
+      uint64_t one = 0;
+      StopReason r = RunDecodeLoop(st, 1, &one, fault_out);
+      steps += one;
+      if (r != StopReason::kSteps) {
+        if (steps_out != nullptr) {
+          *steps_out = steps;
+        }
+        return r;
+      }
+      continue;
+    }
+    // Fuel is charged per block: one budget computation here instead of a bounds
+    // check per instruction. A block larger than the remaining budget is cut at
+    // the budget edge, so preemption points stay identical to the slow loop's.
+    const Instr* code = block->code.data();
+    uint64_t room = max_steps - steps;
+    size_t limit = block->code.size() < room ? block->code.size() : static_cast<size_t>(room);
+    uint32_t pc = block->start;
+    uint64_t block_epoch = space_->CodeEpoch();
+    bool dirty = false;
+    for (size_t i = 0; i < limit; ++i) {
+      const Instr& in = code[i];
+      ExecResult res = ExecOne<kObserved>(in, pc, st, fault_out);
+      if (res.reason != StopReason::kSteps) {
+        steps += i;
+        if (res.reason == StopReason::kSyscall || res.reason == StopReason::kBreak) {
+          st->pc = res.next_pc;  // resume after the trap instruction
+          ++steps;
+        } else {
+          st->pc = pc;  // kFault/kDivZero/kIllegal: pc at the trapping instruction
+        }
+        if (steps_out != nullptr) {
+          *steps_out = steps;
+        }
+        return res.reason;
+      }
+      pc = res.next_pc;
+      if ((in.op == Op::kSw || in.op == Op::kSb) && space_->CodeEpoch() != block_epoch) {
+        // The store hit a page holding decoded code — possibly the remainder of
+        // *this* block. Stop here and re-look the pc up, so even same-block
+        // self-modifying code executes exactly like the refetch-every-step loop.
+        steps += i + 1;
+        st->pc = pc;
+        dirty = true;
+        break;
+      }
+    }
+    if (dirty) {
+      continue;
+    }
+    steps += limit;
+    st->pc = pc;  // fall-through, taken CTI target, or the budget-edge pc
+  }
+  if (steps_out != nullptr) {
+    *steps_out = steps;
+  }
+  return StopReason::kSteps;
 }
 
 }  // namespace hemlock

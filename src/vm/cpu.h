@@ -5,6 +5,16 @@
 // are precise. On a memory fault the PC is left at the faulting instruction so the
 // kernel can retry it after a fault handler maps or links the target segment — exactly
 // the paper's "restarts the faulting instruction".
+//
+// Two dispatch loops share one set of per-instruction semantics:
+//   * the reference decode loop (fetch + Decode every step) — always available,
+//     selected by --slow-interp and used to retire single instructions at
+//     non-cacheable pcs;
+//   * the fast block loop, fed by an ExecCache of predecoded basic blocks, stamped
+//     out twice (observed / unobserved) so the race detector costs nothing when off.
+// Both retire the same instruction sequence with the same trap pcs and the same
+// step counts, so schedules — and therefore race reports — are mode-independent;
+// the differential CI job holds them to that.
 #ifndef SRC_VM_CPU_H_
 #define SRC_VM_CPU_H_
 
@@ -13,6 +23,7 @@
 
 #include "src/isa/isa.h"
 #include "src/vm/address_space.h"
+#include "src/vm/exec_cache.h"
 
 namespace hemlock {
 
@@ -50,10 +61,30 @@ class Cpu {
   StopReason Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault* fault_out);
 
   void set_observer(CpuObserver* observer) { observer_ = observer; }
+  // Enables the fast block loop. Null (the default) runs the reference decode loop.
+  void set_exec_cache(ExecCache* cache) { exec_cache_ = cache; }
 
  private:
+  // What one retired instruction decided: kSteps means "keep going at next_pc";
+  // any other reason stops the loop (syscall/break count the step, traps do not).
+  struct ExecResult {
+    StopReason reason;
+    uint32_t next_pc;
+  };
+
+  // The reference interpreter (the seed's Run body, semantics frozen).
+  StopReason RunDecodeLoop(CpuState* st, uint64_t max_steps, uint64_t* steps_out,
+                           Fault* fault_out);
+  // The fast loop: retire whole predecoded blocks, charging fuel per block.
+  template <bool kObserved>
+  StopReason RunBlocks(CpuState* st, uint64_t max_steps, uint64_t* steps_out,
+                       Fault* fault_out);
+  template <bool kObserved>
+  ExecResult ExecOne(const Instr& in, uint32_t pc, CpuState* st, Fault* fault_out);
+
   AddressSpace* space_;
   CpuObserver* observer_ = nullptr;
+  ExecCache* exec_cache_ = nullptr;
 };
 
 }  // namespace hemlock

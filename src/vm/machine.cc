@@ -1,6 +1,7 @@
 #include "src/vm/machine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/base/faults.h"
@@ -56,6 +57,16 @@ Machine::Machine() : vfs_(std::make_unique<Vfs>()) {
   m_faults_resolved_ = metrics_.Counter("vm.faults_resolved");
   m_faults_fatal_ = metrics_.Counter("vm.faults_fatal");
   m_syscalls_ = metrics_.Counter("vm.syscalls");
+  m_tlb_hits_ = metrics_.Counter("vm.tlb.hits");
+  m_tlb_misses_ = metrics_.Counter("vm.tlb.misses");
+  m_tlb_flushes_ = metrics_.Counter("vm.tlb.flushes");
+  m_icache_hits_ = metrics_.Counter("vm.icache.hits");
+  m_icache_misses_ = metrics_.Counter("vm.icache.misses");
+  m_icache_invalidations_ = metrics_.Counter("vm.icache.invalidations");
+  // Escape hatch for the differential CI job: run existing test binaries against
+  // the reference interpreter without recompiling them.
+  const char* slow_env = std::getenv("HEMLOCK_SLOW_INTERP");
+  slow_interp_ = slow_env != nullptr && slow_env[0] != '\0' && slow_env[0] != '0';
   scheduler_.SetMetrics(&metrics_);
   WireSfs();
   // The newest machine claims the process-global fault registry's observability:
@@ -108,6 +119,8 @@ void Machine::ReplaceSfs(std::unique_ptr<SharedFs> sfs) {
 Process& Machine::CreateProcess() {
   int pid = next_pid_++;
   auto proc = std::make_unique<Process>(pid, /*parent=*/0, &sfs());
+  proc->space_->WireVmCounters(m_tlb_hits_, m_tlb_misses_, m_tlb_flushes_);
+  proc->exec_cache_.WireCounters(m_icache_hits_, m_icache_misses_, m_icache_invalidations_);
   Process& ref = *proc;
   procs_[pid] = std::move(proc);
   scheduler_.Enqueue(pid, ref.priority_);
@@ -142,6 +155,10 @@ RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
   if (race_ != nullptr) {
     cpu.set_observer(&observer);
   }
+  if (!slow_interp_) {
+    cpu.set_exec_cache(&proc->exec_cache_);
+  }
+  trace_on_ = trace_.enabled();  // cached for the whole quantum (fault hot path)
   uint64_t budget = max_steps;
   while (budget > 0) {
     if (proc->state_ == ProcState::kZombie) {
@@ -208,6 +225,7 @@ RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
 }
 
 RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_steps) {
+  trace_on_ = trace_.enabled();
   scheduler_.Configure(params.policy, params.seed);
   // Catch up on processes created (or woken) outside a scheduled run.
   for (const auto& [pid, proc] : procs_) {
@@ -234,7 +252,7 @@ RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_st
         for (const std::string& line : waiters) {
           HLOG(Warning) << "  " << line;
         }
-        if (trace_.enabled()) {
+        if (trace_on_) {
           trace_.Emit(TraceKind::kDeadlock, StrFormat("%zu blocked", waiters.size()), "",
                       0, static_cast<uint32_t>(waiters.size()));
         }
@@ -255,7 +273,7 @@ RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_st
     // kExited removed itself; kBlocked is parked in a wait queue.
   }
   scheduled_run_ = was_scheduled;
-  if (race_ != nullptr && trace_.enabled()) {
+  if (race_ != nullptr && trace_on_) {
     const auto& reports = race_->reports();
     for (; race_reports_traced_ < reports.size(); ++race_reports_traced_) {
       const RaceReport& r = reports[race_reports_traced_];
@@ -401,7 +419,7 @@ bool Machine::DeliverFault(Process& proc, const Fault& fault) {
     proc.in_user_handler_ = false;
     ++proc.resolved_fault_count_;
     ++*m_faults_resolved_;
-    if (trace_.enabled()) trace_.Emit(TraceKind::kFaultHandled, "sigreturn", "", fault.addr);
+    if (trace_on_) trace_.Emit(TraceKind::kFaultHandled, "sigreturn", "", fault.addr);
     return true;
   }
 
@@ -434,11 +452,11 @@ bool Machine::DeliverFault(Process& proc, const Fault& fault) {
     proc.cpu_.pc = proc.user_segv_handler_;
     ++proc.resolved_fault_count_;
     ++*m_faults_resolved_;
-    if (trace_.enabled()) trace_.Emit(TraceKind::kFaultHandled, "user", "", fault.addr);
+    if (trace_on_) trace_.Emit(TraceKind::kFaultHandled, "user", "", fault.addr);
     return true;
   }
   ++*m_faults_fatal_;
-  if (trace_.enabled()) trace_.Emit(TraceKind::kFaultHandled, "fatal", "", fault.addr);
+  if (trace_on_) trace_.Emit(TraceKind::kFaultHandled, "fatal", "", fault.addr);
   return false;
 }
 
@@ -639,7 +657,9 @@ void Machine::DoSyscall(Process& proc) {
     case Sys::kFork: {
       int child_pid = next_pid_++;
       auto child = std::make_unique<Process>(child_pid, proc.pid(), &sfs());
-      child->space_ = proc.space().Fork();
+      child->space_ = proc.space().Fork();  // carries the vm.tlb.* counter wiring
+      child->exec_cache_.WireCounters(m_icache_hits_, m_icache_misses_,
+                                      m_icache_invalidations_);
       child->cpu_ = proc.cpu();
       child->brk_ = proc.brk_;
       child->env_ = proc.env_;

@@ -114,6 +114,10 @@ class Process {
   WaitKind wait_kind() const { return wait_kind_; }
   uint32_t wait_addr() const { return wait_addr_; }
 
+  // The process's decoded-block cache. It lives here (not in the Cpu) because the
+  // Cpu is reconstructed every quantum while decoded blocks stay hot across them.
+  ExecCache& exec_cache() { return exec_cache_; }
+
  private:
   friend class Machine;
 
@@ -141,6 +145,7 @@ class Process {
   uint64_t fault_count_ = 0;
   uint64_t resolved_fault_count_ = 0;
   uint64_t syscall_count_ = 0;
+  ExecCache exec_cache_;
 };
 
 // Status of driving a process. (Renamed from RunOutcome: that name now belongs to
@@ -225,6 +230,12 @@ class Machine {
   uint64_t total_faults() const { return total_faults_; }
   uint64_t total_syscalls() const { return total_syscalls_; }
 
+  // Selects the reference decode-every-step interpreter instead of the fast block
+  // engine (hemrun --slow-interp; env HEMLOCK_SLOW_INTERP=1). Semantics are
+  // identical by contract — the differential CI job diffs the two modes.
+  void set_slow_interp(bool slow) { slow_interp_ = slow; }
+  bool slow_interp() const { return slow_interp_; }
+
   // Per-syscall simulated cost in ticks, charged on top of the instruction count —
   // keeps simulated comparisons honest about kernel-crossing overhead (used by the
   // rwho and IPC benches). Default 200 ticks per syscall, 2000 per fault delivery.
@@ -271,6 +282,13 @@ class Machine {
   uint64_t* m_faults_resolved_ = nullptr;
   uint64_t* m_faults_fatal_ = nullptr;
   uint64_t* m_syscalls_ = nullptr;
+  // Fast-path counters, shared by every process's TLB and block cache.
+  uint64_t* m_tlb_hits_ = nullptr;
+  uint64_t* m_tlb_misses_ = nullptr;
+  uint64_t* m_tlb_flushes_ = nullptr;
+  uint64_t* m_icache_hits_ = nullptr;
+  uint64_t* m_icache_misses_ = nullptr;
+  uint64_t* m_icache_invalidations_ = nullptr;
   std::map<int, std::unique_ptr<Process>> procs_;
   int next_pid_ = 1;
   uint64_t ticks_ = 0;
@@ -284,6 +302,8 @@ class Machine {
   SpawnHandler spawn_handler_;
   bool scheduled_run_ = false;  // inside RunScheduled: sys_yield ends the quantum
   size_t race_reports_traced_ = 0;  // reports already copied into the trace ring
+  bool slow_interp_ = false;    // reference interpreter only (differential runs)
+  bool trace_on_ = false;       // trace_.enabled(), cached once per quantum
 };
 
 }  // namespace hemlock

@@ -1,0 +1,485 @@
+// Tests for the fast-path execution engine: software-TLB staleness across
+// unmap/protect/remap and SFS extent moves, decoded-block-cache invalidation on
+// self-modifying code and on ldl's segment rebuild, and — most importantly —
+// differential identity: the fast block engine and the reference decode-every-step
+// interpreter must produce the same stdout, exit codes, and race reports, schedule
+// for schedule, across a chaos-seed sweep.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/layout.h"
+#include "src/isa/isa.h"
+#include "src/kernel/race.h"
+#include "src/kernel/scheduler.h"
+#include "src/runtime/sync.h"
+#include "src/runtime/world.h"
+#include "src/vm/cpu.h"
+#include "src/vm/exec_cache.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+namespace {
+
+uint64_t MetricValue(const MetricsSnapshot& m, const std::string& name) {
+  auto it = m.find(name);
+  return it == m.end() ? 0 : it->second;
+}
+
+// --- Software TLB: stale entries must die with the mapping ---
+
+class TlbTest : public ::testing::Test {
+ protected:
+  SharedFs sfs_;
+  AddressSpace space_{&sfs_};
+  uint64_t hits_ = 0, misses_ = 0, flushes_ = 0;
+
+  void SetUp() override { space_.WireVmCounters(&hits_, &misses_, &flushes_); }
+
+  PrivateBacking MakeBacking(uint32_t pages, uint8_t fill = 0) {
+    return std::make_shared<std::vector<uint8_t>>(pages * kPageSize, fill);
+  }
+};
+
+TEST_F(TlbTest, HitsAfterMissAndCounts) {
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kReadWrite, MakeBacking(1), 0).ok());
+  Fault fault;
+  uint32_t v = 0;
+  ASSERT_TRUE(space_.Load32(0x1000, &v, &fault));  // cold: miss + fill
+  EXPECT_EQ(misses_, 1u);
+  uint64_t before_hits = hits_;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(space_.Load32(0x1000 + 4 * i, &v, &fault));
+  }
+  EXPECT_EQ(hits_, before_hits + 8);  // same page: all hits
+  EXPECT_EQ(misses_, 1u);
+}
+
+TEST_F(TlbTest, UnmapInvalidatesCachedTranslation) {
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kReadWrite, MakeBacking(1), 0).ok());
+  Fault fault;
+  uint32_t v = 0;
+  ASSERT_TRUE(space_.Load32(0x1000, &v, &fault));  // fill the TLB line
+  uint64_t flushes_before = flushes_;
+  ASSERT_TRUE(space_.Unmap(0x1000, kPageSize).ok());
+  EXPECT_GT(flushes_, flushes_before);
+  // The regression this pins: a stale TLB entry would happily return the old
+  // host pointer here instead of faulting.
+  EXPECT_FALSE(space_.Load32(0x1000, &v, &fault));
+  EXPECT_EQ(fault.kind, FaultKind::kUnmapped);
+}
+
+TEST_F(TlbTest, ProtectDowngradeTakesEffectOnCachedPage) {
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kReadWrite, MakeBacking(1), 0).ok());
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(0x1000, 7, &fault));  // fills the line with kReadWrite
+  ASSERT_TRUE(space_.Protect(0x1000, kPageSize, Prot::kRead).ok());
+  EXPECT_FALSE(space_.Store32(0x1000, 8, &fault));
+  EXPECT_EQ(fault.kind, FaultKind::kProtection);
+  // And an upgrade grants again (the epoch moved, so the stale kRead line dies).
+  ASSERT_TRUE(space_.Protect(0x1000, kPageSize, Prot::kReadWrite).ok());
+  EXPECT_TRUE(space_.Store32(0x1000, 9, &fault));
+}
+
+TEST_F(TlbTest, RemapReadsThroughTheNewBacking) {
+  PrivateBacking a = MakeBacking(1, 0xAA);
+  PrivateBacking b = MakeBacking(1, 0xBB);
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kRead, a, 0).ok());
+  Fault fault;
+  uint8_t v = 0;
+  ASSERT_TRUE(space_.Load8(0x1001, &v, &fault));
+  EXPECT_EQ(v, 0xAA);
+  ASSERT_TRUE(space_.MapPrivate(0x1000, kPageSize, Prot::kRead, b, 0).ok());  // remap in place
+  ASSERT_TRUE(space_.Load8(0x1001, &v, &fault));
+  EXPECT_EQ(v, 0xBB) << "TLB served the old backing after a remap";
+}
+
+TEST_F(TlbTest, SfsExtentGrowthInvalidatesCachedHostPointer) {
+  Result<uint32_t> ino = sfs_.Create("/seg");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(sfs_.EnsureExtent(*ino, kPageSize).ok());
+  ASSERT_TRUE(space_.MapPublic(kSfsBase, kPageSize, Prot::kReadWrite, *ino, 0).ok());
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(kSfsBase, 0xFEEDBEEF, &fault));  // caches a DataPtr
+  // Growing the extent reallocates the inode's vector: the cached host pointer is
+  // now dangling. Under ASan, a stale hit here is a heap-use-after-free.
+  ASSERT_TRUE(sfs_.EnsureExtent(*ino, 64 * kPageSize).ok());
+  uint32_t v = 0;
+  ASSERT_TRUE(space_.Load32(kSfsBase, &v, &fault));
+  EXPECT_EQ(v, 0xFEEDBEEFu);
+}
+
+TEST_F(TlbTest, UnlinkRevokesCachedTranslation) {
+  Result<uint32_t> ino = sfs_.Create("/seg");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(sfs_.EnsureExtent(*ino, kPageSize).ok());
+  ASSERT_TRUE(space_.MapPublic(kSfsBase, kPageSize, Prot::kReadWrite, *ino, 0).ok());
+  Fault fault;
+  ASSERT_TRUE(space_.Store32(kSfsBase, 1, &fault));
+  ASSERT_TRUE(sfs_.Unlink("/seg").ok());
+  uint32_t v = 0;
+  EXPECT_FALSE(space_.Load32(kSfsBase, &v, &fault)) << "read through an unlinked segment";
+}
+
+// --- Decoded-block cache ---
+
+class ExecCacheTest : public ::testing::Test {
+ protected:
+  SharedFs sfs_;
+  AddressSpace space_{&sfs_};
+  ExecCache cache_;
+  uint64_t hits_ = 0, misses_ = 0, invals_ = 0;
+
+  void SetUp() override { cache_.WireCounters(&hits_, &misses_, &invals_); }
+
+  // Writes |words| at vaddr 0 in a fresh kAll private page and returns a Cpu wired
+  // to the cache.
+  void InstallCode(const std::vector<uint32_t>& words) {
+    auto backing = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+    ASSERT_TRUE(space_.MapPrivate(0, kPageSize, Prot::kAll, backing, 0).ok());
+    for (size_t i = 0; i < words.size(); ++i) {
+      Fault fault;
+      ASSERT_TRUE(space_.Store32(static_cast<uint32_t>(4 * i), words[i], &fault));
+    }
+  }
+};
+
+TEST_F(ExecCacheTest, DecodesABlockOnceThenHits) {
+  InstallCode({
+      EncodeI(Op::kAddi, kRegT0, kRegZero, 5),
+      EncodeI(Op::kAddi, kRegT1, kRegZero, 7),
+      EncodeBreak(),
+  });
+  Cpu cpu(&space_);
+  cpu.set_exec_cache(&cache_);
+  CpuState st;
+  uint64_t steps = 0;
+  Fault fault;
+  EXPECT_EQ(cpu.Run(&st, 100, &steps, &fault), StopReason::kBreak);
+  EXPECT_EQ(st.regs[kRegT0], 5u);
+  EXPECT_EQ(st.regs[kRegT1], 7u);
+  EXPECT_EQ(steps, 3u);   // break counts, like the reference loop
+  EXPECT_EQ(misses_, 1u);  // one block: [addi, addi, break]
+  CpuState st2;
+  EXPECT_EQ(cpu.Run(&st2, 100, &steps, &fault), StopReason::kBreak);
+  EXPECT_EQ(misses_, 1u);
+  EXPECT_GE(hits_, 1u);
+}
+
+TEST_F(ExecCacheTest, SelfModifyingStoreInvalidatesTheBlock) {
+  // A loop body that rewrites an instruction *behind* itself, then re-runs it:
+  //   0x00 addi t0, zero, 5
+  //   0x04 break
+  // After the first run, overwrite 0x00 with addi t0, zero, 9 through the VM's own
+  // store path (the page is kAll, so code and data legally share it).
+  InstallCode({
+      EncodeI(Op::kAddi, kRegT0, kRegZero, 5),
+      EncodeBreak(),
+  });
+  Cpu cpu(&space_);
+  cpu.set_exec_cache(&cache_);
+  CpuState st;
+  uint64_t steps = 0;
+  Fault fault;
+  ASSERT_EQ(cpu.Run(&st, 100, &steps, &fault), StopReason::kBreak);
+  ASSERT_EQ(st.regs[kRegT0], 5u);
+
+  Fault f;
+  ASSERT_TRUE(space_.Store32(0, EncodeI(Op::kAddi, kRegT0, kRegZero, 9), &f));
+  CpuState st2;
+  ASSERT_EQ(cpu.Run(&st2, 100, &steps, &fault), StopReason::kBreak);
+  EXPECT_EQ(st2.regs[kRegT0], 9u) << "stale decoded block executed after the store";
+  EXPECT_GE(invals_, 1u);
+}
+
+TEST_F(ExecCacheTest, SameBlockSelfModificationMatchesTheReferenceLoop) {
+  // The store at 0x04 rewrites the instruction at 0x0C in its *own* block; the
+  // refetch-every-step loop executes the new word, so the block engine must too.
+  //   0x00 addi t1, zero, 0x00    (scratch address base: 0x40, below)
+  //   0x04 sw   t2, 0x0C(zero)    overwrite the instr at 0x0C
+  //   0x08 addi t3, zero, 11      untouched
+  //   0x0C addi t4, zero, 11      becomes: addi t4, zero, 22
+  //   0x10 break
+  std::vector<uint32_t> words = {
+      EncodeI(Op::kAddi, kRegT1, kRegZero, 0),
+      EncodeI(Op::kSw, kRegT2, kRegZero, 0x0C),
+      EncodeI(Op::kAddi, kRegT3, kRegZero, 11),
+      EncodeI(Op::kAddi, kRegT4, kRegZero, 11),
+      EncodeBreak(),
+  };
+  uint32_t patched = EncodeI(Op::kAddi, kRegT4, kRegZero, 22);
+
+  auto run = [&](bool fast) -> CpuState {
+    SharedFs sfs;
+    AddressSpace space(&sfs);
+    auto backing = std::make_shared<std::vector<uint8_t>>(kPageSize, 0);
+    EXPECT_TRUE(space.MapPrivate(0, kPageSize, Prot::kAll, backing, 0).ok());
+    for (size_t i = 0; i < words.size(); ++i) {
+      Fault fault;
+      EXPECT_TRUE(space.Store32(static_cast<uint32_t>(4 * i), words[i], &fault));
+    }
+    ExecCache cache;
+    Cpu cpu(&space);
+    if (fast) {
+      cpu.set_exec_cache(&cache);
+    }
+    CpuState st;
+    st.regs[kRegT2] = patched;
+    uint64_t steps = 0;
+    Fault fault;
+    EXPECT_EQ(cpu.Run(&st, 100, &steps, &fault), StopReason::kBreak);
+    EXPECT_EQ(steps, 5u);
+    return st;
+  };
+
+  CpuState slow = run(/*fast=*/false);
+  CpuState fast = run(/*fast=*/true);
+  EXPECT_EQ(slow.regs[kRegT4], 22u);
+  EXPECT_EQ(fast.regs[kRegT4], slow.regs[kRegT4]);
+  EXPECT_EQ(fast.regs, slow.regs);
+  EXPECT_EQ(fast.pc, slow.pc);
+}
+
+TEST_F(ExecCacheTest, QuantumEdgeCutsABlockAtTheExactInstruction) {
+  InstallCode({
+      EncodeI(Op::kAddi, kRegT0, kRegZero, 1),
+      EncodeI(Op::kAddi, kRegT1, kRegZero, 2),
+      EncodeI(Op::kAddi, kRegT2, kRegZero, 3),
+      EncodeBreak(),
+  });
+  Cpu cpu(&space_);
+  cpu.set_exec_cache(&cache_);
+  CpuState st;
+  uint64_t steps = 0;
+  Fault fault;
+  // Budget 2 stops mid-block after exactly 2 instructions, like the slow loop.
+  EXPECT_EQ(cpu.Run(&st, 2, &steps, &fault), StopReason::kSteps);
+  EXPECT_EQ(steps, 2u);
+  EXPECT_EQ(st.pc, 8u);
+  EXPECT_EQ(st.regs[kRegT1], 2u);
+  EXPECT_EQ(st.regs[kRegT2], 0u);
+  // Resuming finishes the block.
+  EXPECT_EQ(cpu.Run(&st, 100, &steps, &fault), StopReason::kBreak);
+  EXPECT_EQ(st.regs[kRegT2], 3u);
+}
+
+TEST_F(ExecCacheTest, FaultingLoadLeavesPcAtTheInstruction) {
+  InstallCode({
+      EncodeI(Op::kAddi, kRegT0, kRegZero, 1),
+      EncodeI(Op::kLw, kRegT1, kRegZero, 0x7FF0),  // unmapped: faults
+      EncodeBreak(),
+  });
+  Cpu cpu(&space_);
+  cpu.set_exec_cache(&cache_);
+  CpuState st;
+  uint64_t steps = 0;
+  Fault fault;
+  EXPECT_EQ(cpu.Run(&st, 100, &steps, &fault), StopReason::kFault);
+  EXPECT_EQ(steps, 1u);  // the faulting instruction is not counted
+  EXPECT_EQ(st.pc, 4u);  // pc at the faulting lw, ready for retry
+  EXPECT_EQ(fault.addr, 0x7FF0u);
+}
+
+// --- End-to-end: fast path on by default, --slow-interp identical ---
+
+constexpr char kLoopProg[] = R"(
+  int main(void) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 3000; i += 1) {
+      acc = acc + i;
+    }
+    putint(acc);
+    puts("\n");
+    return 0;
+  }
+)";
+
+TEST(FastPathEndToEnd, FastAndSlowProduceIdenticalOutcomes) {
+  HemlockWorld fast_world;
+  fast_world.machine().set_slow_interp(false);  // pin: CI sets HEMLOCK_SLOW_INTERP
+  Result<RunOutcome> fast = fast_world.RunProgram(kLoopProg);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+  HemlockWorld slow_world;
+  slow_world.machine().set_slow_interp(true);
+  Result<RunOutcome> slow = slow_world.RunProgram(kLoopProg);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+
+  EXPECT_EQ(fast->stdout_text, slow->stdout_text);
+  EXPECT_EQ(fast->exit_code, slow->exit_code);
+  EXPECT_EQ(MetricValue(fast->metrics, "vm.faults_delivered"),
+            MetricValue(slow->metrics, "vm.faults_delivered"));
+  // The fast path actually ran (and the slow one actually didn't).
+  EXPECT_GT(MetricValue(fast->metrics, "vm.icache.hits"), 0u);
+  EXPECT_EQ(MetricValue(slow->metrics, "vm.icache.hits"), 0u);
+  EXPECT_GT(MetricValue(fast->metrics, "vm.tlb.hits"), 0u);
+}
+
+constexpr char kCounterSrc[] = R"(
+  int counter = 0;
+  int bump(void) { counter = counter + 1; return counter; }
+)";
+constexpr char kBumpProg[] = R"(
+  extern int bump(void);
+  int main(void) { putint(bump()); puts("\n"); return 0; }
+)";
+
+// ldl's creation-pending rebuild rewrites a public module's segment through
+// SharedFs::WriteAt — under the feet of any process that cached decoded blocks
+// from it. The kernel-side write must retire those blocks like a VM store would.
+TEST(FastPathEndToEnd, LdlSegmentRebuildInvalidatesDecodedBlocks) {
+  HemlockWorld world;
+  world.machine().set_slow_interp(false);  // pin: CI sets HEMLOCK_SLOW_INTERP
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  (void)world.vfs().MkdirAll("/shm/lib");
+  ASSERT_TRUE(world.CompileTo(kCounterSrc, "/shm/lib/counter.o", no_prelude).ok());
+
+  Result<RunOutcome> first =
+      world.RunProgram(kBumpProg, {{"counter.o", ShareClass::kDynamicPublic}});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->stdout_text, "1\n");
+  ASSERT_GT(MetricValue(first->metrics, "vm.icache.hits"), 0u);
+
+  // Mark the module torn (dead creator): the next attacher rebuilds it in place.
+  Result<SfsStat> st = world.sfs().Stat("/lib/counter");
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(world.sfs().SetCreationPending(st->ino, true).ok());
+  ASSERT_TRUE(world.sfs().LockInode(st->ino, 9999).ok());
+
+  Result<RunOutcome> second =
+      world.RunProgram(kBumpProg, {{"counter.o", ShareClass::kDynamicPublic}});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->exit_code, 0);
+  EXPECT_GE(MetricValue(second->metrics, "ldl.publics_rebuilt"), 1u);
+  // The rebuild's WriteAt hit pages holding decoded shared code.
+  EXPECT_GE(MetricValue(second->metrics, "vm.icache.invalidations"), 1u);
+}
+
+// --- Chaos-seed differential sweep: schedules, stdout, and race reports ---
+
+const char kRacyDb[] = "int counter = 0;\n";
+const char kRacyWorker[] =
+    "extern int counter;\n"
+    "int main() {\n"
+    "  int i;\n"
+    "  int t;\n"
+    "  for (i = 0; i < 40; i += 1) {\n"
+    "    t = counter;\n"
+    "    sys_yield();\n"
+    "    counter = t + 1;\n"
+    "  }\n"
+    "  putint(counter);\n"
+    "  return 0;\n"
+    "}\n";
+
+struct SweepOutcome {
+  RunStatus status;
+  std::vector<std::string> outs;
+  std::vector<std::string> races;
+  uint64_t ticks;
+};
+
+SweepOutcome RunChaosOnce(uint32_t seed, bool slow) {
+  SweepOutcome out{};
+  HemlockWorld world;
+  world.machine().set_slow_interp(slow);
+  world.machine().EnableRaceDetector();
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  (void)world.vfs().MkdirAll("/shm/lib");
+  EXPECT_TRUE(world.CompileTo(kRacyDb, "/shm/lib/racy_db.o", no_prelude).ok());
+  EXPECT_TRUE(world.CompileTo(kRacyWorker, "/home/user/racy.o").ok());
+  LdsOptions lds;
+  lds.inputs.push_back({"/home/user/racy.o", ShareClass::kStaticPrivate});
+  lds.inputs.push_back({"/shm/lib/racy_db.o", ShareClass::kDynamicPublic});
+  Result<LoadImage> image = world.Link(lds);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  Result<ExecResult> p1 = world.Exec(*image);
+  Result<ExecResult> p2 = world.Exec(*image);
+  EXPECT_TRUE(p1.ok() && p2.ok());
+
+  SchedParams params;
+  params.policy = SchedPolicy::kRandom;
+  params.seed = seed;
+  params.quantum = 64;
+  out.status = world.machine().RunScheduled(params, 100'000'000);
+  out.ticks = world.machine().ticks();
+  for (int pid : {p1->pid, p2->pid}) {
+    Process* proc = world.machine().FindProcess(pid);
+    out.outs.push_back(proc != nullptr ? proc->stdout_text() : "<reaped>");
+  }
+  const RaceDetector* race = world.machine().race();
+  if (race != nullptr) {
+    for (const RaceReport& r : race->reports()) {
+      out.races.push_back(r.ToString());
+    }
+  }
+  return out;
+}
+
+TEST(FastPathDifferential, ChaosSeedsProduceIdenticalSchedulesAndRaceReports) {
+  for (uint32_t seed = 1; seed <= 16; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SweepOutcome fast = RunChaosOnce(seed, /*slow=*/false);
+    SweepOutcome slow = RunChaosOnce(seed, /*slow=*/true);
+    EXPECT_EQ(fast.status, slow.status);
+    EXPECT_EQ(fast.ticks, slow.ticks) << "tick streams diverged: schedules differ";
+    EXPECT_EQ(fast.outs, slow.outs);
+    EXPECT_EQ(fast.races, slow.races) << "race reports diverged between interpreters";
+  }
+}
+
+// The mutexed chaos sweep from race_test, re-run here explicitly on the fast path
+// (ISSUE 4 satellite: 16-seed chaos sweep passes with the fast path on).
+TEST(FastPathDifferential, MutexedProgramStaysCleanAcross16ChaosSeedsOnFastPath) {
+  std::string locked_worker = HemSyncDecls() +
+                              "extern int lock;\n"
+                              "extern int counter;\n"
+                              "int main() {\n"
+                              "  int i;\n"
+                              "  for (i = 0; i < 25; i += 1) {\n"
+                              "    hem_mutex_lock(&lock);\n"
+                              "    counter = counter + 1;\n"
+                              "    hem_mutex_unlock(&lock);\n"
+                              "  }\n"
+                              "  return 0;\n"
+                              "}\n";
+  for (uint32_t seed = 1; seed <= 16; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    HemlockWorld world;
+    world.machine().set_slow_interp(false);  // pin: CI sets HEMLOCK_SLOW_INTERP
+    world.machine().EnableRaceDetector();
+    ASSERT_TRUE(InstallHemSync(world).ok());
+    CompileOptions no_prelude;
+    no_prelude.include_prelude = false;
+    ASSERT_TRUE(
+        world.CompileTo("int lock = 0;\nint counter = 0;\n", "/shm/lib/locked_db.o", no_prelude)
+            .ok());
+    ASSERT_TRUE(world.CompileTo(locked_worker, "/home/user/locked.o").ok());
+    LdsOptions lds;
+    lds.inputs.push_back({"/home/user/locked.o", ShareClass::kStaticPrivate});
+    lds.inputs.push_back({"/shm/lib/locked_db.o", ShareClass::kDynamicPublic});
+    lds.inputs.push_back({"/shm/lib/hemsync.o", ShareClass::kDynamicPublic});
+    Result<LoadImage> image = world.Link(lds);
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+    ASSERT_TRUE(world.Exec(*image).ok());
+    ASSERT_TRUE(world.Exec(*image).ok());
+    SchedParams params;
+    params.policy = SchedPolicy::kRandom;
+    params.seed = seed;
+    params.quantum = 64;
+    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), RunStatus::kExited);
+    RaceDetector* race = world.machine().race();
+    ASSERT_NE(race, nullptr);
+    EXPECT_FALSE(race->HasRaces()) << race->reports()[0].ToString();
+    // The sweep exercised the block cache, not the reference loop.
+    EXPECT_GT(world.machine().metrics().Get("vm.icache.hits"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hemlock

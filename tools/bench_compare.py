@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a bench_interp JSON run against the committed baseline.
+
+Wall-clock numbers are machine-dependent, so the gate checks two things that are
+not:
+  * the deterministic VM counters (tlb_*/icache_* averages per run) must stay
+    within --tolerance of the baseline — a blown hit rate or an invalidation storm
+    is a correctness-adjacent regression even when the box is fast enough to hide
+    it;
+  * the fast-over-slow interpreter speedup ratio (both engines measured in the
+    same process on the same machine) must stay above --min-speedup and within
+    --tolerance of the baseline's ratio.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
+                                                   [--min-speedup 3.0]
+Exits nonzero on any regression; prints one line per comparison.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters whose values are properties of the workload, not the machine.
+DETERMINISTIC_COUNTERS = (
+    "tlb_hits",
+    "tlb_misses",
+    "tlb_flushes",
+    "icache_hits",
+    "icache_misses",
+    "icache_invalidations",
+)
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])}
+
+
+def within(old, new, tolerance):
+    if old == 0:
+        return new == 0
+    return abs(new - old) <= tolerance * abs(old)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    failures = []
+
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for counter in DETERMINISTIC_COUNTERS:
+            if counter not in b:
+                continue
+            old, new = b[counter], c.get(counter, 0.0)
+            ok = within(old, new, args.tolerance)
+            print(f"{'ok  ' if ok else 'FAIL'} {name}.{counter}: "
+                  f"baseline={old:.1f} current={new:.1f}")
+            if not ok:
+                failures.append(f"{name}.{counter}: {old:.1f} -> {new:.1f}")
+
+    speedup_bench = cur.get("BM_InterpSpeedup")
+    if speedup_bench is None or "speedup" not in speedup_bench:
+        failures.append("BM_InterpSpeedup.speedup: missing from current run")
+    else:
+        speedup = speedup_bench["speedup"]
+        base_speedup = base.get("BM_InterpSpeedup", {}).get("speedup")
+        floor = args.min_speedup
+        if base_speedup is not None:
+            floor = max(floor, base_speedup * (1.0 - args.tolerance))
+        ok = speedup >= floor
+        print(f"{'ok  ' if ok else 'FAIL'} BM_InterpSpeedup.speedup: "
+              f"current={speedup:.2f}x floor={floor:.2f}x "
+              f"(baseline={base_speedup if base_speedup is not None else 'n/a'})")
+        if not ok:
+            failures.append(f"speedup {speedup:.2f}x below floor {floor:.2f}x")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall comparisons within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

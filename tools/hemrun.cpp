@@ -30,6 +30,8 @@
 //   --race                     enable the shared-region race detector; reports go to
 //                              stderr and any finding turns the exit code into 5
 //   --race-sample N            check every Nth shared access per process (default 1)
+//   --slow-interp              reference decode-every-step interpreter (differential
+//                              runs; must behave identically to the fast path)
 //
 // Any of --procs/--quantum/--sched/--race selects the scheduled (preemptive) run
 // mode; without them a single process runs to completion uninterrupted.
@@ -97,7 +99,7 @@ int Usage() {
                "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--metrics]\n"
                "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
                "              [--procs n] [--quantum q] [--sched rr|random[:seed]]\n"
-               "              [--race] [--race-sample n]\n"
+               "              [--race] [--race-sample n] [--slow-interp]\n"
                "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
                "               --dynamic-private f.hc]... <main.hc>\n");
   return 2;
@@ -118,6 +120,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool scheduled = false;
   bool race = false;
+  bool slow_interp = false;
   uint32_t race_sample = 1;
   long procs = 1;
   uint64_t quantum = 0;
@@ -197,6 +200,8 @@ int main(int argc, char** argv) {
       if (n == nullptr || (race_sample = static_cast<uint32_t>(std::strtoul(n, nullptr, 10))) == 0) {
         return Usage();
       }
+    } else if (arg == "--slow-interp") {
+      slow_interp = true;
     } else if (arg == "--eager") {
       eager = true;
     } else if (arg == "--stats") {
@@ -237,6 +242,9 @@ int main(int argc, char** argv) {
   }
 
   HemlockWorld world;
+  if (slow_interp) {
+    world.machine().set_slow_interp(true);
+  }
 
   // An injected crash mimics the process dying mid-operation: persist whatever the
   // shared partition looks like *right now* (serialization itself may be the armed
