@@ -1,0 +1,10 @@
+// libFuzzer driver for the object/program format decoders (HOF/HXE/HML).
+// Build with -DHEMLOCK_FUZZERS=ON (requires clang); seed from tests/corpus/object.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return hemlock::HemFuzzObject(data, size);
+}

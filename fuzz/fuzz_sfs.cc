@@ -1,0 +1,11 @@
+// libFuzzer driver for the SFS state-image deserializer (strict + salvage) and
+// the PosixStore index parser.
+// Build with -DHEMLOCK_FUZZERS=ON (requires clang); seed from tests/corpus/sfs.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return hemlock::HemFuzzSfs(data, size);
+}

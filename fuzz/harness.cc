@@ -1,0 +1,159 @@
+#include "fuzz/harness.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/link/image.h"
+#include "src/obj/object_file.h"
+#include "src/posix/posix_store.h"
+#include "src/sfs/sfs_check.h"
+#include "src/sfs/shared_fs.h"
+
+namespace hemlock {
+namespace {
+
+// A decoder that *accepts* hostile input is allowed — the corpus contains valid
+// seeds — but an accepted result must be internally consistent enough to walk.
+// These touch loops catch "accepted but half-built" objects that would explode
+// later in the loader instead of at the boundary.
+
+// Keeps the touch loops from being optimized away.
+volatile size_t g_sink = 0;
+
+void TouchObject(const ObjectFile& obj) {
+  size_t sink = 0;
+  sink += obj.text().size() + obj.data().size() + obj.bss_size();
+  for (const Symbol& sym : obj.symbols()) {
+    sink += sym.name.size() + sym.value;
+  }
+  for (const Relocation& rel : obj.relocations()) {
+    sink += rel.symbol.size() + rel.offset;
+  }
+  for (const std::string& m : obj.module_list()) {
+    sink += m.size();
+  }
+  for (const std::string& p : obj.search_path()) {
+    sink += p.size();
+  }
+  g_sink = sink;
+}
+
+void TouchImage(const LoadImage& image) {
+  size_t sink = image.entry;
+  for (const ImageSegment& seg : image.segments) {
+    sink += seg.vaddr + seg.mem_size + seg.bytes.size();
+  }
+  for (const AbsSymbol& sym : image.symbols) {
+    sink += sym.name.size() + sym.addr;
+  }
+  for (const PendingReloc& rel : image.pending) {
+    sink += rel.symbol.size() + rel.site;
+  }
+  g_sink = sink;
+}
+
+void TouchModule(const LinkedModule& mod) {
+  size_t sink = mod.base + mod.MemSize();
+  sink += mod.payload.size();
+  for (const AbsSymbol& sym : mod.exports) {
+    sink += sym.name.size() + sym.addr;
+  }
+  for (const PendingReloc& rel : mod.pending) {
+    sink += rel.symbol.size() + rel.site;
+  }
+  g_sink = sink;
+}
+
+void TouchFs(SharedFs& fs) {
+  size_t sink = fs.InodesInUse();
+  for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+    Result<SfsStat> st = fs.StatInode(ino);
+    if (!st.ok()) {
+      continue;
+    }
+    sink += st->size + st->addr;
+    Result<std::string> path = fs.InodeToPath(ino);
+    if (path.ok()) {
+      sink += path->size();
+    }
+    if (st->type == SfsNodeType::kRegular) {
+      // Read past the logical size on purpose: ReadAt must clamp, never trust
+      // a salvaged size field over the actual extent.
+      uint8_t buf[64];
+      (void)fs.ReadAt(ino, st->size > 16 ? st->size - 16 : 0, buf, sizeof(buf));
+    }
+  }
+  g_sink = sink;
+  fs.RebuildAddrTable();
+}
+
+}  // namespace
+
+int HemFuzzObject(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> bytes(data, data + size);
+
+  Result<ObjectFile> obj = ObjectFile::Deserialize(bytes);
+  if (obj.ok()) {
+    TouchObject(*obj);
+  }
+
+  Result<LoadImage> image = LoadImage::Deserialize(bytes);
+  if (image.ok()) {
+    TouchImage(*image);
+    // Deserialize already validated; the loader runs the same gate again, and
+    // the two must agree — a disagreement is a harness-visible bug.
+    Status revalidate = ValidateLoadImage(*image);
+    if (!revalidate.ok()) {
+      __builtin_trap();
+    }
+  }
+
+  if (LinkedModule::LooksLikeModuleFile(bytes)) {
+    Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
+    if (mod.ok()) {
+      TouchModule(*mod);
+    }
+  }
+  return 0;
+}
+
+int HemFuzzSfs(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> bytes(data, data + size);
+
+  {
+    // Strict mode: any corruption must be a clean kCorruptData (or
+    // kUnsupportedVersion), never a crash.
+    ByteReader r(bytes);
+    Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+    if (fs.ok()) {
+      TouchFs(**fs);
+    }
+  }
+  {
+    // Salvage mode: fsck must repair whatever prefix survived into a partition
+    // that is safe to operate on.
+    ByteReader r(bytes);
+    SfsCheckReport report;
+    Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
+    if (fs.ok()) {
+      TouchFs(**fs);
+    }
+  }
+
+  // The same bytes as a PosixStore index file (text format, fully validated).
+  std::string text(reinterpret_cast<const char*>(data), size);
+  Result<std::vector<std::pair<std::string, int>>> idx = ParsePosixIndex(text);
+  if (idx.ok()) {
+    size_t sink = 0;
+    for (const auto& [name, slot] : *idx) {
+      sink += name.size() + static_cast<size_t>(slot);
+    }
+    g_sink = sink;
+  }
+  return 0;
+}
+
+}  // namespace hemlock

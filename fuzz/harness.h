@@ -1,0 +1,34 @@
+// Shared fuzz entry points for Hemlock's input boundary (docs/ROBUSTNESS.md).
+//
+// Each function feeds one untrusted byte string through a family of validating
+// decoders and asserts the robustness contract: a decoder may *reject* (any
+// error Status) but must never crash, hang, or allocate proportionally to a
+// attacker-chosen count field. The same entry points back three consumers:
+//   * the libFuzzer binaries in this directory (built with -DHEMLOCK_FUZZERS=ON,
+//     which needs clang);
+//   * the corpus replay test (tests/corpus_test.cpp), a plain gtest that runs
+//     every checked-in seed as part of tier-1 ctest;
+//   * ad-hoc triage ("feed this crashing file through the harness in gdb").
+//
+// Return value is always 0 (libFuzzer convention); failure is a crash, not a
+// return code.
+#ifndef FUZZ_HARNESS_H_
+#define FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hemlock {
+
+// Object/program formats: HOF relocatable object, HXE load image, HML linked
+// module. Every decoder sees every input (no magic-based dispatch — a fuzzer
+// mutating a HOF seed into an HXE magic must still exercise the HXE path).
+int HemFuzzObject(const uint8_t* data, size_t size);
+
+// Shared-partition state images (strict and salvage modes) and the PosixStore
+// name<->slot index text format.
+int HemFuzzSfs(const uint8_t* data, size_t size);
+
+}  // namespace hemlock
+
+#endif  // FUZZ_HARNESS_H_

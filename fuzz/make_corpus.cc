@@ -1,0 +1,216 @@
+// Regenerates the checked-in fuzz corpus (tests/corpus/). Run from the repo root:
+//
+//   ./build/fuzz/hem_make_corpus tests/corpus
+//
+// Seeds come in two flavours per format: *valid* serializations produced by the
+// real encoders (so the fuzzers start from deep in the accept-space), and
+// *hostile* variants — truncations, bit flips, patched headers, count bombs —
+// that pin the decoders' reject paths. Every seed is replayed as a tier-1 test
+// (tests/corpus_test.cpp), so the corpus doubles as a malformed-input
+// regression suite: when a fuzzer finds a crash, its reproducer gets a name and
+// a home here.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/layout.h"
+#include "src/base/strings.h"
+#include "src/lang/compiler.h"
+#include "src/link/image.h"
+#include "src/obj/object_file.h"
+#include "src/sfs/shared_fs.h"
+
+using namespace hemlock;
+
+namespace {
+
+int g_written = 0;
+
+void Put(const std::filesystem::path& dir, const std::string& name,
+         const std::vector<uint8_t>& bytes) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", (dir / name).c_str());
+    std::exit(1);
+  }
+  ++g_written;
+}
+
+void PutText(const std::filesystem::path& dir, const std::string& name, const std::string& text) {
+  Put(dir, name, std::vector<uint8_t>(text.begin(), text.end()));
+}
+
+std::vector<uint8_t> Truncate(std::vector<uint8_t> bytes, size_t keep) {
+  bytes.resize(keep < bytes.size() ? keep : bytes.size());
+  return bytes;
+}
+
+std::vector<uint8_t> FlipByte(std::vector<uint8_t> bytes, size_t at) {
+  if (at < bytes.size()) {
+    bytes[at] ^= 0xFF;
+  }
+  return bytes;
+}
+
+// Overwrites a little-endian u32 field in place (for header surgery).
+std::vector<uint8_t> PatchU32(std::vector<uint8_t> bytes, size_t at, uint32_t value) {
+  if (at + 4 <= bytes.size()) {
+    std::memcpy(bytes.data() + at, &value, 4);
+  }
+  return bytes;
+}
+
+ObjectFile CompiledObject() {
+  const char* src =
+      "int counter;\n"
+      "int bump(int n) { counter = counter + n; return counter; }\n"
+      "int main() { return bump(41) + 1; }\n";
+  Result<ObjectFile> obj = CompileHemC(src, "corpus_mod");
+  if (!obj.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", obj.status().ToString().c_str());
+    std::exit(1);
+  }
+  obj->module_list().push_back("helper");
+  obj->search_path().push_back("/lib/shared");
+  return *obj;
+}
+
+void ObjectSeeds(const std::filesystem::path& dir) {
+  std::vector<uint8_t> hof = CompiledObject().Serialize();
+  Put(dir, "hof-valid.bin", hof);
+  Put(dir, "hof-truncated-half.bin", Truncate(hof, hof.size() / 2));
+  Put(dir, "hof-truncated-header.bin", Truncate(hof, 10));
+  Put(dir, "hof-bitflip-body.bin", FlipByte(hof, hof.size() / 2));
+  Put(dir, "hof-bad-magic.bin", PatchU32(hof, 0, 0x44414544));
+  Put(dir, "hof-bad-version.bin", PatchU32(hof, 4, 99));
+  // Count bomb: symbol count claims 2^31 entries the stream cannot hold.
+  Put(dir, "hof-count-bomb.bin", PatchU32(hof, 8, 0x80000000u));
+  Put(dir, "hof-trailing-garbage.bin", [&] {
+    std::vector<uint8_t> b = hof;
+    b.insert(b.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+    return b;
+  }());
+  PutText(dir, "magic-only.bin", "HOF!");
+  Put(dir, "empty.bin", {});
+
+  LoadImage image;
+  image.entry = kTextBase;
+  ImageSegment text;
+  text.vaddr = kTextBase;
+  text.mem_size = kPageSize;
+  text.executable = true;
+  text.bytes = {0x13, 0x00, 0x00, 0x00};  // one encoded word; rest zero-fill
+  ImageSegment data;
+  data.vaddr = kDataBase;
+  data.mem_size = 2 * kPageSize;
+  data.executable = false;
+  data.bytes = {1, 2, 3, 4};
+  image.segments = {text, data};
+  image.symbols.push_back({"main", kTextBase, true});
+  image.pending.push_back({RelocType::kWord32, kDataBase + 8, "counter", 0});
+  image.dynamic_modules.push_back({"mathlib", ShareClass::kDynamicPublic});
+  image.search_path.push_back("/lib/shared");
+  std::vector<uint8_t> hxe = image.Serialize();
+  Put(dir, "hxe-valid.bin", hxe);
+  Put(dir, "hxe-truncated.bin", Truncate(hxe, hxe.size() * 2 / 3));
+  Put(dir, "hxe-bitflip.bin", FlipByte(hxe, hxe.size() / 3));
+
+  LoadImage overlap = image;
+  overlap.segments[1].vaddr = kTextBase;  // collides with the text segment
+  Put(dir, "hxe-overlapping-segments.bin", overlap.Serialize());
+  LoadImage stray_entry = image;
+  stray_entry.entry = kDataBase;  // entry in a non-executable segment
+  Put(dir, "hxe-entry-not-executable.bin", stray_entry.Serialize());
+  LoadImage unaligned = image;
+  unaligned.segments[0].vaddr = kTextBase + 12;  // not page-aligned
+  Put(dir, "hxe-unaligned-segment.bin", unaligned.Serialize());
+
+  LinkedModule mod;
+  mod.name = "corpus_pub";
+  mod.base = kSfsBase;
+  mod.text_size = 8;
+  mod.data_size = 4;
+  mod.bss_size = 16;
+  mod.payload = {0x13, 0, 0, 0, 0x13, 0, 0, 0, 7, 0, 0, 0};
+  mod.exports.push_back({"entry", kSfsBase, true});
+  mod.pending.push_back({RelocType::kWord32, kSfsBase + 8, "extern_cell", 0});
+  mod.module_list.push_back("helper");
+  std::vector<uint8_t> hml = mod.SerializeFile();
+  Put(dir, "hml-valid.bin", hml);
+  Put(dir, "hml-truncated.bin", Truncate(hml, hml.size() - 6));
+  Put(dir, "hml-bad-footer.bin", FlipByte(hml, hml.size() - 8));
+  Put(dir, "hml-trailing-garbage.bin", [&] {
+    std::vector<uint8_t> b = hml;
+    b.insert(b.end(), 32, 0xAA);
+    return b;
+  }());
+}
+
+void SfsSeeds(const std::filesystem::path& dir) {
+  auto serialize = [](const SharedFs& fs) {
+    ByteWriter w;
+    Status st = fs.Serialize(&w);
+    if (!st.ok()) {
+      std::fprintf(stderr, "sfs serialize failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    return w.buffer();
+  };
+
+  SharedFs empty;
+  Put(dir, "sfs-empty.bin", serialize(empty));
+
+  SharedFs fs;
+  (void)fs.Mkdir("/lib");
+  (void)fs.Create("/lib/mathlib");
+  (void)fs.Create("/scratch");
+  (void)fs.Symlink("/mathlib", "/lib/mathlib");
+  uint32_t ino = *fs.Lookup("/lib/mathlib");
+  std::vector<uint8_t> payload(512, 0x5A);
+  (void)fs.WriteAt(ino, 0, payload.data(), static_cast<uint32_t>(payload.size()));
+  std::vector<uint8_t> img = serialize(fs);
+  Put(dir, "sfs-populated.bin", img);
+  Put(dir, "sfs-truncated-half.bin", Truncate(img, img.size() / 2));
+  Put(dir, "sfs-truncated-header.bin", Truncate(img, 6));
+  Put(dir, "sfs-bitflip.bin", FlipByte(img, img.size() / 3));
+  Put(dir, "sfs-bad-magic.bin", PatchU32(img, 0, 0x00505845));
+  Put(dir, "sfs-bad-version.bin", PatchU32(img, 4, 7));
+  // Claims the v1 positional layout over a v2 body.
+  Put(dir, "sfs-v1-claim.bin", PatchU32(img, 4, 1024));
+  Put(dir, "sfs-count-bomb.bin", PatchU32(img, 8, 0xFFFFFFFFu));
+
+  // PosixStore index files (text). Legacy headerless form is accepted; the
+  // checksummed form must match; everything else pins a reject path.
+  PutText(dir, "index-legacy-valid.txt", "mathlib 0\nscratch 1\n");
+  std::string body = "alpha 0\nbeta 5\n";
+  PutText(dir, "index-checksummed-valid.txt",
+          StrFormat("#hemidx %08x 2\n", Crc32(body.data(), body.size())) + body);
+  PutText(dir, "index-bad-crc.txt", "#hemidx deadbeef 2\n" + body);
+  PutText(dir, "index-count-mismatch.txt",
+          StrFormat("#hemidx %08x 9\n", Crc32(body.data(), body.size())) + body);
+  PutText(dir, "index-duplicate-slot.txt", "alpha 3\nbeta 3\n");
+  PutText(dir, "index-slot-out-of-range.txt", "alpha 4096\n");
+  PutText(dir, "index-name-traversal.txt", "../escape 0\n");
+  PutText(dir, "index-overlong-name.txt", std::string(300, 'n') + " 0\n");
+  Put(dir, "index-binary-noise.bin", {0x00, 0xFF, 0x20, 0x0A, 0x80, 0x7F, 0x0A});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: hem_make_corpus <corpus-dir>\n");
+    return 2;
+  }
+  std::filesystem::path root = argv[1];
+  ObjectSeeds(root / "object");
+  SfsSeeds(root / "sfs");
+  std::printf("wrote %d seeds under %s\n", g_written, root.c_str());
+  return 0;
+}

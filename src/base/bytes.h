@@ -133,6 +133,34 @@ class ByteReader {
     return OkStatus();
   }
 
+  // Reads a 32-bit element count and validates it against the bytes actually left in
+  // the stream (each element needs at least |min_bytes_per_elem|) and an absolute cap.
+  // Rejecting the count up front turns an attacker-controlled "reserve 4 billion
+  // entries" header into kCorruptData instead of an allocation bomb.
+  Result<uint32_t> Count(size_t min_bytes_per_elem, uint32_t max_elems) {
+    ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (n > max_elems) {
+      return CorruptData("element count " + std::to_string(n) + " exceeds cap " +
+                         std::to_string(max_elems));
+    }
+    if (min_bytes_per_elem > 0 &&
+        static_cast<uint64_t>(n) * min_bytes_per_elem > remaining()) {
+      return CorruptData("element count " + std::to_string(n) +
+                         " exceeds the bytes remaining in the stream");
+    }
+    return n;
+  }
+
+  // Succeeds only when the whole buffer has been consumed; trailing bytes in an
+  // external image are corruption, not padding.
+  Status ExpectEnd(std::string_view what) const {
+    if (!AtEnd()) {
+      return CorruptData(std::string(what) + ": " + std::to_string(remaining()) +
+                         " trailing byte(s) after the last record");
+    }
+    return OkStatus();
+  }
+
   bool AtEnd() const { return pos_ == size_; }
   size_t pos() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }

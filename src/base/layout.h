@@ -42,6 +42,10 @@ inline constexpr uint32_t kSfsMaxFileBytes = 1u << 20;  // 1 MB
 
 inline constexpr uint32_t PageFloor(uint32_t addr) { return addr & ~kPageMask; }
 inline constexpr uint32_t PageCeil(uint32_t addr) { return (addr + kPageMask) & ~kPageMask; }
+// Overflow-safe page rounding for validating untrusted 32-bit sizes/addresses.
+inline constexpr uint64_t PageCeil64(uint64_t n) {
+  return (n + kPageMask) & ~static_cast<uint64_t>(kPageMask);
+}
 
 inline constexpr bool InSfsRegion(uint32_t addr) { return addr >= kSfsBase && addr < kSfsLimit; }
 inline constexpr bool InTextRegion(uint32_t addr) { return addr < kTextLimit; }

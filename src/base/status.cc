@@ -32,8 +32,32 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "CRASHED";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kUnsupportedVersion:
+      return "UNSUPPORTED_VERSION";
   }
   return "UNKNOWN";
+}
+
+int ToolExitCode(const Status& st) {
+  if (st.ok()) {
+    return 0;
+  }
+  if (IsCrash(st)) {
+    return 42;
+  }
+  if (IsHostileInput(st)) {
+    return 6;
+  }
+  switch (st.code()) {
+    case ErrorCode::kResourceExhausted:
+      return 7;
+    case ErrorCode::kIoError:
+      return 8;
+    default:
+      return 1;
+  }
 }
 
 std::string Status::ToString() const {

@@ -24,11 +24,13 @@ enum class ErrorCode {
   kResourceExhausted, // ENOSPC / ENFILE: inode table or region full
   kFailedPrecondition,
   kUnimplemented,
-  kCorruptData,       // malformed object file / load image
-  kWouldBlock,        // EWOULDBLOCK: lock contention
-  kFault,             // unresolved segmentation fault
-  kCrashed,           // injected crash (fault registry): the operation died mid-way
+  kCorruptData,        // malformed object file / load image
+  kWouldBlock,         // EWOULDBLOCK: lock contention
+  kFault,              // unresolved segmentation fault
+  kCrashed,            // injected crash (fault registry): the operation died mid-way
   kInternal,
+  kIoError,            // EIO: host read()/write() failed or returned short
+  kUnsupportedVersion, // well-formed container, but a format version we don't speak
 };
 
 // Human-readable name of an error code ("NOT_FOUND", ...).
@@ -86,6 +88,29 @@ inline Status Crashed(std::string msg) { return Status(ErrorCode::kCrashed, std:
 // deliberately torn state behind; recovery is SfsCheck's job, not the caller's.
 inline bool IsCrash(const Status& st) { return st.code() == ErrorCode::kCrashed; }
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
+inline Status IoError(std::string msg) { return Status(ErrorCode::kIoError, std::move(msg)); }
+inline Status UnsupportedVersion(std::string msg) {
+  return Status(ErrorCode::kUnsupportedVersion, std::move(msg));
+}
+
+// True when |st| describes input we refused to trust: a malformed or truncated
+// object/image/index, or a format revision this build does not speak. Hostile input
+// is never a bug in the caller; tools map it to a dedicated exit code.
+inline bool IsHostileInput(const Status& st) {
+  return st.code() == ErrorCode::kCorruptData || st.code() == ErrorCode::kUnsupportedVersion;
+}
+
+// Maps a Status onto the shared tool exit-code table used by hemrun and hemdump.
+// (Codes 2-5 are reserved by the tools themselves for usage errors, deadlock,
+// budget exhaustion, and race reports; 42 matches the injected-crash convention.)
+//
+//   0   success
+//   1   generic toolchain/machine error
+//   6   hostile input: corrupt or unsupported object/image/index data
+//   7   resource exhaustion: inodes, file-size cap, shared region, heap, ENOSPC
+//   8   host I/O error (EINTR storm, short read/write, disk error)
+//   42  injected crash from the fault registry
+int ToolExitCode(const Status& st);
 
 // A value-or-error. Access to value() asserts success; callers check ok() first
 // (or use the RETURN_IF_ERROR / ASSIGN_OR_RETURN macros below).

@@ -1,6 +1,8 @@
 #include "src/link/image.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "src/base/layout.h"
 #include "src/base/strings.h"
@@ -13,6 +15,18 @@ constexpr uint32_t kHxeMagic = 0x21455848;  // "HXE!"
 constexpr uint32_t kHmlMagic = 0x214C4D48;  // "HML!"
 constexpr uint32_t kFooterBytes = 12;       // magic, trailer offset, trailer size
 
+// Caps on table sizes in external images: far above anything lds emits, low
+// enough that a hostile count can never become a giant allocation.
+constexpr uint32_t kMaxImageSegments = 64;
+constexpr uint32_t kMaxImageSymbols = 1u << 20;
+constexpr uint32_t kMaxImagePending = 1u << 20;
+constexpr uint32_t kMaxImageNames = 1u << 12;
+
+// Minimum serialized size of each record kind (empty strings).
+constexpr size_t kAbsSymbolMinBytes = 4 + 4 + 1;
+constexpr size_t kPendingMinBytes = 1 + 4 + 4 + 4;
+constexpr size_t kSegmentMinBytes = 4 + 4 + 1 + 4;
+
 void WriteAbsSymbols(ByteWriter* w, const std::vector<AbsSymbol>& syms) {
   w->U32(static_cast<uint32_t>(syms.size()));
   for (const AbsSymbol& s : syms) {
@@ -23,7 +37,7 @@ void WriteAbsSymbols(ByteWriter* w, const std::vector<AbsSymbol>& syms) {
 }
 
 Status ReadAbsSymbols(ByteReader* r, std::vector<AbsSymbol>* out) {
-  ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  ASSIGN_OR_RETURN(uint32_t n, r->Count(kAbsSymbolMinBytes, kMaxImageSymbols));
   out->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     AbsSymbol s;
@@ -47,7 +61,7 @@ void WritePending(ByteWriter* w, const std::vector<PendingReloc>& pending) {
 }
 
 Status ReadPending(ByteReader* r, std::vector<PendingReloc>* out) {
-  ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  ASSIGN_OR_RETURN(uint32_t n, r->Count(kPendingMinBytes, kMaxImagePending));
   out->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     PendingReloc p;
@@ -72,7 +86,7 @@ void WriteStringList(ByteWriter* w, const std::vector<std::string>& list) {
 }
 
 Status ReadStringList(ByteReader* r, std::vector<std::string>* out) {
-  ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  ASSIGN_OR_RETURN(uint32_t n, r->Count(4, kMaxImageNames));
   out->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     ASSIGN_OR_RETURN(std::string s, r->Str());
@@ -132,7 +146,7 @@ Result<LoadImage> LoadImage::Deserialize(const std::vector<uint8_t>& bytes) {
   }
   LoadImage img;
   ASSIGN_OR_RETURN(img.entry, r.U32());
-  ASSIGN_OR_RETURN(uint32_t nsegs, r.U32());
+  ASSIGN_OR_RETURN(uint32_t nsegs, r.Count(kSegmentMinBytes, kMaxImageSegments));
   img.segments.reserve(nsegs);
   for (uint32_t i = 0; i < nsegs; ++i) {
     ImageSegment seg;
@@ -148,7 +162,7 @@ Result<LoadImage> LoadImage::Deserialize(const std::vector<uint8_t>& bytes) {
   }
   RETURN_IF_ERROR(ReadAbsSymbols(&r, &img.symbols));
   RETURN_IF_ERROR(ReadPending(&r, &img.pending));
-  ASSIGN_OR_RETURN(uint32_t nmods, r.U32());
+  ASSIGN_OR_RETURN(uint32_t nmods, r.Count(5, kMaxImageNames));
   img.dynamic_modules.reserve(nmods);
   for (uint32_t i = 0; i < nmods; ++i) {
     DynModuleRecord rec;
@@ -160,7 +174,7 @@ Result<LoadImage> LoadImage::Deserialize(const std::vector<uint8_t>& bytes) {
     rec.cls = static_cast<ShareClass>(cls);
     img.dynamic_modules.push_back(std::move(rec));
   }
-  ASSIGN_OR_RETURN(uint32_t nrefs, r.U32());
+  ASSIGN_OR_RETURN(uint32_t nrefs, r.Count(8, kMaxImageNames));
   img.static_publics.reserve(nrefs);
   for (uint32_t i = 0; i < nrefs; ++i) {
     StaticPublicRef ref;
@@ -169,7 +183,67 @@ Result<LoadImage> LoadImage::Deserialize(const std::vector<uint8_t>& bytes) {
     img.static_publics.push_back(std::move(ref));
   }
   RETURN_IF_ERROR(ReadStringList(&r, &img.search_path));
+  RETURN_IF_ERROR(r.ExpectEnd("HXE image"));
+  RETURN_IF_ERROR(ValidateLoadImage(img));
   return img;
+}
+
+Status ValidateLoadImage(const LoadImage& img) {
+  // Segment geometry: page-aligned, confined to the private text/data area below
+  // the shared region, and mutually non-overlapping. Everything ldl later maps
+  // (public modules, stacks) assumes the static image cannot reach those ranges.
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  ranges.reserve(img.segments.size());
+  for (const ImageSegment& seg : img.segments) {
+    if (seg.vaddr % kPageSize != 0) {
+      return CorruptData(StrFormat("segment at 0x%08x not page aligned", seg.vaddr));
+    }
+    uint64_t end = static_cast<uint64_t>(seg.vaddr) + PageCeil64(seg.mem_size);
+    if (end > kDataLimit) {
+      return CorruptData(StrFormat("segment [0x%08x,+0x%x) escapes the private region",
+                                   seg.vaddr, seg.mem_size));
+    }
+    ranges.emplace_back(seg.vaddr, end);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].first < ranges[i - 1].second) {
+      return CorruptData(StrFormat("segments overlap at 0x%08x",
+                                   static_cast<uint32_t>(ranges[i].first)));
+    }
+  }
+  // The entry point must land on an instruction inside an executable segment.
+  if (img.entry % 4 != 0) {
+    return CorruptData(StrFormat("entry point 0x%08x not word aligned", img.entry));
+  }
+  bool entry_ok = false;
+  for (const ImageSegment& seg : img.segments) {
+    if (seg.executable && img.entry >= seg.vaddr &&
+        static_cast<uint64_t>(img.entry) + 4 <= static_cast<uint64_t>(seg.vaddr) + seg.mem_size) {
+      entry_ok = true;
+      break;
+    }
+  }
+  if (!entry_ok) {
+    return CorruptData(StrFormat("entry point 0x%08x outside every executable segment",
+                                 img.entry));
+  }
+  // Pending relocation sites are cells ldl will patch after mapping; each must be
+  // a word inside the image, never an arbitrary address in the victim process.
+  for (const PendingReloc& p : img.pending) {
+    bool site_ok = false;
+    for (const ImageSegment& seg : img.segments) {
+      if (p.site >= seg.vaddr &&
+          static_cast<uint64_t>(p.site) + 4 <= static_cast<uint64_t>(seg.vaddr) + seg.mem_size) {
+        site_ok = true;
+        break;
+      }
+    }
+    if (!site_ok) {
+      return CorruptData(StrFormat("pending relocation site 0x%08x outside the image", p.site));
+    }
+  }
+  return OkStatus();
 }
 
 std::vector<uint8_t> LinkedModule::SerializeFile() const {
@@ -218,8 +292,13 @@ Result<LinkedModule> LinkedModule::DeserializeFile(const std::vector<uint8_t>& b
   uint32_t trailer_size = 0;
   std::memcpy(&trailer_off, bytes.data() + bytes.size() - 8, 4);
   std::memcpy(&trailer_size, bytes.data() + bytes.size() - 4, 4);
-  if (trailer_off + trailer_size + kFooterBytes != bytes.size()) {
+  // 64-bit math: a footer with trailer_off ~ 0xFFFFFFFF must not wrap back into
+  // range and hand ByteReader an out-of-bounds window.
+  if (static_cast<uint64_t>(trailer_off) + trailer_size + kFooterBytes != bytes.size()) {
     return CorruptData("HML trailer bounds corrupt");
+  }
+  if (trailer_off % kPageSize != 0) {
+    return CorruptData("HML trailer not page aligned (mapped image must be whole pages)");
   }
   LinkedModule mod;
   ByteReader r(bytes.data() + trailer_off, trailer_size);
@@ -232,9 +311,36 @@ Result<LinkedModule> LinkedModule::DeserializeFile(const std::vector<uint8_t>& b
   RETURN_IF_ERROR(ReadPending(&r, &mod.pending));
   RETURN_IF_ERROR(ReadStringList(&r, &mod.module_list));
   RETURN_IF_ERROR(ReadStringList(&r, &mod.search_path));
-  uint32_t init_size = mod.text_size + mod.data_size;
+  RETURN_IF_ERROR(r.ExpectEnd("HML trailer"));
+  if (mod.text_size > kSfsMaxFileBytes || mod.data_size > kSfsMaxFileBytes ||
+      mod.bss_size > kSfsMaxFileBytes) {
+    return CorruptData("HML section larger than the 1 MB file cap");
+  }
+  uint64_t mem_size = static_cast<uint64_t>(mod.text_size) + mod.data_size + mod.bss_size;
+  uint64_t init_size = static_cast<uint64_t>(mod.text_size) + mod.data_size;
   if (init_size > trailer_off) {
     return CorruptData("HML payload larger than mapped image");
+  }
+  if (mod.base % kPageSize != 0) {
+    return CorruptData(StrFormat("HML base 0x%08x not page aligned", mod.base));
+  }
+  uint64_t end = mod.base + PageCeil64(mem_size);
+  if (end > kSfsLimit) {
+    return CorruptData(StrFormat("HML module [0x%08x,+0x%llx) escapes the mappable regions",
+                                 mod.base, static_cast<unsigned long long>(mem_size)));
+  }
+  // Exports and pending relocation sites must name cells of this module; anything
+  // else would let a hostile module file redirect or patch a neighbour.
+  for (const AbsSymbol& s : mod.exports) {
+    if (s.addr < mod.base || s.addr > mod.base + mem_size) {
+      return CorruptData(StrFormat("export '%s' at 0x%08x outside the module",
+                                   s.name.c_str(), s.addr));
+    }
+  }
+  for (const PendingReloc& p : mod.pending) {
+    if (p.site < mod.base || static_cast<uint64_t>(p.site) + 4 > mod.base + mem_size) {
+      return CorruptData(StrFormat("pending relocation site 0x%08x outside the module", p.site));
+    }
   }
   mod.payload.assign(bytes.begin(), bytes.begin() + init_size);
   return mod;
@@ -242,7 +348,8 @@ Result<LinkedModule> LinkedModule::DeserializeFile(const std::vector<uint8_t>& b
 
 Status ApplyReloc(std::vector<uint8_t>* buf, uint32_t buf_base, RelocType type, uint32_t site,
                   uint32_t target) {
-  if (site < buf_base || site + 4 > buf_base + buf->size()) {
+  if (site < buf_base ||
+      static_cast<uint64_t>(site) + 4 > static_cast<uint64_t>(buf_base) + buf->size()) {
     return OutOfRange(StrFormat("relocation site 0x%08x outside buffer [0x%08x,+0x%zx)", site,
                                 buf_base, buf->size()));
   }

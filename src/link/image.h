@@ -122,6 +122,13 @@ struct LinkedModule {
   static bool LooksLikeModuleFile(const std::vector<uint8_t>& bytes);
 };
 
+// Structural validation of a parsed load image: page-aligned non-overlapping
+// segments confined to the private region, entry inside an executable segment,
+// pending relocation sites inside the image. Deserialize runs this automatically;
+// the loader runs it again on any image it is about to map (images can also be
+// built in memory by lds).
+Status ValidateLoadImage(const LoadImage& img);
+
 // Applies one relocation to a byte buffer that will live at |buf_base|.
 // |target| is the resolved S + A value. The site must lie inside the buffer.
 Status ApplyReloc(std::vector<uint8_t>* buf, uint32_t buf_base, RelocType type, uint32_t site,

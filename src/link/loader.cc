@@ -6,6 +6,10 @@ namespace hemlock {
 
 Result<ExecResult> ExecuteImage(Machine& machine, const LoadImage& image,
                                 const ExecOptions& options) {
+  // Deserialize validates files, but images can also arrive straight from lds or a
+  // test harness: re-check geometry before any page is mapped so a bad image can
+  // never leave a half-built process behind.
+  RETURN_IF_ERROR(ValidateLoadImage(image));
   Process& proc = machine.CreateProcess();
   proc.env() = options.env;
   proc.set_cwd(options.cwd);

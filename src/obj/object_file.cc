@@ -1,12 +1,30 @@
 #include "src/obj/object_file.h"
 
 #include <cstring>
+#include <unordered_set>
+
+#include "src/base/layout.h"
 
 namespace hemlock {
 
 namespace {
 constexpr uint32_t kHofMagic = 0x21464F48;  // "HOF!"
 constexpr uint32_t kHofVersion = 2;
+
+// Hard caps on what a single object may carry. Text/data are length-prefixed and
+// bounds-checked against the stream itself; .bss is only a declared size, so cap
+// it at the private data region it would have to fit in. The table caps are far
+// above anything the compiler emits but small enough that a hostile header can
+// never turn into a multi-gigabyte allocation.
+constexpr uint32_t kHofMaxBssBytes = kDataLimit - kDataBase;
+constexpr uint32_t kHofMaxSymbols = 1u << 20;
+constexpr uint32_t kHofMaxRelocs = 1u << 20;
+constexpr uint32_t kHofMaxNames = 1u << 12;
+
+// Serialized sizes of the fixed parts of each record (used to validate counts
+// against the bytes actually present before reserving anything).
+constexpr size_t kHofSymbolMinBytes = 4 + 1 + 1 + 4 + 1 + 1;   // empty name
+constexpr size_t kHofRelocMinBytes = 1 + 1 + 4 + 4 + 4;        // empty symbol
 }  // namespace
 
 const char* SectionName(SectionKind kind) {
@@ -152,7 +170,8 @@ Result<ObjectFile> ObjectFile::Deserialize(const std::vector<uint8_t>& bytes) {
   }
   ASSIGN_OR_RETURN(uint32_t version, r.U32());
   if (version != kHofVersion) {
-    return CorruptData("unsupported HOF version " + std::to_string(version));
+    return UnsupportedVersion("HOF version " + std::to_string(version) + " (this build speaks " +
+                              std::to_string(kHofVersion) + ")");
   }
   ObjectFile obj;
   ASSIGN_OR_RETURN(obj.name_, r.Str());
@@ -162,8 +181,13 @@ Result<ObjectFile> ObjectFile::Deserialize(const std::vector<uint8_t>& bytes) {
   if (obj.text_.size() % 4 != 0) {
     return CorruptData("HOF .text not instruction-aligned");
   }
-  ASSIGN_OR_RETURN(uint32_t nsyms, r.U32());
+  if (obj.bss_size_ > kHofMaxBssBytes) {
+    return CorruptData("HOF .bss larger than the private data region");
+  }
+  ASSIGN_OR_RETURN(uint32_t nsyms, r.Count(kHofSymbolMinBytes, kHofMaxSymbols));
   obj.symbols_.reserve(nsyms);
+  std::unordered_set<std::string> seen_names;
+  seen_names.reserve(nsyms);
   for (uint32_t i = 0; i < nsyms; ++i) {
     Symbol sym;
     ASSIGN_OR_RETURN(sym.name, r.Str());
@@ -182,9 +206,19 @@ Result<ObjectFile> ObjectFile::Deserialize(const std::vector<uint8_t>& bytes) {
     sym.binding = static_cast<SymBinding>(binding);
     ASSIGN_OR_RETURN(uint8_t is_function, r.U8());
     sym.is_function = is_function != 0;
+    if (sym.name.empty()) {
+      return CorruptData("symbol with empty name");
+    }
+    if (!seen_names.insert(sym.name).second) {
+      return CorruptData("duplicate symbol table entry '" + sym.name + "'");
+    }
+    if (sym.defined && sym.value > obj.SectionSize(sym.section)) {
+      return CorruptData("symbol '" + sym.name + "' points past the end of " +
+                         SectionName(sym.section));
+    }
     obj.symbols_.push_back(std::move(sym));
   }
-  ASSIGN_OR_RETURN(uint32_t nrels, r.U32());
+  ASSIGN_OR_RETURN(uint32_t nrels, r.Count(kHofRelocMinBytes, kHofMaxRelocs));
   obj.relocations_.reserve(nrels);
   for (uint32_t i = 0; i < nrels; ++i) {
     Relocation rel;
@@ -201,24 +235,27 @@ Result<ObjectFile> ObjectFile::Deserialize(const std::vector<uint8_t>& bytes) {
     ASSIGN_OR_RETURN(rel.offset, r.U32());
     ASSIGN_OR_RETURN(rel.symbol, r.Str());
     ASSIGN_OR_RETURN(rel.addend, r.I32());
-    if (rel.section != SectionKind::kBss &&
-        rel.offset + 4 > obj.SectionSize(rel.section)) {
+    if (rel.section == SectionKind::kBss) {
+      return CorruptData("relocation site in .bss (no bytes to patch)");
+    }
+    if (static_cast<uint64_t>(rel.offset) + 4 > obj.SectionSize(rel.section)) {
       return CorruptData("relocation site outside its section");
     }
     obj.relocations_.push_back(std::move(rel));
   }
-  ASSIGN_OR_RETURN(uint32_t nmods, r.U32());
+  ASSIGN_OR_RETURN(uint32_t nmods, r.Count(4, kHofMaxNames));
   obj.module_list_.reserve(nmods);
   for (uint32_t i = 0; i < nmods; ++i) {
     ASSIGN_OR_RETURN(std::string mod, r.Str());
     obj.module_list_.push_back(std::move(mod));
   }
-  ASSIGN_OR_RETURN(uint32_t ndirs, r.U32());
+  ASSIGN_OR_RETURN(uint32_t ndirs, r.Count(4, kHofMaxNames));
   obj.search_path_.reserve(ndirs);
   for (uint32_t i = 0; i < ndirs; ++i) {
     ASSIGN_OR_RETURN(std::string dir, r.Str());
     obj.search_path_.push_back(std::move(dir));
   }
+  RETURN_IF_ERROR(r.ExpectEnd("HOF object"));
   return obj;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <unordered_set>
 
 #include "src/base/faults.h"
 #include "src/base/strings.h"
@@ -31,7 +32,18 @@ size_t PageRound(size_t n) {
 }
 
 Status ErrnoStatus(const std::string& what) {
-  return Internal(what + ": " + std::strerror(errno));
+  std::string msg = what + ": " + std::strerror(errno);
+  switch (errno) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return ResourceExhausted(std::move(msg));
+    case EIO:
+      return IoError(std::move(msg));
+    default:
+      return Internal(std::move(msg));
+  }
 }
 
 // RAII fd.
@@ -52,6 +64,160 @@ class Fd {
 };
 
 }  // namespace
+
+Result<std::vector<std::pair<std::string, int>>> ParsePosixIndex(const std::string& content) {
+  std::string body = content;
+  bool has_header = content.rfind("#hemidx ", 0) == 0;
+  size_t expected = 0;
+  if (has_header) {
+    size_t nl = content.find('\n');
+    if (nl == std::string::npos) {
+      return CorruptData("posix_store: index header line not terminated");
+    }
+    std::vector<std::string> parts = SplitString(content.substr(0, nl), ' ');
+    if (parts.size() != 3 ||
+        parts[1].find_first_not_of("0123456789abcdef") != std::string::npos ||
+        parts[2].empty() || parts[2].size() > 4 ||
+        parts[2].find_first_not_of("0123456789") != std::string::npos) {
+      return CorruptData("posix_store: malformed index header");
+    }
+    body = content.substr(nl + 1);
+    uint32_t want = static_cast<uint32_t>(std::strtoul(parts[1].c_str(), nullptr, 16));
+    expected = static_cast<size_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
+    if (expected > kPosixMaxSegments) {
+      return CorruptData("posix_store: index header promises more entries than slots exist");
+    }
+    if (Crc32(body.data(), body.size()) != want) {
+      return CorruptData("posix_store: index checksum mismatch (torn or tampered write)");
+    }
+  }
+  std::vector<std::pair<std::string, int>> entries;
+  std::vector<bool> used(kPosixMaxSegments, false);
+  std::unordered_set<std::string> names;
+  for (const std::string& line : SplitString(body, '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      return CorruptData("posix_store: truncated index entry '" + line + "'");
+    }
+    std::string name = line.substr(0, space);
+    std::string slot_str = line.substr(space + 1);
+    if (name.size() > kPosixMaxNameBytes || name.find('/') != std::string::npos ||
+        name == "." || name == "..") {
+      return CorruptData("posix_store: index entry with unusable segment name");
+    }
+    if (slot_str.size() > 4 || slot_str.find_first_not_of("0123456789") != std::string::npos) {
+      return CorruptData("posix_store: index entry '" + name + "' with non-numeric slot");
+    }
+    unsigned long slot = std::strtoul(slot_str.c_str(), nullptr, 10);
+    if (slot >= kPosixMaxSegments) {
+      return CorruptData(StrFormat("posix_store: index entry '%s' claims slot %lu of %u",
+                                   name.c_str(), slot, kPosixMaxSegments));
+    }
+    if (used[slot]) {
+      return CorruptData(StrFormat("posix_store: two index entries claim slot %lu", slot));
+    }
+    if (!names.insert(name).second) {
+      return CorruptData("posix_store: duplicate index entry for segment '" + name + "'");
+    }
+    used[slot] = true;
+    entries.emplace_back(std::move(name), static_cast<int>(slot));
+  }
+  if (has_header && entries.size() != expected) {
+    return CorruptData(StrFormat("posix_store: index holds %zu entries, header promises %zu",
+                                 entries.size(), expected));
+  }
+  return entries;
+}
+
+Result<std::string> PosixStore::ReadAll(int fd) {
+  std::string content;
+  char buf[4096];
+  for (;;) {
+    Status eintr = FaultRegistry::Global().Check("posix.io.read.eintr");
+    if (!eintr.ok()) {
+      if (IsCrash(eintr)) {
+        return eintr;
+      }
+      Bump(io_retries_);  // injected EINTR: the call transferred nothing; go again
+      continue;
+    }
+    RETURN_IF_ERROR(FaultRegistry::Global().Check("posix.io.read"));
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        Bump(io_retries_);
+        continue;
+      }
+      return IoError(std::string("posix_store: read index: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return content;
+    }
+    content.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status PosixStore::WriteAll(int fd, const std::string& content) {
+  size_t off = 0;
+  while (off < content.size()) {
+    size_t chunk = content.size() - off;
+    Status eintr = FaultRegistry::Global().Check("posix.io.write.eintr");
+    if (!eintr.ok()) {
+      if (IsCrash(eintr)) {
+        return eintr;
+      }
+      Bump(io_retries_);
+      continue;
+    }
+    Status shortw = FaultRegistry::Global().Check("posix.io.write.short");
+    if (!shortw.ok()) {
+      if (IsCrash(shortw)) {
+        return shortw;
+      }
+      // Injected short write: the host accepts only half this chunk; the loop must
+      // finish the rest rather than publish a truncated index.
+      chunk = std::max<size_t>(1, chunk / 2);
+      Bump(io_retries_);
+    }
+    Status enospc = FaultRegistry::Global().Check("posix.io.enospc");
+    if (!enospc.ok()) {
+      if (IsCrash(enospc)) {
+        return enospc;
+      }
+      return ResourceExhausted("posix_store: write index: no space left on host device");
+    }
+    ssize_t n = ::write(fd, content.data() + off, chunk);
+    if (n < 0) {
+      if (errno == EINTR) {
+        Bump(io_retries_);
+        continue;
+      }
+      return ErrnoStatus("posix_store: write index");
+    }
+    if (n == 0) {
+      return IoError("posix_store: write index: host wrote 0 bytes");
+    }
+    if (static_cast<size_t>(n) < chunk) {
+      Bump(io_retries_);  // real short write: resume from where the host stopped
+    }
+    off += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+void PosixStore::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    index_rejected_ = metrics->Counter("posix.index_rejected");
+    index_recoveries_ = metrics->Counter("posix.index_recoveries");
+    io_retries_ = metrics->Counter("posix.io_retries");
+    seg_rejected_ = metrics->Counter("posix.segment_rejected");
+  } else {
+    index_rejected_ = index_recoveries_ = io_retries_ = seg_rejected_ = nullptr;
+  }
+}
 
 PosixStore::~PosixStore() {
   if (region_ != nullptr) {
@@ -94,44 +260,10 @@ Result<std::vector<std::pair<std::string, int>>> PosixStore::ReadIndex(bool take
   if (take_lock && ::flock(fd.get(), LOCK_SH) != 0) {
     return ErrnoStatus("posix_store: lock index");
   }
-  std::string content;
-  char buf[4096];
-  ssize_t n = 0;
-  while ((n = ::read(fd.get(), buf, sizeof(buf))) > 0) {
-    content.append(buf, static_cast<size_t>(n));
-  }
-  std::string body = content;
-  bool has_header = content.rfind("#hemidx ", 0) == 0;
-  size_t expected = 0;
-  if (has_header) {
-    size_t nl = content.find('\n');
-    if (nl == std::string::npos) {
-      return CorruptData("posix_store: index header line not terminated");
-    }
-    std::vector<std::string> parts = SplitString(content.substr(0, nl), ' ');
-    if (parts.size() != 3 ||
-        parts[1].find_first_not_of("0123456789abcdef") != std::string::npos ||
-        parts[2].find_first_not_of("0123456789") != std::string::npos) {
-      return CorruptData("posix_store: malformed index header");
-    }
-    body = content.substr(nl + 1);
-    uint32_t want = static_cast<uint32_t>(std::strtoul(parts[1].c_str(), nullptr, 16));
-    expected = static_cast<size_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
-    if (Crc32(body.data(), body.size()) != want) {
-      return CorruptData("posix_store: index checksum mismatch (torn or tampered write)");
-    }
-  }
-  std::vector<std::pair<std::string, int>> entries;
-  for (const std::string& line : SplitString(body, '\n')) {
-    size_t space = line.find(' ');
-    if (space == std::string::npos) {
-      continue;
-    }
-    entries.emplace_back(line.substr(0, space), std::atoi(line.c_str() + space + 1));
-  }
-  if (has_header && entries.size() != expected) {
-    return CorruptData(StrFormat("posix_store: index holds %zu entries, header promises %zu",
-                                 entries.size(), expected));
+  ASSIGN_OR_RETURN(std::string content, ReadAll(fd.get()));
+  Result<std::vector<std::pair<std::string, int>>> entries = ParsePosixIndex(content);
+  if (!entries.ok() && entries.status().code() == ErrorCode::kCorruptData) {
+    Bump(index_rejected_);
   }
   return entries;
 }
@@ -148,10 +280,7 @@ Status PosixStore::WriteIndex(const std::vector<std::pair<std::string, int>>& en
   if (fd.get() < 0) {
     return ErrnoStatus("posix_store: write index");
   }
-  if (::write(fd.get(), content.data(), content.size()) !=
-      static_cast<ssize_t>(content.size())) {
-    return ErrnoStatus("posix_store: write index");
-  }
+  RETURN_IF_ERROR(WriteAll(fd.get(), content));
   // The checksum protects against torn *content*; the fsync + rename ordering
   // protects against torn *publication* — readers see the old index or the new one,
   // never a half-written file at the final path.
@@ -173,13 +302,29 @@ Status PosixStore::RecoverIndex(bool take_lock) {
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_ + "/seg", ec)) {
-    if (entry.is_regular_file(ec)) {
-      names.push_back(entry.path().filename().string());
+    if (!entry.is_regular_file(ec)) {
+      continue;
     }
+    // The scan trusts nothing about the files it finds: an empty file is a torn
+    // creation, an oversized one would map over the neighbouring slot. Either way
+    // it stays out of the rebuilt index (the file itself is left for the operator).
+    std::error_code size_ec;
+    uintmax_t size = entry.file_size(size_ec);
+    if (size_ec || size == 0 || size > kPosixSlotBytes) {
+      Bump(seg_rejected_);
+      continue;
+    }
+    std::string name = entry.path().filename().string();
+    if (name.size() > kPosixMaxNameBytes) {
+      Bump(seg_rejected_);
+      continue;
+    }
+    names.push_back(std::move(name));
   }
   if (ec) {
     return Internal("posix_store: scan segment dir: " + ec.message());
   }
+  Bump(index_recoveries_);
   // Sorted names -> slots 0..n-1: deterministic, so every process that recovers the
   // same directory rebuilds the same name <-> address mapping.
   std::sort(names.begin(), names.end());
@@ -304,6 +449,14 @@ Result<PosixSegment> PosixStore::Attach(const std::string& name) {
   struct stat st;
   if (::fstat(fd.get(), &st) != 0) {
     return ErrnoStatus("posix_store: stat segment");
+  }
+  // The on-disk length is untrusted input: 0 means a torn creation, anything past
+  // the slot would map over the *neighbouring* segment's fixed address.
+  if (st.st_size <= 0 || static_cast<uint64_t>(st.st_size) > kPosixSlotBytes) {
+    Bump(seg_rejected_);
+    return CorruptData(StrFormat(
+        "posix_store: segment '%s' is %lld bytes on disk (valid range is (0, %zu])",
+        name.c_str(), static_cast<long long>(st.st_size), kPosixSlotBytes));
   }
   uint8_t* base = region_ + static_cast<size_t>(slot) * kPosixSlotBytes;
   void* mapped = ::mmap(base, PageRound(static_cast<size_t>(st.st_size)),

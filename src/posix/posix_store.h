@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/status.h"
 
 namespace hemlock {
@@ -29,6 +31,17 @@ namespace hemlock {
 inline constexpr uint32_t kPosixMaxSegments = 1024;
 inline constexpr size_t kPosixSlotBytes = 1 << 20;
 inline constexpr size_t kPosixRegionBytes = static_cast<size_t>(kPosixMaxSegments) * kPosixSlotBytes;
+// Longest segment name the index will accept (a normal filename; anything longer
+// is a sign of a corrupt or hostile index, not a real segment).
+inline constexpr size_t kPosixMaxNameBytes = 255;
+
+// Parses index-file content: an optional "#hemidx <crc32-hex> <count>\n" header
+// (pre-checksum indexes have none) followed by one "name slot" line per segment.
+// Every field is validated — checksum, promised entry count, name charset/length,
+// slot range, duplicate names and duplicate slots — and any violation returns
+// kCorruptData; nothing from the file is trusted. Exposed as a free function so the
+// fuzz harness and tests can drive it without touching a real registry directory.
+Result<std::vector<std::pair<std::string, int>>> ParsePosixIndex(const std::string& content);
 
 struct PosixSegment {
   std::string name;
@@ -71,6 +84,13 @@ class PosixStore {
   // Re-reads the on-disk index (another process may have created segments).
   Status Refresh();
 
+  // Wires the store's robustness counters into |metrics| (null detaches):
+  //   posix.index_rejected    index reads refused by ParsePosixIndex
+  //   posix.index_recoveries  rebuilds of the index from the segment directory
+  //   posix.io_retries        host reads/writes resumed after EINTR or a short write
+  //   posix.segment_rejected  segment files refused for an untrustworthy on-disk size
+  void SetMetrics(MetricsRegistry* metrics);
+
   // Attaches the segment that covers |addr| (used by the SIGSEGV handler).
   // Returns the segment or an error when no file owns the address.
   Result<PosixSegment> AttachCovering(const void* addr);
@@ -96,13 +116,30 @@ class PosixStore {
   Status WriteIndex(const std::vector<std::pair<std::string, int>>& entries);
   // Rebuilds the index by scanning <dir>/seg/ (sorted names get slots 0..n-1) and
   // rewriting it. The fallback when ReadIndex reports corruption — segment files are
-  // the ground truth, the index is a cache of them.
+  // the ground truth, the index is a cache of them. Files whose on-disk size is 0 or
+  // past the 1 MB slot are not trusted and stay out of the rebuilt index.
   Status RecoverIndex(bool take_lock);
+  // Reads |fd| to EOF, resuming after EINTR (fault points posix.io.read /
+  // posix.io.read.eintr).
+  Result<std::string> ReadAll(int fd);
+  // Writes all of |content|, resuming after EINTR and short writes (fault points
+  // posix.io.write.eintr / posix.io.write.short / posix.io.enospc).
+  Status WriteAll(int fd, const std::string& content);
+  void Bump(uint64_t* counter) {
+    if (counter != nullptr) {
+      ++*counter;
+    }
+  }
 
   std::string dir_;
   uint8_t* region_;
   // slot -> name for currently known segments (rebuilt by Refresh).
   std::vector<std::string> slot_names_ = std::vector<std::string>(kPosixMaxSegments);
+  // Robustness counters (null until SetMetrics).
+  uint64_t* index_rejected_ = nullptr;
+  uint64_t* index_recoveries_ = nullptr;
+  uint64_t* io_retries_ = nullptr;
+  uint64_t* seg_rejected_ = nullptr;
 };
 
 }  // namespace hemlock

@@ -28,6 +28,9 @@ Result<uint32_t> SharedFs::AllocInode() {
       return ino;
     }
   }
+  if (inode_exhausted_ != nullptr) {
+    ++*inode_exhausted_;
+  }
   return ResourceExhausted("sfs: all 1024 inodes in use");
 }
 
@@ -222,6 +225,9 @@ Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uin
     return InvalidArgument("sfs: not a regular file: inode " + std::to_string(ino));
   }
   if (static_cast<uint64_t>(offset) + len > kSfsMaxFileBytes) {
+    if (enospc_ != nullptr) {
+      ++*enospc_;
+    }
     return OutOfRange("sfs: write past the 1 MB file limit");
   }
   ++clock_;
@@ -266,6 +272,12 @@ Result<uint32_t> SharedFs::ReadAt(uint32_t ino, uint32_t offset, uint8_t* out,
     return 0u;
   }
   uint32_t n = std::min(len, node.size - offset);
+  // Defense in depth: fsck clamps a logical size past the physical extent
+  // (kBadExtent), but a read must never trust size over the bytes actually there.
+  if (offset >= node.data.size()) {
+    return 0u;
+  }
+  n = std::min(n, static_cast<uint32_t>(node.data.size()) - offset);
   std::memcpy(out, node.data.data() + offset, n);
   return n;
 }
@@ -276,6 +288,9 @@ Status SharedFs::Truncate(uint32_t ino, uint32_t new_size) {
     return InvalidArgument("sfs: not a regular file");
   }
   if (new_size > kSfsMaxFileBytes) {
+    if (enospc_ != nullptr) {
+      ++*enospc_;
+    }
     return OutOfRange("sfs: beyond the 1 MB file limit");
   }
   ++clock_;
@@ -401,6 +416,9 @@ Status SharedFs::EnsureExtent(uint32_t ino, uint32_t bytes) {
     return InvalidArgument("sfs: not a regular file");
   }
   if (bytes > kSfsMaxFileBytes) {
+    if (enospc_ != nullptr) {
+      ++*enospc_;
+    }
     return OutOfRange("sfs: extent beyond the 1 MB file limit");
   }
   Inode& node = inodes_[ino];
@@ -726,7 +744,7 @@ Result<std::unique_ptr<SharedFs>> SharedFs::Deserialize(ByteReader* r, SfsCheckR
       fs->inodes_[ino] = std::move(tmp);
     }
   } else {
-    return CorruptData(StrFormat("sfs: unknown image version %u", version));
+    return UnsupportedVersion(StrFormat("sfs: unknown image version %u", version));
   }
 
   if (!parse.ok()) {
@@ -759,9 +777,12 @@ void SharedFs::SetObservers(MetricsRegistry* metrics, TraceBuffer* trace) {
     locks_taken_ = metrics_->Counter("sfs.locks_taken");
     locks_broken_ = metrics_->Counter("sfs.locks_broken");
     unlink_locked_refused_ = metrics_->Counter("sfs.unlink_locked_refused");
+    enospc_ = metrics_->Counter("sfs.enospc");
+    inode_exhausted_ = metrics_->Counter("sfs.inode_exhausted");
   } else {
     addr_lookups_ = addr_lookup_probes_ = addr_lookup_misses_ = nullptr;
     locks_taken_ = locks_broken_ = unlink_locked_refused_ = nullptr;
+    enospc_ = inode_exhausted_ = nullptr;
   }
 }
 

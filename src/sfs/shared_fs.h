@@ -273,6 +273,9 @@ class SharedFs {
   uint64_t* locks_taken_ = nullptr;
   uint64_t* locks_broken_ = nullptr;
   uint64_t* unlink_locked_refused_ = nullptr;
+  // Paper-limit exhaustion (ISSUE 5): every refusal is counted, never fatal.
+  uint64_t* enospc_ = nullptr;           // writes/extents refused by the 1 MB file cap
+  uint64_t* inode_exhausted_ = nullptr;  // creates refused with all 1024 inodes in use
 };
 
 // The fixed address of a regular file's segment, derived from its inode number.

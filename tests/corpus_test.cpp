@@ -1,0 +1,85 @@
+// Replays the checked-in fuzz corpus (tests/corpus/) through the fuzz harness
+// entry points as an ordinary tier-1 test — every seed that ever crashed a
+// decoder stays fixed, with or without a fuzzing engine in the toolchain.
+// Regenerate seeds with `./build/fuzz/hem_make_corpus tests/corpus`; add fuzzer
+// reproducers by dropping the file into the matching subdirectory.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/harness.h"
+
+namespace hemlock {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path CorpusDir() { return fs::path(HEMLOCK_CORPUS_DIR); }
+
+std::vector<fs::path> SeedsIn(const std::string& subdir) {
+  std::vector<fs::path> seeds;
+  for (const fs::directory_entry& entry : fs::directory_iterator(CorpusDir() / subdir)) {
+    if (entry.is_regular_file()) {
+      seeds.push_back(entry.path());
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  return seeds;
+}
+
+std::vector<uint8_t> ReadSeed(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+// The ISSUE 5 acceptance floor: a malformed-input regression corpus of at
+// least 25 seeds, replayed on every test run.
+TEST(CorpusTest, CorpusHasAtLeastTwentyFiveSeeds) {
+  size_t total = SeedsIn("object").size() + SeedsIn("sfs").size();
+  EXPECT_GE(total, 25u) << "checked-in corpus shrank below the regression floor";
+}
+
+TEST(CorpusTest, ObjectSeedsReplayWithoutCrashing) {
+  std::vector<fs::path> seeds = SeedsIn("object");
+  ASSERT_FALSE(seeds.empty());
+  for (const fs::path& seed : seeds) {
+    SCOPED_TRACE(seed.filename().string());
+    std::vector<uint8_t> bytes = ReadSeed(seed);
+    EXPECT_EQ(HemFuzzObject(bytes.data(), bytes.size()), 0);
+  }
+}
+
+TEST(CorpusTest, SfsSeedsReplayWithoutCrashing) {
+  std::vector<fs::path> seeds = SeedsIn("sfs");
+  ASSERT_FALSE(seeds.empty());
+  for (const fs::path& seed : seeds) {
+    SCOPED_TRACE(seed.filename().string());
+    std::vector<uint8_t> bytes = ReadSeed(seed);
+    EXPECT_EQ(HemFuzzSfs(bytes.data(), bytes.size()), 0);
+  }
+}
+
+// Cross-replay: each harness must survive the other family's seeds too — a
+// fuzzer mutating a HOF seed into SFS magic (or vice versa) crosses over, and
+// the first crash found that way should already be covered here.
+TEST(CorpusTest, SeedsSurviveTheOtherHarness) {
+  for (const fs::path& seed : SeedsIn("object")) {
+    SCOPED_TRACE(seed.filename().string());
+    std::vector<uint8_t> bytes = ReadSeed(seed);
+    EXPECT_EQ(HemFuzzSfs(bytes.data(), bytes.size()), 0);
+  }
+  for (const fs::path& seed : SeedsIn("sfs")) {
+    SCOPED_TRACE(seed.filename().string());
+    std::vector<uint8_t> bytes = ReadSeed(seed);
+    EXPECT_EQ(HemFuzzObject(bytes.data(), bytes.size()), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -1,0 +1,318 @@
+// The robustness contract (ISSUE 5 / docs/ROBUSTNESS.md), pinned:
+//   * the paper's hard limits — 1024 inodes, 1 MB per file, the fixed shared
+//     region — exhaust *gracefully*: the faulting operation gets a structured
+//     Status, a metrics counter ticks, and the partition keeps working;
+//   * every validating decoder rejects malformed input with kCorruptData (or
+//     kUnsupportedVersion), never a crash or a hostile-sized allocation;
+//   * PosixStore survives hostile index files, torn host I/O (EINTR, short
+//     writes, ENOSPC), and untrustworthy segment files, with each event counted.
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/base/faults.h"
+#include "src/base/layout.h"
+#include "src/base/metrics.h"
+#include "src/base/status.h"
+#include "src/base/strings.h"
+#include "src/lang/compiler.h"
+#include "src/link/image.h"
+#include "src/obj/object_file.h"
+#include "src/posix/posix_store.h"
+#include "src/sfs/shared_fs.h"
+
+namespace hemlock {
+namespace {
+
+// --- Paper-limit exhaustion (satellite c) ---
+
+TEST(LimitsTest, InodeExhaustionIsCountedAndRecoverable) {
+  SharedFs fs;
+  MetricsRegistry metrics;
+  fs.SetObservers(&metrics, nullptr);
+
+  // Root is inode 1; fill the remaining 1023.
+  for (int i = 0; i < 1023; ++i) {
+    Result<uint32_t> ino = fs.Create("/f" + std::to_string(i));
+    ASSERT_TRUE(ino.ok()) << "create " << i << ": " << ino.status().ToString();
+  }
+  EXPECT_EQ(fs.FreeInodes(), 0u);
+
+  // The 1025th inode: a structured refusal, counted, and not fatal.
+  Result<uint32_t> overflow = fs.Create("/one-too-many");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(metrics.Get("sfs.inode_exhausted"), 1u);
+
+  // The partition still works: freeing an inode makes creation succeed again.
+  ASSERT_TRUE(fs.Unlink("/f0").ok());
+  Result<uint32_t> again = fs.Create("/one-too-many");
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(metrics.Get("sfs.inode_exhausted"), 1u);
+}
+
+TEST(LimitsTest, FileCapRefusalsAreCountedAndRecoverable) {
+  SharedFs fs;
+  MetricsRegistry metrics;
+  fs.SetObservers(&metrics, nullptr);
+  uint32_t ino = *fs.Create("/seg");
+  uint8_t word[4] = {1, 2, 3, 4};
+
+  // A write straddling the 1 MB cap, a truncate past it, and an extent past it
+  // are each refused with kOutOfRange and counted in sfs.enospc.
+  EXPECT_EQ(fs.WriteAt(ino, kSfsMaxFileBytes - 2, word, 4).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(fs.Truncate(ino, kSfsMaxFileBytes + 1).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(fs.EnsureExtent(ino, kSfsMaxFileBytes + 1).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(metrics.Get("sfs.enospc"), 3u);
+
+  // The file itself is untouched and still writable up to the cap.
+  EXPECT_TRUE(fs.WriteAt(ino, kSfsMaxFileBytes - 4, word, 4).ok());
+  Result<SfsStat> st = fs.Stat("/seg");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, kSfsMaxFileBytes);
+}
+
+TEST(LimitsTest, SharedRegionExactlyHoldsEveryInodeSlot) {
+  // The address rule addr(ino) = kSfsBase + (ino-1) * 1 MB must place all 1024
+  // slots inside [kSfsBase, kSfsLimit) with nothing left over: inode exhaustion
+  // and region exhaustion are the same event, so the graceful path above covers
+  // both.
+  EXPECT_EQ(SfsAddressForInode(1), kSfsBase);
+  EXPECT_EQ(SfsAddressForInode(kSfsMaxInodes) + kSfsMaxFileBytes, kSfsLimit);
+}
+
+// --- Hostile decoder input (tentpole) ---
+
+std::vector<uint8_t> CompiledHof() {
+  Result<ObjectFile> obj = CompileHemC(
+      "int cell; int main() { cell = 7; return cell; }\n", "robust_mod");
+  EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+  return obj->Serialize();
+}
+
+void PatchU32(std::vector<uint8_t>* bytes, size_t at, uint32_t value) {
+  ASSERT_LE(at + 4, bytes->size());
+  std::memcpy(bytes->data() + at, &value, 4);
+}
+
+TEST(HostileInputTest, HofUnknownVersionIsUnsupportedNotCorrupt) {
+  std::vector<uint8_t> bytes = CompiledHof();
+  PatchU32(&bytes, 4, 99);  // version field
+  Result<ObjectFile> obj = ObjectFile::Deserialize(bytes);
+  ASSERT_FALSE(obj.ok());
+  EXPECT_EQ(obj.status().code(), ErrorCode::kUnsupportedVersion);
+  EXPECT_TRUE(IsHostileInput(obj.status()));
+}
+
+TEST(HostileInputTest, HofLengthBombRejectedWithoutAllocating) {
+  std::vector<uint8_t> bytes = CompiledHof();
+  PatchU32(&bytes, 8, 0x7FFFFFFFu);  // module-name length: 2 GB promised, ~100 B present
+  Result<ObjectFile> obj = ObjectFile::Deserialize(bytes);
+  ASSERT_FALSE(obj.ok());
+  EXPECT_EQ(obj.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(HostileInputTest, HofTrailingGarbageRejected) {
+  std::vector<uint8_t> bytes = CompiledHof();
+  bytes.push_back(0xCC);
+  EXPECT_EQ(ObjectFile::Deserialize(bytes).status().code(), ErrorCode::kCorruptData);
+}
+
+LoadImage ValidImage() {
+  LoadImage image;
+  image.entry = kTextBase;
+  ImageSegment text;
+  text.vaddr = kTextBase;
+  text.mem_size = kPageSize;
+  text.executable = true;
+  text.bytes = {0x13, 0, 0, 0};
+  image.segments.push_back(text);
+  return image;
+}
+
+TEST(HostileInputTest, HxeStructuralDamageRejected) {
+  EXPECT_TRUE(LoadImage::Deserialize(ValidImage().Serialize()).ok());
+
+  LoadImage overlap = ValidImage();
+  overlap.segments.push_back(overlap.segments[0]);  // same vaddr twice
+  EXPECT_EQ(LoadImage::Deserialize(overlap.Serialize()).status().code(),
+            ErrorCode::kCorruptData);
+
+  LoadImage unaligned = ValidImage();
+  unaligned.segments[0].vaddr = kTextBase + 12;
+  EXPECT_EQ(LoadImage::Deserialize(unaligned.Serialize()).status().code(),
+            ErrorCode::kCorruptData);
+
+  LoadImage stray_entry = ValidImage();
+  stray_entry.entry = kDataBase;  // no segment there at all
+  EXPECT_EQ(LoadImage::Deserialize(stray_entry.Serialize()).status().code(),
+            ErrorCode::kCorruptData);
+
+  LoadImage stray_site = ValidImage();
+  stray_site.pending.push_back({RelocType::kWord32, kStackBase, "x", 0});
+  EXPECT_EQ(LoadImage::Deserialize(stray_site.Serialize()).status().code(),
+            ErrorCode::kCorruptData);
+}
+
+LinkedModule ValidModule() {
+  LinkedModule mod;
+  mod.name = "robust_pub";
+  mod.base = kSfsBase;
+  mod.text_size = 8;
+  mod.data_size = 4;
+  mod.payload = {0x13, 0, 0, 0, 0x13, 0, 0, 0, 9, 0, 0, 0};
+  mod.exports.push_back({"entry", kSfsBase, true});
+  return mod;
+}
+
+TEST(HostileInputTest, HmlFooterAndTrailerValidated) {
+  std::vector<uint8_t> good = ValidModule().SerializeFile();
+  ASSERT_TRUE(LinkedModule::DeserializeFile(good).ok());
+
+  std::vector<uint8_t> torn = good;
+  torn.resize(torn.size() - 5);
+  EXPECT_FALSE(LinkedModule::DeserializeFile(torn).ok());
+
+  std::vector<uint8_t> flipped = good;
+  flipped[flipped.size() - 8] ^= 0xFF;  // inside the footer's trailer_off/size
+  EXPECT_FALSE(LinkedModule::DeserializeFile(flipped).ok());
+
+  std::vector<uint8_t> padded = good;
+  padded.insert(padded.end(), 16, 0xAB);
+  EXPECT_FALSE(LinkedModule::DeserializeFile(padded).ok());
+}
+
+TEST(HostileInputTest, HmlExportOutsideModuleRejected) {
+  LinkedModule mod = ValidModule();
+  mod.exports.push_back({"stray", kSfsBase + 0x100000, false});  // next file's slot
+  EXPECT_FALSE(LinkedModule::DeserializeFile(mod.SerializeFile()).ok());
+}
+
+// --- PosixStore robustness (satellite b + host-I/O fault injection) ---
+
+TEST(PosixIndexTest, AcceptsLegacyAndChecksummedForms) {
+  Result<std::vector<std::pair<std::string, int>>> legacy =
+      ParsePosixIndex("mathlib 0\nscratch 9\n");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->size(), 2u);
+
+  std::string body = "alpha 0\nbeta 5\n";
+  std::string content = StrFormat("#hemidx %08x 2\n", Crc32(body.data(), body.size())) + body;
+  Result<std::vector<std::pair<std::string, int>>> checked = ParsePosixIndex(content);
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ((*checked)[1].second, 5);
+}
+
+TEST(PosixIndexTest, RejectsHostileContent) {
+  std::vector<std::string> cases = {
+      "#hemidx deadbeef 1\nalpha 0\n",  // checksum mismatch
+      "#hemidx 00000000 7\n",           // promised entries missing
+      "alpha 0\nbeta 0\n",              // duplicate slot
+      "alpha 0\nalpha 1\n",             // duplicate name
+      "alpha 4096\n",                   // slot out of range
+      "../escape 0\n",                  // path traversal in a name
+      "alpha zero\n",                   // non-numeric slot
+      "alpha\n",                        // missing slot field
+  };
+  cases.push_back(std::string(300, 'n') + " 0\n");  // name over 255 bytes
+  for (const std::string& content : cases) {
+    SCOPED_TRACE(content.substr(0, 40));
+    Result<std::vector<std::pair<std::string, int>>> parsed = ParsePosixIndex(content);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), ErrorCode::kCorruptData);
+  }
+}
+
+class PosixRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("/tmp/hemlock_robust_") + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(::system(("rm -rf " + dir_).c_str()), 0);
+    FaultRegistry::Global().Reset();
+    Result<std::unique_ptr<PosixStore>> store = PosixStore::Open(dir_);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+    store_->SetMetrics(&metrics_);
+  }
+
+  void TearDown() override {
+    FaultRegistry::Global().Reset();
+    store_.reset();
+    (void)::system(("rm -rf " + dir_).c_str());
+  }
+
+  std::string dir_;
+  std::unique_ptr<PosixStore> store_;
+  MetricsRegistry metrics_;
+};
+
+TEST_F(PosixRobustnessTest, InjectedEintrIsRetriedAndCounted) {
+  ASSERT_TRUE(store_->Create("alpha", 4096).ok());
+  FaultRegistry::Global().Arm("posix.io.read.eintr", FaultMode::kError);
+  EXPECT_TRUE(store_->Refresh().ok());  // the read resumes and succeeds
+  EXPECT_GE(metrics_.Get("posix.io_retries"), 1u);
+}
+
+TEST_F(PosixRobustnessTest, InjectedShortWriteStillPublishesWholeIndex) {
+  FaultRegistry::Global().Arm("posix.io.write.short", FaultMode::kError);
+  ASSERT_TRUE(store_->Create("alpha", 4096).ok());
+  EXPECT_GE(metrics_.Get("posix.io_retries"), 1u);
+
+  // Reopen from disk: the index written through the short-write path is whole.
+  store_.reset();
+  Result<std::unique_ptr<PosixStore>> reopened = PosixStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Result<PosixSegment> seg = (*reopened)->Attach("alpha");
+  EXPECT_TRUE(seg.ok()) << seg.status().ToString();
+  store_ = std::move(*reopened);
+}
+
+TEST_F(PosixRobustnessTest, InjectedEnospcSurfacesAsResourceExhausted) {
+  FaultRegistry::Global().Arm("posix.io.enospc", FaultMode::kError);
+  Result<PosixSegment> seg = store_->Create("alpha", 4096);
+  ASSERT_FALSE(seg.ok());
+  EXPECT_EQ(seg.status().code(), ErrorCode::kResourceExhausted);
+
+  // The failure is recoverable: with space back, the same create succeeds.
+  Result<PosixSegment> retry = store_->Create("alpha", 4096);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(PosixRobustnessTest, OversizedSegmentFileRefusedAndCounted) {
+  ASSERT_TRUE(store_->Create("alpha", 4096).ok());
+  ASSERT_TRUE(store_->Detach("alpha").ok());
+  // Grow the backing file past the 1 MB slot behind the store's back.
+  ASSERT_EQ(::truncate((dir_ + "/seg/alpha").c_str(),
+                       static_cast<off_t>(kPosixSlotBytes + 1)),
+            0);
+  Result<PosixSegment> seg = store_->Attach("alpha");
+  ASSERT_FALSE(seg.ok());
+  EXPECT_EQ(seg.status().code(), ErrorCode::kCorruptData);
+  EXPECT_GE(metrics_.Get("posix.segment_rejected"), 1u);
+}
+
+TEST_F(PosixRobustnessTest, HostileIndexFileIsRejectedThenRecoveredByScan) {
+  ASSERT_TRUE(store_->Create("alpha", 4096).ok());
+  // Overwrite the index with a traversal name and a bogus slot.
+  {
+    std::string bad = "../../etc/passwd 0\nalpha 4096\n";
+    FILE* f = ::fopen((dir_ + "/index").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::fwrite(bad.data(), 1, bad.size(), f), bad.size());
+    ::fclose(f);
+  }
+  // Refresh falls back to the directory scan: the hostile index is rejected
+  // (counted), the segment directory is the ground truth.
+  ASSERT_TRUE(store_->Refresh().ok());
+  EXPECT_GE(metrics_.Get("posix.index_rejected"), 1u);
+  EXPECT_GE(metrics_.Get("posix.index_recoveries"), 1u);
+  EXPECT_TRUE(store_->Attach("alpha").ok());
+}
+
+}  // namespace
+}  // namespace hemlock

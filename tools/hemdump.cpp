@@ -15,12 +15,21 @@
 //
 // The `check` subcommand runs the SfsCheck fsck pass over a state file in salvage
 // mode, prints every issue found (and whether it was repairable), and optionally
-// writes the repaired image back. Exit status: 0 = clean, 1 = issues found,
-// 2 = unreadable.
+// writes the repaired image back.
 //
 // Usage: hemdump [--no-disasm] <file> [<file> ...]
 //        hemdump state <state-file>
 //        hemdump check <state-file> [--repair <out-file>]
+//
+// Exit codes (dump and state modes; first failure wins across multiple files):
+//   0   every input parsed and printed
+//   1   a host file could not be read
+//   2   usage / bad flags
+//   6   hostile input: a file was rejected by a validating decoder (not a HOF/HXE/
+//       HML/state image, or one whose contents failed validation) — ToolExitCode
+//       (src/base/status.h), the table shared with hemrun
+// The `check` subcommand keeps its fsck-style contract: 0 = clean, 1 = issues
+// found, 2 = unreadable.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -186,7 +195,7 @@ int DumpState(const std::string& path) {
   if (!fs.ok()) {
     std::fprintf(stderr, "hemdump: %s is not a shared-partition state file: %s\n", path.c_str(),
                  fs.status().ToString().c_str());
-    return 1;
+    return ToolExitCode(fs.status());
   }
   std::printf("==== %s: shared partition, %u/%u inodes in use ====\n", path.c_str(),
               (*fs)->InodesInUse(), kSfsMaxInodes);
@@ -284,7 +293,7 @@ int DumpOne(const std::string& path) {
     Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
     if (!mod.ok()) {
       std::fprintf(stderr, "hemdump: bad HML: %s\n", mod.status().ToString().c_str());
-      return 1;
+      return ToolExitCode(mod.status());
     }
     DumpHml(*mod);
     return 0;
@@ -299,8 +308,10 @@ int DumpOne(const std::string& path) {
     DumpHxe(*image);
     return 0;
   }
-  std::fprintf(stderr, "hemdump: %s is not a HOF, HXE, or HML file\n", path.c_str());
-  return 1;
+  // Neither magic matched (or both decoders rejected the contents): hostile input.
+  std::fprintf(stderr, "hemdump: %s is not a HOF, HXE, or HML file (as HOF: %s)\n", path.c_str(),
+               obj.status().ToString().c_str());
+  return ToolExitCode(CorruptData("unrecognized file format"));
 }
 
 }  // namespace
@@ -351,9 +362,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: hemdump [--no-disasm] <file> ... | hemdump state <state-file>\n");
     return 2;
   }
+  // First failure wins: exit codes are small enums (1/6/...), so OR-ing them
+  // together would manufacture codes that mean something else entirely.
   int rc = 0;
   for (const std::string& file : files) {
-    rc |= DumpOne(file);
+    int one = DumpOne(file);
+    if (rc == 0) {
+      rc = one;
+    }
   }
   return rc;
 }

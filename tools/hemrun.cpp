@@ -38,12 +38,17 @@
 //
 // Exit codes:
 //   0-41, 43+  the program's own exit status (process 1's, in scheduled mode)
-//   1          toolchain or machine error (compile, link, exec, bad state file)
+//   1          toolchain or machine error (compile, link, exec)
 //   2          usage / bad flags
 //   3          deadlock: every process blocked with nothing left to wake them
 //   4          step budget exhausted before the processes finished
 //   5          the race detector found at least one unsynchronized access pair
+//   6          hostile input: a corrupt or unsupported-version object, image, or
+//              state file was rejected by a validating decoder
+//   7          resource exhaustion: SFS inodes, the 1 MB file cap, or segment slots
+//   8          host I/O error while reading or writing backing files
 //   42         an injected fault crashed the run (state saved for recovery)
+// Codes 6/7/8 are ToolExitCode(Status) (src/base/status.h), shared with hemdump.
 //
 // Example (two shells sharing a counter):
 //   hemrun --state /tmp/shm.img --public counter.hc prog.hc   # prints 1
@@ -276,7 +281,7 @@ int main(int argc, char** argv) {
       Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r, &report);
       if (!fs.ok()) {
         std::fprintf(stderr, "hemrun: bad state file: %s\n", fs.status().ToString().c_str());
-        return 1;
+        return ToolExitCode(fs.status());
       }
       if (!report.issues.empty()) {
         std::fprintf(stderr, "[hemrun] state file needed recovery (%zu issues):\n",
@@ -307,13 +312,19 @@ int main(int argc, char** argv) {
     return OkStatus();
   };
 
+  // Non-crash failures map through the shared Status -> exit-code table (6 for
+  // hostile input, 7 for exhaustion, 8 for host I/O, 1 otherwise).
+  auto fail_exit = [](const std::string& what, const Status& st) -> int {
+    std::fprintf(stderr, "hemrun: %s: %s\n", what.c_str(), st.ToString().c_str());
+    return ToolExitCode(st);
+  };
+
   Status st = compile_one(main_src, "/home/user/" + BaseNoExt(main_src) + ".o", true);
   if (!st.ok()) {
     if (IsCrash(st)) {
       return crash_exit(st);
     }
-    std::fprintf(stderr, "hemrun: %s: %s\n", main_src.c_str(), st.ToString().c_str());
-    return 1;
+    return fail_exit(main_src, st);
   }
   lds.inputs.push_back({BaseNoExt(main_src) + ".o", ShareClass::kStaticPrivate});
   for (const ModuleArg& mod : modules) {
@@ -334,8 +345,7 @@ int main(int argc, char** argv) {
         if (IsCrash(st)) {
           return crash_exit(st);
         }
-        std::fprintf(stderr, "hemrun: %s: %s\n", mod.host_path.c_str(), st.ToString().c_str());
-        return 1;
+        return fail_exit(mod.host_path, st);
       }
     }
     lds.inputs.push_back({name, mod.cls});
@@ -350,8 +360,7 @@ int main(int argc, char** argv) {
     if (IsCrash(image.status())) {
       return crash_exit(image.status());
     }
-    std::fprintf(stderr, "hemrun: link failed: %s\n", image.status().ToString().c_str());
-    return 1;
+    return fail_exit("link failed", image.status());
   }
   for (const std::string& warning : report.warnings) {
     std::fprintf(stderr, "hemrun: %s\n", warning.c_str());
@@ -392,8 +401,7 @@ int main(int argc, char** argv) {
     if (IsCrash(run.status())) {
       return crash_exit(run.status());
     }
-    std::fprintf(stderr, "hemrun: exec failed: %s\n", run.status().ToString().c_str());
-    return 1;
+    return fail_exit("exec failed", run.status());
   }
 
   int program_status = 0;
@@ -406,8 +414,7 @@ int main(int argc, char** argv) {
         if (IsCrash(extra.status())) {
           return crash_exit(extra.status());
         }
-        std::fprintf(stderr, "hemrun: exec failed: %s\n", extra.status().ToString().c_str());
-        return 1;
+        return fail_exit("exec failed", extra.status());
       }
       pids.push_back(extra->pid);
     }
@@ -433,8 +440,7 @@ int main(int argc, char** argv) {
       if (IsCrash(status.status())) {
         return crash_exit(status.status());
       }
-      std::fprintf(stderr, "hemrun: %s\n", status.status().ToString().c_str());
-      return 1;
+      return fail_exit("run failed", status.status());
     }
     program_status = *status;
     std::fputs(world.machine().FindProcess(run->pid)->stdout_text().c_str(), stdout);
@@ -492,7 +498,7 @@ int main(int argc, char** argv) {
     Status save = WriteHostFile(state_path, w.buffer());
     if (!save.ok()) {
       std::fprintf(stderr, "hemrun: cannot save state: %s\n", save.ToString().c_str());
-      return 1;
+      return ToolExitCode(save);
     }
     if (IsCrash(ser)) {
       std::fprintf(stderr, "[hemrun] injected crash: %s\n", ser.ToString().c_str());
