@@ -89,8 +89,8 @@ void BM_LockContention(benchmark::State& state) {
       }
     }
     SchedParams sched;  // round-robin, default quantum
-    RunStatus outcome = world.machine().RunScheduled(sched, 500'000'000);
-    if (outcome != RunStatus::kExited) {
+    SchedStatus outcome = world.machine().RunScheduled(sched, 500'000'000);
+    if (outcome != SchedStatus::kExited) {
       state.SkipWithError("processes did not drain");
       return;
     }
@@ -125,6 +125,80 @@ void BM_LockContention(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LockContention)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- SMP scaling curve (cores vs throughput) ---
+//
+// Contention-light workload: four processes each run a private compute loop — no
+// shared lock, no cross-core data traffic — swept over the host core count
+// {1, 2, 4}. Only the RunScheduled window is timed (setup is paused out) and
+// items = guest instructions retired, so the artifact's items_per_second column
+// IS the cores-vs-throughput curve. tools/bench_compare.py --smp-scaling gates
+// the acceptance bar: cores=4 must deliver >= 2x the cores=1 instruction rate.
+void BM_SmpScaling(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  constexpr int kProcs = 4;
+  uint64_t guest_instructions = 0;
+  uint64_t steals = 0;
+  uint64_t shootdowns = 0;
+  uint64_t runs = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    HemlockWorld world;
+    if (!world
+             .CompileTo(
+                 "int main() {\n"
+                 "  int i;\n"
+                 "  int acc = 0;\n"
+                 "  for (i = 0; i < 120000; i += 1) {\n"
+                 "    acc = acc + i;\n"
+                 "  }\n"
+                 "  return 0;\n"
+                 "}\n",
+                 "/home/user/compute.o")
+             .ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    LdsOptions lds;
+    lds.inputs.push_back({"/home/user/compute.o", ShareClass::kStaticPrivate});
+    Result<LoadImage> image = world.Link(lds);
+    if (!image.ok()) {
+      state.SkipWithError("link failed");
+      return;
+    }
+    for (int p = 0; p < kProcs; ++p) {
+      if (!world.Exec(*image).ok()) {
+        state.SkipWithError("exec failed");
+        return;
+      }
+    }
+    SchedParams sched;
+    sched.num_cores = cores;
+    sched.quantum = 65536;  // big chunks: measure compute scaling, not dispatch overhead
+    state.ResumeTiming();
+    SchedStatus outcome = world.machine().RunScheduled(sched, 4'000'000'000ULL);
+    state.PauseTiming();
+    if (outcome != SchedStatus::kExited) {
+      state.SkipWithError("processes did not drain");
+      return;
+    }
+    guest_instructions += world.machine().ticks();
+    const MetricsRegistry& metrics = world.machine().metrics();
+    steals += metrics.Get("vm.sched.steals");
+    shootdowns += metrics.Get("vm.sched.shootdowns");
+    ++runs;
+    state.ResumeTiming();
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(guest_instructions));
+  state.counters["cores"] = cores;
+  if (runs > 0) {
+    state.counters["steals"] = static_cast<double>(steals / runs);
+    state.counters["shootdowns"] = static_cast<double>(shootdowns / runs);
+  }
+}
+BENCHMARK(BM_SmpScaling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace hemlock

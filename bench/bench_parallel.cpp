@@ -19,7 +19,10 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/kernel/scheduler.h"
+#include "src/link/loader.h"
 #include "src/posix/posix_store.h"
+#include "src/runtime/world.h"
 
 namespace hemlock {
 namespace {
@@ -120,6 +123,120 @@ void BM_PipeMessages(benchmark::State& state) {
   state.counters["workers"] = workers;
 }
 BENCHMARK(BM_PipeMessages)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// The same shared-counters shape, but on the *simulated* SMP kernel: four guest
+// workers each claim a private slot in a shared dynamic-public segment (CAS on a
+// claim word) and bump it kSmpOpsPerWorker times, swept over the host core count
+// {1, 2, 4}. Slots are per-worker, so the workload is contention-light and the
+// items_per_second column (bumps/sec, real time) is the cores-vs-throughput
+// scaling curve for shared-segment data exchange under true parallelism.
+constexpr int kSmpWorkers = 4;
+constexpr int kSmpOpsPerWorker = 50000;
+
+const char kSlotsModule[] =
+    "int next_slot = 0;\n"
+    "int slots[8];\n";
+
+std::string SmpWorkerSource() {
+  return std::string("extern int next_slot;\n") +
+         "extern int slots[8];\n"
+         "int main() {\n"
+         "  int me;\n"
+         "  int i;\n"
+         "  me = 0;\n"
+         "  while (sys_cas(&next_slot, me, me + 1) != me) {\n"
+         "    me = me + 1;\n"
+         "  }\n"
+         "  for (i = 0; i < " +
+         std::to_string(kSmpOpsPerWorker) +
+         "; i += 1) {\n"
+         "    slots[me] = slots[me] + 1;\n"
+         "  }\n"
+         "  return 0;\n"
+         "}\n";
+}
+
+void BM_SmpSharedCounters(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  uint64_t steals = 0;
+  uint64_t runs = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    HemlockWorld world;
+    CompileOptions no_prelude;
+    no_prelude.include_prelude = false;
+    if (!world.CompileTo(kSlotsModule, "/shm/lib/slots_db.o", no_prelude).ok() ||
+        !world.CompileTo(SmpWorkerSource(), "/home/user/smp_worker.o").ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    LdsOptions lds;
+    lds.inputs.push_back({"/home/user/smp_worker.o", ShareClass::kStaticPrivate});
+    lds.inputs.push_back({"/shm/lib/slots_db.o", ShareClass::kDynamicPublic});
+    Result<LoadImage> image = world.Link(lds);
+    if (!image.ok()) {
+      state.SkipWithError("link failed");
+      return;
+    }
+    std::shared_ptr<Ldl> ldl;
+    int first_pid = 0;
+    for (int w = 0; w < kSmpWorkers; ++w) {
+      Result<ExecResult> run = world.Exec(*image);
+      if (!run.ok()) {
+        state.SkipWithError("exec failed");
+        return;
+      }
+      if (w == 0) {
+        ldl = run->ldl;
+        first_pid = run->pid;
+      }
+    }
+    SchedParams sched;
+    sched.num_cores = cores;
+    state.ResumeTiming();
+    SchedStatus outcome = world.machine().RunScheduled(sched, 2'000'000'000ULL);
+    state.PauseTiming();
+    if (outcome != SchedStatus::kExited) {
+      state.SkipWithError("workers did not drain");
+      return;
+    }
+    // Lost-update check: each slot is private to one worker, so the sum must be
+    // exact even though no lock is taken.
+    Result<uint32_t> addr = ldl->LookupRootSymbol("slots");
+    Process* proc = world.machine().FindProcess(first_pid);
+    if (!addr.ok() || proc == nullptr) {
+      state.SkipWithError("slots symbol lost");
+      return;
+    }
+    uint32_t slots[kSmpWorkers] = {0};
+    if (!proc->space()
+             .ReadBytes(*addr, reinterpret_cast<uint8_t*>(slots), sizeof(slots))
+             .ok()) {
+      state.SkipWithError("slots unreadable");
+      return;
+    }
+    uint64_t total = 0;
+    for (uint32_t slot : slots) {
+      total += slot;
+    }
+    if (total != static_cast<uint64_t>(kSmpWorkers) * kSmpOpsPerWorker) {
+      state.SkipWithError("lost updates in per-worker slots");
+      return;
+    }
+    steals += world.machine().metrics().Get("vm.sched.steals");
+    ++runs;
+    state.ResumeTiming();
+  }
+
+  state.SetItemsProcessed(state.iterations() * kSmpWorkers * kSmpOpsPerWorker);
+  state.counters["cores"] = cores;
+  state.counters["workers"] = kSmpWorkers;
+  if (runs > 0) {
+    state.counters["steals"] = static_cast<double>(steals / runs);
+  }
+}
+BENCHMARK(BM_SmpSharedCounters)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Presto setup cost: create the per-job shared segment and attach from a worker.
 void BM_PrestoSetup(benchmark::State& state) {

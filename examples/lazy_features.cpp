@@ -81,13 +81,17 @@ int main() {
   Result<LoadImage> image = world.Link(lds);
   if (!image.ok()) {
     std::fprintf(stderr, "link failed: %s\n", image.status().ToString().c_str());
-    return 1;
+    return ToolExitCode(image.status());
   }
 
   Result<ExecResult> run = world.Exec(*image);
-  if (!run.ok() || !world.RunToExit(run->pid).ok()) {
-    std::fprintf(stderr, "run failed\n");
-    return 1;
+  if (!run.ok()) {
+    std::fprintf(stderr, "exec failed: %s\n", run.status().ToString().c_str());
+    return ToolExitCode(run.status());
+  }
+  if (Result<int> st = world.RunToExit(run->pid); !st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.status().ToString().c_str());
+    return ToolExitCode(st.status());
   }
   std::printf("client output: %s",
               world.machine().FindProcess(run->pid)->stdout_text().c_str());

@@ -63,13 +63,14 @@ constexpr char kCollectorSrc[] = R"(
   }
 )";
 
+// Returns 0 on success, else the structured tool exit code for the failing step.
 int RunJob(HemlockWorld& world, const LoadImage& worker, const LoadImage& collector, int job) {
   // Steps 1-3: temp dir + symlink + environment.
   std::string job_dir = StrFormat("/shm/tmp/job%d", job);
   if (!world.vfs().MkdirAll(job_dir).ok() ||
       !world.vfs().Symlink(job_dir + "/pool_shared.o", "/shm/lib/pool_shared.o").ok()) {
     std::fprintf(stderr, "job %d: setup failed\n", job);
-    return -1;
+    return 1;
   }
   ExecOptions exec;
   exec.env[kLdLibraryPathVar] = job_dir;
@@ -81,18 +82,23 @@ int RunJob(HemlockWorld& world, const LoadImage& worker, const LoadImage& collec
     if (!run.ok()) {
       std::fprintf(stderr, "job %d: worker exec failed: %s\n", job,
                    run.status().ToString().c_str());
-      return -1;
+      return ToolExitCode(run.status());
     }
     pids.push_back(run->pid);
   }
-  if (!world.machine().RunAll()) {
+  if (world.machine().RunScheduled(SchedParams{}) != SchedStatus::kExited) {
     std::fprintf(stderr, "job %d: workers did not finish\n", job);
-    return -1;
+    return 1;
   }
   Result<ExecResult> coll = world.Exec(collector, exec);
-  if (!coll.ok() || !world.RunToExit(coll->pid).ok()) {
-    std::fprintf(stderr, "job %d: collector failed\n", job);
-    return -1;
+  if (!coll.ok()) {
+    std::fprintf(stderr, "job %d: collector exec failed: %s\n", job,
+                 coll.status().ToString().c_str());
+    return ToolExitCode(coll.status());
+  }
+  if (Result<int> st = world.RunToExit(coll->pid); !st.ok()) {
+    std::fprintf(stderr, "job %d: collector failed: %s\n", job, st.status().ToString().c_str());
+    return ToolExitCode(st.status());
   }
   std::printf("job %d %s", job,
               world.machine().FindProcess(coll->pid)->stdout_text().c_str());
@@ -102,7 +108,7 @@ int RunJob(HemlockWorld& world, const LoadImage& worker, const LoadImage& collec
                  world.vfs().Unlink(job_dir + "/pool_shared.o").ok() &&
                  world.vfs().Unlink(job_dir).ok();
   std::printf("job %d cleanup: %s\n", job, cleaned ? "done" : "FAILED");
-  return cleaned ? 0 : -1;
+  return cleaned ? 0 : 1;
 }
 
 }  // namespace
@@ -127,14 +133,15 @@ int main() {
       world.Link({.inputs = {{"collector.o", ShareClass::kStaticPrivate},
                              {"pool_shared.o", ShareClass::kDynamicPublic}}});
   if (!worker.ok() || !collector.ok()) {
-    std::fprintf(stderr, "link failed\n");
-    return 1;
+    const Status& st = !worker.ok() ? worker.status() : collector.status();
+    std::fprintf(stderr, "link failed: %s\n", st.ToString().c_str());
+    return ToolExitCode(st);
   }
-  if (RunJob(world, *worker, *collector, 1) != 0) {
-    return 1;
+  if (int rc = RunJob(world, *worker, *collector, 1); rc != 0) {
+    return rc;
   }
-  if (RunJob(world, *worker, *collector, 2) != 0) {
-    return 1;
+  if (int rc = RunJob(world, *worker, *collector, 2); rc != 0) {
+    return rc;
   }
   std::printf("presto_pool OK\n");
   return 0;

@@ -66,24 +66,32 @@ int main() {
   Result<LoadImage> writer = build(writer_src, "/home/user/writer.o");
   Result<LoadImage> reader = build(reader_src, "/home/user/reader.o");
   if (!writer.ok() || !reader.ok()) {
-    std::fprintf(stderr, "link failed: %s\n",
-                 (!writer.ok() ? writer.status() : reader.status()).ToString().c_str());
-    return 1;
+    const Status& st = !writer.ok() ? writer.status() : reader.status();
+    std::fprintf(stderr, "link failed: %s\n", st.ToString().c_str());
+    return ToolExitCode(st);
   }
 
   // Run the writer; ldl creates /shm/lib/counter from its template on first use.
   Result<ExecResult> w = world.Exec(*writer);
-  if (!w.ok() || !world.RunToExit(w->pid).ok()) {
-    std::fprintf(stderr, "writer failed\n");
-    return 1;
+  if (!w.ok()) {
+    std::fprintf(stderr, "writer exec failed: %s\n", w.status().ToString().c_str());
+    return ToolExitCode(w.status());
+  }
+  if (Result<int> st = world.RunToExit(w->pid); !st.ok()) {
+    std::fprintf(stderr, "writer failed: %s\n", st.status().ToString().c_str());
+    return ToolExitCode(st.status());
   }
   std::printf("%s", world.machine().FindProcess(w->pid)->stdout_text().c_str());
 
   // Run the reader — a different program, a different process: it sees 5.
   Result<ExecResult> r = world.Exec(*reader);
-  if (!r.ok() || !world.RunToExit(r->pid).ok()) {
-    std::fprintf(stderr, "reader failed\n");
-    return 1;
+  if (!r.ok()) {
+    std::fprintf(stderr, "reader exec failed: %s\n", r.status().ToString().c_str());
+    return ToolExitCode(r.status());
+  }
+  if (Result<int> st = world.RunToExit(r->pid); !st.ok()) {
+    std::fprintf(stderr, "reader failed: %s\n", st.status().ToString().c_str());
+    return ToolExitCode(st.status());
   }
   std::printf("%s", world.machine().FindProcess(r->pid)->stdout_text().c_str());
 

@@ -41,13 +41,14 @@ int main() {
   Result<std::unique_ptr<PosixStore>> store = PosixStore::Open(dir + "/store");
   Result<std::unique_ptr<FileRwhoDb>> file_db = FileRwhoDb::Open(dir + "/whod");
   if (!store.ok() || !file_db.ok()) {
-    std::fprintf(stderr, "setup failed\n");
-    return 1;
+    const Status& st = !store.ok() ? store.status() : file_db.status();
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    return ToolExitCode(st);
   }
   Result<std::unique_ptr<ShmRwhoDb>> shm_db = ShmRwhoDb::Create(store->get(), "rwho", kHosts + 8);
   if (!shm_db.ok()) {
     std::fprintf(stderr, "shm db failed: %s\n", shm_db.status().ToString().c_str());
-    return 1;
+    return ToolExitCode(shm_db.status());
   }
 
   // rwhod receive loop: every host broadcasts a few times.

@@ -118,16 +118,18 @@ constexpr char kRuptimeSrc[] = R"(
   }
 )";
 
+// Returns the guest's exit status (>= 0), or the negated structured tool exit
+// code when the ldl/run boundary itself failed.
 int RunAndShow(HemlockWorld& world, const LoadImage& image, const char* what) {
   Result<ExecResult> run = world.Exec(image);
   if (!run.ok()) {
     std::fprintf(stderr, "%s: exec failed: %s\n", what, run.status().ToString().c_str());
-    return -1;
+    return -ToolExitCode(run.status());
   }
   Result<int> status = world.RunToExit(run->pid);
   if (!status.ok()) {
     std::fprintf(stderr, "%s: %s\n", what, status.status().ToString().c_str());
-    return -1;
+    return -ToolExitCode(status.status());
   }
   std::printf("%s", world.machine().FindProcess(run->pid)->stdout_text().c_str());
   return *status;
@@ -155,22 +157,24 @@ int main() {
   Result<LoadImage> rwho = link("rwho.o");
   Result<LoadImage> ruptime = link("ruptime.o");
   if (!rwhod.ok() || !rwho.ok() || !ruptime.ok()) {
-    std::fprintf(stderr, "link failed\n");
-    return 1;
+    const Status& st =
+        !rwhod.ok() ? rwhod.status() : (!rwho.ok() ? rwho.status() : ruptime.status());
+    std::fprintf(stderr, "link failed: %s\n", st.ToString().c_str());
+    return ToolExitCode(st);
   }
 
   // The daemon runs (creating the shared database on first touch), then the
   // utilities — separate programs, separate processes — read it directly.
-  if (RunAndShow(world, *rwhod, "rwhod") != 0) {
-    return 1;
+  if (int rc = RunAndShow(world, *rwhod, "rwhod"); rc != 0) {
+    return rc < 0 ? -rc : 1;
   }
   int hosts = RunAndShow(world, *rwho, "rwho");
   if (hosts != 12) {
     std::fprintf(stderr, "rwho saw %d hosts, expected 12\n", hosts);
-    return 1;
+    return hosts < 0 ? -hosts : 1;
   }
-  if (RunAndShow(world, *ruptime, "ruptime") != 0) {
-    return 1;
+  if (int rc = RunAndShow(world, *ruptime, "ruptime"); rc != 0) {
+    return rc < 0 ? -rc : 1;
   }
   // A second daemon round refreshes in place; rwho still agrees.
   if (RunAndShow(world, *rwhod, "rwhod") != 0 ||

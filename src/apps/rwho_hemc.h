@@ -41,7 +41,7 @@ struct RwhoHemcOutcome {
   int daemon_status = 0;
   std::vector<int> client_statuses;
   std::string stdout_text;   // all processes, pid order
-  RunStatus run_status = RunStatus::kExited;
+  SchedStatus run_status = SchedStatus::kExited;
 };
 
 // The database module's HemC source (capacity = |hosts|).

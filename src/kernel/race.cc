@@ -38,6 +38,7 @@ bool RaceDetector::OrderedBefore(int pid, uint64_t clock, const VClock& observer
 }
 
 void RaceDetector::OnProcessStart(int pid, int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
   VClock& vc = clocks_[pid];
   if (parent >= 0) {
     auto it = clocks_.find(parent);
@@ -56,6 +57,7 @@ void RaceDetector::OnProcessStart(int pid, int parent) {
 }
 
 void RaceDetector::OnSpawn(int parent, int child) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto pit = clocks_.find(parent);
   if (pit == clocks_.end()) return;
   ++*c_sync_edges_;
@@ -66,12 +68,14 @@ void RaceDetector::OnSpawn(int parent, int child) {
 }
 
 void RaceDetector::OnProcessExit(int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = clocks_.find(pid);
   if (it == clocks_.end()) return;
   JoinInto(&exited_join_, it->second);
 }
 
 void RaceDetector::OnReap(int waiter, int child) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto cit = clocks_.find(child);
   auto wit = clocks_.find(waiter);
   if (cit == clocks_.end() || wit == clocks_.end()) return;
@@ -80,14 +84,14 @@ void RaceDetector::OnReap(int waiter, int child) {
   clocks_.erase(cit);
 }
 
-void RaceDetector::OnAcquire(int pid, uint32_t key) {
+void RaceDetector::AcquireLocked(int pid, uint32_t key) {
   auto it = sync_clocks_.find(key);
   if (it == sync_clocks_.end()) return;
   ++*c_sync_edges_;
   JoinInto(&clocks_[pid], it->second);
 }
 
-void RaceDetector::OnRelease(int pid, uint32_t key) {
+void RaceDetector::ReleaseLocked(int pid, uint32_t key) {
   ++*c_sync_edges_;
   VClock& vc = clocks_[pid];
   JoinInto(&sync_clocks_[key], vc);
@@ -95,13 +99,25 @@ void RaceDetector::OnRelease(int pid, uint32_t key) {
   ++vc[pid];
 }
 
+void RaceDetector::OnAcquire(int pid, uint32_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AcquireLocked(pid, key);
+}
+
+void RaceDetector::OnRelease(int pid, uint32_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleaseLocked(pid, key);
+}
+
 void RaceDetector::OnAcqRel(int pid, uint32_t key) {
-  OnAcquire(pid, key);
-  OnRelease(pid, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  AcquireLocked(pid, key);
+  ReleaseLocked(pid, key);
 }
 
 void RaceDetector::OnAccess(int pid, uint32_t addr, uint32_t len, bool is_write,
                             uint32_t pc) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (options_.sample_period > 1) {
     uint64_t tick = sample_tick_[pid]++;
     if (tick % options_.sample_period != 0) {

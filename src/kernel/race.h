@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,8 @@ class RaceDetector {
 
   void OnAccess(int pid, uint32_t addr, uint32_t len, bool is_write, uint32_t pc);
 
+  // Only meaningful once the run has quiesced (RunScheduled has returned); the
+  // internal lock is not taken here.
   const std::vector<RaceReport>& reports() const { return reports_; }
   bool HasRaces() const { return !reports_.empty(); }
 
@@ -115,11 +118,18 @@ class RaceDetector {
   // True iff an access by |pid| at |clock| happens-before |observer|'s present.
   static bool OrderedBefore(int pid, uint64_t clock, const VClock& observer);
 
+  // Bodies of OnAcquire/OnRelease, callable with |mu_| already held (OnAcqRel).
+  void AcquireLocked(int pid, uint32_t key);
+  void ReleaseLocked(int pid, uint32_t key);
   void CheckWord(int pid, uint32_t word_addr, bool is_write, uint32_t pc);
   void Report(uint32_t addr, int first_pid, const Access& first, bool first_write,
               int second_pid, uint32_t second_pc, bool second_write);
 
   RaceOptions options_;
+  // Guards every mutable structure below. SMP cores feed OnAccess straight from
+  // their guest loops (outside the kernel lock), so the detector synchronizes
+  // itself. Leaf lock: nothing is called out while holding it.
+  std::mutex mu_;
   std::map<int, VClock> clocks_;           // live processes
   std::map<int, uint64_t> sample_tick_;    // per-process access counter for sampling
   std::map<uint32_t, VClock> sync_clocks_; // sync objects by shared address

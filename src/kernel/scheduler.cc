@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/base/strings.h"
+
 namespace hemlock {
 namespace {
 
@@ -53,12 +55,14 @@ Result<SchedParams> ParseSchedSpec(const std::string& spec) {
 }
 
 void Scheduler::SetMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
   c_switches_ = metrics->Counter("vm.sched.switches");
   c_preemptions_ = metrics->Counter("vm.sched.preemptions");
   c_blocks_ = metrics->Counter("vm.sched.blocks");
   c_wakes_ = metrics->Counter("vm.sched.wakes");
   c_futex_waits_ = metrics->Counter("vm.sched.futex_waits");
   c_deadlocks_ = metrics->Counter("vm.sched.deadlocks");
+  c_steals_ = metrics->Counter("vm.sched.steals");
 }
 
 void Scheduler::Configure(SchedPolicy policy, uint64_t seed) {
@@ -67,9 +71,58 @@ void Scheduler::Configure(SchedPolicy policy, uint64_t seed) {
   rng_state_ = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
 }
 
+void Scheduler::ConfigureCores(int num_cores) {
+  if (num_cores < 1) num_cores = 1;
+  if (num_cores == num_cores_) return;
+  // Drain every queued pid (priority order, FIFO within a class) so nothing is
+  // lost across a mode switch, then re-home them under the new core count.
+  std::vector<std::pair<int, int>> queued;  // (priority, pid)
+  auto drain = [&queued](ReadyQueue* q) {
+    for (auto& [prio, deque] : *q) {
+      for (int pid : deque) queued.emplace_back(prio, pid);
+    }
+    q->clear();
+  };
+  drain(&ready_);
+  for (CoreQueue& core : cores_) drain(&core.ready);
+  ready_set_.clear();
+  num_cores_ = num_cores;
+  next_core_ = 0;
+  cores_.clear();
+  if (num_cores_ > 1) {
+    cores_.resize(static_cast<size_t>(num_cores_));
+    for (int c = 0; c < num_cores_; ++c) {
+      CoreQueue& core = cores_[static_cast<size_t>(c)];
+      if (metrics_ != nullptr) {
+        core.dispatches = metrics_->Counter(StrFormat("vm.sched.core.%d.dispatches", c));
+        core.steals = metrics_->Counter(StrFormat("vm.sched.core.%d.steals", c));
+        core.ticks = metrics_->Counter(StrFormat("vm.sched.core.%d.ticks", c));
+      } else {
+        core.dispatches = core.steals = core.ticks = &scratch_;
+      }
+    }
+  } else {
+    affinity_.clear();
+  }
+  for (const auto& [prio, pid] : queued) {
+    Enqueue(pid, prio);
+  }
+}
+
+Scheduler::ReadyQueue* Scheduler::HomeQueue(int pid) {
+  if (num_cores_ == 1) return &ready_;
+  auto it = affinity_.find(pid);
+  if (it == affinity_.end()) {
+    // First sighting: place round-robin so initial load spreads evenly.
+    it = affinity_.emplace(pid, next_core_).first;
+    next_core_ = (next_core_ + 1) % num_cores_;
+  }
+  return &cores_[static_cast<size_t>(it->second)].ready;
+}
+
 void Scheduler::Enqueue(int pid, int priority) {
   if (!ready_set_.insert(pid).second) return;
-  ready_[priority].push_back(pid);
+  (*HomeQueue(pid))[priority].push_back(pid);
 }
 
 void Scheduler::Preempt(int pid, int priority) {
@@ -77,16 +130,46 @@ void Scheduler::Preempt(int pid, int priority) {
   Enqueue(pid, priority);
 }
 
+void Scheduler::EraseFrom(ReadyQueue* q, int pid) {
+  for (auto it = q->begin(); it != q->end();) {
+    auto& deque = it->second;
+    deque.erase(std::remove(deque.begin(), deque.end(), pid), deque.end());
+    it = deque.empty() ? q->erase(it) : std::next(it);
+  }
+}
+
+size_t Scheduler::CountOf(const ReadyQueue& q) {
+  size_t n = 0;
+  for (const auto& [prio, deque] : q) n += deque.size();
+  return n;
+}
+
 void Scheduler::Remove(int pid) {
   if (ready_set_.erase(pid) > 0) {
-    for (auto it = ready_.begin(); it != ready_.end();) {
-      auto& q = it->second;
-      q.erase(std::remove(q.begin(), q.end(), pid), q.end());
-      it = q.empty() ? ready_.erase(it) : std::next(it);
-    }
+    EraseFrom(&ready_, pid);
+    for (CoreQueue& core : cores_) EraseFrom(&core.ready, pid);
   }
+  affinity_.erase(pid);
   CancelFutexWait(pid);
   other_waiters_.erase(pid);
+}
+
+int Scheduler::PopFrom(ReadyQueue* q) {
+  if (q->empty()) return -1;
+  if (policy_ == SchedPolicy::kRandom) {
+    // Uniform pick over every pid in |q|, ignoring priority. Collect in queue
+    // iteration order (deterministic) so the pick is a pure function of the seed.
+    std::vector<int> pids;
+    for (const auto& [prio, deque] : *q) pids.insert(pids.end(), deque.begin(), deque.end());
+    int pid = pids[SplitMix64(&rng_state_) % pids.size()];
+    EraseFrom(q, pid);
+    return pid;
+  }
+  auto qit = q->begin();  // highest priority class
+  int pid = qit->second.front();
+  qit->second.pop_front();
+  if (qit->second.empty()) q->erase(qit);
+  return pid;
 }
 
 int Scheduler::PickNext() {
@@ -95,24 +178,63 @@ int Scheduler::PickNext() {
   if (policy_ == SchedPolicy::kRandom) {
     // Uniform pick over every ready pid. Iterate the set (sorted, so the pick
     // sequence is deterministic) rather than the queues to ignore priority.
+    // Kept verbatim from the pre-SMP scheduler: the chaos schedule at --cores=1
+    // must replay byte-for-byte against old seeds.
     size_t index = SplitMix64(&rng_state_) % ready_set_.size();
     auto it = ready_set_.begin();
     std::advance(it, index);
     int pid = *it;
     ready_set_.erase(it);
-    for (auto qit = ready_.begin(); qit != ready_.end();) {
-      auto& q = qit->second;
-      q.erase(std::remove(q.begin(), q.end(), pid), q.end());
-      qit = q.empty() ? ready_.erase(qit) : std::next(qit);
-    }
+    EraseFrom(&ready_, pid);
     return pid;
   }
-  auto qit = ready_.begin();  // highest priority class
-  int pid = qit->second.front();
-  qit->second.pop_front();
-  if (qit->second.empty()) ready_.erase(qit);
+  int pid = PopFrom(&ready_);
   ready_set_.erase(pid);
   return pid;
+}
+
+int Scheduler::PickNextOnCore(int core) {
+  if (num_cores_ == 1) return PickNext();
+  if (ready_set_.empty()) return -1;
+  CoreQueue& own = cores_[static_cast<size_t>(core)];
+  int pid = PopFrom(&own.ready);
+  if (pid < 0) {
+    // Own queue dry: steal from the back of the most loaded sibling, so the
+    // victim keeps its FIFO front and the thief takes the youngest work.
+    int victim = -1;
+    size_t victim_load = 0;
+    for (int c = 0; c < num_cores_; ++c) {
+      if (c == core) continue;
+      size_t load = CountOf(cores_[static_cast<size_t>(c)].ready);
+      if (load > victim_load) {
+        victim_load = load;
+        victim = c;
+      }
+    }
+    if (victim < 0) return -1;
+    ReadyQueue& vq = cores_[static_cast<size_t>(victim)].ready;
+    auto qit = vq.begin();
+    pid = qit->second.back();
+    qit->second.pop_back();
+    if (qit->second.empty()) vq.erase(qit);
+    affinity_[pid] = core;  // stolen work re-homes to the thief
+    ++*c_steals_;
+    ++*own.steals;
+  }
+  ready_set_.erase(pid);
+  ++*c_switches_;
+  ++*own.dispatches;
+  return pid;
+}
+
+void Scheduler::CountCoreTicks(int core, uint64_t ticks) {
+  if (num_cores_ == 1 || core < 0 || core >= num_cores_) return;
+  *cores_[static_cast<size_t>(core)].ticks += ticks;
+}
+
+int Scheduler::CoreOf(int pid) const {
+  auto it = affinity_.find(pid);
+  return it == affinity_.end() ? -1 : it->second;
 }
 
 void Scheduler::BlockOnFutex(int pid, uint32_t addr) {

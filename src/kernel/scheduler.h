@@ -1,6 +1,6 @@
 // The preemptive scheduler for the simulated kernel.
 //
-// Replaces Machine::RunAll's round-robin busy loop with real run/wait queues:
+// Run/wait queues in front of the Machine's dispatch loop:
 //   * runnable processes live in per-priority FIFO ready queues (higher priority
 //     classes run first; round-robin within a class);
 //   * blocked processes are *off* the ready queues entirely — a waiting process is
@@ -11,12 +11,24 @@
 //     (seeded uniform pick over every ready process, ignoring priority — a "chaos
 //     schedule" for deterministic interleaving fuzzing of sync code).
 //
+// SMP (docs/CONCURRENCY.md): ConfigureCores(N) splits the ready structure into N
+// per-core run queues with pid -> core affinity. A core picks from its own queue
+// first and *steals* from the most loaded sibling when its own is dry, so work
+// spreads without a global queue bottleneck. Wait queues stay global — a wake
+// routes the waiter back to its affine core. With one core (the default) the
+// legacy single-queue structure is kept bit-for-bit, so `--cores=1` dispatch
+// order is exactly the pre-SMP order (the interp-differential CI job relies on
+// this).
+//
 // The scheduler is deliberately dumb about Process internals: it tracks pids only.
 // The Machine drives every state transition (enqueue on runnable, block on wait,
-// remove on exit) and is responsible for keeping the two views consistent.
+// remove on exit) and is responsible for keeping the two views consistent. Under
+// an SMP run every scheduler call is made with the Machine's kernel lock held —
+// the scheduler itself takes no locks.
 //
 // Observability: every transition bumps a "vm.sched.*" counter in the machine's
-// registry (switches, preemptions, blocks, wakes, futex waits/wakes, deadlocks).
+// registry (switches, preemptions, blocks, wakes, futex waits/wakes, deadlocks,
+// steals); per-core queues add "vm.sched.core.<n>.*" (dispatches, steals, ticks).
 #ifndef SRC_KERNEL_SCHEDULER_H_
 #define SRC_KERNEL_SCHEDULER_H_
 
@@ -39,11 +51,12 @@ enum class SchedPolicy : uint8_t {
 
 const char* SchedPolicyName(SchedPolicy policy);
 
-// One scheduling configuration, as selected by hemrun --sched / --quantum.
+// One scheduling configuration, as selected by hemrun --sched/--quantum/--cores.
 struct SchedParams {
   SchedPolicy policy = SchedPolicy::kRoundRobin;
   uint64_t seed = 0;        // kRandom: the interleaving is a pure function of this
   uint64_t quantum = 4096;  // instructions per dispatch before preemption
+  int num_cores = 1;        // >1: RunScheduled drives this many host worker threads
 };
 
 // Parses "rr" or "random:<seed>" (bare "random" = seed 0).
@@ -64,9 +77,17 @@ class Scheduler {
   void Configure(SchedPolicy policy, uint64_t seed);
   SchedPolicy policy() const { return policy_; }
 
+  // Sizes the per-core run queues; queued pids are redistributed. 1 restores the
+  // single legacy queue (and its exact dispatch order). Registers the
+  // "vm.sched.core.<n>.*" counters on first growth.
+  void ConfigureCores(int num_cores);
+  int num_cores() const { return num_cores_; }
+
   // --- Ready-queue transitions (driven by the Machine) ---
 
   // Adds |pid| to the back of its priority's ready queue. No-op if already queued.
+  // With per-core queues the pid lands on its affine core (least-loaded core on
+  // first sighting).
   void Enqueue(int pid, int priority);
   // Re-queues a preempted process (quantum exhausted, still runnable).
   void Preempt(int pid, int priority);
@@ -76,6 +97,15 @@ class Scheduler {
   // Picks the next pid to dispatch and removes it from the ready queue.
   // Returns -1 when no process is ready. Counted in vm.sched.switches.
   int PickNext();
+
+  // SMP pick for |core|: pops from the core's own queue; when that is dry, steals
+  // from the back of the most loaded sibling's queue (counted in vm.sched.steals
+  // and the thief's vm.sched.core.<n>.steals) and re-homes the pid's affinity.
+  // Returns -1 when no process is ready on any core.
+  int PickNextOnCore(int core);
+
+  // Charges |ticks| retired on |core| to vm.sched.core.<n>.ticks.
+  void CountCoreTicks(int core, uint64_t ticks);
 
   // --- Wait queues ---
 
@@ -104,17 +134,41 @@ class Scheduler {
   std::vector<int> FutexWaitersAt(uint32_t addr) const;
   // One line per wait entry, for deadlock reports: "pid 3: futex 0x30000040".
   std::vector<std::string> DescribeWaiters() const;
+  // The core |pid| last ran on (-1 before its first SMP dispatch).
+  int CoreOf(int pid) const;
 
   void CountDeadlock() { ++*c_deadlocks_; }
 
  private:
+  using ReadyQueue = std::map<int, std::deque<int>, std::greater<int>>;
+
+  // Pops one pid from |q| under the current policy: FIFO within the highest
+  // priority class, or a seeded uniform pick over all of |q| for kRandom.
+  int PopFrom(ReadyQueue* q);
+  static void EraseFrom(ReadyQueue* q, int pid);
+  static size_t CountOf(const ReadyQueue& q);
+  // The ready queue a new enqueue of |pid| should land on.
+  ReadyQueue* HomeQueue(int pid);
+
   SchedPolicy policy_ = SchedPolicy::kRoundRobin;
   uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
 
-  // Ready queues: priority (descending) -> FIFO of pids. |ready_set_| guards
-  // against double-enqueue.
-  std::map<int, std::deque<int>, std::greater<int>> ready_;
+  // Single-core (legacy) ready queue: priority (descending) -> FIFO of pids.
+  // |ready_set_| guards against double-enqueue in both modes.
+  ReadyQueue ready_;
   std::set<int> ready_set_;
+
+  // Per-core run queues (SMP mode; empty while num_cores_ == 1).
+  struct CoreQueue {
+    ReadyQueue ready;
+    uint64_t* dispatches;
+    uint64_t* steals;
+    uint64_t* ticks;
+  };
+  int num_cores_ = 1;
+  std::vector<CoreQueue> cores_;
+  std::map<int, int> affinity_;  // pid -> core it last ran (or was placed) on
+  int next_core_ = 0;            // round-robin placement for unseen pids
 
   // Futex wait queues: address -> FIFO of pids.
   std::map<uint32_t, std::deque<int>> futex_waiters_;
@@ -122,6 +176,7 @@ class Scheduler {
 
   // vm.sched.* counter handles (null until SetMetrics; transitions then uncounted,
   // which only standalone unit tests do).
+  MetricsRegistry* metrics_ = nullptr;
   uint64_t scratch_ = 0;
   uint64_t* c_switches_ = &scratch_;
   uint64_t* c_preemptions_ = &scratch_;
@@ -129,6 +184,7 @@ class Scheduler {
   uint64_t* c_wakes_ = &scratch_;
   uint64_t* c_futex_waits_ = &scratch_;
   uint64_t* c_deadlocks_ = &scratch_;
+  uint64_t* c_steals_ = &scratch_;
 };
 
 }  // namespace hemlock

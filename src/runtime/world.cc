@@ -17,13 +17,13 @@ Status HemlockWorld::CompileTo(const std::string& source, const std::string& tpl
 }
 
 Result<int> HemlockWorld::RunToExit(int pid, uint64_t max_steps) {
-  RunStatus outcome = machine_->RunProcess(pid, max_steps);
-  if (outcome == RunStatus::kOutOfGas) {
+  SchedStatus outcome = machine_->RunProcess(pid, max_steps);
+  if (outcome == SchedStatus::kOutOfGas) {
     return Internal(StrFormat("pid %d did not finish within the step budget", pid));
   }
-  if (outcome == RunStatus::kBlocked) {
+  if (outcome == SchedStatus::kBlocked) {
     // Give children a chance (the process is waiting on them), then retry.
-    if (!machine_->RunAll(max_steps)) {
+    if (machine_->RunScheduled(SchedParams{}, max_steps) != SchedStatus::kExited) {
       return Internal(StrFormat("pid %d blocked and the machine could not drain", pid));
     }
   }
@@ -58,17 +58,6 @@ Result<RunOutcome> HemlockWorld::RunProgram(const std::string& source,
     MetricsRegistry::Merge(&outcome.metrics, run.ldl->metrics().Snapshot());
   }
   return outcome;
-}
-
-Result<std::string> HemlockWorld::RunProgramText(const std::string& source,
-                                                 const std::vector<LdsInput>& extra_inputs,
-                                                 const ExecOptions& exec_options) {
-  ASSIGN_OR_RETURN(RunOutcome out, RunProgram(source, extra_inputs, exec_options));
-  if (out.exit_code != 0) {
-    return Internal(StrFormat("program exited with status %d; stdout: %s", out.exit_code,
-                              out.stdout_text.c_str()));
-  }
-  return out.stdout_text;
 }
 
 }  // namespace hemlock

@@ -68,12 +68,6 @@ class HemlockWorld {
                                 const std::vector<LdsInput>& extra_inputs = {},
                                 const ExecOptions& exec_options = {});
 
-  // Deprecated pre-RunOutcome shim: returns stdout only and converts a nonzero exit
-  // into an error Status. Will be removed next PR; use RunProgram.
-  Result<std::string> RunProgramText(const std::string& source,
-                                     const std::vector<LdsInput>& extra_inputs = {},
-                                     const ExecOptions& exec_options = {});
-
  private:
   std::unique_ptr<Machine> machine_;
   int temp_counter_ = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "src/base/atomic_mem.h"
 #include "src/base/faults.h"
 #include "src/base/strings.h"
 #include "src/sfs/sfs_check.h"
@@ -14,9 +15,17 @@ namespace {
 constexpr uint32_t kRootIno = 1;
 constexpr uint32_t kSfsMagic = 0x53465348;  // "HSFS"
 constexpr uint32_t kSfsVersion2 = 2;
+
+// One bit per page across the whole 1 GB shared region.
+constexpr uint32_t kSfsRegionBytes = kSfsMaxInodes * kSfsMaxFileBytes;
+constexpr uint32_t kSfsCodeBitmapBytes = kSfsRegionBytes / kPageSize / 8;
 }  // namespace
 
-SharedFs::SharedFs() : inodes_(kSfsMaxInodes + 1) {
+SharedFs::SharedFs()
+    : inodes_(kSfsMaxInodes + 1),
+      // Eager (32 KB): the bitmap is poked from guest execution on any core, so
+      // it cannot be grown lazily without a racy allocation.
+      code_page_bits_(new std::atomic<uint8_t>[kSfsCodeBitmapBytes]()) {
   inodes_[kRootIno].type = SfsNodeType::kDirectory;
   inodes_[kRootIno].path = "/";
   inodes_[kRootIno].parent = kRootIno;
@@ -89,6 +98,9 @@ Result<uint32_t> SharedFs::Create(const std::string& path) {
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
   ++clock_;
+  // A freed inode can be recycled under a stale public mapping (unlink + create);
+  // quiesce guest cores so none reads the node mid-initialization.
+  ShootdownGuard shootdown = BeginShootdown();
   Inode& node = inodes_[ino];
   node.type = SfsNodeType::kRegular;
   node.path = NormalizePath(path);
@@ -143,6 +155,8 @@ Status SharedFs::Unlink(const std::string& path, bool force) {
     return FailedPrecondition("sfs: directory not empty: " + path);
   }
   ++clock_;
+  // The backing vector dies with the inode: stop every core before it dangles.
+  ShootdownGuard shootdown = BeginShootdown();
   if (node.type == SfsNodeType::kRegular) {
     RemoveAddrEntry(ino);
     // The backing bytes are gone: stale TLB entries and decoded blocks over this
@@ -240,20 +254,25 @@ Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uin
       uint32_t torn = len / 2;
       uint32_t torn_end = offset + torn;
       if (node.data.size() < torn_end) {
+        ShootdownGuard shootdown = BeginShootdown();
         node.data.resize(torn_end, 0);
         ++data_epoch_;
       }
-      std::memcpy(node.data.data() + offset, data, torn);
+      RelaxedCopyTo(node.data.data() + offset, data, torn);
       NoteMutatedRange(ino, offset, torn);
     }
     return fault;
   }
   uint32_t end = offset + len;
   if (node.data.size() < end) {
+    // The vector may reallocate; quiesce guest cores, then stale every cached
+    // DataPtr. Bytes within the surviving extent are copied with relaxed atomics
+    // instead — a plain shootdown-per-write would serialize every file write.
+    ShootdownGuard shootdown = BeginShootdown();
     node.data.resize(end, 0);
-    ++data_epoch_;  // the vector may have reallocated; cached DataPtrs are stale
+    ++data_epoch_;
   }
-  std::memcpy(node.data.data() + offset, data, len);
+  RelaxedCopyTo(node.data.data() + offset, data, len);
   node.size = std::max(node.size, end);
   // ldl rebuilds a module's segment through this path, under the VM's feet: any
   // decoded blocks over the written pages must die exactly like on a VM store.
@@ -278,7 +297,7 @@ Result<uint32_t> SharedFs::ReadAt(uint32_t ino, uint32_t offset, uint8_t* out,
     return 0u;
   }
   n = std::min(n, static_cast<uint32_t>(node.data.size()) - offset);
-  std::memcpy(out, node.data.data() + offset, n);
+  RelaxedCopyFrom(out, node.data.data() + offset, n);
   return n;
 }
 
@@ -302,6 +321,9 @@ Status SharedFs::Truncate(uint32_t ino, uint32_t new_size) {
     }
     return fault;
   }
+  // Rare administrative path: quiesce guest cores for the whole mutation (the
+  // zeroing races guest reads; a regrow can realloc).
+  ShootdownGuard shootdown = BeginShootdown();
   if (new_size < node.data.size()) {
     // Zero the dropped range so a later regrow reads zeros (POSIX truncate), not the
     // previous occupant's bytes. The extent itself survives: mapped pages keep their
@@ -424,6 +446,8 @@ Status SharedFs::EnsureExtent(uint32_t ino, uint32_t bytes) {
   Inode& node = inodes_[ino];
   uint32_t want = PageCeil(bytes);
   if (node.data.size() < want) {
+    // Quiesce guest cores across the realloc (the classic SMP shootdown moment).
+    ShootdownGuard shootdown = BeginShootdown();
     node.data.resize(want, 0);
     ++data_epoch_;  // the vector may have reallocated; cached DataPtrs are stale
   }
@@ -433,10 +457,6 @@ Status SharedFs::EnsureExtent(uint32_t ino, uint32_t bytes) {
 // --- Fast-path invalidation epochs ---
 
 namespace {
-// One bit per page across the whole 1 GB shared region.
-constexpr uint32_t kSfsRegionBytes = kSfsMaxInodes * kSfsMaxFileBytes;
-constexpr uint32_t kSfsCodeBitmapBytes = kSfsRegionBytes / kPageSize / 8;
-
 inline bool SfsPageBit(uint32_t addr, uint32_t* byte_idx, uint8_t* mask) {
   if (!InSfsRegion(addr)) {
     return false;
@@ -454,28 +474,26 @@ void SharedFs::NoteCodePage(uint32_t addr) {
   if (!SfsPageBit(addr, &idx, &mask)) {
     return;
   }
-  if (code_page_bits_.empty()) {
-    code_page_bits_.assign(kSfsCodeBitmapBytes, 0);  // lazily: most worlds never decode shared code
-  }
-  code_page_bits_[idx] |= mask;
+  code_bits_armed_.store(true, std::memory_order_relaxed);
+  code_page_bits_[idx].fetch_or(mask, std::memory_order_relaxed);
 }
 
 void SharedFs::NoteExecStore(uint32_t addr) {
   uint32_t idx;
   uint8_t mask;
-  if (code_page_bits_.empty() || !SfsPageBit(addr, &idx, &mask)) {
+  if (!code_bits_armed_.load(std::memory_order_relaxed) || !SfsPageBit(addr, &idx, &mask)) {
     return;
   }
-  if (code_page_bits_[idx] & mask) {
+  if (code_page_bits_[idx].load(std::memory_order_relaxed) & mask) {
     // Self-modifying (or self-overwriting) shared code: retire every decoded block
     // in every process. Rare and coarse by design — correctness over cleverness.
-    code_page_bits_[idx] &= static_cast<uint8_t>(~mask);
+    code_page_bits_[idx].fetch_and(static_cast<uint8_t>(~mask), std::memory_order_relaxed);
     ++code_epoch_;
   }
 }
 
 void SharedFs::NoteMutatedRange(uint32_t ino, uint32_t offset, uint32_t len) {
-  if (code_page_bits_.empty() || len == 0) {
+  if (!code_bits_armed_.load(std::memory_order_relaxed) || len == 0) {
     return;
   }
   uint32_t base = SfsAddressForInode(ino);

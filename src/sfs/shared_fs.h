@@ -20,6 +20,7 @@
 #ifndef SRC_SFS_SHARED_FS_H_
 #define SRC_SFS_SHARED_FS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -141,13 +142,14 @@ class SharedFs {
 
   // Bumped whenever a DataPtr may dangle or stop covering a mapped page: extent
   // growth (vector realloc), truncate, unlink. TLB entries caching host pointers
-  // into this partition die on the next access.
-  uint64_t data_epoch() const { return data_epoch_; }
+  // into this partition die on the next access. Atomic because SMP guest cores
+  // revalidate their TLBs against it without holding the kernel lock.
+  uint64_t data_epoch() const { return data_epoch_.load(std::memory_order_relaxed); }
   // Bumped whenever bytes in a page that holds *decoded basic blocks* change —
   // stores through exec-mapped pages (self-modifying code) and kernel-side file
   // writes under a mapped module (ldl's segment rebuild). Tracked per page via a
   // bitmap so ordinary data stores into rw+exec segments never flush anyone.
-  uint64_t code_epoch() const { return code_epoch_; }
+  uint64_t code_epoch() const { return code_epoch_.load(std::memory_order_relaxed); }
   // An ExecCache decoded a block from |addr|'s page: start watching it for writes.
   void NoteCodePage(uint32_t addr);
   // A store retired in an exec-mapped shared page (any process' AddressSpace).
@@ -174,6 +176,18 @@ class SharedFs {
   // with the inode freed. The Machine wires this to its scheduler so processes
   // blocked waiting for a creation lock wake up instead of polling.
   void SetUnlockHook(std::function<void(uint32_t ino)> hook) { unlock_hook_ = std::move(hook); }
+
+  // --- Cross-core shootdown (the SMP machine's stop-the-world hook) ---
+  //
+  // An opaque token the hook returns; the mutation holds it for its whole danger
+  // window. The SMP Machine returns a unique lock on its world lock here, which
+  // drains every core out of guest execution before the bytes move — no core can
+  // be dereferencing a cached DataPtr while the extent reallocates. Null (the
+  // default, and always in single-core runs) means no quiescing is needed.
+  using ShootdownGuard = std::shared_ptr<void>;
+  void SetShootdownHook(std::function<ShootdownGuard()> hook) {
+    shootdown_hook_ = std::move(hook);
+  }
 
   // Every lease lasts this many operations on the partition (default 4096). Tests
   // shrink it to exercise expiry without thousands of ops.
@@ -241,6 +255,11 @@ class SharedFs {
   // Kernel-side mutation of a file's bytes (WriteAt/Truncate/Unlink): if any touched
   // page holds decoded code, retire those blocks the same way a VM store would.
   void NoteMutatedRange(uint32_t ino, uint32_t offset, uint32_t len);
+  // Taken before any mutation that can invalidate a host pointer another core may
+  // hold (extent realloc, truncate, unlink, inode recycling).
+  ShootdownGuard BeginShootdown() const {
+    return shootdown_hook_ ? shootdown_hook_() : nullptr;
+  }
 
   // Inode 0 unused; inode 1 is the partition root directory.
   std::vector<Inode> inodes_;
@@ -256,13 +275,18 @@ class SharedFs {
   uint64_t lock_lease_ops_ = 4096;
   std::function<bool(int)> pid_prober_;
   std::function<void(uint32_t)> unlock_hook_;
+  std::function<ShootdownGuard()> shootdown_hook_;
 
   // Fast-path epochs (see accessors above). The code-page bitmap covers the whole
   // 1 GB SFS region at page granularity (32 KB) — a bit is set once an ExecCache
-  // decodes from that page and cleared when the page mutates (epoch bump).
-  uint64_t data_epoch_ = 0;
-  uint64_t code_epoch_ = 0;
-  std::vector<uint8_t> code_page_bits_;
+  // decodes from that page and cleared when the page mutates (epoch bump). Both
+  // the epochs and the bitmap are touched from guest execution on any core, so
+  // they are relaxed atomics; |code_bits_armed_| keeps the common no-shared-code
+  // case a single load.
+  std::atomic<uint64_t> data_epoch_{0};
+  std::atomic<uint64_t> code_epoch_{0};
+  std::unique_ptr<std::atomic<uint8_t>[]> code_page_bits_;
+  std::atomic<bool> code_bits_armed_{false};
 
   // Observability (null until the owning Machine wires itself in).
   MetricsRegistry* metrics_ = nullptr;

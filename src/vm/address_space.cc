@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/base/atomic_mem.h"
 #include "src/base/strings.h"
 
 namespace hemlock {
@@ -231,7 +232,10 @@ bool AddressSpace::Load32(uint32_t addr, uint32_t* out, Fault* fault) const {
   if (p == nullptr) {
     return false;
   }
-  std::memcpy(out, p, 4);
+  // Relaxed atomics unconditionally: shared-region bytes are reachable from every
+  // core (SMP), and on x86 the relaxed access is the same mov as the plain one —
+  // cheaper than branching on InSfsRegion here.
+  *out = RelaxedLoad32(p);
   return true;
 }
 
@@ -240,7 +244,7 @@ bool AddressSpace::Load8(uint32_t addr, uint8_t* out, Fault* fault) const {
   if (p == nullptr) {
     return false;
   }
-  *out = *p;
+  *out = RelaxedLoad8(p);
   return true;
 }
 
@@ -255,7 +259,7 @@ bool AddressSpace::Store32(uint32_t addr, uint32_t value, Fault* fault) {
   if (p == nullptr) {
     return false;
   }
-  std::memcpy(p, &value, 4);
+  RelaxedStore32(p, value);
   return true;
 }
 
@@ -264,7 +268,7 @@ bool AddressSpace::Store8(uint32_t addr, uint8_t value, Fault* fault) {
   if (p == nullptr) {
     return false;
   }
-  *p = value;
+  RelaxedStore8(p, value);
   return true;
 }
 
@@ -279,7 +283,7 @@ bool AddressSpace::Fetch(uint32_t addr, uint32_t* out, Fault* fault) const {
   if (p == nullptr) {
     return false;
   }
-  std::memcpy(out, p, 4);
+  *out = RelaxedLoad32(p);
   return true;
 }
 
@@ -293,7 +297,13 @@ Status AddressSpace::ReadBytes(uint32_t addr, uint8_t* out, uint32_t len) const 
     if (p == nullptr) {
       return FaultError(StrFormat("kernel read fault at 0x%08x", cur));
     }
-    std::memcpy(out + done, p, chunk);
+    // Shared-region pages may be written by guest code on other cores; copy with
+    // relaxed atomics so a guest-level race stays a guest-level race.
+    if (InSfsRegion(cur)) {
+      RelaxedCopyFrom(out + done, p, chunk);
+    } else {
+      std::memcpy(out + done, p, chunk);
+    }
     done += chunk;
   }
   return OkStatus();
@@ -309,7 +319,11 @@ Status AddressSpace::WriteBytes(uint32_t addr, const uint8_t* data, uint32_t len
     if (p == nullptr) {
       return FaultError(StrFormat("kernel write fault at 0x%08x", cur));
     }
-    std::memcpy(p, data + done, chunk);
+    if (InSfsRegion(cur)) {
+      RelaxedCopyTo(p, data + done, chunk);
+    } else {
+      std::memcpy(p, data + done, chunk);
+    }
     done += chunk;
   }
   return OkStatus();
@@ -327,6 +341,13 @@ Result<std::string> AddressSpace::ReadCString(uint32_t addr, uint32_t max_len) c
     uint8_t* p = Resolve(cur, chunk, AccessKind::kRead, /*check_prot=*/false, &fault);
     if (p == nullptr) {
       return FaultError(StrFormat("kernel string read fault at 0x%08x", cur));
+    }
+    uint8_t stable[kPageSize];
+    if (InSfsRegion(cur)) {
+      // Snapshot the chunk with relaxed atomics first; memchr over bytes another
+      // core is storing to would be a host-level race.
+      RelaxedCopyFrom(stable, p, chunk);
+      p = stable;
     }
     const uint8_t* nul = static_cast<const uint8_t*>(std::memchr(p, 0, chunk));
     if (nul != nullptr) {

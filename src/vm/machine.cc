@@ -1,8 +1,10 @@
 #include "src/vm/machine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/base/faults.h"
 #include "src/base/layout.h"
@@ -63,6 +65,7 @@ Machine::Machine() : vfs_(std::make_unique<Vfs>()) {
   m_icache_hits_ = metrics_.Counter("vm.icache.hits");
   m_icache_misses_ = metrics_.Counter("vm.icache.misses");
   m_icache_invalidations_ = metrics_.Counter("vm.icache.invalidations");
+  m_shootdowns_ = metrics_.Counter("vm.sched.shootdowns");
   // Escape hatch for the differential CI job: run existing test binaries against
   // the reference interpreter without recompiling them.
   const char* slow_env = std::getenv("HEMLOCK_SLOW_INTERP");
@@ -95,6 +98,24 @@ void Machine::WireSfs() {
   sfs().SetUnlockHook([this](uint32_t ino) {
     WakeWaiters(SfsAddressForInode(ino), /*max=*/static_cast<uint32_t>(-1));
   });
+  // Host-pointer-invalidating SFS mutations (extent realloc, unlink, inode
+  // recycle) quiesce every guest core first during an SMP run.
+  sfs().SetShootdownHook([this] { return BeginShootdown(); });
+}
+
+SharedFs::ShootdownGuard Machine::BeginShootdown() {
+  if (!smp_active_.load(std::memory_order_relaxed)) {
+    return nullptr;  // single-core: nothing to drain
+  }
+  // The caller holds kernel_mu_ (all SFS mutations run in syscalls). Guest cores
+  // hold world_mu_ shared only while running guest code and never block on the
+  // kernel lock with it held, so this unique acquisition drains them and cannot
+  // deadlock (lock order kernel_mu_ -> world_mu_).
+  ++*m_shootdowns_;
+  auto* lock = new std::unique_lock<std::shared_mutex>(world_mu_);
+  return SharedFs::ShootdownGuard(lock, [](void* p) {
+    delete static_cast<std::unique_lock<std::shared_mutex>*>(p);
+  });
 }
 
 void Machine::EnableRaceDetector(RaceOptions options) {
@@ -119,8 +140,11 @@ void Machine::ReplaceSfs(std::unique_ptr<SharedFs> sfs) {
 Process& Machine::CreateProcess() {
   int pid = next_pid_++;
   auto proc = std::make_unique<Process>(pid, /*parent=*/0, &sfs());
-  proc->space_->WireVmCounters(m_tlb_hits_, m_tlb_misses_, m_tlb_flushes_);
-  proc->exec_cache_.WireCounters(m_icache_hits_, m_icache_misses_, m_icache_invalidations_);
+  // TLB and block-cache counters go to the process's private cells (bumped from
+  // the guest loop, outside the kernel lock under SMP); FlushVmCounters folds
+  // them into the vm.tlb.*/vm.icache.* registry rows at each dispatch end.
+  proc->space_->WireVmCounters(&proc->vm_cells_[0], &proc->vm_cells_[1], &proc->vm_cells_[2]);
+  proc->exec_cache_.WireCounters(&proc->vm_cells_[3], &proc->vm_cells_[4], &proc->vm_cells_[5]);
   Process& ref = *proc;
   procs_[pid] = std::move(proc);
   scheduler_.Enqueue(pid, ref.priority_);
@@ -145,88 +169,147 @@ int Machine::LiveProcessCount() const {
   return n;
 }
 
-RunStatus Machine::RunProcess(int pid, uint64_t max_steps) {
+SchedStatus Machine::RunProcess(int pid, uint64_t max_steps) {
   Process* proc = FindProcess(pid);
   if (proc == nullptr || proc->state_ == ProcState::kZombie) {
-    return RunStatus::kExited;
+    return SchedStatus::kExited;
   }
-  Cpu cpu(&proc->space());
+  trace_on_ = trace_.enabled();  // cached for the whole quantum (fault hot path)
+  return DriveProcess(*proc, max_steps, /*lk=*/nullptr);
+}
+
+void Machine::ChargeTicks(Process& proc, uint64_t n) {
+  ticks_ += n;
+  proc.charged_ += n;
+}
+
+void Machine::FlushVmCounters(Process& proc) {
+  uint64_t* dst[6] = {m_tlb_hits_,    m_tlb_misses_,    m_tlb_flushes_,
+                      m_icache_hits_, m_icache_misses_, m_icache_invalidations_};
+  for (int i = 0; i < 6; ++i) {
+    *dst[i] += proc.vm_cells_[i];
+    proc.vm_cells_[i] = 0;
+  }
+}
+
+SchedStatus Machine::DriveProcess(Process& proc, uint64_t max_steps,
+                                std::unique_lock<std::mutex>* lk) {
+  proc.charged_ = 0;
+  SchedStatus result = DriveProcessLoop(proc, max_steps, lk);
+  FlushVmCounters(proc);
+  return result;
+}
+
+SchedStatus Machine::DriveProcessLoop(Process& proc, uint64_t max_steps,
+                                    std::unique_lock<std::mutex>* lk) {
+  int pid = proc.pid();
+  Cpu cpu(&proc.space());
   RaceObserver observer(race_.get(), pid);
   if (race_ != nullptr) {
     cpu.set_observer(&observer);
   }
   if (!slow_interp_) {
-    cpu.set_exec_cache(&proc->exec_cache_);
+    cpu.set_exec_cache(&proc.exec_cache_);
   }
-  trace_on_ = trace_.enabled();  // cached for the whole quantum (fault hot path)
   uint64_t budget = max_steps;
   while (budget > 0) {
-    if (proc->state_ == ProcState::kZombie) {
-      return RunStatus::kExited;
+    if (proc.state_ == ProcState::kZombie) {
+      return SchedStatus::kExited;
     }
-    if (proc->state_ == ProcState::kWaiting) {
-      if (proc->wait_kind_ == WaitKind::kChild) {
+    if (proc.state_ == ProcState::kWaiting) {
+      if (proc.wait_kind_ == WaitKind::kChild) {
         // Try to reap the waited-for child.
-        Process* child = FindProcess(proc->wait_target_);
+        Process* child = FindProcess(proc.wait_target_);
         if (child != nullptr && child->state_ == ProcState::kZombie) {
-          ReapChild(*proc, proc->wait_target_);
+          ReapChild(proc, proc.wait_target_);
         } else {
-          return RunStatus::kBlocked;
+          return SchedStatus::kBlocked;
         }
       } else {
         // Futex/address waits clear on their wake event, never by polling.
-        return RunStatus::kBlocked;
+        return SchedStatus::kBlocked;
       }
     }
     uint64_t steps = 0;
     Fault fault;
-    StopReason reason = cpu.Run(&proc->cpu(), budget, &steps, &fault);
-    proc->steps_ += steps;
-    ticks_ += steps;
+    StopReason reason;
+    if (lk != nullptr) {
+      // SMP: guest code runs outside the kernel lock, in parallel with the other
+      // cores, under a shared hold of the world lock (a shootdown's unique
+      // acquisition drains us out of here before host pointers move).
+      lk->unlock();
+      world_mu_.lock_shared();
+      reason = cpu.Run(&proc.cpu(), budget, &steps, &fault);
+      world_mu_.unlock_shared();
+      lk->lock();
+    } else {
+      reason = cpu.Run(&proc.cpu(), budget, &steps, &fault);
+    }
+    proc.steps_ += steps;
+    ChargeTicks(proc, steps);
     budget = budget > steps ? budget - steps : 0;
     switch (reason) {
       case StopReason::kSteps:
-        return RunStatus::kOutOfGas;
+        return SchedStatus::kOutOfGas;
       case StopReason::kSyscall:
-        DoSyscall(*proc);
+        DoSyscall(proc);
         if (budget > 0) {
           --budget;  // a syscall consumes at least a step of budget
         }
-        if (scheduled_run_ && proc->yielded_) {
+        if (scheduled_run_ && proc.yielded_) {
           // Under the scheduler a yield ends the quantum (the process re-queues
           // behind its peers). A direct RunProcess just continues.
-          proc->yielded_ = false;
-          return proc->state_ == ProcState::kZombie ? RunStatus::kExited
-                                                    : RunStatus::kOutOfGas;
+          proc.yielded_ = false;
+          return proc.state_ == ProcState::kZombie ? SchedStatus::kExited
+                                                   : SchedStatus::kOutOfGas;
         }
-        proc->yielded_ = false;
+        proc.yielded_ = false;
         break;
       case StopReason::kBreak:
         KillProcess(pid, 134, "break instruction");
-        return RunStatus::kExited;
+        return SchedStatus::kExited;
       case StopReason::kFault: {
-        if (DeliverFault(*proc, fault)) {
+        if (DeliverFault(proc, fault)) {
           break;  // retry the instruction
         }
         KillProcess(pid, 139,
                     StrFormat("segmentation fault at 0x%08x (pc=0x%08x)", fault.addr,
-                              proc->cpu().pc));
-        return RunStatus::kExited;
+                              proc.cpu().pc));
+        return SchedStatus::kExited;
       }
       case StopReason::kIllegal:
-        KillProcess(pid, 132, StrFormat("illegal instruction at pc=0x%08x", proc->cpu().pc));
-        return RunStatus::kExited;
+        KillProcess(pid, 132, StrFormat("illegal instruction at pc=0x%08x", proc.cpu().pc));
+        return SchedStatus::kExited;
       case StopReason::kDivZero:
-        KillProcess(pid, 136, StrFormat("division by zero at pc=0x%08x", proc->cpu().pc));
-        return RunStatus::kExited;
+        KillProcess(pid, 136, StrFormat("division by zero at pc=0x%08x", proc.cpu().pc));
+        return SchedStatus::kExited;
     }
   }
-  return proc->state_ == ProcState::kZombie ? RunStatus::kExited : RunStatus::kOutOfGas;
+  return proc.state_ == ProcState::kZombie ? SchedStatus::kExited : SchedStatus::kOutOfGas;
 }
 
-RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_steps) {
+SchedStatus Machine::ReportDeadlock() {
+  scheduler_.CountDeadlock();
+  std::vector<std::string> waiters = scheduler_.DescribeWaiters();
+  HLOG(Warning) << "machine: deadlock — " << waiters.size()
+                << " process(es) blocked with empty ready queue";
+  for (const std::string& line : waiters) {
+    HLOG(Warning) << "  " << line;
+  }
+  if (trace_on_) {
+    trace_.Emit(TraceKind::kDeadlock, StrFormat("%zu blocked", waiters.size()), "",
+                0, static_cast<uint32_t>(waiters.size()));
+  }
+  return SchedStatus::kDeadlock;
+}
+
+SchedStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_steps) {
+  if (params.num_cores > 1) {
+    return RunScheduledSmp(params, max_total_steps);
+  }
   trace_on_ = trace_.enabled();
   scheduler_.Configure(params.policy, params.seed);
+  scheduler_.ConfigureCores(1);
   // Catch up on processes created (or woken) outside a scheduled run.
   for (const auto& [pid, proc] : procs_) {
     if (proc->state_ == ProcState::kRunnable) {
@@ -237,42 +320,31 @@ RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_st
   bool was_scheduled = scheduled_run_;
   scheduled_run_ = true;
   uint64_t spent = 0;
-  RunStatus result = RunStatus::kOutOfGas;
+  SchedStatus result = SchedStatus::kOutOfGas;
   while (spent < max_total_steps) {
     int pid = scheduler_.PickNext();
     if (pid < 0) {
-      if (LiveProcessCount() == 0) {
-        result = RunStatus::kExited;
-      } else {
-        // Nothing ready and no event left that could wake the waiters.
-        scheduler_.CountDeadlock();
-        std::vector<std::string> waiters = scheduler_.DescribeWaiters();
-        HLOG(Warning) << "machine: deadlock — " << waiters.size()
-                      << " process(es) blocked with empty ready queue";
-        for (const std::string& line : waiters) {
-          HLOG(Warning) << "  " << line;
-        }
-        if (trace_on_) {
-          trace_.Emit(TraceKind::kDeadlock, StrFormat("%zu blocked", waiters.size()), "",
-                      0, static_cast<uint32_t>(waiters.size()));
-        }
-        result = RunStatus::kDeadlock;
-      }
+      result = LiveProcessCount() == 0 ? SchedStatus::kExited : ReportDeadlock();
       break;
     }
     Process* proc = FindProcess(pid);
     if (proc == nullptr || proc->state_ == ProcState::kZombie) {
       continue;  // exited while queued
     }
-    uint64_t before = ticks_;
-    RunStatus st = RunProcess(pid, std::min(quantum, max_total_steps - spent));
-    spent += ticks_ - before;
-    if (st == RunStatus::kOutOfGas) {
+    SchedStatus st = DriveProcess(*proc, std::min(quantum, max_total_steps - spent),
+                                /*lk=*/nullptr);
+    spent += proc->charged_;
+    if (st == SchedStatus::kOutOfGas) {
       scheduler_.Preempt(pid, proc->priority_);
     }
     // kExited removed itself; kBlocked is parked in a wait queue.
   }
   scheduled_run_ = was_scheduled;
+  // Budget gone but nothing left alive: that is a completed run, not an
+  // out-of-gas one — callers test "== kExited" at any core count.
+  if (result == SchedStatus::kOutOfGas && LiveProcessCount() == 0) {
+    result = SchedStatus::kExited;
+  }
   if (race_ != nullptr && trace_on_) {
     const auto& reports = race_->reports();
     for (; race_reports_traced_ < reports.size(); ++race_reports_traced_) {
@@ -283,14 +355,94 @@ RunStatus Machine::RunScheduled(const SchedParams& params, uint64_t max_total_st
   return result;
 }
 
-bool Machine::RunAll(uint64_t max_total_steps, uint64_t quantum) {
-  SchedParams params;
-  params.quantum = quantum;
-  RunStatus st = RunScheduled(params, max_total_steps);
-  if (st == RunStatus::kExited) {
-    return true;
+SchedStatus Machine::RunScheduledSmp(const SchedParams& params, uint64_t max_total_steps) {
+  trace_on_ = trace_.enabled();
+  scheduler_.Configure(params.policy, params.seed);
+  scheduler_.ConfigureCores(params.num_cores);
+  for (const auto& [pid, proc] : procs_) {
+    if (proc->state_ == ProcState::kRunnable) {
+      scheduler_.Enqueue(pid, proc->priority_);
+    }
   }
-  return st == RunStatus::kOutOfGas && LiveProcessCount() == 0;
+  bool was_scheduled = scheduled_run_;
+  scheduled_run_ = true;
+  smp_stop_ = false;
+  smp_running_cores_ = 0;
+  smp_spent_ = 0;
+  smp_budget_ = max_total_steps;
+  smp_quantum_ = params.quantum == 0 ? 4096 : params.quantum;
+  smp_result_ = SchedStatus::kOutOfGas;
+  smp_active_.store(true, std::memory_order_relaxed);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(params.num_cores));
+    for (int c = 0; c < params.num_cores; ++c) {
+      workers.emplace_back([this, c] { CoreLoop(c); });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+  smp_active_.store(false, std::memory_order_relaxed);
+  scheduled_run_ = was_scheduled;
+  SchedStatus result = smp_result_;
+  if (result == SchedStatus::kOutOfGas && LiveProcessCount() == 0) {
+    result = SchedStatus::kExited;
+  }
+  // Back to the reference single-queue scheduler; queued leftovers re-home.
+  scheduler_.ConfigureCores(1);
+  if (race_ != nullptr && trace_on_) {
+    const auto& reports = race_->reports();
+    for (; race_reports_traced_ < reports.size(); ++race_reports_traced_) {
+      const RaceReport& r = reports[race_reports_traced_];
+      trace_.Emit(TraceKind::kRaceReport, r.ToString(), r.path, r.addr);
+    }
+  }
+  return result;
+}
+
+void Machine::CoreLoop(int core) {
+  std::unique_lock<std::mutex> lk(kernel_mu_);
+  while (true) {
+    if (smp_stop_) {
+      return;
+    }
+    if (smp_spent_ >= smp_budget_) {
+      smp_stop_ = true;  // smp_result_ stays kOutOfGas
+      smp_cv_.notify_all();
+      return;
+    }
+    int pid = scheduler_.PickNextOnCore(core);
+    if (pid < 0) {
+      if (smp_running_cores_ == 0) {
+        // No queue has work and no core is running that could produce a wake:
+        // the run is over (all exited) or wedged (live waiters remain).
+        smp_result_ = LiveProcessCount() == 0 ? SchedStatus::kExited : ReportDeadlock();
+        smp_stop_ = true;
+        smp_cv_.notify_all();
+        return;
+      }
+      // A sibling is still running and may enqueue work (futex wake, fork). The
+      // timeout is a backstop against a missed notify, not the wake mechanism.
+      smp_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      continue;
+    }
+    Process* proc = FindProcess(pid);
+    if (proc == nullptr || proc->state_ == ProcState::kZombie) {
+      continue;  // exited while queued
+    }
+    ++smp_running_cores_;
+    SchedStatus st = DriveProcess(*proc, std::min(smp_quantum_, smp_budget_ - smp_spent_), &lk);
+    --smp_running_cores_;
+    smp_spent_ += proc->charged_;
+    scheduler_.CountCoreTicks(core, proc->charged_);
+    if (st == SchedStatus::kOutOfGas) {
+      scheduler_.Preempt(pid, proc->priority_);
+    }
+    if (scheduler_.ReadyCount() > 0) {
+      smp_cv_.notify_all();  // this dispatch may have made siblings' work ready
+    }
+  }
 }
 
 void Machine::KillProcess(int pid, int status, const std::string& reason) {
@@ -309,6 +461,9 @@ void Machine::ExitProcess(Process& proc, int status) {
   }
   proc.exit_status_ = status;
   proc.state_ = ProcState::kZombie;
+  // Flush now, not just at dispatch end: a process killed from outside any run
+  // would otherwise take its counter cells to the grave at reap time.
+  FlushVmCounters(proc);
   scheduler_.Remove(proc.pid());
   // Lock release runs after the state flip so the unlock hook's wake-ups see a
   // dead holder; each released creation lock wakes its blocked attachers.
@@ -410,7 +565,7 @@ bool Machine::DeliverFault(Process& proc, const Fault& fault) {
   ++proc.fault_count_;
   ++total_faults_;
   ++*m_faults_delivered_;
-  ticks_ += fault_cost_;
+  ChargeTicks(proc, fault_cost_);
 
   // A fault at the sigreturn sentinel is the user handler coming back: restore the
   // interrupted context and retry the original instruction.
@@ -546,7 +701,7 @@ void Machine::DoSyscall(Process& proc) {
   ++proc.syscall_count_;
   ++total_syscalls_;
   ++*m_syscalls_;
-  ticks_ += syscall_cost_;
+  ChargeTicks(proc, syscall_cost_);
   auto& regs = proc.cpu().regs;
   uint32_t num = regs[kRegV0];
   uint32_t a0 = regs[kRegA0];
@@ -657,9 +812,13 @@ void Machine::DoSyscall(Process& proc) {
     case Sys::kFork: {
       int child_pid = next_pid_++;
       auto child = std::make_unique<Process>(child_pid, proc.pid(), &sfs());
-      child->space_ = proc.space().Fork();  // carries the vm.tlb.* counter wiring
-      child->exec_cache_.WireCounters(m_icache_hits_, m_icache_misses_,
-                                      m_icache_invalidations_);
+      // Fork copies the parent's counter wiring, which points at the *parent's*
+      // private cells — re-aim both taps at the child's own.
+      child->space_ = proc.space().Fork();
+      child->space_->WireVmCounters(&child->vm_cells_[0], &child->vm_cells_[1],
+                                    &child->vm_cells_[2]);
+      child->exec_cache_.WireCounters(&child->vm_cells_[3], &child->vm_cells_[4],
+                                      &child->vm_cells_[5]);
       child->cpu_ = proc.cpu();
       child->brk_ = proc.brk_;
       child->env_ = proc.env_;

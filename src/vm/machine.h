@@ -13,10 +13,14 @@
 #ifndef SRC_VM_MACHINE_H_
 #define SRC_VM_MACHINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -145,12 +149,21 @@ class Process {
   uint64_t fault_count_ = 0;
   uint64_t resolved_fault_count_ = 0;
   uint64_t syscall_count_ = 0;
+  // Ticks charged during the current DriveProcess dispatch (steps + syscall and
+  // fault costs); the scheduler loops read it after each quantum.
+  uint64_t charged_ = 0;
+  // Private cells behind this process's vm.tlb.* / vm.icache.* counters. The TLB
+  // and block cache bump these from the guest loop — outside the kernel lock under
+  // SMP — so they cannot share the machine-wide registry cells; each quantum's
+  // totals are folded into the registry at dispatch end (FlushVmCounters).
+  uint64_t vm_cells_[6] = {0, 0, 0, 0, 0, 0};
   ExecCache exec_cache_;
 };
 
-// Status of driving a process. (Renamed from RunOutcome: that name now belongs to
-// HemlockWorld::RunProgram's result struct.)
-enum class RunStatus : uint8_t {
+// Status of driving a process or a scheduled run. (Previously named after the run
+// itself, which collided in spirit with HemlockWorld::RunProgram's RunOutcome
+// result struct; CHANGES.md has the migration note.)
+enum class SchedStatus : uint8_t {
   kExited,     // process reached exit (or was killed); see exit_status()
   kBlocked,    // waiting (waitpid / futex / lock) — run something else
   kOutOfGas,   // step budget exhausted while still runnable
@@ -188,18 +201,22 @@ class Machine {
 
   // Drives one process until it exits, blocks, or exhausts |max_steps|.
   // Syscalls and faults are handled internally.
-  RunStatus RunProcess(int pid, uint64_t max_steps = kDefaultBudget);
+  SchedStatus RunProcess(int pid, uint64_t max_steps = kDefaultBudget);
 
-  // The preemptive scheduler loop: dispatches ready processes a quantum at a time
-  // under |params|' policy until every process has exited (kExited), nothing can
-  // ever run again (kDeadlock), or the tick budget runs out (kOutOfGas). Waiting
+  // The unified Run API: dispatches ready processes a quantum at a time under
+  // |params|' policy until every process has exited (kExited), nothing can ever
+  // run again (kDeadlock), or the tick budget runs out (kOutOfGas). Waiting
   // processes are never polled — they rejoin the ready queue when their wake event
   // fires (child exit, futex wake, creation-lock release).
-  RunStatus RunScheduled(const SchedParams& params, uint64_t max_total_steps = kDefaultBudget);
-
-  // Legacy entry point: round-robin RunScheduled. Returns true when every process
-  // exited within the budget.
-  bool RunAll(uint64_t max_total_steps = kDefaultBudget, uint64_t quantum = 4096);
+  //
+  // With params.num_cores > 1 the machine goes SMP: that many host worker threads
+  // each drive a per-core run queue (work-stealing when dry), guest code runs in
+  // parallel outside the kernel lock, and host-pointer-invalidating SFS mutations
+  // quiesce every core first (the shootdown protocol — docs/CONCURRENCY.md).
+  // num_cores == 1 is the reference path with the exact pre-SMP dispatch order.
+  // Returns kExited when the budget ran out but no live process remains (so
+  // "did everything finish" is a single == kExited check at any core count).
+  SchedStatus RunScheduled(const SchedParams& params, uint64_t max_total_steps = kDefaultBudget);
 
   Scheduler& scheduler() { return scheduler_; }
 
@@ -257,6 +274,31 @@ class Machine {
   // hooks back at this machine.
   void WireSfs();
 
+  // One dispatch of |proc| for up to |max_steps|. |lk| is null on the single-core
+  // path; an SMP worker passes its (held) kernel lock, which DriveProcess releases
+  // only around the guest cpu.Run chunks — syscalls, faults, and every scheduler
+  // transition happen with the lock held. The lock is held continuously from the
+  // end of a guest chunk through the next loop-top state check, so a process this
+  // core parked cannot be re-dispatched elsewhere until this call returns.
+  SchedStatus DriveProcess(Process& proc, uint64_t max_steps,
+                           std::unique_lock<std::mutex>* lk);
+  SchedStatus DriveProcessLoop(Process& proc, uint64_t max_steps,
+                               std::unique_lock<std::mutex>* lk);
+  // The SMP body of RunScheduled: spawns the workers, joins them, restores
+  // single-core mode.
+  SchedStatus RunScheduledSmp(const SchedParams& params, uint64_t max_total_steps);
+  // One SMP worker: runs on its own host thread until stop/budget/deadlock.
+  void CoreLoop(int core);
+  // The SFS's shootdown hook: drains every guest core (unique world lock) before a
+  // host-pointer-invalidating mutation proceeds. Null guard outside SMP runs.
+  SharedFs::ShootdownGuard BeginShootdown();
+  // Advances the simulated clock and bills the current dispatch.
+  void ChargeTicks(Process& proc, uint64_t n);
+  // Folds |proc|'s private vm.tlb.*/vm.icache.* cells into the registry.
+  void FlushVmCounters(Process& proc);
+  // Logs + traces a deadlock (ready queues empty, live waiters remain).
+  SchedStatus ReportDeadlock();
+
   void DoSyscall(Process& proc);
   // Returns true if the fault was resolved and the instruction should retry.
   bool DeliverFault(Process& proc, const Fault& fault);
@@ -289,6 +331,7 @@ class Machine {
   uint64_t* m_icache_hits_ = nullptr;
   uint64_t* m_icache_misses_ = nullptr;
   uint64_t* m_icache_invalidations_ = nullptr;
+  uint64_t* m_shootdowns_ = nullptr;
   std::map<int, std::unique_ptr<Process>> procs_;
   int next_pid_ = 1;
   uint64_t ticks_ = 0;
@@ -304,6 +347,28 @@ class Machine {
   size_t race_reports_traced_ = 0;  // reports already copied into the trace ring
   bool slow_interp_ = false;    // reference interpreter only (differential runs)
   bool trace_on_ = false;       // trace_.enabled(), cached once per quantum
+
+  // --- SMP state (docs/CONCURRENCY.md) ---
+  //
+  // Two locks, strict order kernel_mu_ -> world_mu_(unique):
+  //   * kernel_mu_ — the big kernel lock. A worker core holds it at all times
+  //     except while its guest runs; every kernel structure above (procs_, ticks_,
+  //     scheduler_, SFS metadata, trace) is protected by it during an SMP run.
+  //   * world_mu_ — held *shared* by each core while its guest runs. Taking it
+  //     unique is the shootdown: it drains every core out of guest code before a
+  //     host pointer those cores may cache (SFS extents, TLB targets) is moved.
+  //     A core never takes kernel_mu_ while holding world_mu_ shared, so the
+  //     shootdown (kernel lock held, world unique wanted) cannot deadlock.
+  std::mutex kernel_mu_;
+  std::shared_mutex world_mu_;
+  std::condition_variable smp_cv_;     // "the ready queues gained work" / "stop"
+  std::atomic<bool> smp_active_{false};  // read by BeginShootdown without the lock
+  bool smp_stop_ = false;
+  int smp_running_cores_ = 0;          // cores currently inside DriveProcess
+  uint64_t smp_spent_ = 0;
+  uint64_t smp_budget_ = 0;
+  uint64_t smp_quantum_ = 4096;
+  SchedStatus smp_result_ = SchedStatus::kOutOfGas;
 };
 
 }  // namespace hemlock

@@ -9,6 +9,8 @@
 #include "src/apps/figures.h"
 #include "src/apps/rwho.h"
 #include "src/apps/tables.h"
+#include "src/base/layout.h"
+#include "src/runtime/world.h"
 
 namespace hemlock {
 namespace {
@@ -181,6 +183,60 @@ TEST_F(AppsTest, SegmentTablesSharedWithChild) {
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// --- Limit-brushing workloads: resource exhaustion is counted, not fatal ---
+//
+// A workload that runs the shared partition out of inodes or brushes the per-file
+// size cap must get a clean error back, keep working after freeing space, and
+// leave the pressure visible in the "sfs.*" counters (hemrun --stats prints them).
+
+TEST(LimitBrush, InodeExhaustionIsCountedAndRecoverable) {
+  HemlockWorld world;
+  SharedFs& sfs = world.sfs();
+  // Fill the partition. The root directory already holds an inode or two, so
+  // create until the allocator reports exhaustion.
+  uint32_t created = 0;
+  Status full = OkStatus();
+  for (uint32_t i = 0; i <= kSfsMaxInodes; ++i) {
+    Result<uint32_t> ino = sfs.Create("/f" + std::to_string(i));
+    if (!ino.ok()) {
+      full = ino.status();
+      break;
+    }
+    ++created;
+  }
+  EXPECT_FALSE(full.ok()) << "partition never filled";
+  EXPECT_EQ(world.machine().metrics().Get("sfs.inode_exhausted"), 1u);
+  // Freeing one file makes the next create succeed again — exhaustion is a
+  // recoverable workload condition, not a wedged machine.
+  ASSERT_TRUE(sfs.Unlink("/f0").ok());
+  EXPECT_TRUE(sfs.Create("/again").ok());
+  EXPECT_GE(created, 1u);
+}
+
+TEST(LimitBrush, FileSizeCapIsCountedAndRecoverable) {
+  HemlockWorld world;
+  SharedFs& sfs = world.sfs();
+  Result<uint32_t> ino = sfs.Create("/big");
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> chunk(4096, 0xAB);
+  // Writing up to the cap is fine; one byte past it is ENOSPC-counted.
+  ASSERT_TRUE(
+      sfs.WriteAt(*ino, kSfsMaxFileBytes - static_cast<uint32_t>(chunk.size()), chunk.data(),
+                  static_cast<uint32_t>(chunk.size()))
+          .ok());
+  EXPECT_EQ(world.machine().metrics().Get("sfs.enospc"), 0u);
+  EXPECT_FALSE(
+      sfs.WriteAt(*ino, kSfsMaxFileBytes, chunk.data(), static_cast<uint32_t>(chunk.size()))
+          .ok());
+  EXPECT_EQ(world.machine().metrics().Get("sfs.enospc"), 1u);
+  EXPECT_FALSE(sfs.Truncate(*ino, kSfsMaxFileBytes + 1).ok());
+  EXPECT_EQ(world.machine().metrics().Get("sfs.enospc"), 2u);
+  // The file itself is intact at the cap.
+  Result<SfsStat> st = sfs.StatInode(*ino);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, kSfsMaxFileBytes);
 }
 
 }  // namespace

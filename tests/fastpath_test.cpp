@@ -377,7 +377,7 @@ const char kRacyWorker[] =
     "}\n";
 
 struct SweepOutcome {
-  RunStatus status;
+  SchedStatus status;
   std::vector<std::string> outs;
   std::vector<std::string> races;
   uint64_t ticks;
@@ -472,13 +472,215 @@ TEST(FastPathDifferential, MutexedProgramStaysCleanAcross16ChaosSeedsOnFastPath)
     params.policy = SchedPolicy::kRandom;
     params.seed = seed;
     params.quantum = 64;
-    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), RunStatus::kExited);
+    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), SchedStatus::kExited);
     RaceDetector* race = world.machine().race();
     ASSERT_NE(race, nullptr);
     EXPECT_FALSE(race->HasRaces()) << race->reports()[0].ToString();
     // The sweep exercised the block cache, not the reference loop.
     EXPECT_GT(world.machine().metrics().Get("vm.icache.hits"), 0u);
   }
+}
+
+// --- SMP: cross-core invalidation ---
+//
+// With --cores > 1 the per-process TLBs and block caches are poked from real host
+// threads: a kernel-side segment mutation on one core must *shoot down* every
+// sibling core (drain them out of guest execution) before host pointers move, and
+// a guest store into watched code pages must retire every core's stale blocks via
+// the shared code epoch. These are the multi-core variants of the TLB-staleness
+// and SMC cases above.
+
+// ldl's creation-pending rebuild rewrites a public segment through SharedFs::
+// WriteAt while sibling cores are mid-guest-execution with live TLB entries and
+// decoded blocks. The shootdown protocol (unique world lock) must fire, and every
+// process must still run to a correct exit. The rebuild is forced mid-SMP-run by
+// spawning the module's user from a running parent: the child's exec-time attach
+// (inside the sys_spawn syscall, on whichever core the parent holds) finds the
+// torn module and rebuilds it under the other cores' feet.
+TEST(FastPathSmp, LdlRebuildOnOneCoreShootsDownSiblings) {
+  HemlockWorld world;
+  world.machine().set_slow_interp(false);  // pin: CI sets HEMLOCK_SLOW_INTERP
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  (void)world.vfs().MkdirAll("/shm/lib");
+  ASSERT_TRUE(world.CompileTo(kCounterSrc, "/shm/lib/counter.o", no_prelude).ok());
+
+  // Build the module once (this warm run also arms the code-page watch on its
+  // segment), then mark it torn with a dead creator's lock: the next attacher
+  // breaks the lease and rebuilds in place.
+  Result<RunOutcome> warm =
+      world.RunProgram(kBumpProg, {{"counter.o", ShareClass::kDynamicPublic}});
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  Result<SfsStat> st = world.sfs().Stat("/lib/counter");
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(world.sfs().SetCreationPending(st->ino, true).ok());
+  ASSERT_TRUE(world.sfs().LockInode(st->ino, 9999).ok());
+
+  // The child links the torn module; the parents do not — their exec-time attach
+  // must leave the module alone so the rebuild happens only at spawn time.
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "extern int bump(void);\n"
+                      "int main(void) {\n"
+                      "  bump();\n"
+                      "  return 0;\n"
+                      "}\n",
+                      "/home/user/rebump.o")
+                  .ok());
+  LdsOptions child_lds;
+  child_lds.inputs.push_back({"/home/user/rebump.o", ShareClass::kStaticPrivate});
+  child_lds.inputs.push_back({"/shm/lib/counter.o", ShareClass::kDynamicPublic});
+  Result<LoadImage> child_image = world.Link(child_lds);
+  ASSERT_TRUE(child_image.ok()) << child_image.status().ToString();
+  ASSERT_TRUE(world.vfs().WriteFile("/home/user/rebump.hxe", child_image->Serialize()).ok());
+
+  // Four parents spin (filling their own block caches on every core), then one
+  // spawns the child whose startup rebuilds the segment.
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "int main(void) {\n"
+                      "  int i;\n"
+                      "  int pid;\n"
+                      "  for (i = 0; i < 5000; i += 1) {\n"
+                      "  }\n"
+                      "  pid = sys_spawn(\"/home/user/rebump.hxe\");\n"
+                      "  if (pid <= 0) { return 90; }\n"
+                      "  return sys_waitpid(pid);\n"
+                      "}\n",
+                      "/home/user/parent.o")
+                  .ok());
+  LdsOptions parent_lds;
+  parent_lds.inputs.push_back({"/home/user/parent.o", ShareClass::kStaticPrivate});
+  Result<LoadImage> parent_image = world.Link(parent_lds);
+  ASSERT_TRUE(parent_image.ok()) << parent_image.status().ToString();
+  InstallSpawnHandler(world.machine());
+  std::vector<int> pids;
+  for (int p = 0; p < 4; ++p) {
+    Result<ExecResult> run = world.Exec(*parent_image);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    pids.push_back(run->pid);
+  }
+  SchedParams params;
+  params.num_cores = 4;
+  params.quantum = 256;
+  ASSERT_EQ(world.machine().RunScheduled(params, 100'000'000), SchedStatus::kExited);
+  for (int pid : pids) {
+    Process* proc = world.machine().FindProcess(pid);
+    ASSERT_NE(proc, nullptr);
+    // waitpid round-trips the child's status: 0 only if bump() ran correctly
+    // against the rebuilt segment.
+    EXPECT_EQ(proc->exit_status(), 0);
+  }
+  // The rebuild completed: the module is whole again.
+  st = world.sfs().Stat("/lib/counter");
+  ASSERT_TRUE(st.ok());
+  const MetricsRegistry& metrics = world.machine().metrics();
+  // The rebuild ran while other cores were live: the kernel-side writes took the
+  // shootdown path, and the code-epoch bump retired the siblings' cached blocks.
+  EXPECT_GE(metrics.Get("vm.sched.shootdowns"), 1u);
+  EXPECT_GE(metrics.Get("vm.icache.invalidations"), 1u);
+}
+
+// Guest-store SMC across cores: a writer process patches a word inside a shared
+// function's code while reader processes on other cores call it. The phases are
+// ordered through a CAS flag (each phase boundary is a syscall, so every reader
+// re-looks-up its next block and must observe the bumped code epoch). The run is
+// pinned by differential identity: 4 real cores must produce byte-for-byte the
+// stdout the single-core reference produces.
+TEST(FastPathSmp, CrossCoreSmcMatchesSingleCoreReference) {
+  auto run_once = [](int cores) -> std::vector<std::string> {
+    HemlockWorld world;
+    world.machine().set_slow_interp(false);  // pin: CI sets HEMLOCK_SLOW_INTERP
+    CompileOptions no_prelude;
+    no_prelude.include_prelude = false;
+    (void)world.vfs().MkdirAll("/shm/lib");
+    EXPECT_TRUE(world
+                    .CompileTo("int phase = 0;\nint f(void) { return 12345; }\n",
+                               "/shm/lib/smc_db.o", no_prelude)
+                    .ok());
+    // The writer sees the function symbol as plain words (the linker is type-
+    // blind) and bumps the immediate inside the instruction that loads 12345 —
+    // scanned by its low half, so prologue layout doesn't matter.
+    EXPECT_TRUE(world
+                    .CompileTo(
+                        "extern int phase;\n"
+                        "extern int f[8];\n"
+                        "int main(void) {\n"
+                        "  int i;\n"
+                        "  while (sys_cas(&phase, 2, 2) != 2) {\n"
+                        "    sys_yield();\n"
+                        "  }\n"
+                        "  for (i = 0; i < 8; i += 1) {\n"
+                        "    if (f[i] % 65536 == 12345) {\n"
+                        "      f[i] = f[i] + 2;\n"
+                        "    }\n"
+                        "  }\n"
+                        "  sys_cas(&phase, 2, 3);\n"
+                        "  return 0;\n"
+                        "}\n",
+                        "/home/user/smc_writer.o")
+                    .ok());
+    EXPECT_TRUE(world
+                    .CompileTo(
+                        "extern int phase;\n"
+                        "extern int f(void);\n"
+                        "int main(void) {\n"
+                        "  int before;\n"
+                        "  int after;\n"
+                        "  before = f();\n"
+                        "  sys_cas(&phase, 0, 1);\n"
+                        "  sys_cas(&phase, 1, 2);\n"
+                        "  while (sys_cas(&phase, 3, 3) != 3) {\n"
+                        "    sys_yield();\n"
+                        "  }\n"
+                        "  after = f();\n"
+                        "  putint(before);\n"
+                        "  puts(\"->\");\n"
+                        "  putint(after);\n"
+                        "  puts(\"\\n\");\n"
+                        "  return 0;\n"
+                        "}\n",
+                        "/home/user/smc_reader.o")
+                    .ok());
+    auto link_one = [&](const char* obj) {
+      LdsOptions lds;
+      lds.inputs.push_back({obj, ShareClass::kStaticPrivate});
+      lds.inputs.push_back({"/shm/lib/smc_db.o", ShareClass::kDynamicPublic});
+      return world.Link(lds);
+    };
+    Result<LoadImage> writer = link_one("/home/user/smc_writer.o");
+    Result<LoadImage> reader = link_one("/home/user/smc_reader.o");
+    EXPECT_TRUE(writer.ok() && reader.ok());
+    std::vector<int> pids;
+    Result<ExecResult> r = world.Exec(*reader);
+    EXPECT_TRUE(r.ok());
+    pids.push_back(r->pid);
+    Result<ExecResult> w = world.Exec(*writer);
+    EXPECT_TRUE(w.ok());
+    pids.push_back(w->pid);
+    SchedParams params;
+    params.quantum = 128;
+    params.num_cores = cores;
+    EXPECT_EQ(world.machine().RunScheduled(params, 100'000'000), SchedStatus::kExited)
+        << "cores " << cores;
+    std::vector<std::string> outs;
+    for (int pid : pids) {
+      Process* proc = world.machine().FindProcess(pid);
+      EXPECT_NE(proc, nullptr);
+      outs.push_back(proc != nullptr ? proc->stdout_text() : "<gone>");
+    }
+    if (cores > 1) {
+      // The reader decoded f() before the patch; the writer's store must have
+      // retired those blocks, not raced past them.
+      EXPECT_GE(world.machine().metrics().Get("vm.icache.invalidations"), 1u);
+    }
+    return outs;
+  };
+  std::vector<std::string> reference = run_once(1);
+  std::vector<std::string> smp = run_once(4);
+  EXPECT_EQ(reference, smp) << "SMC visibility diverged between 1 and 4 cores";
+  ASSERT_EQ(reference.size(), 2u);
+  EXPECT_EQ(reference[0], "12345->12347\n");
 }
 
 }  // namespace

@@ -166,7 +166,7 @@ TEST(IntegrationTest, LiveClientServerThroughSharedMailbox) {
     client_pids.push_back(cli->pid);
   }
   // Everyone runs together; the server exits after serving all three.
-  ASSERT_TRUE(world.machine().RunAll(200'000'000));
+  ASSERT_EQ(world.machine().RunScheduled(SchedParams{}, 200'000'000), SchedStatus::kExited);
   for (size_t i = 0; i < client_pids.size(); ++i) {
     Process* proc = world.machine().FindProcess(client_pids[i]);
     ASSERT_NE(proc, nullptr);
@@ -344,7 +344,8 @@ TEST(IntegrationTest, RoundRobinRunsCpuBoundProcessesFairly) {
   Result<ExecResult> a = world.Exec(*image);
   Result<ExecResult> b = world.Exec(*image);
   ASSERT_TRUE(a.ok() && b.ok());
-  ASSERT_TRUE(world.machine().RunAll(100'000'000, /*quantum=*/1000));
+  ASSERT_EQ(world.machine().RunScheduled(SchedParams{.quantum = 1000}, 100'000'000),
+            SchedStatus::kExited);
   EXPECT_EQ(world.machine().FindProcess(a->pid)->exit_status(), 7);
   EXPECT_EQ(world.machine().FindProcess(b->pid)->exit_status(), 7);
 }

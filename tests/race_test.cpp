@@ -205,7 +205,7 @@ TEST(RaceEndToEnd, PlantedRacyProgramIsFlaggedWithPathAndPcs) {
 
   SchedParams params;
   params.quantum = 64;  // interleave inside the read-yield-write window
-  ASSERT_EQ(world.machine().RunScheduled(params, 100'000'000), RunStatus::kExited);
+  ASSERT_EQ(world.machine().RunScheduled(params, 100'000'000), SchedStatus::kExited);
 
   RaceDetector* race = world.machine().race();
   ASSERT_NE(race, nullptr);
@@ -261,7 +261,7 @@ TEST(RaceEndToEnd, MutexedProgramIsCleanAcross16ChaosSeeds) {
     params.policy = SchedPolicy::kRandom;
     params.seed = seed;
     params.quantum = 64;
-    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), RunStatus::kExited)
+    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), SchedStatus::kExited)
         << "seed " << seed;
     RaceDetector* race = world.machine().race();
     ASSERT_NE(race, nullptr);
@@ -282,7 +282,7 @@ TEST(RaceEndToEnd, RacyRwhoDeploymentIsFlagged) {
   config.sched.quantum = 64;
   Result<RwhoHemcOutcome> out = RunRwhoHemc(world, config);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(out->run_status, RunStatus::kExited);
+  EXPECT_EQ(out->run_status, SchedStatus::kExited);
   RaceDetector* race = world.machine().race();
   ASSERT_NE(race, nullptr);
   ASSERT_TRUE(race->HasRaces());

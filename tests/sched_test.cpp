@@ -2,7 +2,9 @@
 // isolation, ParseSchedSpec, and the Machine-level behaviours the subsystem
 // promises — waiting processes are never polled, unsatisfiable waits are reported
 // as deadlock (not budget exhaustion), and chaos scheduling is a pure function of
-// its seed.
+// its seed. The SMP section covers the per-core run queues (placement, stealing,
+// re-homing), multi-core RunScheduled correctness, and the 16-seed differential
+// sweep that pins --cores=4 guest results to the --cores=1 reference.
 #include "src/kernel/scheduler.h"
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/sync.h"
 #include "src/runtime/world.h"
 #include "src/vm/machine.h"
 
@@ -177,8 +180,8 @@ TEST(RunScheduled, FutexWaitWithNoWakerIsDeadlock) {
   ASSERT_TRUE(run.ok()) << run.status().ToString();
 
   SchedParams params;
-  RunStatus status = world.machine().RunScheduled(params, 10'000'000);
-  EXPECT_EQ(status, RunStatus::kDeadlock);
+  SchedStatus status = world.machine().RunScheduled(params, 10'000'000);
+  EXPECT_EQ(status, SchedStatus::kDeadlock);
   EXPECT_GE(world.machine().metrics().Get("vm.sched.deadlocks"), 1u);
   // The waiter was parked, not polled: it is still kWaiting on the futex.
   Process* proc = world.machine().FindProcess(run->pid);
@@ -230,8 +233,8 @@ TEST(RunScheduled, WaitingProcessIsNotPolled) {
 
   SchedParams params;
   params.quantum = 64;  // force many dispatch decisions while the waiter is parked
-  RunStatus status = world.machine().RunScheduled(params, 50'000'000);
-  EXPECT_EQ(status, RunStatus::kExited);
+  SchedStatus status = world.machine().RunScheduled(params, 50'000'000);
+  EXPECT_EQ(status, SchedStatus::kExited);
 
   Process* waiter_proc = world.machine().FindProcess(waiter->pid);
   ASSERT_NE(waiter_proc, nullptr);
@@ -264,7 +267,7 @@ TEST(RunScheduled, SmallQuantumCountsPreemptions) {
   ASSERT_TRUE(world.Exec(*image).ok());
   SchedParams params;
   params.quantum = 32;
-  EXPECT_EQ(world.machine().RunScheduled(params, 50'000'000), RunStatus::kExited);
+  EXPECT_EQ(world.machine().RunScheduled(params, 50'000'000), SchedStatus::kExited);
   // A 2000-iteration loop is far more than 100 quanta of 32 steps each.
   EXPECT_GT(world.machine().metrics().Get("vm.sched.preemptions"), 100u);
 }
@@ -304,7 +307,7 @@ TEST(RunScheduled, ChaosScheduleIsReproducible) {
     params.policy = SchedPolicy::kRandom;
     params.seed = seed;
     params.quantum = 128;
-    EXPECT_EQ(world.machine().RunScheduled(params, 100'000'000), RunStatus::kExited);
+    EXPECT_EQ(world.machine().RunScheduled(params, 100'000'000), SchedStatus::kExited);
     Result<uint32_t> addr = first->ldl->LookupRootSymbol("counter");
     EXPECT_TRUE(addr.ok());
     uint32_t value = 0;
@@ -315,6 +318,226 @@ TEST(RunScheduled, ChaosScheduleIsReproducible) {
   };
   EXPECT_EQ(run_once(9), run_once(9));
   EXPECT_EQ(run_once(31), run_once(31));
+}
+
+// --- SMP: per-core run queues ---
+
+TEST(SchedulerSmp, FirstSightingPlacesRoundRobinAcrossCores) {
+  Scheduler s;
+  s.ConfigureCores(2);
+  for (int pid = 1; pid <= 4; ++pid) {
+    s.Enqueue(pid, 0);
+  }
+  EXPECT_EQ(s.CoreOf(1), 0);
+  EXPECT_EQ(s.CoreOf(2), 1);
+  EXPECT_EQ(s.CoreOf(3), 0);
+  EXPECT_EQ(s.CoreOf(4), 1);
+  // Each core drains its own queue FIFO.
+  EXPECT_EQ(s.PickNextOnCore(0), 1);
+  EXPECT_EQ(s.PickNextOnCore(1), 2);
+  EXPECT_EQ(s.PickNextOnCore(0), 3);
+  EXPECT_EQ(s.PickNextOnCore(1), 4);
+  EXPECT_EQ(s.PickNextOnCore(0), -1);
+}
+
+TEST(SchedulerSmp, DryCoreStealsFromSiblingAndRehomes) {
+  Scheduler s;
+  s.ConfigureCores(4);
+  // Round-robin placement: 10 -> core 0, 20 -> core 1, 30 -> core 2; core 3 dry.
+  for (int pid : {10, 20, 30}) {
+    s.Enqueue(pid, 0);
+  }
+  ASSERT_EQ(s.CoreOf(10), 0);
+  ASSERT_EQ(s.CoreOf(20), 1);
+  // Core 3 has nothing of its own: it steals from a loaded sibling, and the
+  // stolen pid is re-homed to the thief (its next wake lands on core 3).
+  int stolen = s.PickNextOnCore(3);
+  ASSERT_NE(stolen, -1);
+  EXPECT_EQ(s.CoreOf(stolen), 3);
+  // The victim's queue lost exactly the stolen pid; the other two still drain
+  // from their own cores.
+  std::vector<int> rest;
+  for (int c = 0; c < 4; ++c) {
+    int pid;
+    while ((pid = s.PickNextOnCore(c)) != -1) {
+      rest.push_back(pid);
+    }
+  }
+  EXPECT_EQ(rest.size(), 2u);
+}
+
+TEST(SchedulerSmp, ConfigureCoresPreservesQueuedPids) {
+  Scheduler s;
+  for (int pid = 1; pid <= 6; ++pid) {
+    s.Enqueue(pid, 0);
+  }
+  s.ConfigureCores(3);
+  EXPECT_EQ(s.ReadyCount(), 6u);
+  std::vector<int> picked;
+  for (int c = 0; c < 3; ++c) {
+    int pid;
+    while ((pid = s.PickNextOnCore(c)) != -1) {
+      picked.push_back(pid);
+    }
+  }
+  EXPECT_EQ(picked.size(), 6u);
+  // Back to one core: the legacy single-queue structure returns.
+  s.ConfigureCores(1);
+  s.Enqueue(7, 0);
+  EXPECT_EQ(s.PickNext(), 7);
+}
+
+// --- SMP: Machine-level multi-core runs ---
+
+TEST(RunScheduledSmp, FourProcessesOnFourCoresRunToExit) {
+  HemlockWorld world;
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "int main() {\n"
+                      "  int i;\n"
+                      "  for (i = 0; i < 20000; i += 1) {\n"
+                      "  }\n"
+                      "  puts(\"spun\\n\");\n"
+                      "  return 0;\n"
+                      "}\n",
+                      "/home/user/spin4.o")
+                  .ok());
+  LdsOptions lds;
+  lds.inputs.push_back({"/home/user/spin4.o", ShareClass::kStaticPrivate});
+  Result<LoadImage> image = world.Link(lds);
+  ASSERT_TRUE(image.ok());
+  std::vector<int> pids;
+  for (int p = 0; p < 4; ++p) {
+    Result<ExecResult> run = world.Exec(*image);
+    ASSERT_TRUE(run.ok());
+    pids.push_back(run->pid);
+  }
+  SchedParams params;
+  params.num_cores = 4;
+  params.quantum = 1024;
+  EXPECT_EQ(world.machine().RunScheduled(params, 50'000'000), SchedStatus::kExited);
+  uint64_t dispatches = 0;
+  for (int pid : pids) {
+    Process* proc = world.machine().FindProcess(pid);
+    ASSERT_NE(proc, nullptr);
+    EXPECT_EQ(proc->exit_status(), 0);
+    EXPECT_EQ(proc->stdout_text(), "spun\n");
+  }
+  for (int c = 0; c < 4; ++c) {
+    dispatches +=
+        world.machine().metrics().Get("vm.sched.core." + std::to_string(c) + ".dispatches");
+  }
+  EXPECT_GE(dispatches, 4u);  // every process was dispatched on *some* core
+}
+
+TEST(RunScheduledSmp, DeadlockIsDetectedAtFourCores) {
+  HemlockWorld world;
+  CompileOptions no_prelude;
+  no_prelude.include_prelude = false;
+  ASSERT_TRUE(world.CompileTo("int parked4 = 0;\n", "/shm/lib/park4_db.o", no_prelude).ok());
+  ASSERT_TRUE(world
+                  .CompileTo(
+                      "extern int parked4;\n"
+                      "int main() {\n"
+                      "  sys_futex_wait(&parked4, 0);\n"
+                      "  return 0;\n"
+                      "}\n",
+                      "/home/user/parker4.o")
+                  .ok());
+  LdsOptions lds;
+  lds.inputs.push_back({"/home/user/parker4.o", ShareClass::kStaticPrivate});
+  lds.inputs.push_back({"/shm/lib/park4_db.o", ShareClass::kDynamicPublic});
+  Result<LoadImage> image = world.Link(lds);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  for (int p = 0; p < 2; ++p) {
+    ASSERT_TRUE(world.Exec(*image).ok());
+  }
+  SchedParams params;
+  params.num_cores = 4;
+  // All cores must drain (no one is running or ready, waiters exist) before the
+  // kernel may declare deadlock — a still-running sibling could yet wake them.
+  EXPECT_EQ(world.machine().RunScheduled(params, 10'000'000), SchedStatus::kDeadlock);
+  EXPECT_GE(world.machine().metrics().Get("vm.sched.deadlocks"), 1u);
+}
+
+// The acceptance sweep: for 16 seeds, a fully synchronized counter workload must
+// produce byte-identical guest output whether it runs on 1 core (the reference
+// interleaved dispatch) or 4 real host threads. Each process bumps the shared
+// counter 50 times under the hem_mutex, then waits (under the lock) until every
+// process's bumps have landed, and prints the final value — so any lost update,
+// stale TLB read, or torn store shows up as a wrong byte in stdout.
+TEST(RunScheduledSmp, SixteenSeedDifferentialSweepMatchesSingleCore) {
+  constexpr int kProcs = 4;  // x 50 bumps each: every process waits for 200
+  auto run_once = [&](uint64_t seed, int cores) -> std::vector<std::string> {
+    HemlockWorld world;
+    EXPECT_TRUE(InstallHemSync(world).ok());
+    CompileOptions no_prelude;
+    no_prelude.include_prelude = false;
+    EXPECT_TRUE(world
+                    .CompileTo("int lock = 0;\nint counter = 0;\n", "/shm/lib/sweep_db.o",
+                               no_prelude)
+                    .ok());
+    std::string src = HemSyncDecls() +
+                      "extern int lock;\n"
+                      "extern int counter;\n"
+                      "int main() {\n"
+                      "  int i;\n"
+                      "  int seen;\n"
+                      "  for (i = 0; i < 50; i += 1) {\n"
+                      "    hem_mutex_lock(&lock);\n"
+                      "    counter = counter + 1;\n"
+                      "    hem_mutex_unlock(&lock);\n"
+                      "  }\n"
+                      "  hem_mutex_lock(&lock);\n"
+                      "  seen = counter;\n"
+                      "  hem_mutex_unlock(&lock);\n"
+                      "  while (seen != 200) {\n"
+                      "    sys_yield();\n"
+                      "    hem_mutex_lock(&lock);\n"
+                      "    seen = counter;\n"
+                      "    hem_mutex_unlock(&lock);\n"
+                      "  }\n"
+                      "  puts(\"counter=\");\n"
+                      "  putint(seen);\n"
+                      "  puts(\"\\n\");\n"
+                      "  return 0;\n"
+                      "}\n";
+    EXPECT_TRUE(world.CompileTo(src, "/home/user/sweep.o").ok());
+    LdsOptions lds;
+    lds.inputs.push_back({"/home/user/sweep.o", ShareClass::kStaticPrivate});
+    lds.inputs.push_back({"/shm/lib/sweep_db.o", ShareClass::kDynamicPublic});
+    lds.inputs.push_back({"/shm/lib/hemsync.o", ShareClass::kDynamicPublic});
+    Result<LoadImage> image = world.Link(lds);
+    EXPECT_TRUE(image.ok()) << image.status().ToString();
+    std::vector<int> pids;
+    for (int p = 0; p < kProcs; ++p) {
+      Result<ExecResult> run = world.Exec(*image);
+      EXPECT_TRUE(run.ok());
+      pids.push_back(run->pid);
+    }
+    SchedParams params;
+    params.policy = SchedPolicy::kRandom;
+    params.seed = seed;
+    params.quantum = 128;
+    params.num_cores = cores;
+    EXPECT_EQ(world.machine().RunScheduled(params, 400'000'000), SchedStatus::kExited)
+        << "seed " << seed << " cores " << cores;
+    std::vector<std::string> outputs;
+    for (int pid : pids) {
+      Process* proc = world.machine().FindProcess(pid);
+      EXPECT_NE(proc, nullptr);
+      outputs.push_back(proc != nullptr ? proc->stdout_text() : "<gone>");
+    }
+    return outputs;
+  };
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    std::vector<std::string> reference = run_once(seed, 1);
+    std::vector<std::string> smp = run_once(seed, 4);
+    EXPECT_EQ(reference, smp) << "guest output diverged under seed " << seed;
+    for (const std::string& out : reference) {
+      EXPECT_EQ(out, "counter=200\n") << "seed " << seed;
+    }
+  }
 }
 
 }  // namespace

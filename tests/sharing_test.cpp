@@ -182,7 +182,7 @@ TEST_F(SharingTest, ConcurrentProcessesShareLiveSegment) {
   Result<ExecResult> r = world_.Exec(*reader);
   Result<ExecResult> w = world_.Exec(*writer);
   ASSERT_TRUE(r.ok() && w.ok());
-  ASSERT_TRUE(world_.machine().RunAll(50'000'000));
+  ASSERT_EQ(world_.machine().RunScheduled(SchedParams{}, 50'000'000), SchedStatus::kExited);
   EXPECT_EQ(world_.machine().FindProcess(r->pid)->stdout_text(), "saw it\n");
 }
 

@@ -104,7 +104,7 @@ TEST(HemMutex, NoLostUpdatesAcross16ChaosSeeds) {
     params.policy = SchedPolicy::kRandom;
     params.seed = seed;
     params.quantum = 64;
-    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), RunStatus::kExited)
+    ASSERT_EQ(world.machine().RunScheduled(params, 200'000'000), SchedStatus::kExited)
         << "seed " << seed;
     // Whichever process finishes last sees the full count: 100 % 101 == 100.
     Process* last = world.machine().FindProcess(b->pid);
@@ -173,7 +173,7 @@ TEST(HemBarrier, AllProcessesCrossTogether) {
   }
   SchedParams params;
   params.quantum = 64;
-  EXPECT_EQ(world.machine().RunScheduled(params, 200'000'000), RunStatus::kExited);
+  EXPECT_EQ(world.machine().RunScheduled(params, 200'000'000), SchedStatus::kExited);
   for (int pid : pids) {
     Process* proc = world.machine().FindProcess(pid);
     ASSERT_NE(proc, nullptr);
@@ -239,7 +239,7 @@ TEST(HemCond, ProducerWakesConsumer) {
 
   SchedParams params;
   params.quantum = 128;
-  EXPECT_EQ(world.machine().RunScheduled(params, 200'000'000), RunStatus::kExited);
+  EXPECT_EQ(world.machine().RunScheduled(params, 200'000'000), SchedStatus::kExited);
   Process* consumer_proc = world.machine().FindProcess(consumer_run->pid);
   ASSERT_NE(consumer_proc, nullptr);
   EXPECT_EQ(consumer_proc->exit_status(), 33);
@@ -273,7 +273,7 @@ TEST(SpawnWaitpid, ExitStatusRoundTrip) {
   Result<ExecResult> parent = world.Exec(*parent_image);
   ASSERT_TRUE(parent.ok());
   SchedParams params;
-  EXPECT_EQ(world.machine().RunScheduled(params, 50'000'000), RunStatus::kExited);
+  EXPECT_EQ(world.machine().RunScheduled(params, 50'000'000), SchedStatus::kExited);
   Process* parent_proc = world.machine().FindProcess(parent->pid);
   ASSERT_NE(parent_proc, nullptr);
   EXPECT_EQ(parent_proc->exit_status(), 23);
@@ -314,7 +314,7 @@ TEST(LdlBlocking, BlockedWaiterAttachesAfterHolderExits) {
     ASSERT_TRUE(warm.ok()) << warm.status().ToString();
     Result<ExecResult> run = world.Exec(*warm);
     ASSERT_TRUE(run.ok());
-    ASSERT_EQ(world.machine().RunProcess(run->pid), RunStatus::kExited);
+    ASSERT_EQ(world.machine().RunProcess(run->pid), SchedStatus::kExited);
   }
 
   // moda: reached at startup, but its reference into modb resolves only at fault
@@ -372,7 +372,7 @@ TEST(LdlBlocking, BlockedWaiterAttachesAfterHolderExits) {
 
   SchedParams params;
   params.quantum = 256;
-  ASSERT_EQ(world.machine().RunScheduled(params, 100'000'000), RunStatus::kExited);
+  ASSERT_EQ(world.machine().RunScheduled(params, 100'000'000), SchedStatus::kExited);
 
   Process* waiter_proc = world.machine().FindProcess(waiter->pid);
   ASSERT_NE(waiter_proc, nullptr);
@@ -396,7 +396,7 @@ TEST(RwhoHemc, LockedDeploymentRunsClean) {
   config.sched.quantum = 256;
   Result<RwhoHemcOutcome> out = RunRwhoHemc(world, config);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(out->run_status, RunStatus::kExited);
+  EXPECT_EQ(out->run_status, SchedStatus::kExited);
   EXPECT_EQ(out->daemon_status, 0);
   ASSERT_EQ(out->client_statuses.size(), 2u);
   for (int status : out->client_statuses) {

@@ -173,5 +173,37 @@ TEST_F(ToolsTest, HemdumpCheckCleanImageAndBadSpecs) {
   EXPECT_EQ(Run(base + " --faults sfs.write=explode", &out), 2);
 }
 
+TEST_F(ToolsTest, HemrunCoresRunsScheduledSmp) {
+  WriteSource("spin.hc", R"(
+    int main(void) {
+      int i;
+      for (i = 0; i < 10000; i += 1) {
+      }
+      puts("done\n");
+      return 0;
+    }
+  )");
+  std::string out;
+  int status = Run(hemrun_ + " --procs 4 --cores 4 " + dir_ + "/spin.hc", &out);
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(out, "done\ndone\ndone\ndone\n");
+  // Rejected core counts fail with a usage error before running anything.
+  EXPECT_EQ(Run(hemrun_ + " --cores 0 " + dir_ + "/spin.hc", &out), 2);
+  EXPECT_EQ(Run(hemrun_ + " --cores 65 " + dir_ + "/spin.hc", &out), 2);
+}
+
+TEST_F(ToolsTest, HemrunStatsReportsSfsPressureCounters) {
+  WriteSource("hello.hc", "int main(void) { return 0; }");
+  std::string out;
+  // --stats goes to stderr; capture it alongside stdout.
+  std::string capture = dir_ + "/stats.txt";
+  int status = ::system((hemrun_ + " --stats " + dir_ + "/hello.hc > /dev/null 2> " + capture)
+                            .c_str());
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::ifstream in(capture);
+  std::string err((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(err.find("sfs: 0 enospc, 0 inode_exhausted"), std::string::npos) << err;
+}
+
 }  // namespace
 }  // namespace hemlock

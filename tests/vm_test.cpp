@@ -450,7 +450,8 @@ TEST(MachineTest, RunAllDetectsDeadlock) {
   Result<ExecResult> p1 = world.Exec(*image);
   Result<ExecResult> p2 = world.Exec(*image);
   ASSERT_TRUE(p1.ok() && p2.ok());
-  EXPECT_FALSE(world.machine().RunAll(2'000'000)) << "budget-bounded, not hung";
+  EXPECT_EQ(world.machine().RunScheduled(SchedParams{}, 2'000'000), SchedStatus::kOutOfGas)
+      << "budget-bounded, not hung";
   EXPECT_EQ(world.machine().LiveProcessCount(), 2);
 }
 

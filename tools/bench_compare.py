@@ -13,6 +13,14 @@ not:
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
                                                    [--min-speedup 3.0]
+       bench_compare.py --smp-scaling CONTENTION.json [--min-smp-scaling 2.0]
+
+The second form gates the SMP cores-vs-throughput curve exported by
+bench_contention's BM_SmpScaling rows: the cores=4 instruction rate must be at
+least --min-smp-scaling times the cores=1 rate. The gate reads the host CPU
+count from the JSON context and relaxes itself when the box cannot physically
+show the scaling (halved floor on 2-3 CPUs, recorded-but-not-gated on 1).
+
 Exits nonzero on any regression; prints one line per comparison.
 """
 
@@ -43,13 +51,60 @@ def within(old, new, tolerance):
     return abs(new - old) <= tolerance * abs(old)
 
 
+def check_smp_scaling(path, min_scaling):
+    """Gates the BM_SmpScaling cores-vs-throughput curve in |path|."""
+    with open(path) as f:
+        data = json.load(f)
+    num_cpus = data.get("context", {}).get("num_cpus", 1)
+    benches = {b["name"]: b for b in data.get("benchmarks", [])}
+
+    def rate(cores):
+        for name, b in benches.items():
+            if name.startswith(f"BM_SmpScaling/{cores}"):
+                return b.get("items_per_second")
+        return None
+
+    one, four = rate(1), rate(4)
+    if one is None or four is None or one <= 0:
+        print("FAIL BM_SmpScaling: cores=1/cores=4 rows missing from "
+              f"{path}", file=sys.stderr)
+        return 1
+    ratio = four / one
+    if num_cpus >= 4:
+        floor = min_scaling
+    elif num_cpus >= 2:
+        floor = min_scaling / 2  # the host has half the cores the guest asked for
+    else:
+        print(f"skip BM_SmpScaling: host has {num_cpus} cpu(s); curve recorded "
+              f"(cores=4 / cores=1 = {ratio:.2f}x) but not gated")
+        return 0
+    ok = ratio >= floor
+    print(f"{'ok  ' if ok else 'FAIL'} BM_SmpScaling: cores=4 {four:.4g} insn/s "
+          f"vs cores=1 {one:.4g} insn/s -> {ratio:.2f}x "
+          f"(floor {floor:.2f}x, host cpus {num_cpus})")
+    if not ok:
+        print(f"\nSMP scaling {ratio:.2f}x below floor {floor:.2f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--smp-scaling", metavar="CONTENTION_JSON",
+                        help="gate the BM_SmpScaling curve in this file instead "
+                             "of comparing against a baseline")
+    parser.add_argument("--min-smp-scaling", type=float, default=2.0)
     args = parser.parse_args()
+
+    if args.smp_scaling:
+        return check_smp_scaling(args.smp_scaling, args.min_smp_scaling)
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required unless --smp-scaling is given")
 
     base = load_benchmarks(args.baseline)
     cur = load_benchmarks(args.current)

@@ -25,6 +25,9 @@
 //                              exits 42 — run `hemdump check` or just rerun to recover
 //   --procs N                  run N copies of the program as scheduled processes
 //   --quantum Q                preemption quantum in instructions (default 4096)
+//   --cores N                  drive the scheduled run on N host worker threads
+//                              (true SMP: per-core run queues with work stealing;
+//                              1 = the reference single-threaded dispatch order)
 //   --sched rr|random[:SEED]   scheduling policy: round-robin, or seeded-random
 //                              ("chaos") interleaving for flushing out races
 //   --race                     enable the shared-region race detector; reports go to
@@ -33,8 +36,9 @@
 //   --slow-interp              reference decode-every-step interpreter (differential
 //                              runs; must behave identically to the fast path)
 //
-// Any of --procs/--quantum/--sched/--race selects the scheduled (preemptive) run
-// mode; without them a single process runs to completion uninterrupted.
+// Any of --procs/--quantum/--cores/--sched/--race selects the scheduled
+// (preemptive) run mode; without them a single process runs to completion
+// uninterrupted.
 //
 // Exit codes:
 //   0-41, 43+  the program's own exit status (process 1's, in scheduled mode)
@@ -103,7 +107,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--metrics]\n"
                "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
-               "              [--procs n] [--quantum q] [--sched rr|random[:seed]]\n"
+               "              [--procs n] [--quantum q] [--cores n]\n"
+               "              [--sched rr|random[:seed]]\n"
                "              [--race] [--race-sample n] [--slow-interp]\n"
                "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
                "               --dynamic-private f.hc]... <main.hc>\n");
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
   bool slow_interp = false;
   uint32_t race_sample = 1;
   long procs = 1;
+  long cores = 1;
   uint64_t quantum = 0;
   std::string sched_spec;
 
@@ -187,6 +193,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--quantum") {
       const char* q = next();
       if (q == nullptr || (quantum = std::strtoull(q, nullptr, 10)) == 0) {
+        return Usage();
+      }
+      scheduled = true;
+    } else if (arg == "--cores") {
+      const char* n = next();
+      if (n == nullptr || (cores = std::strtol(n, nullptr, 10)) < 1 || cores > 64) {
         return Usage();
       }
       scheduled = true;
@@ -387,6 +399,7 @@ int main(int argc, char** argv) {
   if (quantum != 0) {
     sched.quantum = quantum;
   }
+  sched.num_cores = static_cast<int>(cores);
   if (race) {
     RaceOptions ropts;
     ropts.sample_period = race_sample;
@@ -418,17 +431,17 @@ int main(int argc, char** argv) {
       }
       pids.push_back(extra->pid);
     }
-    RunStatus outcome = world.machine().RunScheduled(sched, 200'000'000);
+    SchedStatus outcome = world.machine().RunScheduled(sched, 200'000'000);
     for (int pid : pids) {
       Process* proc = world.machine().FindProcess(pid);
       if (proc != nullptr) {
         std::fputs(proc->stdout_text().c_str(), stdout);
       }
     }
-    if (outcome == RunStatus::kDeadlock) {
+    if (outcome == SchedStatus::kDeadlock) {
       std::fprintf(stderr, "hemrun: deadlock — all processes blocked\n");
       run_exit = 3;
-    } else if (outcome != RunStatus::kExited) {
+    } else if (outcome != SchedStatus::kExited) {
       std::fprintf(stderr, "hemrun: step budget exhausted\n");
       run_exit = 4;
     }
@@ -465,6 +478,13 @@ int main(int argc, char** argv) {
                  report.modules_linked, report.trampolines, report.pending_relocs,
                  s.modules_located, s.publics_created, s.publics_attached, s.link_faults,
                  s.map_faults, s.relocs_applied);
+    // Resource-pressure counters: a run that brushed the partition's limits shows
+    // it here even when every individual syscall recovered.
+    MetricsSnapshot snap = world.machine().metrics().Snapshot();
+    std::fprintf(stderr, "[hemrun] sfs: %llu enospc, %llu inode_exhausted\n",
+                 static_cast<unsigned long long>(snap.count("sfs.enospc") ? snap.at("sfs.enospc") : 0),
+                 static_cast<unsigned long long>(
+                     snap.count("sfs.inode_exhausted") ? snap.at("sfs.inode_exhausted") : 0));
   }
   if (metrics) {
     MetricsSnapshot merged = world.machine().metrics().Snapshot();
