@@ -166,4 +166,14 @@ uint32_t Crc32(const void* data, size_t n) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed) {
+  uint64_t h = seed;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 }  // namespace hemlock

@@ -44,6 +44,13 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 // CRC-32 (IEEE, reflected) over |n| bytes — used to detect torn index/state writes.
 uint32_t Crc32(const void* data, size_t n);
 
+// FNV-1a, 64-bit — the content-identity hash behind stable linking (module
+// templates, load images, resolution manifests). Not cryptographic: it detects
+// drift, it does not defend against collisions crafted by an adversary. |seed|
+// chains hashes (pass a previous digest to mix more data in).
+inline constexpr uint64_t kFnv1a64Seed = 0xCBF29CE484222325ull;
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed = kFnv1a64Seed);
+
 }  // namespace hemlock
 
 #endif  // SRC_BASE_STRINGS_H_

@@ -161,10 +161,21 @@ class Scheduler {
   // Per-core run queues (SMP mode; empty while num_cores_ == 1).
   struct CoreQueue {
     ReadyQueue ready;
-    uint64_t* dispatches;
-    uint64_t* steals;
-    uint64_t* ticks;
+    // Per-core fallback cells, used until SetMetrics registers the real
+    // "vm.sched.core.<n>.*" counters. One cell per counter *per core* — the old
+    // shared |scratch_| fallback silently aggregated every core into one cell,
+    // so per-core numbers were garbage whenever metrics arrived late (or never).
+    // SetMetrics migrates accumulated fallback values into the registry.
+    uint64_t local_dispatches = 0;
+    uint64_t local_steals = 0;
+    uint64_t local_ticks = 0;
+    uint64_t* dispatches = nullptr;
+    uint64_t* steals = nullptr;
+    uint64_t* ticks = nullptr;
   };
+  // Points |core|'s counter handles at the registry (when available) or at the
+  // core's own fallback cells — never at shared storage.
+  void BindCoreCounters(int core, CoreQueue* q);
   int num_cores_ = 1;
   std::vector<CoreQueue> cores_;
   std::map<int, int> affinity_;  // pid -> core it last ran (or was placed) on

@@ -262,6 +262,7 @@ std::vector<uint8_t> LinkedModule::SerializeFile() const {
   WritePending(&w, pending);
   WriteStringList(&w, module_list);
   WriteStringList(&w, search_path);
+  w.U64(template_hash);
   std::vector<uint8_t> trailer = w.Take();
   uint32_t trailer_off = mapped;
   file.insert(file.end(), trailer.begin(), trailer.end());
@@ -311,6 +312,15 @@ Result<LinkedModule> LinkedModule::DeserializeFile(const std::vector<uint8_t>& b
   RETURN_IF_ERROR(ReadPending(&r, &mod.pending));
   RETURN_IF_ERROR(ReadStringList(&r, &mod.module_list));
   RETURN_IF_ERROR(ReadStringList(&r, &mod.search_path));
+  // The content-hash field postdates the format. Exactly one u64 may follow the
+  // search path (files from before the field carry none and hash to 0, which never
+  // matches a manifest entry); any other remainder is still trailing garbage.
+  if (!r.AtEnd()) {
+    if (r.remaining() != 8) {
+      return r.ExpectEnd("HML trailer");
+    }
+    ASSIGN_OR_RETURN(mod.template_hash, r.U64());
+  }
   RETURN_IF_ERROR(r.ExpectEnd("HML trailer"));
   if (mod.text_size > kSfsMaxFileBytes || mod.data_size > kSfsMaxFileBytes ||
       mod.bss_size > kSfsMaxFileBytes) {

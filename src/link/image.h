@@ -110,6 +110,11 @@ struct LinkedModule {
   std::vector<PendingReloc> pending;
   std::vector<std::string> module_list;   // scoped linking: this module's own list
   std::vector<std::string> search_path;   // ... and its own search path
+  // Content identity assigned by LinkModuleAtBase (a digest of the template and the
+  // base address). Stable across trailer rewrites — ldl's resolution-manifest entries
+  // are keyed by it, so a relinked-from-changed-content module invalidates them.
+  // 0 = pre-hash file (never matches a manifest entry).
+  uint64_t template_hash = 0;
 
   uint32_t MemSize() const { return text_size + data_size + bss_size; }
   bool FullyLinked() const { return pending.empty(); }

@@ -8,6 +8,7 @@
 #include "src/link/search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <set>
 
@@ -48,6 +49,11 @@ Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
   c_cache_misses_ = metrics_.Counter("ldl.cache_misses");
   c_scope_walks_ = metrics_.Counter("ldl.scope_walks");
   c_root_lookups_ = metrics_.Counter("ldl.root_lookups");
+  c_manifest_hits_ = metrics_.Counter("ldl.manifest.hits");
+  c_manifest_misses_ = metrics_.Counter("ldl.manifest.misses");
+  c_manifest_rebuilds_ = metrics_.Counter("ldl.manifest.rebuilds");
+  c_manifest_rejected_ = metrics_.Counter("ldl.manifest.rejected");
+  c_startup_ns_ = metrics_.Counter("ldl.startup_ns");
   for (const AbsSymbol& sym : image_.symbols) {
     image_syms_.emplace(sym.name, sym);
     root_index_.emplace(sym.name, sym.addr);
@@ -73,6 +79,10 @@ LdlStats Ldl::stats() const {
   s.lookups = static_cast<uint32_t>(*c_lookups_);
   s.cache_hits = static_cast<uint32_t>(*c_cache_hits_);
   s.cache_misses = static_cast<uint32_t>(*c_cache_misses_);
+  s.manifest_hits = static_cast<uint32_t>(*c_manifest_hits_);
+  s.manifest_misses = static_cast<uint32_t>(*c_manifest_misses_);
+  s.manifest_rebuilds = static_cast<uint32_t>(*c_manifest_rebuilds_);
+  s.manifest_rejected = static_cast<uint32_t>(*c_manifest_rejected_);
   return s;
 }
 
@@ -109,6 +119,12 @@ int Ldl::FindModuleAt(uint32_t addr) const {
 void Ldl::InvalidateNegativeCaches() {
   for (RtModule& m : modules_) {
     m.scope_negative.clear();
+    // Negative dep_cache entries (-1: locate failed) go with them — a freshly
+    // registered module may be exactly the dependency that could not be found.
+    // Positive entries are stable (a located module never un-registers).
+    for (auto it = m.dep_cache.begin(); it != m.dep_cache.end();) {
+      it = it->second < 0 ? m.dep_cache.erase(it) : std::next(it);
+    }
   }
 }
 
@@ -126,6 +142,23 @@ std::vector<std::string> Ldl::DirsFor(Process& proc, int index) {
 }
 
 Status Ldl::Startup(Process& proc) {
+  auto t0 = std::chrono::steady_clock::now();
+  Status status = StartupImpl(proc);
+  *c_startup_ns_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return status;
+}
+
+Status Ldl::StartupImpl(Process& proc) {
+  // (0) Stable linking: read + verify the persistent resolution manifest. Verified
+  // records are staged in |warm_|; RegisterLinked installs them as the modules
+  // appear, so every path below (static publics, dynamic acquires, lazy faults)
+  // benefits without knowing the manifest exists.
+  if (options_.use_manifest) {
+    LoadManifest(proc);
+  }
+
   // (2) Map static public modules (created by lds; "Ldl also creates any static
   // public modules that do not yet exist" — covered by AcquireModule's create path
   // when a static public template appears only at run time).
@@ -133,8 +166,15 @@ Status Ldl::Startup(Process& proc) {
     if (by_key_.count(ref.module_path) != 0) {
       continue;
     }
-    ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, machine_->vfs().ReadFile(ref.module_path));
-    ASSIGN_OR_RETURN(LinkedModule mod, LinkedModule::DeserializeFile(bytes));
+    LinkedModule mod;
+    auto cached = warm_parsed_.find(ref.module_path);
+    if (cached != warm_parsed_.end()) {
+      mod = std::move(cached->second);
+      warm_parsed_.erase(cached);
+    } else {
+      ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, machine_->vfs().ReadFile(ref.module_path));
+      ASSIGN_OR_RETURN(mod, LinkedModule::DeserializeFile(bytes));
+    }
     ASSIGN_OR_RETURN(SfsStat st, machine_->sfs().Stat(Vfs::SfsRelative(ref.module_path)));
     ASSIGN_OR_RETURN(int idx, RegisterLinked(proc, std::move(mod), ShareClass::kStaticPublic,
                                              ref.module_path, st.ino, /*parent=*/-1));
@@ -176,6 +216,19 @@ Status Ldl::Startup(Process& proc) {
   if (!options_.lazy) {
     RETURN_IF_ERROR(ResolveAll(proc));
   }
+
+  // Persist the resolution decisions made so far. A write failure never fails the
+  // program (the manifest is an optimization), but an injected crash kills the
+  // machine mid-write exactly like the module-creation fault points do.
+  if (options_.use_manifest) {
+    Status ws = WriteManifest();
+    if (!ws.ok()) {
+      if (IsCrash(ws)) {
+        return ws;
+      }
+      HLOG(Warning) << "ldl: resolution manifest not written: " << ws.ToString();
+    }
+  }
   return OkStatus();
 }
 
@@ -210,6 +263,14 @@ Result<int> Ldl::AcquireModule(Process& proc, const std::string& name, ShareClas
       // corpse (crash between Create and the final write) — rebuild from template.
       bool trustworthy = !machine_->sfs().CreationPending(st.ino);
       if (trustworthy) {
+        auto cached = warm_parsed_.find(module_path);
+        if (cached != warm_parsed_.end()) {
+          // Manifest verification already read and parsed this exact file.
+          LinkedModule mod = std::move(cached->second);
+          warm_parsed_.erase(cached);
+          ++*c_publics_attached_;
+          return RegisterLinked(proc, std::move(mod), cls, module_path, st.ino, parent);
+        }
         ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, vfs.ReadFile(module_path));
         Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
         if (mod.ok()) {
@@ -351,6 +412,7 @@ Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
   m.mem_size = mod.MemSize();
   m.text_size = mod.text_size;
   m.ino = ino;
+  m.src_hash = mod.template_hash;
   m.parent = parent;
   m.module_list = mod.module_list;
   m.search_path = mod.search_path;
@@ -378,6 +440,45 @@ Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
   // A new module can only turn old misses into hits: drop memoized negatives.
   InvalidateNegativeCaches();
   RtModule& ref = modules_[index];
+  // Stable linking: adopt the manifest's recorded resolutions for this module.
+  // LoadManifest already verified content hashes against the bytes on disk, but the
+  // identity is re-checked here against the module *actually registered* — the
+  // install-time belt under the load-time suspenders.
+  if (options_.use_manifest) {
+    bool covered = false;
+    auto rec = warm_.find(key);
+    if (rec != warm_.end()) {
+      const ManifestModule& wm = rec->second;
+      if (wm.base == ref.base && ref.src_hash != 0 && wm.src_hash == ref.src_hash) {
+        if (!ref.relocs.empty()) {
+          // Partially linked (function-lazy trailers): seed `resolved` so the
+          // remaining bindings skip their lookups and `scope_cache` so residual
+          // lookups stay cache hits.
+          for (const auto& [symbol, addr] : wm.resolved) {
+            ref.resolved.emplace(symbol, addr);
+            ref.scope_cache.emplace(symbol, addr);
+          }
+        } else {
+          // Fully linked: the shared segment bytes already carry every patched
+          // site, so copying ~the whole resolution table into maps would be pure
+          // bookkeeping. Mark the module covered; WriteManifest merges the
+          // record back from |warm_| if the manifest ever goes dirty.
+          ref.warm_covered = true;
+        }
+        ++*c_manifest_hits_;
+        covered = true;
+      } else {
+        ++*c_manifest_rejected_;
+        warm_.erase(rec);  // stale record: never merge it into a future write
+      }
+    }
+    // A verifiable module the manifest did not cover means the persisted record
+    // is stale or incomplete — even if this module needs no fresh resolutions
+    // (trailer-restored state), the next flush must re-record the full set.
+    if (!covered && ref.src_hash != 0) {
+      manifest_dirty_ = true;
+    }
+  }
   bool fully_linked = ref.relocs.empty();
   if (options_.function_lazy && !fully_linked) {
     // Jump-table scheme: the module is accessible from the start; calls bind lazily
@@ -452,6 +553,7 @@ Status Ldl::SetUpFunctionLazy(Process& proc, int index) {
     Result<uint32_t> addr = LookupScoped(proc, index, symbol);
     if (addr.ok()) {
       modules_[index].resolved[symbol] = *addr;
+      manifest_dirty_ = true;
     } else if (modules_[index].unresolved.insert(symbol).second) {
       ++*c_unresolved_refs_;
       if (trace_->enabled()) trace_->Emit(TraceKind::kUnresolved, symbol, modules_[index].name);
@@ -519,6 +621,7 @@ bool Ldl::HandlePltFault(Process& proc, uint32_t sentinel) {
     }
     target = *addr;
     modules_[index].resolved[symbol] = target;
+    manifest_dirty_ = true;
   }
   // Bind: patch every call slot for this symbol so later calls go direct.
   for (const PendingReloc& rel : modules_[index].relocs) {
@@ -572,6 +675,9 @@ Result<uint32_t> Ldl::LookupInOwnScope(Process& proc, int index, const std::stri
     auto cached = modules_[index].dep_cache.find(dep_name);
     if (cached != modules_[index].dep_cache.end()) {
       dep_index = cached->second;
+      if (dep_index < 0) {
+        continue;  // memoized locate failure; dropped on registration / next fault
+      }
     } else {
       // "If this strategy fails, it reverts to the strategy of the module(s) that make
       // references into the new module": walk ancestor dir lists on locate failure.
@@ -601,6 +707,12 @@ Result<uint32_t> Ldl::LookupInOwnScope(Process& proc, int index, const std::stri
           HLOG(Warning) << "ldl: module '" << m.name << "' lists dependency '" << dep_name
                         << "' which could not be located";
         }
+        // Memoize the failure like a negative symbol lookup: retrying the whole
+        // ancestor dir walk on every lookup is wasted work until something changes.
+        // InvalidateNegativeCaches drops it, so a registration (or the next fault)
+        // gives the dependency another chance — the stale-failure bug was keeping
+        // dep misses forever while symbol misses were correctly invalidated.
+        m.dep_cache.emplace(dep_name, -1);
         continue;
       }
       dep_index = *dep;
@@ -724,6 +836,7 @@ Status Ldl::ResolveModule(Process& proc, int index, uint32_t fault_addr) {
     if (addr.ok()) {
       modules_[index].resolved[symbol] = *addr;
       modules_[index].unresolved.erase(symbol);
+      manifest_dirty_ = true;
     } else if (blocked_on_addr_ != 0) {
       // Resolution must pause for a segment under creation; leave the module's
       // pages closed and let the retried fault finish the job after the wake.
@@ -819,6 +932,20 @@ bool Ldl::HandleFault(Machine& machine, Process& proc, const Fault& fault) {
     return true;
   }
   blocked_on_addr_ = 0;
+  // Flush fresh resolution decisions to the manifest while the fault context is
+  // still ours. Write failures don't undo the (already successful) resolution —
+  // except an injected crash, which kills this process mid-write like any other
+  // fault-point crash (the pending marker makes the next boot reject the torn
+  // manifest and resolve cold).
+  if (handled && options_.use_manifest && manifest_dirty_) {
+    Status ws = WriteManifest();
+    if (!ws.ok()) {
+      HLOG(Warning) << "ldl: resolution manifest not written: " << ws.ToString();
+      if (IsCrash(ws)) {
+        return false;
+      }
+    }
+  }
   return handled;
 }
 
@@ -917,6 +1044,155 @@ bool Ldl::HandleFaultImpl(Machine& machine, Process& proc, const Fault& fault) {
     return true;
   }
   return false;
+}
+
+void Ldl::LoadManifest(Process& proc) {
+  (void)proc;
+  {
+    std::vector<uint8_t> img = image_.Serialize();
+    image_hash_ = Fnv1a64(img.data(), img.size());
+  }
+  SharedFs& sfs = machine_->sfs();
+  Vfs& vfs = machine_->vfs();
+  if (!vfs.Exists(kLdlManifestPath)) {
+    ++*c_manifest_misses_;  // first run on this partition: nothing recorded yet
+    return;
+  }
+  // A pending creation marker means a writer crashed mid-manifest (or is mid-write
+  // right now): the bytes cannot be trusted even if they happen to parse.
+  Result<SfsStat> st = sfs.Stat(Vfs::SfsRelative(kLdlManifestPath));
+  if (!st.ok() || sfs.CreationPending(st->ino)) {
+    ++*c_manifest_rejected_;
+    HLOG(Warning) << "ldl: resolution manifest has a pending creation marker; ignoring it";
+    return;
+  }
+  Result<std::vector<uint8_t>> bytes = vfs.ReadFile(kLdlManifestPath);
+  if (!bytes.ok()) {
+    ++*c_manifest_rejected_;
+    return;
+  }
+  Result<ResolutionManifest> parsed = ResolutionManifest::Deserialize(*bytes);
+  if (!parsed.ok()) {
+    // Torn, corrupt, or from a different format version — never an error for the
+    // program. Resolution proceeds cold and the next write replaces the file.
+    ++*c_manifest_rejected_;
+    HLOG(Warning) << "ldl: ignoring unusable resolution manifest: "
+                  << parsed.status().ToString();
+    return;
+  }
+  manifest_ = std::move(*parsed);
+  const ManifestImage* img = manifest_.FindImage(image_hash_);
+  if (img == nullptr) {
+    ++*c_manifest_misses_;
+    return;
+  }
+  // Verify every recorded module against the bytes on disk, all-or-nothing: a
+  // single changed module moves symbols that *other* modules' recorded resolutions
+  // point at, so partial installs would be unsound. Public modules verify against
+  // the template_hash stamped in their HML trailer; private instances verify by
+  // recomputing what LinkModuleAtBase would stamp (deterministic linking).
+  std::unordered_map<std::string, ManifestModule> staged;
+  staged.reserve(img->modules.size());
+  std::unordered_map<std::string, LinkedModule> parsed_modules;
+  for (const ManifestModule& rec : img->modules) {
+    bool ok = false;
+    if (IsPublic(rec.cls)) {
+      Result<SfsStat> mst = vfs.Exists(rec.key) ? sfs.Stat(Vfs::SfsRelative(rec.key))
+                                                : Result<SfsStat>(NotFound("module file gone"));
+      if (mst.ok() && mst->ino == rec.ino && !sfs.CreationPending(mst->ino)) {
+        Result<std::vector<uint8_t>> mb = vfs.ReadFile(rec.key);
+        if (mb.ok()) {
+          Result<LinkedModule> mod = LinkedModule::DeserializeFile(*mb);
+          if (mod.ok() && mod->base == rec.base && mod->template_hash != 0 &&
+              mod->template_hash == rec.src_hash) {
+            ok = true;
+            parsed_modules.emplace(rec.key, std::move(*mod));
+          }
+        }
+      }
+    } else {
+      Result<std::vector<uint8_t>> tb = vfs.ReadFile(rec.key);
+      if (tb.ok()) {
+        Result<ObjectFile> tpl = ObjectFile::Deserialize(*tb);
+        ok = tpl.ok() && LinkedTemplateHash(*tpl, rec.base) == rec.src_hash;
+      }
+    }
+    if (!ok) {
+      ++*c_manifest_misses_;
+      HLOG(Info) << "ldl: manifest record for '" << rec.key
+                 << "' no longer matches the bytes on disk; resolving cold";
+      return;  // staged records are dropped with the local map
+    }
+    staged.emplace(rec.key, rec);
+  }
+  warm_ = std::move(staged);
+  warm_parsed_ = std::move(parsed_modules);
+}
+
+Status Ldl::WriteManifest() {
+  if (modules_.empty()) {
+    return OkStatus();
+  }
+  if (!manifest_dirty_ && manifest_.FindImage(image_hash_) != nullptr) {
+    return OkStatus();  // warm start with nothing new: leave the file untouched
+  }
+  ManifestImage record;
+  record.image_hash = image_hash_;
+  for (const RtModule& m : modules_) {
+    if (m.src_hash == 0) {
+      continue;  // pre-hash HML file: unverifiable on the next boot, never recorded
+    }
+    ManifestModule rec;
+    rec.key = m.key;
+    rec.name = m.name;
+    rec.cls = m.cls;
+    rec.base = m.base;
+    rec.ino = m.ino;
+    rec.src_hash = m.src_hash;
+    rec.resolved.assign(m.resolved.begin(), m.resolved.end());
+    if (m.warm_covered) {
+      // Covered modules skipped the install, so their table still lives in
+      // |warm_|; union it in (fresh decisions win) or the record would shrink.
+      auto w = warm_.find(m.key);
+      if (w != warm_.end() && w->second.src_hash == m.src_hash && w->second.base == m.base) {
+        for (const auto& entry : w->second.resolved) {
+          if (m.resolved.find(entry.first) == m.resolved.end()) {
+            rec.resolved.push_back(entry);
+          }
+        }
+        std::sort(rec.resolved.begin(), rec.resolved.end());
+      }
+    }
+    record.modules.push_back(std::move(rec));
+  }
+  manifest_.Upsert(std::move(record));
+  std::vector<uint8_t> bytes = manifest_.Serialize();
+  if (bytes.size() > kSfsMaxFileBytes) {
+    manifest_dirty_ = false;  // oversized stays oversized; don't retry every fault
+    return ResourceExhausted("ldl: resolution manifest exceeds the partition file limit");
+  }
+  SharedFs& sfs = machine_->sfs();
+  std::string rel = Vfs::SfsRelative(kLdlManifestPath);
+  uint32_t ino = 0;
+  Result<SfsStat> st = sfs.Stat(rel);
+  if (st.ok()) {
+    ino = st->ino;
+  } else {
+    ASSIGN_OR_RETURN(ino, sfs.Create(rel));
+  }
+  // Same torn-write discipline as module creation: the pending marker goes up
+  // before the first byte moves, so a crash anywhere in the window leaves a file
+  // the next boot rejects (and rebuilds) instead of trusting.
+  FaultRegistry& faults = FaultRegistry::Global();
+  RETURN_IF_ERROR(sfs.SetCreationPending(ino, true));
+  RETURN_IF_ERROR(faults.Check("ldl.manifest.write"));
+  RETURN_IF_ERROR(sfs.Truncate(ino, 0));
+  RETURN_IF_ERROR(sfs.WriteAt(ino, 0, bytes.data(), static_cast<uint32_t>(bytes.size())));
+  RETURN_IF_ERROR(faults.Check("ldl.manifest.written"));
+  RETURN_IF_ERROR(sfs.SetCreationPending(ino, false));
+  ++*c_manifest_rebuilds_;
+  manifest_dirty_ = false;
+  return OkStatus();
 }
 
 }  // namespace hemlock

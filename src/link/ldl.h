@@ -46,6 +46,7 @@
 #include "src/base/status.h"
 #include "src/base/trace.h"
 #include "src/link/image.h"
+#include "src/link/manifest.h"
 #include "src/vm/machine.h"
 
 namespace hemlock {
@@ -66,6 +67,12 @@ struct LdlOptions {
   // resolved at map time (the SunOS scheme "works only for functions" laziness-wise,
   // exactly as the paper notes). Overrides page_granular.
   bool function_lazy = false;
+  // Stable linking (docs/STABLE_LINKING.md): maintain a persistent resolution
+  // manifest on the shared partition. Warm starts whose image and module contents
+  // all verify against the manifest install the recorded resolutions directly and
+  // skip scope walks entirely; any mismatch falls back to scoped resolution and
+  // the manifest is rebuilt. Off by default (opt in via hemrun --manifest).
+  bool use_manifest = false;
 };
 
 // Legacy stats view. The single source of truth is the linker's MetricsRegistry
@@ -89,6 +96,10 @@ struct LdlStats {
   uint32_t lookups = 0;           // scoped symbol lookups requested
   uint32_t cache_hits = 0;        // answered from a module's memoized scope cache
   uint32_t cache_misses = 0;      // required a scope walk
+  uint32_t manifest_hits = 0;     // modules whose resolutions came from the manifest
+  uint32_t manifest_misses = 0;   // manifest records that failed verification
+  uint32_t manifest_rebuilds = 0; // manifest flushes written to disk
+  uint32_t manifest_rejected = 0; // manifests/records discarded as unusable
 };
 
 class Ldl {
@@ -137,6 +148,9 @@ class Ldl {
     uint32_t mem_size = 0;
     uint32_t text_size = 0;
     uint32_t ino = 0;  // public modules: backing inode
+    // Content identity for the resolution manifest: the template_hash stamped by
+    // LinkModuleAtBase (0 for modules from pre-hash HML files — never recorded).
+    uint64_t src_hash = 0;
     int parent = -1;   // scoped-linking parent (-1 = root)
     std::vector<std::string> module_list;
     std::vector<std::string> search_path;
@@ -157,13 +171,18 @@ class Ldl {
     // are cleared on every module registration and at each fault.
     std::unordered_map<std::string, uint32_t> scope_cache;
     std::unordered_set<std::string> scope_negative;
-    // Located module-list dependencies (name -> module index). Only successes are
-    // cached; failed locates are retried, preserving the run-time search semantics.
+    // Located module-list dependencies (name -> module index; -1 memoizes a locate
+    // failure). Negative entries are dropped by InvalidateNegativeCaches (every
+    // registration and every fault) so later-registered modules get found —
+    // positive entries are stable, a located module never un-registers.
     std::unordered_map<std::string, int> dep_cache;
     // Missing dependencies already counted/traced (so retries don't inflate them).
     std::unordered_set<std::string> deps_reported_missing;
     bool payload_private = false;      // private instance: payload mapped per process
     std::shared_ptr<std::vector<uint8_t>> private_backing;  // private instance bytes
+    // Fully-linked module verified against the manifest: its resolution table was
+    // left in |warm_| (the segment bytes embody it) and WriteManifest merges it.
+    bool warm_covered = false;
   };
 
   // Locates + registers + maps a dynamic module (creating it if needed).
@@ -229,6 +248,20 @@ class Ldl {
 
   bool HandleFaultImpl(Machine& machine, Process& proc, const Fault& fault);
 
+  // Startup's body; the public wrapper times it into ldl.startup_ns.
+  Status StartupImpl(Process& proc);
+
+  // --- stable linking (resolution manifest) machinery ---
+  // Reads + verifies the on-disk manifest against this image and the current
+  // module bytes; verified records are staged in |warm_| for RegisterLinked to
+  // install. Never fails the program: a bad manifest counts rejected/missed and
+  // resolution proceeds cold.
+  void LoadManifest(Process& proc);
+  // Rebuilds this image's record from current decisions and persists the manifest
+  // with the torn-write discipline (pending marker + fault points
+  // "ldl.manifest.write"/"ldl.manifest.written"). Crash statuses propagate.
+  Status WriteManifest();
+
   Machine* machine_;
   LoadImage image_;
   LdlOptions options_;
@@ -262,6 +295,11 @@ class Ldl {
   uint64_t* c_cache_misses_;
   uint64_t* c_scope_walks_;
   uint64_t* c_root_lookups_;
+  uint64_t* c_manifest_hits_;      // modules whose recorded resolutions were installed
+  uint64_t* c_manifest_misses_;    // warm start attempted, no verifiable record
+  uint64_t* c_manifest_rebuilds_;  // manifest (re)written with fresh decisions
+  uint64_t* c_manifest_rejected_;  // manifest unreadable/pending/corrupt, ignored
+  uint64_t* c_startup_ns_;         // wall time spent inside Startup (link time)
 
   std::vector<RtModule> modules_;
   std::map<std::string, int> by_key_;
@@ -277,6 +315,17 @@ class Ldl {
   // always-unmapped band below the stack, so calling an unbound function faults here.
   std::map<uint32_t, std::pair<int, std::string>> plt_sentinels_;
   uint32_t next_sentinel_ = 0x7F100000;
+
+  // Stable linking state (use_manifest only). |warm_| holds the verified records
+  // for this image, keyed by module identity; RegisterLinked consumes them.
+  ResolutionManifest manifest_;
+  std::unordered_map<std::string, ManifestModule> warm_;
+  // Modules parsed while verifying the manifest, kept so the attach path does not
+  // read + parse the same file again moments later. Entries are consumed (moved
+  // out) on first attach; populated only when the whole image verified.
+  std::unordered_map<std::string, LinkedModule> warm_parsed_;
+  uint64_t image_hash_ = 0;
+  bool manifest_dirty_ = false;
 };
 
 }  // namespace hemlock

@@ -51,6 +51,13 @@ ObjectFile SynthesizeCrt0() {
   return b.Take();
 }
 
+uint64_t LinkedTemplateHash(const ObjectFile& tpl, uint32_t base) {
+  uint8_t base_le[4] = {static_cast<uint8_t>(base), static_cast<uint8_t>(base >> 8),
+                        static_cast<uint8_t>(base >> 16), static_cast<uint8_t>(base >> 24)};
+  uint64_t h = Fnv1a64(base_le, sizeof(base_le), tpl.ContentHash());
+  return h != 0 ? h : 1;  // 0 means "pre-hash file": never collide with it
+}
+
 Result<LinkedModule> LinkModuleAtBase(const ObjectFile& tpl, uint32_t base,
                                       const std::string& name, uint32_t* trampolines_out) {
   LinkedModule mod;
@@ -58,6 +65,7 @@ Result<LinkedModule> LinkModuleAtBase(const ObjectFile& tpl, uint32_t base,
   mod.base = base;
   mod.module_list = tpl.module_list();
   mod.search_path = tpl.search_path();
+  mod.template_hash = LinkedTemplateHash(tpl, base);
 
   // Pass 1: find external JUMP26 targets; give each distinct symbol one trampoline.
   std::map<std::string, uint32_t> tramp_slots;  // symbol -> text offset of its slot

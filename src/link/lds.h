@@ -71,6 +71,14 @@ struct LdsReport {
 Result<LinkedModule> LinkModuleAtBase(const ObjectFile& tpl, uint32_t base,
                                       const std::string& name, uint32_t* trampolines_out);
 
+// The content identity LinkModuleAtBase stamps into the linked module's trailer:
+// a digest of the template bytes chained with the link base (the same template
+// linked at two addresses is two different artifacts). Deterministic, so a warm
+// start can verify a recorded resolution against the template *without* relinking
+// (stable linking's cheap re-check; see src/link/manifest.h). Never returns 0 —
+// 0 is reserved for "pre-hash HML file, unverifiable".
+uint64_t LinkedTemplateHash(const ObjectFile& tpl, uint32_t base);
+
 // The replacement crt0 (paper: "links C programs with a special start-up file" that
 // gives ldl a chance to run; here the loader runs ldl natively before transferring
 // control, and crt0 just calls main and exits with its result).

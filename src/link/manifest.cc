@@ -1,0 +1,143 @@
+#include "src/link/manifest.h"
+
+#include <algorithm>
+
+#include "src/base/bytes.h"
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x21464D48;  // "HMF!"
+constexpr uint32_t kManifestVersion = 1;
+
+void HashMix(uint64_t* h, const void* data, size_t n) { *h = Fnv1a64(data, n, *h); }
+
+}  // namespace
+
+uint64_t ManifestImage::ModuleSetHash() const {
+  uint64_t h = kFnv1a64Seed;
+  for (const ManifestModule& m : modules) {
+    HashMix(&h, m.key.data(), m.key.size());
+    uint8_t hash_le[8];
+    for (int i = 0; i < 8; ++i) {
+      hash_le[i] = static_cast<uint8_t>(m.src_hash >> (8 * i));
+    }
+    HashMix(&h, hash_le, sizeof(hash_le));
+  }
+  return h;
+}
+
+const ManifestImage* ResolutionManifest::FindImage(uint64_t image_hash) const {
+  for (const ManifestImage& img : images) {
+    if (img.image_hash == image_hash) {
+      return &img;
+    }
+  }
+  return nullptr;
+}
+
+void ResolutionManifest::Upsert(ManifestImage record) {
+  images.erase(std::remove_if(images.begin(), images.end(),
+                              [&](const ManifestImage& img) {
+                                return img.image_hash == record.image_hash;
+                              }),
+               images.end());
+  images.push_back(std::move(record));
+  while (images.size() > kManifestMaxImages) {
+    images.erase(images.begin());
+  }
+}
+
+std::vector<uint8_t> ResolutionManifest::Serialize() const {
+  ByteWriter body;
+  body.U32(static_cast<uint32_t>(images.size()));
+  for (const ManifestImage& img : images) {
+    body.U64(img.image_hash);
+    body.U64(img.ModuleSetHash());
+    body.U32(static_cast<uint32_t>(img.modules.size()));
+    for (const ManifestModule& m : img.modules) {
+      body.Str(m.key);
+      body.Str(m.name);
+      body.U8(static_cast<uint8_t>(m.cls));
+      body.U32(m.base);
+      body.U32(m.ino);
+      body.U64(m.src_hash);
+      body.U32(static_cast<uint32_t>(m.resolved.size()));
+      for (const auto& [symbol, addr] : m.resolved) {
+        body.Str(symbol);
+        body.U32(addr);
+      }
+    }
+  }
+  ByteWriter w;
+  w.U32(kManifestMagic);
+  w.U32(kManifestVersion);
+  w.U32(Crc32(body.buffer().data(), body.size()));
+  const std::vector<uint8_t>& b = body.buffer();
+  w.Raw(b.data(), b.size());
+  return w.Take();
+}
+
+Result<ResolutionManifest> ResolutionManifest::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kManifestMagic) {
+    return CorruptData("not a resolution manifest (bad magic)");
+  }
+  ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kManifestVersion) {
+    return UnsupportedVersion(StrFormat("manifest version %u (this build reads %u)", version,
+                                        kManifestVersion));
+  }
+  ASSIGN_OR_RETURN(uint32_t crc, r.U32());
+  if (crc != Crc32(bytes.data() + r.pos(), r.remaining())) {
+    return CorruptData("manifest body checksum mismatch (torn write?)");
+  }
+  ResolutionManifest manifest;
+  ASSIGN_OR_RETURN(uint32_t n_images, r.Count(16, kManifestMaxImages));
+  manifest.images.reserve(n_images);
+  for (uint32_t i = 0; i < n_images; ++i) {
+    ManifestImage img;
+    ASSIGN_OR_RETURN(img.image_hash, r.U64());
+    ASSIGN_OR_RETURN(uint64_t set_hash, r.U64());
+    ASSIGN_OR_RETURN(uint32_t n_modules, r.Count(25, kManifestMaxModules));
+    img.modules.reserve(n_modules);
+    for (uint32_t j = 0; j < n_modules; ++j) {
+      ManifestModule m;
+      ASSIGN_OR_RETURN(m.key, r.Str());
+      ASSIGN_OR_RETURN(m.name, r.Str());
+      ASSIGN_OR_RETURN(uint8_t cls, r.U8());
+      if (cls > static_cast<uint8_t>(ShareClass::kDynamicPublic)) {
+        return CorruptData(StrFormat("manifest module '%s': bad share class %u", m.key.c_str(),
+                                     cls));
+      }
+      m.cls = static_cast<ShareClass>(cls);
+      ASSIGN_OR_RETURN(m.base, r.U32());
+      ASSIGN_OR_RETURN(m.ino, r.U32());
+      ASSIGN_OR_RETURN(m.src_hash, r.U64());
+      if (m.src_hash == 0) {
+        return CorruptData("manifest module '" + m.key + "': zero content hash");
+      }
+      ASSIGN_OR_RETURN(uint32_t n_resolved, r.Count(8, kManifestMaxResolutions));
+      m.resolved.reserve(n_resolved);
+      for (uint32_t k = 0; k < n_resolved; ++k) {
+        ASSIGN_OR_RETURN(std::string symbol, r.Str());
+        ASSIGN_OR_RETURN(uint32_t addr, r.U32());
+        m.resolved.emplace_back(std::move(symbol), addr);
+      }
+      img.modules.push_back(std::move(m));
+    }
+    // The recorded set hash must match the records it allegedly summarizes — a
+    // cheap structural cross-check on top of the crc.
+    if (set_hash != img.ModuleSetHash()) {
+      return CorruptData("manifest module-set hash does not match its records");
+    }
+    manifest.images.push_back(std::move(img));
+  }
+  RETURN_IF_ERROR(r.ExpectEnd("resolution manifest"));
+  return manifest;
+}
+
+}  // namespace hemlock

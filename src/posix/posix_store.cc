@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -499,6 +500,86 @@ bool PosixStore::InRegion(const void* addr) const {
 Result<PosixSegment> PosixStore::AttachCovering(const void* addr) {
   ASSIGN_OR_RETURN(std::string name, NameAt(addr));
   return Attach(name);
+}
+
+namespace {
+
+// Side-file names are plain filenames — no traversal, no hidden host paths.
+bool ValidSideFileName(const std::string& name) {
+  return !name.empty() && name.size() <= kPosixMaxNameBytes &&
+         name.find('/') == std::string::npos && name != "." && name != "..";
+}
+
+}  // namespace
+
+Status PosixStore::WriteSideFile(const std::string& name, const std::vector<uint8_t>& bytes) {
+  if (!ValidSideFileName(name)) {
+    return InvalidArgument("posix_store: bad side-file name '" + name + "'");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_ + "/side", ec);
+  if (ec) {
+    return Internal("posix_store: mkdir " + dir_ + "/side: " + ec.message());
+  }
+  std::string content = StrFormat("#hemside %08x %zu\n", Crc32(bytes.data(), bytes.size()),
+                                  bytes.size());
+  content.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  std::string tmp = SidePath(name) + ".tmp";
+  Fd fd(::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0666));
+  if (fd.get() < 0) {
+    return ErrnoStatus("posix_store: write side file");
+  }
+  RETURN_IF_ERROR(WriteAll(fd.get(), content));
+  // Same publication discipline as the index: checksum against torn content,
+  // fsync + rename against torn publication.
+  if (::fsync(fd.get()) != 0) {
+    return ErrnoStatus("posix_store: fsync side file");
+  }
+  RETURN_IF_ERROR(FaultRegistry::Global().Check("posix.side.write"));
+  if (::rename(tmp.c_str(), SidePath(name).c_str()) != 0) {
+    return ErrnoStatus("posix_store: rename side file");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> PosixStore::ReadSideFile(const std::string& name) {
+  if (!ValidSideFileName(name)) {
+    return InvalidArgument("posix_store: bad side-file name '" + name + "'");
+  }
+  Fd fd(::open(SidePath(name).c_str(), O_RDONLY));
+  if (fd.get() < 0) {
+    if (errno == ENOENT) {
+      return NotFound("posix_store: no side file '" + name + "'");
+    }
+    return ErrnoStatus("posix_store: open side file");
+  }
+  ASSIGN_OR_RETURN(std::string content, ReadAll(fd.get()));
+  // "#hemside <crc32-hex> <size>\n" + payload; every field is load-bearing.
+  const std::string magic = "#hemside ";
+  size_t eol = content.find('\n');
+  if (content.rfind(magic, 0) != 0 || eol == std::string::npos) {
+    return CorruptData("posix_store: side file '" + name + "' has no valid header");
+  }
+  uint32_t crc = 0;
+  size_t size = 0;
+  {
+    unsigned parsed_crc = 0;
+    unsigned long long parsed_size = 0;
+    if (std::sscanf(content.c_str() + magic.size(), "%x %llu", &parsed_crc, &parsed_size) != 2) {
+      return CorruptData("posix_store: side file '" + name + "' has a malformed header");
+    }
+    crc = static_cast<uint32_t>(parsed_crc);
+    size = static_cast<size_t>(parsed_size);
+  }
+  std::string payload = content.substr(eol + 1);
+  if (payload.size() != size) {
+    return CorruptData(StrFormat("posix_store: side file '%s' promises %zu bytes, has %zu",
+                                 name.c_str(), size, payload.size()));
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return CorruptData("posix_store: side file '" + name + "' checksum mismatch (torn write?)");
+  }
+  return std::vector<uint8_t>(payload.begin(), payload.end());
 }
 
 Status PosixStore::Detach(const std::string& name) {

@@ -91,6 +91,15 @@ class PosixStore {
   //   posix.segment_rejected  segment files refused for an untrustworthy on-disk size
   void SetMetrics(MetricsRegistry* metrics);
 
+  // Side files: small named blobs riding next to the segment registry without
+  // occupying one of the 1024 slots — the posix embodiment's home for ldl's
+  // resolution manifest (src/link/manifest.h). Writes use the index's torn-write
+  // discipline: "#hemside <crc32-hex> <size>\n" + payload to <file>.tmp, fsync,
+  // rename. Reads verify the header and reject any mismatch as kCorruptData — a
+  // salvageable side file is the caller's job (ldl just resolves cold).
+  Status WriteSideFile(const std::string& name, const std::vector<uint8_t>& bytes);
+  Result<std::vector<uint8_t>> ReadSideFile(const std::string& name);
+
   // Attaches the segment that covers |addr| (used by the SIGSEGV handler).
   // Returns the segment or an error when no file owns the address.
   Result<PosixSegment> AttachCovering(const void* addr);
@@ -103,6 +112,7 @@ class PosixStore {
 
   std::string IndexPath() const { return dir_ + "/index"; }
   std::string SegPath(const std::string& name) const { return dir_ + "/seg/" + name; }
+  std::string SidePath(const std::string& name) const { return dir_ + "/side/" + name; }
   Result<int> LookupSlot(const std::string& name);
   // Reads the index, verifying its "#hemidx <crc> <n>" header when present (indexes
   // written before the header existed are accepted as-is). Returns kCorruptData on a

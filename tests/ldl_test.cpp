@@ -186,6 +186,58 @@ TEST_F(LdlTest, LockCountersExposed) {
   EXPECT_EQ(run2->ldl->metrics().Get("ldl.publics_attached"), 1u);
 }
 
+TEST_F(LdlTest, MissingDependencyRetriedAfterItAppears) {
+  // Regression: a dependency that could not be located is memoized as a negative
+  // dep_cache entry. That memo must be dropped when new modules register or a new
+  // fault arrives — the stale-miss bug kept the -1 forever, so a dependency that
+  // appeared later (another process finishing a build, a file landing on the
+  // partition) was never found by the process that had already missed it.
+  CompileOptions opts;
+  opts.module_list = {"late.o"};
+  opts.search_path = {"/shm/lib"};
+  Compile("extern int late_fn(int x); int combo_fn(int x) { return late_fn(x) + 10; }",
+          "/shm/lib/combo.o", opts);
+  // late.o deliberately does not exist yet.
+  ASSERT_TRUE(world_.CompileTo("extern int combo_fn(int x); int main(void) { return combo_fn(1); }",
+                               "/home/user/prog.o")
+                  .ok());
+  Result<LoadImage> image =
+      world_.Link({.inputs = {{"prog.o", ShareClass::kStaticPrivate},
+                              {"combo.o", ShareClass::kDynamicPublic}},
+                   .lib_dirs = {"/shm/lib"}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  ExecOptions exec;
+  exec.ldl.function_lazy = true;  // each first call retries the lookup via the PLT
+  Result<ExecResult> run = world_.Exec(*image, exec);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // The first call to late_fn cannot bind; ldl hands the fault to the program's
+  // handler. Here the "application-specific recovery" is the dependency showing
+  // up. Returning true resumes at the same pc, so the call refaults and ldl gets
+  // its retry — which only works if the negative memo was invalidated.
+  int recoveries = 0;
+  Process* proc = world_.machine().FindProcess(run->pid);
+  ASSERT_NE(proc, nullptr);
+  proc->ChainFaultHandler([&](Machine& m, Process& p, const Fault& f) {
+    if (++recoveries > 3) {
+      m.KillProcess(p.pid(), 99, "dependency miss memoized forever");
+      return true;
+    }
+    CompileOptions late_opts;
+    late_opts.include_prelude = false;
+    EXPECT_TRUE(world_.CompileTo("int late_fn(int x) { return x + 1; }",
+                                 "/shm/lib/late.o", late_opts)
+                    .ok());
+    return true;
+  });
+  Result<int> status = world_.RunToExit(run->pid);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(*status, 12);  // late_fn(1) + 10
+  EXPECT_EQ(recoveries, 1) << "one miss, one retry — no spinning on a stale memo";
+  EXPECT_GE(run->ldl->metrics().Get("ldl.deps_missing"), 1u);
+  EXPECT_NE(run->ldl->FindModuleIndex("/shm/lib/late"), -1);
+}
+
 TEST_F(LdlTest, EagerAblationResolvesTransitively) {
   Compile("int leafv = 5;", "/shm/lib/leaf.o");
   CompileOptions mid_opts;

@@ -450,5 +450,70 @@ TEST_F(PosixStoreTest, FaultInjectedCreateFailsCleanlyThenSucceeds) {
   EXPECT_TRUE(store_->Attach("flaky").ok());
 }
 
+// --- side files (the posix home of ldl's resolution manifest) ---
+
+TEST_F(PosixStoreTest, SideFileRoundTripsAndOverwrites) {
+  std::vector<uint8_t> payload = {0x48, 0x4D, 0x46, 0x21, 0x00, 0xFF, 0x10};
+  ASSERT_TRUE(store_->WriteSideFile("ldl.manifest", payload).ok());
+  Result<std::vector<uint8_t>> back = store_->ReadSideFile("ldl.manifest");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, payload);
+
+  std::vector<uint8_t> next = {1, 2, 3};
+  ASSERT_TRUE(store_->WriteSideFile("ldl.manifest", next).ok());
+  back = store_->ReadSideFile("ldl.manifest");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, next);
+  // Side files never occupy a segment slot.
+  Result<std::vector<std::string>> names = store_->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names->empty());
+}
+
+TEST_F(PosixStoreTest, SideFileMissingIsNotFoundAndBadNamesRejected) {
+  EXPECT_EQ(store_->ReadSideFile("never-written").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store_->WriteSideFile("../escape", {1}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(store_->WriteSideFile("a/b", {1}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(store_->ReadSideFile("").status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(PosixStoreTest, TornSideFileIsRejectedAsCorrupt) {
+  std::vector<uint8_t> payload(512, 0xAB);
+  ASSERT_TRUE(store_->WriteSideFile("torn", payload).ok());
+  // Truncate mid-payload: the promised size no longer matches.
+  {
+    std::ifstream in(dir_ + "/side/torn", std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(dir_ + "/side/torn", std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() - 100));
+  }
+  EXPECT_EQ(store_->ReadSideFile("torn").status().code(), ErrorCode::kCorruptData);
+
+  // Flipped payload byte with an intact size: the checksum catches it.
+  ASSERT_TRUE(store_->WriteSideFile("flipped", payload).ok());
+  {
+    std::fstream f(dir_ + "/side/flipped",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(0x5A));
+  }
+  EXPECT_EQ(store_->ReadSideFile("flipped").status().code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(PosixStoreTest, SideFileWriteFaultLeavesOldContentAuthoritative) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Reset();
+  ASSERT_TRUE(store_->WriteSideFile("stable", {9, 9, 9}).ok());
+  // The rename never happens: readers keep seeing the old content, exactly like
+  // a writer that died before publication.
+  faults.Arm("posix.side.write", FaultMode::kError);
+  EXPECT_FALSE(store_->WriteSideFile("stable", {1}).ok());
+  faults.Reset();
+  Result<std::vector<uint8_t>> back = store_->ReadSideFile("stable");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, (std::vector<uint8_t>{9, 9, 9}));
+}
+
 }  // namespace
 }  // namespace hemlock

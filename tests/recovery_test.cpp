@@ -1,6 +1,7 @@
 // Crash-recovery tests for the shared partition: fault injection at every
 // registered point, lock-lease cleanup after a dead or wedged creator, and the
 // SfsCheck fsck pass over hand-corrupted images.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -54,7 +55,11 @@ void EnsureTemplate(HemlockWorld* world) {
 }
 
 Result<RunOutcome> RunCounter(HemlockWorld* world) {
-  return world->RunProgram(kProgSrc, {{"counter.o", ShareClass::kDynamicPublic}});
+  // The resolution manifest rides along so the crash sweep also covers the
+  // stable-linking write window (ldl.manifest.write / ldl.manifest.written).
+  ExecOptions exec;
+  exec.ldl.use_manifest = true;
+  return world->RunProgram(kProgSrc, {{"counter.o", ShareClass::kDynamicPublic}}, exec);
 }
 
 // On test failure, persist the torn image and fsck report for the CI artifact
@@ -90,7 +95,11 @@ TEST(RecoveryTest, CrashAtEveryRegisteredFaultPointRecovers) {
     ASSERT_TRUE(world.sfs().Serialize(&w).ok());
   }
   std::vector<std::string> points = faults.KnownPoints();
-  ASSERT_GE(points.size(), 6u) << "fault points lost from the creation/persist paths";
+  ASSERT_GE(points.size(), 8u) << "fault points lost from the creation/persist paths";
+  for (const char* required : {"ldl.manifest.write", "ldl.manifest.written"}) {
+    EXPECT_NE(std::find(points.begin(), points.end(), required), points.end())
+        << required << " missing: the manifest write window left the sweep";
+  }
 
   for (const std::string& point : points) {
     SCOPED_TRACE("fault point: " + point);

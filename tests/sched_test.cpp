@@ -387,6 +387,42 @@ TEST(SchedulerSmp, ConfigureCoresPreservesQueuedPids) {
   EXPECT_EQ(s.PickNext(), 7);
 }
 
+TEST(SchedulerSmp, CoreCountersAreDistinctWithoutMetrics) {
+  // Regression: without a registry, every per-core counter used to alias one
+  // shared scratch cell — ticks charged to core 0 showed up on core 3 too. Each
+  // core must count in its own storage from ConfigureCores on.
+  Scheduler s;
+  s.ConfigureCores(4);
+  s.CountCoreTicks(0, 5);
+  s.CountCoreTicks(1, 7);
+  s.CountCoreTicks(3, 11);
+  // Late metrics registration migrates the fallback cells into the registry; the
+  // per-core split proves the cells were distinct all along.
+  MetricsRegistry metrics;
+  s.SetMetrics(&metrics);
+  EXPECT_EQ(metrics.Get("vm.sched.core.0.ticks"), 5u);
+  EXPECT_EQ(metrics.Get("vm.sched.core.1.ticks"), 7u);
+  EXPECT_EQ(metrics.Get("vm.sched.core.2.ticks"), 0u);
+  EXPECT_EQ(metrics.Get("vm.sched.core.3.ticks"), 11u);
+  // And only once: migration must not double-count on later activity.
+  s.CountCoreTicks(0, 1);
+  EXPECT_EQ(metrics.Get("vm.sched.core.0.ticks"), 6u);
+}
+
+TEST(SchedulerSmp, CoreCountersRegisterEagerlyWithMetrics) {
+  // With the registry present before ConfigureCores, the per-core counters exist
+  // (at zero) immediately — nothing waits for the first dispatch to register.
+  MetricsRegistry metrics;
+  Scheduler s;
+  s.SetMetrics(&metrics);
+  s.ConfigureCores(2);
+  EXPECT_NE(metrics.Counter("vm.sched.core.0.dispatches"),
+            metrics.Counter("vm.sched.core.1.dispatches"));
+  s.CountCoreTicks(1, 3);
+  EXPECT_EQ(metrics.Get("vm.sched.core.0.ticks"), 0u);
+  EXPECT_EQ(metrics.Get("vm.sched.core.1.ticks"), 3u);
+}
+
 // --- SMP: Machine-level multi-core runs ---
 
 TEST(RunScheduledSmp, FourProcessesOnFourCoresRunToExit) {

@@ -14,6 +14,7 @@ not:
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
                                                    [--min-speedup 3.0]
        bench_compare.py --smp-scaling CONTENTION.json [--min-smp-scaling 2.0]
+       bench_compare.py --manifest-warm MANIFEST.json [--max-warm-ratio 0.10]
 
 The second form gates the SMP cores-vs-throughput curve exported by
 bench_contention's BM_SmpScaling rows: the cores=4 instruction rate must be at
@@ -21,12 +22,35 @@ least --min-smp-scaling times the cores=1 rate. The gate reads the host CPU
 count from the JSON context and relaxes itself when the box cannot physically
 show the scaling (halved floor on 2-3 CPUs, recorded-but-not-gated on 1).
 
-Exits nonzero on any regression; prints one line per comparison.
+The third form gates stable linking's warm-start win from bench_manifest's
+BM_ManifestWarmStart row: warm-start resolution time must be at most
+--max-warm-ratio of cold, and the warm run must actually have installed
+manifest resolutions (manifest_hits > 0).
+
+Exit codes: 0 all gates pass, 1 regression, 2 input unreadable.
 """
 
 import argparse
 import json
 import sys
+
+
+def read_json(path):
+    """Reads |path| as JSON; exits 2 with a clear message when unreadable.
+
+    Unreadable input (missing file, truncated JSON) is an infrastructure
+    problem, not a measured regression — keep the exit codes distinct so CI
+    logs tell the two apart at a glance.
+    """
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {path}: {e.strerror or e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"error: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
 
 # Counters whose values are properties of the workload, not the machine.
 DETERMINISTIC_COUNTERS = (
@@ -40,9 +64,7 @@ DETERMINISTIC_COUNTERS = (
 
 
 def load_benchmarks(path):
-    with open(path) as f:
-        data = json.load(f)
-    return {b["name"]: b for b in data.get("benchmarks", [])}
+    return {b["name"]: b for b in read_json(path).get("benchmarks", [])}
 
 
 def within(old, new, tolerance):
@@ -53,8 +75,7 @@ def within(old, new, tolerance):
 
 def check_smp_scaling(path, min_scaling):
     """Gates the BM_SmpScaling cores-vs-throughput curve in |path|."""
-    with open(path) as f:
-        data = json.load(f)
+    data = read_json(path)
     num_cpus = data.get("context", {}).get("num_cpus", 1)
     benches = {b["name"]: b for b in data.get("benchmarks", [])}
 
@@ -65,9 +86,18 @@ def check_smp_scaling(path, min_scaling):
         return None
 
     one, four = rate(1), rate(4)
-    if one is None or four is None or one <= 0:
-        print("FAIL BM_SmpScaling: cores=1/cores=4 rows missing from "
-              f"{path}", file=sys.stderr)
+    # Tell the two failure shapes apart: an absent series means the bench did not
+    # run (or exported under another name); a zero cores=1 rate means it ran but
+    # measured nothing to scale against (throttled host, broken counter).
+    missing = [f"cores={c}" for c, r in ((1, one), (4, four)) if r is None]
+    if missing:
+        print(f"FAIL BM_SmpScaling: {' and '.join(missing)} series missing "
+              f"from {path}", file=sys.stderr)
+        return 1
+    if one <= 0:
+        print(f"FAIL BM_SmpScaling: cores=1 throughput is {one} in {path}; "
+              "nothing to scale against (throttled host or broken run?)",
+              file=sys.stderr)
         return 1
     ratio = four / one
     if num_cpus >= 4:
@@ -89,6 +119,43 @@ def check_smp_scaling(path, min_scaling):
     return 0
 
 
+def check_manifest_warm(path, max_ratio):
+    """Gates stable linking's warm-over-cold ratio from bench_manifest."""
+    # UseManualTime appends "/manual_time" to the registered name; accept both.
+    benches = {b["name"].split("/")[0]: b
+               for b in read_json(path).get("benchmarks", [])}
+    row = benches.get("BM_ManifestWarmStart")
+    if row is None:
+        print(f"FAIL BM_ManifestWarmStart: row missing from {path}",
+              file=sys.stderr)
+        return 1
+    cold, warm = row.get("cold_ns"), row.get("warm_ns")
+    if cold is None or warm is None:
+        print(f"FAIL BM_ManifestWarmStart: cold_ns/warm_ns missing from {path}",
+              file=sys.stderr)
+        return 1
+    if cold <= 0:
+        print(f"FAIL BM_ManifestWarmStart: cold_ns is {cold}; nothing to "
+              "compare against (broken run?)", file=sys.stderr)
+        return 1
+    hits = row.get("manifest_hits", 0)
+    if hits <= 0:
+        print("FAIL BM_ManifestWarmStart: the warm run installed no manifest "
+              f"resolutions (manifest_hits={hits}) — it was not warm at all",
+              file=sys.stderr)
+        return 1
+    ratio = warm / cold
+    ok = ratio <= max_ratio
+    print(f"{'ok  ' if ok else 'FAIL'} BM_ManifestWarmStart: warm {warm:.4g} ns "
+          f"vs cold {cold:.4g} ns -> {100 * ratio:.1f}% "
+          f"(ceiling {100 * max_ratio:.0f}%, manifest_hits {hits})")
+    if not ok:
+        print(f"\nwarm start at {100 * ratio:.1f}% of cold exceeds the "
+              f"{100 * max_ratio:.0f}% ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?")
@@ -99,10 +166,16 @@ def main():
                         help="gate the BM_SmpScaling curve in this file instead "
                              "of comparing against a baseline")
     parser.add_argument("--min-smp-scaling", type=float, default=2.0)
+    parser.add_argument("--manifest-warm", metavar="MANIFEST_JSON",
+                        help="gate bench_manifest's warm-over-cold ratio in "
+                             "this file instead of comparing against a baseline")
+    parser.add_argument("--max-warm-ratio", type=float, default=0.10)
     args = parser.parse_args()
 
     if args.smp_scaling:
         return check_smp_scaling(args.smp_scaling, args.min_smp_scaling)
+    if args.manifest_warm:
+        return check_manifest_warm(args.manifest_warm, args.max_warm_ratio)
     if args.baseline is None or args.current is None:
         parser.error("baseline and current are required unless --smp-scaling is given")
 

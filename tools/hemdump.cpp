@@ -17,9 +17,16 @@
 // mode, prints every issue found (and whether it was repairable), and optionally
 // writes the repaired image back.
 //
+// The `manifest` subcommand extracts /shm/.ldl.manifest from a state file and
+// pretty-prints the recorded resolution decisions: per-image module-set hashes,
+// each module's identity (key, base, inode, content hash), and the symbol ->
+// address tables a warm start would install. A raw manifest file (HMF! magic)
+// passed to plain dump mode is recognized and printed the same way.
+//
 // Usage: hemdump [--no-disasm] <file> [<file> ...]
 //        hemdump state <state-file>
 //        hemdump check <state-file> [--repair <out-file>]
+//        hemdump manifest <state-file>
 //
 // Exit codes (dump and state modes; first failure wins across multiple files):
 //   0   every input parsed and printed
@@ -39,9 +46,11 @@
 #include "src/base/strings.h"
 #include "src/isa/isa.h"
 #include "src/link/image.h"
+#include "src/link/manifest.h"
 #include "src/obj/object_file.h"
 #include "src/sfs/sfs_check.h"
 #include "src/sfs/shared_fs.h"
+#include "src/sfs/vfs.h"
 
 using namespace hemlock;
 
@@ -282,6 +291,70 @@ int CheckState(const std::string& path, const std::string& repair_out) {
   return report.clean() ? 0 : 1;
 }
 
+bool LooksLikeManifest(const std::vector<uint8_t>& bytes) {
+  return bytes.size() >= 4 && bytes[0] == 'H' && bytes[1] == 'M' && bytes[2] == 'F' &&
+         bytes[3] == '!';
+}
+
+int DumpManifestBytes(const std::vector<uint8_t>& bytes) {
+  Result<ResolutionManifest> manifest = ResolutionManifest::Deserialize(bytes);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "hemdump: bad resolution manifest: %s\n",
+                 manifest.status().ToString().c_str());
+    return ToolExitCode(manifest.status());
+  }
+  std::printf("HMF resolution manifest: %zu image(s), %zu bytes\n", manifest->images.size(),
+              bytes.size());
+  for (const ManifestImage& img : manifest->images) {
+    std::printf("image %016llx  module-set %016llx  (%zu modules)\n",
+                static_cast<unsigned long long>(img.image_hash),
+                static_cast<unsigned long long>(img.ModuleSetHash()), img.modules.size());
+    for (const ManifestModule& mod : img.modules) {
+      std::printf("  %-24s %-16s base 0x%08x ino %-4u hash %016llx  %zu resolution(s)\n",
+                  mod.key.c_str(), ShareClassName(mod.cls), mod.base, mod.ino,
+                  static_cast<unsigned long long>(mod.src_hash), mod.resolved.size());
+      for (const auto& [symbol, addr] : mod.resolved) {
+        std::printf("    %-24s -> 0x%08x\n", symbol.c_str(), addr);
+      }
+    }
+  }
+  return 0;
+}
+
+// Pull /shm/.ldl.manifest out of a saved shared partition and pretty-print it —
+// the warm-start contract, inspectable from the shell.
+int DumpManifest(const std::string& path) {
+  std::vector<uint8_t> bytes = ReadHostFile(path);
+  if (bytes.empty()) {
+    std::fprintf(stderr, "hemdump: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  ByteReader r(bytes);
+  Result<std::unique_ptr<SharedFs>> fs = SharedFs::Deserialize(&r);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "hemdump: %s is not a shared-partition state file: %s\n", path.c_str(),
+                 fs.status().ToString().c_str());
+    return ToolExitCode(fs.status());
+  }
+  Result<SfsStat> st = (*fs)->Stat(Vfs::SfsRelative(kLdlManifestPath));
+  if (!st.ok()) {
+    std::fprintf(stderr, "hemdump: %s has no %s (no manifest-enabled run yet?)\n", path.c_str(),
+                 kLdlManifestPath);
+    return ToolExitCode(NotFound("no resolution manifest"));
+  }
+  std::printf("==== %s: %s (ino %u, %u bytes%s) ====\n", path.c_str(), kLdlManifestPath,
+              st->ino, st->size,
+              (*fs)->CreationPending(st->ino) ? ", CREATION PENDING — a writer crashed" : "");
+  std::vector<uint8_t> manifest_bytes(st->size);
+  Result<uint32_t> n = (*fs)->ReadAt(st->ino, 0, manifest_bytes.data(), st->size);
+  if (!n.ok()) {
+    std::fprintf(stderr, "hemdump: cannot read manifest: %s\n", n.status().ToString().c_str());
+    return ToolExitCode(n.status());
+  }
+  manifest_bytes.resize(*n);
+  return DumpManifestBytes(manifest_bytes);
+}
+
 int DumpOne(const std::string& path) {
   std::vector<uint8_t> bytes = ReadHostFile(path);
   if (bytes.empty()) {
@@ -289,6 +362,9 @@ int DumpOne(const std::string& path) {
     return 1;
   }
   std::printf("==== %s (%zu bytes) ====\n", path.c_str(), bytes.size());
+  if (LooksLikeManifest(bytes)) {
+    return DumpManifestBytes(bytes);
+  }
   if (LinkedModule::LooksLikeModuleFile(bytes)) {
     Result<LinkedModule> mod = LinkedModule::DeserializeFile(bytes);
     if (!mod.ok()) {
@@ -324,6 +400,13 @@ int main(int argc, char** argv) {
     }
     return DumpState(argv[2]);
   }
+  if (argc >= 2 && std::string(argv[1]) == "manifest") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: hemdump manifest <state-file>\n");
+      return 2;
+    }
+    return DumpManifest(argv[2]);
+  }
   if (argc >= 2 && std::string(argv[1]) == "check") {
     std::string state_file;
     std::string repair_out;
@@ -352,7 +435,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: hemdump [--no-disasm] <file> ... | hemdump state <state-file> |\n"
-          "       hemdump check <state-file> [--repair <out-file>]\n");
+          "       hemdump check <state-file> [--repair <out-file>] |\n"
+          "       hemdump manifest <state-file>\n");
       return 0;
     } else {
       files.push_back(arg);

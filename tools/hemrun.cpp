@@ -16,6 +16,9 @@
 //   --state <file>             load/save the shared partition from/to this host file
 //   --env K=V                  set an environment variable (e.g. LD_LIBRARY_PATH)
 //   --eager                    eager ldl ablation (resolve everything at startup)
+//   --manifest                 persist ldl resolutions to /shm/.ldl.manifest so a
+//                              warm start on the same tree skips the scope walks
+//   --no-manifest              explicitly disable the manifest (the default)
 //   --emit <dir>               also write template .o files and a.out to <dir> (host)
 //   --stats                    print ldl statistics after the run
 //   --metrics                  print every counter (vm.*, sfs.*, ldl.*) after the run
@@ -105,7 +108,8 @@ std::string BaseNoExt(const std::string& host_path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hemrun [--state f] [--env K=V] [--eager] [--stats] [--metrics]\n"
+               "usage: hemrun [--state f] [--env K=V] [--eager] [--manifest|--no-manifest]\n"
+               "              [--stats] [--metrics]\n"
                "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
                "              [--procs n] [--quantum q] [--cores n]\n"
                "              [--sched rr|random[:seed]]\n"
@@ -125,6 +129,7 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::map<std::string, std::string> env;
   bool eager = false;
+  bool manifest = false;
   bool stats = false;
   bool metrics = false;
   bool trace = false;
@@ -221,6 +226,10 @@ int main(int argc, char** argv) {
       slow_interp = true;
     } else if (arg == "--eager") {
       eager = true;
+    } else if (arg == "--manifest") {
+      manifest = true;
+    } else if (arg == "--no-manifest") {
+      manifest = false;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--metrics") {
@@ -384,6 +393,7 @@ int main(int argc, char** argv) {
   ExecOptions exec;
   exec.env = env;
   exec.ldl.lazy = !eager;
+  exec.ldl.use_manifest = manifest;
   if (trace) {
     world.machine().trace().set_enabled(true);
   }
@@ -478,6 +488,12 @@ int main(int argc, char** argv) {
                  report.modules_linked, report.trampolines, report.pending_relocs,
                  s.modules_located, s.publics_created, s.publics_attached, s.link_faults,
                  s.map_faults, s.relocs_applied);
+    if (manifest) {
+      std::fprintf(stderr,
+                   "[hemrun] manifest: %u hits, %u misses, %u rebuilds, %u rejected\n",
+                   s.manifest_hits, s.manifest_misses, s.manifest_rebuilds,
+                   s.manifest_rejected);
+    }
     // Resource-pressure counters: a run that brushed the partition's limits shows
     // it here even when every individual syscall recovered.
     MetricsSnapshot snap = world.machine().metrics().Snapshot();
