@@ -1,0 +1,12 @@
+// libFuzzer driver for the differential serialize∘deserialize target: every
+// external format (HOF/HXE/HML/SFS image/resolution manifest/hemnet wire)
+// must reach an encoding fixed point for any input its decoder accepts, and
+// the wire format must re-encode accepted payloads byte-identically.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return hemlock::HemFuzzRoundtrip(data, size);
+}

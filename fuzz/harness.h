@@ -29,6 +29,19 @@ int HemFuzzObject(const uint8_t* data, size_t size);
 // name<->slot index text format.
 int HemFuzzSfs(const uint8_t* data, size_t size);
 
+// The hemnet wire format (src/net/wire.h). Beyond never-crash, this asserts
+// the format's documented *canonical encoding* property: any payload the
+// decoder accepts must re-encode to exactly the input bytes.
+int HemFuzzWire(const uint8_t* data, size_t size);
+
+// Differential serialize∘deserialize target across every external format
+// (HOF, HXE, HML, SFS image, resolution manifest, wire payload): whenever a
+// decoder accepts, re-encoding must reach a fixed point — Serialize(Decode(x))
+// decodes again and re-serializes to the same bytes. A format whose encoder
+// and decoder disagree about a field would diverge here before it ever
+// corrupts a partition or a peer.
+int HemFuzzRoundtrip(const uint8_t* data, size_t size);
+
 }  // namespace hemlock
 
 #endif  // FUZZ_HARNESS_H_

@@ -20,6 +20,7 @@
 #include "src/base/strings.h"
 #include "src/lang/compiler.h"
 #include "src/link/image.h"
+#include "src/net/wire.h"
 #include "src/obj/object_file.h"
 #include "src/sfs/shared_fs.h"
 
@@ -201,6 +202,122 @@ void SfsSeeds(const std::filesystem::path& dir) {
   Put(dir, "index-binary-noise.bin", {0x00, 0xFF, 0x20, 0x0A, 0x80, 0x7F, 0x0A});
 }
 
+void WireSeeds(const std::filesystem::path& dir) {
+  // Valid payloads, one per interesting shape. The roundtrip fuzzer starts
+  // from deep in the accept-space; the hostile variants pin the reject paths.
+  WireMsg hello;
+  hello.op = WireOp::kHello;
+  std::vector<uint8_t> hello_enc = EncodePayload(hello);
+  Put(dir, "wire-hello-valid.bin", hello_enc);
+
+  WireMsg fetch;
+  fetch.op = WireOp::kFetch;
+  fetch.ino = 3;
+  fetch.page_list = {0, 1, 255};
+  Put(dir, "wire-fetch-valid.bin", EncodePayload(fetch));
+
+  WireMsg flush;
+  flush.op = WireOp::kFlush;
+  flush.ino = 2;
+  flush.size = 5000;
+  flush.pages.push_back({0, std::vector<uint8_t>(64, 0x5A)});
+  flush.pages.push_back({1, {}});  // all-zero page travels empty
+  std::vector<uint8_t> flush_enc = EncodePayload(flush);
+  Put(dir, "wire-flush-valid.bin", flush_enc);
+
+  WireMsg lock;
+  lock.op = WireOp::kLock;
+  lock.ino = 7;
+  lock.pid = 42;
+  Put(dir, "wire-lock-valid.bin", EncodePayload(lock));
+
+  WireMsg mount;
+  mount.op = WireOp::kReply;
+  mount.reply_to = static_cast<uint8_t>(WireOp::kMount);
+  WireInval created;
+  created.kind = WireInvalKind::kCreated;
+  created.ino = 4;
+  created.node_type = 1;
+  created.path = "/shm/new.bin";
+  mount.invals = {created};
+  WireNode dir_node;
+  dir_node.ino = 2;
+  dir_node.type = 2;
+  dir_node.path = "/shm";
+  dir_node.parent = 1;
+  WireNode file_node;
+  file_node.ino = 3;
+  file_node.type = 1;
+  file_node.path = "/shm/a.bin";
+  file_node.parent = 2;
+  file_node.size = 512;
+  mount.nodes = {dir_node, file_node};
+  std::vector<uint8_t> mount_enc = EncodePayload(mount);
+  Put(dir, "wire-mount-reply-valid.bin", mount_enc);
+
+  WireMsg err;
+  err.op = WireOp::kError;
+  err.reply_to = static_cast<uint8_t>(WireOp::kLock);
+  err.err_code = WireErrorCode(ErrorCode::kWouldBlock);
+  err.err_msg = "inode 7 is locked";
+  Put(dir, "wire-error-reply-valid.bin", EncodePayload(err));
+
+  WireMsg stats;
+  stats.op = WireOp::kReply;
+  stats.reply_to = static_cast<uint8_t>(WireOp::kStats);
+  stats.stats = {{"net.server.rpcs", 12}};
+  Put(dir, "wire-stats-reply-valid.bin", EncodePayload(stats));
+
+  // Hostile variants.
+  Put(dir, "wire-truncated-mount.bin", Truncate(mount_enc, mount_enc.size() / 2));
+  Put(dir, "wire-truncated-flush.bin", Truncate(flush_enc, flush_enc.size() - 3));
+  Put(dir, "wire-bitflip-mount.bin", FlipByte(mount_enc, mount_enc.size() / 3));
+  Put(dir, "wire-bad-opcode.bin", {0x00});
+  Put(dir, "wire-unknown-opcode.bin", {0x3F, 0x01, 0x02});
+  Put(dir, "wire-trailing-garbage.bin", [&] {
+    std::vector<uint8_t> b = hello_enc;
+    b.insert(b.end(), {0xDE, 0xAD});
+    return b;
+  }());
+  {  // Count bomb: a fetch claiming 2^32-1 page indexes.
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(WireOp::kFetch));
+    w.U32(3);
+    w.U32(0xFFFFFFFFu);
+    Put(dir, "wire-count-bomb.bin", w.buffer());
+  }
+  {  // Bad hello magic.
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(WireOp::kHello));
+    w.U32(0x44414544);
+    w.U16(kWireVersion);
+    Put(dir, "wire-bad-magic.bin", w.buffer());
+  }
+  {  // Invalidation kind outside the enum.
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(WireOp::kReply));
+    w.U8(static_cast<uint8_t>(WireOp::kBye));
+    w.U32(1);
+    w.U8(99);
+    w.U32(5);
+    Put(dir, "wire-bad-inval-kind.bin", w.buffer());
+  }
+  {  // Relative path in a create.
+    WireMsg evil;
+    evil.op = WireOp::kCreate;
+    evil.path = "shm/../../escape";
+    // EncodePayload writes the path verbatim; the decoder must refuse it.
+    Put(dir, "wire-relative-path.bin", EncodePayload(evil));
+  }
+  {  // Page index beyond the 1 MB file.
+    WireMsg bad;
+    bad.op = WireOp::kFetch;
+    bad.ino = 3;
+    bad.page_list = {kWirePagesPerFile};
+    Put(dir, "wire-page-out-of-range.bin", EncodePayload(bad));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +328,7 @@ int main(int argc, char** argv) {
   std::filesystem::path root = argv[1];
   ObjectSeeds(root / "object");
   SfsSeeds(root / "sfs");
+  WireSeeds(root / "wire");
   std::printf("wrote %d seeds under %s\n", g_written, root.c_str());
   return 0;
 }

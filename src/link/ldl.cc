@@ -10,11 +10,31 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <set>
 
 namespace hemlock {
 
 namespace {
+
+// One verified manifest parse, shared across the processes of a scheduled
+// --procs run (every Exec makes a fresh Ldl; the partition cannot change
+// between the back-to-back Execs of one run). Single entry: the most recent
+// verification wins, which is exactly the shape a --procs loop produces.
+struct SharedManifestParse {
+  std::mutex mu;
+  const Machine* machine = nullptr;
+  uint64_t bytes_hash = 0;
+  uint64_t image_hash = 0;
+  ResolutionManifest manifest;
+  std::unordered_map<std::string, ManifestModule> warm;
+  std::unordered_map<std::string, LinkedModule> warm_parsed;
+};
+
+SharedManifestParse& SharedParse() {
+  static SharedManifestParse* cache = new SharedManifestParse();
+  return *cache;
+}
 
 // Applies a pending reloc directly into process memory (kernel write path, so it works
 // on pages mapped inaccessible).
@@ -53,6 +73,8 @@ Ldl::Ldl(Machine* machine, LoadImage image, LdlOptions options)
   c_manifest_misses_ = metrics_.Counter("ldl.manifest.misses");
   c_manifest_rebuilds_ = metrics_.Counter("ldl.manifest.rebuilds");
   c_manifest_rejected_ = metrics_.Counter("ldl.manifest.rejected");
+  c_manifest_negative_hits_ = metrics_.Counter("ldl.manifest.negative_hits");
+  c_manifest_shared_parses_ = metrics_.Counter("ldl.manifest.shared_parses");
   c_startup_ns_ = metrics_.Counter("ldl.startup_ns");
   for (const AbsSymbol& sym : image_.symbols) {
     image_syms_.emplace(sym.name, sym);
@@ -83,6 +105,8 @@ LdlStats Ldl::stats() const {
   s.manifest_misses = static_cast<uint32_t>(*c_manifest_misses_);
   s.manifest_rebuilds = static_cast<uint32_t>(*c_manifest_rebuilds_);
   s.manifest_rejected = static_cast<uint32_t>(*c_manifest_rejected_);
+  s.manifest_negative_hits = static_cast<uint32_t>(*c_manifest_negative_hits_);
+  s.manifest_shared_parses = static_cast<uint32_t>(*c_manifest_shared_parses_);
   return s;
 }
 
@@ -450,6 +474,7 @@ Result<int> Ldl::RegisterLinked(Process& proc, LinkedModule mod, ShareClass cls,
     if (rec != warm_.end()) {
       const ManifestModule& wm = rec->second;
       if (wm.base == ref.base && ref.src_hash != 0 && wm.src_hash == ref.src_hash) {
+        ref.manifest_negative.insert(wm.negatives.begin(), wm.negatives.end());
         if (!ref.relocs.empty()) {
           // Partially linked (function-lazy trailers): seed `resolved` so the
           // remaining bindings skip their lookups and `scope_cache` so residual
@@ -756,6 +781,13 @@ Result<uint32_t> Ldl::LookupScoped(Process& proc, int index, const std::string& 
       ++*c_cache_hits_;
       if (trace_->enabled()) trace_->Emit(TraceKind::kCacheHit, symbol, m.name);
       return NotFound("symbol '" + symbol + "' not found (memoized miss)");
+    }
+    if (m.manifest_negative.count(symbol) != 0) {
+      // Recorded absent at the last run's teardown; the verified module set is
+      // the same, so skip the walk — and the retry-on-later-fault churn.
+      ++*c_manifest_negative_hits_;
+      if (trace_->enabled()) trace_->Emit(TraceKind::kCacheHit, symbol, m.name);
+      return NotFound("symbol '" + symbol + "' not found (recorded absent)");
     }
   }
   ++*c_cache_misses_;
@@ -1071,6 +1103,25 @@ void Ldl::LoadManifest(Process& proc) {
     ++*c_manifest_rejected_;
     return;
   }
+  // One verified parse is shared across the back-to-back Execs of a scheduled
+  // --procs run: each Exec makes a fresh Ldl, but the manifest bytes and module
+  // files cannot change between them, so re-parsing and re-hashing every module
+  // per process is pure waste. Keyed by machine + manifest content + image so
+  // any other reuse (different world, rewritten manifest) misses; the
+  // install-time identity re-check in RegisterLinked still guards each module.
+  uint64_t bytes_hash = Fnv1a64(bytes->data(), bytes->size());
+  {
+    SharedManifestParse& cache = SharedParse();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.machine == machine_ && cache.bytes_hash == bytes_hash &&
+        cache.image_hash == image_hash_) {
+      manifest_ = cache.manifest;
+      warm_ = cache.warm;
+      warm_parsed_ = cache.warm_parsed;
+      ++*c_manifest_shared_parses_;
+      return;
+    }
+  }
   Result<ResolutionManifest> parsed = ResolutionManifest::Deserialize(*bytes);
   if (!parsed.ok()) {
     // Torn, corrupt, or from a different format version — never an error for the
@@ -1127,6 +1178,14 @@ void Ldl::LoadManifest(Process& proc) {
   }
   warm_ = std::move(staged);
   warm_parsed_ = std::move(parsed_modules);
+  SharedManifestParse& cache = SharedParse();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.machine = machine_;
+  cache.bytes_hash = bytes_hash;
+  cache.image_hash = image_hash_;
+  cache.manifest = manifest_;
+  cache.warm = warm_;
+  cache.warm_parsed = warm_parsed_;
 }
 
 Status Ldl::WriteManifest() {
@@ -1150,6 +1209,17 @@ Status Ldl::WriteManifest() {
     rec.ino = m.ino;
     rec.src_hash = m.src_hash;
     rec.resolved.assign(m.resolved.begin(), m.resolved.end());
+    // Teardown-time negative knowledge: symbols still unresolved now (plus any
+    // carried over from the last record) are known-absent for this module set.
+    {
+      std::set<std::string> negs(m.unresolved.begin(), m.unresolved.end());
+      negs.insert(m.manifest_negative.begin(), m.manifest_negative.end());
+      for (const auto& [symbol, addr] : m.resolved) {
+        (void)addr;
+        negs.erase(symbol);  // resolved on a later fault after all: not absent
+      }
+      rec.negatives.assign(negs.begin(), negs.end());
+    }
     if (m.warm_covered) {
       // Covered modules skipped the install, so their table still lives in
       // |warm_|; union it in (fresh decisions win) or the record would shrink.

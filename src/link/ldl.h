@@ -100,6 +100,8 @@ struct LdlStats {
   uint32_t manifest_misses = 0;   // manifest records that failed verification
   uint32_t manifest_rebuilds = 0; // manifest flushes written to disk
   uint32_t manifest_rejected = 0; // manifests/records discarded as unusable
+  uint32_t manifest_negative_hits = 0;   // lookups answered by recorded absences
+  uint32_t manifest_shared_parses = 0;   // warm starts that reused a verified parse
 };
 
 class Ldl {
@@ -171,6 +173,12 @@ class Ldl {
     // are cleared on every module registration and at each fault.
     std::unordered_map<std::string, uint32_t> scope_cache;
     std::unordered_set<std::string> scope_negative;
+    // Negative knowledge carried over from the manifest: symbols recorded absent
+    // at the last run's teardown. Unlike scope_negative these survive
+    // InvalidateNegativeCaches — the verified module set is identical to the
+    // recording run's, so a symbol absent then is absent now (hits are counted
+    // in ldl.manifest.negative_hits).
+    std::unordered_set<std::string> manifest_negative;
     // Located module-list dependencies (name -> module index; -1 memoizes a locate
     // failure). Negative entries are dropped by InvalidateNegativeCaches (every
     // registration and every fault) so later-registered modules get found —
@@ -299,6 +307,8 @@ class Ldl {
   uint64_t* c_manifest_misses_;    // warm start attempted, no verifiable record
   uint64_t* c_manifest_rebuilds_;  // manifest (re)written with fresh decisions
   uint64_t* c_manifest_rejected_;  // manifest unreadable/pending/corrupt, ignored
+  uint64_t* c_manifest_negative_hits_;   // lookups short-circuited by recorded absences
+  uint64_t* c_manifest_shared_parses_;   // verified parses reused across Execs
   uint64_t* c_startup_ns_;         // wall time spent inside Startup (link time)
 
   std::vector<RtModule> modules_;

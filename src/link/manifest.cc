@@ -10,7 +10,9 @@ namespace hemlock {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x21464D48;  // "HMF!"
-constexpr uint32_t kManifestVersion = 1;
+// v2 added the per-module negative-resolution list (a v1 file is rejected with
+// kUnsupportedVersion and simply rebuilt — the manifest is an optimization).
+constexpr uint32_t kManifestVersion = 2;
 
 void HashMix(uint64_t* h, const void* data, size_t n) { *h = Fnv1a64(data, n, *h); }
 
@@ -69,6 +71,10 @@ std::vector<uint8_t> ResolutionManifest::Serialize() const {
         body.Str(symbol);
         body.U32(addr);
       }
+      body.U32(static_cast<uint32_t>(m.negatives.size()));
+      for (const std::string& symbol : m.negatives) {
+        body.Str(symbol);
+      }
     }
   }
   ByteWriter w;
@@ -126,6 +132,12 @@ Result<ResolutionManifest> ResolutionManifest::Deserialize(const std::vector<uin
         ASSIGN_OR_RETURN(std::string symbol, r.Str());
         ASSIGN_OR_RETURN(uint32_t addr, r.U32());
         m.resolved.emplace_back(std::move(symbol), addr);
+      }
+      ASSIGN_OR_RETURN(uint32_t n_negative, r.Count(2, kManifestMaxResolutions));
+      m.negatives.reserve(n_negative);
+      for (uint32_t k = 0; k < n_negative; ++k) {
+        ASSIGN_OR_RETURN(std::string symbol, r.Str());
+        m.negatives.push_back(std::move(symbol));
       }
       img.modules.push_back(std::move(m));
     }

@@ -56,6 +56,11 @@ struct ManifestModule {
   // LinkModuleAtBase would assign. Never 0 (unverifiable modules are not recorded).
   uint64_t src_hash = 0;
   std::vector<std::pair<std::string, uint32_t>> resolved;  // symbol -> absolute addr
+  // Symbols this module still could not resolve when the recording run tore
+  // down — known-absent for the whole verified module set. A warm start seeds
+  // its negative knowledge from these (counted ldl.manifest.negative_hits)
+  // instead of re-walking scopes on every retry-on-later-fault.
+  std::vector<std::string> negatives;
 };
 
 // Every resolution decision recorded for one load image.

@@ -1,0 +1,132 @@
+// NetClient — the attach side of distributed shared segments.
+//
+// Mounts a hemserve partition over a loopback/LAN socket and keeps the local
+// SharedFs a coherent replica of it (see docs/DISTRIBUTED.md):
+//
+//   * metadata mutations are forward-first (RemoteBacking hooks): the RPC runs
+//     before the local mutation, every invalidation the server queued for this
+//     session rides back on the reply and is applied first, so the replica's
+//     deterministic inode allocator stays in lockstep with the server's;
+//   * pages are fetched on demand at attach/fault time (EnsureResident) into
+//     per-inode residency bitsets, with a *twin* copy of each fetched page kept
+//     for dirty detection;
+//   * release points (unlock, pending-clear, exit sweep, disconnect) diff the
+//     extent against the twins and flush dirty pages — lazy release
+//     consistency, so guest stores through mapped pages cost nothing extra;
+//   * a blocking RPC drops the calling core's kernel lock (Machine::
+//     EnterNetWait) for the socket wait, so a remote fetch stalls one core,
+//     not the machine;
+//   * any transport failure degrades the client: cached pages stay readable,
+//     every new mutation or fetch fails with kIoError (counted in
+//     net.client.degraded) — a partitioned node fails loudly, never silently
+//     forks the shared state.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/net/transport.h"
+#include "src/net/wire.h"
+#include "src/sfs/remote_backing.h"
+#include "src/sfs/shared_fs.h"
+#include "src/vm/machine.h"
+
+namespace hemlock {
+
+class NetClient : public RemoteBacking {
+ public:
+  NetClient() = default;
+  ~NetClient() override;
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Dials the server, shakes hands (version-gated), mounts the partition
+  // snapshot into a fresh replica, installs it as |machine|'s shared partition,
+  // and wires this client in as its RemoteBacking.
+  Status Connect(const std::string& host, int port, Machine* machine);
+  // Flushes every dirty page, says Bye, closes. Safe to call twice.
+  void Disconnect();
+
+  bool connected() const { return conn_.fd() >= 0; }
+  bool degraded() const { return degraded_; }
+  uint32_t session() const { return session_; }
+
+  // Server-side introspection over the wire.
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchServerStats();
+  // Runs SfsCheck on the authoritative partition; returns (clean, report text).
+  Result<std::pair<bool, std::string>> RemoteCheck();
+  // Flushes all dirty pages now (tests and orderly shutdown).
+  Status FlushAll();
+
+  // RemoteBacking (called by the replica SharedFs under the kernel lock):
+  Result<uint32_t> OnCreate(const std::string& path) override;
+  Result<uint32_t> OnMkdir(const std::string& path) override;
+  Result<uint32_t> OnSymlink(const std::string& path, const std::string& target) override;
+  Status OnUnlink(const std::string& path, bool force) override;
+  Status OnTruncate(uint32_t ino, uint32_t new_size) override;
+  Status OnWriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uint32_t len) override;
+  Status OnLock(uint32_t ino, int pid) override;
+  Status OnUnlock(uint32_t ino, int pid) override;
+  void OnReleaseLocks(int pid) override;
+  Status OnSetPending(uint32_t ino, bool pending) override;
+  Status EnsureResident(uint32_t ino, uint32_t offset, uint32_t len) override;
+
+ private:
+  struct InoCache {
+    std::vector<bool> resident;  // kWirePagesPerFile bits: page holds server bytes
+    std::vector<uint8_t> twin;   // server content as of the last sync (zero-padded)
+    uint32_t synced_size = 0;    // logical size the server last confirmed
+  };
+
+  // One full RPC at a hook boundary: drops the kernel lock for the socket wait,
+  // serializes the round trip on client_mu_, re-acquires the kernel lock, then
+  // applies the reply's invalidations. A kError reply is an OK *result* — the
+  // caller turns it into a Status so error codes survive the wire.
+  Result<WireMsg> Call(const WireMsg& req);
+  // The bare round trip; assumes client_mu_ is held. Degrades on any failure.
+  Result<WireMsg> RoundTripLocked(const WireMsg& req);
+  // Applies invalidations in server order (kernel lock held, forwarding
+  // bypassed). Page invalidations of resident pages re-fetch eagerly — the
+  // page may be mapped into a running process, so its bytes must change in
+  // place at this synchronization point. Nested fetch replies append to the
+  // same worklist (iterative, no recursion).
+  Status ApplyInvalsLocked(std::vector<WireInval> work);
+  // Lands a fetch reply's pages: extent, twin, residency.
+  Status InstallPagesLocked(const WireMsg& reply);
+  // Diffs |ino|'s extent against its twin and flushes dirty pages + size.
+  Status FlushInode(uint32_t ino);
+  InoCache& CacheOf(uint32_t ino);
+  void Degrade(const Status& why);
+
+  Machine* machine_ = nullptr;
+  SharedFs* fs_ = nullptr;
+  Conn conn_;
+  uint32_t session_ = 0;
+  bool degraded_ = false;
+
+  // Serializes round trips across cores. The socket wait happens with the
+  // kernel lock *released* and client_mu_ held; the lock is re-acquired before
+  // client_mu_ is dropped, so local apply order always equals server order.
+  std::mutex client_mu_;
+
+  // Guarded by the kernel lock (every hook and every apply runs under it).
+  std::map<uint32_t, InoCache> cache_;
+
+  uint64_t* c_rpcs_ = nullptr;
+  uint64_t* c_fetch_rpcs_ = nullptr;
+  uint64_t* c_pages_fetched_ = nullptr;
+  uint64_t* c_pages_flushed_ = nullptr;
+  uint64_t* c_invals_applied_ = nullptr;
+  uint64_t* c_degraded_ = nullptr;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_NET_CLIENT_H_

@@ -1,0 +1,66 @@
+#include "src/net/coherence.h"
+
+namespace hemlock {
+
+void CoherenceDirectory::NoteFetch(uint32_t ino, uint32_t page, uint32_t s) {
+  PageState& st = pages_[Key(ino, page)];
+  if (st.owner != 0 && st.owner != s) {
+    // Single-writer invariant: a new reader ends the owner's exclusivity.
+    st.readers.insert(st.owner);
+    st.owner = 0;
+    ++downgrades_;
+  }
+  st.readers.insert(s);
+}
+
+void CoherenceDirectory::NoteWrite(uint32_t ino, uint32_t page, uint32_t s,
+                                   const std::function<void(uint32_t)>& invalidate) {
+  PageState& st = pages_[Key(ino, page)];
+  for (uint32_t reader : st.readers) {
+    if (reader != s) {
+      ++invalidations_;
+      if (invalidate) {
+        invalidate(reader);
+      }
+    }
+  }
+  st.readers.clear();
+  st.readers.insert(s);
+  st.owner = s;
+}
+
+void CoherenceDirectory::DropInode(uint32_t ino) {
+  auto begin = pages_.lower_bound(Key(ino, 0));
+  auto end = pages_.lower_bound(Key(ino + 1, 0));
+  pages_.erase(begin, end);
+}
+
+void CoherenceDirectory::DropSession(uint32_t s) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    PageState& st = it->second;
+    st.readers.erase(s);
+    if (st.owner == s) {
+      st.owner = 0;
+    }
+    if (st.readers.empty() && st.owner == 0) {
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint32_t CoherenceDirectory::OwnerOf(uint32_t ino, uint32_t page) const {
+  auto it = pages_.find(Key(ino, page));
+  return it == pages_.end() ? 0 : it->second.owner;
+}
+
+std::vector<uint32_t> CoherenceDirectory::ReadersOf(uint32_t ino, uint32_t page) const {
+  auto it = pages_.find(Key(ino, page));
+  if (it == pages_.end()) {
+    return {};
+  }
+  return std::vector<uint32_t>(it->second.readers.begin(), it->second.readers.end());
+}
+
+}  // namespace hemlock

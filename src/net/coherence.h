@@ -1,0 +1,64 @@
+// Page-granular ownership tracking for the segment-coherence server.
+//
+// Classic single-writer / multi-reader directory (the DSM shape the Rochester
+// group moved to after the paper): every (inode, page) has at most one
+// exclusive owner — the last session that flushed bytes into it — and any
+// number of reading cachers. A fetch joins the reader set and demotes a
+// foreign owner to reader; a write makes the writer exclusive and fires an
+// invalidation callback for every other session still caching the page. The
+// server queues those callbacks per session and piggybacks them on the next
+// reply, so a client observes remote writes at its own synchronization points
+// (lock acquire / any RPC) — lazy release consistency, not eager broadcast.
+#ifndef SRC_NET_COHERENCE_H_
+#define SRC_NET_COHERENCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace hemlock {
+
+class CoherenceDirectory {
+ public:
+  // Session |s| cached |page| of |ino| for reading. A foreign exclusive owner
+  // is downgraded to a plain reader (its cached copy stays valid — it just
+  // loses the right to skip invalidations on its next write).
+  void NoteFetch(uint32_t ino, uint32_t page, uint32_t s);
+
+  // Session |s| wrote |page|: |s| becomes the exclusive owner and every other
+  // caching session is invalidated via |invalidate| (and leaves the set — it
+  // must re-fetch before it counts as a reader again).
+  void NoteWrite(uint32_t ino, uint32_t page, uint32_t s,
+                 const std::function<void(uint32_t session)>& invalidate);
+
+  // The inode was destroyed / a session disconnected: forget the entries.
+  void DropInode(uint32_t ino);
+  void DropSession(uint32_t s);
+
+  // Introspection (tests, stats). Owner 0 = no exclusive owner.
+  uint32_t OwnerOf(uint32_t ino, uint32_t page) const;
+  std::vector<uint32_t> ReadersOf(uint32_t ino, uint32_t page) const;
+
+  uint64_t downgrades() const { return downgrades_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct PageState {
+    uint32_t owner = 0;  // 0 = none/shared
+    std::set<uint32_t> readers;
+  };
+
+  static uint64_t Key(uint32_t ino, uint32_t page) {
+    return (static_cast<uint64_t>(ino) << 32) | page;
+  }
+
+  std::map<uint64_t, PageState> pages_;
+  uint64_t downgrades_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_NET_COHERENCE_H_

@@ -1,0 +1,546 @@
+#include "src/net/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/strings.h"
+#include "src/sfs/sfs_check.h"
+
+namespace hemlock {
+
+namespace {
+
+bool AllZero(const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SegmentServer::SegmentServer(std::unique_ptr<SharedFs> fs)
+    : fs_(fs != nullptr ? std::move(fs) : std::make_unique<SharedFs>()) {
+  c_sessions_ = metrics_.Counter("net.server.sessions");
+  c_disconnects_ = metrics_.Counter("net.server.disconnects");
+  c_rpcs_ = metrics_.Counter("net.server.rpcs");
+  c_pages_fetched_ = metrics_.Counter("net.server.pages_fetched");
+  c_pages_flushed_ = metrics_.Counter("net.server.pages_flushed");
+  c_invals_queued_ = metrics_.Counter("net.server.invals_queued");
+  c_lock_waits_ = metrics_.Counter("net.server.lock_waits");
+  c_leases_reclaimed_ = metrics_.Counter("net.server.leases_reclaimed");
+  // Wire leases plug into PR 2's dead-holder detection: a lock owner is "alive"
+  // exactly while the session that took it is still connected, so the lease
+  // machinery (and SfsCheck's at-boot sweep) treats a vanished client like a
+  // dead local process.
+  fs_->SetPidProber([this](int pid) {
+    for (const auto& [id, session] : sessions_) {
+      for (const auto& [client_pid, pseudo] : session.pseudo_pids) {
+        if (pseudo == pid) {
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+}
+
+SegmentServer::~SegmentServer() { Stop(); }
+
+Status SegmentServer::Listen(const std::string& host, int port) {
+  ASSIGN_OR_RETURN(listener_, Listener::ListenTcp(host, port));
+  return OkStatus();
+}
+
+Status SegmentServer::Start() {
+  if (!listener_.ok()) {
+    return FailedPrecondition("net: server not listening");
+  }
+  if (serving_) {
+    return FailedPrecondition("net: server already started");
+  }
+  stop_.store(false);
+  serving_ = true;
+  serve_thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      (void)PollOnce(50);
+    }
+  });
+  return OkStatus();
+}
+
+void SegmentServer::Stop() {
+  if (!serving_) {
+    return;
+  }
+  stop_.store(true);
+  serve_thread_.join();
+  serving_ = false;
+}
+
+size_t SegmentServer::SessionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+Status SegmentServer::PollOnce(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<struct pollfd> fds;
+  std::vector<uint32_t> ids;
+  fds.push_back({listener_.fd(), POLLIN, 0});
+  ids.push_back(0);
+  for (const auto& [id, session] : sessions_) {
+    fds.push_back({session.conn.fd(), POLLIN, 0});
+    ids.push_back(id);
+  }
+  int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      return OkStatus();
+    }
+    return IoError(StrFormat("net: poll: %s", std::strerror(errno)));
+  }
+  if (n == 0) {
+    return OkStatus();
+  }
+  if (fds[0].revents & POLLIN) {
+    Result<Conn> conn = listener_.Accept();
+    if (conn.ok()) {
+      Session s;
+      s.id = next_session_++;
+      s.conn = std::move(*conn);
+      // A peer that stops mid-frame must not wedge the loop forever.
+      (void)s.conn.SetRecvTimeout(10);
+      ++*c_sessions_;
+      sessions_.emplace(s.id, std::move(s));
+    }
+  }
+  for (size_t i = 1; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      continue;
+    }
+    Session* s = FindSession(ids[i]);
+    if (s == nullptr) {
+      continue;
+    }
+    Result<WireMsg> req = s->conn.Recv();
+    if (!req.ok()) {
+      DropSession(ids[i], req.status().message().c_str());
+      continue;
+    }
+    ++*c_rpcs_;
+    WireMsg reply = Dispatch(*s, *req);
+    Status sent = s->conn.Send(reply);
+    if (!sent.ok() || req->op == WireOp::kBye) {
+      DropSession(ids[i], sent.ok() ? "bye" : sent.message().c_str());
+    }
+  }
+  return OkStatus();
+}
+
+SegmentServer::Session* SegmentServer::FindSession(uint32_t id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+int SegmentServer::PseudoPid(Session& s, int32_t pid) {
+  auto it = s.pseudo_pids.find(pid);
+  if (it != s.pseudo_pids.end()) {
+    return it->second;
+  }
+  int pseudo = next_pseudo_pid_++;
+  s.pseudo_pids.emplace(pid, pseudo);
+  return pseudo;
+}
+
+void SegmentServer::DropSession(uint32_t id, const char* why) {
+  Session* s = FindSession(id);
+  if (s == nullptr) {
+    return;
+  }
+  (void)why;
+  // Dead-client reclamation: every wire lease the session held is released
+  // (waking nothing here — remote waiters re-try their Lock RPC and find the
+  // inode free), every cached-page claim is dropped.
+  for (const auto& [client_pid, pseudo] : s->pseudo_pids) {
+    for (uint32_t ino = 1; ino <= kSfsMaxInodes; ++ino) {
+      if (fs_->LockOwner(ino) == pseudo) {
+        ++*c_leases_reclaimed_;
+      }
+    }
+    fs_->ReleaseLocksOf(pseudo);
+  }
+  directory_.DropSession(id);
+  sessions_.erase(id);
+  ++*c_disconnects_;
+}
+
+void SegmentServer::QueueInvalTo(Session& s, const WireInval& inv) {
+  if (std::find(s.pending.begin(), s.pending.end(), inv) != s.pending.end()) {
+    return;  // an identical record is already queued
+  }
+  s.pending.push_back(inv);
+  ++*c_invals_queued_;
+}
+
+void SegmentServer::QueueInval(uint32_t except, const WireInval& inv) {
+  for (auto& [id, session] : sessions_) {
+    if (id != except) {
+      QueueInvalTo(session, inv);
+    }
+  }
+}
+
+WireMsg SegmentServer::Ack(Session& s, WireOp reply_to) {
+  WireMsg m;
+  m.op = WireOp::kReply;
+  m.reply_to = static_cast<uint8_t>(reply_to);
+  m.invals = std::move(s.pending);
+  s.pending.clear();
+  return m;
+}
+
+WireMsg SegmentServer::Err(Session& s, WireOp reply_to, const Status& st) {
+  WireMsg m = WireErrorFrom(st);
+  m.reply_to = static_cast<uint8_t>(reply_to);
+  // Errors drain the queue too: a client spinning on a contended lock keeps
+  // observing remote progress between retries.
+  m.invals = std::move(s.pending);
+  s.pending.clear();
+  return m;
+}
+
+WireMsg SegmentServer::HandleMount(Session& s) {
+  WireMsg reply = Ack(s, WireOp::kMount);
+  for (uint32_t ino = 2; ino <= kSfsMaxInodes; ++ino) {
+    Result<SfsStat> st = fs_->StatInode(ino);
+    if (!st.ok()) {
+      continue;
+    }
+    WireNode node;
+    node.ino = ino;
+    node.type = static_cast<uint8_t>(st->type);
+    node.size = st->size;
+    node.pending = fs_->CreationPending(ino) ? 1 : 0;
+    Result<std::string> path = fs_->InodeToPath(ino);
+    if (!path.ok()) {
+      continue;
+    }
+    node.path = *path;
+    Result<uint32_t> parent = fs_->Lookup(PathDirname(node.path));
+    node.parent = parent.ok() ? *parent : 1;
+    if (st->type == SfsNodeType::kSymlink) {
+      Result<std::string> target = fs_->ReadLink(node.path);
+      if (target.ok()) {
+        node.target = *target;
+      }
+    }
+    reply.nodes.push_back(std::move(node));
+  }
+  return reply;
+}
+
+WireMsg SegmentServer::HandleFetch(Session& s, const WireMsg& req) {
+  Result<SfsStat> st = fs_->StatInode(req.ino);
+  if (!st.ok()) {
+    return Err(s, WireOp::kFetch, st.status());
+  }
+  if (st->type != SfsNodeType::kRegular) {
+    return Err(s, WireOp::kFetch, InvalidArgument("net: fetch of a non-file inode"));
+  }
+  WireMsg reply = Ack(s, WireOp::kFetch);
+  reply.ino = req.ino;
+  reply.size = st->size;
+  const uint8_t* data = fs_->DataPtr(req.ino);
+  uint32_t extent = fs_->ExtentBytes(req.ino);
+  for (uint32_t idx : req.page_list) {
+    WirePage page;
+    page.index = idx;
+    uint32_t off = idx * kPageSize;
+    if (off < extent) {
+      uint32_t len = std::min<uint32_t>(kPageSize, extent - off);
+      if (!AllZero(data + off, len)) {
+        page.bytes.assign(data + off, data + off + len);
+      }
+    }
+    // Pages past the extent (or all zero) travel as the empty marker.
+    directory_.NoteFetch(req.ino, idx, s.id);
+    ++*c_pages_fetched_;
+    reply.pages.push_back(std::move(page));
+  }
+  return reply;
+}
+
+WireMsg SegmentServer::HandleFlush(Session& s, const WireMsg& req) {
+  Result<SfsStat> st = fs_->StatInode(req.ino);
+  if (!st.ok()) {
+    return Err(s, WireOp::kFlush, st.status());
+  }
+  if (st->type != SfsNodeType::kRegular) {
+    return Err(s, WireOp::kFlush, InvalidArgument("net: flush of a non-file inode"));
+  }
+  auto invalidate = [this, &req](uint32_t page_idx) {
+    return [this, &req, page_idx](uint32_t session_id) {
+      Session* other = FindSession(session_id);
+      if (other != nullptr) {
+        WireInval inv;
+        inv.kind = WireInvalKind::kPage;
+        inv.ino = req.ino;
+        inv.value = page_idx;
+        QueueInvalTo(*other, inv);
+      }
+    };
+  };
+  for (const WirePage& page : req.pages) {
+    uint32_t off = page.index * kPageSize;
+    uint32_t len = page.bytes.empty() ? kPageSize
+                                      : static_cast<uint32_t>(page.bytes.size());
+    uint32_t end = std::min<uint64_t>(static_cast<uint64_t>(off) + len, kSfsMaxFileBytes);
+    Status grown = fs_->EnsureExtent(req.ino, end);
+    if (!grown.ok()) {
+      return Err(s, WireOp::kFlush, grown);
+    }
+    uint8_t* data = fs_->DataPtr(req.ino);
+    if (page.bytes.empty()) {
+      std::memset(data + off, 0, end - off);
+    } else {
+      std::memcpy(data + off, page.bytes.data(), page.bytes.size());
+    }
+    directory_.NoteWrite(req.ino, page.index, s.id, invalidate(page.index));
+    ++*c_pages_flushed_;
+  }
+  if (req.size != st->size) {
+    Status resized = fs_->Truncate(req.ino, req.size);
+    if (!resized.ok()) {
+      return Err(s, WireOp::kFlush, resized);
+    }
+    WireInval inv;
+    inv.kind = WireInvalKind::kSize;
+    inv.ino = req.ino;
+    inv.value = req.size;
+    QueueInval(s.id, inv);
+  }
+  return Ack(s, WireOp::kFlush);
+}
+
+WireMsg SegmentServer::Dispatch(Session& s, const WireMsg& req) {
+  if (req.op == WireOp::kHello) {
+    if (req.version != kWireVersion) {
+      return Err(s, WireOp::kHello,
+                 UnsupportedVersion(StrFormat("net: protocol version %u, server speaks %u",
+                                              req.version, kWireVersion)));
+    }
+    s.hello_done = true;
+    WireMsg reply = Ack(s, WireOp::kHello);
+    reply.session = s.id;
+    reply.version = kWireVersion;
+    return reply;
+  }
+  if (!s.hello_done) {
+    return Err(s, req.op, FailedPrecondition("net: request before HELLO"));
+  }
+  switch (req.op) {
+    case WireOp::kMount:
+      return HandleMount(s);
+    case WireOp::kFetch:
+      return HandleFetch(s, req);
+    case WireOp::kFlush:
+      return HandleFlush(s, req);
+    case WireOp::kCreate: {
+      Result<uint32_t> ino = fs_->Create(req.path);
+      if (!ino.ok()) {
+        return Err(s, WireOp::kCreate, ino.status());
+      }
+      WireInval inv;
+      inv.kind = WireInvalKind::kCreated;
+      inv.ino = *ino;
+      inv.node_type = static_cast<uint8_t>(SfsNodeType::kRegular);
+      inv.path = NormalizePath(req.path);
+      QueueInval(s.id, inv);
+      WireMsg reply = Ack(s, WireOp::kCreate);
+      reply.ino = *ino;
+      return reply;
+    }
+    case WireOp::kMkdir: {
+      Result<uint32_t> ino = fs_->Mkdir(req.path);
+      if (!ino.ok()) {
+        return Err(s, WireOp::kMkdir, ino.status());
+      }
+      WireInval inv;
+      inv.kind = WireInvalKind::kCreated;
+      inv.ino = *ino;
+      inv.node_type = static_cast<uint8_t>(SfsNodeType::kDirectory);
+      inv.path = NormalizePath(req.path);
+      QueueInval(s.id, inv);
+      WireMsg reply = Ack(s, WireOp::kMkdir);
+      reply.ino = *ino;
+      return reply;
+    }
+    case WireOp::kSymlink: {
+      Result<uint32_t> ino = fs_->Symlink(req.path, req.target);
+      if (!ino.ok()) {
+        return Err(s, WireOp::kSymlink, ino.status());
+      }
+      WireInval inv;
+      inv.kind = WireInvalKind::kCreated;
+      inv.ino = *ino;
+      inv.node_type = static_cast<uint8_t>(SfsNodeType::kSymlink);
+      inv.path = NormalizePath(req.path);
+      inv.target = req.target;
+      QueueInval(s.id, inv);
+      WireMsg reply = Ack(s, WireOp::kSymlink);
+      reply.ino = *ino;
+      return reply;
+    }
+    case WireOp::kUnlink: {
+      Result<uint32_t> ino = fs_->Lookup(req.path);
+      if (!ino.ok()) {
+        return Err(s, WireOp::kUnlink, ino.status());
+      }
+      Status st = fs_->Unlink(req.path, req.flag != 0);
+      if (!st.ok()) {
+        return Err(s, WireOp::kUnlink, st);
+      }
+      directory_.DropInode(*ino);
+      WireInval inv;
+      inv.kind = WireInvalKind::kUnlinked;
+      inv.ino = *ino;
+      inv.path = NormalizePath(req.path);
+      QueueInval(s.id, inv);
+      return Ack(s, WireOp::kUnlink);
+    }
+    case WireOp::kTruncate: {
+      Result<SfsStat> before = fs_->StatInode(req.ino);
+      if (!before.ok()) {
+        return Err(s, WireOp::kTruncate, before.status());
+      }
+      uint32_t old_extent = fs_->ExtentBytes(req.ino);
+      Status st = fs_->Truncate(req.ino, req.size);
+      if (!st.ok()) {
+        return Err(s, WireOp::kTruncate, st);
+      }
+      WireInval inv;
+      inv.kind = WireInvalKind::kSize;
+      inv.ino = req.ino;
+      inv.value = req.size;
+      QueueInval(s.id, inv);
+      // A shrink zeroed [new_size, extent): readers caching those pages hold
+      // stale bytes now.
+      for (uint32_t off = req.size & ~(kPageSize - 1); off < old_extent; off += kPageSize) {
+        uint32_t page_idx = off / kPageSize;
+        directory_.NoteWrite(req.ino, page_idx, s.id, [this, &req, page_idx](uint32_t id) {
+          Session* other = FindSession(id);
+          if (other != nullptr) {
+            WireInval pinv;
+            pinv.kind = WireInvalKind::kPage;
+            pinv.ino = req.ino;
+            pinv.value = page_idx;
+            QueueInvalTo(*other, pinv);
+          }
+        });
+      }
+      return Ack(s, WireOp::kTruncate);
+    }
+    case WireOp::kWrite: {
+      Result<SfsStat> before = fs_->StatInode(req.ino);
+      if (!before.ok()) {
+        return Err(s, WireOp::kWrite, before.status());
+      }
+      Status st = fs_->WriteAt(req.ino, req.offset, req.bytes.data(),
+                               static_cast<uint32_t>(req.bytes.size()));
+      if (!st.ok()) {
+        return Err(s, WireOp::kWrite, st);
+      }
+      if (!req.bytes.empty()) {
+        uint32_t first = req.offset / kPageSize;
+        uint32_t last = (req.offset + static_cast<uint32_t>(req.bytes.size()) - 1) / kPageSize;
+        for (uint32_t page_idx = first; page_idx <= last; ++page_idx) {
+          directory_.NoteWrite(req.ino, page_idx, s.id, [this, &req, page_idx](uint32_t id) {
+            Session* other = FindSession(id);
+            if (other != nullptr) {
+              WireInval pinv;
+              pinv.kind = WireInvalKind::kPage;
+              pinv.ino = req.ino;
+              pinv.value = page_idx;
+              QueueInvalTo(*other, pinv);
+            }
+          });
+        }
+      }
+      Result<SfsStat> after = fs_->StatInode(req.ino);
+      if (after.ok() && after->size != before->size) {
+        WireInval inv;
+        inv.kind = WireInvalKind::kSize;
+        inv.ino = req.ino;
+        inv.value = after->size;
+        QueueInval(s.id, inv);
+      }
+      return Ack(s, WireOp::kWrite);
+    }
+    case WireOp::kLock: {
+      Status st = fs_->LockInode(req.ino, PseudoPid(s, req.pid));
+      if (!st.ok()) {
+        if (st.code() == ErrorCode::kWouldBlock) {
+          ++*c_lock_waits_;
+        }
+        return Err(s, WireOp::kLock, st);
+      }
+      return Ack(s, WireOp::kLock);
+    }
+    case WireOp::kUnlock: {
+      Status st = fs_->UnlockInode(req.ino, PseudoPid(s, req.pid));
+      if (!st.ok()) {
+        return Err(s, WireOp::kUnlock, st);
+      }
+      return Ack(s, WireOp::kUnlock);
+    }
+    case WireOp::kReleaseLocks: {
+      auto it = s.pseudo_pids.find(req.pid);
+      if (it != s.pseudo_pids.end()) {
+        fs_->ReleaseLocksOf(it->second);
+        s.pseudo_pids.erase(it);
+      }
+      return Ack(s, WireOp::kReleaseLocks);
+    }
+    case WireOp::kPending: {
+      Status st = fs_->SetCreationPending(req.ino, req.flag != 0);
+      if (!st.ok()) {
+        return Err(s, WireOp::kPending, st);
+      }
+      WireInval inv;
+      inv.kind = WireInvalKind::kPending;
+      inv.ino = req.ino;
+      inv.value = req.flag;
+      QueueInval(s.id, inv);
+      return Ack(s, WireOp::kPending);
+    }
+    case WireOp::kCheck: {
+      SfsCheckReport report;
+      SfsCheck(fs_.get()).Run(/*at_boot=*/false, &report);
+      WireMsg reply = Ack(s, WireOp::kCheck);
+      reply.flag = report.structurally_clean() ? 1 : 0;
+      reply.text = report.ToString();
+      return reply;
+    }
+    case WireOp::kStats: {
+      WireMsg reply = Ack(s, WireOp::kStats);
+      MetricsSnapshot snap = metrics_.Snapshot();
+      for (const auto& [name, value] : snap) {
+        reply.stats.emplace_back(name, value);
+      }
+      reply.stats.emplace_back("net.server.coherence.downgrades", directory_.downgrades());
+      reply.stats.emplace_back("net.server.coherence.invalidations", directory_.invalidations());
+      return reply;
+    }
+    case WireOp::kBye:
+      return Ack(s, WireOp::kBye);
+    default:
+      return Err(s, req.op, InvalidArgument("net: request opcode not servable"));
+  }
+}
+
+}  // namespace hemlock

@@ -1,0 +1,118 @@
+// SegmentServer — the segment home for distributed shared segments.
+//
+// Owns the *authoritative* SharedFs partition. Clients (simulator instances
+// started with `hemrun --connect`) mount the partition over a socket, fetch
+// pages on demand, flush dirty pages at release points, and take creation
+// locks as wire leases. The server serializes every mutation (one poll loop,
+// one partition), tracks page ownership in a CoherenceDirectory, and queues
+// per-session invalidation records that ride back on the next reply.
+//
+// Lease safety over the wire reuses PR 2's machinery end to end: a session's
+// locks are held by per-(session, pid) pseudo-pids, the partition's pid prober
+// answers "is that session still connected", and a disconnect — clean Bye or a
+// killed client — releases every lease and every cached-page claim the session
+// held. A client dying mid-lease therefore leaves the partition SfsCheck-clean
+// with the lease reclaimed, exactly like a dead local process.
+#ifndef SRC_NET_SERVER_H_
+#define SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/net/coherence.h"
+#include "src/net/transport.h"
+#include "src/net/wire.h"
+#include "src/sfs/shared_fs.h"
+
+namespace hemlock {
+
+class SegmentServer {
+ public:
+  // Takes ownership of the authoritative partition (nullptr = a fresh one).
+  explicit SegmentServer(std::unique_ptr<SharedFs> fs = nullptr);
+  ~SegmentServer();
+
+  SegmentServer(const SegmentServer&) = delete;
+  SegmentServer& operator=(const SegmentServer&) = delete;
+
+  // Binds the listening socket. Port 0 picks an ephemeral port; port() tells.
+  Status Listen(const std::string& host, int port);
+  int port() const { return listener_.port(); }
+
+  // Serves one poll round: accepts pending connections, reads and answers one
+  // frame per readable session, drops dead sessions. The building block for
+  // both hemserve's main loop and the background thread.
+  Status PollOnce(int timeout_ms);
+
+  // Background serving for in-process tests: a thread looping PollOnce.
+  Status Start();
+  void Stop();
+
+  // The authoritative partition. Only safe to touch while the server is not
+  // serving (before Start / after Stop) — the poll loop owns it otherwise.
+  SharedFs& sfs() { return *fs_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const CoherenceDirectory& directory() const { return directory_; }
+
+  size_t SessionCount() const;
+
+ private:
+  struct Session {
+    uint32_t id = 0;
+    Conn conn;
+    bool hello_done = false;
+    std::vector<WireInval> pending;     // invalidations awaiting the next reply
+    std::map<int32_t, int> pseudo_pids; // client pid -> server-side lock owner
+  };
+
+  // Dispatches one request; the reply (kReply or kError) carries the session's
+  // drained invalidation queue either way.
+  WireMsg Dispatch(Session& s, const WireMsg& req);
+  WireMsg HandleMount(Session& s);
+  WireMsg HandleFetch(Session& s, const WireMsg& req);
+  WireMsg HandleFlush(Session& s, const WireMsg& req);
+
+  // Queues |inv| for every session except |except| (0 = all), deduplicating
+  // identical records already pending.
+  void QueueInval(uint32_t except, const WireInval& inv);
+  void QueueInvalTo(Session& s, const WireInval& inv);
+  Session* FindSession(uint32_t id);
+
+  int PseudoPid(Session& s, int32_t pid);
+  void DropSession(uint32_t id, const char* why);
+
+  WireMsg Ack(Session& s, WireOp reply_to);
+  WireMsg Err(Session& s, WireOp reply_to, const Status& st);
+
+  std::unique_ptr<SharedFs> fs_;
+  Listener listener_;
+  CoherenceDirectory directory_;
+  MetricsRegistry metrics_;
+  uint64_t* c_sessions_ = nullptr;
+  uint64_t* c_disconnects_ = nullptr;
+  uint64_t* c_rpcs_ = nullptr;
+  uint64_t* c_pages_fetched_ = nullptr;
+  uint64_t* c_pages_flushed_ = nullptr;
+  uint64_t* c_invals_queued_ = nullptr;
+  uint64_t* c_lock_waits_ = nullptr;
+  uint64_t* c_leases_reclaimed_ = nullptr;
+
+  mutable std::mutex mu_;  // guards sessions_ against SessionCount() from tests
+  std::map<uint32_t, Session> sessions_;
+  uint32_t next_session_ = 1;
+  int next_pseudo_pid_ = 1 << 20;  // far above any simulated pid
+
+  std::thread serve_thread_;
+  std::atomic<bool> stop_{false};
+  bool serving_ = false;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_NET_SERVER_H_

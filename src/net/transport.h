@@ -1,0 +1,88 @@
+// Loopback TCP transport for the hemnet protocol.
+//
+// A Conn sends and receives whole frames (U32 length prefix + payload) over a
+// connected socket, with the same host-I/O discipline as PosixStore: EINTR and
+// short reads/writes are retried, a failed or truncated transfer is kIoError,
+// and a peer that closes mid-frame surfaces as an error rather than a partial
+// message. `net.connect` / `net.accept` / `net.send` / `net.recv` fault points
+// let tests (and `hemrun --faults`) sever the link at any protocol step — the
+// client's degraded mode is exercised without a real network failure.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/net/wire.h"
+
+namespace hemlock {
+
+// One connected socket speaking framed WireMsg payloads. Movable, not copyable;
+// closes the descriptor on destruction.
+class Conn {
+ public:
+  Conn() = default;
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn() { Close(); }
+  Conn(Conn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Conn& operator=(Conn&& other) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  Status Send(const WireMsg& msg);
+  // Blocks until a whole frame arrives, then decodes it with the validating
+  // decoder. A clean EOF before the first length byte is kIoError("peer closed
+  // the connection") — the server treats it as a disconnect, not corruption.
+  Result<WireMsg> Recv();
+
+  // Caps how long Recv waits for bytes once a transfer started (0 = forever).
+  // A dead peer mid-frame then times out with kIoError instead of wedging the
+  // server's poll loop.
+  Status SetRecvTimeout(int seconds);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Dials 127.0.0.1-style HOST:PORT. The handshake (HELLO/version gate) is the
+// caller's job; this only produces a connected socket.
+Result<Conn> DialTcp(const std::string& host, int port);
+
+// A listening socket. Port 0 binds an ephemeral port; port() reports the one
+// the kernel chose.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> ListenTcp(const std::string& host, int port);
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  int port() const { return port_; }
+
+  // Accepts one pending connection (the caller polls for readability first).
+  Result<Conn> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <new>
 
+#include "src/base/faults.h"
+
 namespace hemlock {
 
 namespace {
@@ -14,6 +16,9 @@ uint64_t AlignUp16(uint64_t v) { return (v + 15) & ~15ull; }
 
 Result<PosixHeap> PosixHeap::Create(PosixStore* store, const std::string& name, size_t size) {
   ASSIGN_OR_RETURN(PosixSegment seg, store->Create(name, size));
+  // A crash here leaves a zero-filled segment with no magic: the next Attach
+  // rejects it as hostile input instead of walking a garbage free list.
+  RETURN_IF_ERROR(FaultRegistry::Global().Check("posix.io.heap.init"));
   PosixHeap heap(seg.base, seg.size);
   // The segment arrives zero-filled (fresh ftruncate); construct the header in place
   // (memset would trample the non-trivial ShmSpinLock).
@@ -30,6 +35,7 @@ Result<PosixHeap> PosixHeap::Create(PosixStore* store, const std::string& name, 
 
 Result<PosixHeap> PosixHeap::Attach(PosixStore* store, const std::string& name) {
   ASSIGN_OR_RETURN(PosixSegment seg, store->Attach(name));
+  RETURN_IF_ERROR(FaultRegistry::Global().Check("posix.io.heap.attach"));
   PosixHeap heap(seg.base, seg.size);
   if (heap.header()->magic != kMagic) {
     return CorruptData("posix_heap: segment '" + name + "' is not a heap");

@@ -498,6 +498,10 @@ bool PosixStore::InRegion(const void* addr) const {
 }
 
 Result<PosixSegment> PosixStore::AttachCovering(const void* addr) {
+  // The SIGSEGV auto-attach path: a failure here surfaces as the handler
+  // declining the fault (chained handler / default disposition), which is
+  // exactly how an unreachable segment home must present to the guest.
+  RETURN_IF_ERROR(FaultRegistry::Global().Check("posix.io.attach.cover"));
   ASSIGN_OR_RETURN(std::string name, NameAt(addr));
   return Attach(name);
 }

@@ -1,0 +1,59 @@
+// RemoteBacking — the seam between a SharedFs *replica* and its
+// segment-coherence server (src/net).
+//
+// A machine started with `hemrun --connect` does not own its shared partition:
+// the authoritative inode table lives in hemserve, and the local SharedFs is a
+// replica kept coherent through this interface. The protocol is forward-first:
+// every metadata mutation calls its On* hook *before* touching local state, the
+// implementation performs the RPC, and — critically — applies every remote
+// invalidation piggybacked on the reply to the local replica before returning.
+// Because the server serializes all mutations and the replica applies them in
+// reply order under the kernel lock, the replica's deterministic inode
+// allocator stays in lockstep with the server's (verified per create).
+//
+// Reads go the other way: EnsureResident pulls absent pages over the wire
+// before local bytes are trusted, which is what turns the SIGSEGV auto-attach
+// path into a remote page fetch (fault -> attach -> EnsureExtent -> fetch).
+#ifndef SRC_SFS_REMOTE_BACKING_H_
+#define SRC_SFS_REMOTE_BACKING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace hemlock {
+
+class RemoteBacking {
+ public:
+  virtual ~RemoteBacking() = default;
+
+  // Forward-first mutation hooks. Each returns only after the server applied
+  // the mutation and the reply's invalidations landed locally; an error aborts
+  // the local mutation. Create-family hooks return the inode the server
+  // allocated so the caller can verify the replica allocator agrees.
+  virtual Result<uint32_t> OnCreate(const std::string& path) = 0;
+  virtual Result<uint32_t> OnMkdir(const std::string& path) = 0;
+  virtual Result<uint32_t> OnSymlink(const std::string& path, const std::string& target) = 0;
+  virtual Status OnUnlink(const std::string& path, bool force) = 0;
+  virtual Status OnTruncate(uint32_t ino, uint32_t new_size) = 0;
+  virtual Status OnWriteAt(uint32_t ino, uint32_t offset, const uint8_t* data,
+                           uint32_t len) = 0;
+
+  // Wire leases: the creation lock travels to the server, which breaks leases
+  // of dead sessions exactly like PR 2 breaks leases of dead processes.
+  // Release points (unlock, pending-clear, exit-time sweep) flush dirty pages
+  // *before* the lock moves — lazy release consistency.
+  virtual Status OnLock(uint32_t ino, int pid) = 0;
+  virtual Status OnUnlock(uint32_t ino, int pid) = 0;
+  virtual void OnReleaseLocks(int pid) = 0;
+  virtual Status OnSetPending(uint32_t ino, bool pending) = 0;
+
+  // Demand paging: make [offset, offset+len) of |ino| locally resident,
+  // fetching any pages this replica has never seen (or had invalidated).
+  virtual Status EnsureResident(uint32_t ino, uint32_t offset, uint32_t len) = 0;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_SFS_REMOTE_BACKING_H_

@@ -7,6 +7,7 @@
 #include "src/base/atomic_mem.h"
 #include "src/base/faults.h"
 #include "src/base/strings.h"
+#include "src/sfs/remote_backing.h"
 #include "src/sfs/sfs_check.h"
 
 namespace hemlock {
@@ -93,10 +94,21 @@ Status SharedFs::ValidatePathForCreate(const std::string& path, uint32_t* parent
 }
 
 Result<uint32_t> SharedFs::Create(const std::string& path) {
+  uint32_t expect = 0;
+  if (remote_active()) {
+    // Forward-first: the server serializes the create (and its inode choice);
+    // its queued invalidations have been applied locally by the time this
+    // returns, so the deterministic allocator below must agree with |expect|.
+    ASSIGN_OR_RETURN(expect, remote_->OnCreate(path));
+  }
   uint32_t parent = 0;
   std::string leaf;
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  if (expect != 0 && ino != expect) {
+    return Internal(StrFormat("sfs: replica diverged: server created inode %u, local chose %u",
+                              expect, ino));
+  }
   ++clock_;
   // A freed inode can be recycled under a stale public mapping (unlink + create);
   // quiesce guest cores so none reads the node mid-initialization.
@@ -125,10 +137,18 @@ Result<uint32_t> SharedFs::Create(const std::string& path) {
 }
 
 Result<uint32_t> SharedFs::Mkdir(const std::string& path) {
+  uint32_t expect = 0;
+  if (remote_active()) {
+    ASSIGN_OR_RETURN(expect, remote_->OnMkdir(path));
+  }
   uint32_t parent = 0;
   std::string leaf;
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  if (expect != 0 && ino != expect) {
+    return Internal(StrFormat("sfs: replica diverged: server created inode %u, local chose %u",
+                              expect, ino));
+  }
   ++clock_;
   Inode& node = inodes_[ino];
   node.type = SfsNodeType::kDirectory;
@@ -139,6 +159,9 @@ Result<uint32_t> SharedFs::Mkdir(const std::string& path) {
 }
 
 Status SharedFs::Unlink(const std::string& path, bool force) {
+  if (remote_active()) {
+    RETURN_IF_ERROR(remote_->OnUnlink(path, force));
+  }
   ASSIGN_OR_RETURN(uint32_t ino, Lookup(path));
   if (ino == kRootIno) {
     return InvalidArgument("sfs: cannot unlink root");
@@ -211,10 +234,18 @@ Status SharedFs::Link(const std::string& existing, const std::string& link) {
 }
 
 Result<uint32_t> SharedFs::Symlink(const std::string& path, const std::string& target) {
+  uint32_t expect = 0;
+  if (remote_active()) {
+    ASSIGN_OR_RETURN(expect, remote_->OnSymlink(path, target));
+  }
   uint32_t parent = 0;
   std::string leaf;
   RETURN_IF_ERROR(ValidatePathForCreate(path, &parent, &leaf));
   ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  if (expect != 0 && ino != expect) {
+    return Internal(StrFormat("sfs: replica diverged: server created inode %u, local chose %u",
+                              expect, ino));
+  }
   ++clock_;
   Inode& node = inodes_[ino];
   node.type = SfsNodeType::kSymlink;
@@ -234,6 +265,9 @@ Result<std::string> SharedFs::ReadLink(const std::string& path) const {
 }
 
 Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uint32_t len) {
+  if (remote_active()) {
+    RETURN_IF_ERROR(remote_->OnWriteAt(ino, offset, data, len));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   if (st.type != SfsNodeType::kRegular) {
     return InvalidArgument("sfs: not a regular file: inode " + std::to_string(ino));
@@ -282,6 +316,10 @@ Status SharedFs::WriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, uin
 
 Result<uint32_t> SharedFs::ReadAt(uint32_t ino, uint32_t offset, uint8_t* out,
                                   uint32_t len) const {
+  if (remote_active()) {
+    // Pull absent pages before trusting local bytes (no-op once resident).
+    RETURN_IF_ERROR(remote_->EnsureResident(ino, offset, len));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   if (st.type != SfsNodeType::kRegular) {
     return InvalidArgument("sfs: not a regular file: inode " + std::to_string(ino));
@@ -302,6 +340,9 @@ Result<uint32_t> SharedFs::ReadAt(uint32_t ino, uint32_t offset, uint8_t* out,
 }
 
 Status SharedFs::Truncate(uint32_t ino, uint32_t new_size) {
+  if (remote_active()) {
+    RETURN_IF_ERROR(remote_->OnTruncate(ino, new_size));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   if (st.type != SfsNodeType::kRegular) {
     return InvalidArgument("sfs: not a regular file");
@@ -433,6 +474,11 @@ void SharedFs::RebuildAddrTable() {
 }
 
 Status SharedFs::EnsureExtent(uint32_t ino, uint32_t bytes) {
+  if (remote_active()) {
+    // The attach path (and the SIGSEGV auto-attach fault path) lands here: any
+    // page about to become mappable must hold the server's bytes first.
+    RETURN_IF_ERROR(remote_->EnsureResident(ino, 0, bytes));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   if (st.type != SfsNodeType::kRegular) {
     return InvalidArgument("sfs: not a regular file");
@@ -519,6 +565,12 @@ uint32_t SharedFs::ExtentBytes(uint32_t ino) const {
 }
 
 Status SharedFs::LockInode(uint32_t ino, int pid) {
+  if (remote_active()) {
+    // The creation lock is a wire lease: the server grants or refuses
+    // (kWouldBlock keeps ldl's existing retry/backoff loop working untouched),
+    // and breaks leases of dead sessions like PR 2 breaks dead processes'.
+    RETURN_IF_ERROR(remote_->OnLock(ino, pid));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   (void)st;
   ++clock_;
@@ -552,6 +604,11 @@ Status SharedFs::LockInode(uint32_t ino, int pid) {
 }
 
 Status SharedFs::UnlockInode(uint32_t ino, int pid) {
+  if (remote_active()) {
+    // Release point: the hook flushes this inode's dirty pages before the
+    // server lets the lock go (lazy release consistency).
+    RETURN_IF_ERROR(remote_->OnUnlock(ino, pid));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   (void)st;
   Inode& node = inodes_[ino];
@@ -567,6 +624,9 @@ Status SharedFs::UnlockInode(uint32_t ino, int pid) {
 }
 
 void SharedFs::ReleaseLocksOf(int pid) {
+  if (remote_active()) {
+    remote_->OnReleaseLocks(pid);
+  }
   for (uint32_t ino = 0; ino < inodes_.size(); ++ino) {
     Inode& node = inodes_[ino];
     if (node.lock_owner == pid) {
@@ -587,6 +647,9 @@ int SharedFs::LockOwner(uint32_t ino) const {
 }
 
 Status SharedFs::SetCreationPending(uint32_t ino, bool pending) {
+  if (remote_active()) {
+    RETURN_IF_ERROR(remote_->OnSetPending(ino, pending));
+  }
   ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
   if (st.type != SfsNodeType::kRegular) {
     return InvalidArgument("sfs: only regular files carry creation markers");
@@ -597,6 +660,70 @@ Status SharedFs::SetCreationPending(uint32_t ino, bool pending) {
 
 bool SharedFs::CreationPending(uint32_t ino) const {
   return ino >= 1 && ino <= kSfsMaxInodes && inodes_[ino].creation_pending;
+}
+
+Status SharedFs::InstallReplicaNode(uint32_t ino, SfsNodeType type, const std::string& path,
+                                    uint32_t parent, uint32_t size, bool pending,
+                                    const std::string& target) {
+  if (ino < 2 || ino > kSfsMaxInodes || type == SfsNodeType::kFree) {
+    return InvalidArgument(StrFormat("sfs: replica node inode %u out of range", ino));
+  }
+  if (inodes_[ino].type != SfsNodeType::kFree) {
+    return AlreadyExists(StrFormat("sfs: replica node inode %u already in use", ino));
+  }
+  if (parent < 1 || parent > kSfsMaxInodes ||
+      inodes_[parent].type != SfsNodeType::kDirectory) {
+    return InvalidArgument(StrFormat("sfs: replica node %u has no directory parent %u", ino,
+                                     parent));
+  }
+  ++clock_;
+  ShootdownGuard shootdown = BeginShootdown();
+  Inode& node = inodes_[ino];
+  node.type = type;
+  node.path = NormalizePath(path);
+  node.size = type == SfsNodeType::kRegular ? size : 0;
+  node.data.clear();  // bytes arrive page by page via ReplicaInstallPage
+  node.parent = parent;
+  node.symlink_target = target;
+  node.lock_owner = -1;
+  node.lock_lease = 0;
+  node.creation_pending = pending;
+  inodes_[parent].children.push_back(ino);
+  if (type == SfsNodeType::kRegular) {
+    AddAddrEntry(ino);
+  }
+  return OkStatus();
+}
+
+Status SharedFs::ReplicaInstallPage(uint32_t ino, uint32_t page_index, const uint8_t* data,
+                                    uint32_t len) {
+  if (page_index >= kSfsMaxFileBytes / kPageSize || len > kPageSize) {
+    return InvalidArgument("sfs: replica page out of range");
+  }
+  ASSIGN_OR_RETURN(SfsStat st, StatInode(ino));
+  if (st.type != SfsNodeType::kRegular) {
+    return InvalidArgument("sfs: replica page into a non-file inode");
+  }
+  Inode& node = inodes_[ino];
+  uint32_t off = page_index * kPageSize;
+  uint32_t want = off + kPageSize;
+  if (node.data.size() < want) {
+    ShootdownGuard shootdown = BeginShootdown();
+    node.data.resize(want, 0);
+    ++data_epoch_;
+  }
+  // Remote bytes land like DMA into possibly-mapped memory: relaxed per-byte
+  // stores (a guest core may read concurrently and observes them at its next
+  // synchronization point), and decoded code over the page is retired.
+  static const uint8_t kZeroPage[kPageSize] = {};
+  if (len > 0) {
+    RelaxedCopyTo(node.data.data() + off, data, len);
+  }
+  if (len < kPageSize) {
+    RelaxedCopyTo(node.data.data() + off + len, kZeroPage, kPageSize - len);
+  }
+  NoteMutatedRange(ino, off, kPageSize);
+  return OkStatus();
 }
 
 Status SharedFs::Serialize(ByteWriter* w) const {

@@ -37,6 +37,7 @@
 namespace hemlock {
 
 struct SfsCheckReport;
+class RemoteBacking;
 
 // Hard links are prohibited (1:1 inode <-> path); *symbolic* links are ordinary
 // inodes holding a target path and are what the paper's Presto recipe plants in
@@ -198,6 +199,44 @@ class SharedFs {
   void AdvanceClock(uint64_t ticks) { clock_ += ticks; }
   uint64_t clock() const { return clock_; }
 
+  // --- Distributed shared segments (the hemnet replica seam; docs/DISTRIBUTED.md) ---
+
+  // Installing a RemoteBacking turns this SharedFs into a *replica* of a
+  // segment-coherence server's partition: every metadata mutation forwards to
+  // the server before it lands locally (the hook also applies the server's
+  // queued invalidations, preserving its serialization order), and reads pull
+  // absent pages over the wire before local bytes are trusted.
+  void SetRemoteBacking(RemoteBacking* remote) { remote_ = remote; }
+  bool remote_attached() const { return remote_ != nullptr; }
+
+  // Suspends forwarding while the network client applies remote state locally
+  // (mount snapshots, invalidations) — those are the server's own mutations
+  // coming back, not new ones to forward.
+  class ScopedRemoteBypass {
+   public:
+    explicit ScopedRemoteBypass(SharedFs* fs) : fs_(fs) { ++fs_->remote_suspend_; }
+    ~ScopedRemoteBypass() { --fs_->remote_suspend_; }
+    ScopedRemoteBypass(const ScopedRemoteBypass&) = delete;
+    ScopedRemoteBypass& operator=(const ScopedRemoteBypass&) = delete;
+
+   private:
+    SharedFs* fs_;
+  };
+
+  // Installs a node at an *explicit* inode number (mount snapshots: the
+  // server's table can have holes from unlinks that a fresh replica could not
+  // reproduce through Create). The node's logical size is set without
+  // materializing any bytes — pages arrive later via ReplicaInstallPage.
+  Status InstallReplicaNode(uint32_t ino, SfsNodeType type, const std::string& path,
+                            uint32_t parent, uint32_t size, bool pending,
+                            const std::string& target);
+  // Lands one fetched page in the extent (grown as needed). |len| may be short
+  // of a full page — the tail is zeroed; len == 0 zeroes the whole page. Bytes
+  // land like DMA into possibly-mapped memory: relaxed stores, decoded code
+  // over the page retired.
+  Status ReplicaInstallPage(uint32_t ino, uint32_t page_index, const uint8_t* data,
+                            uint32_t len);
+
   // --- Creation-complete marker (crash-safe public-module creation) ---
 
   // While set, the segment's contents are not trustworthy: the creator died (or is
@@ -287,6 +326,13 @@ class SharedFs {
   std::atomic<uint64_t> code_epoch_{0};
   std::unique_ptr<std::atomic<uint8_t>[]> code_page_bits_;
   std::atomic<bool> code_bits_armed_{false};
+
+  // Distributed replica seam (null on an authoritative partition). The suspend
+  // counter is only ever toggled with the kernel lock held, like every other
+  // metadata mutation, so a plain int suffices.
+  bool remote_active() const { return remote_ != nullptr && remote_suspend_ == 0; }
+  RemoteBacking* remote_ = nullptr;
+  int remote_suspend_ = 0;
 
   // Observability (null until the owning Machine wires itself in).
   MetricsRegistry* metrics_ = nullptr;

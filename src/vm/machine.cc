@@ -192,12 +192,29 @@ void Machine::FlushVmCounters(Process& proc) {
   }
 }
 
+// The kernel lock the current host thread holds while driving a process, so a
+// deep callee (the net client blocking on a remote fetch) can release it via
+// EnterNetWait without threading the lock through every kernel layer.
+thread_local std::unique_lock<std::mutex>* tl_active_kernel_lock = nullptr;
+
 SchedStatus Machine::DriveProcess(Process& proc, uint64_t max_steps,
                                 std::unique_lock<std::mutex>* lk) {
   proc.charged_ = 0;
+  std::unique_lock<std::mutex>* prev = tl_active_kernel_lock;
+  tl_active_kernel_lock = lk;
   SchedStatus result = DriveProcessLoop(proc, max_steps, lk);
+  tl_active_kernel_lock = prev;
   FlushVmCounters(proc);
   return result;
+}
+
+std::shared_ptr<void> Machine::EnterNetWait() {
+  std::unique_lock<std::mutex>* lk = tl_active_kernel_lock;
+  if (lk == nullptr || !lk->owns_lock()) {
+    return nullptr;
+  }
+  lk->unlock();
+  return std::shared_ptr<void>(reinterpret_cast<void*>(1), [lk](void*) { lk->lock(); });
 }
 
 SchedStatus Machine::DriveProcessLoop(Process& proc, uint64_t max_steps,

@@ -195,6 +195,13 @@ class Machine {
   // partition unobserved.
   void ReplaceSfs(std::unique_ptr<SharedFs> sfs);
 
+  // Blocking network wait (the distributed attach path, src/net): releases the
+  // calling core's held kernel lock for the lifetime of the returned guard so a
+  // remote page fetch stalls only the faulting core, never the whole machine;
+  // the lock is re-acquired when the guard dies. Null — and a no-op — when the
+  // calling thread holds no kernel lock (single-core runs, tools, tests).
+  std::shared_ptr<void> EnterNetWait();
+
   // Creates an empty process (no mappings, pc = 0). Loaders (src/link) populate it.
   Process& CreateProcess();
   Process* FindProcess(int pid);

@@ -135,6 +135,38 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(p.returncode, 1, p.stderr)
         self.assertIn("cold_ns is 0", p.stderr)
 
+    # --- --remote gate ---
+
+    def remote_json(self, **row):
+        return {"benchmarks": [{"name": "BM_RemoteSegmentAccess/manual_time",
+                                **row}]}
+
+    def test_cached_within_ceiling_passes(self):
+        path = self.write("r.json", self.remote_json(
+            local_ns=1e5, cold_ns=5e6, cached_ns=1.1e5, pages_fetched=64))
+        p = run("--remote", path)
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_cached_above_ceiling_fails(self):
+        path = self.write("r.json", self.remote_json(
+            local_ns=1e5, cold_ns=5e6, cached_ns=2e5, pages_fetched=64))
+        p = run("--remote", path)
+        self.assertEqual(p.returncode, 1, p.stderr)
+        self.assertIn("exceeds", p.stderr)
+
+    def test_cold_pass_without_fetches_fails(self):
+        path = self.write("r.json", self.remote_json(
+            local_ns=1e5, cold_ns=5e6, cached_ns=1e5, pages_fetched=0))
+        p = run("--remote", path)
+        self.assertEqual(p.returncode, 1, p.stderr)
+        self.assertIn("pages_fetched=0", p.stderr)
+
+    def test_missing_remote_row_fails_clearly(self):
+        path = self.write("r.json", {"benchmarks": []})
+        p = run("--remote", path)
+        self.assertEqual(p.returncode, 1, p.stderr)
+        self.assertIn("row missing", p.stderr)
+
 
 if __name__ == "__main__":
     unittest.main()

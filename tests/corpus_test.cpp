@@ -41,7 +41,7 @@ std::vector<uint8_t> ReadSeed(const fs::path& path) {
 // The ISSUE 5 acceptance floor: a malformed-input regression corpus of at
 // least 25 seeds, replayed on every test run.
 TEST(CorpusTest, CorpusHasAtLeastTwentyFiveSeeds) {
-  size_t total = SeedsIn("object").size() + SeedsIn("sfs").size();
+  size_t total = SeedsIn("object").size() + SeedsIn("sfs").size() + SeedsIn("wire").size();
   EXPECT_GE(total, 25u) << "checked-in corpus shrank below the regression floor";
 }
 
@@ -65,6 +65,30 @@ TEST(CorpusTest, SfsSeedsReplayWithoutCrashing) {
   }
 }
 
+TEST(CorpusTest, WireSeedsReplayWithoutCrashing) {
+  std::vector<fs::path> seeds = SeedsIn("wire");
+  ASSERT_FALSE(seeds.empty());
+  for (const fs::path& seed : seeds) {
+    SCOPED_TRACE(seed.filename().string());
+    std::vector<uint8_t> bytes = ReadSeed(seed);
+    EXPECT_EQ(HemFuzzWire(bytes.data(), bytes.size()), 0);
+  }
+}
+
+// The differential target replays every family: for any seed a decoder
+// accepts, re-encoding must reach a fixed point (and, for the wire format,
+// reproduce the input byte-for-byte). A trap here means an encoder and its
+// decoder disagree about some field.
+TEST(CorpusTest, AllSeedsSurviveTheRoundtripDifferential) {
+  for (const std::string& family : {"object", "sfs", "wire"}) {
+    for (const fs::path& seed : SeedsIn(family)) {
+      SCOPED_TRACE(seed.string());
+      std::vector<uint8_t> bytes = ReadSeed(seed);
+      EXPECT_EQ(HemFuzzRoundtrip(bytes.data(), bytes.size()), 0);
+    }
+  }
+}
+
 // Cross-replay: each harness must survive the other family's seeds too — a
 // fuzzer mutating a HOF seed into SFS magic (or vice versa) crosses over, and
 // the first crash found that way should already be covered here.
@@ -78,6 +102,12 @@ TEST(CorpusTest, SeedsSurviveTheOtherHarness) {
     SCOPED_TRACE(seed.filename().string());
     std::vector<uint8_t> bytes = ReadSeed(seed);
     EXPECT_EQ(HemFuzzObject(bytes.data(), bytes.size()), 0);
+  }
+  for (const fs::path& seed : SeedsIn("wire")) {
+    SCOPED_TRACE(seed.filename().string());
+    std::vector<uint8_t> bytes = ReadSeed(seed);
+    EXPECT_EQ(HemFuzzObject(bytes.data(), bytes.size()), 0);
+    EXPECT_EQ(HemFuzzSfs(bytes.data(), bytes.size()), 0);
   }
 }
 

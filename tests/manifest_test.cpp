@@ -97,7 +97,7 @@ TEST(ManifestCodec, BadMagicIsCorruptData) {
 
 TEST(ManifestCodec, FutureVersionIsUnsupportedNotCorrupt) {
   std::vector<uint8_t> bytes = MakeManifest().Serialize();
-  bytes[4] = 2;  // little-endian version word follows the magic
+  bytes[4] = 99;  // little-endian version word follows the magic
   Result<ResolutionManifest> r = ResolutionManifest::Deserialize(bytes);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kUnsupportedVersion)
@@ -128,7 +128,7 @@ TEST(ManifestCodec, HostileImageCountIsCappedNotAllocated) {
   body.U32(0xFFFFFFFF);
   ByteWriter w;
   w.U32(0x21464D48);  // "HMF!"
-  w.U32(1);
+  w.U32(2);           // current manifest version
   w.U32(Crc32(body.buffer().data(), body.size()));
   w.Raw(body.buffer().data(), body.size());
   Result<ResolutionManifest> r = ResolutionManifest::Deserialize(w.Take());

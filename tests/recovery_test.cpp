@@ -10,8 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include "src/base/faults.h"
 #include "src/obj/object_file.h"
+#include "src/posix/posix_heap.h"
+#include "src/posix/posix_store.h"
 #include "src/runtime/world.h"
 #include "src/sfs/sfs_check.h"
 
@@ -151,6 +155,68 @@ TEST(RecoveryTest, CrashAtEveryRegisteredFaultPointRecovers) {
     }
   }
   faults.Reset();
+}
+
+// The POSIX-embodiment fault points (heap init/attach and the SIGSEGV
+// auto-attach path) live outside the simulated-world scenario above, so they
+// get their own crash-and-recover sweep against a real PosixStore.
+TEST(RecoveryTest, PosixHeapAndAutoAttachFaultPointsRecover) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Reset();
+  std::string dir = std::string("/tmp/hemlock_recovery_") + std::to_string(::getpid());
+  ASSERT_EQ(::system(("rm -rf " + dir).c_str()), 0);
+  Result<std::unique_ptr<PosixStore>> opened = PosixStore::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  PosixStore* store = opened->get();
+
+  // Crash between segment creation and header construction: the orphaned
+  // segment must read as hostile input (no magic), never as a walkable heap,
+  // and a remove + re-create must fully recover.
+  faults.Arm("posix.io.heap.init", FaultMode::kCrash);
+  Result<PosixHeap> torn = PosixHeap::Create(store, "heap", 1 << 16);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(IsCrash(torn.status())) << torn.status().ToString();
+  EXPECT_EQ(faults.TriggerCount("posix.io.heap.init"), 1u);
+  faults.Reset();
+  Result<PosixHeap> reject = PosixHeap::Attach(store, "heap");
+  ASSERT_FALSE(reject.ok());
+  EXPECT_TRUE(IsHostileInput(reject.status())) << reject.status().ToString();
+  ASSERT_TRUE(store->Remove("heap").ok());
+  Result<PosixHeap> heap = PosixHeap::Create(store, "heap", 1 << 16);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  Result<void*> block = heap->Alloc(64);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  std::memset(*block, 0x5a, 64);
+
+  // A faulted attach fails cleanly and leaves the heap intact for the retry.
+  faults.Arm("posix.io.heap.attach", FaultMode::kError);
+  EXPECT_FALSE(PosixHeap::Attach(store, "heap").ok());
+  faults.Reset();
+  Result<PosixHeap> again = PosixHeap::Attach(store, "heap");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(static_cast<uint8_t*>(*block)[0], 0x5a);
+
+  // The SIGSEGV auto-attach path: an injected failure makes AttachCovering
+  // decline (an unreachable segment home), and the retry succeeds.
+  Result<PosixSegment> seg = store->Create("lazy", 4096);
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  uint8_t* addr = seg->base;
+  ASSERT_TRUE(store->Detach("lazy").ok());
+  faults.Arm("posix.io.attach.cover", FaultMode::kError);
+  EXPECT_FALSE(store->AttachCovering(addr).ok());
+  faults.Reset();
+  Result<PosixSegment> covered = store->AttachCovering(addr);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  EXPECT_EQ(covered->base, addr);
+
+  // All three points are now registered and visible to any future sweep.
+  std::vector<std::string> points = faults.KnownPoints();
+  for (const char* required :
+       {"posix.io.heap.init", "posix.io.heap.attach", "posix.io.attach.cover"}) {
+    EXPECT_NE(std::find(points.begin(), points.end(), required), points.end()) << required;
+  }
+  opened->reset();
+  (void)::system(("rm -rf " + dir).c_str());
 }
 
 // A creator that looks alive but never finishes (wedged): attachers spin on the

@@ -15,6 +15,7 @@ Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
                                                    [--min-speedup 3.0]
        bench_compare.py --smp-scaling CONTENTION.json [--min-smp-scaling 2.0]
        bench_compare.py --manifest-warm MANIFEST.json [--max-warm-ratio 0.10]
+       bench_compare.py --remote REMOTE.json [--max-cached-overhead 0.20]
 
 The second form gates the SMP cores-vs-throughput curve exported by
 bench_contention's BM_SmpScaling rows: the cores=4 instruction rate must be at
@@ -26,6 +27,12 @@ The third form gates stable linking's warm-start win from bench_manifest's
 BM_ManifestWarmStart row: warm-start resolution time must be at most
 --max-warm-ratio of cold, and the warm run must actually have installed
 manifest resolutions (manifest_hits > 0).
+
+The fourth form gates distributed shared segments from bench_remote's
+BM_RemoteSegmentAccess row: once pages are resident, re-reading a mounted
+segment must cost at most (1 + --max-cached-overhead) times the plain local
+attach, and the cold pass must actually have fetched pages over the wire
+(pages_fetched > 0).
 
 Exit codes: 0 all gates pass, 1 regression, 2 input unreadable.
 """
@@ -156,6 +163,46 @@ def check_manifest_warm(path, max_ratio):
     return 0
 
 
+def check_remote(path, max_overhead):
+    """Gates bench_remote's cached-over-local ratio."""
+    # UseManualTime appends "/manual_time" to the registered name; accept both.
+    benches = {b["name"].split("/")[0]: b
+               for b in read_json(path).get("benchmarks", [])}
+    row = benches.get("BM_RemoteSegmentAccess")
+    if row is None:
+        print(f"FAIL BM_RemoteSegmentAccess: row missing from {path}",
+              file=sys.stderr)
+        return 1
+    local, cold, cached = (row.get("local_ns"), row.get("cold_ns"),
+                           row.get("cached_ns"))
+    if local is None or cold is None or cached is None:
+        print("FAIL BM_RemoteSegmentAccess: local_ns/cold_ns/cached_ns missing "
+              f"from {path}", file=sys.stderr)
+        return 1
+    if local <= 0:
+        print(f"FAIL BM_RemoteSegmentAccess: local_ns is {local}; nothing to "
+              "compare against (broken run?)", file=sys.stderr)
+        return 1
+    fetched = row.get("pages_fetched", 0)
+    if fetched <= 0:
+        print("FAIL BM_RemoteSegmentAccess: the cold pass fetched no pages "
+              f"(pages_fetched={fetched}) — it never went over the wire",
+              file=sys.stderr)
+        return 1
+    ratio = cached / local
+    ceiling = 1.0 + max_overhead
+    ok = ratio <= ceiling
+    print(f"{'ok  ' if ok else 'FAIL'} BM_RemoteSegmentAccess: cached "
+          f"{cached:.4g} ns vs local {local:.4g} ns -> {ratio:.2f}x "
+          f"(ceiling {ceiling:.2f}x; cold {cold:.4g} ns, "
+          f"{fetched:.0f} pages fetched)")
+    if not ok:
+        print(f"\ncached re-access at {ratio:.2f}x of local exceeds the "
+              f"{ceiling:.2f}x ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?")
@@ -170,12 +217,18 @@ def main():
                         help="gate bench_manifest's warm-over-cold ratio in "
                              "this file instead of comparing against a baseline")
     parser.add_argument("--max-warm-ratio", type=float, default=0.10)
+    parser.add_argument("--remote", metavar="REMOTE_JSON",
+                        help="gate bench_remote's cached-over-local ratio in "
+                             "this file instead of comparing against a baseline")
+    parser.add_argument("--max-cached-overhead", type=float, default=0.20)
     args = parser.parse_args()
 
     if args.smp_scaling:
         return check_smp_scaling(args.smp_scaling, args.min_smp_scaling)
     if args.manifest_warm:
         return check_manifest_warm(args.manifest_warm, args.max_warm_ratio)
+    if args.remote:
+        return check_remote(args.remote, args.max_cached_overhead)
     if args.baseline is None or args.current is None:
         parser.error("baseline and current are required unless --smp-scaling is given")
 

@@ -14,6 +14,9 @@
 //   --static-public <file.hc>  ... as static public
 //   --dynamic-private <f.hc>   ... as dynamic private
 //   --state <file>             load/save the shared partition from/to this host file
+//   --connect HOST:PORT        mount the shared partition from a running hemserve
+//                              instead of a local one (mutually exclusive with
+//                              --state; the server owns persistence)
 //   --env K=V                  set an environment variable (e.g. LD_LIBRARY_PATH)
 //   --eager                    eager ldl ablation (resolve everything at startup)
 //   --manifest                 persist ldl resolutions to /shm/.ldl.manifest so a
@@ -71,6 +74,7 @@
 #include "src/base/faults.h"
 #include "src/base/strings.h"
 #include "src/link/search.h"
+#include "src/net/client.h"
 #include "src/obj/object_file.h"
 #include "src/runtime/world.h"
 #include "src/sfs/sfs_check.h"
@@ -108,7 +112,8 @@ std::string BaseNoExt(const std::string& host_path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hemrun [--state f] [--env K=V] [--eager] [--manifest|--no-manifest]\n"
+               "usage: hemrun [--state f | --connect host:port] [--env K=V] [--eager]\n"
+               "              [--manifest|--no-manifest]\n"
                "              [--stats] [--metrics]\n"
                "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
                "              [--procs n] [--quantum q] [--cores n]\n"
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
   std::string main_src;
   std::vector<ModuleArg> modules;
   std::string state_path;
+  std::string connect_spec;
   std::string emit_dir;
   std::string fault_spec;
   std::map<std::string, std::string> env;
@@ -162,6 +168,12 @@ int main(int argc, char** argv) {
         return Usage();
       }
       state_path = file;
+    } else if (arg == "--connect") {
+      const char* spec = next();
+      if (spec == nullptr) {
+        return Usage();
+      }
+      connect_spec = spec;
     } else if (arg == "--emit") {
       const char* dir = next();
       if (dir == nullptr) {
@@ -250,6 +262,11 @@ int main(int argc, char** argv) {
   if (main_src.empty()) {
     return Usage();
   }
+  if (!connect_spec.empty() && !state_path.empty()) {
+    std::fprintf(stderr, "hemrun: --connect and --state are mutually exclusive "
+                         "(the server owns persistence)\n");
+    return 2;
+  }
 
   if (!fault_spec.empty()) {
     // A trailing `:<digits>` is the seed for @rN ordinals.
@@ -288,6 +305,28 @@ int main(int argc, char** argv) {
     }
     return 42;
   };
+
+  // Mount a remote partition instead of a local one. The client's destructor
+  // flushes dirty pages and says Bye on every exit path below.
+  NetClient client;
+  if (!connect_spec.empty()) {
+    size_t colon = connect_spec.rfind(':');
+    long port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        (port = std::strtol(connect_spec.c_str() + colon + 1, nullptr, 10)) < 1 ||
+        port > 65535) {
+      std::fprintf(stderr, "hemrun: --connect wants HOST:PORT, got '%s'\n",
+                   connect_spec.c_str());
+      return 2;
+    }
+    Status attached = client.Connect(connect_spec.substr(0, colon),
+                                     static_cast<int>(port), &world.machine());
+    if (!attached.ok()) {
+      std::fprintf(stderr, "hemrun: cannot attach %s: %s\n", connect_spec.c_str(),
+                   attached.ToString().c_str());
+      return ToolExitCode(attached);
+    }
+  }
 
   // Restore the shared partition from a previous invocation.
   if (!state_path.empty()) {
@@ -505,6 +544,14 @@ int main(int argc, char** argv) {
   if (metrics) {
     MetricsSnapshot merged = world.machine().metrics().Snapshot();
     MetricsRegistry::Merge(&merged, run->ldl->metrics().Snapshot());
+    if (client.connected()) {
+      Result<std::vector<std::pair<std::string, uint64_t>>> remote = client.FetchServerStats();
+      if (remote.ok()) {
+        for (const auto& [name, value] : *remote) {
+          merged["server:" + name] += value;
+        }
+      }
+    }
     for (const auto& [name, value] : merged) {
       std::fprintf(stderr, "[hemrun] %-28s %llu\n", name.c_str(),
                    static_cast<unsigned long long>(value));

@@ -1,0 +1,176 @@
+// hemserve — the segment-coherence server for distributed shared segments.
+//
+// Owns the authoritative shared partition and serves it to `hemrun --connect`
+// clients over the length-prefixed HEMN wire protocol: mount snapshots, page
+// fetches, dirty-page flushes, and creation locks as wire leases (see
+// docs/DISTRIBUTED.md).
+//
+// Usage:
+//   hemserve [--host A.B.C.D] [--port N] [--state f] [--faults spec] [--seed n]
+//
+//   --host                     IPv4 address to bind (default 127.0.0.1)
+//   --port                     TCP port; 0 (the default) picks an ephemeral port
+//   --state <file>             load/save the shared partition from/to this host file
+//   --faults <spec>            arm fault injection, same spec language as hemrun
+//   --seed <n>                 RNG seed for probabilistic fault modes
+//   --stats-every <n>          print the metrics snapshot every n poll rounds
+//
+// The chosen port is announced on stdout as "hemserve: listening on HOST:PORT"
+// (and flushed) so scripts driving an ephemeral port can scrape it. SIGINT or
+// SIGTERM drains the loop, saves --state, and exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/faults.h"
+#include "src/base/status.h"
+#include "src/net/server.h"
+#include "src/sfs/sfs_check.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+hemlock::Status WriteHostFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return hemlock::IoError("cannot open for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return hemlock::IoError("short write: " + path);
+  }
+  return hemlock::OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hemlock;
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string state_path;
+  std::string fault_spec;
+  uint64_t seed = 0;
+  uint64_t stats_every = 0;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto next = [&](size_t& i, const char* flag) -> std::string {
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "hemserve: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return args[++i];
+  };
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--host") {
+      host = next(i, "--host");
+    } else if (arg == "--port") {
+      port = std::atoi(next(i, "--port").c_str());
+    } else if (arg == "--state") {
+      state_path = next(i, "--state");
+    } else if (arg == "--faults") {
+      fault_spec = next(i, "--faults");
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(i, "--seed").c_str(), nullptr, 10);
+    } else if (arg == "--stats-every") {
+      stats_every = std::strtoull(next(i, "--stats-every").c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: hemserve [--host A.B.C.D] [--port n] [--state f]\n"
+                   "                [--faults spec] [--seed n] [--stats-every n]\n");
+      return 2;
+    } else {
+      std::fprintf(stderr, "hemserve: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!fault_spec.empty()) {
+    Status armed = FaultRegistry::Global().ArmFromSpec(fault_spec, seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "hemserve: bad --faults spec: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Restore the authoritative partition from a previous run; salvage mode means
+  // a torn image from a crashed server boots anyway, repaired by fsck.
+  std::unique_ptr<SharedFs> fs;
+  if (!state_path.empty()) {
+    std::ifstream in(state_path, std::ios::binary);
+    if (in) {
+      std::vector<uint8_t> disk((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+      ByteReader r(disk);
+      SfsCheckReport report;
+      Result<std::unique_ptr<SharedFs>> loaded = SharedFs::Deserialize(&r, &report);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "hemserve: bad state file: %s\n",
+                     loaded.status().ToString().c_str());
+        return ToolExitCode(loaded.status());
+      }
+      if (!report.issues.empty()) {
+        std::fprintf(stderr, "[hemserve] state file needed recovery (%zu issues)\n",
+                     report.issues.size());
+      }
+      fs = std::move(*loaded);
+    }
+  }
+
+  SegmentServer server(std::move(fs));
+  Status listening = server.Listen(host, port);
+  if (!listening.ok()) {
+    std::fprintf(stderr, "hemserve: %s\n", listening.ToString().c_str());
+    return ToolExitCode(listening);
+  }
+  std::printf("hemserve: listening on %s:%d\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  uint64_t rounds = 0;
+  while (g_stop == 0) {
+    Status polled = server.PollOnce(100);
+    if (!polled.ok()) {
+      std::fprintf(stderr, "hemserve: poll: %s\n", polled.ToString().c_str());
+      break;
+    }
+    if (stats_every != 0 && ++rounds % stats_every == 0) {
+      for (const auto& [name, value] : server.metrics().Snapshot()) {
+        std::fprintf(stderr, "[hemserve] %s = %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+      }
+    }
+  }
+
+  if (!state_path.empty()) {
+    ByteWriter w;
+    Status ser = server.sfs().Serialize(&w);
+    if (!ser.ok() && !IsCrash(ser)) {
+      std::fprintf(stderr, "hemserve: cannot serialize state: %s\n", ser.ToString().c_str());
+      return 1;
+    }
+    Status save = WriteHostFile(state_path, w.buffer());
+    if (!save.ok()) {
+      std::fprintf(stderr, "hemserve: cannot save state: %s\n", save.ToString().c_str());
+      return ToolExitCode(save);
+    }
+    if (IsCrash(ser)) {
+      return 42;
+    }
+  }
+  return 0;
+}
