@@ -115,6 +115,26 @@ class AddressSpace {
   // Wires the vm.tlb.* counters (Machine owns the registry; tests may skip this).
   void WireVmCounters(uint64_t* hits, uint64_t* misses, uint64_t* flushes);
 
+  // --- The JIT TLB-probe contract ---
+  //
+  // The template JIT (src/vm/jit.cc) inlines the Resolve hit path into generated
+  // host code: it indexes tlb_ directly, compares page and epoch, tests the prot
+  // byte, and adds into host. That makes the entry layout, the line count, and
+  // the direct-mapped index function part of this header's contract — jit.cc
+  // static_asserts every offset below, so a layout change fails the build instead
+  // of silently desynchronizing the two probes. The inline probe must also route
+  // every write that hits a page with Prot::kExec to the slow helper, since that
+  // is where NoteExecStore (the self-modifying-code epoch bump) lives.
+  static constexpr uint32_t kTlbEntries = 256;  // direct-mapped, 1-page lines
+  struct TlbEntry {
+    uint32_t page = 1;   // non-page-aligned sentinel: never matches a real page
+    Prot prot = Prot::kNone;
+    uint64_t epoch = 0;
+    uint8_t* host = nullptr;  // host address of the page's first byte
+  };
+  // The TLB array for the JIT's inlined probe (mutable cache, hence const).
+  TlbEntry* tlb_for_jit() const { return tlb_; }
+
  private:
   struct PageEntry {
     Prot prot = Prot::kNone;
@@ -137,14 +157,6 @@ class AddressSpace {
   // A write retired in an exec-protected page: retire decoded blocks over it.
   void NoteExecStore(uint32_t addr) const;
   void BumpMapGen();
-
-  static constexpr uint32_t kTlbEntries = 256;  // direct-mapped, 1-page lines
-  struct TlbEntry {
-    uint32_t page = 1;   // non-page-aligned sentinel: never matches a real page
-    Prot prot = Prot::kNone;
-    uint64_t epoch = 0;
-    uint8_t* host = nullptr;  // host address of the page's first byte
-  };
 
   SharedFs* sfs_;
   std::map<uint32_t, PageEntry> pages_;  // keyed by page-aligned vaddr

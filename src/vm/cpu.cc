@@ -1,5 +1,7 @@
 #include "src/vm/cpu.h"
 
+#include "src/vm/jit.h"
+
 namespace hemlock {
 
 StopReason Cpu::Run(CpuState* st, uint64_t max_steps, uint64_t* steps_out, Fault* fault_out) {
@@ -515,6 +517,36 @@ StopReason Cpu::RunBlocks(CpuState* st, uint64_t max_steps, uint64_t* steps_out,
         return r;
       }
       continue;
+    }
+    if constexpr (!kObserved) {
+      // Tier 3: hand the block to the JIT. It either runs native code (updating
+      // pc and retiring whole blocks, possibly many via chaining) or declines —
+      // cold block, arena full, or fuel short of the block length (the
+      // interpreter below then cuts at the budget edge, keeping preemption
+      // points tier-independent).
+      if (jit_ != nullptr) {
+        uint64_t used = 0;
+        JitRun jr = jit_->TryRun(*block, space_, st, max_steps - steps, &used, fault_out);
+        if (jr != JitRun::kNotRun) {
+          steps += used;
+          if (jr == JitRun::kContinue) {
+            continue;
+          }
+          if (steps_out != nullptr) {
+            *steps_out = steps;
+          }
+          switch (jr) {
+            case JitRun::kSyscall:
+              return StopReason::kSyscall;
+            case JitRun::kBreak:
+              return StopReason::kBreak;
+            case JitRun::kFault:
+              return StopReason::kFault;
+            default:
+              return StopReason::kDivZero;
+          }
+        }
+      }
     }
     // Fuel is charged per block: one budget computation here instead of a bounds
     // check per instruction. A block larger than the remaining budget is cut at

@@ -27,6 +27,8 @@
 
 namespace hemlock {
 
+class Jit;
+
 struct CpuState {
   std::array<uint32_t, kNumRegs> regs{};
   uint32_t pc = 0;
@@ -63,6 +65,9 @@ class Cpu {
   void set_observer(CpuObserver* observer) { observer_ = observer; }
   // Enables the fast block loop. Null (the default) runs the reference decode loop.
   void set_exec_cache(ExecCache* cache) { exec_cache_ = cache; }
+  // Enables the JIT tier above the block loop (requires an exec cache; ignored
+  // by the observed loop — per-access callbacks need the interpreter).
+  void set_jit(Jit* jit) { jit_ = jit; }
 
  private:
   // What one retired instruction decided: kSteps means "keep going at next_pc";
@@ -85,6 +90,7 @@ class Cpu {
   AddressSpace* space_;
   CpuObserver* observer_ = nullptr;
   ExecCache* exec_cache_ = nullptr;
+  Jit* jit_ = nullptr;
 };
 
 }  // namespace hemlock

@@ -28,6 +28,10 @@ struct DecodedBlock {
   uint32_t start = 0;          // vaddr of the first instruction
   std::vector<Instr> code;     // at least one instruction
   bool ends_in_cti = false;    // last Instr transfers control (incl. syscall/break)
+  // Dispatch count since the block was (re)decoded; the JIT tier promotes the
+  // block to host code when this crosses its threshold. Mutable because hotness
+  // is bookkeeping on a cache entry handed out const.
+  mutable uint32_t hot = 0;
 };
 
 class ExecCache {

@@ -65,11 +65,20 @@ Machine::Machine() : vfs_(std::make_unique<Vfs>()) {
   m_icache_hits_ = metrics_.Counter("vm.icache.hits");
   m_icache_misses_ = metrics_.Counter("vm.icache.misses");
   m_icache_invalidations_ = metrics_.Counter("vm.icache.invalidations");
+  m_jit_compiled_ = metrics_.Counter("vm.jit.compiled_blocks");
+  m_jit_chained_ = metrics_.Counter("vm.jit.chained");
+  m_jit_deopts_ = metrics_.Counter("vm.jit.deopts");
+  m_jit_bailouts_ = metrics_.Counter("vm.jit.bailouts");
+  m_jit_arena_bytes_ = metrics_.Counter("vm.jit.arena_bytes");
   m_shootdowns_ = metrics_.Counter("vm.sched.shootdowns");
-  // Escape hatch for the differential CI job: run existing test binaries against
-  // the reference interpreter without recompiling them.
+  // Escape hatches for the differential CI job: run existing test binaries against
+  // the reference interpreter (or with the JIT tier off) without recompiling them.
   const char* slow_env = std::getenv("HEMLOCK_SLOW_INTERP");
   slow_interp_ = slow_env != nullptr && slow_env[0] != '\0' && slow_env[0] != '0';
+  const char* jit_env = std::getenv("HEMLOCK_JIT");
+  if (jit_env != nullptr && (jit_env[0] == '\0' || jit_env[0] == '0')) {
+    jit_enabled_ = false;
+  }
   scheduler_.SetMetrics(&metrics_);
   WireSfs();
   // The newest machine claims the process-global fault registry's observability:
@@ -137,14 +146,26 @@ void Machine::ReplaceSfs(std::unique_ptr<SharedFs> sfs) {
   WireSfs();
 }
 
+void Machine::WireProcessVm(Process& proc) {
+  // TLB, block-cache, and JIT counters go to the process's private cells (bumped
+  // from the guest loop, outside the kernel lock under SMP); FlushVmCounters
+  // folds them into the vm.* registry rows at each dispatch end.
+  proc.space_->WireVmCounters(&proc.vm_cells_[0], &proc.vm_cells_[1], &proc.vm_cells_[2]);
+  proc.exec_cache_.WireCounters(&proc.vm_cells_[3], &proc.vm_cells_[4], &proc.vm_cells_[5]);
+  if (jit_enabled_ && Jit::HostSupported()) {
+    proc.jit_ = std::make_unique<Jit>();
+    proc.jit_->set_threshold(jit_threshold_);
+    // The last tap is the shared vm.tlb.hits cell: the inline probe's hits land
+    // in the same row the interpreter's probe bumps.
+    proc.jit_->WireCounters(&proc.vm_cells_[6], &proc.vm_cells_[7], &proc.vm_cells_[8],
+                            &proc.vm_cells_[9], &proc.vm_cells_[10], &proc.vm_cells_[0]);
+  }
+}
+
 Process& Machine::CreateProcess() {
   int pid = next_pid_++;
   auto proc = std::make_unique<Process>(pid, /*parent=*/0, &sfs());
-  // TLB and block-cache counters go to the process's private cells (bumped from
-  // the guest loop, outside the kernel lock under SMP); FlushVmCounters folds
-  // them into the vm.tlb.*/vm.icache.* registry rows at each dispatch end.
-  proc->space_->WireVmCounters(&proc->vm_cells_[0], &proc->vm_cells_[1], &proc->vm_cells_[2]);
-  proc->exec_cache_.WireCounters(&proc->vm_cells_[3], &proc->vm_cells_[4], &proc->vm_cells_[5]);
+  WireProcessVm(*proc);
   Process& ref = *proc;
   procs_[pid] = std::move(proc);
   scheduler_.Enqueue(pid, ref.priority_);
@@ -184,9 +205,11 @@ void Machine::ChargeTicks(Process& proc, uint64_t n) {
 }
 
 void Machine::FlushVmCounters(Process& proc) {
-  uint64_t* dst[6] = {m_tlb_hits_,    m_tlb_misses_,    m_tlb_flushes_,
-                      m_icache_hits_, m_icache_misses_, m_icache_invalidations_};
-  for (int i = 0; i < 6; ++i) {
+  uint64_t* dst[11] = {m_tlb_hits_,    m_tlb_misses_,    m_tlb_flushes_,
+                       m_icache_hits_, m_icache_misses_, m_icache_invalidations_,
+                       m_jit_compiled_, m_jit_chained_,  m_jit_deopts_,
+                       m_jit_bailouts_, m_jit_arena_bytes_};
+  for (int i = 0; i < 11; ++i) {
     *dst[i] += proc.vm_cells_[i];
     proc.vm_cells_[i] = 0;
   }
@@ -227,6 +250,13 @@ SchedStatus Machine::DriveProcessLoop(Process& proc, uint64_t max_steps,
   }
   if (!slow_interp_) {
     cpu.set_exec_cache(&proc.exec_cache_);
+    // The JIT tier needs the unobserved fast loop: the race detector wants a
+    // callback per access and tracing wants per-event hooks, neither of which
+    // template code emits — fall back to the dual dispatch loops when either
+    // is on (self-disable contract; docs/PERFORMANCE.md).
+    if (proc.jit_ != nullptr && race_ == nullptr && !trace_on_) {
+      cpu.set_jit(proc.jit_.get());
+    }
   }
   uint64_t budget = max_steps;
   while (budget > 0) {
@@ -830,12 +860,10 @@ void Machine::DoSyscall(Process& proc) {
       int child_pid = next_pid_++;
       auto child = std::make_unique<Process>(child_pid, proc.pid(), &sfs());
       // Fork copies the parent's counter wiring, which points at the *parent's*
-      // private cells — re-aim both taps at the child's own.
+      // private cells — re-aim every tap at the child's own. The child also gets
+      // a fresh (empty) code arena; translations are per-process like the TLB.
       child->space_ = proc.space().Fork();
-      child->space_->WireVmCounters(&child->vm_cells_[0], &child->vm_cells_[1],
-                                    &child->vm_cells_[2]);
-      child->exec_cache_.WireCounters(&child->vm_cells_[3], &child->vm_cells_[4],
-                                      &child->vm_cells_[5]);
+      WireProcessVm(*child);
       child->cpu_ = proc.cpu();
       child->brk_ = proc.brk_;
       child->env_ = proc.env_;

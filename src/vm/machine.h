@@ -30,6 +30,7 @@
 #include "src/kernel/scheduler.h"
 #include "src/sfs/vfs.h"
 #include "src/vm/cpu.h"
+#include "src/vm/jit.h"
 
 namespace hemlock {
 
@@ -121,6 +122,8 @@ class Process {
   // The process's decoded-block cache. It lives here (not in the Cpu) because the
   // Cpu is reconstructed every quantum while decoded blocks stay hot across them.
   ExecCache& exec_cache() { return exec_cache_; }
+  // The process's JIT tier (null when disabled or unsupported on this host).
+  Jit* jit() { return jit_.get(); }
 
  private:
   friend class Machine;
@@ -152,12 +155,16 @@ class Process {
   // Ticks charged during the current DriveProcess dispatch (steps + syscall and
   // fault costs); the scheduler loops read it after each quantum.
   uint64_t charged_ = 0;
-  // Private cells behind this process's vm.tlb.* / vm.icache.* counters. The TLB
-  // and block cache bump these from the guest loop — outside the kernel lock under
-  // SMP — so they cannot share the machine-wide registry cells; each quantum's
-  // totals are folded into the registry at dispatch end (FlushVmCounters).
-  uint64_t vm_cells_[6] = {0, 0, 0, 0, 0, 0};
+  // Private cells behind this process's vm.tlb.* / vm.icache.* / vm.jit.*
+  // counters. The TLB, block cache, and JIT bump these from the guest loop —
+  // outside the kernel lock under SMP — so they cannot share the machine-wide
+  // registry cells; each quantum's totals are folded into the registry at
+  // dispatch end (FlushVmCounters).
+  uint64_t vm_cells_[11] = {};
   ExecCache exec_cache_;
+  // The process's code arena + translations (per-process, like the block cache);
+  // null when the tier is disabled or the host cannot run generated code.
+  std::unique_ptr<Jit> jit_;
 };
 
 // Status of driving a process or a scheduled run. (Previously named after the run
@@ -260,6 +267,16 @@ class Machine {
   void set_slow_interp(bool slow) { slow_interp_ = slow; }
   bool slow_interp() const { return slow_interp_; }
 
+  // The JIT tier above the block cache (hemrun --jit/--no-jit; env HEMLOCK_JIT=0
+  // disables). On by default; takes effect for processes created afterwards. The
+  // tier self-disables per quantum when the race detector or tracing is on, and
+  // per process when the host cannot run generated code — semantics are identical
+  // by contract either way (the three-engine differential CI job enforces it).
+  void set_jit_enabled(bool enabled) { jit_enabled_ = enabled; }
+  bool jit_enabled() const { return jit_enabled_; }
+  // Block-dispatch count at which a block is compiled (hemrun --jit-threshold).
+  void set_jit_threshold(uint32_t threshold) { jit_threshold_ = threshold; }
+
   // Per-syscall simulated cost in ticks, charged on top of the instruction count —
   // keeps simulated comparisons honest about kernel-crossing overhead (used by the
   // rwho and IPC benches). Default 200 ticks per syscall, 2000 per fault delivery.
@@ -301,8 +318,11 @@ class Machine {
   SharedFs::ShootdownGuard BeginShootdown();
   // Advances the simulated clock and bills the current dispatch.
   void ChargeTicks(Process& proc, uint64_t n);
-  // Folds |proc|'s private vm.tlb.*/vm.icache.* cells into the registry.
+  // Folds |proc|'s private vm.tlb.*/vm.icache.*/vm.jit.* cells into the registry.
   void FlushVmCounters(Process& proc);
+  // Aims |proc|'s TLB/block-cache/JIT counter taps at its private cells and
+  // builds its JIT when the tier is on (CreateProcess and fork share this).
+  void WireProcessVm(Process& proc);
   // Logs + traces a deadlock (ready queues empty, live waiters remain).
   SchedStatus ReportDeadlock();
 
@@ -338,6 +358,11 @@ class Machine {
   uint64_t* m_icache_hits_ = nullptr;
   uint64_t* m_icache_misses_ = nullptr;
   uint64_t* m_icache_invalidations_ = nullptr;
+  uint64_t* m_jit_compiled_ = nullptr;
+  uint64_t* m_jit_chained_ = nullptr;
+  uint64_t* m_jit_deopts_ = nullptr;
+  uint64_t* m_jit_bailouts_ = nullptr;
+  uint64_t* m_jit_arena_bytes_ = nullptr;
   uint64_t* m_shootdowns_ = nullptr;
   std::map<int, std::unique_ptr<Process>> procs_;
   int next_pid_ = 1;
@@ -353,6 +378,8 @@ class Machine {
   bool scheduled_run_ = false;  // inside RunScheduled: sys_yield ends the quantum
   size_t race_reports_traced_ = 0;  // reports already copied into the trace ring
   bool slow_interp_ = false;    // reference interpreter only (differential runs)
+  bool jit_enabled_ = true;     // the template-JIT tier (per-process arenas)
+  uint32_t jit_threshold_ = Jit::kDefaultThreshold;
   bool trace_on_ = false;       // trace_.enabled(), cached once per quantum
 
   // --- SMP state (docs/CONCURRENCY.md) ---

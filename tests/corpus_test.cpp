@@ -41,7 +41,8 @@ std::vector<uint8_t> ReadSeed(const fs::path& path) {
 // The ISSUE 5 acceptance floor: a malformed-input regression corpus of at
 // least 25 seeds, replayed on every test run.
 TEST(CorpusTest, CorpusHasAtLeastTwentyFiveSeeds) {
-  size_t total = SeedsIn("object").size() + SeedsIn("sfs").size() + SeedsIn("wire").size();
+  size_t total = SeedsIn("object").size() + SeedsIn("sfs").size() + SeedsIn("wire").size() +
+                 SeedsIn("roundtrip").size();
   EXPECT_GE(total, 25u) << "checked-in corpus shrank below the regression floor";
 }
 
@@ -80,7 +81,10 @@ TEST(CorpusTest, WireSeedsReplayWithoutCrashing) {
 // reproduce the input byte-for-byte). A trap here means an encoder and its
 // decoder disagree about some field.
 TEST(CorpusTest, AllSeedsSurviveTheRoundtripDifferential) {
-  for (const std::string& family : {"object", "sfs", "wire"}) {
+  // "roundtrip" holds seeds the scheduled long-run fuzz job minimized out of
+  // fuzz_roundtrip's own discoveries — inputs whose coverage no single-family
+  // seed reproduces.
+  for (const std::string& family : {"object", "sfs", "wire", "roundtrip"}) {
     for (const fs::path& seed : SeedsIn(family)) {
       SCOPED_TRACE(seed.string());
       std::vector<uint8_t> bytes = ReadSeed(seed);

@@ -7,19 +7,25 @@ not:
     within --tolerance of the baseline — a blown hit rate or an invalidation storm
     is a correctness-adjacent regression even when the box is fast enough to hide
     it;
-  * the fast-over-slow interpreter speedup ratio (both engines measured in the
-    same process on the same machine) must stay above --min-speedup and within
-    --tolerance of the baseline's ratio.
+  * the fast-over-slow speedup ratios (engines measured in the same process on
+    the same machine) must stay above their floors and within --tolerance of the
+    baseline's ratios: the block-cache interpreter at --min-speedup (3x) and the
+    template-JIT tier at --min-jit-speedup (6x). The JIT gate enforces itself
+    only when the run actually compiled blocks (jit_compiled > 0) — a host that
+    cannot run generated code falls back to the block cache, and gating the
+    fallback at 6x would punish the architecture, not the change.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
                                                    [--min-speedup 3.0]
-       bench_compare.py --smp-scaling CONTENTION.json [--min-smp-scaling 2.0]
+                                                   [--min-jit-speedup 6.0]
+       bench_compare.py --smp-scaling CONTENTION.json [--min-smp-scaling 2.5]
        bench_compare.py --manifest-warm MANIFEST.json [--max-warm-ratio 0.10]
        bench_compare.py --remote REMOTE.json [--max-cached-overhead 0.20]
 
 The second form gates the SMP cores-vs-throughput curve exported by
 bench_contention's BM_SmpScaling rows: the cores=4 instruction rate must be at
-least --min-smp-scaling times the cores=1 rate. The gate reads the host CPU
+least --min-smp-scaling times the cores=1 rate (raised from 2.0 to 2.5
+once the JIT tier shrank per-block dispatch overhead). The gate reads the host CPU
 count from the JSON context and relaxes itself when the box cannot physically
 show the scaling (halved floor on 2-3 CPUs, recorded-but-not-gated on 1).
 
@@ -60,6 +66,8 @@ def read_json(path):
         sys.exit(2)
 
 # Counters whose values are properties of the workload, not the machine.
+# (jit_arena_bytes is deliberately absent: emitted-code size shifts with every
+# template tweak and is a property of the emitter, not the workload.)
 DETERMINISTIC_COUNTERS = (
     "tlb_hits",
     "tlb_misses",
@@ -67,6 +75,10 @@ DETERMINISTIC_COUNTERS = (
     "icache_hits",
     "icache_misses",
     "icache_invalidations",
+    "jit_compiled",
+    "jit_chained",
+    "jit_deopts",
+    "jit_bailouts",
 )
 
 
@@ -209,10 +221,11 @@ def main():
     parser.add_argument("current", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-jit-speedup", type=float, default=6.0)
     parser.add_argument("--smp-scaling", metavar="CONTENTION_JSON",
                         help="gate the BM_SmpScaling curve in this file instead "
                              "of comparing against a baseline")
-    parser.add_argument("--min-smp-scaling", type=float, default=2.0)
+    parser.add_argument("--min-smp-scaling", type=float, default=2.5)
     parser.add_argument("--manifest-warm", metavar="MANIFEST_JSON",
                         help="gate bench_manifest's warm-over-cold ratio in "
                              "this file instead of comparing against a baseline")
@@ -251,21 +264,32 @@ def main():
             if not ok:
                 failures.append(f"{name}.{counter}: {old:.1f} -> {new:.1f}")
 
-    speedup_bench = cur.get("BM_InterpSpeedup")
-    if speedup_bench is None or "speedup" not in speedup_bench:
-        failures.append("BM_InterpSpeedup.speedup: missing from current run")
-    else:
-        speedup = speedup_bench["speedup"]
-        base_speedup = base.get("BM_InterpSpeedup", {}).get("speedup")
-        floor = args.min_speedup
+    def gate_speedup(name, min_floor, require_jit):
+        bench = cur.get(name)
+        if bench is None or "speedup" not in bench:
+            failures.append(f"{name}.speedup: missing from current run")
+            return
+        if require_jit and bench.get("jit_compiled", 0) <= 0:
+            # The tier never engaged (non-x86-64 host or hardened mmap): the run
+            # fell back to the block cache, which has its own gate. Record, don't
+            # gate — but only for the JIT row; the interpreter has no such out.
+            print(f"skip {name}.speedup: no blocks compiled on this host "
+                  f"(ratio recorded at {bench['speedup']:.2f}x, not gated)")
+            return
+        speedup = bench["speedup"]
+        base_speedup = base.get(name, {}).get("speedup")
+        floor = min_floor
         if base_speedup is not None:
             floor = max(floor, base_speedup * (1.0 - args.tolerance))
         ok = speedup >= floor
-        print(f"{'ok  ' if ok else 'FAIL'} BM_InterpSpeedup.speedup: "
+        print(f"{'ok  ' if ok else 'FAIL'} {name}.speedup: "
               f"current={speedup:.2f}x floor={floor:.2f}x "
               f"(baseline={base_speedup if base_speedup is not None else 'n/a'})")
         if not ok:
-            failures.append(f"speedup {speedup:.2f}x below floor {floor:.2f}x")
+            failures.append(f"{name} speedup {speedup:.2f}x below floor {floor:.2f}x")
+
+    gate_speedup("BM_InterpSpeedup", args.min_speedup, require_jit=False)
+    gate_speedup("BM_JitSpeedup", args.min_jit_speedup, require_jit=True)
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

@@ -41,6 +41,10 @@
 //   --race-sample N            check every Nth shared access per process (default 1)
 //   --slow-interp              reference decode-every-step interpreter (differential
 //                              runs; must behave identically to the fast path)
+//   --jit / --no-jit           force the template-JIT tier on/off (default: on, via
+//                              env HEMLOCK_JIT; all three engines must behave
+//                              identically — the differential CI job diffs them)
+//   --jit-threshold N          compile a block on its Nth dispatch (default 16)
 //
 // Any of --procs/--quantum/--cores/--sched/--race selects the scheduled
 // (preemptive) run mode; without them a single process runs to completion
@@ -119,6 +123,7 @@ int Usage() {
                "              [--procs n] [--quantum q] [--cores n]\n"
                "              [--sched rr|random[:seed]]\n"
                "              [--race] [--race-sample n] [--slow-interp]\n"
+               "              [--jit|--no-jit] [--jit-threshold n]\n"
                "              [--private f.hc | --public f.hc | --static-public f.hc |\n"
                "               --dynamic-private f.hc]... <main.hc>\n");
   return 2;
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
   bool scheduled = false;
   bool race = false;
   bool slow_interp = false;
+  int jit = -1;  // -1 default (on, unless env HEMLOCK_JIT=0), 0 off, 1 on
+  uint32_t jit_threshold = 0;
   uint32_t race_sample = 1;
   long procs = 1;
   long cores = 1;
@@ -236,6 +243,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--slow-interp") {
       slow_interp = true;
+    } else if (arg == "--jit") {
+      jit = 1;
+    } else if (arg == "--no-jit") {
+      jit = 0;
+    } else if (arg == "--jit-threshold") {
+      const char* n = next();
+      if (n == nullptr ||
+          (jit_threshold = static_cast<uint32_t>(std::strtoul(n, nullptr, 10))) == 0) {
+        return Usage();
+      }
     } else if (arg == "--eager") {
       eager = true;
     } else if (arg == "--manifest") {
@@ -287,6 +304,12 @@ int main(int argc, char** argv) {
   HemlockWorld world;
   if (slow_interp) {
     world.machine().set_slow_interp(true);
+  }
+  if (jit != -1) {
+    world.machine().set_jit_enabled(jit == 1);
+  }
+  if (jit_threshold != 0) {
+    world.machine().set_jit_threshold(jit_threshold);
   }
 
   // An injected crash mimics the process dying mid-operation: persist whatever the
@@ -540,6 +563,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(snap.count("sfs.enospc") ? snap.at("sfs.enospc") : 0),
                  static_cast<unsigned long long>(
                      snap.count("sfs.inode_exhausted") ? snap.at("sfs.inode_exhausted") : 0));
+    auto jrow = [&snap](const char* name) -> unsigned long long {
+      return snap.count(name) ? static_cast<unsigned long long>(snap.at(name)) : 0;
+    };
+    std::fprintf(stderr,
+                 "[hemrun] jit: %llu compiled, %llu chained, %llu deopts, "
+                 "%llu bailouts, %llu arena bytes\n",
+                 jrow("vm.jit.compiled_blocks"), jrow("vm.jit.chained"),
+                 jrow("vm.jit.deopts"), jrow("vm.jit.bailouts"),
+                 jrow("vm.jit.arena_bytes"));
   }
   if (metrics) {
     MetricsSnapshot merged = world.machine().metrics().Snapshot();
