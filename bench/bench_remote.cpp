@@ -142,5 +142,100 @@ void BM_RemoteSegmentAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoteSegmentAccess)->UseManualTime();
 
+// Fault-tolerance cost: what does losing the connection actually cost a
+// client whose replica is warm? The severed link is rediscovered on the next
+// RPC, which rides the retry loop: backoff, re-dial, HELLO-with-resume-token,
+// and a RESYNC claiming every resident page. The server answers only what is
+// stale — nothing here — so the replica revalidates without refetching a
+// byte. `resume_ns` is that whole recovery (vs `rpc_ns`, the same RPC on a
+// healthy link); `pages_refetched` staying 0 is the point of RESYNC.
+void BM_RemoteReconnectResume(benchmark::State& state) {
+  auto fs = std::make_unique<SharedFs>();
+  if (!fs->Mkdir("/shm").ok()) {
+    state.SkipWithError("cannot create /shm");
+    return;
+  }
+  Result<uint32_t> created = fs->Create("/shm/blob.bin");
+  if (!created.ok()) {
+    state.SkipWithError("cannot create the blob");
+    return;
+  }
+  std::vector<uint8_t> blob(kBlobBytes);
+  for (uint32_t i = 0; i < kBlobBytes; ++i) {
+    blob[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  if (!fs->WriteAt(*created, 0, blob.data(), kBlobBytes).ok()) {
+    state.SkipWithError("cannot fill the blob");
+    return;
+  }
+
+  SegmentServer server(std::move(fs));
+  if (!server.Listen("127.0.0.1", 0).ok() || !server.Start().ok()) {
+    state.SkipWithError("cannot start the segment server");
+    return;
+  }
+
+  constexpr int kLockPid = 77;
+  double rpc_s = -1.0, resume_s = -1.0;
+  double resumes = 0, pages_refetched = 0;
+  std::vector<uint8_t> buf(kBlobBytes);
+  for (auto _ : state) {
+    HemlockWorld world;
+    NetClient client;
+    NetClientOptions options;
+    options.backoff_ms = 1;  // measure recovery, not the default backoff
+    client.set_options(options);
+    if (!client.Connect("127.0.0.1", server.port(), &world.machine()).ok()) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    Result<uint32_t> ino = world.sfs().Lookup("/shm/blob.bin");
+    if (!ino.ok()) {
+      state.SkipWithError("blob missing from the mounted replica");
+      break;
+    }
+    if (ReadPassSeconds(world.sfs(), *ino, &buf) < 0) {
+      state.SkipWithError("warming read failed");
+      break;
+    }
+    // Healthy-link baseline: one lock/unlock round trip, best of kPasses.
+    for (int i = 0; i < kPasses; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      Status lk = world.sfs().LockInode(*ino, kLockPid);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!lk.ok() || !world.sfs().UnlockInode(*ino, kLockPid).ok()) {
+        state.SkipWithError("baseline lock round trip failed");
+        return;
+      }
+      double s = std::chrono::duration<double>(t1 - t0).count();
+      if (rpc_s < 0 || s < rpc_s) {
+        rpc_s = s;
+      }
+    }
+    uint64_t fetched_before = world.machine().metrics().Get("net.client.pages_fetched");
+    client.SeverForTest();
+    auto t0 = std::chrono::steady_clock::now();
+    Status lk = world.sfs().LockInode(*ino, kLockPid);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!lk.ok() || !world.sfs().UnlockInode(*ino, kLockPid).ok()) {
+      state.SkipWithError("post-sever lock did not recover");
+      break;
+    }
+    resume_s = std::chrono::duration<double>(t1 - t0).count();
+    resumes = static_cast<double>(world.machine().metrics().Get("net.client.resumes"));
+    pages_refetched = static_cast<double>(
+        world.machine().metrics().Get("net.client.pages_fetched") - fetched_before);
+    client.Disconnect();
+    state.SetIterationTime(resume_s);
+  }
+  server.Stop();
+
+  state.counters["rpc_ns"] = rpc_s * 1e9;
+  state.counters["resume_ns"] = resume_s * 1e9;
+  state.counters["resumes"] = resumes;
+  state.counters["pages_refetched"] = pages_refetched;
+}
+BENCHMARK(BM_RemoteReconnectResume)->UseManualTime();
+
 }  // namespace
 }  // namespace hemlock

@@ -220,8 +220,8 @@ void WireSeeds(const std::filesystem::path& dir) {
   flush.op = WireOp::kFlush;
   flush.ino = 2;
   flush.size = 5000;
-  flush.pages.push_back({0, std::vector<uint8_t>(64, 0x5A)});
-  flush.pages.push_back({1, {}});  // all-zero page travels empty
+  flush.pages.push_back({0, 0, std::vector<uint8_t>(64, 0x5A)});
+  flush.pages.push_back({1, 0, {}});  // all-zero page travels empty
   std::vector<uint8_t> flush_enc = EncodePayload(flush);
   Put(dir, "wire-flush-valid.bin", flush_enc);
 
@@ -316,6 +316,60 @@ void WireSeeds(const std::filesystem::path& dir) {
     bad.page_list = {kWirePagesPerFile};
     Put(dir, "wire-page-out-of-range.bin", EncodePayload(bad));
   }
+
+  // v2 fault-tolerance shapes: the resume handshake, version claims, and the
+  // weather the chaos transport manufactures (duplication, mid-frame cuts).
+  {  // HELLO with a resume token.
+    WireMsg resume;
+    resume.op = WireOp::kHello;
+    resume.resume_session = 3;
+    resume.resume_token = 0x9E3779B97F4A7C15ull;
+    Put(dir, "wire-hello-v2-resume.bin", EncodePayload(resume));
+  }
+  {  // A v1 hello (magic + version only): decodes, refused at dispatch.
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(WireOp::kHello));
+    w.U32(kWireMagic);
+    w.U16(1);
+    Put(dir, "wire-hello-v1.bin", w.buffer());
+  }
+  {  // RESYNC with a size claim and page claims.
+    WireMsg resync;
+    resync.op = WireOp::kResync;
+    resync.seq = 9;
+    resync.claims.push_back({3, kWireSizeClaim, 512});
+    resync.claims.push_back({3, 0, 7});
+    resync.claims.push_back({3, 1, 0});
+    Put(dir, "wire-resync-valid.bin", EncodePayload(resync));
+  }
+  {  // A replayed reply served from the at-most-once cache.
+    WireMsg replayed;
+    replayed.op = WireOp::kReply;
+    replayed.reply_to = static_cast<uint8_t>(WireOp::kCreate);
+    replayed.seq = 4;
+    replayed.replayed = 1;
+    replayed.ino = 5;
+    Put(dir, "wire-replayed-reply.bin", EncodePayload(replayed));
+  }
+  {  // A fetch reply whose page records carry write versions.
+    WireMsg versioned;
+    versioned.op = WireOp::kReply;
+    versioned.reply_to = static_cast<uint8_t>(WireOp::kFetch);
+    versioned.seq = 2;
+    versioned.ino = 3;
+    versioned.size = 200;
+    versioned.pages.push_back({0, 41, std::vector<uint8_t>(32, 0x11)});
+    versioned.pages.push_back({1, 42, {}});
+    Put(dir, "wire-versioned-fetch-reply.bin", EncodePayload(versioned));
+  }
+  // A duplicated frame, back to back — what chaos `dup` puts on the wire.
+  Put(dir, "wire-dup-concat.bin", [&] {
+    std::vector<uint8_t> b = flush_enc;
+    b.insert(b.end(), flush_enc.begin(), flush_enc.end());
+    return b;
+  }());
+  // Truncated mid-frame — what chaos `trunc` leaves behind.
+  Put(dir, "wire-truncated-mid-frame.bin", Truncate(flush_enc, flush_enc.size() / 3));
 }
 
 }  // namespace

@@ -39,28 +39,31 @@ FaultRegistry& FaultRegistry::Global() {
 }
 
 Status FaultRegistry::Check(const std::string& point) {
-  PointState& st = points_[point];
-  ++st.hits;
-  if (c_checks_ != nullptr) {
-    ++*c_checks_;
+  FaultMode mode;
+  std::function<void(uint64_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& st = points_[point];
+    ++st.hits;
+    if (!st.armed || st.hits != st.fire_at) {
+      return OkStatus();
+    }
+    st.armed = false;  // one-shot: a fault fires once, then the point goes quiet
+    ++st.triggers;
+    ++total_triggered_;
+    mode = st.mode;
+    hook = delay_hook_;
   }
-  if (!st.armed || st.hits != st.fire_at) {
-    return OkStatus();
-  }
-  st.armed = false;  // one-shot: a fault fires once, then the point goes quiet
-  ++st.triggers;
-  ++total_triggered_;
-  if (c_injected_ != nullptr) {
-    ++*c_injected_;
-  }
-  switch (st.mode) {
+  // The lock is dropped before the fault surfaces: the delay hook may advance
+  // clocks through code that hits further fault points.
+  switch (mode) {
     case FaultMode::kError:
       return Internal(StrFormat("fault '%s' injected error", point.c_str()));
     case FaultMode::kCrash:
       return Crashed(StrFormat("fault '%s' injected crash", point.c_str()));
     case FaultMode::kDelay:
-      if (delay_hook_) {
-        delay_hook_(kDelayTicks);
+      if (hook) {
+        hook(kDelayTicks);
       }
       return OkStatus();
   }
@@ -68,6 +71,7 @@ Status FaultRegistry::Check(const std::string& point) {
 }
 
 void FaultRegistry::Arm(const std::string& point, FaultMode mode, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
   PointState& st = points_[point];
   st.armed = true;
   st.mode = mode;
@@ -75,6 +79,7 @@ void FaultRegistry::Arm(const std::string& point, FaultMode mode, uint64_t nth) 
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it != points_.end()) {
     it->second.armed = false;
@@ -82,6 +87,7 @@ void FaultRegistry::Disarm(const std::string& point) {
 }
 
 void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, st] : points_) {
     st = PointState{};
   }
@@ -135,6 +141,7 @@ Status FaultRegistry::ArmFromSpec(const std::string& spec, uint64_t seed) {
 }
 
 std::vector<std::string> FaultRegistry::KnownPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(points_.size());
   for (const auto& [name, st] : points_) {
@@ -144,24 +151,26 @@ std::vector<std::string> FaultRegistry::KnownPoints() const {
 }
 
 uint64_t FaultRegistry::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultRegistry::TriggerCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.triggers;
 }
 
 void FaultRegistry::SetMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_ = metrics;
-  c_checks_ = metrics != nullptr ? metrics->Counter("faults.checks") : nullptr;
-  c_injected_ = metrics != nullptr ? metrics->Counter("faults.injected") : nullptr;
 }
 
 void FaultRegistry::DetachMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (metrics_ == metrics) {
-    SetMetrics(nullptr);
+    metrics_ = nullptr;
     delay_hook_ = nullptr;  // installed by the same owner; must not outlive it
   }
 }

@@ -22,13 +22,16 @@
 // crash-at-every-point recovery test iterates exactly that list.
 //
 // The registry is process-global (fault points live in leaf code with no Machine
-// handle) and single-threaded like the rest of the simulator.
+// handle) and guarded by an internal mutex: the segment server's poll thread and
+// the SMP kernel's cores hit net/posix fault points concurrently with the main
+// thread.
 #ifndef SRC_BASE_FAULTS_H_
 #define SRC_BASE_FAULTS_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -76,17 +79,28 @@ class FaultRegistry {
   uint64_t HitCount(const std::string& point) const;
   uint64_t TriggerCount(const std::string& point) const;
   // Total injections since the last Reset.
-  uint64_t TotalTriggered() const { return total_triggered_; }
+  uint64_t TotalTriggered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_triggered_;
+  }
 
-  // Wires `faults.checks` / `faults.injected` counters into |metrics| (may be null
-  // to detach). DetachMetrics detaches — and drops the delay hook, which the same
-  // owner installed — only when the registry still points at |metrics|; owners with
-  // shorter-lived registries call it from their destructor.
+  // Associates the registry with an owner's |metrics| (may be null to detach).
+  // The association only scopes the delay hook's lifetime: DetachMetrics drops
+  // the hook — which the same owner installed — only when the registry still
+  // points at |metrics|; owners with shorter-lived registries call it from
+  // their destructor. Check totals are kept internally (TotalTriggered,
+  // HitCount) rather than as live rows in |metrics|: fault points fire from
+  // the segment server's poll thread and SMP cores, and an unsynchronized
+  // MetricsRegistry must only ever be touched by its owning thread.
   void SetMetrics(MetricsRegistry* metrics);
   void DetachMetrics(MetricsRegistry* metrics);
 
-  // Called when a kDelay point fires (e.g. advance the SFS op clock).
-  void SetDelayHook(std::function<void(uint64_t)> hook) { delay_hook_ = std::move(hook); }
+  // Called when a kDelay point fires (e.g. advance the SFS op clock). The hook
+  // is invoked without the registry lock held, so it may re-enter Check.
+  void SetDelayHook(std::function<void(uint64_t)> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay_hook_ = std::move(hook);
+  }
 
  private:
   struct PointState {
@@ -97,11 +111,10 @@ class FaultRegistry {
     uint64_t fire_at = 1;   // hit ordinal that fires
   };
 
+  mutable std::mutex mu_;
   std::map<std::string, PointState> points_;
   uint64_t total_triggered_ = 0;
   MetricsRegistry* metrics_ = nullptr;
-  uint64_t* c_checks_ = nullptr;
-  uint64_t* c_injected_ = nullptr;
   std::function<void(uint64_t)> delay_hook_;
 };
 

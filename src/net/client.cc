@@ -1,7 +1,9 @@
 #include "src/net/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/base/layout.h"
 #include "src/base/strings.h"
@@ -24,6 +26,7 @@ NetClient::InoCache& NetClient::CacheOf(uint32_t ino) {
   InoCache& c = cache_[ino];
   if (c.resident.empty()) {
     c.resident.assign(kWirePagesPerFile, false);
+    c.versions.assign(kWirePagesPerFile, 0);
   }
   return c;
 }
@@ -39,27 +42,84 @@ void NetClient::Degrade(const Status& why) {
   conn_.Close();
 }
 
-Result<WireMsg> NetClient::RoundTripLocked(const WireMsg& req) {
+void NetClient::SeverForTest() {
+  std::lock_guard<std::mutex> lock(client_mu_);
+  conn_.Close();
+}
+
+void NetClient::BackoffSleep(int attempt) {
+  int64_t base = options_.backoff_ms > 0 ? options_.backoff_ms : 1;
+  int64_t ms = base << std::min(attempt - 1, 6);
+  // Seeded jitter (up to one base interval) keeps a fleet of clients that
+  // failed together from retrying in lockstep — deterministically per seed.
+  uint64_t word = (static_cast<uint64_t>(next_seq_) << 8) | static_cast<uint64_t>(attempt);
+  uint64_t h = Fnv1a64(&word, sizeof(word), kFnv1a64Seed ^ options_.seed);
+  ms += static_cast<int64_t>(h % static_cast<uint64_t>(base));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Result<WireMsg> NetClient::TryRoundTripLocked(const WireMsg& req) {
   if (!connected()) {
     return IoError("net: client not connected");
   }
-  Status sent = conn_.Send(req);
-  if (!sent.ok()) {
-    Degrade(sent);
-    return sent;
+  RETURN_IF_ERROR(conn_.Send(req));
+  for (;;) {
+    ASSIGN_OR_RETURN(WireMsg reply, conn_.Recv());
+    if (req.op == WireOp::kHello || reply.seq == req.seq) {
+      if (!carried_invals_.empty()) {
+        // Invalidations salvaged from stale replies / the reconnect handshake
+        // are older than this reply's own: apply them first.
+        reply.invals.insert(reply.invals.begin(), carried_invals_.begin(),
+                            carried_invals_.end());
+        carried_invals_.clear();
+      }
+      return reply;
+    }
+    // A duplicated frame got answered twice: this is the echo of an earlier
+    // request. Drop the body — its effects were already applied — but keep
+    // the invalidations, which carry server progress we must not lose.
+    carried_invals_.insert(carried_invals_.end(), reply.invals.begin(),
+                           reply.invals.end());
+    if (c_replays_dropped_ != nullptr) {
+      ++*c_replays_dropped_;
+    }
   }
-  Result<WireMsg> reply = conn_.Recv();
-  if (!reply.ok()) {
-    Degrade(reply.status());
-    return reply.status();
-  }
-  if (c_rpcs_ != nullptr) {
-    ++*c_rpcs_;
-  }
-  return reply;
 }
 
-Result<WireMsg> NetClient::Call(const WireMsg& req) {
+Result<WireMsg> NetClient::RoundTripLocked(WireMsg& req) {
+  if (req.op != WireOp::kHello && req.seq == 0) {
+    req.seq = ++next_seq_;
+  }
+  Status last = IoError("net: client not connected");
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    if (attempt > 0) {
+      if (c_retries_ != nullptr) {
+        ++*c_retries_;
+      }
+      BackoffSleep(attempt);
+    }
+    if (!connected() && attempt > 0) {
+      Status re = ReconnectLocked();
+      if (!re.ok()) {
+        last = re;
+        continue;
+      }
+    }
+    Result<WireMsg> reply = TryRoundTripLocked(req);
+    if (reply.ok()) {
+      if (c_rpcs_ != nullptr) {
+        ++*c_rpcs_;
+      }
+      return reply;
+    }
+    last = reply.status();
+    conn_.Close();
+  }
+  Degrade(last);
+  return last;
+}
+
+Result<WireMsg> NetClient::Call(WireMsg& req) {
   if (degraded_) {
     return IoError("net: client is degraded after an earlier transport failure");
   }
@@ -80,6 +140,132 @@ Result<WireMsg> NetClient::Call(const WireMsg& req) {
   return reply;
 }
 
+Status NetClient::HandshakeLocked() {
+  // Local round trip that funnels every reply's invalidations into
+  // carried_invals_: they ride on the retried request's reply, so the normal
+  // apply path sees them in server order. Handshake RPCs travel with seq 0
+  // (outside the at-most-once window): RESYNC is read-only and a lock
+  // re-claim by the holder is idempotent, while a tracked seq here would
+  // advance the server past the still-pending retried request's number and
+  // turn its retransmit into a "stale" rejection.
+  auto roundtrip = [this](WireMsg& m) -> Result<WireMsg> {
+    ASSIGN_OR_RETURN(WireMsg reply, TryRoundTripLocked(m));
+    carried_invals_.insert(carried_invals_.end(), reply.invals.begin(),
+                           reply.invals.end());
+    reply.invals.clear();
+    return reply;
+  };
+
+  WireMsg hello;
+  hello.op = WireOp::kHello;
+  hello.version = kWireVersion;
+  hello.resume_session = session_;
+  hello.resume_token = token_;
+  ASSIGN_OR_RETURN(WireMsg welcome, roundtrip(hello));
+  if (welcome.op == WireOp::kError) {
+    return StatusFromWire(welcome);
+  }
+  bool resumed = welcome.resumed != 0;
+  session_ = welcome.session;
+  token_ = welcome.token;
+  epoch_ = welcome.epoch;
+  if (resumed && c_resumes_ != nullptr) {
+    ++*c_resumes_;
+  }
+
+  if (fs_ != nullptr) {
+    // Revalidate the replica: claim every known inode (believed size) and
+    // every resident page (believed version). The server answers only what
+    // is stale — plus kCreated records for nodes born while we were away.
+    WireMsg resync;
+    resync.op = WireOp::kResync;
+    for (uint32_t ino = 2; ino <= kSfsMaxInodes; ++ino) {
+      Result<SfsStat> st = fs_->StatInode(ino);
+      if (!st.ok()) {
+        continue;
+      }
+      WireClaim size_claim;
+      size_claim.ino = ino;
+      size_claim.page = kWireSizeClaim;
+      size_claim.version = st->type == SfsNodeType::kRegular ? st->size : 0;
+      resync.claims.push_back(size_claim);
+      if (st->type != SfsNodeType::kRegular) {
+        continue;
+      }
+      auto it = cache_.find(ino);
+      if (it == cache_.end()) {
+        continue;
+      }
+      const InoCache& c = it->second;
+      for (uint32_t page = 0; page < c.resident.size(); ++page) {
+        if (!c.resident[page]) {
+          continue;
+        }
+        WireClaim claim;
+        claim.ino = ino;
+        claim.page = page;
+        claim.version = c.versions[page];
+        resync.claims.push_back(claim);
+      }
+    }
+    ASSIGN_OR_RETURN(WireMsg synced, roundtrip(resync));
+    if (synced.op == WireOp::kError) {
+      return StatusFromWire(synced);
+    }
+  }
+
+  if (!resumed) {
+    // The server does not remember us (grace expired, or it restarted without
+    // a journal): our leases were reclaimed. Re-claim every lock this client
+    // believes it holds; a conflict means someone else won it meanwhile — the
+    // shared state we assumed is gone, so fail the handshake (and eventually
+    // degrade) rather than run unlocked.
+    for (const auto& [ino, pid] : held_locks_) {
+      WireMsg lock;
+      lock.op = WireOp::kLock;
+      lock.ino = ino;
+      lock.pid = pid;
+      ASSIGN_OR_RETURN(WireMsg reply, roundtrip(lock));
+      if (reply.op == WireOp::kError) {
+        Status st = StatusFromWire(reply);
+        return Internal(StrFormat("net: lost the lease on inode %u across a reconnect: %s",
+                                  ino, st.ToString().c_str()));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status NetClient::ReconnectLocked() {
+  conn_.Close();
+  if (addrs_.empty()) {
+    return IoError("net: no server address to reconnect to");
+  }
+  Status last = IoError("net: reconnect failed");
+  for (size_t k = 0; k < addrs_.size(); ++k) {
+    const auto& [host, port] = addrs_[addr_index_ % addrs_.size()];
+    Result<Conn> conn = DialTcp(host, port);
+    if (!conn.ok()) {
+      last = conn.status();
+      ++addr_index_;
+      continue;
+    }
+    conn_ = std::move(*conn);
+    (void)conn_.SetRecvTimeoutMs(options_.timeout_ms);
+    Status shaken = HandshakeLocked();
+    if (shaken.ok()) {
+      if (c_reconnects_ != nullptr) {
+        ++*c_reconnects_;
+      }
+      return OkStatus();
+    }
+    last = shaken;
+    conn_.Close();
+    ++addr_index_;
+  }
+  return last;
+}
+
 Status NetClient::InstallPagesLocked(const WireMsg& reply) {
   InoCache& c = CacheOf(reply.ino);
   for (const WirePage& page : reply.pages) {
@@ -94,6 +280,7 @@ Status NetClient::InstallPagesLocked(const WireMsg& reply) {
       std::memcpy(c.twin.data() + off, page.bytes.data(), page.bytes.size());
     }
     c.resident[page.index] = true;
+    c.versions[page.index] = page.version;
     if (c_pages_fetched_ != nullptr) {
       ++*c_pages_fetched_;
     }
@@ -156,7 +343,7 @@ Status NetClient::ApplyInvalsLocked(std::vector<WireInval> work) {
         Result<uint32_t> existing = fs_->Lookup(inv.path);
         if (existing.ok()) {
           if (*existing == inv.ino) {
-            break;  // already in the mount snapshot
+            break;  // already known (mount snapshot, or a resync duplicate)
           }
           Degrade(Internal("replica diverged"));
           return Internal(StrFormat("net: replica diverged: '%s' is inode %u locally, %u remotely",
@@ -180,7 +367,16 @@ Status NetClient::ApplyInvalsLocked(std::vector<WireInval> work) {
         break;
       }
       case WireInvalKind::kUnlinked: {
-        if (fs_->Lookup(inv.path).ok()) {
+        // Resolve by inode, not by the record's path: a resync answer for a
+        // node that died while we were away carries a placeholder path, and
+        // the inode is authoritative either way.
+        Result<std::string> local = fs_->InodeToPath(inv.ino);
+        if (local.ok()) {
+          Status st = fs_->Unlink(*local, /*force=*/true);
+          if (!st.ok()) {
+            return st;
+          }
+        } else if (fs_->Lookup(inv.path).ok()) {
           Status st = fs_->Unlink(inv.path, /*force=*/true);
           if (!st.ok()) {
             return st;
@@ -195,10 +391,19 @@ Status NetClient::ApplyInvalsLocked(std::vector<WireInval> work) {
 }
 
 Status NetClient::Connect(const std::string& host, int port, Machine* machine) {
+  return Connect(std::vector<std::pair<std::string, int>>{{host, port}}, machine);
+}
+
+Status NetClient::Connect(std::vector<std::pair<std::string, int>> addrs,
+                          Machine* machine) {
   if (connected()) {
     return FailedPrecondition("net: client already connected");
   }
+  if (addrs.empty()) {
+    return InvalidArgument("net: no server address to connect to");
+  }
   machine_ = machine;
+  addrs_ = std::move(addrs);
   MetricsRegistry& metrics = machine->metrics();
   c_rpcs_ = metrics.Counter("net.client.rpcs");
   c_fetch_rpcs_ = metrics.Counter("net.client.fetch_rpcs");
@@ -206,10 +411,28 @@ Status NetClient::Connect(const std::string& host, int port, Machine* machine) {
   c_pages_flushed_ = metrics.Counter("net.client.pages_flushed");
   c_invals_applied_ = metrics.Counter("net.client.invals_applied");
   c_degraded_ = metrics.Counter("net.client.degraded");
+  c_retries_ = metrics.Counter("net.client.retries");
+  c_reconnects_ = metrics.Counter("net.client.reconnects");
+  c_resumes_ = metrics.Counter("net.client.resumes");
+  c_replays_dropped_ = metrics.Counter("net.client.replays_dropped");
 
-  ASSIGN_OR_RETURN(conn_, DialTcp(host, port));
-  // A dead server must degrade the client, not hang it.
-  (void)conn_.SetRecvTimeout(30);
+  // One pass over the list: the first address that answers gets the mount.
+  // (Retries are an RPC-level affair; a totally unreachable fleet at startup
+  // is a configuration error, not weather.)
+  Status dialed = IoError("net: no server address answered");
+  for (size_t k = 0; k < addrs_.size(); ++k) {
+    Result<Conn> conn = DialTcp(addrs_[addr_index_].first, addrs_[addr_index_].second);
+    if (conn.ok()) {
+      conn_ = std::move(*conn);
+      break;
+    }
+    dialed = conn.status();
+    addr_index_ = (addr_index_ + 1) % addrs_.size();
+  }
+  if (!connected()) {
+    return dialed;
+  }
+  (void)conn_.SetRecvTimeoutMs(options_.timeout_ms);
 
   std::unique_lock<std::mutex> lock(client_mu_);
   WireMsg hello;
@@ -221,6 +444,8 @@ Status NetClient::Connect(const std::string& host, int port, Machine* machine) {
     return StatusFromWire(welcome);
   }
   session_ = welcome.session;
+  token_ = welcome.token;
+  epoch_ = welcome.epoch;
 
   WireMsg mount;
   mount.op = WireOp::kMount;
@@ -407,6 +632,11 @@ Status NetClient::OnWriteAt(uint32_t ino, uint32_t offset, const uint8_t* data, 
     }
     std::memcpy(c.twin.data() + offset, data, len);
   }
+  for (const WirePage& ack : reply.pages) {
+    if (ack.index < c.versions.size()) {
+      c.versions[ack.index] = ack.version;
+    }
+  }
   c.synced_size = std::max(c.synced_size, offset + len);
   return OkStatus();
 }
@@ -420,6 +650,7 @@ Status NetClient::OnLock(uint32_t ino, int pid) {
   if (reply.op == WireOp::kError) {
     return StatusFromWire(reply);  // kWouldBlock feeds ldl's retry/backoff loop
   }
+  held_locks_.emplace(ino, pid);
   return OkStatus();
 }
 
@@ -434,6 +665,7 @@ Status NetClient::OnUnlock(uint32_t ino, int pid) {
   if (reply.op == WireOp::kError) {
     return StatusFromWire(reply);
   }
+  held_locks_.erase({ino, pid});
   return OkStatus();
 }
 
@@ -448,6 +680,9 @@ void NetClient::OnReleaseLocks(int pid) {
   req.op = WireOp::kReleaseLocks;
   req.pid = pid;
   (void)Call(req);
+  for (auto it = held_locks_.begin(); it != held_locks_.end();) {
+    it = it->second == pid ? held_locks_.erase(it) : std::next(it);
+  }
 }
 
 Status NetClient::OnSetPending(uint32_t ino, bool pending) {
@@ -507,6 +742,11 @@ Status NetClient::FlushInode(uint32_t ino) {
   ASSIGN_OR_RETURN(WireMsg reply, Call(req));
   if (reply.op == WireOp::kError) {
     return StatusFromWire(reply);
+  }
+  for (const WirePage& ack : reply.pages) {
+    if (ack.index < c.versions.size()) {
+      c.versions[ack.index] = ack.version;
+    }
   }
   c.synced_size = req.size;
   if (c_pages_flushed_ != nullptr) {

@@ -9,23 +9,33 @@
 //     deterministic inode allocator stays in lockstep with the server's;
 //   * pages are fetched on demand at attach/fault time (EnsureResident) into
 //     per-inode residency bitsets, with a *twin* copy of each fetched page kept
-//     for dirty detection;
+//     for dirty detection and the server's write version remembered per page;
 //   * release points (unlock, pending-clear, exit sweep, disconnect) diff the
 //     extent against the twins and flush dirty pages — lazy release
 //     consistency, so guest stores through mapped pages cost nothing extra;
 //   * a blocking RPC drops the calling core's kernel lock (Machine::
 //     EnterNetWait) for the socket wait, so a remote fetch stalls one core,
-//     not the machine;
-//   * any transport failure degrades the client: cached pages stay readable,
-//     every new mutation or fetch fails with kIoError (counted in
-//     net.client.degraded) — a partitioned node fails loudly, never silently
-//     forks the shared state.
+//     not the machine.
+//
+// Fault tolerance (PR 10): a transport failure no longer degrades the client
+// on the spot. Every RPC carries a per-session sequence number and retries
+// with seeded exponential backoff inside a budget (NetClientOptions.retries);
+// a retry reconnects — walking the configured address list, so a warm standby
+// is reachable — and resumes the old session (HELLO resume token), then
+// revalidates the replica with per-page version claims (RESYNC) instead of
+// refetching the world. The server's at-most-once cache makes a retried
+// CREATE/WRITE safe. Only an exhausted budget (or genuine divergence, e.g. a
+// lost lease that someone else now holds) degrades the client: cached pages
+// stay readable, every new mutation or fetch fails with kIoError (counted in
+// net.client.degraded) — a partitioned node fails loudly, never silently
+// forks the shared state.
 #ifndef SRC_NET_CLIENT_H_
 #define SRC_NET_CLIENT_H_
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +49,20 @@
 
 namespace hemlock {
 
+struct NetClientOptions {
+  // Extra attempts after the first failed one. Each retry reconnects (and
+  // resumes) before resending; 0 restores degrade-on-first-failure.
+  int retries = 4;
+  // Per-recv socket deadline — a dead server must degrade the client, not
+  // hang it (was a hardcoded 30 s before the flags existed).
+  int64_t timeout_ms = 30'000;
+  // Base of the exponential backoff between retries (doubles per attempt,
+  // plus seeded jitter of up to one base interval).
+  int64_t backoff_ms = 10;
+  // Jitter seed, so two clients backing off together do not stay in lockstep.
+  uint64_t seed = 0;
+};
+
 class NetClient : public RemoteBacking {
  public:
   NetClient() = default;
@@ -47,16 +71,28 @@ class NetClient : public RemoteBacking {
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
 
+  // Must be called before Connect to take effect.
+  void set_options(const NetClientOptions& options) { options_ = options; }
+  const NetClientOptions& options() const { return options_; }
+
   // Dials the server, shakes hands (version-gated), mounts the partition
   // snapshot into a fresh replica, installs it as |machine|'s shared partition,
   // and wires this client in as its RemoteBacking.
   Status Connect(const std::string& host, int port, Machine* machine);
+  // Same, with a failover address list: the first address that answers gets
+  // the mount; later reconnects walk the whole list (primary, then standby).
+  Status Connect(std::vector<std::pair<std::string, int>> addrs, Machine* machine);
   // Flushes every dirty page, says Bye, closes. Safe to call twice.
   void Disconnect();
 
   bool connected() const { return conn_.fd() >= 0; }
   bool degraded() const { return degraded_; }
   uint32_t session() const { return session_; }
+  uint32_t epoch() const { return epoch_; }
+
+  // Cuts the socket without telling anyone — the next RPC must notice, retry,
+  // and resume. Test hook for the reconnect path.
+  void SeverForTest();
 
   // Server-side introspection over the wire.
   Result<std::vector<std::pair<std::string, uint64_t>>> FetchServerStats();
@@ -80,25 +116,41 @@ class NetClient : public RemoteBacking {
 
  private:
   struct InoCache {
-    std::vector<bool> resident;  // kWirePagesPerFile bits: page holds server bytes
-    std::vector<uint8_t> twin;   // server content as of the last sync (zero-padded)
-    uint32_t synced_size = 0;    // logical size the server last confirmed
+    std::vector<bool> resident;      // kWirePagesPerFile bits: page holds server bytes
+    std::vector<uint64_t> versions;  // server write version per resident page
+    std::vector<uint8_t> twin;       // server content as of the last sync (zero-padded)
+    uint32_t synced_size = 0;        // logical size the server last confirmed
   };
 
   // One full RPC at a hook boundary: drops the kernel lock for the socket wait,
   // serializes the round trip on client_mu_, re-acquires the kernel lock, then
   // applies the reply's invalidations. A kError reply is an OK *result* — the
-  // caller turns it into a Status so error codes survive the wire.
-  Result<WireMsg> Call(const WireMsg& req);
-  // The bare round trip; assumes client_mu_ is held. Degrades on any failure.
-  Result<WireMsg> RoundTripLocked(const WireMsg& req);
+  // caller turns it into a Status so error codes survive the wire. |req| gets
+  // its sequence number assigned (which is why it is mutable).
+  Result<WireMsg> Call(WireMsg& req);
+  // The retrying round trip; assumes client_mu_ is held. Assigns |req|'s seq
+  // on first use, resends the identical frame through reconnect/resume until
+  // the budget runs out, then degrades.
+  Result<WireMsg> RoundTripLocked(WireMsg& req);
+  // One send + recv-until-echo-matches attempt on the current socket. Stale
+  // replies (a duplicated frame answered twice) are dropped, but their
+  // invalidations are kept and ride on the matching reply.
+  Result<WireMsg> TryRoundTripLocked(const WireMsg& req);
+  // Dials the address list and re-establishes the session: HELLO with the
+  // resume token, then a RESYNC of version claims; on a fresh session (grace
+  // expired / server lost us) re-claims the locks this client believes it
+  // holds. Invalidations from the handshake land in carried_invals_.
+  Status ReconnectLocked();
+  Status HandshakeLocked();
+  void BackoffSleep(int attempt);
   // Applies invalidations in server order (kernel lock held, forwarding
   // bypassed). Page invalidations of resident pages re-fetch eagerly — the
   // page may be mapped into a running process, so its bytes must change in
   // place at this synchronization point. Nested fetch replies append to the
-  // same worklist (iterative, no recursion).
+  // same worklist (iterative, no recursion). Tolerant of duplicates: a resync
+  // after a resume may repeat records the client already applied.
   Status ApplyInvalsLocked(std::vector<WireInval> work);
-  // Lands a fetch reply's pages: extent, twin, residency.
+  // Lands a fetch reply's pages: extent, twin, residency, versions.
   Status InstallPagesLocked(const WireMsg& reply);
   // Diffs |ino|'s extent against its twin and flushes dirty pages + size.
   Status FlushInode(uint32_t ino);
@@ -108,7 +160,13 @@ class NetClient : public RemoteBacking {
   Machine* machine_ = nullptr;
   SharedFs* fs_ = nullptr;
   Conn conn_;
+  NetClientOptions options_;
+  std::vector<std::pair<std::string, int>> addrs_;
+  size_t addr_index_ = 0;
   uint32_t session_ = 0;
+  uint64_t token_ = 0;
+  uint32_t epoch_ = 0;
+  uint32_t next_seq_ = 0;
   bool degraded_ = false;
 
   // Serializes round trips across cores. The socket wait happens with the
@@ -118,6 +176,12 @@ class NetClient : public RemoteBacking {
 
   // Guarded by the kernel lock (every hook and every apply runs under it).
   std::map<uint32_t, InoCache> cache_;
+  // Locks this client's processes hold on the server — re-claimed when a
+  // reconnect lands on a fresh session. (ino, pid) pairs.
+  std::set<std::pair<uint32_t, int>> held_locks_;
+  // Invalidations salvaged from stale replies and reconnect handshakes,
+  // waiting to ride on the next matching reply (guarded by client_mu_).
+  std::vector<WireInval> carried_invals_;
 
   uint64_t* c_rpcs_ = nullptr;
   uint64_t* c_fetch_rpcs_ = nullptr;
@@ -125,6 +189,10 @@ class NetClient : public RemoteBacking {
   uint64_t* c_pages_flushed_ = nullptr;
   uint64_t* c_invals_applied_ = nullptr;
   uint64_t* c_degraded_ = nullptr;
+  uint64_t* c_retries_ = nullptr;
+  uint64_t* c_reconnects_ = nullptr;
+  uint64_t* c_resumes_ = nullptr;
+  uint64_t* c_replays_dropped_ = nullptr;
 };
 
 }  // namespace hemlock

@@ -27,6 +27,7 @@ void CoherenceDirectory::NoteWrite(uint32_t ino, uint32_t page, uint32_t s,
   st.readers.clear();
   st.readers.insert(s);
   st.owner = s;
+  st.version = ++clock_;
 }
 
 void CoherenceDirectory::DropInode(uint32_t ino) {
@@ -42,7 +43,9 @@ void CoherenceDirectory::DropSession(uint32_t s) {
     if (st.owner == s) {
       st.owner = 0;
     }
-    if (st.readers.empty() && st.owner == 0) {
+    // A written page keeps its entry even with no cachers left: the version is
+    // the authoritative write history a returning session resyncs against.
+    if (st.readers.empty() && st.owner == 0 && st.version == 0) {
       it = pages_.erase(it);
     } else {
       ++it;
@@ -61,6 +64,51 @@ std::vector<uint32_t> CoherenceDirectory::ReadersOf(uint32_t ino, uint32_t page)
     return {};
   }
   return std::vector<uint32_t>(it->second.readers.begin(), it->second.readers.end());
+}
+
+uint64_t CoherenceDirectory::VersionOf(uint32_t ino, uint32_t page) const {
+  auto it = pages_.find(Key(ino, page));
+  return it == pages_.end() ? 0 : it->second.version;
+}
+
+void CoherenceDirectory::Serialize(ByteWriter* w) const {
+  w->U64(clock_);
+  w->U64(downgrades_);
+  w->U64(invalidations_);
+  w->U32(static_cast<uint32_t>(pages_.size()));
+  for (const auto& [key, st] : pages_) {
+    w->U64(key);
+    w->U32(st.owner);
+    w->U64(st.version);
+    w->U32(static_cast<uint32_t>(st.readers.size()));
+    for (uint32_t reader : st.readers) {
+      w->U32(reader);
+    }
+  }
+}
+
+Status CoherenceDirectory::Deserialize(ByteReader* r) {
+  pages_.clear();
+  ASSIGN_OR_RETURN(clock_, r->U64());
+  ASSIGN_OR_RETURN(downgrades_, r->U64());
+  ASSIGN_OR_RETURN(invalidations_, r->U64());
+  ASSIGN_OR_RETURN(uint32_t n, r->Count(24, 1u << 20));
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t key, r->U64());
+    PageState st;
+    ASSIGN_OR_RETURN(st.owner, r->U32());
+    ASSIGN_OR_RETURN(st.version, r->U64());
+    ASSIGN_OR_RETURN(uint32_t readers, r->Count(4, 1u << 16));
+    for (uint32_t j = 0; j < readers; ++j) {
+      ASSIGN_OR_RETURN(uint32_t reader, r->U32());
+      st.readers.insert(reader);
+    }
+    if (st.version > clock_) {
+      return CorruptData("coherence: page version ahead of the write clock");
+    }
+    pages_[key] = st;
+  }
+  return OkStatus();
 }
 
 }  // namespace hemlock

@@ -18,6 +18,9 @@
 #include <set>
 #include <vector>
 
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
 namespace hemlock {
 
 class CoherenceDirectory {
@@ -41,12 +44,24 @@ class CoherenceDirectory {
   uint32_t OwnerOf(uint32_t ino, uint32_t page) const;
   std::vector<uint32_t> ReadersOf(uint32_t ino, uint32_t page) const;
 
+  // Monotonic write version of a page (0 = never written through the server).
+  // Clients remember the version of every cached page and replay it in a
+  // RESYNC claim after a reconnect; a mismatch means "your copy is stale".
+  uint64_t VersionOf(uint32_t ino, uint32_t page) const;
+
+  // Checkpoint support (the hemserve journal): the whole directory — global
+  // write clock plus every entry — travels through the same validated
+  // ByteWriter/ByteReader discipline as the other external formats.
+  void Serialize(ByteWriter* w) const;
+  Status Deserialize(ByteReader* r);
+
   uint64_t downgrades() const { return downgrades_; }
   uint64_t invalidations() const { return invalidations_; }
 
  private:
   struct PageState {
     uint32_t owner = 0;  // 0 = none/shared
+    uint64_t version = 0;  // bumped from the global clock on every write
     std::set<uint32_t> readers;
   };
 
@@ -55,6 +70,7 @@ class CoherenceDirectory {
   }
 
   std::map<uint64_t, PageState> pages_;
+  uint64_t clock_ = 0;
   uint64_t downgrades_ = 0;
   uint64_t invalidations_ = 0;
 };

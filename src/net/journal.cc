@@ -1,0 +1,190 @@
+#include "src/net/journal.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/base/bytes.h"
+#include "src/base/strings.h"
+
+namespace hemlock {
+
+namespace {
+
+constexpr uint32_t kMaxJournalRecord = 8u << 20;  // a frame + bookkeeping, with slack
+
+std::vector<uint8_t> EncodeHeader(uint64_t nonce, const std::vector<uint8_t>& checkpoint) {
+  ByteWriter w;
+  w.U32(kJournalMagic);
+  w.U16(kJournalVersion);
+  w.U64(nonce);
+  w.Bytes(checkpoint);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRecordBody(const JournalRecord& rec) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(rec.type));
+  w.U32(rec.session);
+  w.U64(rec.token);
+  w.Bytes(rec.payload);
+  return w.Take();
+}
+
+Status WriteRecordTo(std::FILE* f, const JournalRecord& rec) {
+  std::vector<uint8_t> body = EncodeRecordBody(rec);
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(body.size()));
+  w.U32(Crc32(body.data(), body.size()));
+  w.Raw(body.data(), body.size());
+  const std::vector<uint8_t>& framed = w.buffer();
+  if (std::fwrite(framed.data(), 1, framed.size(), f) != framed.size()) {
+    return IoError("journal: short write appending a record");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Journal::Open(const std::string& path, const std::vector<uint8_t>& checkpoint) {
+  Close();
+  path_ = path;
+  // An existing journal is loaded (the caller replays it) and rewritten
+  // in place: same nonce, same contents, minus any torn tail — so appends
+  // always land after the last *valid* record.
+  uint64_t nonce = 1;
+  std::vector<uint8_t> header_checkpoint = checkpoint;
+  std::vector<JournalRecord> keep;
+  if (Result<JournalContents> existing = Load(path); existing.ok()) {
+    nonce = existing->nonce;
+    header_checkpoint = std::move(existing->checkpoint);
+    keep = std::move(existing->records);
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return IoError("journal: cannot open " + path);
+  }
+  nonce_ = nonce;
+  records_appended_ = 0;
+  std::vector<uint8_t> header = EncodeHeader(nonce_, header_checkpoint);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    return IoError("journal: short write on the header");
+  }
+  for (const JournalRecord& rec : keep) {
+    RETURN_IF_ERROR(WriteRecordTo(file_, rec));
+    ++records_appended_;
+  }
+  std::fflush(file_);
+  return OkStatus();
+}
+
+Status Journal::Rewrite(const std::vector<uint8_t>& checkpoint) {
+  if (file_ == nullptr) {
+    return FailedPrecondition("journal: rewrite without an open journal");
+  }
+  std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return IoError("journal: cannot open " + tmp);
+    }
+    std::vector<uint8_t> header = EncodeHeader(nonce_ + 1, checkpoint);
+    size_t wrote = std::fwrite(header.data(), 1, header.size(), f);
+    std::fflush(f);
+    std::fclose(f);
+    if (wrote != header.size()) {
+      std::remove(tmp.c_str());
+      return IoError("journal: short write on the checkpoint header");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoError("journal: cannot rename the checkpoint into place");
+  }
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return IoError("journal: cannot reopen " + path_);
+  }
+  ++nonce_;
+  records_appended_ = 0;
+  return OkStatus();
+}
+
+Status Journal::Append(const JournalRecord& rec) {
+  if (file_ == nullptr) {
+    return FailedPrecondition("journal: append without an open journal");
+  }
+  RETURN_IF_ERROR(WriteRecordTo(file_, rec));
+  // Flushed to the OS, not fsynced: a killed server loses nothing (the page
+  // cache survives it); only a machine crash can cost a suffix, and the torn
+  // tail discipline absorbs that.
+  std::fflush(file_);
+  ++records_appended_;
+  return OkStatus();
+}
+
+void Journal::Close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<JournalContents> Journal::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("journal: cannot read " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  ByteReader r(bytes);
+  JournalContents out;
+  ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kJournalMagic) {
+    return CorruptData("journal: bad magic");
+  }
+  ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != kJournalVersion) {
+    return UnsupportedVersion(StrFormat("journal: version %u, want %u", version,
+                                        kJournalVersion));
+  }
+  ASSIGN_OR_RETURN(out.nonce, r.U64());
+  ASSIGN_OR_RETURN(out.checkpoint, r.Bytes());
+  // The record tail: stop at the first record that does not check out — a
+  // torn append from a crashed primary truncates the history, it does not
+  // poison it.
+  while (r.remaining() >= 8) {
+    Result<uint32_t> len = r.U32();
+    Result<uint32_t> crc = r.U32();
+    if (!len.ok() || !crc.ok() || *len == 0 || *len > kMaxJournalRecord ||
+        *len > r.remaining()) {
+      break;
+    }
+    std::vector<uint8_t> body(*len);
+    if (!r.ReadRaw(body.data(), body.size()).ok() ||
+        Crc32(body.data(), body.size()) != *crc) {
+      break;
+    }
+    ByteReader br(body);
+    JournalRecord rec;
+    Result<uint8_t> type = br.U8();
+    if (!type.ok() || *type < 1 || *type > 3) {
+      break;
+    }
+    rec.type = static_cast<JournalRecordType>(*type);
+    Result<uint32_t> session = br.U32();
+    Result<uint64_t> token = br.U64();
+    Result<std::vector<uint8_t>> payload = br.Bytes();
+    if (!session.ok() || !token.ok() || !payload.ok() || !br.AtEnd()) {
+      break;
+    }
+    rec.session = *session;
+    rec.token = *token;
+    rec.payload = std::move(*payload);
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace hemlock

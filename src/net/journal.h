@@ -1,0 +1,101 @@
+// The hemserve mutation journal ("HEMJ") — server restart without forking
+// the region.
+//
+// The server's durable truth is two files: the SFS state image (--state) and
+// this journal (--journal). A checkpoint writes both atomically-enough (state
+// to tmp+rename, then the journal rewritten with a fresh nonce and an empty
+// record tail); between checkpoints every *successful effectful* request is
+// appended here as the raw wire payload plus the session that issued it, and
+// session births/deaths are recorded so resume tokens survive. Restart =
+// load state, decode the header's server-meta checkpoint, then re-dispatch
+// the record tail: deterministic inode/pseudo-pid allocation replays into the
+// exact pre-kill server state, including each detached session's pending
+// invalidation queue and at-most-once reply cache.
+//
+// The file is written with write-behind discipline (flushed to the OS after
+// every record, never fsynced): a SIGKILL of the server loses nothing, and a
+// machine crash at worst drops a suffix. The reader tolerates a torn tail —
+// a record whose length or CRC does not check out ends the replay, exactly
+// like PosixStore's index recovery.
+//
+// A warm standby (`hemserve --standby`) loads the same two files and re-tails
+// the journal on every poll round; the nonce in the header tells it when the
+// primary checkpointed (full reload) vs merely appended (replay the delta).
+#ifndef SRC_NET_JOURNAL_H_
+#define SRC_NET_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace hemlock {
+
+inline constexpr uint32_t kJournalMagic = 0x48454D4Au;  // "HEMJ"
+inline constexpr uint16_t kJournalVersion = 1;
+
+enum class JournalRecordType : uint8_t {
+  kRequest = 1,         // |session| executed the wire request in |payload|
+  kSessionCreated = 2,  // |session| was born with resume token |token|
+  kSessionDropped = 3,  // |session| is gone for good (leases reclaimed)
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kRequest;
+  uint32_t session = 0;
+  uint64_t token = 0;
+  std::vector<uint8_t> payload;
+
+  bool operator==(const JournalRecord&) const = default;
+};
+
+// Everything a reader gets from one pass over the file.
+struct JournalContents {
+  uint64_t nonce = 0;  // header identity; bumps on every checkpoint rewrite
+  std::vector<uint8_t> checkpoint;  // opaque server-meta blob
+  std::vector<JournalRecord> records;  // the valid prefix; a torn tail is dropped
+};
+
+// The append side (the primary server).
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal() { Close(); }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Opens |path| for appending. An absent or empty file gets a fresh header
+  // carrying |checkpoint|; an existing one is left as-is (the caller replays
+  // it first via Load and keeps appending after the valid tail — which is the
+  // whole file, because Load is what decided where the tail ends).
+  Status Open(const std::string& path, const std::vector<uint8_t>& checkpoint);
+
+  // Checkpoint: rewrites the file as header(nonce+1) + |checkpoint| with an
+  // empty record tail, via tmp+rename so a crash leaves old or new, not soup.
+  Status Rewrite(const std::vector<uint8_t>& checkpoint);
+
+  Status Append(const JournalRecord& rec);
+
+  bool open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  uint64_t nonce() const { return nonce_; }
+  uint64_t records_appended() const { return records_appended_; }
+
+  void Close();
+
+  // The read side (restart and standby tailing). Rejects a bad magic/version;
+  // tolerates — and silently drops — a torn record tail.
+  static Result<JournalContents> Load(const std::string& path);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t nonce_ = 0;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace hemlock
+
+#endif  // SRC_NET_JOURNAL_H_

@@ -7,10 +7,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/base/faults.h"
 #include "src/base/strings.h"
+#include "src/net/chaos.h"
 
 namespace hemlock {
 
@@ -72,6 +75,48 @@ Status Conn::Send(const WireMsg& msg) {
     return IoError("net: send on a closed connection");
   }
   std::vector<uint8_t> frame = EncodeFrame(msg);
+  switch (ChaosEngine::Global().NextSendAction()) {
+    case ChaosAction::kNone:
+      break;
+    case ChaosAction::kDrop:
+      // Lost on the wire: the sender believes it went out; the peer's recv
+      // deadline expires and the retry machinery takes it from there.
+      return OkStatus();
+    case ChaosAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      break;
+    case ChaosAction::kDup:
+      RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+      break;  // and send it again below
+    case ChaosAction::kTrunc: {
+      // Half a frame, then hang up: the peer sees a transfer truncated
+      // mid-frame, this end's next call sees a closed connection.
+      size_t half = frame.size() / 2;
+      if (half > 0) {
+        (void)SendAll(fd_, frame.data(), half);
+      }
+      Close();
+      return IoError("net: chaos truncated the frame mid-send");
+    }
+    case ChaosAction::kSever:
+      Close();
+      return IoError("net: chaos severed the connection");
+  }
+  return SendAll(fd_, frame.data(), frame.size());
+}
+
+Status Conn::SendRaw(const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) {
+    return IoError("net: send on a closed connection");
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<uint8_t>(len));
+  frame.push_back(static_cast<uint8_t>(len >> 8));
+  frame.push_back(static_cast<uint8_t>(len >> 16));
+  frame.push_back(static_cast<uint8_t>(len >> 24));
+  frame.insert(frame.end(), payload.begin(), payload.end());
   return SendAll(fd_, frame.data(), frame.size());
 }
 
@@ -94,10 +139,10 @@ Result<WireMsg> Conn::Recv() {
   return DecodePayload(payload);
 }
 
-Status Conn::SetRecvTimeout(int seconds) {
+Status Conn::SetRecvTimeoutMs(int64_t ms) {
   struct timeval tv;
-  tv.tv_sec = seconds;
-  tv.tv_usec = 0;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
   if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
     return IoError(StrFormat("net: setsockopt(SO_RCVTIMEO): %s", std::strerror(errno)));
   }

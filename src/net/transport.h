@@ -33,16 +33,23 @@ class Conn {
   bool ok() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  // Sends one frame, subject to the chaos engine (src/net/chaos.h): the frame
+  // may be silently dropped, delayed, duplicated, truncated (closing this end),
+  // or the connection severed — deterministic network weather for tests.
   Status Send(const WireMsg& msg);
+  // Frames and sends an already-encoded payload verbatim — no chaos, no
+  // canonicalizing re-encode. Lets tests speak wire shapes the current encoder
+  // refuses to produce (old protocol versions, hostile bytes).
+  Status SendRaw(const std::vector<uint8_t>& payload);
   // Blocks until a whole frame arrives, then decodes it with the validating
   // decoder. A clean EOF before the first length byte is kIoError("peer closed
   // the connection") — the server treats it as a disconnect, not corruption.
   Result<WireMsg> Recv();
 
-  // Caps how long Recv waits for bytes once a transfer started (0 = forever).
-  // A dead peer mid-frame then times out with kIoError instead of wedging the
-  // server's poll loop.
-  Status SetRecvTimeout(int seconds);
+  // Caps how long Recv waits for bytes (0 = forever). A dead or silent peer
+  // then times out with kIoError instead of wedging the caller — the client's
+  // RPC deadline and the server's poll loop both hang off this.
+  Status SetRecvTimeoutMs(int64_t ms);
 
   void Close();
 

@@ -93,17 +93,41 @@ Status DecodeInval(ByteReader* r, WireInval* inv) {
 
 void EncodePage(ByteWriter* w, const WirePage& page) {
   w->U32(page.index);
+  w->U64(page.version);
   w->Bytes(page.bytes);
 }
 
 Status DecodePage(ByteReader* r, WirePage* page) {
   ASSIGN_OR_RETURN(page->index, r->U32());
+  ASSIGN_OR_RETURN(page->version, r->U64());
   ASSIGN_OR_RETURN(page->bytes, r->Bytes());
   if (page->index >= kWirePagesPerFile) {
     return CorruptData(StrFormat("wire: page index %u beyond the 1 MB file", page->index));
   }
   if (page->bytes.size() > kPageSize) {
     return CorruptData("wire: page payload larger than a page");
+  }
+  return OkStatus();
+}
+
+void EncodeClaim(ByteWriter* w, const WireClaim& claim) {
+  w->U32(claim.ino);
+  w->U32(claim.page);
+  w->U64(claim.version);
+}
+
+Status DecodeClaim(ByteReader* r, WireClaim* claim) {
+  ASSIGN_OR_RETURN(claim->ino, r->U32());
+  ASSIGN_OR_RETURN(claim->page, r->U32());
+  ASSIGN_OR_RETURN(claim->version, r->U64());
+  if (!ValidIno(claim->ino)) {
+    return CorruptData("wire: resync claim names an invalid inode");
+  }
+  if (claim->page >= kWirePagesPerFile && claim->page != kWireSizeClaim) {
+    return CorruptData("wire: resync claim page out of range");
+  }
+  if (claim->page == kWireSizeClaim && claim->version > kSfsMaxFileBytes) {
+    return CorruptData("wire: resync size claim out of range");
   }
   return OkStatus();
 }
@@ -138,15 +162,31 @@ Status DecodeNode(ByteReader* r, WireNode* node) {
 // --- Request bodies ---
 
 void EncodeRequestBody(ByteWriter* w, const WireMsg& m) {
+  if (m.op != WireOp::kHello && m.op != WireOp::kReply && m.op != WireOp::kError) {
+    // Every non-hello request carries its per-session sequence number; the
+    // reply echoes it, which is what makes retransmits and duplicated frames
+    // safe to sort out on both ends.
+    w->U32(m.seq);
+  }
   switch (m.op) {
     case WireOp::kHello:
       w->U32(kWireMagic);
       w->U16(m.version);
+      if (m.version >= 2) {
+        w->U32(m.resume_session);
+        w->U64(m.resume_token);
+      }
       break;
     case WireOp::kMount:
     case WireOp::kCheck:
     case WireOp::kStats:
     case WireOp::kBye:
+      break;
+    case WireOp::kResync:
+      w->U32(static_cast<uint32_t>(m.claims.size()));
+      for (const WireClaim& c : m.claims) {
+        EncodeClaim(w, c);
+      }
       break;
     case WireOp::kFetch:
       w->U32(m.ino);
@@ -211,6 +251,9 @@ Status DecodePathField(ByteReader* r, std::string* path) {
 }
 
 Status DecodeRequestBody(ByteReader* r, WireMsg* m) {
+  if (m->op != WireOp::kHello) {
+    ASSIGN_OR_RETURN(m->seq, r->U32());
+  }
   switch (m->op) {
     case WireOp::kHello: {
       ASSIGN_OR_RETURN(uint32_t magic, r->U32());
@@ -218,6 +261,12 @@ Status DecodeRequestBody(ByteReader* r, WireMsg* m) {
         return CorruptData("wire: bad hello magic");
       }
       ASSIGN_OR_RETURN(m->version, r->U16());
+      // A v1 hello ends here; it still decodes so the server can refuse it
+      // with kUnsupportedVersion instead of a parse error.
+      if (m->version >= 2) {
+        ASSIGN_OR_RETURN(m->resume_session, r->U32());
+        ASSIGN_OR_RETURN(m->resume_token, r->U64());
+      }
       return OkStatus();
     }
     case WireOp::kMount:
@@ -225,6 +274,14 @@ Status DecodeRequestBody(ByteReader* r, WireMsg* m) {
     case WireOp::kStats:
     case WireOp::kBye:
       return OkStatus();
+    case WireOp::kResync: {
+      ASSIGN_OR_RETURN(uint32_t n, r->Count(16, kMaxInvals));
+      m->claims.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        RETURN_IF_ERROR(DecodeClaim(r, &m->claims[i]));
+      }
+      return OkStatus();
+    }
     case WireOp::kFetch: {
       ASSIGN_OR_RETURN(m->ino, r->U32());
       ASSIGN_OR_RETURN(uint32_t n, r->Count(4, kWirePagesPerFile));
@@ -243,7 +300,7 @@ Status DecodeRequestBody(ByteReader* r, WireMsg* m) {
     case WireOp::kFlush: {
       ASSIGN_OR_RETURN(m->ino, r->U32());
       ASSIGN_OR_RETURN(m->size, r->U32());
-      ASSIGN_OR_RETURN(uint32_t n, r->Count(8, kWirePagesPerFile));
+      ASSIGN_OR_RETURN(uint32_t n, r->Count(16, kWirePagesPerFile));
       m->pages.resize(n);
       for (uint32_t i = 0; i < n; ++i) {
         RETURN_IF_ERROR(DecodePage(r, &m->pages[i]));
@@ -322,6 +379,8 @@ Status DecodeRequestBody(ByteReader* r, WireMsg* m) {
 
 void EncodeReplyBody(ByteWriter* w, const WireMsg& m) {
   w->U8(m.reply_to);
+  w->U32(m.seq);
+  w->U8(m.replayed);
   w->U32(static_cast<uint32_t>(m.invals.size()));
   for (const WireInval& inv : m.invals) {
     EncodeInval(w, inv);
@@ -335,6 +394,9 @@ void EncodeReplyBody(ByteWriter* w, const WireMsg& m) {
     case WireOp::kHello:
       w->U32(m.session);
       w->U16(m.version);
+      w->U64(m.token);
+      w->U32(m.epoch);
+      w->U8(m.resumed);
       break;
     case WireOp::kMount:
       w->U32(static_cast<uint32_t>(m.nodes.size()));
@@ -345,6 +407,15 @@ void EncodeReplyBody(ByteWriter* w, const WireMsg& m) {
     case WireOp::kFetch:
       w->U32(m.ino);
       w->U32(m.size);
+      w->U32(static_cast<uint32_t>(m.pages.size()));
+      for (const WirePage& p : m.pages) {
+        EncodePage(w, p);
+      }
+      break;
+    case WireOp::kFlush:
+    case WireOp::kWrite:
+      // Version-only records (empty bytes): the new CoherenceDirectory version
+      // of each page the flush/write just took ownership of.
       w->U32(static_cast<uint32_t>(m.pages.size()));
       for (const WirePage& p : m.pages) {
         EncodePage(w, p);
@@ -377,6 +448,11 @@ Status DecodeReplyBody(ByteReader* r, WireMsg* m) {
   if (m->reply_to < 1 || to >= WireOp::kReply) {
     return CorruptData(StrFormat("wire: reply to unknown opcode %u", m->reply_to));
   }
+  ASSIGN_OR_RETURN(m->seq, r->U32());
+  ASSIGN_OR_RETURN(m->replayed, r->U8());
+  if (m->replayed > 1) {
+    return CorruptData("wire: replayed flag out of range");
+  }
   ASSIGN_OR_RETURN(uint32_t n, r->Count(5, kMaxInvals));
   m->invals.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -397,6 +473,12 @@ Status DecodeReplyBody(ByteReader* r, WireMsg* m) {
     case WireOp::kHello: {
       ASSIGN_OR_RETURN(m->session, r->U32());
       ASSIGN_OR_RETURN(m->version, r->U16());
+      ASSIGN_OR_RETURN(m->token, r->U64());
+      ASSIGN_OR_RETURN(m->epoch, r->U32());
+      ASSIGN_OR_RETURN(m->resumed, r->U8());
+      if (m->resumed > 1) {
+        return CorruptData("wire: hello resumed flag out of range");
+      }
       return OkStatus();
     }
     case WireOp::kMount: {
@@ -410,13 +492,22 @@ Status DecodeReplyBody(ByteReader* r, WireMsg* m) {
     case WireOp::kFetch: {
       ASSIGN_OR_RETURN(m->ino, r->U32());
       ASSIGN_OR_RETURN(m->size, r->U32());
-      ASSIGN_OR_RETURN(uint32_t count, r->Count(8, kWirePagesPerFile));
+      ASSIGN_OR_RETURN(uint32_t count, r->Count(16, kWirePagesPerFile));
       m->pages.resize(count);
       for (uint32_t i = 0; i < count; ++i) {
         RETURN_IF_ERROR(DecodePage(r, &m->pages[i]));
       }
       if (!ValidIno(m->ino) || m->size > kSfsMaxFileBytes) {
         return CorruptData("wire: fetch reply out of range");
+      }
+      return OkStatus();
+    }
+    case WireOp::kFlush:
+    case WireOp::kWrite: {
+      ASSIGN_OR_RETURN(uint32_t count, r->Count(16, kWirePagesPerFile));
+      m->pages.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        RETURN_IF_ERROR(DecodePage(r, &m->pages[i]));
       }
       return OkStatus();
     }
@@ -456,6 +547,10 @@ Status DecodeReplyBody(ByteReader* r, WireMsg* m) {
 
 }  // namespace
 
+void EncodeInvalRecord(ByteWriter* w, const WireInval& inv) { EncodeInval(w, inv); }
+
+Status DecodeInvalRecord(ByteReader* r, WireInval* inv) { return DecodeInval(r, inv); }
+
 std::vector<uint8_t> EncodePayload(const WireMsg& msg) {
   ByteWriter w;
   w.U8(static_cast<uint8_t>(msg.op));
@@ -471,7 +566,7 @@ Result<WireMsg> DecodePayload(const uint8_t* data, size_t size) {
   ByteReader r(data, size);
   WireMsg m;
   ASSIGN_OR_RETURN(uint8_t op, r.U8());
-  bool known_request = op >= 1 && op <= static_cast<uint8_t>(WireOp::kBye);
+  bool known_request = op >= 1 && op <= static_cast<uint8_t>(WireOp::kResync);
   bool reply = op == static_cast<uint8_t>(WireOp::kReply) ||
                op == static_cast<uint8_t>(WireOp::kError);
   if (!known_request && !reply) {

@@ -32,7 +32,12 @@
 namespace hemlock {
 
 inline constexpr uint32_t kWireMagic = 0x48454D4Eu;  // "HEMN"
-inline constexpr uint16_t kWireVersion = 1;
+// v2 (fault tolerance): per-session request sequence numbers on every
+// non-hello request, a resume token + session epoch in the HELLO handshake,
+// page versions on every page record, and the RESYNC op. v1 frames still
+// *decode* (the hello payload is a strict prefix of v2's), so a v1 peer is
+// refused at dispatch with kUnsupportedVersion instead of a parse error.
+inline constexpr uint16_t kWireVersion = 2;
 // A whole 1 MB file (256 pages) plus framing fits comfortably; anything larger
 // in a length prefix is hostile.
 inline constexpr uint32_t kMaxWirePayload = 4u << 20;
@@ -58,6 +63,7 @@ enum class WireOp : uint8_t {
   kCheck = 15,        // run SfsCheck on the authoritative partition (tests/admin)
   kStats = 16,        // server-side net.* counters
   kBye = 17,          // clean disconnect (after a final flush)
+  kResync = 18,       // after a resume: revalidate cached pages by version
   // Replies (server -> client).
   kReply = 64,
   kError = 65,
@@ -84,12 +90,32 @@ struct WireInval {
 
 // One page of segment data. Empty |bytes| means "entirely zero" — the common
 // case for freshly created segments, so a cold mount of an empty region costs
-// a few bytes per page instead of 4 KB.
+// a few bytes per page instead of 4 KB. |version| is the CoherenceDirectory's
+// monotonic write version: the client remembers it per cached page and replays
+// it in a RESYNC claim after a reconnect, so revalidation costs a u64 compare
+// instead of a page transfer. Flush/write acks carry version-only records
+// (empty bytes) telling the writer the new version of the pages it just owned.
 struct WirePage {
   uint32_t index = 0;
+  uint64_t version = 0;
   std::vector<uint8_t> bytes;
 
   bool operator==(const WirePage&) const = default;
+};
+
+// One RESYNC claim: "my replica holds |ino| page |page| at |version|". The
+// sentinel page kWireSizeClaim claims the inode itself (|version| = the
+// believed logical size); the server answers every stale or unknown claim
+// with the matching invalidation record, and reports inodes the client never
+// claimed as kCreated — reconvergence without refetching the world.
+inline constexpr uint32_t kWireSizeClaim = 0xFFFFFFFFu;
+
+struct WireClaim {
+  uint32_t ino = 0;
+  uint32_t page = 0;
+  uint64_t version = 0;
+
+  bool operator==(const WireClaim&) const = default;
 };
 
 // One node of the metadata snapshot (kMount reply).
@@ -119,6 +145,16 @@ struct WireMsg {
 
   uint16_t version = kWireVersion;  // kHello
   uint32_t session = 0;             // kHello reply
+  // Per-session request sequence number (every request except kHello) echoed
+  // by the matching reply. Effectful ops are applied at most once per seq by
+  // the server; a stale echo tells the client to drop a duplicated frame.
+  uint32_t seq = 0;
+  uint32_t resume_session = 0;      // kHello: session id to resume (0 = fresh)
+  uint64_t resume_token = 0;        // kHello: proof of ownership of that session
+  uint64_t token = 0;               // kHello reply: resume token for this session
+  uint32_t epoch = 0;               // kHello reply: session epoch (bumps per resume)
+  uint8_t resumed = 0;              // kHello reply: 1 = the old session survived
+  uint8_t replayed = 0;             // any reply: 1 = served from the at-most-once cache
   uint32_t ino = 0;
   int32_t pid = 0;                  // kLock/kUnlock/kReleaseLocks
   uint32_t offset = 0;              // kWrite
@@ -129,7 +165,8 @@ struct WireMsg {
   std::string text;                 // kCheck reply: fsck report
   std::vector<uint8_t> bytes;       // kWrite payload
   std::vector<uint32_t> page_list;  // kFetch request: wanted page indexes
-  std::vector<WirePage> pages;      // kFetch reply / kFlush request
+  std::vector<WirePage> pages;      // kFetch reply / kFlush request / flush-write acks
+  std::vector<WireClaim> claims;    // kResync request
   std::vector<WireNode> nodes;      // kMount reply
   std::vector<WireInval> invals;    // every reply
   uint8_t err_code = 0;             // kError: ErrorCode as on-the-wire byte
@@ -138,6 +175,11 @@ struct WireMsg {
 
   bool operator==(const WireMsg&) const = default;
 };
+
+// Single invalidation record <-> bytes: the hemserve checkpoint persists each
+// session's pending queue through the same validated encoding replies use.
+void EncodeInvalRecord(ByteWriter* w, const WireInval& inv);
+Status DecodeInvalRecord(ByteReader* r, WireInval* inv);
 
 // Payload <-> bytes (no frame length prefix).
 std::vector<uint8_t> EncodePayload(const WireMsg& msg);

@@ -13,10 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "src/base/bytes.h"
 #include "src/base/faults.h"
+#include "src/net/chaos.h"
 #include "src/net/client.h"
 #include "src/net/coherence.h"
+#include "src/net/journal.h"
 #include "src/net/server.h"
 #include "src/net/transport.h"
 #include "src/net/wire.h"
@@ -115,6 +119,21 @@ TEST(WireTest, EveryRequestRoundTripsCanonically) {
   hello.version = kWireVersion;
   msgs.push_back(hello);
 
+  WireMsg resume;
+  resume.op = WireOp::kHello;
+  resume.version = kWireVersion;
+  resume.resume_session = 7;
+  resume.resume_token = 0x123456789abcdef1ull;
+  msgs.push_back(resume);
+
+  WireMsg resync;
+  resync.op = WireOp::kResync;
+  resync.seq = 11;
+  resync.claims.push_back(WireClaim{3, kWireSizeClaim, 4097});
+  resync.claims.push_back(WireClaim{3, 0, 9});
+  resync.claims.push_back(WireClaim{3, 1, 0});
+  msgs.push_back(resync);
+
   for (WireOp op : {WireOp::kMount, WireOp::kCheck, WireOp::kStats, WireOp::kBye}) {
     WireMsg m;
     m.op = op;
@@ -131,8 +150,8 @@ TEST(WireTest, EveryRequestRoundTripsCanonically) {
   flush.op = WireOp::kFlush;
   flush.ino = 2;
   flush.size = 8192;
-  flush.pages.push_back(WirePage{0, std::vector<uint8_t>(kPageSize, 0xab)});
-  flush.pages.push_back(WirePage{1, {}});  // all-zero page travels empty
+  flush.pages.push_back(WirePage{0, 0, std::vector<uint8_t>(kPageSize, 0xab)});
+  flush.pages.push_back(WirePage{1, 0, {}});  // all-zero page travels empty
   msgs.push_back(flush);
 
   WireMsg create;
@@ -202,7 +221,18 @@ TEST(WireTest, EveryReplyRoundTripsCanonically) {
   hello.reply_to = static_cast<uint8_t>(WireOp::kHello);
   hello.session = 9;
   hello.version = kWireVersion;
+  hello.token = 0x9E3779B97F4A7C15ull;
+  hello.epoch = 2;
+  hello.resumed = 1;
   msgs.push_back(hello);
+
+  WireMsg replayed;
+  replayed.op = WireOp::kReply;
+  replayed.reply_to = static_cast<uint8_t>(WireOp::kCreate);
+  replayed.seq = 6;
+  replayed.replayed = 1;
+  replayed.ino = 17;
+  msgs.push_back(replayed);
 
   WireMsg mount;
   mount.op = WireOp::kReply;
@@ -234,8 +264,8 @@ TEST(WireTest, EveryReplyRoundTripsCanonically) {
   fetch.reply_to = static_cast<uint8_t>(WireOp::kFetch);
   fetch.ino = 3;
   fetch.size = 4097;
-  fetch.pages.push_back(WirePage{0, std::vector<uint8_t>(16, 0x5a)});
-  fetch.pages.push_back(WirePage{1, {}});
+  fetch.pages.push_back(WirePage{0, 7, std::vector<uint8_t>(16, 0x5a)});
+  fetch.pages.push_back(WirePage{1, 0, {}});
   msgs.push_back(fetch);
 
   for (WireOp to : {WireOp::kCreate, WireOp::kMkdir, WireOp::kSymlink}) {
@@ -332,7 +362,7 @@ TEST(WireTest, TrailingGarbageIsRejected) {
 
 TEST(WireTest, HostileFieldsAreRejected) {
   {  // Unknown opcode.
-    for (uint8_t op : {0, 18, 63, 66, 200}) {
+    for (uint8_t op : {0, 19, 63, 66, 200}) {
       std::vector<uint8_t> raw = {op};
       Result<WireMsg> dec = DecodePayload(raw);
       EXPECT_FALSE(dec.ok());
@@ -406,7 +436,7 @@ TEST(WireTest, ByteFlipsNeverBreakCanonicality) {
   fetch.ino = 3;
   fetch.size = 4097;
   fetch.invals = SampleInvals();
-  fetch.pages.push_back(WirePage{0, std::vector<uint8_t>(16, 0x5a)});
+  fetch.pages.push_back(WirePage{0, 3, std::vector<uint8_t>(16, 0x5a)});
   std::vector<uint8_t> enc = EncodePayload(fetch);
   for (size_t pos = 0; pos < enc.size(); ++pos) {
     for (uint8_t delta : {1, 0x80, 0xff}) {
@@ -620,7 +650,11 @@ TEST(NetIntegrationTest, TwoNodeCounterRunMatchesSingleNodeByteForByte) {
 }
 
 TEST(NetIntegrationTest, KilledClientMidLeaseIsReclaimed) {
-  SegmentServer server;
+  // Zero grace: an abruptly dead socket is reaped on the next poll round, so
+  // the test observes the reclaim without waiting out a resume window.
+  SegmentServerOptions opts;
+  opts.resume_grace_ms = 0;
+  SegmentServer server(nullptr, opts);
   ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
   ASSERT_TRUE(server.Start().ok());
 
@@ -699,6 +733,11 @@ TEST(NetIntegrationTest, TransportFailureDegradesLoudlyButKeepsCachedPages) {
 
   HemlockWorld world;
   NetClient client;
+  // Zero retry budget restores degrade-on-first-failure, which is what this
+  // test is about; the retry path has its own tests below.
+  NetClientOptions no_retries;
+  no_retries.retries = 0;
+  client.set_options(no_retries);
   ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &world.machine()).ok());
   Result<uint32_t> ino = world.sfs().Create("/cached.bin");
   ASSERT_TRUE(ino.ok());
@@ -743,6 +782,527 @@ TEST(NetIntegrationTest, ConnectFaultPointSeversTheDial) {
   EXPECT_FALSE(client.connected());
   EXPECT_EQ(faults.TriggerCount("net.connect"), 1u);
   faults.Reset();
+}
+
+// --- Journal ---
+
+TEST(JournalTest, TornTailIsTolerated) {
+  std::string path = std::string(::testing::TempDir()) + "torn-tail.hemj";
+  std::remove(path.c_str());
+
+  Journal j;
+  ASSERT_TRUE(j.Open(path, {0xCA, 0xFE}).ok());
+  for (uint32_t i = 1; i <= 3; ++i) {
+    JournalRecord rec;
+    rec.type = JournalRecordType::kRequest;
+    rec.session = i;
+    rec.token = 100 + i;
+    rec.payload = {static_cast<uint8_t>(i), 0x55};
+    ASSERT_TRUE(j.Append(rec).ok());
+  }
+  j.Close();
+
+  // A crashed primary leaves half a record behind; the tail must truncate,
+  // not poison the history.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t torn[] = {0x10, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0x01};
+    std::fwrite(torn, 1, sizeof(torn), f);
+    std::fclose(f);
+  }
+
+  Result<JournalContents> loaded = Journal::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->checkpoint, (std::vector<uint8_t>{0xCA, 0xFE}));
+  ASSERT_EQ(loaded->records.size(), 3u);
+  EXPECT_EQ(loaded->records[2].session, 3u);
+  EXPECT_EQ(loaded->records[2].token, 103u);
+
+  // Re-opening rewrites the file minus the torn tail, so appends land after
+  // the last valid record.
+  Journal again;
+  ASSERT_TRUE(again.Open(path, {}).ok());
+  JournalRecord rec;
+  rec.type = JournalRecordType::kRequest;
+  rec.session = 4;
+  rec.token = 104;
+  ASSERT_TRUE(again.Append(rec).ok());
+  again.Close();
+  Result<JournalContents> healed = Journal::Load(path);
+  ASSERT_TRUE(healed.ok());
+  ASSERT_EQ(healed->records.size(), 4u);
+  EXPECT_EQ(healed->records[3].session, 4u);
+  std::remove(path.c_str());
+}
+
+// --- Retry, reconnect, resume ---
+
+TEST(NetIntegrationTest, RetryWithinBudgetReconnectsAndResumesWithoutDegrading) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Reset();
+
+  SegmentServer server;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  HemlockWorld world;
+  NetClient client;
+  NetClientOptions opts;
+  opts.retries = 1;  // the boundary: exactly one failure fits the budget
+  opts.backoff_ms = 1;
+  client.set_options(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &world.machine()).ok());
+
+  Result<uint32_t> ino = world.sfs().Create("/before.bin");
+  ASSERT_TRUE(ino.ok());
+  const uint8_t kByte = 0x42;
+  ASSERT_TRUE(world.sfs().WriteAt(*ino, 0, &kByte, 1).ok());
+
+  // One transport failure: the retry budget absorbs it — reconnect, resume the
+  // same session, re-send, succeed.
+  faults.Arm("net.send", FaultMode::kError, 1);
+  uint32_t session_before = client.session();
+  Result<uint32_t> after = world.sfs().Create("/after.bin");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(client.degraded());
+  EXPECT_EQ(client.session(), session_before);  // resumed, not re-bootstrapped
+  EXPECT_GE(client.epoch(), 2u);
+
+  MetricsSnapshot m = world.machine().metrics().Snapshot();
+  EXPECT_EQ(MetricValue(m, "net.client.retries"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.reconnects"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.resumes"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.degraded"), 0u);
+
+  faults.Reset();
+  client.Disconnect();
+  WaitForSessions(&server, 0);
+  server.Stop();
+  MetricsSnapshot ms = server.metrics().Snapshot();
+  EXPECT_GE(MetricValue(ms, "net.server.resumes"), 1u);
+}
+
+TEST(NetIntegrationTest, ExhaustedRetryBudgetDegradesAtTheBoundary) {
+  SegmentServer server;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  HemlockWorld world;
+  NetClient client;
+  NetClientOptions opts;
+  opts.retries = 1;
+  opts.timeout_ms = 100;  // dropped frames must time out fast
+  opts.backoff_ms = 1;
+  client.set_options(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &world.machine()).ok());
+
+  // Every frame dropped: N+1 consecutive failures against a budget of N.
+  ASSERT_TRUE(ChaosEngine::Global().Configure("drop=1:7").ok());
+  Status st = world.sfs().Create("/never.bin").status();
+  ChaosEngine::Global().Disable();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(client.degraded());
+
+  MetricsSnapshot m = world.machine().metrics().Snapshot();
+  EXPECT_EQ(MetricValue(m, "net.client.retries"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.degraded"), 1u);
+
+  client.Disconnect();
+  server.Stop();
+}
+
+TEST(NetIntegrationTest, SeveredLinkResumesWithLeasesAndReplicaIntact) {
+  SegmentServer server;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  HemlockWorld a;
+  NetClient ca;
+  NetClientOptions opts;
+  opts.backoff_ms = 1;
+  ca.set_options(opts);
+  ASSERT_TRUE(ca.Connect("127.0.0.1", server.port(), &a.machine()).ok());
+  Result<uint32_t> ino = a.sfs().Create("/leased.bin");
+  ASSERT_TRUE(ino.ok());
+  const char kData[] = "survives the cut";
+  ASSERT_TRUE(a.sfs()
+                  .WriteAt(*ino, 0, reinterpret_cast<const uint8_t*>(kData), sizeof(kData))
+                  .ok());
+  ASSERT_TRUE(a.sfs().LockInode(*ino, /*pid=*/5).ok());
+
+  // Cut the socket with no goodbye. The next RPC notices, reconnects, and
+  // resumes the same session — the lease never lapses.
+  ca.SeverForTest();
+  Result<uint32_t> other = a.sfs().Create("/post-sever.bin");
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  EXPECT_FALSE(ca.degraded());
+
+  MetricsSnapshot m = a.machine().metrics().Snapshot();
+  EXPECT_GE(MetricValue(m, "net.client.reconnects"), 1u);
+  EXPECT_GE(MetricValue(m, "net.client.resumes"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.degraded"), 0u);
+
+  // A second client still sees the lease held.
+  HemlockWorld b;
+  NetClient cb;
+  ASSERT_TRUE(cb.Connect("127.0.0.1", server.port(), &b.machine()).ok());
+  Status blocked = b.sfs().LockInode(*ino, /*pid=*/6);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.code(), ErrorCode::kWouldBlock) << blocked.ToString();
+
+  // And the replica's cached bytes survived the resume (resync validated the
+  // page by version instead of refetching).
+  char buf[sizeof(kData)] = {};
+  ASSERT_TRUE(a.sfs().ReadAt(*ino, 0, reinterpret_cast<uint8_t*>(buf), sizeof(kData)).ok());
+  EXPECT_STREQ(buf, kData);
+
+  ASSERT_TRUE(a.sfs().UnlockInode(*ino, /*pid=*/5).ok());
+  ca.Disconnect();
+  cb.Disconnect();
+  WaitForSessions(&server, 0);
+  server.Stop();
+}
+
+TEST(NetIntegrationTest, SeededChaosDupIsAbsorbedByAtMostOnce) {
+  SegmentServer server;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  HemlockWorld world;
+  NetClient client;
+  NetClientOptions opts;
+  opts.backoff_ms = 1;
+  client.set_options(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &world.machine()).ok());
+
+  // Every frame duplicated: the server answers twice, the at-most-once cache
+  // makes the second answer a replay, and the client drops the stale echo.
+  ASSERT_TRUE(ChaosEngine::Global().Configure("dup=1:3").ok());
+  Result<uint32_t> ino = world.sfs().Create("/dup.bin");
+  const uint8_t kByte = 0x5A;
+  Status wrote = ino.ok() ? world.sfs().WriteAt(*ino, 0, &kByte, 1) : ino.status();
+  Result<uint32_t> again = world.sfs().Mkdir("/dup-dir");
+  ChaosEngine::Global().Disable();
+  ASSERT_TRUE(ino.ok()) << ino.status().ToString();
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(client.degraded());
+
+  MetricsSnapshot m = world.machine().metrics().Snapshot();
+  EXPECT_GE(MetricValue(m, "net.client.replays_dropped"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.degraded"), 0u);
+
+  client.Disconnect();
+  WaitForSessions(&server, 0);
+  server.Stop();
+  MetricsSnapshot ms = server.metrics().Snapshot();
+  EXPECT_GE(MetricValue(ms, "net.server.replays"), 1u);
+
+  // No double-apply anywhere: the partition is structurally clean and holds
+  // exactly the nodes created once each.
+  SfsCheckReport report;
+  SfsCheck(&server.sfs()).Run(/*at_boot=*/false, &report);
+  EXPECT_TRUE(report.structurally_clean()) << report.ToString();
+  EXPECT_TRUE(server.sfs().Lookup("/dup.bin").ok());
+  EXPECT_TRUE(server.sfs().Lookup("/dup-dir").ok());
+}
+
+// --- At-most-once semantics on the raw wire ---
+
+TEST(NetIntegrationTest, RetransmittedEffectfulRequestIsReplayedNotReapplied) {
+  SegmentServer server;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Conn> conn = DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  WireMsg hello;
+  hello.op = WireOp::kHello;
+  hello.version = kWireVersion;
+  ASSERT_TRUE(conn->Send(hello).ok());
+  Result<WireMsg> hi = conn->Recv();
+  ASSERT_TRUE(hi.ok());
+  ASSERT_EQ(hi->op, WireOp::kReply);
+  EXPECT_NE(hi->token, 0u);
+
+  WireMsg create;
+  create.op = WireOp::kCreate;
+  create.seq = 1;
+  create.path = "/once.bin";
+  ASSERT_TRUE(conn->Send(create).ok());
+  Result<WireMsg> first = conn->Recv();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->op, WireOp::kReply);
+  EXPECT_EQ(first->replayed, 0u);
+  uint32_t ino = first->ino;
+
+  // The identical frame again: were it re-executed, the create would fail
+  // with "already exists". The cached reply comes back instead.
+  ASSERT_TRUE(conn->Send(create).ok());
+  Result<WireMsg> second = conn->Recv();
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->op, WireOp::kReply) << StatusFromWire(*second).ToString();
+  EXPECT_EQ(second->replayed, 1u);
+  EXPECT_EQ(second->ino, ino);
+
+  // A later request moves the window; the old seq is now a stale retransmit.
+  WireMsg next;
+  next.op = WireOp::kMkdir;
+  next.seq = 2;
+  next.path = "/once-dir";
+  ASSERT_TRUE(conn->Send(next).ok());
+  Result<WireMsg> moved = conn->Recv();
+  ASSERT_TRUE(moved.ok());
+  ASSERT_EQ(moved->op, WireOp::kReply);
+  ASSERT_TRUE(conn->Send(create).ok());
+  Result<WireMsg> stale = conn->Recv();
+  ASSERT_TRUE(stale.ok());
+  ASSERT_EQ(stale->op, WireOp::kError);
+  EXPECT_EQ(StatusFromWire(*stale).code(), ErrorCode::kFailedPrecondition);
+
+  conn->Close();
+  WaitForSessions(&server, 0);
+  server.Stop();
+  MetricsSnapshot ms = server.metrics().Snapshot();
+  EXPECT_EQ(MetricValue(ms, "net.server.replays"), 1u);
+}
+
+TEST(NetIntegrationTest, HelloV1IsRefusedCleanly) {
+  SegmentServer server;
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Conn> conn = DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  // A genuine v1 frame: magic + version, no resume fields. It must decode
+  // (old peers speak it) and be refused at dispatch with a clean error, not a
+  // cut socket or a decode crash.
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(WireOp::kHello));
+  w.U32(kWireMagic);
+  w.U16(1);
+  ASSERT_TRUE(conn->SendRaw(w.buffer()).ok());
+  Result<WireMsg> reply = conn->Recv();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->op, WireOp::kError);
+  EXPECT_EQ(StatusFromWire(*reply).code(), ErrorCode::kUnsupportedVersion);
+
+  conn->Close();
+  server.Stop();
+}
+
+// --- Abrupt death, grace, and lease reclaim ---
+
+TEST(NetIntegrationTest, WriteLockHolderKilledMidWriteIsReclaimedOnceAfterGrace) {
+  SegmentServerOptions opts;
+  // Wide enough that the in-grace lease check below cannot lose a scheduling
+  // race against the reaper on a loaded machine.
+  opts.resume_grace_ms = 300;
+  SegmentServer server(nullptr, opts);
+  ASSERT_TRUE(server.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Conn> conn = DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  WireMsg hello;
+  hello.op = WireOp::kHello;
+  hello.version = kWireVersion;
+  ASSERT_TRUE(conn->Send(hello).ok());
+  ASSERT_TRUE(conn->Recv().ok());
+
+  WireMsg create;
+  create.op = WireOp::kCreate;
+  create.seq = 1;
+  create.path = "/mid-write.bin";
+  ASSERT_TRUE(conn->Send(create).ok());
+  Result<WireMsg> made = conn->Recv();
+  ASSERT_TRUE(made.ok());
+  uint32_t ino = made->ino;
+
+  WireMsg lock;
+  lock.op = WireOp::kLock;
+  lock.seq = 2;
+  lock.ino = ino;
+  lock.pid = 9;
+  ASSERT_TRUE(conn->Send(lock).ok());
+  ASSERT_TRUE(conn->Recv().ok());
+
+  // Die mid-WRITE: the request goes out, the client is gone before the reply.
+  WireMsg write;
+  write.op = WireOp::kWrite;
+  write.seq = 3;
+  write.ino = ino;
+  write.offset = 0;
+  write.bytes = {1, 2, 3, 4};
+  ASSERT_TRUE(conn->Send(write).ok());
+  conn->Close();
+
+  // Inside the grace window the lease must still be held (a resume could
+  // legitimately come back for it).
+  WaitForSessions(&server, 0);  // detached, not yet reaped
+  EXPECT_NE(server.sfs().LockOwner(ino), -1);
+
+  // After the grace expires the session is reaped and the lease reclaimed —
+  // exactly once, however many poll rounds follow.
+  for (int i = 0; i < 200 && server.TotalSessionCount() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.TotalSessionCount(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // extra rounds
+  server.Stop();
+
+  EXPECT_EQ(server.sfs().LockOwner(ino), -1);
+  MetricsSnapshot ms = server.metrics().Snapshot();
+  EXPECT_EQ(MetricValue(ms, "net.server.leases_reclaimed"), 1u);
+  SfsCheckReport report;
+  SfsCheck(&server.sfs()).Run(/*at_boot=*/false, &report);
+  EXPECT_TRUE(report.structurally_clean()) << report.ToString();
+}
+
+// --- Server restart and warm standby ---
+
+TEST(NetIntegrationTest, ServerRestartFromJournalResumesClientsAndData) {
+  std::string dir = ::testing::TempDir();
+  std::string state = dir + "restart-state.img";
+  std::string journal = dir + "restart-journal.hemj";
+  std::remove(state.c_str());
+  std::remove(journal.c_str());
+
+  SegmentServerOptions opts;
+  opts.state_path = state;
+  opts.journal_path = journal;
+  auto s1 = std::make_unique<SegmentServer>(nullptr, opts);
+  ASSERT_TRUE(s1->AttachJournal().ok());
+  ASSERT_TRUE(s1->Listen("127.0.0.1", 0).ok());
+  int port = s1->port();
+  ASSERT_TRUE(s1->Start().ok());
+
+  HemlockWorld world;
+  NetClient client;
+  NetClientOptions copts;
+  copts.retries = 8;  // the restart gap may straddle a few dials
+  copts.backoff_ms = 5;
+  client.set_options(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, &world.machine()).ok());
+  Result<uint32_t> ino = world.sfs().Create("/durable.bin");
+  ASSERT_TRUE(ino.ok());
+  const char kData[] = "outlives the server";
+  ASSERT_TRUE(world.sfs()
+                  .WriteAt(*ino, 0, reinterpret_cast<const uint8_t*>(kData), sizeof(kData))
+                  .ok());
+  ASSERT_TRUE(world.sfs().LockInode(*ino, /*pid=*/4).ok());
+
+  // Kill the server with no checkpoint: everything must come back from the
+  // journal alone — data, sessions, resume tokens, and the held lease.
+  s1->Stop();
+  s1.reset();
+
+  auto s2 = std::make_unique<SegmentServer>(nullptr, opts);
+  ASSERT_TRUE(s2->AttachJournal().ok());
+  ASSERT_TRUE(s2->Listen("127.0.0.1", port).ok());
+  ASSERT_TRUE(s2->Start().ok());
+  EXPECT_EQ(s2->TotalSessionCount(), 1u);  // restored detached, awaiting resume
+
+  // The next RPC reconnects and resumes against the restarted server.
+  Result<uint32_t> after = world.sfs().Create("/after-restart.bin");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(client.degraded());
+  MetricsSnapshot m = world.machine().metrics().Snapshot();
+  EXPECT_GE(MetricValue(m, "net.client.reconnects"), 1u);
+  EXPECT_GE(MetricValue(m, "net.client.resumes"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.degraded"), 0u);
+
+  // The replica reconverged: a remote fsck of the replayed partition is clean.
+  Result<std::pair<bool, std::string>> check = client.RemoteCheck();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->first) << check->second;
+
+  ASSERT_TRUE(world.sfs().UnlockInode(*ino, /*pid=*/4).ok());
+  client.Disconnect();
+  WaitForSessions(s2.get(), 0);
+  s2->Stop();
+
+  char buf[sizeof(kData)] = {};
+  ASSERT_TRUE(s2->sfs().ReadAt(*ino, 0, reinterpret_cast<uint8_t*>(buf), sizeof(kData)).ok());
+  EXPECT_STREQ(buf, kData);
+  SfsCheckReport report;
+  SfsCheck(&s2->sfs()).Run(/*at_boot=*/false, &report);
+  EXPECT_TRUE(report.structurally_clean()) << report.ToString();
+
+  std::remove(state.c_str());
+  std::remove(journal.c_str());
+}
+
+TEST(NetIntegrationTest, StandbyPromotesWhenClientsWalkTheAddressList) {
+  std::string dir = ::testing::TempDir();
+  std::string state = dir + "standby-state.img";
+  std::string journal = dir + "standby-journal.hemj";
+  std::remove(state.c_str());
+  std::remove(journal.c_str());
+
+  SegmentServerOptions primary_opts;
+  primary_opts.state_path = state;
+  primary_opts.journal_path = journal;
+  auto primary = std::make_unique<SegmentServer>(nullptr, primary_opts);
+  ASSERT_TRUE(primary->AttachJournal().ok());
+  ASSERT_TRUE(primary->Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(primary->Start().ok());
+
+  SegmentServerOptions standby_opts = primary_opts;
+  standby_opts.standby = true;
+  SegmentServer standby(nullptr, standby_opts);
+  ASSERT_TRUE(standby.AttachJournal().ok());
+  ASSERT_TRUE(standby.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(standby.Start().ok());
+  EXPECT_TRUE(standby.standby());
+
+  HemlockWorld world;
+  NetClient client;
+  NetClientOptions copts;
+  copts.retries = 8;
+  copts.backoff_ms = 5;
+  client.set_options(copts);
+  std::vector<std::pair<std::string, int>> addrs = {
+      {"127.0.0.1", primary->port()}, {"127.0.0.1", standby.port()}};
+  ASSERT_TRUE(client.Connect(addrs, &world.machine()).ok());
+
+  Result<uint32_t> ino = world.sfs().Create("/replicated.bin");
+  ASSERT_TRUE(ino.ok());
+  const char kData[] = "tailed into the standby";
+  ASSERT_TRUE(world.sfs()
+                  .WriteAt(*ino, 0, reinterpret_cast<const uint8_t*>(kData), sizeof(kData))
+                  .ok());
+
+  // The primary dies; the client's next RPC walks the address list, lands on
+  // the standby, and the standby promotes itself on that first connection.
+  primary->Stop();
+  primary.reset();
+  Result<uint32_t> after = world.sfs().Create("/after-failover.bin");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(client.degraded());
+  EXPECT_FALSE(standby.standby());
+
+  MetricsSnapshot m = world.machine().metrics().Snapshot();
+  EXPECT_GE(MetricValue(m, "net.client.reconnects"), 1u);
+  EXPECT_GE(MetricValue(m, "net.client.resumes"), 1u);
+  EXPECT_EQ(MetricValue(m, "net.client.degraded"), 0u);
+
+  Result<std::pair<bool, std::string>> check = client.RemoteCheck();
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->first) << check->second;
+
+  client.Disconnect();
+  WaitForSessions(&standby, 0);
+  standby.Stop();
+
+  char buf[sizeof(kData)] = {};
+  ASSERT_TRUE(
+      standby.sfs().ReadAt(*ino, 0, reinterpret_cast<uint8_t*>(buf), sizeof(kData)).ok());
+  EXPECT_STREQ(buf, kData);
+
+  std::remove(state.c_str());
+  std::remove(journal.c_str());
 }
 
 }  // namespace

@@ -14,9 +14,20 @@
 //   --static-public <file.hc>  ... as static public
 //   --dynamic-private <f.hc>   ... as dynamic private
 //   --state <file>             load/save the shared partition from/to this host file
-//   --connect HOST:PORT        mount the shared partition from a running hemserve
+//   --connect HOST:PORT[,...]  mount the shared partition from a running hemserve
 //                              instead of a local one (mutually exclusive with
-//                              --state; the server owns persistence)
+//                              --state; the server owns persistence). Extra
+//                              comma-separated addresses are failover targets:
+//                              reconnects walk the list, so a warm standby
+//                              takes over transparently
+//   --net-retries <n>          RPC retry budget before the client degrades
+//                              (default 4; env HEMLOCK_NET_RETRIES)
+//   --net-timeout-ms <ms>      per-recv socket deadline (default 30000; was a
+//                              hardcoded 30 s; env HEMLOCK_NET_TIMEOUT_MS)
+//   --net-backoff-ms <ms>      base of the exponential retry backoff
+//                              (default 10; env HEMLOCK_NET_BACKOFF_MS)
+//   --net-chaos <spec>         seeded chaos transport, e.g. "drop=7,dup=13:42"
+//                              (env HEMLOCK_NET_CHAOS)
 //   --env K=V                  set an environment variable (e.g. LD_LIBRARY_PATH)
 //   --eager                    eager ldl ablation (resolve everything at startup)
 //   --manifest                 persist ldl resolutions to /shm/.ldl.manifest so a
@@ -78,6 +89,7 @@
 #include "src/base/faults.h"
 #include "src/base/strings.h"
 #include "src/link/search.h"
+#include "src/net/chaos.h"
 #include "src/net/client.h"
 #include "src/obj/object_file.h"
 #include "src/runtime/world.h"
@@ -114,9 +126,19 @@ std::string BaseNoExt(const std::string& host_path) {
   return StripExtension(PathBasename(host_path));
 }
 
+// Environment fallback for the --net-* flags, so CI legs can steer every
+// invocation in a script without threading flags through each one.
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoll(env) : fallback;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: hemrun [--state f | --connect host:port] [--env K=V] [--eager]\n"
+               "usage: hemrun [--state f | --connect host:port[,host:port...]]\n"
+               "              [--net-retries n] [--net-timeout-ms n]\n"
+               "              [--net-backoff-ms n] [--net-chaos spec]\n"
+               "              [--env K=V] [--eager]\n"
                "              [--manifest|--no-manifest]\n"
                "              [--stats] [--metrics]\n"
                "              [--trace] [--emit dir] [--faults spec[:seed]]\n"
@@ -136,6 +158,14 @@ int main(int argc, char** argv) {
   std::vector<ModuleArg> modules;
   std::string state_path;
   std::string connect_spec;
+  NetClientOptions net_options;
+  net_options.retries = static_cast<int>(EnvInt64("HEMLOCK_NET_RETRIES", net_options.retries));
+  net_options.timeout_ms = EnvInt64("HEMLOCK_NET_TIMEOUT_MS", net_options.timeout_ms);
+  net_options.backoff_ms = EnvInt64("HEMLOCK_NET_BACKOFF_MS", net_options.backoff_ms);
+  std::string chaos_spec;
+  if (const char* env = std::getenv("HEMLOCK_NET_CHAOS"); env != nullptr) {
+    chaos_spec = env;
+  }
   std::string emit_dir;
   std::string fault_spec;
   std::map<std::string, std::string> env;
@@ -181,6 +211,31 @@ int main(int argc, char** argv) {
         return Usage();
       }
       connect_spec = spec;
+    } else if (arg == "--net-retries") {
+      const char* n = next();
+      if (n == nullptr) {
+        return Usage();
+      }
+      net_options.retries = std::atoi(n);
+      if (net_options.retries < 0) {
+        return Usage();
+      }
+    } else if (arg == "--net-timeout-ms") {
+      const char* n = next();
+      if (n == nullptr || (net_options.timeout_ms = std::atoll(n)) < 1) {
+        return Usage();
+      }
+    } else if (arg == "--net-backoff-ms") {
+      const char* n = next();
+      if (n == nullptr || (net_options.backoff_ms = std::atoll(n)) < 1) {
+        return Usage();
+      }
+    } else if (arg == "--net-chaos") {
+      const char* spec = next();
+      if (spec == nullptr) {
+        return Usage();
+      }
+      chaos_spec = spec;
     } else if (arg == "--emit") {
       const char* dir = next();
       if (dir == nullptr) {
@@ -329,21 +384,41 @@ int main(int argc, char** argv) {
     return 42;
   };
 
-  // Mount a remote partition instead of a local one. The client's destructor
-  // flushes dirty pages and says Bye on every exit path below.
-  NetClient client;
-  if (!connect_spec.empty()) {
-    size_t colon = connect_spec.rfind(':');
-    long port = 0;
-    if (colon == std::string::npos || colon == 0 ||
-        (port = std::strtol(connect_spec.c_str() + colon + 1, nullptr, 10)) < 1 ||
-        port > 65535) {
-      std::fprintf(stderr, "hemrun: --connect wants HOST:PORT, got '%s'\n",
-                   connect_spec.c_str());
+  if (!chaos_spec.empty()) {
+    Status chaos = ChaosEngine::Global().Configure(chaos_spec);
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "hemrun: bad --net-chaos spec: %s\n", chaos.ToString().c_str());
       return 2;
     }
-    Status attached = client.Connect(connect_spec.substr(0, colon),
-                                     static_cast<int>(port), &world.machine());
+  }
+
+  // Mount a remote partition instead of a local one. The client's destructor
+  // flushes dirty pages and says Bye on every exit path below. Extra
+  // comma-separated addresses are failover targets for reconnects.
+  NetClient client;
+  if (!connect_spec.empty()) {
+    std::vector<std::pair<std::string, int>> addrs;
+    size_t start = 0;
+    while (start <= connect_spec.size()) {
+      size_t comma = connect_spec.find(',', start);
+      std::string one = connect_spec.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      size_t colon = one.rfind(':');
+      long port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          (port = std::strtol(one.c_str() + colon + 1, nullptr, 10)) < 1 || port > 65535) {
+        std::fprintf(stderr, "hemrun: --connect wants HOST:PORT[,HOST:PORT...], got '%s'\n",
+                     connect_spec.c_str());
+        return 2;
+      }
+      addrs.emplace_back(one.substr(0, colon), static_cast<int>(port));
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+    client.set_options(net_options);
+    Status attached = client.Connect(std::move(addrs), &world.machine());
     if (!attached.ok()) {
       std::fprintf(stderr, "hemrun: cannot attach %s: %s\n", connect_spec.c_str(),
                    attached.ToString().c_str());

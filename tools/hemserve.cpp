@@ -6,18 +6,34 @@
 // docs/DISTRIBUTED.md).
 //
 // Usage:
-//   hemserve [--host A.B.C.D] [--port N] [--state f] [--faults spec] [--seed n]
+//   hemserve [--host A.B.C.D] [--port N] [--state f] [--journal f] [--standby]
+//            [--faults spec] [--seed n]
 //
 //   --host                     IPv4 address to bind (default 127.0.0.1)
 //   --port                     TCP port; 0 (the default) picks an ephemeral port
 //   --state <file>             load/save the shared partition from/to this host file
+//   --journal <file>           append every effectful request here; on restart the
+//                              journal tail is replayed on top of --state, so a
+//                              SIGKILLed server comes back with its exact pre-kill
+//                              state (sessions, resume tokens, leases included)
+//   --standby                  tail --journal read-only and promote to primary on
+//                              the first incoming connection (warm failover)
+//   --checkpoint-every <n>     auto-checkpoint (--state + journal rewrite) after
+//                              every n journal records (0 = only at shutdown)
+//   --resume-grace-ms <ms>     how long a cut session stays resumable before its
+//                              leases are reclaimed (default 10000)
+//   --recv-timeout-ms <ms>     per-socket recv deadline (default 10000; was a
+//                              hardcoded 10 s before this flag existed)
 //   --faults <spec>            arm fault injection, same spec language as hemrun
+//   --net-chaos <spec>         seeded chaos transport, e.g. "drop=7,dup=13:42"
+//                              (HEMLOCK_NET_CHAOS is the env fallback)
 //   --seed <n>                 RNG seed for probabilistic fault modes
 //   --stats-every <n>          print the metrics snapshot every n poll rounds
 //
 // The chosen port is announced on stdout as "hemserve: listening on HOST:PORT"
 // (and flushed) so scripts driving an ephemeral port can scrape it. SIGINT or
-// SIGTERM drains the loop, saves --state, and exits 0.
+// SIGTERM drains the loop, saves --state (a full checkpoint in journal mode),
+// and exits 0.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -27,9 +43,12 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "src/base/bytes.h"
 #include "src/base/faults.h"
 #include "src/base/status.h"
+#include "src/net/chaos.h"
 #include "src/net/server.h"
 #include "src/sfs/sfs_check.h"
 
@@ -60,7 +79,16 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string state_path;
+  std::string journal_path;
+  bool standby = false;
+  uint64_t checkpoint_every = 0;
+  int64_t resume_grace_ms = 10'000;
+  int64_t recv_timeout_ms = 10'000;
   std::string fault_spec;
+  std::string chaos_spec;
+  if (const char* env = std::getenv("HEMLOCK_NET_CHAOS"); env != nullptr) {
+    chaos_spec = env;
+  }
   uint64_t seed = 0;
   uint64_t stats_every = 0;
 
@@ -80,8 +108,20 @@ int main(int argc, char** argv) {
       port = std::atoi(next(i, "--port").c_str());
     } else if (arg == "--state") {
       state_path = next(i, "--state");
+    } else if (arg == "--journal") {
+      journal_path = next(i, "--journal");
+    } else if (arg == "--standby") {
+      standby = true;
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next(i, "--checkpoint-every").c_str(), nullptr, 10);
+    } else if (arg == "--resume-grace-ms") {
+      resume_grace_ms = std::atoll(next(i, "--resume-grace-ms").c_str());
+    } else if (arg == "--recv-timeout-ms") {
+      recv_timeout_ms = std::atoll(next(i, "--recv-timeout-ms").c_str());
     } else if (arg == "--faults") {
       fault_spec = next(i, "--faults");
+    } else if (arg == "--net-chaos") {
+      chaos_spec = next(i, "--net-chaos");
     } else if (arg == "--seed") {
       seed = std::strtoull(next(i, "--seed").c_str(), nullptr, 10);
     } else if (arg == "--stats-every") {
@@ -89,7 +129,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: hemserve [--host A.B.C.D] [--port n] [--state f]\n"
-                   "                [--faults spec] [--seed n] [--stats-every n]\n");
+                   "                [--journal f] [--standby] [--checkpoint-every n]\n"
+                   "                [--resume-grace-ms n] [--recv-timeout-ms n]\n"
+                   "                [--faults spec] [--net-chaos spec] [--seed n]\n"
+                   "                [--stats-every n]\n");
       return 2;
     } else {
       std::fprintf(stderr, "hemserve: unknown flag %s\n", arg.c_str());
@@ -103,6 +146,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "hemserve: bad --faults spec: %s\n", armed.ToString().c_str());
       return 2;
     }
+  }
+  if (!chaos_spec.empty()) {
+    Status chaos = ChaosEngine::Global().Configure(chaos_spec);
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "hemserve: bad --net-chaos spec: %s\n", chaos.ToString().c_str());
+      return 2;
+    }
+  }
+  if (standby && journal_path.empty()) {
+    std::fprintf(stderr, "hemserve: --standby needs --journal to tail\n");
+    return 2;
+  }
+  if (!journal_path.empty() && state_path.empty()) {
+    // The journal's checkpoints rewrite it against the --state image; without
+    // one, a rewrite would silently discard history.
+    std::fprintf(stderr, "hemserve: --journal needs --state for its checkpoints\n");
+    return 2;
   }
 
   // Restore the authoritative partition from a previous run; salvage mode means
@@ -129,7 +189,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  SegmentServer server(std::move(fs));
+  SegmentServerOptions options;
+  options.recv_timeout_ms = recv_timeout_ms;
+  options.resume_grace_ms = resume_grace_ms;
+  options.state_path = state_path;
+  options.journal_path = journal_path;
+  options.checkpoint_every = checkpoint_every;
+  options.standby = standby;
+  SegmentServer server(std::move(fs), options);
+  if (!journal_path.empty()) {
+    Status attached = server.AttachJournal();
+    if (!attached.ok()) {
+      std::fprintf(stderr, "hemserve: cannot attach journal: %s\n",
+                   attached.ToString().c_str());
+      return ToolExitCode(attached);
+    }
+  }
   Status listening = server.Listen(host, port);
   if (!listening.ok()) {
     std::fprintf(stderr, "hemserve: %s\n", listening.ToString().c_str());
@@ -156,7 +231,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!state_path.empty()) {
+  if (!journal_path.empty()) {
+    // Journal mode: state + journal rewrite move together (Checkpoint), so the
+    // next boot never replays records the image already contains. A crash-fault
+    // exit skips the save on purpose — the journal already holds everything,
+    // which is exactly what the restart leg of the chaos CI exercises.
+    ByteWriter probe;
+    Status ser = server.sfs().Serialize(&probe);
+    if (IsCrash(ser)) {
+      return 42;
+    }
+    // A never-promoted standby owns neither the journal nor the image: exit.
+    if (!server.standby()) {
+      Status saved = server.Checkpoint();
+      if (!saved.ok()) {
+        std::fprintf(stderr, "hemserve: cannot checkpoint: %s\n", saved.ToString().c_str());
+        return ToolExitCode(saved);
+      }
+    }
+  } else if (!state_path.empty()) {
     ByteWriter w;
     Status ser = server.sfs().Serialize(&w);
     if (!ser.ok() && !IsCrash(ser)) {
